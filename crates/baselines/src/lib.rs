@@ -1,0 +1,670 @@
+#![warn(missing_docs)]
+
+//! # pi2-baselines
+//!
+//! Functional re-implementations of the comparison tools' *generation
+//! models* (paper Table 1 and Figure 1). The original tools are external
+//! products; what the comparison measures is what each tool's model can
+//! express and how much manual effort it requires, which these models
+//! reproduce faithfully:
+//!
+//! * [`PlainNotebook`] — a xeus-sqlite-style SQL notebook: each query
+//!   renders as a static table, nothing else.
+//! * [`Lux`] — always-on visualization recommendation: each query result
+//!   gets one automatically recommended *static* chart; no widgets, no
+//!   interactions, no cross-query reasoning.
+//! * [`CountTool`] — Count-style notebook: the user manually configures a
+//!   chart and adds widgets over the literal parameters of one query;
+//!   widgets only offer the values observed in the log.
+//! * [`Hex`] — Hex-style notebook: like Count, but parameters generalize
+//!   to full column ranges (sliders), still built manually and still
+//!   unable to change query structure — exactly Figure 1(b)'s four
+//!   sliders.
+//! * [`Pi2Tool`] — PI2 itself, wrapped in the same [`Tool`] trait for the
+//!   comparison harness.
+//!
+//! Hex/Count interfaces are *live* (they produce a DiffTree with holes, so
+//! `pi2-core` sessions can drive them), which lets the benchmarks measure
+//! interaction effort on equal footing.
+//!
+//! ```
+//! use pi2_baselines::{Hex, Lux, Tool};
+//!
+//! let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 200, seed: 1 });
+//! let queries = pi2_datasets::sdss::demo_queries();
+//! let lux = Lux.generate(&queries, &catalog).unwrap();
+//! assert_eq!(lux.interface.charts.len(), 2);   // one static chart per query
+//! let hex = Hex.generate(&queries, &catalog).unwrap();
+//! assert_eq!(hex.interface.widgets.len(), 4);  // four manual sliders (Figure 1b)
+//! ```
+
+use pi2_core::{Pi2, SearchStrategy};
+use pi2_difftree::rules::canonicalize;
+use pi2_difftree::{lift_query, DiffForest, DiffNode, DiffTree, Domain, NodeKind};
+use pi2_engine::Catalog;
+use pi2_interface::{
+    analyze, choose_chart, Chart, Element, Interface, Layout, ScreenSpec, Target, Widget,
+    WidgetKind,
+};
+use pi2_sql::Query;
+use serde::Serialize;
+
+/// Whether a tool provides a feature automatically, only with manual user
+/// effort, or not at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Automation {
+    /// Generated automatically by the tool.
+    Automatic,
+    /// Possible, but only with manual user effort.
+    Manual,
+    /// Not supported.
+    None,
+}
+
+impl std::fmt::Display for Automation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Automation::Automatic => write!(f, "auto"),
+            Automation::Manual => write!(f, "manual"),
+            Automation::None => write!(f, "—"),
+        }
+    }
+}
+
+/// A tool's capability row for the Table 1 comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct Capabilities {
+    /// The tool's display name.
+    pub tool: &'static str,
+    /// How visualizations are produced.
+    pub visualizations: Automation,
+    /// How widgets are produced.
+    pub widgets: Automation,
+    /// How in-visualization interactions are produced.
+    pub viz_interactions: Automation,
+    /// Widgets can change query *structure* (not just literal parameters).
+    pub structural_widgets: bool,
+    /// Builds one interface from multiple queries.
+    pub multi_query: bool,
+    /// Considers screen size when laying out.
+    pub layout_aware: bool,
+}
+
+/// What a tool produced for a query log.
+pub struct ToolOutput {
+    /// The tool's display name.
+    pub tool: &'static str,
+    /// The produced interface.
+    pub interface: Interface,
+    /// For live interfaces (Hex/Count/PI2): the DiffTree forest behind it.
+    pub forest: Option<DiffForest>,
+    /// Number of manual configuration steps the user had to perform.
+    pub manual_steps: usize,
+    /// Human-readable remarks about the output.
+    pub notes: Vec<String>,
+}
+
+/// A comparison tool.
+pub trait Tool {
+    /// The name.
+    fn name(&self) -> &'static str;
+    /// Capabilities.
+    fn capabilities(&self) -> Capabilities;
+    /// Generate.
+    fn generate(&self, queries: &[Query], catalog: &Catalog) -> Result<ToolOutput, String>;
+}
+
+/// All tools in Table 1 order.
+pub fn all_tools() -> Vec<Box<dyn Tool>> {
+    vec![
+        Box::new(PlainNotebook),
+        Box::new(Lux),
+        Box::new(CountTool),
+        Box::new(Hex),
+        Box::new(Pi2Tool::default()),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+
+/// A plain SQL notebook (xeus-sqlite / SQL Notebook): static result tables.
+pub struct PlainNotebook;
+
+impl Tool for PlainNotebook {
+    fn name(&self) -> &'static str {
+        "SQL notebook"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            tool: self.name(),
+            visualizations: Automation::None,
+            widgets: Automation::None,
+            viz_interactions: Automation::None,
+            structural_widgets: false,
+            multi_query: false,
+            layout_aware: false,
+        }
+    }
+
+    fn generate(&self, queries: &[Query], catalog: &Catalog) -> Result<ToolOutput, String> {
+        let mut charts = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let result = catalog.execute(q).map_err(|e| e.to_string())?;
+            let fields = analyze(&result);
+            charts.push(Chart {
+                id: i,
+                name: format!("Out[{}]", i + 1),
+                title: format!("{} rows", result.len()),
+                mark: pi2_interface::Mark::Table,
+                encodings: fields
+                    .iter()
+                    .map(|f| pi2_interface::Encoding {
+                        channel: pi2_interface::Channel::Detail,
+                        field: f.name.clone(),
+                        field_type: f.field_type,
+                    })
+                    .collect(),
+                tree: i,
+                interactions: vec![],
+            });
+        }
+        let layout =
+            Layout::Vertical(charts.iter().map(|c| Layout::Leaf(Element::Chart(c.id))).collect());
+        Ok(ToolOutput {
+            tool: self.name(),
+            interface: Interface { charts, widgets: vec![], layout, screen: ScreenSpec::default() },
+            forest: Some(DiffForest::singletons(queries)),
+            manual_steps: 0,
+            notes: vec!["one static table per executed cell".into()],
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Lux: automatic static chart recommendation per result, one per query.
+pub struct Lux;
+
+impl Tool for Lux {
+    fn name(&self) -> &'static str {
+        "Lux"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            tool: self.name(),
+            visualizations: Automation::Automatic,
+            widgets: Automation::None,
+            viz_interactions: Automation::None,
+            structural_widgets: false,
+            multi_query: false,
+            layout_aware: false,
+        }
+    }
+
+    fn generate(&self, queries: &[Query], catalog: &Catalog) -> Result<ToolOutput, String> {
+        let mut charts = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let result = catalog.execute(q).map_err(|e| e.to_string())?;
+            let fields = analyze(&result);
+            let (mark, encodings) = choose_chart(&fields);
+            charts.push(Chart {
+                id: i,
+                name: format!("Vis{}", i + 1),
+                title: format!("recommended for query {}", i + 1),
+                mark,
+                encodings,
+                tree: i,
+                interactions: vec![],
+            });
+        }
+        let layout =
+            Layout::Vertical(charts.iter().map(|c| Layout::Leaf(Element::Chart(c.id))).collect());
+        Ok(ToolOutput {
+            tool: self.name(),
+            interface: Interface { charts, widgets: vec![], layout, screen: ScreenSpec::default() },
+            forest: Some(DiffForest::singletons(queries)),
+            manual_steps: 0,
+            notes: vec![format!(
+                "{} separate static recommendations; re-edit SQL and re-execute to change them",
+                queries.len()
+            )],
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Shared machinery for the Hex/Count models: parameterize the *last*
+/// query's literals into holes and attach manually-configured widgets.
+fn parameterized_tree(query: &Query, catalog: &Catalog, generalize: bool) -> (DiffTree, usize) {
+    let mut tree = lift_query(query, 0);
+    // Replace literal comparison operands with single-value holes. Walking
+    // from choice context is unnecessary: wrap every literal that sits
+    // directly under a comparison, BETWEEN, or IN-list.
+    fn replace(node: &mut DiffNode) -> usize {
+        let mut replaced = 0;
+        let eligible_parent = matches!(
+            node.kind,
+            NodeKind::Binary(op) if op.is_comparison()
+        ) || matches!(node.kind, NodeKind::Between { .. } | NodeKind::InList { .. });
+        if eligible_parent {
+            for child in &mut node.children {
+                if let NodeKind::Lit(l) = &child.kind {
+                    *child = DiffNode::leaf(NodeKind::Hole {
+                        domain: Domain::Discrete(vec![l.clone()]),
+                        default: l.clone(),
+                        source_column: None,
+                    });
+                    replaced += 1;
+                }
+            }
+        }
+        for child in &mut node.children {
+            replaced += replace(child);
+        }
+        replaced
+    }
+    let mut count = replace(&mut tree.root);
+    tree.renumber();
+
+    if generalize {
+        // Fill in source columns via choice context, then widen domains
+        // from catalog statistics (Hex's range-typed parameters).
+        for choice in pi2_difftree::choices(&tree) {
+            if let Some(col) = choice.context.compared_column.clone() {
+                if let Some(node) = tree.root.find_mut(choice.id) {
+                    if let NodeKind::Hole { source_column, .. } = &mut node.kind {
+                        *source_column = Some(col);
+                    }
+                }
+            }
+        }
+        tree = canonicalize(&tree, Some(catalog));
+    }
+    if count == 0 {
+        count = 0;
+    }
+    (tree, count)
+}
+
+fn parameterized_interface(
+    tool: &'static str,
+    tree: DiffTree,
+    catalog: &Catalog,
+    query: &Query,
+) -> Result<(Interface, usize), String> {
+    let result = catalog.execute(query).map_err(|e| e.to_string())?;
+    let fields = analyze(&result);
+    let (mark, encodings) = choose_chart(&fields);
+    let chart = Chart {
+        id: 0,
+        name: "Chart".into(),
+        title: format!("{tool} chart (configured manually)"),
+        mark,
+        encodings,
+        tree: 0,
+        interactions: vec![],
+    };
+    // One manually-created widget per hole.
+    let mut widgets = Vec::new();
+    for (wid, choice) in pi2_difftree::choices(&tree).into_iter().enumerate() {
+        let pi2_difftree::ChoiceKind::Hole { domain, source_column } = &choice.kind else {
+            continue;
+        };
+        let label = source_column
+            .as_ref()
+            .map(|c| c.column.clone())
+            .unwrap_or_else(|| format!("param{}", wid + 1));
+        let kind = match domain {
+            Domain::Discrete(items) => {
+                WidgetKind::Dropdown { options: items.iter().map(|l| l.to_string()).collect() }
+            }
+            Domain::IntRange { min, max } => WidgetKind::Slider {
+                min: *min as f64,
+                max: *max as f64,
+                step: 1.0,
+                temporal: false,
+            },
+            Domain::FloatRange { min, max } => WidgetKind::Slider {
+                min: min.0,
+                max: max.0,
+                step: (max.0 - min.0) / 100.0,
+                temporal: false,
+            },
+            Domain::DateRange { min, max } => WidgetKind::Slider {
+                min: min.0 as f64,
+                max: max.0 as f64,
+                step: 1.0,
+                temporal: true,
+            },
+        };
+        widgets.push(Widget {
+            id: wid,
+            label,
+            kind,
+            targets: vec![Target { tree: 0, node: choice.id }],
+        });
+    }
+    // Disambiguate duplicate labels (the two BETWEEN endpoints of one
+    // column): "ra" twice becomes "ra (from)" / "ra (to)".
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for w in &widgets {
+        *counts.entry(w.label.clone()).or_insert(0) += 1;
+    }
+    let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for w in &mut widgets {
+        if counts[&w.label] == 2 {
+            let n = seen.entry(w.label.clone()).or_insert(0);
+            let suffix = if *n == 0 { " (from)" } else { " (to)" };
+            *n += 1;
+            w.label.push_str(suffix);
+        } else if counts[&w.label] > 2 {
+            let n = seen.entry(w.label.clone()).or_insert(0);
+            *n += 1;
+            w.label.push_str(&format!(" #{n}"));
+        }
+    }
+    let n_widgets = widgets.len();
+    let mut items: Vec<Layout> = widgets.iter().map(|w| Layout::Leaf(Element::Widget(w.id))).collect();
+    items.push(Layout::Leaf(Element::Chart(0)));
+    Ok((
+        Interface {
+            charts: vec![chart],
+            widgets,
+            layout: Layout::Vertical(items),
+            screen: ScreenSpec::default(),
+        },
+        n_widgets,
+    ))
+}
+
+/// Count: manual chart + dropdown widgets over the observed parameter
+/// values of the latest query.
+pub struct CountTool;
+
+impl Tool for CountTool {
+    fn name(&self) -> &'static str {
+        "Count"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            tool: self.name(),
+            visualizations: Automation::Manual,
+            widgets: Automation::Manual,
+            viz_interactions: Automation::None,
+            structural_widgets: false,
+            multi_query: false,
+            layout_aware: false,
+        }
+    }
+
+    fn generate(&self, queries: &[Query], catalog: &Catalog) -> Result<ToolOutput, String> {
+        let last = queries.last().ok_or("empty query log")?;
+        // Count's widget values come from the whole log: collect the
+        // literal each hole replaces across queries by merging literals of
+        // the same position... modeled simply as the last query's values.
+        let (tree, n_params) = parameterized_tree(last, catalog, false);
+        let (interface, n_widgets) = parameterized_interface(self.name(), tree.clone(), catalog, last)?;
+        Ok(ToolOutput {
+            tool: self.name(),
+            interface,
+            forest: Some(DiffForest { trees: vec![tree] }),
+            // The user parameterizes the query, creates each widget, and
+            // configures the chart by hand.
+            manual_steps: n_params + n_widgets + 1,
+            notes: vec!["only the latest query; parameters limited to observed values".into()],
+        })
+    }
+}
+
+/// Hex: manual chart + slider widgets whose parameters generalize to full
+/// column ranges (Figure 1b).
+pub struct Hex;
+
+impl Tool for Hex {
+    fn name(&self) -> &'static str {
+        "Hex"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            tool: self.name(),
+            visualizations: Automation::Manual,
+            widgets: Automation::Manual,
+            viz_interactions: Automation::None,
+            structural_widgets: false,
+            multi_query: false,
+            layout_aware: false,
+        }
+    }
+
+    fn generate(&self, queries: &[Query], catalog: &Catalog) -> Result<ToolOutput, String> {
+        let last = queries.last().ok_or("empty query log")?;
+        let (tree, n_params) = parameterized_tree(last, catalog, true);
+        let (interface, n_widgets) = parameterized_interface(self.name(), tree.clone(), catalog, last)?;
+        Ok(ToolOutput {
+            tool: self.name(),
+            interface,
+            forest: Some(DiffForest { trees: vec![tree] }),
+            manual_steps: n_params + n_widgets + 1,
+            notes: vec!["only the latest query's structure; one manual slider per parameter".into()],
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// PI2 wrapped as a [`Tool`] for the comparison harness.
+pub struct Pi2Tool {
+    /// Strategy.
+    pub strategy: SearchStrategy,
+    /// The screen the layout was computed for.
+    pub screen: ScreenSpec,
+}
+
+impl Default for Pi2Tool {
+    fn default() -> Self {
+        Self { strategy: SearchStrategy::FullMerge, screen: ScreenSpec::default() }
+    }
+}
+
+impl Tool for Pi2Tool {
+    fn name(&self) -> &'static str {
+        "PI2"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            tool: self.name(),
+            visualizations: Automation::Automatic,
+            widgets: Automation::Automatic,
+            viz_interactions: Automation::Automatic,
+            structural_widgets: true,
+            multi_query: true,
+            layout_aware: true,
+        }
+    }
+
+    fn generate(&self, queries: &[Query], catalog: &Catalog) -> Result<ToolOutput, String> {
+        let pi2 = Pi2::builder(catalog.clone())
+            .strategy(self.strategy.clone())
+            .screen(self.screen)
+            .build();
+        let g = pi2.generate(queries).map_err(|e| e.to_string())?;
+        Ok(ToolOutput {
+            tool: self.name(),
+            interface: g.interface,
+            forest: Some(g.forest),
+            manual_steps: 0,
+            notes: vec!["fully automatic from the selected query log".into()],
+        })
+    }
+}
+
+/// Can a tool's output express every query in the log? (The key Table 1
+/// distinction: only PI2's single interface covers the whole log with
+/// interactive state; Lux/notebook cover it with N disconnected statics;
+/// Hex/Count cover only their last query modulo parameters.)
+pub fn expresses_log(output: &ToolOutput, queries: &[Query]) -> bool {
+    match &output.forest {
+        Some(f) => f.expresses_all(queries),
+        None => false,
+    }
+}
+
+/// Does the output expose any interactive state at all?
+pub fn is_interactive(output: &ToolOutput) -> bool {
+    !output.interface.widgets.is_empty() || output.interface.interaction_count() > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sdss() -> (Catalog, Vec<Query>) {
+        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 300, seed: 2 });
+        (catalog, pi2_datasets::sdss::demo_queries())
+    }
+
+    #[test]
+    fn plain_notebook_renders_tables_only() {
+        let (catalog, queries) = sdss();
+        let out = PlainNotebook.generate(&queries, &catalog).unwrap();
+        assert_eq!(out.interface.charts.len(), 2);
+        assert!(out.interface.charts.iter().all(|c| c.mark == pi2_interface::Mark::Table));
+        assert!(!is_interactive(&out));
+    }
+
+    #[test]
+    fn lux_recommends_static_charts_per_query() {
+        let (catalog, queries) = sdss();
+        let out = Lux.generate(&queries, &catalog).unwrap();
+        assert_eq!(out.interface.charts.len(), 2, "one chart per query");
+        assert!(out.interface.charts.iter().all(|c| c.mark == pi2_interface::Mark::Scatter));
+        assert!(!is_interactive(&out));
+        assert_eq!(out.manual_steps, 0);
+    }
+
+    #[test]
+    fn hex_builds_four_sliders_for_sdss() {
+        // Figure 1(b): the ra/dec region query has four literals -> four
+        // manually-configured sliders.
+        let (catalog, queries) = sdss();
+        let out = Hex.generate(&queries, &catalog).unwrap();
+        assert_eq!(out.interface.charts.len(), 1);
+        let sliders = out
+            .interface
+            .widgets
+            .iter()
+            .filter(|w| matches!(w.kind, WidgetKind::Slider { .. }))
+            .count();
+        assert_eq!(sliders, 4, "{:?}", out.interface.widgets);
+        assert!(out.manual_steps >= 4);
+        assert_eq!(out.interface.interaction_count(), 0, "no viz interactions in Hex");
+    }
+
+    #[test]
+    fn hex_interface_is_live() {
+        // The Hex model produces a real forest: a session can drive its
+        // sliders.
+        let (catalog, queries) = sdss();
+        let out = Hex.generate(&queries, &catalog).unwrap();
+        let forest = out.forest.clone().unwrap();
+        let mut session =
+            pi2_core::InterfaceSession::new(catalog, forest, out.interface.clone());
+        let slider = out.interface.widgets[0].id;
+        let updates = session
+            .dispatch(pi2_core::Event::SetWidget {
+                widget: slider,
+                value: pi2_core::WidgetValue::Scalar(160.0),
+            })
+            .unwrap();
+        assert!(!updates.is_empty());
+    }
+
+    #[test]
+    fn count_limits_domains_to_observed_values() {
+        let (catalog, queries) = sdss();
+        let out = CountTool.generate(&queries, &catalog).unwrap();
+        assert!(out
+            .interface
+            .widgets
+            .iter()
+            .all(|w| matches!(&w.kind, WidgetKind::Dropdown { options } if options.len() == 1)));
+    }
+
+    #[test]
+    fn only_pi2_expresses_the_whole_log() {
+        let (catalog, queries) = sdss();
+        let results: Vec<(&'static str, bool)> = all_tools()
+            .iter()
+            .map(|t| {
+                let out = t.generate(&queries, &catalog).unwrap();
+                (out.tool, expresses_log(&out, &queries))
+            })
+            .collect();
+        // Static per-query tools "express" the log as N disconnected views;
+        // Hex/Count cannot reproduce the first query from the second's
+        // structure unless the parameters cover it; PI2 always can with a
+        // single interface.
+        let pi2 = results.iter().find(|(t, _)| *t == "PI2").unwrap();
+        assert!(pi2.1);
+        let hex_out = Hex.generate(&queries[..1], &catalog).unwrap();
+        // Hex on just Q1 expresses Q1 (parameterized)...
+        assert!(expresses_log(&hex_out, &queries[..1]));
+        // ...and, because SDSS Q2 varies only literals inside the column
+        // range, Hex's generalized sliders happen to cover it; the COVID
+        // log (structure changes) defeats Hex:
+        let covid_catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config {
+            state_limit: Some(4),
+            ..Default::default()
+        });
+        let covid_queries = pi2_datasets::covid::demo_queries_step(4);
+        let hex_covid = Hex.generate(&covid_queries, &covid_catalog).unwrap();
+        assert!(!expresses_log(&hex_covid, &covid_queries), "Hex cannot express structural change");
+    }
+
+    #[test]
+    fn capabilities_matrix_shape() {
+        let tools = all_tools();
+        assert_eq!(tools.len(), 5);
+        let caps: Vec<Capabilities> = tools.iter().map(|t| t.capabilities()).collect();
+        // Only PI2 automates everything.
+        for c in &caps {
+            if c.tool == "PI2" {
+                assert_eq!(c.visualizations, Automation::Automatic);
+                assert_eq!(c.widgets, Automation::Automatic);
+                assert_eq!(c.viz_interactions, Automation::Automatic);
+                assert!(c.structural_widgets && c.multi_query && c.layout_aware);
+            } else {
+                assert!(
+                    c.viz_interactions == Automation::None,
+                    "{}: no baseline has viz interactions",
+                    c.tool
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pi2_tool_beats_hex_on_interaction_effort() {
+        let (catalog, queries) = sdss();
+        let hex = Hex.generate(&queries, &catalog).unwrap();
+        let pi2 = Pi2Tool::default().generate(&queries, &catalog).unwrap();
+        let effort = |o: &ToolOutput| -> f64 {
+            o.interface.widgets.iter().map(|w| pi2_cost::widget_effort(&w.kind)).sum::<f64>()
+                + o.interface
+                    .charts
+                    .iter()
+                    .flat_map(|c| &c.interactions)
+                    .map(pi2_cost::interaction_effort)
+                    .sum::<f64>()
+        };
+        assert!(effort(&pi2) < effort(&hex), "pi2 {} vs hex {}", effort(&pi2), effort(&hex));
+        assert_eq!(pi2.manual_steps, 0);
+        assert!(hex.manual_steps > 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! DiffTree micro-benchmarks: lifting, merging, expressiveness checks, and
+//! lowering — the per-candidate costs inside the MCTS loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi2_difftree::{expresses, lower_query, merge_queries, Bindings, DiffForest};
+
+fn bench_difftree(c: &mut Criterion) {
+    let covid = pi2_datasets::covid::demo_queries();
+    let sdss = pi2_datasets::sdss::exploration_queries();
+
+    let mut group = c.benchmark_group("difftree");
+
+    group.bench_function("lift/covid-q4", |b| {
+        b.iter(|| pi2_difftree::lift_query(&covid[4], 0))
+    });
+
+    group.bench_function("merge/covid-6", |b| {
+        let indexed: Vec<(usize, &pi2_sql::Query)> = covid.iter().enumerate().collect();
+        b.iter(|| merge_queries(&indexed))
+    });
+
+    group.bench_function("merge/sdss-7", |b| {
+        let indexed: Vec<(usize, &pi2_sql::Query)> = sdss.iter().enumerate().collect();
+        b.iter(|| merge_queries(&indexed))
+    });
+
+    let merged = DiffForest::fully_merged(&covid);
+    group.bench_function("expresses/covid-q4-in-merged", |b| {
+        b.iter(|| expresses(&merged.trees[0], &covid[4]).expect("expressible"))
+    });
+
+    group.bench_function("lower/covid-merged-defaults", |b| {
+        b.iter(|| lower_query(&merged.trees[0], &Bindings::new()).expect("lowers"))
+    });
+
+    let catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config::default());
+    group.bench_function("canonicalize/covid-merged", |b| {
+        b.iter(|| pi2_difftree::rules::canonicalize(&merged.trees[0], Some(&catalog)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_difftree);
+criterion_main!(benches);

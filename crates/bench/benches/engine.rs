@@ -1,0 +1,48 @@
+//! Raw engine throughput on the query classes the demo exercises:
+//! filtered scans, grouped aggregation, hash joins, and correlated
+//! subqueries (with and without the free-variable memo).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi2_sql::parse_query;
+
+fn bench_engine(c: &mut Criterion) {
+    let covid = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config::default());
+    let sdss = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config::default());
+
+    let mut group = c.benchmark_group("engine");
+
+    let scan = parse_query(
+        "SELECT ra, dec FROM photoobj WHERE ra BETWEEN 178.5 AND 180.5 AND dec BETWEEN -1.5 AND 0.5",
+    )
+    .expect("parse");
+    group.bench_function("scan-filter/sdss-5k", |b| {
+        b.iter(|| sdss.execute_uncached(&scan).expect("executes"))
+    });
+
+    let agg = parse_query("SELECT state, sum(cases), avg(cases) FROM covid GROUP BY state").expect("parse");
+    group.bench_function("group-by/covid-3k", |b| {
+        b.iter(|| covid.execute_uncached(&agg).expect("executes"))
+    });
+
+    let join = parse_query(
+        "SELECT r.region, sum(c.cases) FROM covid c JOIN regions r ON c.state = r.state GROUP BY r.region",
+    )
+    .expect("parse");
+    group.bench_function("hash-join/covid-3k", |b| {
+        b.iter(|| covid.execute_uncached(&join).expect("executes"))
+    });
+
+    // The paper's Q4: joins + correlated subqueries. The engine memoizes
+    // subquery executions on their free variables, which is what makes the
+    // interactive loop viable.
+    let q4 = pi2_datasets::covid::demo_queries()[4].clone();
+    group.sample_size(10);
+    group.bench_function("correlated-q4/covid-3k", |b| {
+        b.iter(|| covid.execute_uncached(&q4).expect("executes"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

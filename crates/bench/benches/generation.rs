@@ -1,0 +1,46 @@
+//! Generation latency (TR evaluation shape): time to produce an interface
+//! per scenario, log size, and search strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi2_core::{Pi2, SearchStrategy};
+use pi2_mcts::MctsConfig;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+
+    for scenario in pi2_datasets::demo_scenarios() {
+        let mut sizes = vec![1, 2, scenario.queries.len()];
+        sizes.dedup();
+        for n in sizes {
+            let log = scenario.queries[..n].to_vec();
+
+            let pi2 = Pi2::builder(scenario.catalog.clone())
+                .strategy(SearchStrategy::FullMerge)
+                .build();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/full-merge", scenario.name), n),
+                &log,
+                |b, log| b.iter(|| pi2.generate(log).expect("generates")),
+            );
+
+            let pi2_mcts = Pi2::builder(scenario.catalog.clone())
+                .strategy(SearchStrategy::Mcts(MctsConfig {
+                    iterations: 30,
+                    rollout_depth: 2,
+                    seed: 1,
+                    ..Default::default()
+                }))
+                .build();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/mcts-30", scenario.name), n),
+                &log,
+                |b, log| b.iter(|| pi2_mcts.generate(log).expect("generates")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Interaction latency: event → rebound SQL → re-execution → fresh chart
+//! data. The Falcon-motivated claim: interactions must stay fluid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi2_core::{Event, Pi2, SearchStrategy};
+
+fn bench_interaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interaction");
+
+    // SDSS pan/zoom.
+    {
+        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config::default());
+        let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
+        let queries = pi2_datasets::sdss::demo_queries();
+        let g = pi2.generate(&queries).expect("generates");
+        group.bench_function("sdss/pan", |b| {
+            let mut session = pi2.session(&g);
+            let mut dir = 1.0;
+            b.iter(|| {
+                dir = -dir;
+                session.dispatch(Event::Pan { chart: 0, dx: 0.3 * dir, dy: 0.1 * dir }).expect("pan")
+            })
+        });
+        group.bench_function("sdss/zoom", |b| {
+            let mut session = pi2.session(&g);
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                let factor = if flip { 0.8 } else { 1.25 };
+                session.dispatch(Event::Zoom { chart: 0, factor }).expect("zoom")
+            })
+        });
+    }
+
+    // COVID linked brushing (V1 two-tree design, built directly).
+    {
+        let catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config::default());
+        let queries = pi2_datasets::covid::demo_queries_step(3);
+        let overview = pi2_difftree::DiffForest::singletons(&queries[..1]);
+        let detail = pi2_difftree::DiffForest::fully_merged(&queries[1..3]);
+        let mut forest = pi2_difftree::DiffForest {
+            trees: vec![overview.trees[0].clone(), detail.trees[0].clone()],
+        };
+        for t in &mut forest.trees {
+            *t = pi2_difftree::rules::canonicalize(t, Some(&catalog));
+        }
+        let ifaces = pi2_interface::map_forest(
+            &forest,
+            &catalog,
+            &queries,
+            &pi2_interface::MapperConfig::default(),
+        )
+        .expect("mapper");
+        let iface = ifaces
+            .into_iter()
+            .find(|i| {
+                i.charts.iter().any(|c| {
+                    c.interactions
+                        .iter()
+                        .any(|x| matches!(x, pi2_interface::VizInteraction::BrushX { .. }))
+                })
+            })
+            .expect("brush interface");
+        let lo = pi2_sql::Date::parse("2021-12-01").expect("date").0 as f64;
+        group.bench_function("covid/brush", |b| {
+            let mut session =
+                pi2_core::InterfaceSession::new_with_log(catalog.clone(), forest.clone(), iface.clone(), &queries);
+            let mut offset = 0.0;
+            b.iter(|| {
+                offset = (offset + 1.0) % 20.0;
+                session
+                    .dispatch(Event::Brush { chart: 0, low: lo + offset, high: lo + offset + 10.0 })
+                    .expect("brush")
+            })
+        });
+    }
+
+    // Toy toggle + click.
+    {
+        let catalog = pi2_datasets::toy::default_catalog();
+        let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
+        let g = pi2
+            .generate(&pi2_datasets::toy::fig2_queries())
+            .expect("generates");
+        if let Some(toggle) = g
+            .interface
+            .widgets
+            .iter()
+            .find(|w| matches!(w.kind, pi2_interface::WidgetKind::Toggle))
+            .map(|w| w.id)
+        {
+            group.bench_function("toy/toggle", |b| {
+                let mut session = pi2.session(&g);
+                let mut on = true;
+                b.iter(|| {
+                    on = !on;
+                    session
+                        .dispatch(Event::SetWidget {
+                            widget: toggle,
+                            value: pi2_core::WidgetValue::Bool(on),
+                        })
+                        .expect("toggle")
+                })
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_interaction);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerate the cost-model ablation table; see `pi2_bench::figures::ablations`.
+fn main() {
+    print!("{}", pi2_bench::figures::ablations::run());
+}

@@ -1,0 +1,9 @@
+//! Regenerate every table and figure of the paper, in order.
+fn main() {
+    for (name, gen) in pi2_bench::figures::all() {
+        println!("\n######################################################################");
+        println!("# {name}");
+        println!("######################################################################\n");
+        print!("{}", gen());
+    }
+}

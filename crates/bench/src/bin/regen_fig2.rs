@@ -1,0 +1,4 @@
+//! Regenerate one paper exhibit; see `pi2_bench::figures::fig2_static`.
+fn main() {
+    print!("{}", pi2_bench::figures::fig2_static::run());
+}

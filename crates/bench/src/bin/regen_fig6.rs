@@ -1,0 +1,4 @@
+//! Regenerate one paper exhibit; see `pi2_bench::figures::fig6_pipeline`.
+fn main() {
+    print!("{}", pi2_bench::figures::fig6_pipeline::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerate one paper exhibit; see `pi2_bench::figures::search_quality`.
+fn main() {
+    print!("{}", pi2_bench::figures::search_quality::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerate one paper exhibit; see `pi2_bench::figures::table1`.
+fn main() {
+    print!("{}", pi2_bench::figures::table1::run());
+}

@@ -1,0 +1,51 @@
+//! Figure 2: the three running-example queries, their (Diff)tree forms,
+//! and the trivially valid static interface — one chart per query.
+
+use pi2_core::{Pi2, SearchStrategy};
+use pi2_difftree::DiffForest;
+use pi2_interface::{map_forest, MapperConfig};
+
+pub fn run() -> String {
+    let catalog = pi2_datasets::toy::default_catalog();
+    let queries = pi2_datasets::toy::fig2_queries();
+
+    let mut out = String::new();
+    out.push_str("== Figure 2: example queries, their ASTs, and a static interface ==\n\n");
+    for (i, q) in queries.iter().enumerate() {
+        out.push_str(&format!("Q{}: {}\n", i + 1, q));
+    }
+    out.push('\n');
+
+    // Each AST is itself a DiffTree (zero choice nodes).
+    let forest = DiffForest::singletons(&queries);
+    for (i, t) in forest.trees.iter().enumerate() {
+        out.push_str(&format!("AST / DiffTree of Q{} ({} nodes, {} choice nodes):\n", i + 1, t.root.size(), t.root.choice_count()));
+        out.push_str(&indent(&t.root.to_string(), "  "));
+        out.push('\n');
+    }
+
+    // The static interface: three charts, no interactions.
+    let candidates = map_forest(&forest, &catalog, &queries, &MapperConfig::default()).expect("mapper");
+    let iface = &candidates[0];
+    out.push_str(&format!(
+        "static interface: {} charts, {} widgets, {} interactions\n\n",
+        iface.charts.len(),
+        iface.widgets.len(),
+        iface.interaction_count()
+    ));
+
+    // Rendered with live data.
+    let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
+    let g = pi2
+        .generate(&queries[..1])
+        .expect("single-query generation");
+    let session = pi2.session(&g);
+    let updates = session.refresh_all().expect("refresh");
+    out.push_str("Q1 rendered:\n");
+    out.push_str(&pi2_render::render_interface(&g.interface, &updates));
+    out
+}
+
+fn indent(s: &str, pad: &str) -> String {
+    s.lines().map(|l| format!("{pad}{l}\n")).collect()
+}

@@ -1,0 +1,74 @@
+//! Figure 5: a multi-view interface where clicking a bar in Q3's chart
+//! binds the literal in Q1/Q2's ANY node.
+
+use pi2_core::{Event, InterfaceSession};
+use pi2_difftree::rules::canonicalize;
+use pi2_difftree::DiffForest;
+use pi2_interface::{map_forest, MapperConfig, VizInteraction};
+use pi2_sql::Literal;
+
+pub fn run() -> String {
+    let catalog = pi2_datasets::toy::default_catalog();
+    let queries = pi2_datasets::toy::fig5_queries();
+    let mut out = String::new();
+    out.push_str("== Figure 5: multi-view interface with click binding ==\n\n");
+    for (i, q) in queries.iter().enumerate() {
+        out.push_str(&format!("Q{}: {}\n", i + 1, q));
+    }
+
+    // Two clusters: {Q1, Q2} merged (they differ only in the literal),
+    // Q3 on its own.
+    let merged = DiffForest::fully_merged(&queries[..2]);
+    let single = DiffForest::singletons(&queries[2..]);
+    let mut forest = DiffForest { trees: vec![merged.trees[0].clone(), single.trees[0].clone()] };
+    for t in &mut forest.trees {
+        *t = canonicalize(t, Some(&catalog));
+    }
+
+    let candidates = map_forest(&forest, &catalog, &queries, &MapperConfig::default()).expect("mapper");
+    let iface = candidates
+        .into_iter()
+        .find(|i| {
+            i.charts
+                .iter()
+                .any(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. })))
+        })
+        .expect("click-bind candidate");
+
+    out.push_str(&format!("\ninterface: {} charts side by side\n", iface.charts.len()));
+    for c in &iface.charts {
+        out.push_str(&format!(
+            "  {}: {} ({:?}){}\n",
+            c.name,
+            c.title,
+            c.mark,
+            if c.interactions.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " — interactions: {}",
+                    c.interactions.iter().map(|i| i.kind_name()).collect::<Vec<_>>().join(", ")
+                )
+            }
+        ));
+    }
+
+    // Drive it: click the bar a=3 on the right chart; the left chart's
+    // query rebinds its literal.
+    let click_chart = iface
+        .charts
+        .iter()
+        .find(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. })))
+        .expect("click chart")
+        .id;
+    let mut session = InterfaceSession::new(catalog, forest, iface);
+    let before = session.query_for_chart(0).expect("query").to_string();
+    let updates =
+        session.dispatch(Event::Click { chart: click_chart, value: Literal::Int(3) }).expect("click");
+    out.push_str(&format!("\nclick on bar a=3 of {}:\n", format!("G{}", click_chart + 1)));
+    out.push_str(&format!("  left chart before: {before}\n"));
+    for u in &updates {
+        out.push_str(&format!("  updated G{}: {} ({} rows)\n", u.chart + 1, u.query, u.result.len()));
+    }
+    out
+}

@@ -1,0 +1,198 @@
+//! Figure 7 / §3.2: the COVID-19 use-case walkthrough, replayed end to end
+//! in the notebook substrate.
+//!
+//! * **Step 1** — Jane writes Q1 (overview), then Q2/Q2b (two half-month
+//!   detail windows); PI2 produces **V1**: overview G1 + detail G2 linked
+//!   by brushing.
+//! * **Step 2** — Q3 drills into per-state trends; **V2** keeps the linked
+//!   brushing and adds the per-state chart, brushed from the same G1.
+//! * **Step 3** — Q4/Q4b filter to above-region-average states in the
+//!   South/Northeast (joins + correlated subqueries); **V3** adds a toggle
+//!   for the correlated `state IN (…)` structure and buttons for the
+//!   region.
+
+use pi2_core::{Event, Pi2, SearchStrategy};
+use pi2_interface::{VizInteraction, WidgetKind};
+use pi2_mcts::MctsConfig;
+use pi2_notebook::Notebook;
+use pi2_sql::Date;
+
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("== Figure 7: COVID-19 walkthrough in the notebook ==\n\n");
+
+    let catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config::default());
+    let pi2 = Pi2::builder(catalog)
+        .strategy(SearchStrategy::Mcts(MctsConfig {
+            iterations: 80,
+            rollout_depth: 3,
+            seed: 7,
+            ..Default::default()
+        }))
+        .build();
+    let mut nb = Notebook::with_pi2(pi2);
+
+    let demo = pi2_datasets::covid::demo_queries();
+    let sql: Vec<String> = demo.iter().map(|q| q.to_string()).collect();
+
+    // ---- Step 1: overview + detail windows → V1 -------------------------
+    out.push_str("Step 1: overview and detailed look at the dataset\n");
+    for s in &sql[..3] {
+        let id = nb.add_cell(s.clone());
+        let rows = nb.run_cell(id).map(|r| r.len()).unwrap_or(0);
+        out.push_str(&format!("  In[{}]: {}…  → {} rows\n", id + 1, &s[..s.len().min(72)], rows));
+    }
+    let v1 = nb.generate_interface().expect("V1 generates");
+    out.push_str(&describe_version(&nb, v1));
+
+    // Brush over G1 to reconfigure the detail window.
+    let mut session = nb.open_session(v1).expect("session");
+    if let Some(brush_chart) = session
+        .interface()
+        .charts
+        .iter()
+        .find(|c| c.interactions.iter().any(|i| matches!(i, VizInteraction::BrushX { .. })))
+        .map(|c| c.id)
+    {
+        let lo = Date::parse("2021-12-20").expect("date").0 as f64;
+        let hi = Date::parse("2021-12-28").expect("date").0 as f64;
+        let updates = session
+            .dispatch(Event::Brush { chart: brush_chart, low: lo, high: hi })
+            .expect("brush dispatch");
+        out.push_str(&format!(
+            "  brushing G1 over 2021-12-20..2021-12-28 updates {} chart(s):\n",
+            updates.len()
+        ));
+        for u in &updates {
+            out.push_str(&format!("    G{} now shows: {} ({} rows)\n", u.chart + 1, u.query, u.result.len()));
+        }
+    }
+
+    // ---- Step 2: drill down to states → V2 --------------------------------
+    out.push_str("\nStep 2: drill down into state level\n");
+    let q3 = nb.add_cell(sql[3].clone());
+    let rows = nb.run_cell(q3).map(|r| r.len()).unwrap_or(0);
+    out.push_str(&format!("  In[{}]: {}…  → {} rows\n", q3 + 1, &sql[3][..sql[3].len().min(72)], rows));
+    let v2 = nb.generate_interface().expect("V2 generates");
+    out.push_str(&describe_version(&nb, v2));
+
+    // The brush should now drive multiple detail charts at once.
+    let mut session = nb.open_session(v2).expect("session");
+    if let Some(brush_chart) = session
+        .interface()
+        .charts
+        .iter()
+        .find(|c| !c.interactions.is_empty())
+        .map(|c| c.id)
+    {
+        let lo = Date::parse("2021-12-18").expect("date").0 as f64;
+        let hi = Date::parse("2021-12-26").expect("date").0 as f64;
+        if let Ok(updates) = session.dispatch(Event::Brush { chart: brush_chart, low: lo, high: hi }) {
+            out.push_str(&format!(
+                "  one brush on G1 reconfigures {} downstream chart(s) simultaneously\n",
+                updates.len()
+            ));
+        }
+    }
+
+    // ---- Step 3: focused region investigation → V3 ------------------------
+    out.push_str("\nStep 3: focused region investigation (South / Northeast)\n");
+    for s in &sql[4..6] {
+        let id = nb.add_cell(s.clone());
+        let rows = nb.run_cell(id).map(|r| r.len()).unwrap_or(0);
+        out.push_str(&format!("  In[{}]: {}…  → {} rows\n", id + 1, &s[..s.len().min(72)], rows));
+    }
+    let v3 = nb.generate_interface().expect("V3 generates");
+    out.push_str(&describe_version(&nb, v3));
+
+    // Drive V3's widgets: the region buttons and any structural toggle.
+    let mut session = nb.open_session(v3).expect("session");
+    let widgets = session.interface().widgets.clone();
+    for w in &widgets {
+        match &w.kind {
+            WidgetKind::ButtonGroup { options } | WidgetKind::Radio { options }
+                if options.iter().any(|o| o.contains("Northeast")) =>
+            {
+                let idx = options.iter().position(|o| o.contains("Northeast")).expect("option");
+                if let Ok(updates) = session
+                    .dispatch(Event::SetWidget { widget: w.id, value: pi2_core::WidgetValue::Pick(idx) })
+                {
+                    out.push_str(&format!(
+                        "  pressing [{}] switches the region: {} chart(s) update; first now: {}\n",
+                        options[idx],
+                        updates.len(),
+                        updates
+                            .first()
+                            .map(|u| format!("{} rows", u.result.len()))
+                            .unwrap_or_default()
+                    ));
+                }
+            }
+            WidgetKind::Toggle => {
+                if let Ok(updates) = session
+                    .dispatch(Event::SetWidget { widget: w.id, value: pi2_core::WidgetValue::Bool(false) })
+                {
+                    out.push_str(&format!(
+                        "  toggling off [{}] simplifies the query: {} chart(s) update\n",
+                        w.label.chars().take(48).collect::<String>(),
+                        updates.len()
+                    ));
+                }
+                let _ = session
+                    .dispatch(Event::SetWidget { widget: w.id, value: pi2_core::WidgetValue::Bool(true) });
+            }
+            _ => {}
+        }
+    }
+
+    // Version history (the side panel's tabs).
+    out.push_str("\nGenerated Interfaces panel:\n");
+    for v in nb.versions() {
+        out.push_str(&format!(
+            "  {}: {} charts, {} widgets, {} viz interactions — query log of {} archived\n",
+            v.label(),
+            v.generated.interface.charts.len(),
+            v.generated.interface.widgets.len(),
+            v.generated.interface.interaction_count(),
+            v.query_log.len(),
+        ));
+    }
+    out
+}
+
+fn describe_version(nb: &Notebook, number: usize) -> String {
+    let v = nb.version(number).expect("version exists");
+    let g = &v.generated;
+    let mut s = format!(
+        "  => {} generated in {}: {} tree(s), {} chart(s), cost {:.3}\n",
+        v.label(),
+        crate::fmt_duration(g.stats.elapsed),
+        g.forest.trees.len(),
+        g.interface.charts.len(),
+        g.cost.total,
+    );
+    for c in &g.interface.charts {
+        s.push_str(&format!(
+            "     {}: {} ({:?}){}\n",
+            c.name,
+            c.title,
+            c.mark,
+            if c.interactions.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " ⚡{}",
+                    c.interactions.iter().map(|i| i.kind_name()).collect::<Vec<_>>().join(",")
+                )
+            }
+        ));
+    }
+    for w in &g.interface.widgets {
+        s.push_str(&format!(
+            "     widget: {} ({})\n",
+            w.label.chars().take(56).collect::<String>(),
+            w.kind.kind_name()
+        ));
+    }
+    s
+}

@@ -1,0 +1,70 @@
+//! Search quality: interface cost vs. MCTS iteration budget, against the
+//! greedy hill-climbing ablation — the technical report's
+//! solution-quality-vs-budget curve.
+
+use crate::text_table;
+use pi2_core::InterfaceSearch;
+use pi2_cost::CostWeights;
+use pi2_interface::MapperConfig;
+use pi2_mcts::{greedy, mcts, MctsConfig, SearchProblem};
+
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("== Search quality: cost vs. iterations, MCTS vs greedy ==\n\n");
+
+    let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 600, seed: 2 });
+    let queries = pi2_datasets::sdss::exploration_queries();
+    let problem =
+        InterfaceSearch::new(&queries, &catalog, MapperConfig::default(), CostWeights::default());
+    let initial_cost = -problem.reward(&problem.initial());
+
+    let mut rows = Vec::new();
+    rows.push(vec!["initial".into(), "-".into(), "-".into(), format!("{initial_cost:.3}"), "-".into()]);
+
+    for iterations in [10, 25, 50, 100, 200] {
+        // Average over seeds: MCTS is stochastic.
+        let mut costs = Vec::new();
+        let mut found_at = Vec::new();
+        for seed in 0..3u64 {
+            let (_, stats) = mcts(
+                &problem,
+                // Rollouts deep enough to complete multi-merge chains
+                // (merging an n-query log needs n-1 consecutive merges).
+                &MctsConfig { iterations, rollout_depth: 8, seed, ..Default::default() },
+            );
+            costs.push(-stats.best_reward);
+            found_at.push(stats.best_at_iteration);
+        }
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        rows.push(vec![
+            "MCTS".into(),
+            iterations.to_string(),
+            format!("{:.0}", found_at.iter().sum::<usize>() as f64 / found_at.len() as f64),
+            format!("{mean:.3}"),
+            format!("{best:.3}"),
+        ]);
+    }
+
+    for budget in [25, 100, 400] {
+        let (_, stats) = greedy(&problem, budget);
+        rows.push(vec![
+            "greedy".into(),
+            budget.to_string(),
+            stats.iterations.to_string(),
+            format!("{:.3}", -stats.best_reward),
+            format!("{:.3}", -stats.best_reward),
+        ]);
+    }
+
+    out.push_str(&text_table(
+        &["searcher", "budget", "best found at", "mean cost", "best cost"],
+        &rows,
+    ));
+    out.push_str(
+        "\nShape check: cost decreases with budget; at a matched small budget MCTS is far \
+         ahead of greedy (one greedy step exhausts the budget evaluating every neighbor), \
+         and with generous budgets both converge near the same optimum.\n",
+    );
+    out
+}

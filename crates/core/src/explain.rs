@@ -1,0 +1,177 @@
+//! Human-readable explanations of a generation result: why each chart,
+//! widget, and interaction was chosen. The original demo communicates this
+//! visually; a library wants it as text (and it makes review of the
+//! generator's decisions scriptable).
+
+use crate::pipeline::GeneratedInterface;
+use pi2_difftree::{choices, Choice, ChoiceKind, NodeId};
+use pi2_interface::{Channel, VizInteraction};
+use std::fmt::Write as _;
+
+impl GeneratedInterface {
+    /// A multi-line explanation of the generated interface: the forest
+    /// partition, each chart's visualization rationale, and what every
+    /// widget and interaction binds to.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Generated from {} queries in {:?} (search: {}); total cost {:.3}.",
+            self.queries.len(),
+            self.stats.elapsed,
+            match &self.stats.search {
+                Some(s) => format!(
+                    "{} iterations, {} states costed, best at iteration {}",
+                    s.iterations, s.states_evaluated, s.best_at_iteration
+                ),
+                None => "none (full merge)".to_string(),
+            },
+            self.cost.total,
+        );
+
+        // The partition.
+        let _ = writeln!(out, "\nQuery partition ({} tree(s)):", self.forest.trees.len());
+        let per_tree_choices: Vec<Vec<Choice>> =
+            self.forest.trees.iter().map(choices).collect();
+        for (i, tree) in self.forest.trees.iter().enumerate() {
+            let covered: Vec<String> =
+                tree.source_queries.iter().map(|q| format!("Q{}", q + 1)).collect();
+            let _ = writeln!(
+                out,
+                "  tree {}: covers {} — {} nodes, {} choice node(s)",
+                i + 1,
+                covered.join(", "),
+                tree.root.size(),
+                tree.root.choice_count(),
+            );
+        }
+
+        // Charts.
+        let _ = writeln!(out, "\nCharts:");
+        for c in &self.interface.charts {
+            let x = c.encoding(Channel::X);
+            let reason = match (c.mark, x.map(|e| e.field_type)) {
+                (pi2_interface::Mark::Line, _) => "temporal x axis → line",
+                (pi2_interface::Mark::Bar, _) => "discrete x axis → bar",
+                (pi2_interface::Mark::Scatter, _) => "two quantitative axes → scatter",
+                (pi2_interface::Mark::Heatmap, _) => "two categorical axes + measure → heatmap",
+                (pi2_interface::Mark::Table, _) => "no chartable field pair → table",
+                (pi2_interface::Mark::Area, _) => "temporal x axis → area",
+            };
+            let encs: Vec<String> = c
+                .encodings
+                .iter()
+                .map(|e| format!("{:?}={} ({:?})", e.channel, e.field, e.field_type))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {} «{}» on tree {}: {:?} because {reason}; encodings: {}",
+                c.name,
+                c.title,
+                c.tree + 1,
+                c.mark,
+                encs.join(", "),
+            );
+            for i in &c.interactions {
+                let _ = writeln!(out, "      ⚡ {}", explain_interaction(i, &per_tree_choices));
+            }
+        }
+
+        // Widgets.
+        if !self.interface.widgets.is_empty() {
+            let _ = writeln!(out, "\nWidgets:");
+            for w in &self.interface.widgets {
+                let target_desc: Vec<String> = w
+                    .targets
+                    .iter()
+                    .map(|t| describe_choice(t.tree, t.node, &per_tree_choices))
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  [{}] «{}» drives {}",
+                    w.kind.kind_name(),
+                    w.label,
+                    target_desc.join(" and "),
+                );
+            }
+        }
+
+        let _ = writeln!(
+            out,
+            "\nCost breakdown: viz {:.2}, interaction {:.2}, layout {:.2}, views {:.2}, generalization {:+.2}.",
+            self.cost.viz, self.cost.interaction, self.cost.layout, self.cost.views, self.cost.generalization,
+        );
+        out
+    }
+}
+
+fn describe_choice(tree: usize, node: NodeId, per_tree: &[Vec<Choice>]) -> String {
+    let Some(choice) = per_tree.get(tree).and_then(|cs| cs.iter().find(|c| c.id == node)) else {
+        return format!("node {node} of tree {}", tree + 1);
+    };
+    let what = match &choice.kind {
+        ChoiceKind::Any { options } => format!("an ANY over [{}]", options.join(" | ")),
+        ChoiceKind::Opt { summary } => format!("an OPT around [{summary}]"),
+        ChoiceKind::Hole { domain, source_column } => format!(
+            "a hole over {domain:?}{}",
+            source_column
+                .as_ref()
+                .map(|c| format!(" constraining {c}"))
+                .unwrap_or_default()
+        ),
+    };
+    format!("{what} in the {:?} clause of tree {}", choice.context.clause, tree + 1)
+}
+
+fn explain_interaction(i: &VizInteraction, per_tree: &[Vec<Choice>]) -> String {
+    match i {
+        VizInteraction::BrushX { field, low, high } => format!(
+            "brushing {field} binds {} / {}",
+            describe_choice(low.tree, low.node, per_tree),
+            describe_choice(high.tree, high.node, per_tree),
+        ),
+        VizInteraction::PanZoom { x_field, y_field, .. } => format!(
+            "pan/zoom manipulates the {}{} range(s) of this chart's own query",
+            x_field.clone().unwrap_or_default(),
+            y_field.as_ref().map(|f| format!(" and {f}")).unwrap_or_default(),
+        ),
+        VizInteraction::ClickBind { field, target } => format!(
+            "clicking a {field} mark binds {}",
+            describe_choice(target.tree, target.node, per_tree),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pipeline::{Pi2, SearchStrategy};
+
+    #[test]
+    fn explains_generated_interface() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::FullMerge)
+            .build();
+        let g = pi2
+            .generate_sql(&[
+                "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+                "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+                "SELECT a, count(*) FROM t GROUP BY a",
+            ])
+            .unwrap();
+        let text = g.explain();
+        assert!(text.contains("Query partition"), "{text}");
+        assert!(text.contains("covers Q1, Q2, Q3"), "{text}");
+        assert!(text.contains("Widgets:"), "{text}");
+        assert!(text.contains("Cost breakdown"), "{text}");
+    }
+
+    #[test]
+    fn explains_viz_interactions() {
+        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 200, seed: 6 });
+        let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
+        let g = pi2.generate(&pi2_datasets::sdss::demo_queries()).unwrap();
+        let text = g.explain();
+        assert!(text.contains("pan/zoom"), "{text}");
+        assert!(text.contains("scatter"), "{text}");
+    }
+}

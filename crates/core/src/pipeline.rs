@@ -1,0 +1,281 @@
+//! The end-to-end generation pipeline and its public entry point.
+
+use crate::problem::InterfaceSearch;
+use pi2_cost::{choose_best, CostBreakdown, CostWeights};
+use pi2_difftree::DiffForest;
+use pi2_engine::Catalog;
+use pi2_interface::{map_forest, Interface, MapperConfig, ScreenSpec};
+use pi2_mcts::{greedy, mcts, MctsConfig, SearchStats};
+use pi2_sql::Query;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How to explore the space of DiffTree forests.
+#[derive(Debug, Clone)]
+pub enum SearchStrategy {
+    /// Full Monte-Carlo Tree Search (the paper's choice).
+    Mcts(MctsConfig),
+    /// Greedy hill climbing with an evaluation budget (ablation baseline).
+    Greedy {
+        /// Reward-evaluation budget.
+        max_evaluations: usize,
+    },
+    /// No search: merge everything into one tree, canonicalize, map. The
+    /// fast path used when the log is small and obviously coherent.
+    FullMerge,
+}
+
+impl Default for SearchStrategy {
+    fn default() -> Self {
+        SearchStrategy::Mcts(MctsConfig { iterations: 120, rollout_depth: 3, ..Default::default() })
+    }
+}
+
+/// Errors from the generation pipeline.
+#[derive(Debug, Clone)]
+pub enum Pi2Error {
+    /// The SQL text failed to parse.
+    Parse(String),
+    /// The query log is empty.
+    EmptyLog,
+    /// Interface mapping failed.
+    Map(String),
+    /// No candidate expresses every query.
+    NoExpressiveInterface,
+}
+
+impl fmt::Display for Pi2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pi2Error::Parse(m) => write!(f, "parse error: {m}"),
+            Pi2Error::EmptyLog => write!(f, "the query log is empty"),
+            Pi2Error::Map(m) => write!(f, "mapping failed: {m}"),
+            Pi2Error::NoExpressiveInterface => {
+                write!(f, "no candidate interface expresses every query in the log")
+            }
+        }
+    }
+}
+impl std::error::Error for Pi2Error {}
+
+/// Statistics from one generation run.
+#[derive(Debug, Clone)]
+pub struct GenerationStats {
+    /// Elapsed.
+    pub elapsed: Duration,
+    /// Candidates considered.
+    pub candidates_considered: usize,
+    /// Search.
+    pub search: Option<SearchStats>,
+}
+
+/// The result of a generation: the chosen interface, the DiffTree forest
+/// behind it, the cost breakdown, and a snapshot of the input queries
+/// (the paper: "we take a snapshot of the queries used to generate a new
+/// interface ... to adapt to edits and ensure reproducibility").
+#[derive(Debug, Clone)]
+pub struct GeneratedInterface {
+    /// The input query log.
+    pub queries: Vec<Query>,
+    /// The DiffTree forest behind the interface.
+    pub forest: DiffForest,
+    /// The produced interface.
+    pub interface: Interface,
+    /// Cost breakdown of the chosen interface.
+    pub cost: CostBreakdown,
+    /// Generation statistics.
+    pub stats: GenerationStats,
+}
+
+/// Builder for [`Pi2`].
+pub struct Pi2Builder {
+    catalog: Catalog,
+    screen: ScreenSpec,
+    weights: CostWeights,
+    strategy: SearchStrategy,
+}
+
+impl Pi2Builder {
+    /// The screen available to the generated interface (paper: "PI2 takes
+    /// the available screen size into account").
+    pub fn screen(mut self, screen: ScreenSpec) -> Self {
+        self.screen = screen;
+        self
+    }
+
+    /// Override cost weights.
+    pub fn weights(mut self, weights: CostWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Override the search strategy.
+    pub fn strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Build.
+    pub fn build(self) -> Pi2 {
+        Pi2 { catalog: self.catalog, screen: self.screen, weights: self.weights, strategy: self.strategy }
+    }
+}
+
+/// The PI2 interface generator.
+pub struct Pi2 {
+    catalog: Catalog,
+    screen: ScreenSpec,
+    weights: CostWeights,
+    strategy: SearchStrategy,
+}
+
+impl Pi2 {
+    /// Start building a generator over `catalog`.
+    pub fn builder(catalog: Catalog) -> Pi2Builder {
+        Pi2Builder {
+            catalog,
+            screen: ScreenSpec::default(),
+            weights: CostWeights::default(),
+            strategy: SearchStrategy::default(),
+        }
+    }
+
+    /// The catalog this generator executes against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Generate an interface from SQL text.
+    pub fn generate_sql(&self, sql: &[&str]) -> Result<GeneratedInterface, Pi2Error> {
+        let queries: Vec<Query> = sql
+            .iter()
+            .map(|s| pi2_sql::parse_query(s).map_err(|e| Pi2Error::Parse(e.to_string())))
+            .collect::<Result<_, _>>()?;
+        self.generate(&queries)
+    }
+
+    /// Generate an interface from a parsed query log.
+    pub fn generate(&self, queries: &[Query]) -> Result<GeneratedInterface, Pi2Error> {
+        if queries.is_empty() {
+            return Err(Pi2Error::EmptyLog);
+        }
+        let start = Instant::now();
+        let mapper_cfg = MapperConfig { screen: self.screen, enumerate_variants: true };
+        let search =
+            InterfaceSearch::new(queries, &self.catalog, mapper_cfg.clone(), self.weights.clone());
+
+        let (mut forest, search_stats) = match &self.strategy {
+            SearchStrategy::Mcts(cfg) => {
+                let (f, s) = mcts(&search, cfg);
+                (f, Some(s))
+            }
+            SearchStrategy::Greedy { max_evaluations } => {
+                let (f, s) = greedy(&search, *max_evaluations);
+                (f, Some(s))
+            }
+            SearchStrategy::FullMerge => {
+                (search.canonicalized(DiffForest::fully_merged(queries)), None)
+            }
+        };
+
+        // Stable display order: trees sorted by their earliest source query,
+        // so G1 is always the earliest selected cell (merges shuffle order).
+        forest.trees.sort_by_key(|t| t.source_queries.iter().min().copied().unwrap_or(usize::MAX));
+
+        let candidates = map_forest(&forest, &self.catalog, queries, &mapper_cfg)
+            .map_err(|e| Pi2Error::Map(e.to_string()))?;
+        let candidates_considered = candidates.len();
+        let (best_idx, cost) =
+            choose_best(&candidates, &forest, queries, &self.catalog, &self.weights)
+                .ok_or(Pi2Error::NoExpressiveInterface)?;
+        if !cost.expressive {
+            return Err(Pi2Error::NoExpressiveInterface);
+        }
+        let interface = candidates.into_iter().nth(best_idx).expect("index from enumerate");
+
+        Ok(GeneratedInterface {
+            queries: queries.to_vec(),
+            forest,
+            interface,
+            cost,
+            stats: GenerationStats {
+                elapsed: start.elapsed(),
+                candidates_considered,
+                search: search_stats,
+            },
+        })
+    }
+
+    /// Open an interactive session over a generated interface.
+    pub fn session(&self, generated: &GeneratedInterface) -> crate::session::InterfaceSession {
+        crate::session::InterfaceSession::new_with_log(
+            self.catalog.clone(),
+            generated.forest.clone(),
+            generated.interface.clone(),
+            &generated.queries,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_for_single_query() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog()).build();
+        let g = pi2.generate_sql(&["SELECT a, count(*) FROM t GROUP BY a"]).unwrap();
+        assert_eq!(g.interface.charts.len(), 1);
+        assert!(g.cost.expressive);
+        assert!(g.stats.elapsed.as_secs() < 60);
+    }
+
+    #[test]
+    fn empty_log_is_error() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog()).build();
+        assert!(matches!(pi2.generate(&[]), Err(Pi2Error::EmptyLog)));
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog()).build();
+        assert!(matches!(pi2.generate_sql(&["NOT SQL AT ALL"]), Err(Pi2Error::Parse(_))));
+    }
+
+    #[test]
+    fn full_merge_strategy_handles_fig3() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::FullMerge)
+            .build();
+        let g = pi2
+            .generate_sql(&[
+                "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+                "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+            ])
+            .unwrap();
+        assert_eq!(g.forest.trees.len(), 1);
+        // The literal variation becomes an interactive control (widget or
+        // chart interaction).
+        let controls = g.interface.widgets.len() + g.interface.interaction_count();
+        assert!(controls >= 1);
+        // The snapshot preserves the input queries.
+        assert_eq!(g.queries.len(), 2);
+    }
+
+    #[test]
+    fn mcts_strategy_generates_expressive_interface() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::Mcts(MctsConfig {
+                iterations: 30,
+                rollout_depth: 2,
+                seed: 5,
+                ..Default::default()
+            }))
+            .build();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let g = pi2.generate(&queries).unwrap();
+        assert!(g.cost.expressive);
+        assert!(g.forest.expresses_all(&queries));
+        assert!(g.stats.search.is_some());
+    }
+}

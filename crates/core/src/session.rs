@@ -1,0 +1,809 @@
+//! The interactive session runtime.
+//!
+//! This is the reproduction's stand-in for the browser: an event-driven
+//! loop in which every widget or visualization gesture updates choice-node
+//! bindings, re-instantiates SQL from the DiffTrees, re-executes it, and
+//! returns fresh chart data. The full interactivity loop of the paper —
+//! *"the user can simply drag and scroll on the visualization to
+//! manipulate the ra and dec ranges and receive immediate visual
+//! feedback"* — is exercised headlessly through [`InterfaceSession::dispatch`].
+
+use pi2_difftree::{Binding, Bindings, DiffForest, Domain, NodeKind};
+use pi2_engine::{Catalog, ResultSet};
+use pi2_interface::{ChartId, Interface, Target, VizInteraction, WidgetId, WidgetKind};
+use pi2_sql::{Date, Literal, Query};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A value delivered by a widget event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WidgetValue {
+    /// Option index for radio / button group / dropdown / tabs.
+    Pick(usize),
+    /// Toggle state.
+    Bool(bool),
+    /// Slider position (dates use day numbers).
+    Scalar(f64),
+    /// Range-slider positions.
+    Range(f64, f64),
+    /// Free-form literal (text input).
+    Literal(Literal),
+    /// Per-option inclusion flags for a multi-select.
+    Multi(Vec<bool>),
+}
+
+/// An interface event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Operate a widget.
+    SetWidget {
+        /// The widget the event addresses.
+        widget: WidgetId,
+        /// The event's value.
+        value: WidgetValue,
+    },
+    /// Brush a range along a chart's x axis (dates as day numbers).
+    Brush {
+        /// The chart the event addresses.
+        chart: ChartId,
+        /// Lower bound (inclusive).
+        low: f64,
+        /// Upper bound (inclusive).
+        high: f64,
+    },
+    /// Pan a chart by (dx, dy) in data units.
+    Pan {
+        /// The chart the event addresses.
+        chart: ChartId,
+        /// Horizontal pan distance in data units.
+        dx: f64,
+        /// Vertical pan distance in data units.
+        dy: f64,
+    },
+    /// Zoom a chart by a factor around the current view center
+    /// (`factor < 1` zooms in, `> 1` zooms out).
+    Zoom {
+        /// The chart the event addresses.
+        chart: ChartId,
+        /// Zoom factor (<1 zooms in).
+        factor: f64,
+    },
+    /// Click a mark on a chart; `value` is the clicked x value.
+    Click {
+        /// The chart the event addresses.
+        chart: ChartId,
+        /// The event's value.
+        value: Literal,
+    },
+}
+
+/// Session errors.
+#[derive(Debug, Clone)]
+pub enum SessionError {
+    /// No widget with that id.
+    UnknownWidget(WidgetId),
+    /// No chart with that id.
+    UnknownChart(ChartId),
+    /// The chart has no interaction that can consume the event.
+    NoInteraction(ChartId, &'static str),
+    /// The widget got a value of the wrong shape.
+    WrongValue(String),
+    /// The value falls outside the choice node's domain.
+    OutOfDomain(String),
+    /// Internal: lowering or execution failed.
+    Internal(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::UnknownWidget(w) => write!(f, "unknown widget {w}"),
+            SessionError::UnknownChart(c) => write!(f, "unknown chart {c}"),
+            SessionError::NoInteraction(c, kind) => {
+                write!(f, "chart {c} has no {kind} interaction")
+            }
+            SessionError::WrongValue(m) => write!(f, "wrong value: {m}"),
+            SessionError::OutOfDomain(m) => write!(f, "out of domain: {m}"),
+            SessionError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+impl std::error::Error for SessionError {}
+
+/// The live display state of one widget (see
+/// [`InterfaceSession::widget_states`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WidgetState {
+    /// Selected option index (radio / button group / dropdown / tabs, and
+    /// discrete-domain holes).
+    Picked(usize),
+    /// Toggle position.
+    Toggled(bool),
+    /// Current value of a single-value hole.
+    Value(Literal),
+    /// Current (low, high) of a range pair.
+    Range(Literal, Literal),
+    /// Per-option inclusion flags of a multi-select.
+    Flags(Vec<bool>),
+    /// State could not be determined.
+    Unknown,
+}
+
+/// Fresh data for one chart after an event.
+#[derive(Debug, Clone)]
+pub struct ChartUpdate {
+    /// The chart the event addresses.
+    pub chart: ChartId,
+    /// The SQL the chart now shows (also displayed in the demo's query
+    /// panel).
+    pub query: Query,
+    /// Result.
+    pub result: ResultSet,
+}
+
+/// A live interface: catalog + forest + interface + current bindings.
+pub struct InterfaceSession {
+    catalog: Catalog,
+    forest: DiffForest,
+    interface: Interface,
+    /// Current bindings, per tree.
+    bindings: Vec<Bindings>,
+    /// Event log (for tests, demos, and the notebook's provenance panel).
+    history: Vec<Event>,
+}
+
+impl InterfaceSession {
+    /// A session whose trees start at their structural defaults.
+    pub fn new(catalog: Catalog, forest: DiffForest, interface: Interface) -> Self {
+        let bindings = vec![Bindings::new(); forest.trees.len()];
+        Self { catalog, forest, interface, bindings, history: Vec::new() }
+    }
+
+    /// A session whose trees start at the witness bindings of their first
+    /// source query in `log` — guaranteeing the initial view shows real
+    /// queries even for merges of structurally different queries.
+    pub fn new_with_log(
+        catalog: Catalog,
+        forest: DiffForest,
+        interface: Interface,
+        log: &[pi2_sql::Query],
+    ) -> Self {
+        let bindings =
+            forest.trees.iter().map(|t| pi2_difftree::default_bindings(t, log)).collect();
+        Self { catalog, forest, interface, bindings, history: Vec::new() }
+    }
+
+    /// The interface being driven.
+    pub fn interface(&self) -> &Interface {
+        &self.interface
+    }
+
+    /// The dispatched-event log.
+    pub fn history(&self) -> &[Event] {
+        &self.history
+    }
+
+    /// Current bindings for tree `t`.
+    pub fn bindings(&self, t: usize) -> Option<&Bindings> {
+        self.bindings.get(t)
+    }
+
+    /// The current display state of every widget: (widget id, state), in
+    /// interface order. Used by renderers to show live widget positions.
+    pub fn widget_states(&self) -> Vec<(WidgetId, WidgetState)> {
+        self.interface
+            .widgets
+            .iter()
+            .map(|w| {
+                let state = self.widget_state(w).unwrap_or(WidgetState::Unknown);
+                (w.id, state)
+            })
+            .collect()
+    }
+
+    fn widget_state(&self, w: &pi2_interface::Widget) -> Result<WidgetState, SessionError> {
+        if let WidgetKind::MultiSelect { .. } = &w.kind {
+            let mut flags = Vec::with_capacity(w.targets.len());
+            for t in &w.targets {
+                let on = match self.bindings[t.tree].get(t.node) {
+                    Some(Binding::Include(b)) => *b,
+                    _ => true,
+                };
+                flags.push(on);
+            }
+            return Ok(WidgetState::Flags(flags));
+        }
+        let target = *w.targets.first().ok_or_else(|| {
+            SessionError::Internal(format!("widget {} has no target", w.id))
+        })?;
+        match self.node_kind(target)? {
+            NodeKind::Any => {
+                let pick = match self.bindings[target.tree].get(target.node) {
+                    Some(Binding::Pick(i)) => *i,
+                    _ => 0,
+                };
+                Ok(WidgetState::Picked(pick))
+            }
+            NodeKind::Opt => {
+                let on = match self.bindings[target.tree].get(target.node) {
+                    Some(Binding::Include(b)) => *b,
+                    _ => true,
+                };
+                Ok(WidgetState::Toggled(on))
+            }
+            NodeKind::Hole { domain, default, .. } => {
+                let value = match self.bindings[target.tree].get(target.node) {
+                    Some(Binding::Value(l)) => l.clone(),
+                    _ => default,
+                };
+                // A discrete-domain widget (radio/dropdown over a hole)
+                // reports the picked index; continuous ones the value(s).
+                if let Domain::Discrete(items) = &domain {
+                    if !matches!(w.kind, WidgetKind::Slider { .. } | WidgetKind::RangeSlider { .. }) {
+                        let idx = items.iter().position(|l| *l == value).unwrap_or(0);
+                        return Ok(WidgetState::Picked(idx));
+                    }
+                }
+                if w.targets.len() == 2 {
+                    let hi_target = w.targets[1];
+                    let hi = match self.bindings[hi_target.tree].get(hi_target.node) {
+                        Some(Binding::Value(l)) => l.clone(),
+                        _ => match self.node_kind(hi_target)? {
+                            NodeKind::Hole { default, .. } => default,
+                            _ => value.clone(),
+                        },
+                    };
+                    Ok(WidgetState::Range(value, hi))
+                } else {
+                    Ok(WidgetState::Value(value))
+                }
+            }
+            other => Err(SessionError::Internal(format!("widget target is {other:?}"))),
+        }
+    }
+
+    /// The SQL query a chart currently shows.
+    pub fn query_for_chart(&self, chart: ChartId) -> Result<Query, SessionError> {
+        let c = self
+            .interface
+            .charts
+            .iter()
+            .find(|c| c.id == chart)
+            .ok_or(SessionError::UnknownChart(chart))?;
+        pi2_difftree::lower_query(&self.forest.trees[c.tree], &self.bindings[c.tree])
+            .map_err(|e| SessionError::Internal(e.to_string()))
+    }
+
+    /// Execute and return every chart's current data.
+    pub fn refresh_all(&self) -> Result<Vec<ChartUpdate>, SessionError> {
+        self.updates_for(self.interface.charts.iter().map(|c| c.id).collect())
+    }
+
+    /// Dispatch one event; returns updates for every chart whose underlying
+    /// query changed.
+    pub fn dispatch(&mut self, event: Event) -> Result<Vec<ChartUpdate>, SessionError> {
+        let changed_trees = match &event {
+            Event::SetWidget { widget, value } => self.apply_widget(*widget, value)?,
+            Event::Brush { chart, low, high } => self.apply_brush(*chart, *low, *high)?,
+            Event::Pan { chart, dx, dy } => self.apply_panzoom(*chart, Gesture::Pan(*dx, *dy))?,
+            Event::Zoom { chart, factor } => self.apply_panzoom(*chart, Gesture::Zoom(*factor))?,
+            Event::Click { chart, value } => self.apply_click(*chart, value)?,
+        };
+        self.history.push(event);
+        let charts: Vec<ChartId> = self
+            .interface
+            .charts
+            .iter()
+            .filter(|c| changed_trees.contains(&c.tree))
+            .map(|c| c.id)
+            .collect();
+        self.updates_for(charts)
+    }
+
+    fn updates_for(&self, charts: Vec<ChartId>) -> Result<Vec<ChartUpdate>, SessionError> {
+        charts
+            .into_iter()
+            .map(|id| {
+                let query = self.query_for_chart(id)?;
+                let result =
+                    self.catalog.execute(&query).map_err(|e| SessionError::Internal(e.to_string()))?;
+                Ok(ChartUpdate { chart: id, query, result })
+            })
+            .collect()
+    }
+
+    // ---- binding helpers ----------------------------------------------------
+
+    fn node_kind(&self, t: Target) -> Result<NodeKind, SessionError> {
+        self.forest
+            .trees
+            .get(t.tree)
+            .and_then(|tree| tree.root.find(t.node))
+            .map(|n| n.kind.clone())
+            .ok_or_else(|| SessionError::Internal(format!("no node {t:?}")))
+    }
+
+    /// The current f64 view of a hole's value (bindings or default).
+    fn hole_value_f64(&self, t: Target) -> Result<f64, SessionError> {
+        let lit = match self.bindings[t.tree].get(t.node) {
+            Some(Binding::Value(l)) => l.clone(),
+            _ => match self.node_kind(t)? {
+                NodeKind::Hole { default, .. } => default,
+                other => {
+                    return Err(SessionError::Internal(format!("target {t:?} is {other:?}, not a hole")))
+                }
+            },
+        };
+        literal_to_f64(&lit)
+            .ok_or_else(|| SessionError::WrongValue(format!("{lit} is not numeric")))
+    }
+
+    fn bind_hole_f64(&mut self, t: Target, v: f64) -> Result<(), SessionError> {
+        let NodeKind::Hole { domain, .. } = self.node_kind(t)? else {
+            return Err(SessionError::Internal(format!("target {t:?} is not a hole")));
+        };
+        let lit = literal_from_f64_clamped(&domain, v).ok_or_else(|| {
+            SessionError::OutOfDomain(format!("cannot place {v} into {domain:?}"))
+        })?;
+        self.bindings[t.tree].set(t.node, Binding::Value(lit));
+        Ok(())
+    }
+
+    // ---- event application ----------------------------------------------------
+
+    fn apply_widget(&mut self, id: WidgetId, value: &WidgetValue) -> Result<BTreeSet<usize>, SessionError> {
+        let widget = self
+            .interface
+            .widgets
+            .iter()
+            .find(|w| w.id == id)
+            .ok_or(SessionError::UnknownWidget(id))?
+            .clone();
+        let mut changed = BTreeSet::new();
+        match (&widget.kind, value) {
+            (
+                WidgetKind::Radio { options }
+                | WidgetKind::ButtonGroup { options }
+                | WidgetKind::Dropdown { options }
+                | WidgetKind::Tabs { options },
+                WidgetValue::Pick(i),
+            ) => {
+                if *i >= options.len() {
+                    return Err(SessionError::WrongValue(format!(
+                        "pick {i} out of {} options",
+                        options.len()
+                    )));
+                }
+                let target = widget.targets[0];
+                match self.node_kind(target)? {
+                    NodeKind::Any => {
+                        self.bindings[target.tree].set(target.node, Binding::Pick(*i));
+                    }
+                    NodeKind::Hole { domain: Domain::Discrete(items), .. } => {
+                        let lit = items.get(*i).ok_or_else(|| {
+                            SessionError::WrongValue(format!("pick {i} outside domain"))
+                        })?;
+                        self.bindings[target.tree].set(target.node, Binding::Value(lit.clone()));
+                    }
+                    other => {
+                        return Err(SessionError::Internal(format!(
+                            "discrete widget bound to {other:?}"
+                        )))
+                    }
+                }
+                changed.insert(target.tree);
+            }
+            (WidgetKind::Toggle, WidgetValue::Bool(b)) => {
+                let target = widget.targets[0];
+                self.bindings[target.tree].set(target.node, Binding::Include(*b));
+                changed.insert(target.tree);
+            }
+            (WidgetKind::Slider { .. }, WidgetValue::Scalar(v)) => {
+                let target = widget.targets[0];
+                self.bind_hole_f64(target, *v)?;
+                changed.insert(target.tree);
+            }
+            (WidgetKind::RangeSlider { .. }, WidgetValue::Range(lo, hi)) => {
+                let (lo, hi) = if lo <= hi { (*lo, *hi) } else { (*hi, *lo) };
+                let (tl, th) = (widget.targets[0], widget.targets[1]);
+                self.bind_hole_f64(tl, lo)?;
+                self.bind_hole_f64(th, hi)?;
+                changed.insert(tl.tree);
+                changed.insert(th.tree);
+            }
+            (WidgetKind::MultiSelect { options }, WidgetValue::Multi(flags)) => {
+                if flags.len() != options.len() || flags.len() != widget.targets.len() {
+                    return Err(SessionError::WrongValue(format!(
+                        "multi-select expects {} flags, got {}",
+                        options.len(),
+                        flags.len()
+                    )));
+                }
+                for (t, flag) in widget.targets.iter().zip(flags) {
+                    self.bindings[t.tree].set(t.node, Binding::Include(*flag));
+                    changed.insert(t.tree);
+                }
+            }
+            (WidgetKind::TextInput, WidgetValue::Literal(l)) => {
+                let target = widget.targets[0];
+                let NodeKind::Hole { domain, .. } = self.node_kind(target)? else {
+                    return Err(SessionError::Internal("text input without hole".into()));
+                };
+                if !domain.contains(l) {
+                    return Err(SessionError::OutOfDomain(format!("{l} not in {domain:?}")));
+                }
+                self.bindings[target.tree].set(target.node, Binding::Value(l.clone()));
+                changed.insert(target.tree);
+            }
+            (kind, v) => {
+                return Err(SessionError::WrongValue(format!(
+                    "widget {} cannot take {v:?}",
+                    kind.kind_name()
+                )))
+            }
+        }
+        Ok(changed)
+    }
+
+    fn apply_brush(&mut self, chart: ChartId, low: f64, high: f64) -> Result<BTreeSet<usize>, SessionError> {
+        let c = self
+            .interface
+            .charts
+            .iter()
+            .find(|c| c.id == chart)
+            .ok_or(SessionError::UnknownChart(chart))?;
+        let brushes: Vec<(Target, Target)> = c
+            .interactions
+            .iter()
+            .filter_map(|i| match i {
+                VizInteraction::BrushX { low, high, .. } => Some((*low, *high)),
+                _ => None,
+            })
+            .collect();
+        if brushes.is_empty() {
+            return Err(SessionError::NoInteraction(chart, "brush"));
+        }
+        let (lo, hi) = if low <= high { (low, high) } else { (high, low) };
+        let mut changed = BTreeSet::new();
+        for (tl, th) in brushes {
+            self.bind_hole_f64(tl, lo)?;
+            self.bind_hole_f64(th, hi)?;
+            changed.insert(tl.tree);
+            changed.insert(th.tree);
+        }
+        Ok(changed)
+    }
+
+    fn apply_click(&mut self, chart: ChartId, value: &Literal) -> Result<BTreeSet<usize>, SessionError> {
+        let c = self
+            .interface
+            .charts
+            .iter()
+            .find(|c| c.id == chart)
+            .ok_or(SessionError::UnknownChart(chart))?;
+        let targets: Vec<Target> = c
+            .interactions
+            .iter()
+            .filter_map(|i| match i {
+                VizInteraction::ClickBind { target, .. } => Some(*target),
+                _ => None,
+            })
+            .collect();
+        if targets.is_empty() {
+            return Err(SessionError::NoInteraction(chart, "click"));
+        }
+        let mut changed = BTreeSet::new();
+        for t in targets {
+            let NodeKind::Hole { domain, .. } = self.node_kind(t)? else {
+                return Err(SessionError::Internal("click target is not a hole".into()));
+            };
+            if !domain.contains(value) {
+                return Err(SessionError::OutOfDomain(format!("{value} not in {domain:?}")));
+            }
+            self.bindings[t.tree].set(t.node, Binding::Value(value.clone()));
+            changed.insert(t.tree);
+        }
+        Ok(changed)
+    }
+
+    fn apply_panzoom(&mut self, chart: ChartId, gesture: Gesture) -> Result<BTreeSet<usize>, SessionError> {
+        let c = self
+            .interface
+            .charts
+            .iter()
+            .find(|c| c.id == chart)
+            .ok_or(SessionError::UnknownChart(chart))?;
+        let pz: Vec<(Option<(Target, Target)>, Option<(Target, Target)>)> = c
+            .interactions
+            .iter()
+            .filter_map(|i| match i {
+                VizInteraction::PanZoom { x, y, .. } => Some((*x, *y)),
+                _ => None,
+            })
+            .collect();
+        if pz.is_empty() {
+            return Err(SessionError::NoInteraction(chart, "pan-zoom"));
+        }
+        let mut changed = BTreeSet::new();
+        for (x, y) in pz {
+            for (axis_pair, delta) in [(x, gesture.dx()), (y, gesture.dy())] {
+                let Some((tl, th)) = axis_pair else { continue };
+                let lo = self.hole_value_f64(tl)?;
+                let hi = self.hole_value_f64(th)?;
+                let (new_lo, new_hi) = match gesture {
+                    Gesture::Pan(..) => (lo + delta, hi + delta),
+                    Gesture::Zoom(factor) => {
+                        let center = (lo + hi) / 2.0;
+                        let half = (hi - lo) / 2.0 * factor;
+                        (center - half, center + half)
+                    }
+                };
+                // Clamp into the hole's domain, preserving the window width
+                // under pan where possible.
+                let NodeKind::Hole { domain, .. } = self.node_kind(tl)? else {
+                    return Err(SessionError::Internal("pan target is not a hole".into()));
+                };
+                let (new_lo, new_hi) = clamp_window(&domain, new_lo, new_hi, matches!(gesture, Gesture::Pan(..)));
+                self.bind_hole_f64(tl, new_lo)?;
+                self.bind_hole_f64(th, new_hi)?;
+                changed.insert(tl.tree);
+                changed.insert(th.tree);
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Gesture {
+    Pan(f64, f64),
+    Zoom(f64),
+}
+
+impl Gesture {
+    fn dx(self) -> f64 {
+        match self {
+            Gesture::Pan(dx, _) => dx,
+            Gesture::Zoom(_) => 0.0,
+        }
+    }
+    fn dy(self) -> f64 {
+        match self {
+            Gesture::Pan(_, dy) => dy,
+            Gesture::Zoom(_) => 0.0,
+        }
+    }
+}
+
+/// Domain bounds as f64, for continuous domains.
+fn domain_bounds(domain: &Domain) -> Option<(f64, f64)> {
+    match domain {
+        Domain::IntRange { min, max } => Some((*min as f64, *max as f64)),
+        Domain::FloatRange { min, max } => Some((min.0, max.0)),
+        Domain::DateRange { min, max } => Some((min.0 as f64, max.0 as f64)),
+        Domain::Discrete(_) => None,
+    }
+}
+
+/// Clamp a (lo, hi) window into the domain; when `preserve_width`, slide
+/// the whole window instead of shrinking it.
+fn clamp_window(domain: &Domain, lo: f64, hi: f64, preserve_width: bool) -> (f64, f64) {
+    let Some((dmin, dmax)) = domain_bounds(domain) else { return (lo, hi) };
+    let width = (hi - lo).min(dmax - dmin);
+    if preserve_width {
+        let mut lo = lo;
+        if lo < dmin {
+            lo = dmin;
+        }
+        if lo + width > dmax {
+            lo = dmax - width;
+        }
+        (lo, lo + width)
+    } else {
+        (lo.max(dmin), hi.min(dmax))
+    }
+}
+
+fn literal_to_f64(l: &Literal) -> Option<f64> {
+    match l {
+        Literal::Int(v) => Some(*v as f64),
+        Literal::Float(f) => Some(f.0),
+        Literal::Date(d) => Some(d.0 as f64),
+        _ => None,
+    }
+}
+
+/// Convert an f64 back into a literal of the domain's type, clamped into
+/// the domain.
+fn literal_from_f64_clamped(domain: &Domain, v: f64) -> Option<Literal> {
+    match domain {
+        Domain::IntRange { min, max } => {
+            Some(Literal::Int((v.round() as i64).clamp(*min, *max)))
+        }
+        Domain::FloatRange { min, max } => Some(Literal::Float(pi2_sql::F64(v.clamp(min.0, max.0)))),
+        Domain::DateRange { min, max } => {
+            Some(Literal::Date(Date((v.round() as i32).clamp(min.0, max.0))))
+        }
+        Domain::Discrete(items) => {
+            // Nearest numeric item, if the domain is numeric.
+            items
+                .iter()
+                .filter_map(|l| literal_to_f64(l).map(|f| (l, f)))
+                .min_by(|a, b| (a.1 - v).abs().total_cmp(&(b.1 - v).abs()))
+                .map(|(l, _)| l.clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pi2, SearchStrategy};
+
+    fn sdss_session() -> (Pi2, crate::pipeline::GeneratedInterface) {
+        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 400, seed: 3 });
+        let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
+        let queries: Vec<String> =
+            pi2_datasets::sdss::demo_queries().iter().map(|q| q.to_string()).collect();
+        let refs: Vec<&str> = queries.iter().map(|s| s.as_str()).collect();
+        let g = pi2.generate_sql(&refs).unwrap();
+        (pi2, g)
+    }
+
+    #[test]
+    fn panzoom_updates_region_query() {
+        let (pi2, g) = sdss_session();
+        let mut s = pi2.session(&g);
+        let before = s.query_for_chart(0).unwrap().to_string();
+        let updates = s.dispatch(Event::Pan { chart: 0, dx: 1.0, dy: 0.5 }).unwrap();
+        assert_eq!(updates.len(), 1);
+        let after = updates[0].query.to_string();
+        assert_ne!(before, after, "pan did not change the query");
+        // Zoom out widens the window.
+        let u2 = s.dispatch(Event::Zoom { chart: 0, factor: 2.0 }).unwrap();
+        assert_ne!(u2[0].query.to_string(), after);
+    }
+
+    #[test]
+    fn pan_clamps_to_domain() {
+        let (pi2, g) = sdss_session();
+        let mut s = pi2.session(&g);
+        // A huge pan must clamp, not error, and still produce a valid query.
+        let updates = s.dispatch(Event::Pan { chart: 0, dx: 1e9, dy: -1e9 }).unwrap();
+        assert_eq!(updates.len(), 1);
+    }
+
+    #[test]
+    fn history_records_events() {
+        let (pi2, g) = sdss_session();
+        let mut s = pi2.session(&g);
+        s.dispatch(Event::Pan { chart: 0, dx: 0.1, dy: 0.0 }).unwrap();
+        s.dispatch(Event::Zoom { chart: 0, factor: 0.5 }).unwrap();
+        assert_eq!(s.history().len(), 2);
+    }
+
+    #[test]
+    fn toggle_and_buttons_drive_fig4_interface() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::FullMerge)
+            .build();
+        let g = pi2
+            .generate_sql(&[
+                "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+                "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+                "SELECT a, count(*) FROM t GROUP BY a",
+            ])
+            .unwrap();
+        let mut s = pi2.session(&g);
+        // Find a toggle; switch it off — the WHERE clause disappears.
+        let toggle = g
+            .interface
+            .widgets
+            .iter()
+            .find(|w| matches!(w.kind, WidgetKind::Toggle))
+            .expect("toggle widget")
+            .id;
+        let updates =
+            s.dispatch(Event::SetWidget { widget: toggle, value: WidgetValue::Bool(false) }).unwrap();
+        assert!(!updates.is_empty());
+        assert!(
+            !updates[0].query.to_string().contains("WHERE"),
+            "toggle off should drop the filter: {}",
+            updates[0].query
+        );
+        let updates =
+            s.dispatch(Event::SetWidget { widget: toggle, value: WidgetValue::Bool(true) }).unwrap();
+        assert!(updates[0].query.to_string().contains("WHERE"));
+    }
+
+    #[test]
+    fn wrong_widget_value_is_error() {
+        let (pi2, g) = sdss_session();
+        let mut s = pi2.session(&g);
+        if let Some(w) = g.interface.widgets.first() {
+            let r = s.dispatch(Event::SetWidget { widget: w.id, value: WidgetValue::Bool(true) });
+            // SDSS interface has sliders in the widget variant or none at all.
+            let _ = r;
+        }
+        assert!(matches!(
+            s.dispatch(Event::Brush { chart: 999, low: 0.0, high: 1.0 }),
+            Err(SessionError::UnknownChart(999))
+        ));
+        assert!(matches!(
+            s.dispatch(Event::SetWidget { widget: 999, value: WidgetValue::Bool(true) }),
+            Err(SessionError::UnknownWidget(999))
+        ));
+    }
+
+    #[test]
+    fn click_binding_roundtrip() {
+        // Build the Figure 5 scenario by hand: two trees.
+        let catalog = pi2_datasets::toy::default_catalog();
+        let queries = pi2_datasets::toy::fig5_queries();
+        let merged = pi2_difftree::DiffForest::fully_merged(&queries[..2]);
+        let single = pi2_difftree::DiffForest::singletons(&queries[2..]);
+        let mut forest =
+            pi2_difftree::DiffForest { trees: vec![merged.trees[0].clone(), single.trees[0].clone()] };
+        for t in &mut forest.trees {
+            *t = pi2_difftree::rules::canonicalize(t, Some(&catalog));
+        }
+        let ifaces =
+            pi2_interface::map_forest(&forest, &catalog, &queries, &pi2_interface::MapperConfig::default()).unwrap();
+        let iface = ifaces
+            .into_iter()
+            .find(|i| i.charts.iter().any(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. }))))
+            .expect("click-bind interface");
+        let click_chart = iface
+            .charts
+            .iter()
+            .find(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. })))
+            .unwrap()
+            .id;
+        let mut s = InterfaceSession::new(catalog, forest, iface);
+        let updates = s.dispatch(Event::Click { chart: click_chart, value: Literal::Int(3) }).unwrap();
+        assert!(!updates.is_empty());
+        assert!(
+            updates.iter().any(|u| u.query.to_string().contains("a = 3")),
+            "{:?}",
+            updates.iter().map(|u| u.query.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn brush_on_overview_updates_detail() {
+        let catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config {
+            state_limit: Some(6),
+            ..Default::default()
+        });
+        let queries = pi2_datasets::covid::demo_queries_step(3);
+        let overview = pi2_difftree::DiffForest::singletons(&queries[..1]);
+        let detail = pi2_difftree::DiffForest::fully_merged(&queries[1..3]);
+        let mut forest =
+            pi2_difftree::DiffForest { trees: vec![overview.trees[0].clone(), detail.trees[0].clone()] };
+        for t in &mut forest.trees {
+            *t = pi2_difftree::rules::canonicalize(t, Some(&catalog));
+        }
+        let ifaces =
+            pi2_interface::map_forest(&forest, &catalog, &queries, &pi2_interface::MapperConfig::default()).unwrap();
+        let iface = ifaces
+            .into_iter()
+            .find(|i| i.charts.iter().any(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::BrushX { .. }))))
+            .expect("brush interface");
+        let mut s = InterfaceSession::new(catalog, forest, iface);
+        // Brush 2021-12-05 .. 2021-12-10 on the overview (chart 0).
+        let lo = pi2_sql::Date::parse("2021-12-05").unwrap().0 as f64;
+        let hi = pi2_sql::Date::parse("2021-12-10").unwrap().0 as f64;
+        let updates = s.dispatch(Event::Brush { chart: 0, low: lo, high: hi }).unwrap();
+        // Only the detail chart updates.
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].chart, 1);
+        let q = updates[0].query.to_string();
+        assert!(q.contains("2021-12-05") && q.contains("2021-12-10"), "{q}");
+        // The returned data is confined to the brushed window.
+        for row in &updates[0].result.rows {
+            if let pi2_engine::Value::Date(d) = &row[0] {
+                assert!(d.0 >= lo as i32 && d.0 <= hi as i32);
+            }
+        }
+    }
+}

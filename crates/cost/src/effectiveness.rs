@@ -1,0 +1,94 @@
+//! Channel/field-type effectiveness rankings (Cleveland–McGill / Bertin /
+//! Mackinlay), as the paper's cost model "borrows current best practices".
+
+use pi2_interface::{Chart, Channel, FieldType, Mark};
+
+/// Effectiveness of encoding a field of `field_type` on `channel`,
+/// in `[0, 1]` (higher is better). Position is the strongest channel for
+/// every type; hue is good for nominal data but poor for quantitative.
+pub fn channel_effectiveness(channel: Channel, field_type: FieldType) -> f64 {
+    use Channel::*;
+    use FieldType::*;
+    match (channel, field_type) {
+        (X | Y, Quantitative) => 1.0,
+        (X | Y, Temporal) => 1.0,
+        (X | Y, Ordinal) => 0.95,
+        (X | Y, Nominal) => 0.85,
+        (Color, Nominal) => 0.80,
+        (Color, Ordinal) => 0.65,
+        (Color, Temporal) => 0.55,
+        (Color, Quantitative) => 0.55,
+        (Size, Quantitative) => 0.60,
+        (Size, Ordinal) => 0.50,
+        (Size, _) => 0.30,
+        (Detail, _) => 0.40,
+    }
+}
+
+/// Penalty for a mark that fits its encodings poorly.
+pub fn mark_penalty(chart: &Chart) -> f64 {
+    let x = chart.encoding(Channel::X).map(|e| e.field_type);
+    let y = chart.encoding(Channel::Y).map(|e| e.field_type);
+    let mut p = 0.0;
+    match chart.mark {
+        Mark::Line | Mark::Area => {
+            // Lines need an ordered x axis.
+            if matches!(x, Some(FieldType::Nominal)) {
+                p += 0.4;
+            }
+        }
+        Mark::Bar => {
+            // Bars want a discrete x axis.
+            if matches!(x, Some(FieldType::Quantitative)) {
+                p += 0.3;
+            }
+        }
+        Mark::Scatter => {
+            // Scatter wants two quantitative axes.
+            if !matches!(x, Some(FieldType::Quantitative)) || !matches!(y, Some(FieldType::Quantitative)) {
+                p += 0.2;
+            }
+        }
+        Mark::Heatmap | Mark::Table => {}
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_beats_color_for_quantitative() {
+        assert!(
+            channel_effectiveness(Channel::X, FieldType::Quantitative)
+                > channel_effectiveness(Channel::Color, FieldType::Quantitative)
+        );
+    }
+
+    #[test]
+    fn color_better_for_nominal_than_quantitative() {
+        assert!(
+            channel_effectiveness(Channel::Color, FieldType::Nominal)
+                > channel_effectiveness(Channel::Color, FieldType::Quantitative)
+        );
+    }
+
+    #[test]
+    fn line_over_nominal_x_is_penalized() {
+        let chart = Chart {
+            id: 0,
+            name: "G1".into(),
+            title: String::new(),
+            mark: Mark::Line,
+            encodings: vec![pi2_interface::Encoding {
+                channel: Channel::X,
+                field: "state".into(),
+                field_type: FieldType::Nominal,
+            }],
+            tree: 0,
+            interactions: vec![],
+        };
+        assert!(mark_penalty(&chart) > 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # pi2-datasets
+//!
+//! Deterministic synthetic datasets with the same schemas, cardinalities and
+//! statistical shape as the three datasets the PI2 demonstration prepared
+//! for participants (COVID-19 daily case counts, the Sloan Digital Sky
+//! Survey photometric catalog, and S&P 500 daily prices), plus the demo
+//! scenarios' query logs.
+//!
+//! The real datasets are external resources the paper used for flavor; what
+//! PI2's pipeline actually consumes is their *schemas, types, cardinalities
+//! and value domains*, all of which the generators preserve. Every generator
+//! is seeded and pure: the same config always produces the same rows.
+//!
+//! ```
+//! use pi2_datasets::covid;
+//!
+//! let catalog = covid::catalog(&covid::Config::default());
+//! let r = catalog.execute_sql("SELECT count(DISTINCT state) FROM covid").unwrap();
+//! assert_eq!(r.rows[0][0], pi2_engine::Value::Int(50));
+//! ```
+
+pub mod covid;
+pub mod sdss;
+pub mod sp500;
+pub mod toy;
+
+use pi2_sql::Query;
+
+/// A named analysis scenario: a catalog plus the demo query log over it.
+pub struct Scenario {
+    /// The name.
+    pub name: &'static str,
+    /// Catalog.
+    pub catalog: pi2_engine::Catalog,
+    /// The input query log.
+    pub queries: Vec<Query>,
+}
+
+/// The three demonstration scenarios at default sizes, in the order the
+/// paper lists them (§3.2 "Demonstration engagement").
+pub fn demo_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "covid",
+            catalog: covid::catalog(&covid::Config::default()),
+            queries: covid::demo_queries(),
+        },
+        Scenario {
+            name: "sdss",
+            catalog: sdss::catalog(&sdss::Config::default()),
+            queries: sdss::demo_queries(),
+        },
+        Scenario {
+            name: "sp500",
+            catalog: sp500::catalog(&sp500::Config::default()),
+            queries: sp500::demo_queries(),
+        },
+    ]
+}
+
+pub(crate) fn parse_all(sqls: &[&str]) -> Vec<Query> {
+    sqls.iter()
+        .map(|s| pi2_sql::parse_query(s).unwrap_or_else(|e| panic!("bad demo query {s:?}: {e}")))
+        .collect()
+}

@@ -1,0 +1,83 @@
+//! The toy table and queries used in the paper's §2 running example
+//! (Figures 2–5): `t(p, a, b)` with integer attributes.
+
+use pi2_engine::{Catalog, DataType, Table, Value};
+use pi2_sql::Query;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Build the toy table `t(p INT, a INT, b INT)` with `rows` rows whose
+/// attribute domains are small (p in 0..8, a in 0..5, b in 0..5) so that
+/// grouped counts produce readable bar charts.
+pub fn catalog(rows: usize, seed: u64) -> Catalog {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut t = Table::builder("t")
+        .column("p", DataType::Int)
+        .column("a", DataType::Int)
+        .column("b", DataType::Int)
+        .build();
+    for _ in 0..rows {
+        t.push_row(vec![
+            Value::Int(rng.gen_range(0..8)),
+            Value::Int(rng.gen_range(0..5)),
+            Value::Int(rng.gen_range(0..5)),
+        ])
+        .expect("schema-correct row");
+    }
+    let mut c = Catalog::new();
+    c.register(t);
+    c
+}
+
+/// Default toy catalog (200 rows, fixed seed).
+pub fn default_catalog() -> Catalog {
+    catalog(200, 0x70E)
+}
+
+/// Figure 2's three queries: Q1 and Q2 differ in the predicate's attribute
+/// and literal; Q3 projects `a` instead of `p` and drops the filter.
+pub fn fig2_queries() -> Vec<Query> {
+    crate::parse_all(&[
+        "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+        "SELECT a, count(*) FROM t GROUP BY a",
+    ])
+}
+
+/// Figure 3 focuses on Q1 and Q2 only.
+pub fn fig3_queries() -> Vec<Query> {
+    fig2_queries().into_iter().take(2).collect()
+}
+
+/// Figure 5's variant: Q1 and Q2 differ *only in the literal* compared to
+/// attribute `a`, and Q3 groups by `a` — so clicking a bar of Q3's chart
+/// can bind the literal.
+pub fn fig5_queries() -> Vec<Query> {
+    crate::parse_all(&[
+        "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+        "SELECT a, count(*) FROM t GROUP BY a",
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_queries_execute() {
+        let c = default_catalog();
+        for q in fig2_queries().iter().chain(fig5_queries().iter()) {
+            let r = c.execute(q).unwrap();
+            assert!(!r.rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn domains_are_small() {
+        let c = default_catalog();
+        let r = c.execute_sql("SELECT count(DISTINCT p), count(DISTINCT a) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(8));
+        assert_eq!(r.rows[0][1], Value::Int(5));
+    }
+}

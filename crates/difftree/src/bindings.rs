@@ -1,0 +1,102 @@
+//! Choice-node bindings: the state an interface manipulates.
+//!
+//! Every widget event in a generated interface ultimately updates one
+//! binding: a radio/dropdown/tab picks an `Any` child, a toggle flips an
+//! `Opt`, a slider/click/brush writes a `Hole` value.
+
+use crate::node::NodeId;
+use pi2_sql::Literal;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The binding of one choice node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Binding {
+    /// For `Any`: the chosen child index.
+    Pick(usize),
+    /// For `Opt`: whether the child is included.
+    Include(bool),
+    /// For `Hole`: the bound literal.
+    Value(Literal),
+}
+
+/// A set of bindings, keyed by choice-node id. Missing entries fall back to
+/// each node's default (first `Any` child, `Opt` included, `Hole` default).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bindings {
+    map: BTreeMap<NodeId, Binding>,
+}
+
+impl Bindings {
+    /// Empty bindings (all defaults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the binding for a choice node.
+    pub fn set(&mut self, id: NodeId, b: Binding) {
+        self.map.insert(id, b);
+    }
+
+    /// Builder-style [`Bindings::set`].
+    pub fn with(mut self, id: NodeId, b: Binding) -> Self {
+        self.set(id, b);
+        self
+    }
+
+    /// The binding for `id`, if set.
+    pub fn get(&self, id: NodeId) -> Option<&Binding> {
+        self.map.get(&id)
+    }
+
+    /// Remove a binding, reverting the node to its default.
+    pub fn clear(&mut self, id: NodeId) {
+        self.map.remove(&id);
+    }
+
+    /// Number of explicit bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no explicit bindings are set.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over (id, binding) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&NodeId, &Binding)> {
+        self.map.iter()
+    }
+
+    /// Merge `other` into `self`, with `other` winning conflicts.
+    pub fn overlay(&mut self, other: &Bindings) {
+        for (id, b) in other.iter() {
+            self.map.insert(*id, b.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bindings::new();
+        assert!(b.is_empty());
+        b.set(3, Binding::Pick(1));
+        assert_eq!(b.get(3), Some(&Binding::Pick(1)));
+        b.clear(3);
+        assert!(b.get(3).is_none());
+    }
+
+    #[test]
+    fn overlay_wins() {
+        let mut a = Bindings::new().with(1, Binding::Include(true)).with(2, Binding::Pick(0));
+        let b = Bindings::new().with(2, Binding::Pick(1));
+        a.overlay(&b);
+        assert_eq!(a.get(2), Some(&Binding::Pick(1)));
+        assert_eq!(a.get(1), Some(&Binding::Include(true)));
+    }
+}

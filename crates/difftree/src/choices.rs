@@ -1,0 +1,375 @@
+//! Choice-node enumeration with interface-relevant context.
+//!
+//! The interaction mapper (in `pi2-interface`) needs more than the bare
+//! choice nodes: it matches each choice's *schema* — value type, domain
+//! shape, which column it constrains, whether it is half of a range pair —
+//! against widget and visualization-interaction capabilities. This module
+//! computes that context in one walk.
+
+use crate::node::{DiffNode, DiffTree, Domain, NodeId, NodeKind};
+use pi2_sql::{BinaryOp, ColumnRef};
+use serde::{Deserialize, Serialize};
+
+/// What kind of choice a node exposes, with display material.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChoiceKind {
+    /// Choose one of `options` (pre-rendered labels).
+    Any {
+        /// Display labels of the selectable options.
+        options: Vec<String>,
+    },
+    /// Toggle inclusion of `summary`.
+    Opt {
+        /// Display label of the optional subtree.
+        summary: String,
+    },
+    /// Bind a value from `domain`.
+    Hole {
+        /// The value domain.
+        domain: Domain,
+        /// Column the value constrains, when known.
+        source_column: Option<ColumnRef>,
+    },
+}
+
+/// Which clause of the query the choice lives in (used for widget labels
+/// and cost weighting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Clause {
+    /// The SELECT list.
+    Projection,
+    /// The FROM clause.
+    From,
+    /// The WHERE clause.
+    Where,
+    /// The GROUP BY clause.
+    GroupBy,
+    /// The HAVING clause.
+    Having,
+    /// The ORDER BY clause.
+    OrderBy,
+    /// The LIMIT clause.
+    Limit,
+    /// Inside a join's ON condition.
+    On,
+    /// The root itself (ANY over whole queries → tabs).
+    Root,
+}
+
+/// The role of a hole inside a range predicate over one column: the low or
+/// high endpoint. Two paired endpoints on the same column map naturally to
+/// a range slider, or to pan/zoom / brushing when the column is on a chart
+/// axis (paper Figures 1c, 5, 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RangeRole {
+    /// The column name.
+    pub column: ColumnRef,
+    /// Is low.
+    pub is_low: bool,
+    /// The partner endpoint's choice node.
+    pub partner: NodeId,
+}
+
+/// Context attached to each choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChoiceContext {
+    /// The clause the choice lives in.
+    pub clause: Clause,
+    /// Column the choice's value is compared against, when evident.
+    pub compared_column: Option<ColumnRef>,
+    /// Set when the choice is one endpoint of a range predicate.
+    pub range_role: Option<RangeRole>,
+    /// Nesting depth (subquery levels) — deeper choices cost more to
+    /// understand.
+    pub depth: usize,
+    /// Set when the choice is an optional member of an `IN` list: the id
+    /// of the enclosing IN-list node. Sibling members with the same group
+    /// map to one multi-select widget (the full paper's SUBSET choices).
+    pub in_list_group: Option<NodeId>,
+}
+
+/// One choice node with its kind and context.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Choice {
+    /// Stable identifier.
+    pub id: NodeId,
+    /// The kind.
+    pub kind: ChoiceKind,
+    /// Interface-relevant context.
+    pub context: ChoiceContext,
+}
+
+/// Enumerate every choice node in the tree, in pre-order, with context.
+pub fn choices(tree: &DiffTree) -> Vec<Choice> {
+    let mut out = Vec::new();
+    walk(
+        &tree.root,
+        &Ctx { clause: Clause::Root, compared: None, query_levels: 0, in_list_group: None },
+        &mut out,
+    );
+    pair_ranges(&tree.root, &mut out);
+    out
+}
+
+struct Ctx {
+    clause: Clause,
+    compared: Option<ColumnRef>,
+    /// Number of enclosing Query nodes (the top-level query is level 1).
+    query_levels: usize,
+    /// Enclosing IN-list node id, when directly inside its member list.
+    in_list_group: Option<NodeId>,
+}
+
+impl Ctx {
+    /// Subquery nesting depth: 0 at the top level.
+    fn depth(&self) -> usize {
+        self.query_levels.saturating_sub(1)
+    }
+}
+
+fn walk(node: &DiffNode, ctx: &Ctx, out: &mut Vec<Choice>) {
+    match &node.kind {
+        NodeKind::Any => out.push(Choice {
+            id: node.id,
+            kind: ChoiceKind::Any {
+                options: node.children.iter().map(|c| c.summary()).collect(),
+            },
+            context: ChoiceContext {
+                clause: ctx.clause,
+                compared_column: ctx.compared.clone(),
+                range_role: None,
+                depth: ctx.depth(),
+                in_list_group: ctx.in_list_group,
+            },
+        }),
+        NodeKind::Opt => out.push(Choice {
+            id: node.id,
+            kind: ChoiceKind::Opt {
+                summary: node.children.first().map(|c| c.summary()).unwrap_or_default(),
+            },
+            context: ChoiceContext {
+                clause: ctx.clause,
+                compared_column: ctx.compared.clone(),
+                range_role: None,
+                depth: ctx.depth(),
+                in_list_group: ctx.in_list_group,
+            },
+        }),
+        NodeKind::Hole { domain, source_column, .. } => {
+            out.push(Choice {
+                id: node.id,
+                kind: ChoiceKind::Hole {
+                    domain: domain.clone(),
+                    source_column: source_column.clone().or_else(|| ctx.compared.clone()),
+                },
+                context: ChoiceContext {
+                    clause: ctx.clause,
+                    compared_column: ctx.compared.clone().or_else(|| source_column.clone()),
+                    range_role: None,
+                    depth: ctx.depth(),
+                    in_list_group: ctx.in_list_group,
+                },
+            });
+        }
+        _ => {}
+    }
+
+    // Compute the context for children.
+    for (i, child) in node.children.iter().enumerate() {
+        let clause = match &node.kind {
+            NodeKind::Query { .. } => match i {
+                0 => Clause::Projection,
+                1 => Clause::From,
+                2 => Clause::Where,
+                3 => Clause::GroupBy,
+                4 => Clause::Having,
+                5 => Clause::OrderBy,
+                _ => Clause::Limit,
+            },
+            _ => ctx.clause,
+        };
+        // Comparison context: `col <op> <child>` or BETWEEN over a column.
+        let compared = match &node.kind {
+            NodeKind::Binary(op) if op.is_comparison() => {
+                other_operand_column(node, i).or_else(|| ctx.compared.clone())
+            }
+            NodeKind::Between { .. } if i > 0 => {
+                column_of(&node.children[0]).or_else(|| ctx.compared.clone())
+            }
+            NodeKind::InList { .. } if i > 0 => {
+                column_of(&node.children[0]).or_else(|| ctx.compared.clone())
+            }
+            _ => ctx.compared.clone(),
+        };
+        let query_levels =
+            ctx.query_levels + matches!(node.kind, NodeKind::Query { .. }) as usize;
+        let in_list_group = match &node.kind {
+            NodeKind::InList { .. } if i > 0 => Some(node.id),
+            _ => None,
+        };
+        walk(child, &Ctx { clause, compared, query_levels, in_list_group }, out);
+    }
+}
+
+/// The column on the *other* side of a binary comparison, if child `i` is
+/// one operand and the other operand is a column.
+fn other_operand_column(node: &DiffNode, i: usize) -> Option<ColumnRef> {
+    let other = node.children.get(1 - i)?;
+    column_of(other)
+}
+
+fn column_of(node: &DiffNode) -> Option<ColumnRef> {
+    match &node.kind {
+        NodeKind::Column(c) => Some(c.clone()),
+        // An ANY over columns (the factored Figure 3(b) form) still
+        // constrains a column; use the first alternative as the
+        // representative for domain/widget purposes.
+        NodeKind::Any => node.children.iter().find_map(|c| match &c.kind {
+            NodeKind::Column(col) => Some(col.clone()),
+            _ => None,
+        }),
+        _ => None,
+    }
+}
+
+/// Detect range pairs and fill in [`ChoiceContext::range_role`]:
+/// 1. `col BETWEEN <choice> AND <choice>` — endpoints of the BETWEEN.
+/// 2. `col >= <choice>` and `col <= <choice>` as sibling conjuncts.
+fn pair_ranges(root: &DiffNode, out: &mut Vec<Choice>) {
+    let mut pairs: Vec<(NodeId, NodeId, ColumnRef)> = Vec::new();
+
+    root.walk(&mut |n| {
+        // Case 1: BETWEEN with a column probe and choice endpoints.
+        if let NodeKind::Between { .. } = n.kind {
+            if let Some(col) = column_of(&n.children[0]) {
+                let lo = &n.children[1];
+                let hi = &n.children[2];
+                if lo.kind.is_choice() && hi.kind.is_choice() {
+                    pairs.push((lo.id, hi.id, col));
+                }
+            }
+        }
+        // Case 2: sibling conjuncts `col >= x` / `col <= y` in Where/Having/On.
+        if matches!(n.kind, NodeKind::Where | NodeKind::Having | NodeKind::On) {
+            let mut lows: Vec<(ColumnRef, NodeId)> = Vec::new();
+            let mut highs: Vec<(ColumnRef, NodeId)> = Vec::new();
+            for c in &n.children {
+                if let NodeKind::Binary(op) = &c.kind {
+                    if let (Some(col), choice) = (column_of(&c.children[0]), &c.children[1]) {
+                        if choice.kind.is_choice() {
+                            match op {
+                                BinaryOp::GtEq | BinaryOp::Gt => lows.push((col, choice.id)),
+                                BinaryOp::LtEq | BinaryOp::Lt => highs.push((col, choice.id)),
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+            for (lc, lid) in &lows {
+                if let Some((_, hid)) = highs.iter().find(|(hc, _)| hc == lc) {
+                    pairs.push((*lid, *hid, lc.clone()));
+                }
+            }
+        }
+    });
+
+    for (lo, hi, col) in pairs {
+        for choice in out.iter_mut() {
+            if choice.id == lo {
+                choice.context.range_role =
+                    Some(RangeRole { column: col.clone(), is_low: true, partner: hi });
+                choice.context.compared_column.get_or_insert_with(|| col.clone());
+            } else if choice.id == hi {
+                choice.context.range_role =
+                    Some(RangeRole { column: col.clone(), is_low: false, partner: lo });
+                choice.context.compared_column.get_or_insert_with(|| col.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_queries;
+    use pi2_sql::{parse_query, Query};
+
+    fn merged(sqls: &[&str]) -> DiffTree {
+        let queries: Vec<Query> = sqls.iter().map(|s| parse_query(s).unwrap()).collect();
+        let indexed: Vec<(usize, &Query)> = queries.iter().enumerate().collect();
+        merge_queries(&indexed)
+    }
+
+    #[test]
+    fn enumerates_anys_with_option_labels() {
+        let tree = merged(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+        ]);
+        let cs = choices(&tree);
+        assert_eq!(cs.len(), 2);
+        let ChoiceKind::Any { options } = &cs[0].kind else { panic!("{:?}", cs[0]) };
+        assert_eq!(options, &vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(cs[0].context.clause, Clause::Where);
+    }
+
+    #[test]
+    fn literal_any_records_compared_column() {
+        let tree = merged(&[
+            "SELECT p FROM t WHERE a = 1",
+            "SELECT p FROM t WHERE a = 2",
+        ]);
+        let cs = choices(&tree);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].context.compared_column, Some(ColumnRef::bare("a")));
+    }
+
+    #[test]
+    fn between_endpoints_pair_as_range() {
+        let tree = merged(&[
+            "SELECT date, sum(cases) FROM covid WHERE date BETWEEN DATE '2021-12-16' AND DATE '2021-12-31' GROUP BY date",
+            "SELECT date, sum(cases) FROM covid WHERE date BETWEEN DATE '2021-12-01' AND DATE '2021-12-15' GROUP BY date",
+        ]);
+        let cs = choices(&tree);
+        assert_eq!(cs.len(), 2);
+        let lo = cs.iter().find(|c| c.context.range_role.as_ref().is_some_and(|r| r.is_low)).unwrap();
+        let hi = cs.iter().find(|c| c.context.range_role.as_ref().is_some_and(|r| !r.is_low)).unwrap();
+        assert_eq!(lo.context.range_role.as_ref().unwrap().partner, hi.id);
+        assert_eq!(lo.context.range_role.as_ref().unwrap().column, ColumnRef::bare("date"));
+    }
+
+    #[test]
+    fn ge_le_conjuncts_pair_as_range() {
+        let tree = merged(&[
+            "SELECT ra, dec FROM photoobj WHERE ra >= 150.0 AND ra <= 152.0",
+            "SELECT ra, dec FROM photoobj WHERE ra >= 170.0 AND ra <= 172.0",
+        ]);
+        let cs = choices(&tree);
+        let ranged = cs.iter().filter(|c| c.context.range_role.is_some()).count();
+        assert_eq!(ranged, 2, "{cs:#?}");
+    }
+
+    #[test]
+    fn opt_choice_in_where() {
+        let tree = merged(&[
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+        ]);
+        let cs = choices(&tree);
+        assert_eq!(cs.len(), 1);
+        let ChoiceKind::Opt { summary } = &cs[0].kind else { panic!() };
+        assert_eq!(summary, "y = 2");
+    }
+
+    #[test]
+    fn depth_increases_in_subqueries() {
+        let tree = merged(&[
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z = 1)",
+            "SELECT a FROM t WHERE x IN (SELECT y FROM u WHERE z = 2)",
+        ]);
+        let cs = choices(&tree);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].context.depth, 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! The expressiveness check: can a DiffTree express a given query?
+//!
+//! PI2's hard constraint is that the returned interface must express every
+//! query in the input log (paper §2: "return the lowest cost interface that
+//! can express all queries in Q"). This module decides expressiveness by
+//! matching the lifted, normalized query against the tree with
+//! backtracking over choice nodes, and returns the witnessing bindings.
+
+use crate::bindings::{Binding, Bindings};
+use crate::lift::lift_query_node;
+use crate::node::{DiffNode, DiffTree, NodeKind};
+use pi2_sql::{normalize, Query};
+
+/// Default bindings for a tree: the witness bindings of the *first* source
+/// query the tree can still express. This guarantees the tree's default
+/// instantiation is a real query from the log — important when a merge
+/// interleaves structurally different queries, where naive defaults (first
+/// `Any` child + every `Opt` included) can be an invalid mixture.
+pub fn default_bindings(tree: &DiffTree, log: &[Query]) -> Bindings {
+    for &qi in &tree.source_queries {
+        if let Some(q) = log.get(qi) {
+            if let Some(b) = expresses(tree, q) {
+                return b;
+            }
+        }
+    }
+    // Fall back to structural defaults.
+    Bindings::new()
+}
+
+/// If `tree` can express `query`, return bindings under which
+/// [`crate::lower_query`] reproduces it (up to normalization).
+pub fn expresses(tree: &DiffTree, query: &Query) -> Option<Bindings> {
+    let target = lift_query_node(&normalize::normalized(query));
+    let mut b = Bindings::new();
+    if match_node(&tree.root, &target, &mut b) {
+        Some(b)
+    } else {
+        None
+    }
+}
+
+/// Match a pattern node (may contain choices) against a concrete target.
+fn match_node(pattern: &DiffNode, target: &DiffNode, b: &mut Bindings) -> bool {
+    match &pattern.kind {
+        NodeKind::Any => {
+            for (i, alt) in pattern.children.iter().enumerate() {
+                let snapshot = b.clone();
+                b.set(pattern.id, Binding::Pick(i));
+                if match_node(alt, target, b) {
+                    return true;
+                }
+                *b = snapshot;
+            }
+            false
+        }
+        NodeKind::Opt => {
+            // In scalar position an OPT must be included to match anything.
+            let snapshot = b.clone();
+            b.set(pattern.id, Binding::Include(true));
+            if match_node(&pattern.children[0], target, b) {
+                return true;
+            }
+            *b = snapshot;
+            false
+        }
+        NodeKind::Hole { domain, .. } => {
+            if let NodeKind::Lit(l) = &target.kind {
+                if domain.contains(l) {
+                    b.set(pattern.id, Binding::Value(l.clone()));
+                    return true;
+                }
+            }
+            false
+        }
+        kind => {
+            if *kind != target.kind {
+                return false;
+            }
+            if is_set_semantics(kind) {
+                match_set(&pattern.children, &target.children, b)
+            } else {
+                match_seq(&pattern.children, &target.children, b)
+            }
+        }
+    }
+}
+
+/// Conjunct lists are order-insensitive.
+fn is_set_semantics(kind: &NodeKind) -> bool {
+    matches!(kind, NodeKind::Where | NodeKind::Having | NodeKind::On | NodeKind::GroupBy)
+}
+
+/// If the pattern node can resolve to *nothing* (an excluded OPT, possibly
+/// through a chain of ANY picks), record the bindings that make it vanish
+/// and return true.
+fn bind_vanished(p: &DiffNode, b: &mut Bindings) -> bool {
+    match &p.kind {
+        NodeKind::Opt => {
+            b.set(p.id, Binding::Include(false));
+            true
+        }
+        NodeKind::Any => {
+            for (i, alt) in p.children.iter().enumerate() {
+                let snapshot = b.clone();
+                b.set(p.id, Binding::Pick(i));
+                if bind_vanished(alt, b) {
+                    return true;
+                }
+                *b = snapshot;
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Ordered matching: pattern children consume target children left to
+/// right; `Opt` pattern children may also consume nothing.
+fn match_seq(pats: &[DiffNode], targets: &[DiffNode], b: &mut Bindings) -> bool {
+    if pats.is_empty() {
+        return targets.is_empty();
+    }
+    let p = &pats[0];
+    if let Some(t0) = targets.first() {
+        let snapshot = b.clone();
+        if match_node(p, t0, b) && match_seq(&pats[1..], &targets[1..], b) {
+            return true;
+        }
+        *b = snapshot;
+    }
+    {
+        let snapshot = b.clone();
+        if bind_vanished(p, b) && match_seq(&pats[1..], targets, b) {
+            return true;
+        }
+        *b = snapshot;
+    }
+    false
+}
+
+/// Set matching: each pattern child consumes one unused target child (an
+/// `Opt` may consume none); every target child must be consumed.
+fn match_set(pats: &[DiffNode], targets: &[DiffNode], b: &mut Bindings) -> bool {
+    fn go(pats: &[DiffNode], targets: &[DiffNode], used: &mut Vec<bool>, b: &mut Bindings) -> bool {
+        if pats.is_empty() {
+            return used.iter().all(|u| *u);
+        }
+        let p = &pats[0];
+        for i in 0..targets.len() {
+            if used[i] {
+                continue;
+            }
+            let snapshot = b.clone();
+            used[i] = true;
+            if match_node(p, &targets[i], b) && go(&pats[1..], targets, used, b) {
+                return true;
+            }
+            used[i] = false;
+            *b = snapshot;
+        }
+        {
+            let snapshot = b.clone();
+            if bind_vanished(p, b) && go(&pats[1..], targets, used, b) {
+                return true;
+            }
+            *b = snapshot;
+        }
+        false
+    }
+    let mut used = vec![false; targets.len()];
+    go(pats, targets, &mut used, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_query;
+    use crate::merge::merge_queries;
+    use pi2_sql::parse_query;
+
+    fn merged(sqls: &[&str]) -> (DiffTree, Vec<Query>) {
+        let queries: Vec<Query> = sqls.iter().map(|s| parse_query(s).unwrap()).collect();
+        let indexed: Vec<(usize, &Query)> = queries.iter().enumerate().collect();
+        (merge_queries(&indexed), queries)
+    }
+
+    #[test]
+    fn merged_tree_expresses_all_inputs() {
+        let (tree, queries) = merged(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+            "SELECT a, count(*) FROM t GROUP BY a",
+        ]);
+        for q in &queries {
+            let b = expresses(&tree, q).unwrap_or_else(|| panic!("cannot express {q}\n{}", tree.root));
+            let lowered = lower_query(&tree, &b).unwrap();
+            assert_eq!(
+                pi2_sql::normalize::normalized(&lowered),
+                pi2_sql::normalize::normalized(q)
+            );
+        }
+    }
+
+    #[test]
+    fn does_not_express_unrelated_query() {
+        let (tree, _) = merged(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+        ]);
+        assert!(expresses(&tree, &parse_query("SELECT z FROM other").unwrap()).is_none());
+        assert!(expresses(&tree, &parse_query("SELECT p, count(*) FROM t WHERE a = 99 GROUP BY p").unwrap()).is_none());
+    }
+
+    #[test]
+    fn factored_tree_expresses_generalizations() {
+        let (tree, _) = merged(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+        ]);
+        // The factored ANY(a,b) = ANY(1,2) also expresses b = 1 (paper §2).
+        let gen = parse_query("SELECT p, count(*) FROM t WHERE b = 1 GROUP BY p").unwrap();
+        assert!(expresses(&tree, &gen).is_some());
+    }
+
+    #[test]
+    fn conjunct_order_does_not_matter() {
+        let (tree, _) = merged(&["SELECT x FROM t WHERE a = 1 AND b = 2"]);
+        let reordered = parse_query("SELECT x FROM t WHERE b = 2 AND a = 1").unwrap();
+        assert!(expresses(&tree, &reordered).is_some());
+    }
+
+    #[test]
+    fn opt_conjunct_matches_present_and_absent() {
+        let (tree, queries) = merged(&[
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+        ]);
+        for q in &queries {
+            assert!(expresses(&tree, q).is_some(), "cannot express {q}");
+        }
+        // But not a query with only the optional conjunct.
+        assert!(expresses(&tree, &parse_query("SELECT a FROM t WHERE y = 2").unwrap()).is_none());
+    }
+
+    #[test]
+    fn hole_expresses_in_domain_values_only() {
+        use crate::node::Domain;
+        let q = parse_query("SELECT p FROM t WHERE a = 1").unwrap();
+        let mut tree = crate::lift::lift_query(&q, 0);
+        tree.root.children[2].children[0].children[1] = DiffNode::leaf(NodeKind::Hole {
+            domain: Domain::IntRange { min: 0, max: 10 },
+            default: pi2_sql::Literal::Int(1),
+            source_column: None,
+        });
+        tree.renumber();
+        assert!(expresses(&tree, &parse_query("SELECT p FROM t WHERE a = 7").unwrap()).is_some());
+        assert!(expresses(&tree, &parse_query("SELECT p FROM t WHERE a = 11").unwrap()).is_none());
+        assert!(expresses(&tree, &parse_query("SELECT p FROM t WHERE a = 'x'").unwrap()).is_none());
+    }
+
+    #[test]
+    fn witness_bindings_reproduce_each_demo_covid_query() {
+        let queries = pi2_datasets::covid::demo_queries();
+        let indexed: Vec<(usize, &Query)> = queries.iter().enumerate().collect();
+        let tree = merge_queries(&indexed);
+        for q in &queries {
+            let b = expresses(&tree, q).unwrap_or_else(|| panic!("cannot express {q}"));
+            let lowered = lower_query(&tree, &b).unwrap();
+            assert_eq!(
+                pi2_sql::normalize::normalized(&lowered),
+                pi2_sql::normalize::normalized(q)
+            );
+        }
+    }
+}

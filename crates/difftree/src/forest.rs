@@ -1,0 +1,172 @@
+//! Forests of DiffTrees: partitions of a query log.
+//!
+//! A forest is the search state of PI2's optimizer. Each tree covers a
+//! subset of the input queries; the paper's §2 discusses both options for
+//! Q1–Q3 — "partition the queries into two clusters" (two trees → two
+//! visualizations) versus "merge all three queries into a single DiffTree"
+//! (one tree → one interactive visualization). Forest-level actions move
+//! between those designs; tree-level transformation rules refine each tree.
+
+use crate::merge::{merge_queries, merge_trees};
+use crate::node::DiffTree;
+use pi2_sql::Query;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A partition of the input query log into DiffTrees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffForest {
+    /// Trees.
+    pub trees: Vec<DiffTree>,
+}
+
+impl DiffForest {
+    /// One tree per query (the state right after parsing — paper Figure 6
+    /// step ①).
+    pub fn singletons(queries: &[Query]) -> Self {
+        DiffForest {
+            trees: queries.iter().enumerate().map(|(i, q)| crate::lift::lift_query(q, i)).collect(),
+        }
+    }
+
+    /// All queries merged into one tree.
+    pub fn fully_merged(queries: &[Query]) -> Self {
+        let indexed: Vec<(usize, &Query)> = queries.iter().enumerate().collect();
+        DiffForest { trees: vec![merge_queries(&indexed)] }
+    }
+
+    /// Total number of choice nodes across trees.
+    pub fn choice_count(&self) -> usize {
+        self.trees.iter().map(|t| t.root.choice_count()).sum()
+    }
+
+    /// Total node count across trees.
+    pub fn size(&self) -> usize {
+        self.trees.iter().map(|t| t.root.size()).sum()
+    }
+
+    /// Order-insensitive structural hash of the forest (used to dedup
+    /// search states).
+    pub fn structural_hash(&self) -> u64 {
+        let mut hashes: Vec<u64> = self.trees.iter().map(DiffTree::structural_hash).collect();
+        hashes.sort_unstable();
+        let mut h = DefaultHasher::new();
+        hashes.hash(&mut h);
+        h.finish()
+    }
+
+    /// Merge trees `i` and `j` into one (forest-level action).
+    pub fn merge_pair(&self, i: usize, j: usize) -> Option<DiffForest> {
+        if i == j || i >= self.trees.len() || j >= self.trees.len() {
+            return None;
+        }
+        let merged = merge_trees(&self.trees[i], &self.trees[j]);
+        let mut trees: Vec<DiffTree> = self
+            .trees
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != i && *k != j)
+            .map(|(_, t)| t.clone())
+            .collect();
+        trees.push(merged);
+        Some(DiffForest { trees })
+    }
+
+    /// Split tree `i` back into one tree per source query (forest-level
+    /// action; requires the original log).
+    pub fn split_tree(&self, i: usize, log: &[Query]) -> Option<DiffForest> {
+        let tree = self.trees.get(i)?;
+        if tree.source_queries.len() <= 1 {
+            return None;
+        }
+        let mut trees: Vec<DiffTree> = self
+            .trees
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != i)
+            .map(|(_, t)| t.clone())
+            .collect();
+        for &qi in &tree.source_queries {
+            trees.push(crate::lift::lift_query(log.get(qi)?, qi));
+        }
+        Some(DiffForest { trees })
+    }
+
+    /// Does every query in the log have a tree that expresses it?
+    pub fn expresses_all(&self, log: &[Query]) -> bool {
+        log.iter().all(|q| self.trees.iter().any(|t| crate::expresses::expresses(t, q).is_some()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_sql::parse_query;
+
+    fn log() -> Vec<Query> {
+        [
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+            "SELECT a, count(*) FROM t GROUP BY a",
+        ]
+        .iter()
+        .map(|s| parse_query(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn singletons_have_one_tree_per_query() {
+        let f = DiffForest::singletons(&log());
+        assert_eq!(f.trees.len(), 3);
+        assert_eq!(f.choice_count(), 0);
+        assert!(f.expresses_all(&log()));
+    }
+
+    #[test]
+    fn fully_merged_is_one_tree() {
+        let f = DiffForest::fully_merged(&log());
+        assert_eq!(f.trees.len(), 1);
+        assert!(f.choice_count() > 0);
+        assert!(f.expresses_all(&log()));
+    }
+
+    #[test]
+    fn merge_pair_reduces_tree_count() {
+        let f = DiffForest::singletons(&log());
+        let merged = f.merge_pair(0, 1).unwrap();
+        assert_eq!(merged.trees.len(), 2);
+        assert!(merged.expresses_all(&log()));
+        assert!(f.merge_pair(0, 0).is_none());
+        assert!(f.merge_pair(0, 9).is_none());
+    }
+
+    #[test]
+    fn split_tree_restores_singletons() {
+        let queries = log();
+        let f = DiffForest::fully_merged(&queries);
+        let split = f.split_tree(0, &queries).unwrap();
+        assert_eq!(split.trees.len(), 3);
+        assert!(split.expresses_all(&queries));
+        // Splitting a singleton tree is a no-op.
+        assert!(split.split_tree(0, &queries).is_none());
+    }
+
+    #[test]
+    fn forest_hash_is_order_insensitive() {
+        let queries = log();
+        let f1 = DiffForest::singletons(&queries);
+        let mut f2 = f1.clone();
+        f2.trees.reverse();
+        assert_eq!(f1.structural_hash(), f2.structural_hash());
+    }
+
+    #[test]
+    fn hash_distinguishes_merged_from_singletons() {
+        let queries = log();
+        assert_ne!(
+            DiffForest::singletons(&queries).structural_hash(),
+            DiffForest::fully_merged(&queries).structural_hash()
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Lifting SQL queries into DiffTrees.
+//!
+//! Lifting is lossless up to normalization: `lower(lift(q), defaults)`
+//! reproduces `normalize(q)` exactly (verified by property tests). Queries
+//! are normalized first so that semantically-identical spellings lift to
+//! identical trees and merge without spurious choice nodes.
+
+use crate::node::{DiffNode, DiffTree, NodeKind};
+use pi2_sql::visit::conjuncts;
+use pi2_sql::{normalize, Expr, Query, SelectItem, TableRef};
+
+/// Lift one query into a single-query DiffTree. `index` records the
+/// query's position in the input log.
+pub fn lift_query(q: &Query, index: usize) -> DiffTree {
+    let n = normalize::normalized(q);
+    DiffTree::new(lift_query_node(&n), vec![index])
+}
+
+/// Lift a query to a bare node (used recursively for subqueries).
+pub(crate) fn lift_query_node(q: &Query) -> DiffNode {
+    let projection = DiffNode::new(
+        NodeKind::Projection,
+        q.projection.iter().map(lift_select_item).collect(),
+    );
+    let from = DiffNode::new(NodeKind::From, q.from.iter().map(lift_table_ref).collect());
+    let where_node = DiffNode::new(
+        NodeKind::Where,
+        q.where_clause.as_ref().map(lift_conjuncts).unwrap_or_default(),
+    );
+    let group_by = DiffNode::new(NodeKind::GroupBy, q.group_by.iter().map(lift_expr).collect());
+    let having = DiffNode::new(
+        NodeKind::Having,
+        q.having.as_ref().map(lift_conjuncts).unwrap_or_default(),
+    );
+    let order_by = DiffNode::new(
+        NodeKind::OrderBy,
+        q.order_by
+            .iter()
+            .map(|o| DiffNode::new(NodeKind::OrderItem { dir: o.dir }, vec![lift_expr(&o.expr)]))
+            .collect(),
+    );
+    let limit = DiffNode::new(
+        NodeKind::LimitSlot,
+        q.limit.map(|l| vec![DiffNode::leaf(NodeKind::Limit(l))]).unwrap_or_default(),
+    );
+    let offset = DiffNode::new(
+        NodeKind::OffsetSlot,
+        q.offset.map(|o| vec![DiffNode::leaf(NodeKind::Offset(o))]).unwrap_or_default(),
+    );
+    DiffNode::new(
+        NodeKind::Query { distinct: q.distinct },
+        vec![projection, from, where_node, group_by, having, order_by, limit, offset],
+    )
+}
+
+fn lift_conjuncts(pred: &Expr) -> Vec<DiffNode> {
+    conjuncts(pred).into_iter().map(lift_expr).collect()
+}
+
+fn lift_select_item(item: &SelectItem) -> DiffNode {
+    match item {
+        SelectItem::Wildcard => DiffNode::leaf(NodeKind::Wildcard),
+        SelectItem::QualifiedWildcard(t) => DiffNode::leaf(NodeKind::QualifiedWildcard(t.clone())),
+        SelectItem::Expr { expr, alias } => {
+            DiffNode::new(NodeKind::SelectItem { alias: alias.clone() }, vec![lift_expr(expr)])
+        }
+    }
+}
+
+fn lift_table_ref(t: &TableRef) -> DiffNode {
+    match t {
+        TableRef::Named { name, alias } => {
+            DiffNode::leaf(NodeKind::TableNamed { name: name.clone(), alias: alias.clone() })
+        }
+        TableRef::Subquery { query, alias } => DiffNode::new(
+            NodeKind::TableSubquery { alias: alias.clone() },
+            vec![lift_query_node(query)],
+        ),
+        TableRef::Join { left, right, kind, on } => {
+            let on_node = DiffNode::new(
+                NodeKind::On,
+                on.as_ref().map(lift_conjuncts).unwrap_or_default(),
+            );
+            DiffNode::new(
+                NodeKind::Join { kind: *kind },
+                vec![lift_table_ref(left), lift_table_ref(right), on_node],
+            )
+        }
+    }
+}
+
+pub(crate) fn lift_expr(e: &Expr) -> DiffNode {
+    match e {
+        Expr::Column(c) => DiffNode::leaf(NodeKind::Column(c.clone())),
+        Expr::Literal(l) => DiffNode::leaf(NodeKind::Lit(l.clone())),
+        Expr::Wildcard => DiffNode::leaf(NodeKind::Wildcard),
+        Expr::Unary { op, expr } => DiffNode::new(NodeKind::Unary(*op), vec![lift_expr(expr)]),
+        Expr::Binary { left, op, right } => {
+            DiffNode::new(NodeKind::Binary(*op), vec![lift_expr(left), lift_expr(right)])
+        }
+        Expr::Function { name, args, distinct } => DiffNode::new(
+            NodeKind::Function { name: name.clone(), distinct: *distinct },
+            args.iter().map(lift_expr).collect(),
+        ),
+        Expr::Case { operand, branches, else_expr } => {
+            let operand_node = DiffNode::new(
+                NodeKind::CaseOperand,
+                operand.as_ref().map(|o| vec![lift_expr(o)]).unwrap_or_default(),
+            );
+            let branches_node = DiffNode::new(
+                NodeKind::CaseBranches,
+                branches
+                    .iter()
+                    .map(|(w, t)| DiffNode::new(NodeKind::CaseBranch, vec![lift_expr(w), lift_expr(t)]))
+                    .collect(),
+            );
+            let else_node = DiffNode::new(
+                NodeKind::CaseElse,
+                else_expr.as_ref().map(|e| vec![lift_expr(e)]).unwrap_or_default(),
+            );
+            DiffNode::new(NodeKind::Case, vec![operand_node, branches_node, else_node])
+        }
+        Expr::InList { expr, list, negated } => {
+            let mut children = vec![lift_expr(expr)];
+            children.extend(list.iter().map(lift_expr));
+            DiffNode::new(NodeKind::InList { negated: *negated }, children)
+        }
+        Expr::InSubquery { expr, subquery, negated } => DiffNode::new(
+            NodeKind::InSubquery { negated: *negated },
+            vec![lift_expr(expr), lift_query_node(subquery)],
+        ),
+        Expr::Exists { subquery, negated } => {
+            DiffNode::new(NodeKind::Exists { negated: *negated }, vec![lift_query_node(subquery)])
+        }
+        Expr::Between { expr, low, high, negated } => DiffNode::new(
+            NodeKind::Between { negated: *negated },
+            vec![lift_expr(expr), lift_expr(low), lift_expr(high)],
+        ),
+        Expr::ScalarSubquery(q) => {
+            DiffNode::new(NodeKind::ScalarSubquery, vec![lift_query_node(q)])
+        }
+        Expr::IsNull { expr, negated } => {
+            DiffNode::new(NodeKind::IsNull { negated: *negated }, vec![lift_expr(expr)])
+        }
+        Expr::Like { expr, pattern, negated } => DiffNode::new(
+            NodeKind::Like { negated: *negated },
+            vec![lift_expr(expr), lift_expr(pattern)],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_sql::parse_query;
+
+    #[test]
+    fn query_node_has_eight_slots() {
+        let q = parse_query("SELECT a FROM t").unwrap();
+        let t = lift_query(&q, 0);
+        assert!(matches!(t.root.kind, NodeKind::Query { distinct: false }));
+        assert_eq!(t.root.children.len(), 8);
+        assert_eq!(t.root.children[0].kind, NodeKind::Projection);
+        assert_eq!(t.root.children[2].kind, NodeKind::Where);
+        assert!(t.root.children[2].children.is_empty());
+    }
+
+    #[test]
+    fn where_children_are_conjuncts() {
+        let q = parse_query("SELECT a FROM t WHERE a = 1 AND b = 2 AND (c = 3 OR d = 4)").unwrap();
+        let t = lift_query(&q, 0);
+        assert_eq!(t.root.children[2].children.len(), 3);
+    }
+
+    #[test]
+    fn identical_spellings_lift_identically() {
+        let a = lift_query(&parse_query("SELECT x FROM t WHERE a = 1 AND b = 2").unwrap(), 0);
+        let b = lift_query(&parse_query("SELECT x FROM t WHERE b = 2 AND a = 1").unwrap(), 0);
+        assert_eq!(a.structural_hash(), b.structural_hash());
+    }
+
+    #[test]
+    fn lifts_no_choice_nodes() {
+        let q = parse_query(
+            "SELECT a, count(*) FROM t JOIN u ON t.id = u.id WHERE a IN (SELECT b FROM v) GROUP BY a",
+        )
+        .unwrap();
+        let t = lift_query(&q, 0);
+        assert_eq!(t.root.choice_count(), 0);
+    }
+
+    #[test]
+    fn subqueries_lift_recursively() {
+        let q = parse_query("SELECT a FROM t WHERE a > (SELECT avg(a) FROM t)").unwrap();
+        let t = lift_query(&q, 0);
+        let mut query_nodes = 0;
+        t.root.walk(&mut |n| {
+            if matches!(n.kind, NodeKind::Query { .. }) {
+                query_nodes += 1;
+            }
+        });
+        assert_eq!(query_nodes, 2);
+    }
+}

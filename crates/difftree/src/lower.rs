@@ -1,0 +1,435 @@
+//! Lowering DiffTrees back to concrete SQL queries under a [`Bindings`].
+//!
+//! Lowering is the inverse of lifting: choice nodes resolve through the
+//! bindings (`Any` → chosen child, `Opt` → included or dropped, `Hole` →
+//! bound literal), then the structural labels rebuild the AST.
+
+use crate::bindings::{Binding, Bindings};
+use crate::node::{DiffNode, DiffTree, NodeKind};
+use pi2_sql::visit::conjoin;
+use pi2_sql::{Expr, OrderByItem, Query, SelectItem, TableRef};
+use std::fmt;
+
+/// Errors raised during lowering (malformed tree shapes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(pub String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lower error: {}", self.0)
+    }
+}
+impl std::error::Error for LowerError {}
+
+type Result<T> = std::result::Result<T, LowerError>;
+
+/// Lower a DiffTree to a concrete query under `bindings`. Unbound choice
+/// nodes use defaults: `Any` picks its first child, `Opt` includes its
+/// child, `Hole` uses its stored default literal.
+pub fn lower_query(tree: &DiffTree, bindings: &Bindings) -> Result<Query> {
+    let node = &tree.root;
+    // The root may itself be a choice (e.g. ANY over whole queries).
+    let resolved = resolve(node, bindings)?;
+    match resolved {
+        Some(n) => lower_query_node(n, bindings),
+        None => Err(LowerError("root resolved to nothing".into())),
+    }
+}
+
+/// Resolve choice nodes at `node`: returns the effective structural node,
+/// or `None` if an `Opt` excludes it.
+fn resolve<'a>(node: &'a DiffNode, bindings: &Bindings) -> Result<Option<&'a DiffNode>> {
+    match &node.kind {
+        NodeKind::Any => {
+            let idx = match bindings.get(node.id) {
+                Some(Binding::Pick(i)) => *i,
+                Some(other) => {
+                    return Err(LowerError(format!("ANY node {} bound with {other:?}", node.id)))
+                }
+                None => 0,
+            };
+            let child = node.children.get(idx).ok_or_else(|| {
+                LowerError(format!("ANY node {}: pick {idx} out of range {}", node.id, node.children.len()))
+            })?;
+            resolve(child, bindings)
+        }
+        NodeKind::Opt => {
+            let include = match bindings.get(node.id) {
+                Some(Binding::Include(b)) => *b,
+                Some(other) => {
+                    return Err(LowerError(format!("OPT node {} bound with {other:?}", node.id)))
+                }
+                None => true,
+            };
+            if !include {
+                return Ok(None);
+            }
+            let child = node
+                .children
+                .first()
+                .ok_or_else(|| LowerError(format!("OPT node {} has no child", node.id)))?;
+            resolve(child, bindings)
+        }
+        _ => Ok(Some(node)),
+    }
+}
+
+/// Lower a list-semantics child vector, dropping excluded OPTs.
+fn lower_list<'a>(children: &'a [DiffNode], bindings: &Bindings) -> Result<Vec<&'a DiffNode>> {
+    let mut out = Vec::with_capacity(children.len());
+    for c in children {
+        if let Some(n) = resolve(c, bindings)? {
+            out.push(n);
+        }
+    }
+    Ok(out)
+}
+
+/// Resolve a fixed-arity child (must be present).
+fn required<'a>(node: &'a DiffNode, idx: usize, bindings: &Bindings, what: &str) -> Result<&'a DiffNode> {
+    let c = node
+        .children
+        .get(idx)
+        .ok_or_else(|| LowerError(format!("{what}: missing child {idx} of {:?}", node.kind)))?;
+    resolve(c, bindings)?.ok_or_else(|| LowerError(format!("{what}: child {idx} excluded by OPT")))
+}
+
+pub(crate) fn lower_query_node(node: &DiffNode, bindings: &Bindings) -> Result<Query> {
+    let NodeKind::Query { distinct } = &node.kind else {
+        return Err(LowerError(format!("expected Query node, got {:?}", node.kind)));
+    };
+    if node.children.len() != 8 {
+        return Err(LowerError(format!("Query node has {} slots, expected 8", node.children.len())));
+    }
+    let mut q = Query::new();
+    q.distinct = *distinct;
+
+    let projection = required(node, 0, bindings, "projection slot")?;
+    for item in lower_list(&projection.children, bindings)? {
+        q.projection.push(lower_select_item(item, bindings)?);
+    }
+    if q.projection.is_empty() {
+        return Err(LowerError("projection resolved to no items".into()));
+    }
+
+    let from = required(node, 1, bindings, "from slot")?;
+    for t in lower_list(&from.children, bindings)? {
+        q.from.push(lower_table_ref(t, bindings)?);
+    }
+
+    let where_node = required(node, 2, bindings, "where slot")?;
+    let where_parts: Vec<Expr> = lower_list(&where_node.children, bindings)?
+        .into_iter()
+        .map(|n| lower_expr(n, bindings))
+        .collect::<Result<_>>()?;
+    q.where_clause = conjoin(where_parts);
+
+    let group_by = required(node, 3, bindings, "group-by slot")?;
+    for g in lower_list(&group_by.children, bindings)? {
+        q.group_by.push(lower_expr(g, bindings)?);
+    }
+
+    let having = required(node, 4, bindings, "having slot")?;
+    let having_parts: Vec<Expr> = lower_list(&having.children, bindings)?
+        .into_iter()
+        .map(|n| lower_expr(n, bindings))
+        .collect::<Result<_>>()?;
+    q.having = conjoin(having_parts);
+
+    let order_by = required(node, 5, bindings, "order-by slot")?;
+    for o in lower_list(&order_by.children, bindings)? {
+        let NodeKind::OrderItem { dir } = &o.kind else {
+            return Err(LowerError(format!("expected OrderItem, got {:?}", o.kind)));
+        };
+        let expr = lower_expr(required(o, 0, bindings, "order item")?, bindings)?;
+        q.order_by.push(OrderByItem { expr, dir: *dir });
+    }
+
+    let limit = required(node, 6, bindings, "limit slot")?;
+    if let Some(l) = lower_list(&limit.children, bindings)?.first() {
+        let NodeKind::Limit(v) = &l.kind else {
+            return Err(LowerError(format!("expected Limit leaf, got {:?}", l.kind)));
+        };
+        q.limit = Some(*v);
+    }
+
+    let offset = required(node, 7, bindings, "offset slot")?;
+    if let Some(o) = lower_list(&offset.children, bindings)?.first() {
+        let NodeKind::Offset(v) = &o.kind else {
+            return Err(LowerError(format!("expected Offset leaf, got {:?}", o.kind)));
+        };
+        q.offset = Some(*v);
+    }
+
+    Ok(q)
+}
+
+fn lower_select_item(node: &DiffNode, bindings: &Bindings) -> Result<SelectItem> {
+    match &node.kind {
+        NodeKind::Wildcard => Ok(SelectItem::Wildcard),
+        NodeKind::QualifiedWildcard(t) => Ok(SelectItem::QualifiedWildcard(t.clone())),
+        NodeKind::SelectItem { alias } => {
+            let expr = lower_expr(required(node, 0, bindings, "select item")?, bindings)?;
+            Ok(SelectItem::Expr { expr, alias: alias.clone() })
+        }
+        other => Err(LowerError(format!("expected select item, got {other:?}"))),
+    }
+}
+
+fn lower_table_ref(node: &DiffNode, bindings: &Bindings) -> Result<TableRef> {
+    match &node.kind {
+        NodeKind::TableNamed { name, alias } => {
+            Ok(TableRef::Named { name: name.clone(), alias: alias.clone() })
+        }
+        NodeKind::TableSubquery { alias } => {
+            let inner = required(node, 0, bindings, "derived table")?;
+            Ok(TableRef::Subquery {
+                query: Box::new(lower_query_node(inner, bindings)?),
+                alias: alias.clone(),
+            })
+        }
+        NodeKind::Join { kind } => {
+            let left = lower_table_ref(required(node, 0, bindings, "join left")?, bindings)?;
+            let right = lower_table_ref(required(node, 1, bindings, "join right")?, bindings)?;
+            let on_node = required(node, 2, bindings, "join on")?;
+            let on_parts: Vec<Expr> = lower_list(&on_node.children, bindings)?
+                .into_iter()
+                .map(|n| lower_expr(n, bindings))
+                .collect::<Result<_>>()?;
+            Ok(TableRef::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind: *kind,
+                on: conjoin(on_parts),
+            })
+        }
+        other => Err(LowerError(format!("expected table ref, got {other:?}"))),
+    }
+}
+
+pub(crate) fn lower_expr(node: &DiffNode, bindings: &Bindings) -> Result<Expr> {
+    let node = resolve(node, bindings)?
+        .ok_or_else(|| LowerError("expression excluded by OPT in scalar position".into()))?;
+    match &node.kind {
+        NodeKind::Column(c) => Ok(Expr::Column(c.clone())),
+        NodeKind::Lit(l) => Ok(Expr::Literal(l.clone())),
+        NodeKind::Wildcard => Ok(Expr::Wildcard),
+        NodeKind::Hole { domain, default, .. } => {
+            let value = match bindings.get(node.id) {
+                Some(Binding::Value(v)) => v.clone(),
+                Some(other) => {
+                    return Err(LowerError(format!("HOLE node {} bound with {other:?}", node.id)))
+                }
+                None => default.clone(),
+            };
+            // Clamp to the domain: interfaces must not produce queries the
+            // tree does not express.
+            if !domain.contains(&value) {
+                return Err(LowerError(format!(
+                    "value {value} outside hole domain {domain:?} (node {})",
+                    node.id
+                )));
+            }
+            Ok(Expr::Literal(value))
+        }
+        NodeKind::Unary(op) => Ok(Expr::Unary {
+            op: *op,
+            expr: Box::new(lower_expr(required(node, 0, bindings, "unary")?, bindings)?),
+        }),
+        NodeKind::Binary(op) => Ok(Expr::Binary {
+            left: Box::new(lower_expr(required(node, 0, bindings, "binary left")?, bindings)?),
+            op: *op,
+            right: Box::new(lower_expr(required(node, 1, bindings, "binary right")?, bindings)?),
+        }),
+        NodeKind::Function { name, distinct } => {
+            let args: Vec<Expr> = lower_list(&node.children, bindings)?
+                .into_iter()
+                .map(|n| lower_expr(n, bindings))
+                .collect::<Result<_>>()?;
+            Ok(Expr::Function { name: name.clone(), args, distinct: *distinct })
+        }
+        NodeKind::Case => {
+            let operand_node = required(node, 0, bindings, "case operand slot")?;
+            let operand = match lower_list(&operand_node.children, bindings)?.first() {
+                Some(o) => Some(Box::new(lower_expr(o, bindings)?)),
+                None => None,
+            };
+            let branches_node = required(node, 1, bindings, "case branches")?;
+            let mut branches = Vec::new();
+            for b in lower_list(&branches_node.children, bindings)? {
+                let w = lower_expr(required(b, 0, bindings, "case when")?, bindings)?;
+                let t = lower_expr(required(b, 1, bindings, "case then")?, bindings)?;
+                branches.push((w, t));
+            }
+            let else_node = required(node, 2, bindings, "case else slot")?;
+            let else_expr = match lower_list(&else_node.children, bindings)?.first() {
+                Some(e) => Some(Box::new(lower_expr(e, bindings)?)),
+                None => None,
+            };
+            Ok(Expr::Case { operand, branches, else_expr })
+        }
+        NodeKind::InList { negated } => {
+            let resolved = lower_list(&node.children, bindings)?;
+            let (first, rest) = resolved
+                .split_first()
+                .ok_or_else(|| LowerError("IN list with no probe expression".into()))?;
+            let list: Vec<Expr> =
+                rest.iter().map(|n| lower_expr(n, bindings)).collect::<Result<_>>()?;
+            Ok(Expr::InList { expr: Box::new(lower_expr(first, bindings)?), list, negated: *negated })
+        }
+        NodeKind::InSubquery { negated } => Ok(Expr::InSubquery {
+            expr: Box::new(lower_expr(required(node, 0, bindings, "in-subquery probe")?, bindings)?),
+            subquery: Box::new(lower_query_node(
+                required(node, 1, bindings, "in-subquery body")?,
+                bindings,
+            )?),
+            negated: *negated,
+        }),
+        NodeKind::Exists { negated } => Ok(Expr::Exists {
+            subquery: Box::new(lower_query_node(
+                required(node, 0, bindings, "exists body")?,
+                bindings,
+            )?),
+            negated: *negated,
+        }),
+        NodeKind::Between { negated } => Ok(Expr::Between {
+            expr: Box::new(lower_expr(required(node, 0, bindings, "between expr")?, bindings)?),
+            low: Box::new(lower_expr(required(node, 1, bindings, "between low")?, bindings)?),
+            high: Box::new(lower_expr(required(node, 2, bindings, "between high")?, bindings)?),
+            negated: *negated,
+        }),
+        NodeKind::ScalarSubquery => Ok(Expr::ScalarSubquery(Box::new(lower_query_node(
+            required(node, 0, bindings, "scalar subquery")?,
+            bindings,
+        )?))),
+        NodeKind::IsNull { negated } => Ok(Expr::IsNull {
+            expr: Box::new(lower_expr(required(node, 0, bindings, "is-null")?, bindings)?),
+            negated: *negated,
+        }),
+        NodeKind::Like { negated } => Ok(Expr::Like {
+            expr: Box::new(lower_expr(required(node, 0, bindings, "like expr")?, bindings)?),
+            pattern: Box::new(lower_expr(required(node, 1, bindings, "like pattern")?, bindings)?),
+            negated: *negated,
+        }),
+        other => Err(LowerError(format!("expected expression node, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lift::lift_query;
+    use crate::node::Domain;
+    use pi2_sql::{normalize, parse_query, Literal};
+
+    fn roundtrip(sql: &str) {
+        let q = parse_query(sql).unwrap();
+        let tree = lift_query(&q, 0);
+        let lowered = lower_query(&tree, &Bindings::new()).unwrap();
+        assert_eq!(lowered, normalize::normalized(&q), "roundtrip failed for {sql}");
+    }
+
+    #[test]
+    fn lift_lower_roundtrips() {
+        for sql in [
+            "SELECT a FROM t",
+            "SELECT DISTINCT a, b AS x FROM t WHERE a = 1 AND b > 2 GROUP BY a, b HAVING count(*) > 3 ORDER BY a DESC LIMIT 5 OFFSET 2",
+            "SELECT * FROM t JOIN u ON t.id = u.id LEFT JOIN v ON u.x = v.x",
+            "SELECT a FROM (SELECT b AS a FROM t) AS s",
+            "SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END FROM t",
+            "SELECT CASE a WHEN 1 THEN 'one' END FROM t",
+            "SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN (SELECT c FROM u)",
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+            "SELECT a FROM t WHERE d BETWEEN DATE '2021-01-01' AND DATE '2021-12-31'",
+            "SELECT a FROM t WHERE name LIKE 'N%' AND x IS NOT NULL",
+            "SELECT count(DISTINCT a), sum(b + c) FROM t",
+            "SELECT a FROM t WHERE x > (SELECT avg(x) FROM t)",
+            "SELECT t.* FROM t CROSS JOIN u",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn any_binding_selects_child() {
+        // Build ANY over two predicates manually inside a WHERE.
+        let q1 = parse_query("SELECT p FROM t WHERE a = 1").unwrap();
+        let mut tree = lift_query(&q1, 0);
+        // Wrap the single conjunct in an ANY with an alternative b = 2.
+        let alt = crate::lift::lift_expr(&pi2_sql::Expr::eq(
+            pi2_sql::Expr::col("b"),
+            pi2_sql::Expr::int(2),
+        ));
+        let where_node = &mut tree.root.children[2];
+        let original = where_node.children.remove(0);
+        where_node.children.push(DiffNode::new(NodeKind::Any, vec![original, alt]));
+        tree.renumber();
+
+        let any_id = tree.choice_ids()[0];
+        let q_default = lower_query(&tree, &Bindings::new()).unwrap();
+        assert_eq!(q_default.to_string(), "SELECT p FROM t WHERE a = 1");
+        let q_second =
+            lower_query(&tree, &Bindings::new().with(any_id, Binding::Pick(1))).unwrap();
+        assert_eq!(q_second.to_string(), "SELECT p FROM t WHERE b = 2");
+        // Out-of-range pick is an error.
+        assert!(lower_query(&tree, &Bindings::new().with(any_id, Binding::Pick(5))).is_err());
+    }
+
+    #[test]
+    fn opt_binding_toggles_conjunct() {
+        let q = parse_query("SELECT p FROM t WHERE a = 1 AND b = 2").unwrap();
+        let mut tree = lift_query(&q, 0);
+        let where_node = &mut tree.root.children[2];
+        let second = where_node.children.remove(1);
+        where_node.children.push(DiffNode::new(NodeKind::Opt, vec![second]));
+        tree.renumber();
+        let opt_id = tree.choice_ids()[0];
+
+        let on = lower_query(&tree, &Bindings::new()).unwrap();
+        assert!(on.to_string().contains("b = 2"));
+        let off = lower_query(&tree, &Bindings::new().with(opt_id, Binding::Include(false))).unwrap();
+        assert_eq!(off.to_string(), "SELECT p FROM t WHERE a = 1");
+    }
+
+    #[test]
+    fn hole_binding_substitutes_value() {
+        let q = parse_query("SELECT p FROM t WHERE a = 1").unwrap();
+        let mut tree = lift_query(&q, 0);
+        // Replace the literal 1 with a hole over 0..10.
+        let pred = &mut tree.root.children[2].children[0];
+        pred.children[1] = DiffNode::leaf(NodeKind::Hole {
+            domain: Domain::IntRange { min: 0, max: 10 },
+            default: Literal::Int(1),
+            source_column: Some(pi2_sql::ColumnRef::bare("a")),
+        });
+        tree.renumber();
+        let hole_id = tree.choice_ids()[0];
+
+        let q_default = lower_query(&tree, &Bindings::new()).unwrap();
+        assert_eq!(q_default.to_string(), "SELECT p FROM t WHERE a = 1");
+        let q7 = lower_query(
+            &tree,
+            &Bindings::new().with(hole_id, Binding::Value(Literal::Int(7))),
+        )
+        .unwrap();
+        assert_eq!(q7.to_string(), "SELECT p FROM t WHERE a = 7");
+        // Out-of-domain value is rejected.
+        assert!(lower_query(
+            &tree,
+            &Bindings::new().with(hole_id, Binding::Value(Literal::Int(99)))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn wrong_binding_kind_is_error() {
+        let q = parse_query("SELECT p FROM t WHERE a = 1").unwrap();
+        let mut tree = lift_query(&q, 0);
+        let where_node = &mut tree.root.children[2];
+        let original = where_node.children.remove(0);
+        where_node.children.push(DiffNode::new(NodeKind::Any, vec![original]));
+        tree.renumber();
+        let any_id = tree.choice_ids()[0];
+        assert!(lower_query(&tree, &Bindings::new().with(any_id, Binding::Include(false))).is_err());
+    }
+}

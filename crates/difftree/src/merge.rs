@@ -1,0 +1,428 @@
+//! Structural merging of queries into a single DiffTree.
+//!
+//! Merging is bottom-up and positional: nodes with the same label merge
+//! their children (lists are aligned with a Needleman–Wunsch pass so that
+//! unchanged items pair up and additions become `Opt`s); nodes with
+//! different labels become an `Any` over the alternatives. This directly
+//! produces the factored forms of the paper's Figure 3(b)/Figure 4 —
+//! e.g. merging `WHERE a = 1` with `WHERE b = 2` yields
+//! `ANY(a,b) = ANY(1,2)` — and the `Opt` toggles of Figure 7 (a conjunct
+//! present in only one query).
+
+use crate::node::{DiffNode, DiffTree, Domain, NodeKind};
+use pi2_sql::{Literal, Query};
+
+/// Merge a slice of queries (with their log indices) into one DiffTree by
+/// folding pairwise merges in order.
+pub fn merge_queries(queries: &[(usize, &Query)]) -> DiffTree {
+    assert!(!queries.is_empty(), "merge_queries requires at least one query");
+    let mut iter = queries.iter();
+    let (first_idx, first) = iter.next().expect("non-empty");
+    let mut acc = crate::lift::lift_query(first, *first_idx).root;
+    let mut sources = vec![*first_idx];
+    for (idx, q) in iter {
+        let lifted = crate::lift::lift_query(q, *idx).root;
+        acc = merge_nodes(&acc, &lifted);
+        sources.push(*idx);
+    }
+    DiffTree::new(acc, sources)
+}
+
+/// Merge two already-built trees (the forest-level MergeTrees rule).
+pub fn merge_trees(a: &DiffTree, b: &DiffTree) -> DiffTree {
+    let root = merge_nodes(&a.root, &b.root);
+    let mut sources = a.source_queries.clone();
+    sources.extend(b.source_queries.iter().copied());
+    sources.sort_unstable();
+    sources.dedup();
+    DiffTree::new(root, sources)
+}
+
+/// Merge two nodes into one that expresses both.
+pub fn merge_nodes(a: &DiffNode, b: &DiffNode) -> DiffNode {
+    if a.structurally_eq(b) {
+        return a.clone();
+    }
+    match (&a.kind, &b.kind) {
+        // ANY absorbs: an alternative identical to an existing child is
+        // dropped; otherwise it is appended (later factoring rules can
+        // restructure).
+        (NodeKind::Any, NodeKind::Any) => {
+            let mut merged = a.clone();
+            for c in &b.children {
+                absorb_into_any(&mut merged, c);
+            }
+            merged
+        }
+        (NodeKind::Any, _) => {
+            let mut merged = a.clone();
+            absorb_into_any(&mut merged, b);
+            merged
+        }
+        (_, NodeKind::Any) => {
+            let mut merged = b.clone();
+            absorb_into_any(&mut merged, a);
+            merged
+        }
+        // OPT merges through its child.
+        (NodeKind::Opt, NodeKind::Opt) => {
+            DiffNode::new(NodeKind::Opt, vec![merge_nodes(&a.children[0], &b.children[0])])
+        }
+        (NodeKind::Opt, _) => DiffNode::new(NodeKind::Opt, vec![merge_nodes(&a.children[0], b)]),
+        (_, NodeKind::Opt) => DiffNode::new(NodeKind::Opt, vec![merge_nodes(a, &b.children[0])]),
+        // A hole absorbs literals of a compatible type by widening its domain.
+        (NodeKind::Hole { domain, default, source_column }, NodeKind::Lit(l))
+            if domain_accepts_type(domain, l) =>
+        {
+            DiffNode::leaf(NodeKind::Hole {
+                domain: widen_domain(domain.clone(), l),
+                default: default.clone(),
+                source_column: source_column.clone(),
+            })
+        }
+        (NodeKind::Lit(l), NodeKind::Hole { domain, default, source_column })
+            if domain_accepts_type(domain, l) =>
+        {
+            DiffNode::leaf(NodeKind::Hole {
+                domain: widen_domain(domain.clone(), l),
+                default: default.clone(),
+                source_column: source_column.clone(),
+            })
+        }
+        (ka, kb) if ka == kb => {
+            // Same structural label: merge children.
+            let children = if ka.is_list() {
+                align_merge(&a.children, &b.children)
+            } else if a.children.len() == b.children.len() {
+                a.children.iter().zip(&b.children).map(|(x, y)| merge_nodes(x, y)).collect()
+            } else {
+                // Same fixed-arity label with different child counts should
+                // not happen for well-formed lifts; fall back to ANY.
+                return mk_any(a.clone(), b.clone());
+            };
+            DiffNode::new(ka.clone(), children)
+        }
+        _ => mk_any(a.clone(), b.clone()),
+    }
+}
+
+/// Append `child` to an existing ANY node unless an identical alternative
+/// is already present; nested ANYs are flattened.
+fn absorb_into_any(any: &mut DiffNode, child: &DiffNode) {
+    debug_assert!(matches!(any.kind, NodeKind::Any));
+    if matches!(child.kind, NodeKind::Any) {
+        for c in &child.children {
+            absorb_into_any(any, c);
+        }
+        return;
+    }
+    let h = child.structural_hash();
+    if !any.children.iter().any(|c| c.structural_hash() == h) {
+        any.children.push(child.clone());
+    }
+}
+
+/// Build an ANY over two alternatives (flattening / deduping).
+fn mk_any(a: DiffNode, b: DiffNode) -> DiffNode {
+    let mut any = DiffNode::new(NodeKind::Any, Vec::new());
+    absorb_into_any(&mut any, &a);
+    absorb_into_any(&mut any, &b);
+    if any.children.len() == 1 {
+        any.children.pop().expect("one child")
+    } else {
+        any
+    }
+}
+
+fn mk_opt(x: &DiffNode) -> DiffNode {
+    if matches!(x.kind, NodeKind::Opt) {
+        x.clone()
+    } else {
+        DiffNode::new(NodeKind::Opt, vec![x.clone()])
+    }
+}
+
+fn domain_accepts_type(domain: &Domain, lit: &Literal) -> bool {
+    match (domain, lit) {
+        (Domain::IntRange { .. }, Literal::Int(_)) => true,
+        (Domain::FloatRange { .. }, Literal::Float(_) | Literal::Int(_)) => true,
+        (Domain::DateRange { .. }, Literal::Date(_)) => true,
+        (Domain::Discrete(items), l) => items
+            .first()
+            .map(|f| std::mem::discriminant(f) == std::mem::discriminant(l))
+            .unwrap_or(true),
+        _ => false,
+    }
+}
+
+fn widen_domain(domain: Domain, lit: &Literal) -> Domain {
+    match (domain, lit) {
+        (Domain::Discrete(mut items), l) => {
+            if !items.contains(l) {
+                items.push(l.clone());
+            }
+            Domain::Discrete(items)
+        }
+        (Domain::IntRange { min, max }, Literal::Int(v)) => {
+            Domain::IntRange { min: min.min(*v), max: max.max(*v) }
+        }
+        (Domain::FloatRange { min, max }, Literal::Float(v)) => {
+            Domain::FloatRange { min: min.min(*v), max: max.max(*v) }
+        }
+        (Domain::FloatRange { min, max }, Literal::Int(v)) => {
+            let f = pi2_sql::F64(*v as f64);
+            Domain::FloatRange { min: min.min(f), max: max.max(f) }
+        }
+        (Domain::DateRange { min, max }, Literal::Date(d)) => {
+            Domain::DateRange { min: min.min(*d), max: max.max(*d) }
+        }
+        (d, _) => d,
+    }
+}
+
+// ---- list alignment ---------------------------------------------------------
+
+/// Cost of opening a gap (an item present on one side only → `Opt`).
+const GAP_COST: f64 = 0.75;
+
+/// Estimated cost of merging two sibling candidates; lower is better.
+fn pair_cost(a: &DiffNode, b: &DiffNode) -> f64 {
+    if a.structurally_eq(b) {
+        return 0.0;
+    }
+    // See through OPT wrappers with a small discount so a previously
+    // optional item re-pairs with its concrete twin.
+    if let (NodeKind::Opt, _) = (&a.kind, &b.kind) {
+        return 0.05 + 0.9 * pair_cost(&a.children[0], b);
+    }
+    if let (_, NodeKind::Opt) = (&a.kind, &b.kind) {
+        return 0.05 + 0.9 * pair_cost(a, &b.children[0]);
+    }
+    // ANY pairs well with anything that pairs with one of its alternatives.
+    if matches!(a.kind, NodeKind::Any) {
+        return 0.1
+            + 0.8
+                * a.children
+                    .iter()
+                    .map(|c| pair_cost(c, b))
+                    .fold(f64::INFINITY, f64::min)
+                    .min(1.0);
+    }
+    if matches!(b.kind, NodeKind::Any) {
+        return pair_cost(b, a);
+    }
+    if matches!((&a.kind, &b.kind), (NodeKind::Hole { .. }, NodeKind::Lit(_)) | (NodeKind::Lit(_), NodeKind::Hole { .. }))
+    {
+        return 0.1;
+    }
+    if a.kind == b.kind {
+        let n = a.children.len().max(b.children.len()).max(1);
+        let matches = a
+            .children
+            .iter()
+            .zip(&b.children)
+            .filter(|(x, y)| x.structural_hash() == y.structural_hash())
+            .count();
+        0.15 + 0.65 * (1.0 - matches as f64 / n as f64)
+    } else {
+        1.0
+    }
+}
+
+/// Needleman–Wunsch alignment of two child lists; aligned pairs merge,
+/// gaps become `Opt`s.
+fn align_merge(xs: &[DiffNode], ys: &[DiffNode]) -> Vec<DiffNode> {
+    let n = xs.len();
+    let m = ys.len();
+    // dp[i][j] = min cost to align xs[i..] with ys[j..].
+    let mut dp = vec![vec![0.0f64; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        dp[i][m] = dp[i + 1][m] + GAP_COST;
+    }
+    for j in (0..m).rev() {
+        dp[n][j] = dp[n][j + 1] + GAP_COST;
+    }
+    let mut costs = vec![vec![0.0f64; m]; n];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            costs[i][j] = pair_cost(&xs[i], &ys[j]);
+            dp[i][j] = (dp[i + 1][j + 1] + costs[i][j])
+                .min(dp[i + 1][j] + GAP_COST)
+                .min(dp[i][j + 1] + GAP_COST);
+        }
+    }
+    // Reconstruct.
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n || j < m {
+        if i < n && j < m && (dp[i + 1][j + 1] + costs[i][j] <= dp[i][j] + 1e-12) {
+            out.push(merge_nodes(&xs[i], &ys[j]));
+            i += 1;
+            j += 1;
+        } else if i < n && (j == m || dp[i + 1][j] + GAP_COST <= dp[i][j] + 1e-12) {
+            out.push(mk_opt(&xs[i]));
+            i += 1;
+        } else {
+            out.push(mk_opt(&ys[j]));
+            j += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings::{Binding, Bindings};
+    use crate::lower::lower_query;
+    use pi2_sql::parse_query;
+
+    fn merge_sql(sqls: &[&str]) -> DiffTree {
+        let queries: Vec<Query> = sqls.iter().map(|s| parse_query(s).unwrap()).collect();
+        let indexed: Vec<(usize, &Query)> = queries.iter().enumerate().collect();
+        merge_queries(&indexed)
+    }
+
+    #[test]
+    fn identical_queries_merge_without_choices() {
+        let t = merge_sql(&["SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 1"]);
+        assert_eq!(t.root.choice_count(), 0);
+    }
+
+    #[test]
+    fn fig3_predicate_merge_factors_operands() {
+        // Q1: WHERE a = 1; Q2: WHERE b = 2 — same `=` root, so merging
+        // produces per-operand ANYs (Figure 3b).
+        let t = merge_sql(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+        ]);
+        assert_eq!(t.root.choice_count(), 2, "expected two ANY nodes:\n{}", t.root);
+        // The WHERE slot holds one conjunct rooted at `=`.
+        let where_node = &t.root.children[2];
+        assert_eq!(where_node.children.len(), 1);
+        let pred = &where_node.children[0];
+        assert!(matches!(pred.kind, NodeKind::Binary(pi2_sql::BinaryOp::Eq)));
+        assert!(matches!(pred.children[0].kind, NodeKind::Any));
+        assert!(matches!(pred.children[1].kind, NodeKind::Any));
+    }
+
+    #[test]
+    fn fig4_merge_adds_opt_where_and_any_projection() {
+        // Q3 projects `a` and has no WHERE: merging with Q1/Q2 should give
+        // an ANY in the SELECT clause and an OPT around the predicate
+        // (Figure 4).
+        let t = merge_sql(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+            "SELECT a, count(*) FROM t GROUP BY a",
+        ]);
+        let where_node = &t.root.children[2];
+        assert_eq!(where_node.children.len(), 1);
+        assert!(matches!(where_node.children[0].kind, NodeKind::Opt), "{}", t.root);
+        // Projection's first item contains an ANY over columns p / a.
+        let proj = &t.root.children[0];
+        let first = &proj.children[0];
+        assert!(matches!(first.kind, NodeKind::SelectItem { .. }));
+        assert!(matches!(first.children[0].kind, NodeKind::Any));
+    }
+
+    #[test]
+    fn merged_tree_expresses_both_inputs() {
+        let t = merge_sql(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+        ]);
+        // Default bindings give the first query.
+        let q0 = lower_query(&t, &Bindings::new()).unwrap();
+        assert_eq!(q0.to_string(), "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p");
+        // Picking the second alternative on both ANYs gives the second.
+        let ids = t.choice_ids();
+        let mut b = Bindings::new();
+        for id in ids {
+            b.set(id, Binding::Pick(1));
+        }
+        let q1 = lower_query(&t, &b).unwrap();
+        assert_eq!(q1.to_string(), "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p");
+        // The factored tree also generalizes: mixed picks are valid queries
+        // beyond the input log (paper: "SELECT p, count(*) WHERE b = 1").
+        let ids = t.choice_ids();
+        let mixed = Bindings::new().with(ids[0], Binding::Pick(1)).with(ids[1], Binding::Pick(0));
+        let qm = lower_query(&t, &mixed).unwrap();
+        assert_eq!(qm.to_string(), "SELECT p, count(*) FROM t WHERE b = 1 GROUP BY p");
+    }
+
+    #[test]
+    fn different_date_windows_merge_literal_anys() {
+        let t = merge_sql(&[
+            "SELECT date, sum(cases) FROM covid WHERE date BETWEEN DATE '2021-12-16' AND DATE '2021-12-31' GROUP BY date",
+            "SELECT date, sum(cases) FROM covid WHERE date BETWEEN DATE '2021-12-01' AND DATE '2021-12-15' GROUP BY date",
+        ]);
+        // Two ANYs: one per BETWEEN endpoint.
+        assert_eq!(t.root.choice_count(), 2, "{}", t.root);
+    }
+
+    #[test]
+    fn unrelated_queries_merge_still_expresses_both() {
+        let t = merge_sql(&["SELECT a FROM t", "SELECT b FROM u WHERE x = 1 GROUP BY b"]);
+        // FROM differs (t vs u) -> ANY inside FROM; plus projection/where
+        // differences. The default lowering is a valid mixture, and the
+        // tree must still express both inputs exactly.
+        let q0 = lower_query(&t, &Bindings::new()).unwrap();
+        assert!(q0.to_string().starts_with("SELECT a FROM t"));
+        for sql in ["SELECT a FROM t", "SELECT b FROM u WHERE x = 1 GROUP BY b"] {
+            let q = parse_query(sql).unwrap();
+            assert!(crate::expresses::expresses(&t, &q).is_some(), "cannot express {sql}");
+        }
+    }
+
+    #[test]
+    fn added_conjunct_becomes_opt() {
+        let t = merge_sql(&[
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+        ]);
+        let where_node = &t.root.children[2];
+        assert_eq!(where_node.children.len(), 2);
+        let opts = where_node.children.iter().filter(|c| matches!(c.kind, NodeKind::Opt)).count();
+        assert_eq!(opts, 1, "{}", t.root);
+    }
+
+    #[test]
+    fn merge_is_idempotent_on_repeat() {
+        let q = parse_query("SELECT a FROM t WHERE x = 1").unwrap();
+        let t1 = merge_queries(&[(0, &q)]);
+        let t2 = merge_queries(&[(0, &q), (1, &q), (2, &q)]);
+        assert_eq!(t1.structural_hash(), t2.structural_hash());
+    }
+
+    #[test]
+    fn hole_absorbs_literal() {
+        let hole = DiffNode::leaf(NodeKind::Hole {
+            domain: Domain::IntRange { min: 1, max: 3 },
+            default: Literal::Int(1),
+            source_column: None,
+        });
+        let lit = DiffNode::leaf(NodeKind::Lit(Literal::Int(9)));
+        let merged = merge_nodes(&hole, &lit);
+        let NodeKind::Hole { domain, .. } = &merged.kind else { panic!() };
+        assert_eq!(*domain, Domain::IntRange { min: 1, max: 9 });
+    }
+
+    #[test]
+    fn three_way_merge_dedups_any_children() {
+        let t = merge_sql(&[
+            "SELECT a FROM t WHERE p = 1",
+            "SELECT a FROM t WHERE p = 2",
+            "SELECT a FROM t WHERE p = 1",
+        ]);
+        // The literal ANY has exactly two alternatives (1 and 2).
+        let mut any_arities = Vec::new();
+        t.root.walk(&mut |n| {
+            if matches!(n.kind, NodeKind::Any) {
+                any_arities.push(n.children.len());
+            }
+        });
+        assert_eq!(any_arities, vec![2]);
+    }
+}

@@ -1,0 +1,621 @@
+//! The DiffTree node model.
+//!
+//! A [`DiffNode`] is a labeled ordered tree. Structural labels mirror the
+//! SQL AST one-to-one (so that any query lifts losslessly); the three
+//! choice labels — `Any`, `Opt`, `Hole` — encode variation. Every node
+//! carries a [`NodeId`] so interactions can bind to choice nodes stably.
+
+use pi2_sql::{BinaryOp, ColumnRef, Date, JoinKind, Literal, SortDir, UnaryOp, F64};
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Identifier of a node within one [`DiffTree`].
+pub type NodeId = u32;
+
+/// The domain of a value [`NodeKind::Hole`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// An explicit list of alternatives (the literals observed in the log,
+    /// or a column's full distinct-value list after generalization).
+    Discrete(Vec<Literal>),
+    /// A continuous integer range, inclusive.
+    IntRange {
+        /// Minimum value.
+        min: i64,
+        /// Maximum value.
+        max: i64,
+    },
+    /// A continuous float range, inclusive.
+    FloatRange {
+        /// Minimum value.
+        min: F64,
+        /// Maximum value.
+        max: F64,
+    },
+    /// A continuous date range, inclusive.
+    DateRange {
+        /// Minimum value.
+        min: Date,
+        /// Maximum value.
+        max: Date,
+    },
+}
+
+impl Domain {
+    /// Does `lit` fall inside this domain?
+    pub fn contains(&self, lit: &Literal) -> bool {
+        match (self, lit) {
+            (Domain::Discrete(items), l) => items.contains(l),
+            (Domain::IntRange { min, max }, Literal::Int(v)) => v >= min && v <= max,
+            (Domain::FloatRange { min, max }, Literal::Float(v)) => v >= min && v <= max,
+            (Domain::FloatRange { min, max }, Literal::Int(v)) => {
+                let f = F64(*v as f64);
+                f >= *min && f <= *max
+            }
+            (Domain::DateRange { min, max }, Literal::Date(d)) => d >= min && d <= max,
+            _ => false,
+        }
+    }
+
+    /// True for the continuous range variants.
+    pub fn is_continuous(&self) -> bool {
+        !matches!(self, Domain::Discrete(_))
+    }
+
+    /// Number of alternatives for a discrete domain.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            Domain::Discrete(items) => Some(items.len()),
+            Domain::IntRange { min, max } => Some((max - min + 1).max(0) as usize),
+            Domain::DateRange { min, max } => Some((max.0 - min.0 + 1).max(0) as usize),
+            Domain::FloatRange { .. } => None,
+        }
+    }
+}
+
+/// The label of a [`DiffNode`].
+///
+/// Structural variants mirror [`pi2_sql`]'s AST; the final three are the
+/// choice nodes. Variable-length constructs (projection lists, conjunct
+/// lists, CASE branches) get explicit wrapper labels so that lowering is
+/// unambiguous and merging can align their children.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    // ---- query structure ----
+    /// Root of a SELECT query. Children: Projection, From, Where, GroupBy,
+    /// Having, OrderBy, LimitSlot, OffsetSlot — always all eight, in order.
+    Query {
+        /// `DISTINCT` flag.
+        distinct: bool,
+    },
+    /// Children: SelectItem / Wildcard / QualifiedWildcard nodes.
+    Projection,
+    /// One projection item; child: the expression.
+    SelectItem {
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// `*` as a projection item or `count(*)` argument.
+    Wildcard,
+    /// `t.*`
+    QualifiedWildcard(String),
+    /// Children: table references (comma list).
+    From,
+    /// A named base table (leaf).
+    TableNamed {
+        /// The name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// A derived table; child: Query.
+    TableSubquery {
+        /// Optional alias.
+        alias: String,
+    },
+    /// A join; children: left, right, On.
+    Join {
+        /// The kind.
+        kind: JoinKind,
+    },
+    /// Join condition wrapper; zero children (cross) or the conjuncts.
+    On,
+    /// WHERE wrapper; children: the top-level conjuncts (possibly none).
+    Where,
+    /// Children: grouping expressions.
+    GroupBy,
+    /// HAVING wrapper; children: conjuncts.
+    Having,
+    /// Children: OrderItem nodes.
+    OrderBy,
+    /// One ORDER BY term; child: the expression.
+    OrderItem {
+        /// Sort direction.
+        dir: SortDir,
+    },
+    /// LIMIT wrapper; zero children or one Limit leaf.
+    LimitSlot,
+    /// The LIMIT value (leaf).
+    Limit(u64),
+    /// OFFSET wrapper; zero children or one Offset leaf.
+    OffsetSlot,
+    /// The OFFSET value (leaf).
+    Offset(u64),
+
+    // ---- expressions ----
+    /// Column.
+    Column(ColumnRef),
+    /// Lit.
+    Lit(Literal),
+    /// Unary.
+    Unary(UnaryOp),
+    /// Binary.
+    Binary(BinaryOp),
+    /// Children: argument expressions.
+    Function {
+        /// The name.
+        name: String,
+        /// `DISTINCT` flag.
+        distinct: bool,
+    },
+    /// Children: CaseOperand, CaseBranches, CaseElse.
+    Case,
+    /// Zero or one child.
+    CaseOperand,
+    /// Children: CaseBranch nodes.
+    CaseBranches,
+    /// Children: when-expression, then-expression.
+    CaseBranch,
+    /// Zero or one child.
+    CaseElse,
+    /// Children: probe expression, then the list items.
+    InList {
+        /// True for the `NOT` form.
+        negated: bool,
+    },
+    /// Children: probe expression, Query.
+    InSubquery {
+        /// True for the `NOT` form.
+        negated: bool,
+    },
+    /// Child: Query.
+    Exists {
+        /// True for the `NOT` form.
+        negated: bool,
+    },
+    /// Children: expr, low, high.
+    Between {
+        /// True for the `NOT` form.
+        negated: bool,
+    },
+    /// Child: Query.
+    ScalarSubquery,
+    /// Child: expr.
+    IsNull {
+        /// True for the `NOT` form.
+        negated: bool,
+    },
+    /// Children: expr, pattern.
+    Like {
+        /// True for the `NOT` form.
+        negated: bool,
+    },
+
+    // ---- choice nodes ----
+    /// Choose exactly one child.
+    Any,
+    /// Include the single child, or not.
+    Opt,
+    /// A typed value hole (leaf). `source_column` is the column the value
+    /// is compared against, when that is syntactically evident — it powers
+    /// visualization-interaction matching (click/brush on a chart whose
+    /// axis shows that column).
+    Hole {
+        /// The value domain.
+        domain: Domain,
+        /// Default value when unbound.
+        default: Literal,
+        /// Column the value constrains, when known.
+        source_column: Option<ColumnRef>,
+    },
+}
+
+impl NodeKind {
+    /// Is this one of the three choice labels?
+    pub fn is_choice(&self) -> bool {
+        matches!(self, NodeKind::Any | NodeKind::Opt | NodeKind::Hole { .. })
+    }
+
+    /// Can nodes of this kind have a variable number of children (list
+    /// semantics), as opposed to fixed arity?
+    pub fn is_list(&self) -> bool {
+        matches!(
+            self,
+            NodeKind::Projection
+                | NodeKind::From
+                | NodeKind::Where
+                | NodeKind::GroupBy
+                | NodeKind::Having
+                | NodeKind::OrderBy
+                | NodeKind::On
+                | NodeKind::CaseBranches
+                | NodeKind::InList { .. }
+                | NodeKind::Function { .. }
+                | NodeKind::LimitSlot
+                | NodeKind::OffsetSlot
+                | NodeKind::CaseOperand
+                | NodeKind::CaseElse
+                | NodeKind::Any
+        )
+    }
+}
+
+/// A node of a DiffTree: a label, ordered children, and a stable id.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffNode {
+    /// The kind.
+    pub kind: NodeKind,
+    /// Children.
+    pub children: Vec<DiffNode>,
+    /// Stable identifier.
+    pub id: NodeId,
+}
+
+impl DiffNode {
+    /// A leaf with id 0 (ids are assigned by [`DiffTree::renumber`]).
+    pub fn leaf(kind: NodeKind) -> Self {
+        DiffNode { kind, children: Vec::new(), id: 0 }
+    }
+
+    /// An internal node with id 0.
+    pub fn new(kind: NodeKind, children: Vec<DiffNode>) -> Self {
+        DiffNode { kind, children, id: 0 }
+    }
+
+    /// Structural hash ignoring ids.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
+    fn hash_into(&self, h: &mut DefaultHasher) {
+        self.kind.hash(h);
+        self.children.len().hash(h);
+        for c in &self.children {
+            c.hash_into(h);
+        }
+    }
+
+    /// Hash of the tree's *shape*: like [`DiffNode::structural_hash`] but
+    /// with literal values and hole domains erased. Two queries that differ
+    /// only in constants have equal shape hashes — the "many similar static
+    /// visualizations" the paper's walkthrough complains about.
+    pub fn shape_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.shape_into(&mut h);
+        h.finish()
+    }
+
+    fn shape_into(&self, h: &mut DefaultHasher) {
+        match &self.kind {
+            NodeKind::Lit(l) => {
+                "lit".hash(h);
+                std::mem::discriminant(l).hash(h);
+            }
+            NodeKind::Hole { .. } => "hole".hash(h),
+            other => other.hash(h),
+        }
+        self.children.len().hash(h);
+        for c in &self.children {
+            c.shape_into(h);
+        }
+    }
+
+    /// Number of choice nodes nested beneath another choice node. Such
+    /// controls are conditionally dead (e.g. holes inside an excluded OPT),
+    /// which the cost model penalizes.
+    pub fn nested_choice_count(&self) -> usize {
+        fn go(n: &DiffNode, under_choice: bool) -> usize {
+            let mut count = 0;
+            if n.kind.is_choice() && under_choice {
+                count += 1;
+            }
+            let next_under = under_choice || n.kind.is_choice();
+            count + n.children.iter().map(|c| go(c, next_under)).sum::<usize>()
+        }
+        go(self, false)
+    }
+
+    /// Structural equality ignoring ids.
+    pub fn structurally_eq(&self, other: &DiffNode) -> bool {
+        self.kind == other.kind
+            && self.children.len() == other.children.len()
+            && self.children.iter().zip(&other.children).all(|(a, b)| a.structurally_eq(b))
+    }
+
+    /// Total number of nodes in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(DiffNode::size).sum::<usize>()
+    }
+
+    /// Number of choice nodes in the subtree.
+    pub fn choice_count(&self) -> usize {
+        (self.kind.is_choice() as usize)
+            + self.children.iter().map(DiffNode::choice_count).sum::<usize>()
+    }
+
+    /// Depth-first pre-order visit.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a DiffNode)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    /// Find a node by id.
+    pub fn find(&self, id: NodeId) -> Option<&DiffNode> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(id))
+    }
+
+    /// Find a node by id, mutably.
+    pub fn find_mut(&mut self, id: NodeId) -> Option<&mut DiffNode> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter_mut().find_map(|c| c.find_mut(id))
+    }
+
+    /// A short human-readable summary of the subtree, used as widget option
+    /// labels (e.g. the two radio entries `a = 1` / `b = 2` in Figure 3a).
+    pub fn summary(&self) -> String {
+        match &self.kind {
+            NodeKind::Column(c) => c.to_string(),
+            NodeKind::Lit(l) => l.to_string(),
+            NodeKind::Wildcard => "*".into(),
+            NodeKind::QualifiedWildcard(t) => format!("{t}.*"),
+            NodeKind::Hole { default, .. } => format!("?{default}"),
+            NodeKind::Any => {
+                let opts: Vec<String> = self.children.iter().map(|c| c.summary()).collect();
+                format!("⟨{}⟩", opts.join(" | "))
+            }
+            NodeKind::Opt => format!("[{}]", self.children.first().map(|c| c.summary()).unwrap_or_default()),
+            NodeKind::Unary(UnaryOp::Not) => {
+                format!("NOT {}", self.children.first().map(|c| c.summary()).unwrap_or_default())
+            }
+            NodeKind::Unary(UnaryOp::Neg) => {
+                format!("-{}", self.children.first().map(|c| c.summary()).unwrap_or_default())
+            }
+            NodeKind::Binary(op) => {
+                let l = self.children.first().map(|c| c.summary()).unwrap_or_default();
+                let r = self.children.get(1).map(|c| c.summary()).unwrap_or_default();
+                format!("{l} {} {r}", op.sql())
+            }
+            NodeKind::Function { name, distinct } => {
+                let args: Vec<String> = self.children.iter().map(|c| c.summary()).collect();
+                format!("{name}({}{})", if *distinct { "DISTINCT " } else { "" }, args.join(", "))
+            }
+            NodeKind::Between { negated } => {
+                let e = self.children.first().map(|c| c.summary()).unwrap_or_default();
+                let lo = self.children.get(1).map(|c| c.summary()).unwrap_or_default();
+                let hi = self.children.get(2).map(|c| c.summary()).unwrap_or_default();
+                format!("{e} {}BETWEEN {lo} AND {hi}", if *negated { "NOT " } else { "" })
+            }
+            NodeKind::InList { negated } => {
+                let e = self.children.first().map(|c| c.summary()).unwrap_or_default();
+                let items: Vec<String> = self.children.iter().skip(1).map(|c| c.summary()).collect();
+                format!("{e} {}IN ({})", if *negated { "NOT " } else { "" }, items.join(", "))
+            }
+            NodeKind::InSubquery { negated } => {
+                let e = self.children.first().map(|c| c.summary()).unwrap_or_default();
+                format!("{e} {}IN (…)", if *negated { "NOT " } else { "" })
+            }
+            NodeKind::Exists { negated } => {
+                format!("{}EXISTS (…)", if *negated { "NOT " } else { "" })
+            }
+            NodeKind::IsNull { negated } => {
+                let e = self.children.first().map(|c| c.summary()).unwrap_or_default();
+                format!("{e} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            NodeKind::Like { negated } => {
+                let e = self.children.first().map(|c| c.summary()).unwrap_or_default();
+                let p = self.children.get(1).map(|c| c.summary()).unwrap_or_default();
+                format!("{e} {}LIKE {p}", if *negated { "NOT " } else { "" })
+            }
+            NodeKind::SelectItem { alias } => {
+                let e = self.children.first().map(|c| c.summary()).unwrap_or_default();
+                match alias {
+                    Some(a) => format!("{e} AS {a}"),
+                    None => e,
+                }
+            }
+            NodeKind::TableNamed { name, alias } => match alias {
+                Some(a) => format!("{name} {a}"),
+                None => name.clone(),
+            },
+            NodeKind::Query { .. } => "SELECT …".into(),
+            NodeKind::ScalarSubquery => "(SELECT …)".into(),
+            NodeKind::Where => {
+                let parts: Vec<String> = self.children.iter().map(|c| c.summary()).collect();
+                parts.join(" AND ")
+            }
+            other => {
+                let parts: Vec<String> = self.children.iter().map(|c| c.summary()).collect();
+                if parts.is_empty() {
+                    format!("{other:?}")
+                } else {
+                    parts.join(", ")
+                }
+            }
+        }
+    }
+}
+
+/// A DiffTree: a root node plus bookkeeping — which input queries it was
+/// merged from, and the id counter for fresh nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffTree {
+    /// Root.
+    pub root: DiffNode,
+    /// Indices into the input query log this tree covers.
+    pub source_queries: Vec<usize>,
+    next_id: NodeId,
+}
+
+impl DiffTree {
+    /// Wrap a root node, assigning fresh ids to every node.
+    pub fn new(root: DiffNode, source_queries: Vec<usize>) -> Self {
+        let mut t = DiffTree { root, source_queries, next_id: 0 };
+        t.renumber();
+        t
+    }
+
+    /// Reassign ids depth-first (used after structural surgery).
+    pub fn renumber(&mut self) {
+        let mut next = 1;
+        fn go(n: &mut DiffNode, next: &mut NodeId) {
+            n.id = *next;
+            *next += 1;
+            for c in &mut n.children {
+                go(c, next);
+            }
+        }
+        go(&mut self.root, &mut next);
+        self.next_id = next;
+    }
+
+    /// Structural hash of the whole tree (ignores ids).
+    pub fn structural_hash(&self) -> u64 {
+        self.root.structural_hash()
+    }
+
+    /// Shape hash of the whole tree (literal values erased).
+    pub fn shape_hash(&self) -> u64 {
+        self.root.shape_hash()
+    }
+
+    /// All choice-node ids in pre-order.
+    pub fn choice_ids(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.root.walk(&mut |n| {
+            if n.kind.is_choice() {
+                out.push(n.id);
+            }
+        });
+        out
+    }
+}
+
+impl fmt::Display for DiffNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(n: &DiffNode, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            let label = match &n.kind {
+                NodeKind::Any => "ANY".to_string(),
+                NodeKind::Opt => "OPT".to_string(),
+                NodeKind::Hole { domain, .. } => format!("HOLE{domain:?}"),
+                NodeKind::Lit(l) => format!("Lit({l})"),
+                NodeKind::Column(c) => format!("Col({c})"),
+                NodeKind::Binary(op) => format!("Bin({})", op.sql()),
+                other => format!("{other:?}"),
+            };
+            writeln!(f, "{pad}{label}")?;
+            for c in &n.children {
+                go(c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        go(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_contains() {
+        let d = Domain::Discrete(vec![Literal::Int(1), Literal::Int(2)]);
+        assert!(d.contains(&Literal::Int(1)));
+        assert!(!d.contains(&Literal::Int(3)));
+        let r = Domain::IntRange { min: 0, max: 10 };
+        assert!(r.contains(&Literal::Int(10)));
+        assert!(!r.contains(&Literal::Int(11)));
+        let f = Domain::FloatRange { min: F64(0.0), max: F64(1.0) };
+        assert!(f.contains(&Literal::Float(F64(0.5))));
+        assert!(f.contains(&Literal::Int(1)));
+        assert!(!f.contains(&Literal::Float(F64(1.5))));
+        let dr = Domain::DateRange {
+            min: Date::parse("2021-01-01").unwrap(),
+            max: Date::parse("2021-12-31").unwrap(),
+        };
+        assert!(dr.contains(&Literal::Date(Date::parse("2021-06-15").unwrap())));
+        assert!(!dr.contains(&Literal::Int(5)));
+    }
+
+    #[test]
+    fn structural_hash_ignores_ids() {
+        let a = DiffNode::new(NodeKind::Any, vec![DiffNode::leaf(NodeKind::Lit(Literal::Int(1)))]);
+        let mut b = a.clone();
+        b.id = 99;
+        b.children[0].id = 100;
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        assert!(a.structurally_eq(&b));
+    }
+
+    #[test]
+    fn renumber_assigns_unique_ids() {
+        let n = DiffNode::new(
+            NodeKind::Any,
+            vec![DiffNode::leaf(NodeKind::Lit(Literal::Int(1))), DiffNode::leaf(NodeKind::Lit(Literal::Int(2)))],
+        );
+        let t = DiffTree::new(n, vec![0]);
+        let mut ids = Vec::new();
+        t.root.walk(&mut |n| ids.push(n.id));
+        let unique: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn find_by_id() {
+        let n = DiffNode::new(NodeKind::Any, vec![DiffNode::leaf(NodeKind::Lit(Literal::Int(7)))]);
+        let t = DiffTree::new(n, vec![0]);
+        let child_id = t.root.children[0].id;
+        let found = t.root.find(child_id).unwrap();
+        assert_eq!(found.kind, NodeKind::Lit(Literal::Int(7)));
+        assert!(t.root.find(9999).is_none());
+    }
+
+    #[test]
+    fn summary_of_predicates() {
+        let n = DiffNode::new(
+            NodeKind::Binary(BinaryOp::Eq),
+            vec![
+                DiffNode::leaf(NodeKind::Column(ColumnRef::bare("a"))),
+                DiffNode::leaf(NodeKind::Lit(Literal::Int(1))),
+            ],
+        );
+        assert_eq!(n.summary(), "a = 1");
+        let any = DiffNode::new(NodeKind::Any, vec![n]);
+        assert_eq!(any.summary(), "⟨a = 1⟩");
+    }
+
+    #[test]
+    fn counts() {
+        let n = DiffNode::new(
+            NodeKind::Any,
+            vec![
+                DiffNode::leaf(NodeKind::Lit(Literal::Int(1))),
+                DiffNode::new(NodeKind::Opt, vec![DiffNode::leaf(NodeKind::Lit(Literal::Int(2)))]),
+            ],
+        );
+        assert_eq!(n.size(), 4);
+        assert_eq!(n.choice_count(), 2);
+    }
+}

@@ -1,0 +1,663 @@
+//! The tree transformation rule library (paper §2 "Tree Transformations").
+//!
+//! Each rule enumerates the node locations where it applies and rewrites
+//! the tree at one location. Rules are semantics-preserving in one
+//! direction: the transformed tree expresses *at least* the queries the
+//! original expressed (some rules — literal collapse, domain
+//! generalization — deliberately generalize further, which is how a slider
+//! over a whole column range arises from two observed literals).
+
+use crate::node::{DiffNode, DiffTree, Domain, NodeId, NodeKind};
+use pi2_engine::{Catalog, Value};
+use pi2_sql::Literal;
+
+/// A tree transformation rule.
+pub trait Rule {
+    /// Stable rule name (used in traces and ablation benches).
+    fn name(&self) -> &'static str;
+    /// Node ids at which this rule currently applies.
+    fn applications(&self, tree: &DiffTree) -> Vec<NodeId>;
+    /// Apply at `loc`, returning the transformed tree (renumbered), or
+    /// `None` if the location no longer matches.
+    fn apply(&self, tree: &DiffTree, loc: NodeId) -> Option<DiffTree>;
+}
+
+/// One applicable (rule, location) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleApplication {
+    /// Index of the rule in the rule set.
+    pub rule_idx: usize,
+    /// Node id the rule applies at.
+    pub loc: NodeId,
+}
+
+/// The full rule set. `catalog` (when given) powers
+/// [`GeneralizeHoleDomain`], which widens hole domains to column
+/// statistics.
+pub fn all_rules(catalog: Option<Catalog>) -> Vec<Box<dyn Rule>> {
+    let mut rules: Vec<Box<dyn Rule>> = vec![
+        Box::new(CollapseLiteralAny),
+        Box::new(FactorCommonHead),
+        Box::new(ExpandAnyChild),
+        Box::new(SortAnyChildren),
+        Box::new(ParameterizeLiteral),
+    ];
+    if let Some(c) = catalog {
+        rules.push(Box::new(GeneralizeHoleDomain { catalog: c }));
+    }
+    rules
+}
+
+/// Apply the always-beneficial normalization rules — collapse-literal-any
+/// and (when a catalog is available) generalize-hole-domain — to fixpoint.
+/// These rules never lose expressiveness and always improve the interface
+/// (literal ANYs become typed holes, holes widen to column domains), so
+/// the search pipeline applies them eagerly after every merge.
+pub fn canonicalize(tree: &DiffTree, catalog: Option<&Catalog>) -> DiffTree {
+    let rules = all_rules(catalog.cloned());
+    let mut current = tree.clone();
+    loop {
+        let mut progressed = false;
+        for rule in &rules {
+            if rule.name() != "collapse-literal-any" && rule.name() != "generalize-hole-domain" {
+                continue;
+            }
+            while let Some(&loc) = rule.applications(&current).first() {
+                match rule.apply(&current, loc) {
+                    Some(next) => {
+                        current = next;
+                        progressed = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// Enumerate every applicable (rule, location) pair for a tree.
+pub fn applications(rules: &[Box<dyn Rule>], tree: &DiffTree) -> Vec<RuleApplication> {
+    rules
+        .iter()
+        .enumerate()
+        .flat_map(|(rule_idx, r)| {
+            r.applications(tree).into_iter().map(move |loc| RuleApplication { rule_idx, loc })
+        })
+        .collect()
+}
+
+fn rewrite_at(tree: &DiffTree, loc: NodeId, f: impl FnOnce(&DiffNode) -> Option<DiffNode>) -> Option<DiffTree> {
+    let mut new = tree.clone();
+    let node = new.root.find_mut(loc)?;
+    let replacement = f(node)?;
+    *node = replacement;
+    new.renumber();
+    Some(new)
+}
+
+// ---------------------------------------------------------------------------
+
+/// `ANY` over same-typed literals collapses into a typed `Hole` with a
+/// discrete domain (the first step toward sliders/dropdowns; paper Figure
+/// 3c's slider starts here).
+pub struct CollapseLiteralAny;
+
+impl CollapseLiteralAny {
+    fn matches(node: &DiffNode) -> bool {
+        matches!(node.kind, NodeKind::Any)
+            && node.children.len() >= 2
+            && node.children.iter().all(|c| matches!(c.kind, NodeKind::Lit(_)))
+            && {
+                let first = match &node.children[0].kind {
+                    NodeKind::Lit(l) => std::mem::discriminant(l),
+                    _ => unreachable!(),
+                };
+                node.children.iter().all(|c| match &c.kind {
+                    NodeKind::Lit(l) => std::mem::discriminant(l) == first,
+                    _ => false,
+                })
+            }
+    }
+}
+
+impl Rule for CollapseLiteralAny {
+    fn name(&self) -> &'static str {
+        "collapse-literal-any"
+    }
+
+    fn applications(&self, tree: &DiffTree) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        tree.root.walk(&mut |n| {
+            if Self::matches(n) {
+                out.push(n.id);
+            }
+        });
+        out
+    }
+
+    fn apply(&self, tree: &DiffTree, loc: NodeId) -> Option<DiffTree> {
+        // The compared column is computed from the choice context so the
+        // hole knows which column it constrains.
+        let source_column = crate::choices::choices(tree)
+            .into_iter()
+            .find(|c| c.id == loc)
+            .and_then(|c| c.context.compared_column);
+        rewrite_at(tree, loc, |node| {
+            if !Self::matches(node) {
+                return None;
+            }
+            let lits: Vec<Literal> = node
+                .children
+                .iter()
+                .map(|c| match &c.kind {
+                    NodeKind::Lit(l) => l.clone(),
+                    _ => unreachable!("checked by matches()"),
+                })
+                .collect();
+            let default = lits[0].clone();
+            Some(DiffNode::leaf(NodeKind::Hole {
+                domain: Domain::Discrete(lits),
+                default,
+                source_column,
+            }))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// `ANY` whose children all share the same head label and arity factors the
+/// head above the `ANY`, producing per-position `ANY`s (Figure 3a → 3b).
+pub struct FactorCommonHead;
+
+impl FactorCommonHead {
+    fn matches(node: &DiffNode) -> bool {
+        if !matches!(node.kind, NodeKind::Any) || node.children.len() < 2 {
+            return false;
+        }
+        let head = &node.children[0];
+        if head.kind.is_choice() || head.children.is_empty() {
+            return false;
+        }
+        node.children
+            .iter()
+            .all(|c| c.kind == head.kind && c.children.len() == head.children.len())
+    }
+}
+
+impl Rule for FactorCommonHead {
+    fn name(&self) -> &'static str {
+        "factor-common-head"
+    }
+
+    fn applications(&self, tree: &DiffTree) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        tree.root.walk(&mut |n| {
+            if Self::matches(n) {
+                out.push(n.id);
+            }
+        });
+        out
+    }
+
+    fn apply(&self, tree: &DiffTree, loc: NodeId) -> Option<DiffTree> {
+        rewrite_at(tree, loc, |node| {
+            if !Self::matches(node) {
+                return None;
+            }
+            let head_kind = node.children[0].kind.clone();
+            let arity = node.children[0].children.len();
+            let mut new_children = Vec::with_capacity(arity);
+            for i in 0..arity {
+                let mut any = DiffNode::new(NodeKind::Any, Vec::new());
+                for alt in &node.children {
+                    let sub = alt.children[i].clone();
+                    let h = sub.structural_hash();
+                    if !any.children.iter().any(|c| c.structural_hash() == h) {
+                        any.children.push(sub);
+                    }
+                }
+                new_children.push(if any.children.len() == 1 {
+                    any.children.pop().expect("one child")
+                } else {
+                    any
+                });
+            }
+            Some(DiffNode::new(head_kind, new_children))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The inverse of factoring: a structural node with an `ANY` child expands
+/// into an `ANY` over fully-instantiated copies (Figure 3b → 3a). Bounded
+/// to small alternatives to avoid blow-up.
+pub struct ExpandAnyChild;
+
+const EXPAND_MAX_ALTERNATIVES: usize = 4;
+
+impl ExpandAnyChild {
+    /// Applies at the *parent* of an ANY child; returns matching parents.
+    fn matches(node: &DiffNode) -> bool {
+        !node.kind.is_choice()
+            && !matches!(node.kind, NodeKind::Query { .. })
+            && node
+                .children
+                .iter()
+                .any(|c| matches!(c.kind, NodeKind::Any) && c.children.len() <= EXPAND_MAX_ALTERNATIVES)
+    }
+}
+
+impl Rule for ExpandAnyChild {
+    fn name(&self) -> &'static str {
+        "expand-any-child"
+    }
+
+    fn applications(&self, tree: &DiffTree) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        tree.root.walk(&mut |n| {
+            if Self::matches(n) {
+                out.push(n.id);
+            }
+        });
+        out
+    }
+
+    fn apply(&self, tree: &DiffTree, loc: NodeId) -> Option<DiffTree> {
+        rewrite_at(tree, loc, |node| {
+            if !Self::matches(node) {
+                return None;
+            }
+            let any_pos = node
+                .children
+                .iter()
+                .position(|c| matches!(c.kind, NodeKind::Any) && c.children.len() <= EXPAND_MAX_ALTERNATIVES)?;
+            let alternatives = node.children[any_pos].children.clone();
+            let mut any = DiffNode::new(NodeKind::Any, Vec::new());
+            for alt in alternatives {
+                let mut copy = node.clone();
+                copy.children[any_pos] = alt;
+                let h = copy.structural_hash();
+                if !any.children.iter().any(|c| c.structural_hash() == h) {
+                    any.children.push(copy);
+                }
+            }
+            Some(any)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Canonicalize `ANY` child order (sort by summary) so that equivalent
+/// states hash identically during search.
+pub struct SortAnyChildren;
+
+impl Rule for SortAnyChildren {
+    fn name(&self) -> &'static str {
+        "sort-any-children"
+    }
+
+    fn applications(&self, tree: &DiffTree) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        tree.root.walk(&mut |n| {
+            if matches!(n.kind, NodeKind::Any) {
+                let sorted = n
+                    .children
+                    .windows(2)
+                    .all(|w| w[0].summary() <= w[1].summary());
+                if !sorted {
+                    out.push(n.id);
+                }
+            }
+        });
+        out
+    }
+
+    fn apply(&self, tree: &DiffTree, loc: NodeId) -> Option<DiffTree> {
+        rewrite_at(tree, loc, |node| {
+            if !matches!(node.kind, NodeKind::Any) {
+                return None;
+            }
+            let mut copy = node.clone();
+            copy.children.sort_by_key(|c| c.summary());
+            Some(copy)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Turn a single observed literal (compared against a column) into a hole,
+/// making it interactive even though the log never varied it. This is how
+/// a lone query's date window becomes brushable (paper §3.2: brushing
+/// configures G3's query even though Q3 appeared only once), and how the
+/// Hex baseline models manual parameterization.
+pub struct ParameterizeLiteral;
+
+impl ParameterizeLiteral {
+    /// Applies at a literal node that is a direct operand of a comparison,
+    /// BETWEEN, or IN list whose probe side is a column.
+    fn candidates(tree: &DiffTree) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        fn go(node: &DiffNode, out: &mut Vec<NodeId>) {
+            let eligible = match &node.kind {
+                NodeKind::Binary(op) => op.is_comparison(),
+                NodeKind::Between { .. } | NodeKind::InList { .. } => true,
+                _ => false,
+            };
+            if eligible {
+                let has_column_probe =
+                    node.children.iter().any(|c| matches!(c.kind, NodeKind::Column(_)));
+                if has_column_probe {
+                    for c in &node.children {
+                        if matches!(c.kind, NodeKind::Lit(_)) {
+                            out.push(c.id);
+                        }
+                    }
+                }
+            }
+            for c in &node.children {
+                go(c, out);
+            }
+        }
+        go(&tree.root, &mut out);
+        out
+    }
+}
+
+impl Rule for ParameterizeLiteral {
+    fn name(&self) -> &'static str {
+        "parameterize-literal"
+    }
+
+    fn applications(&self, tree: &DiffTree) -> Vec<NodeId> {
+        Self::candidates(tree)
+    }
+
+    fn apply(&self, tree: &DiffTree, loc: NodeId) -> Option<DiffTree> {
+        if !Self::candidates(tree).contains(&loc) {
+            return None;
+        }
+        // Compute the compared column before surgery (the literal has no
+        // choice context yet, so inspect the parent directly).
+        let mut source_column = None;
+        tree.root.walk(&mut |n| {
+            if n.children.iter().any(|c| c.id == loc) {
+                source_column = n
+                    .children
+                    .iter()
+                    .find_map(|c| match &c.kind {
+                        NodeKind::Column(col) => Some(col.clone()),
+                        _ => None,
+                    });
+            }
+        });
+        rewrite_at(tree, loc, |node| {
+            let NodeKind::Lit(l) = &node.kind else { return None };
+            Some(DiffNode::leaf(NodeKind::Hole {
+                domain: Domain::Discrete(vec![l.clone()]),
+                default: l.clone(),
+                source_column,
+            }))
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Widen a hole's discrete domain to the full domain of its source column,
+/// using catalog statistics: numeric/date columns widen to their
+/// `[min, max]` range (→ sliders spanning the data), low-cardinality string
+/// columns widen to their distinct-value list (→ dropdowns over all
+/// values). This is the paper's generalization "beyond the input queries".
+pub struct GeneralizeHoleDomain {
+    /// Catalog.
+    pub catalog: Catalog,
+}
+
+impl GeneralizeHoleDomain {
+    /// Find statistics for `column` in any table of the catalog that the
+    /// tree references.
+    fn stats_for(&self, tree: &DiffTree, column: &pi2_sql::ColumnRef) -> Option<pi2_engine::ColumnStats> {
+        let mut tables: Vec<String> = Vec::new();
+        tree.root.walk(&mut |n| {
+            if let NodeKind::TableNamed { name, .. } = &n.kind {
+                tables.push(name.clone());
+            }
+        });
+        tables
+            .iter()
+            .find_map(|t| self.catalog.column_stats(t, &column.column))
+    }
+
+    fn widened(&self, tree: &DiffTree, node: &DiffNode) -> Option<Domain> {
+        let NodeKind::Hole { domain: Domain::Discrete(items), source_column: Some(col), .. } = &node.kind
+        else {
+            return None;
+        };
+        let stats = self.stats_for(tree, col)?;
+        let min = stats.min.clone()?;
+        let max = stats.max.clone()?;
+        let new = match (&min, &max) {
+            (Value::Int(a), Value::Int(b)) => Domain::IntRange { min: *a, max: *b },
+            (Value::Float(a), Value::Float(b)) => {
+                Domain::FloatRange { min: pi2_sql::F64(*a), max: pi2_sql::F64(*b) }
+            }
+            (Value::Date(a), Value::Date(b)) => Domain::DateRange { min: *a, max: *b },
+            (Value::Str(_), Value::Str(_)) => {
+                let values = stats.distinct_values?;
+                Domain::Discrete(values.iter().map(Value::to_literal).collect())
+            }
+            _ => return None,
+        };
+        // Only generalize when the widened domain still covers the
+        // observed literals (it must keep expressing the input queries).
+        if items.iter().all(|l| new.contains(l)) && new != Domain::Discrete(items.clone()) {
+            Some(new)
+        } else {
+            None
+        }
+    }
+}
+
+impl Rule for GeneralizeHoleDomain {
+    fn name(&self) -> &'static str {
+        "generalize-hole-domain"
+    }
+
+    fn applications(&self, tree: &DiffTree) -> Vec<NodeId> {
+        let mut candidates = Vec::new();
+        tree.root.walk(&mut |n| {
+            if matches!(&n.kind, NodeKind::Hole { domain: Domain::Discrete(_), source_column: Some(_), .. }) {
+                candidates.push(n.id);
+            }
+        });
+        candidates
+            .into_iter()
+            .filter(|id| {
+                tree.root.find(*id).and_then(|n| self.widened(tree, n)).is_some()
+            })
+            .collect()
+    }
+
+    fn apply(&self, tree: &DiffTree, loc: NodeId) -> Option<DiffTree> {
+        let node = tree.root.find(loc)?;
+        let new_domain = self.widened(tree, node)?;
+        let NodeKind::Hole { default, source_column, .. } = &node.kind else {
+            return None;
+        };
+        let (default, source_column) = (default.clone(), source_column.clone());
+        rewrite_at(tree, loc, |_| {
+            Some(DiffNode::leaf(NodeKind::Hole { domain: new_domain, default, source_column }))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bindings::Bindings;
+    use crate::expresses::expresses;
+    use crate::lower::lower_query;
+    use crate::merge::merge_queries;
+    use pi2_sql::{parse_query, Query};
+
+    fn merged(sqls: &[&str]) -> (DiffTree, Vec<Query>) {
+        let queries: Vec<Query> = sqls.iter().map(|s| parse_query(s).unwrap()).collect();
+        let indexed: Vec<(usize, &Query)> = queries.iter().enumerate().collect();
+        (merge_queries(&indexed), queries)
+    }
+
+    #[test]
+    fn collapse_literal_any_creates_hole() {
+        let (tree, queries) = merged(&[
+            "SELECT p FROM t WHERE a = 1",
+            "SELECT p FROM t WHERE a = 2",
+        ]);
+        let rule = CollapseLiteralAny;
+        let apps = rule.applications(&tree);
+        assert_eq!(apps.len(), 1);
+        let new = rule.apply(&tree, apps[0]).unwrap();
+        let mut holes = 0;
+        new.root.walk(&mut |n| {
+            if let NodeKind::Hole { domain, source_column, .. } = &n.kind {
+                holes += 1;
+                assert_eq!(*domain, Domain::Discrete(vec![Literal::Int(1), Literal::Int(2)]));
+                assert_eq!(source_column.as_ref().map(|c| c.column.as_str()), Some("a"));
+            }
+        });
+        assert_eq!(holes, 1);
+        // Still expresses both inputs.
+        for q in &queries {
+            assert!(expresses(&new, q).is_some());
+        }
+    }
+
+    #[test]
+    fn factor_common_head_splits_predicate_any() {
+        // Build the unfactored ANY(a=1, b=2) via expand, then factor back.
+        let (tree, queries) = merged(&[
+            "SELECT p FROM t WHERE a = 1",
+            "SELECT p FROM t WHERE b = 2",
+        ]);
+        // The merge already factors; expand to get Figure 3a's shape.
+        let expand = ExpandAnyChild;
+        let apps = expand.applications(&tree);
+        assert!(!apps.is_empty());
+        let unfactored = expand.apply(&tree, apps[0]).unwrap();
+        // Unfactored: ANY over two `=` predicates.
+        let any_over_eq = {
+            let mut found = false;
+            unfactored.root.walk(&mut |n| {
+                if matches!(n.kind, NodeKind::Any)
+                    && n.children.iter().all(|c| matches!(c.kind, NodeKind::Binary(pi2_sql::BinaryOp::Eq)))
+                    && n.children.len() == 2
+                {
+                    found = true;
+                }
+            });
+            found
+        };
+        assert!(any_over_eq, "{}", unfactored.root);
+        for q in &queries {
+            assert!(expresses(&unfactored, q).is_some());
+        }
+
+        // Factor it back.
+        let factor = FactorCommonHead;
+        let apps = factor.applications(&unfactored);
+        assert!(!apps.is_empty());
+        let refactored = factor.apply(&unfactored, apps[0]).unwrap();
+        for q in &queries {
+            assert!(expresses(&refactored, q).is_some());
+        }
+    }
+
+    #[test]
+    fn expand_then_factor_roundtrip_preserves_expressiveness() {
+        let (tree, queries) = merged(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+            "SELECT a, count(*) FROM t GROUP BY a",
+        ]);
+        let rules = all_rules(None);
+        let mut current = tree;
+        // Apply a few arbitrary rule applications; expressiveness is invariant.
+        for _ in 0..6 {
+            let apps = applications(&rules, &current);
+            let Some(app) = apps.first() else { break };
+            if let Some(next) = rules[app.rule_idx].apply(&current, app.loc) {
+                current = next;
+            } else {
+                break;
+            }
+            for q in &queries {
+                assert!(
+                    expresses(&current, q).is_some(),
+                    "lost expressiveness of {q} after rules:\n{}",
+                    current.root
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sort_any_children_canonicalizes() {
+        let (tree, _) = merged(&[
+            "SELECT p FROM t WHERE b = 2",
+            "SELECT p FROM t WHERE a = 1",
+        ]);
+        let rule = SortAnyChildren;
+        let apps = rule.applications(&tree);
+        if let Some(&loc) = apps.first() {
+            let sorted = rule.apply(&tree, loc).unwrap();
+            assert!(rule.applications(&sorted).iter().all(|l| *l != loc));
+        }
+    }
+
+    #[test]
+    fn generalize_hole_domain_uses_catalog_stats() {
+        let catalog = pi2_datasets::toy::default_catalog();
+        let (tree, queries) = merged(&[
+            "SELECT p FROM t WHERE a = 1",
+            "SELECT p FROM t WHERE a = 2",
+        ]);
+        let collapse = CollapseLiteralAny;
+        let tree = collapse.apply(&tree, collapse.applications(&tree)[0]).unwrap();
+        let rule = GeneralizeHoleDomain { catalog };
+        let apps = rule.applications(&tree);
+        assert_eq!(apps.len(), 1);
+        let new = rule.apply(&tree, apps[0]).unwrap();
+        let mut domain = None;
+        new.root.walk(&mut |n| {
+            if let NodeKind::Hole { domain: d, .. } = &n.kind {
+                domain = Some(d.clone());
+            }
+        });
+        // Toy data has a in 0..5.
+        assert_eq!(domain, Some(Domain::IntRange { min: 0, max: 4 }));
+        // Widened tree expresses the original queries and new ones.
+        for q in &queries {
+            assert!(expresses(&new, q).is_some());
+        }
+        assert!(expresses(&new, &parse_query("SELECT p FROM t WHERE a = 4").unwrap()).is_some());
+        assert!(expresses(&new, &parse_query("SELECT p FROM t WHERE a = 9").unwrap()).is_none());
+    }
+
+    #[test]
+    fn collapse_then_lower_uses_default() {
+        let (tree, _) = merged(&[
+            "SELECT p FROM t WHERE a = 1",
+            "SELECT p FROM t WHERE a = 2",
+        ]);
+        let rule = CollapseLiteralAny;
+        let new = rule.apply(&tree, rule.applications(&tree)[0]).unwrap();
+        let q = lower_query(&new, &Bindings::new()).unwrap();
+        assert_eq!(q.to_string(), "SELECT p FROM t WHERE a = 1");
+    }
+}

@@ -1,0 +1,100 @@
+//! Merging structurally rich queries: joins, correlated subqueries, and the
+//! paper's V3 shape (a plain query merged with a join + correlated-filter
+//! query).
+
+use pi2_difftree::{choices, default_bindings, expresses, lower_query, merge_queries, ChoiceKind, DiffForest, NodeKind};
+use pi2_sql::{normalize, parse_query, Query};
+
+fn q(sql: &str) -> Query {
+    parse_query(sql).unwrap()
+}
+
+#[test]
+fn join_on_condition_merges_positionally() {
+    let q1 = q("SELECT r.region, sum(c.cases) FROM covid c JOIN regions r ON c.state = r.state WHERE r.region = 'South' GROUP BY r.region");
+    let q2 = q("SELECT r.region, sum(c.cases) FROM covid c JOIN regions r ON c.state = r.state WHERE r.region = 'West' GROUP BY r.region");
+    let tree = merge_queries(&[(0, &q1), (1, &q2)]);
+    // Only the literal differs: exactly one choice node.
+    assert_eq!(tree.root.choice_count(), 1, "{}", tree.root);
+    assert!(expresses(&tree, &q1).is_some());
+    assert!(expresses(&tree, &q2).is_some());
+}
+
+#[test]
+fn plain_vs_join_query_merge_keeps_both_expressible() {
+    // The V3 shape: Q3 has no join; Q4 adds a join and extra conjuncts.
+    let q3 = q("SELECT c.date, c.state, sum(c.cases) AS cases FROM covid c \
+                WHERE c.date BETWEEN DATE '2021-12-16' AND DATE '2021-12-31' GROUP BY c.date, c.state");
+    let q4 = &pi2_datasets::covid::demo_queries()[4];
+    let tree = merge_queries(&[(0, &q3), (1, q4)]);
+    assert!(expresses(&tree, &q3).is_some(), "{}", tree.root);
+    assert!(expresses(&tree, q4).is_some(), "{}", tree.root);
+
+    // Witness-based defaults lower to a *valid* query (Q3), not an invalid
+    // mixture referencing the join that ANY dropped.
+    let log = vec![q3.clone(), q4.clone()];
+    let defaults = default_bindings(&tree, &log);
+    let lowered = lower_query(&tree, &defaults).unwrap();
+    assert_eq!(normalize::normalized(&lowered), normalize::normalized(&q3));
+    let catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config {
+        state_limit: Some(6),
+        ..Default::default()
+    });
+    assert!(catalog.execute(&lowered).is_ok(), "default must execute: {lowered}");
+}
+
+#[test]
+fn correlated_subquery_variation_merges_inside_subquery() {
+    let a = q("SELECT state FROM covid c WHERE cases > (SELECT avg(c2.cases) FROM covid c2 WHERE c2.state = c.state)");
+    let b = q("SELECT state FROM covid c WHERE cases > (SELECT max(c2.cases) FROM covid c2 WHERE c2.state = c.state)");
+    let tree = merge_queries(&[(0, &a), (1, &b)]);
+    // The avg/max difference becomes one ANY (over the aggregate call).
+    assert_eq!(tree.root.choice_count(), 1, "{}", tree.root);
+    let cs = choices(&tree);
+    let ChoiceKind::Any { options } = &cs[0].kind else { panic!("{cs:?}") };
+    assert!(options.iter().any(|o| o.contains("avg")), "{options:?}");
+    assert!(options.iter().any(|o| o.contains("max")), "{options:?}");
+    // And it sits one subquery level deep.
+    assert_eq!(cs[0].context.depth, 1);
+}
+
+#[test]
+fn derived_table_queries_merge() {
+    let a = q("SELECT s.total FROM (SELECT sum(cases) AS total FROM covid WHERE state = 'NY') AS s");
+    let b = q("SELECT s.total FROM (SELECT sum(cases) AS total FROM covid WHERE state = 'FL') AS s");
+    let tree = merge_queries(&[(0, &a), (1, &b)]);
+    assert_eq!(tree.root.choice_count(), 1, "{}", tree.root);
+    assert!(expresses(&tree, &a).is_some());
+    assert!(expresses(&tree, &b).is_some());
+}
+
+#[test]
+fn forest_split_of_join_merge_restores_originals() {
+    let queries = vec![
+        q("SELECT c.state FROM covid c JOIN regions r ON c.state = r.state WHERE r.region = 'South'"),
+        q("SELECT state FROM covid WHERE cases > 10"),
+    ];
+    let forest = DiffForest::fully_merged(&queries);
+    let split = forest.split_tree(0, &queries).unwrap();
+    assert_eq!(split.trees.len(), 2);
+    for (tree, query) in split.trees.iter().zip(&queries) {
+        // Each split tree is exactly its query's lift.
+        assert_eq!(tree.root.choice_count(), 0);
+        assert!(expresses(tree, query).is_some());
+    }
+}
+
+#[test]
+fn summary_renders_join_structures() {
+    let q4 = &pi2_datasets::covid::demo_queries()[4];
+    let tree = pi2_difftree::lift_query(q4, 0);
+    // The IN-subquery summary elides the body.
+    let mut saw_in = false;
+    tree.root.walk(&mut |n| {
+        if matches!(n.kind, NodeKind::InSubquery { .. }) {
+            assert!(n.summary().contains("IN (…)"), "{}", n.summary());
+            saw_in = true;
+        }
+    });
+    assert!(saw_in);
+}

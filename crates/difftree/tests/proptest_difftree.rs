@@ -1,0 +1,110 @@
+//! Property tests for DiffTree invariants:
+//! 1. lower(lift(q)) == normalize(q)
+//! 2. a merged tree expresses every input query, with witness bindings
+//!    that lower back to the query
+//! 3. transformation rules preserve expressiveness
+
+use pi2_difftree::{expresses, lift_query, lower_query, merge_queries, rules, Bindings};
+use pi2_sql::{normalize, Expr, Query, SelectItem, TableRef};
+use proptest::prelude::*;
+
+/// A small generator of well-formed queries over a fixed toy schema
+/// t(p, a, b) — the paper's §2 shape: projections, equality/range filters,
+/// group-by, and aggregates.
+fn query_strategy() -> impl Strategy<Value = Query> {
+    let col = prop_oneof![Just("p"), Just("a"), Just("b")];
+    let lit = 0i64..6;
+    let filter = (col.clone(), lit, any::<bool>()).prop_map(|(c, v, is_range)| {
+        if is_range {
+            Expr::Between {
+                expr: Box::new(Expr::col(c)),
+                low: Box::new(Expr::int(v)),
+                high: Box::new(Expr::int(v + 2)),
+                negated: false,
+            }
+        } else {
+            Expr::eq(Expr::col(c), Expr::int(v))
+        }
+    });
+    (
+        proptest::collection::vec(col.clone(), 1..3),
+        proptest::collection::vec(filter, 0..3),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(cols, filters, agg, distinct)| {
+            let mut q = Query::new();
+            q.distinct = distinct;
+            for c in &cols {
+                q.projection.push(SelectItem::expr(Expr::col(*c)));
+            }
+            if agg {
+                q.projection.push(SelectItem::expr(Expr::count_star()));
+                q.group_by = cols.iter().map(|c| Expr::col(*c)).collect();
+            }
+            q.from = vec![TableRef::named("t")];
+            q.where_clause = pi2_sql::visit::conjoin(filters);
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn lift_lower_is_normalization(q in query_strategy()) {
+        let tree = lift_query(&q, 0);
+        let lowered = lower_query(&tree, &Bindings::new()).unwrap();
+        prop_assert_eq!(lowered, normalize::normalized(&q));
+    }
+
+    #[test]
+    fn merged_tree_expresses_every_input(qs in proptest::collection::vec(query_strategy(), 1..5)) {
+        let indexed: Vec<(usize, &Query)> = qs.iter().enumerate().collect();
+        let tree = merge_queries(&indexed);
+        for q in &qs {
+            let b = expresses(&tree, q);
+            prop_assert!(b.is_some(), "merged tree cannot express {}:\n{}", q, tree.root);
+            let lowered = lower_query(&tree, &b.unwrap()).unwrap();
+            prop_assert_eq!(normalize::normalized(&lowered), normalize::normalized(q));
+        }
+    }
+
+    #[test]
+    fn rules_preserve_expressiveness(
+        qs in proptest::collection::vec(query_strategy(), 2..4),
+        picks in proptest::collection::vec(any::<u32>(), 4),
+    ) {
+        let indexed: Vec<(usize, &Query)> = qs.iter().enumerate().collect();
+        let mut tree = merge_queries(&indexed);
+        let rule_set = rules::all_rules(None);
+        for pick in picks {
+            let apps = rules::applications(&rule_set, &tree);
+            if apps.is_empty() {
+                break;
+            }
+            let app = apps[(pick as usize) % apps.len()];
+            if let Some(next) = rule_set[app.rule_idx].apply(&tree, app.loc) {
+                tree = next;
+            }
+            for q in &qs {
+                prop_assert!(
+                    expresses(&tree, q).is_some(),
+                    "rule broke expressiveness of {}:\n{}",
+                    q,
+                    tree.root
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_in_expressiveness(a in query_strategy(), b in query_strategy()) {
+        let ab = merge_queries(&[(0, &a), (1, &b)]);
+        let ba = merge_queries(&[(0, &b), (1, &a)]);
+        for q in [&a, &b] {
+            prop_assert!(expresses(&ab, q).is_some());
+            prop_assert!(expresses(&ba, q).is_some());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The table catalog: the engine's entry point.
+
+use crate::error::{EngineError, Result};
+use crate::eval::ExecCtx;
+use crate::result::ResultSet;
+use crate::stats::ColumnStats;
+use crate::table::Table;
+use parking_lot::Mutex;
+use pi2_sql::Query;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Upper bound on cached query results; the cache is cleared wholesale when
+/// it fills (results at interface-generation scale are small, and the
+/// search re-evaluates the same default instantiations constantly).
+const QUERY_CACHE_CAP: usize = 4096;
+
+/// A collection of named tables plus the query entry point.
+///
+/// Table lookup is case-insensitive. Tables are stored behind `Arc` so that
+/// scans and notebook snapshots can share them cheaply. A shared result
+/// cache — keyed by (catalog version, query structural hash) — accelerates
+/// the interface search, which repeatedly executes the same candidate
+/// instantiations. Clones share the cache; registering a table moves a
+/// catalog to a fresh globally-unique version, so diverged clones never
+/// see each other's results.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Table>>,
+    /// Globally-unique fingerprint of this catalog's table map; part of
+    /// every cache key so clones that diverge (one registers a new table)
+    /// can keep sharing the cache soundly.
+    version: u64,
+    cache: Arc<Mutex<HashMap<(u64, u64), Arc<ResultSet>>>>,
+}
+
+/// Source of globally-unique catalog versions (see [`Catalog::register`]).
+static NEXT_VERSION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table under its own name. The catalog moves
+    /// to a fresh version, so previously cached results (including those
+    /// shared with clones) no longer match its keys.
+    pub fn register(&mut self, table: Table) {
+        self.tables.insert(table.name.to_lowercase(), Arc::new(table));
+        self.version = NEXT_VERSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Look up a table by name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.get(&name.to_lowercase()).cloned()
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.values().map(|t| t.name.clone()).collect()
+    }
+
+    /// Execute a query against this catalog (cached — see type docs).
+    pub fn execute(&self, query: &Query) -> Result<ResultSet> {
+        let key = (self.version, query.structural_hash());
+        if let Some(hit) = self.cache.lock().get(&key).cloned() {
+            return Ok((*hit).clone());
+        }
+        let result = ExecCtx::new(self).execute(query)?;
+        let mut cache = self.cache.lock();
+        if cache.len() >= QUERY_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, Arc::new(result.clone()));
+        Ok(result)
+    }
+
+    /// Execute without consulting or filling the result cache (used by
+    /// benchmarks that measure raw engine latency).
+    pub fn execute_uncached(&self, query: &Query) -> Result<ResultSet> {
+        ExecCtx::new(self).execute(query)
+    }
+
+    /// Parse and execute SQL text.
+    pub fn execute_sql(&self, sql: &str) -> Result<ResultSet> {
+        let q = pi2_sql::parse_query(sql)
+            .map_err(|e| EngineError::Unsupported(format!("parse error: {e}")))?;
+        self.execute(&q)
+    }
+
+    /// Statistics for `table.column`, if both exist.
+    pub fn column_stats(&self, table: &str, column: &str) -> Option<ColumnStats> {
+        self.get(table)?.column_stats(column)
+    }
+
+    /// The free (correlation) variables of a query — see
+    /// [`crate::exec::free_columns`].
+    pub fn free_columns(&self, q: &Query) -> Vec<pi2_sql::ColumnRef> {
+        crate::exec::free_columns(q, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DataType, Value};
+
+    fn demo_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut t = Table::builder("T")
+            .column("a", DataType::Int)
+            .column("b", DataType::Str)
+            .build();
+        t.push_row(vec![Value::Int(1), Value::str("x")]).unwrap();
+        c.register(t);
+        c
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let c = demo_catalog();
+        assert!(c.get("t").is_some());
+        assert!(c.get("T").is_some());
+        assert!(c.get("u").is_none());
+    }
+
+    #[test]
+    fn execute_sql_end_to_end() {
+        let c = demo_catalog();
+        let r = c.execute_sql("SELECT a FROM t").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(1)]]);
+        assert!(c.execute_sql("SELECT nope FROM t").is_err());
+        assert!(c.execute_sql("this is not sql").is_err());
+    }
+
+    #[test]
+    fn stats_accessor() {
+        let c = demo_catalog();
+        let s = c.column_stats("t", "a").unwrap();
+        assert_eq!(s.min, Some(Value::Int(1)));
+        assert!(c.column_stats("t", "nope").is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! CSV import/export for tables — how a downstream user loads their own
+//! data into the engine (the demo's participants would bring datasets).
+//!
+//! The format is RFC-4180-style: comma separators, `"` quoting with `""`
+//! escapes, a header row. Types are either declared by the caller or
+//! inferred per column from the data (Int ⊂ Float ⊂ Str, with ISO dates
+//! and true/false recognized).
+
+use crate::error::{EngineError, Result};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use pi2_sql::Date;
+
+/// Parse one CSV record, honoring quotes. Returns `None` at end of input.
+fn parse_record(input: &str, pos: &mut usize) -> Option<Vec<String>> {
+    let bytes = input.as_bytes();
+    if *pos >= bytes.len() {
+        return None;
+    }
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    while *pos < bytes.len() {
+        let c = bytes[*pos] as char;
+        *pos += 1;
+        if in_quotes {
+            if c == '"' {
+                if bytes.get(*pos) == Some(&b'"') {
+                    field.push('"');
+                    *pos += 1;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(c);
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => break,
+                _ => field.push(c),
+            }
+        }
+    }
+    fields.push(field);
+    Some(fields)
+}
+
+/// Parse a cell into the most specific value for `ty`.
+fn parse_cell(cell: &str, ty: DataType) -> Result<Value> {
+    if cell.is_empty() {
+        return Ok(Value::Null);
+    }
+    match ty {
+        DataType::Int => cell
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| EngineError::SchemaViolation(format!("bad INT cell {cell:?}"))),
+        DataType::Float => cell
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| EngineError::SchemaViolation(format!("bad FLOAT cell {cell:?}"))),
+        DataType::Bool => match cell {
+            "true" | "TRUE" | "True" => Ok(Value::Bool(true)),
+            "false" | "FALSE" | "False" => Ok(Value::Bool(false)),
+            _ => Err(EngineError::SchemaViolation(format!("bad BOOL cell {cell:?}"))),
+        },
+        DataType::Date => Date::parse(cell)
+            .map(Value::Date)
+            .ok_or_else(|| EngineError::SchemaViolation(format!("bad DATE cell {cell:?}"))),
+        DataType::Str | DataType::Null => Ok(Value::str(cell)),
+    }
+}
+
+/// Infer the narrowest type that fits every non-empty cell of a column.
+fn infer_column_type(cells: &[&str]) -> DataType {
+    let mut ty: Option<DataType> = None;
+    for cell in cells {
+        if cell.is_empty() {
+            continue;
+        }
+        let cell_ty = if cell.parse::<i64>().is_ok() {
+            DataType::Int
+        } else if cell.parse::<f64>().is_ok() {
+            DataType::Float
+        } else if Date::parse(cell).is_some() {
+            DataType::Date
+        } else if matches!(*cell, "true" | "false" | "TRUE" | "FALSE" | "True" | "False") {
+            DataType::Bool
+        } else {
+            DataType::Str
+        };
+        ty = Some(match (ty, cell_ty) {
+            (None, t) => t,
+            (Some(a), b) if a == b => a,
+            (Some(DataType::Int), DataType::Float) | (Some(DataType::Float), DataType::Int) => {
+                DataType::Float
+            }
+            _ => DataType::Str,
+        });
+        if ty == Some(DataType::Str) {
+            break;
+        }
+    }
+    ty.unwrap_or(DataType::Str)
+}
+
+impl Table {
+    /// Load a table from CSV text with a header row, inferring column types.
+    pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Table> {
+        let mut pos = 0;
+        let header = parse_record(csv, &mut pos)
+            .ok_or_else(|| EngineError::SchemaViolation("empty CSV".into()))?;
+        let mut records = Vec::new();
+        while let Some(rec) = parse_record(csv, &mut pos) {
+            if rec.len() == 1 && rec[0].is_empty() {
+                continue; // trailing blank line
+            }
+            if rec.len() != header.len() {
+                return Err(EngineError::SchemaViolation(format!(
+                    "CSV record has {} fields, header has {}",
+                    rec.len(),
+                    header.len()
+                )));
+            }
+            records.push(rec);
+        }
+        let types: Vec<DataType> = (0..header.len())
+            .map(|i| {
+                let col: Vec<&str> = records.iter().map(|r| r[i].as_str()).collect();
+                infer_column_type(&col)
+            })
+            .collect();
+        let mut builder = Table::builder(name);
+        for (h, t) in header.iter().zip(&types) {
+            builder = builder.column(h.clone(), *t);
+        }
+        let mut table = builder.build();
+        for rec in &records {
+            let row: Vec<Value> = rec
+                .iter()
+                .zip(&types)
+                .map(|(cell, ty)| parse_cell(cell, *ty))
+                .collect::<Result<_>>()?;
+            table.push_row(row)?;
+        }
+        Ok(table)
+    }
+
+    /// Serialize the table as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |s: &str| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let header: Vec<String> = self.schema.fields.iter().map(|f| quote(&f.name)).collect();
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    Value::Null => String::new(),
+                    Value::Str(s) => quote(s),
+                    other => other.to_string(),
+                })
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    const SAMPLE: &str = "date,state,cases,rate,flag,note\n\
+        2021-12-01,NY,100,1.5,true,plain\n\
+        2021-12-02,FL,80,0.25,false,\"quoted, cell\"\n\
+        2021-12-03,VT,,0.1,true,\"with \"\"quotes\"\"\"\n";
+
+    #[test]
+    fn imports_with_type_inference() {
+        let t = Table::from_csv("covid", SAMPLE).unwrap();
+        let types: Vec<DataType> = t.schema.fields.iter().map(|f| f.data_type).collect();
+        assert_eq!(
+            types,
+            vec![
+                DataType::Date,
+                DataType::Str,
+                DataType::Int,
+                DataType::Float,
+                DataType::Bool,
+                DataType::Str
+            ]
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.rows[1][5], Value::str("quoted, cell"));
+        assert_eq!(t.rows[2][2], Value::Null);
+        assert_eq!(t.rows[2][5], Value::str("with \"quotes\""));
+    }
+
+    #[test]
+    fn imported_table_is_queryable() {
+        let mut c = Catalog::new();
+        c.register(Table::from_csv("covid", SAMPLE).unwrap());
+        let r = c.execute_sql("SELECT state FROM covid WHERE cases > 90").unwrap();
+        assert_eq!(r.rows, vec![vec![Value::str("NY")]]);
+    }
+
+    #[test]
+    fn csv_roundtrips() {
+        let t = Table::from_csv("covid", SAMPLE).unwrap();
+        let csv = t.to_csv();
+        let t2 = Table::from_csv("covid", &csv).unwrap();
+        assert_eq!(t.schema, t2.schema);
+        assert_eq!(t.rows, t2.rows);
+    }
+
+    #[test]
+    fn mixed_int_float_column_widens() {
+        let t = Table::from_csv("t", "x\n1\n2.5\n").unwrap();
+        assert_eq!(t.schema.fields[0].data_type, DataType::Float);
+        assert_eq!(t.rows[0][0], Value::Float(1.0));
+    }
+
+    #[test]
+    fn ragged_record_is_error() {
+        assert!(Table::from_csv("t", "a,b\n1\n").is_err());
+        assert!(Table::from_csv("t", "").is_err());
+    }
+
+    #[test]
+    fn synthetic_datasets_export_and_reimport() {
+        let catalog = crate::catalog::Catalog::new();
+        let _ = catalog;
+        let mut t = Table::builder("prices").column("v", DataType::Float).build();
+        t.push_row(vec![Value::Float(1.25)]).unwrap();
+        let csv = t.to_csv();
+        let t2 = Table::from_csv("prices", &csv).unwrap();
+        assert_eq!(t2.rows[0][0], Value::Float(1.25));
+    }
+}

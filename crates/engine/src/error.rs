@@ -1,0 +1,44 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors raised while building tables or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A column reference could not be resolved.
+    UnknownColumn(String),
+    /// A column reference matched more than one visible column.
+    AmbiguousColumn(String),
+    /// A function is not implemented or was called with bad arguments.
+    BadFunction(String),
+    /// Operand types are incompatible with an operator.
+    TypeMismatch(String),
+    /// A scalar subquery returned more than one row or column.
+    ScalarSubquery(String),
+    /// A row's shape or types don't match the table schema.
+    SchemaViolation(String),
+    /// Anything else (unsupported construct, internal invariant).
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            EngineError::BadFunction(m) => write!(f, "bad function call: {m}"),
+            EngineError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EngineError::ScalarSubquery(m) => write!(f, "scalar subquery: {m}"),
+            EngineError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

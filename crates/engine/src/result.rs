@@ -1,0 +1,112 @@
+//! Query results.
+
+use crate::schema::Schema;
+use crate::stats::ColumnStats;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The materialized result of executing a query: an inferred output schema
+/// plus the result rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// The output schema.
+    pub schema: Schema,
+    /// The data rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All values of output column `idx`.
+    pub fn column(&self, idx: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[idx])
+    }
+
+    /// Statistics for output column `idx`.
+    pub fn column_stats(&self, idx: usize) -> ColumnStats {
+        ColumnStats::compute(&self.schema.fields[idx], self.column(idx))
+    }
+
+    /// Render the result as an ASCII table (the "static table" rendering the
+    /// paper contrasts PI2 against).
+    pub fn to_ascii_table(&self) -> String {
+        let headers: Vec<String> = self.schema.fields.iter().map(|f| f.name.clone()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &cells {
+            out.push('|');
+            for (c, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {c:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    #[test]
+    fn ascii_table_renders() {
+        let rs = ResultSet {
+            schema: Schema::new(vec![
+                Field::new("state", DataType::Str),
+                Field::new("cases", DataType::Int),
+            ]),
+            rows: vec![
+                vec![Value::str("NY"), Value::Int(1200)],
+                vec![Value::str("FL"), Value::Int(87)],
+            ],
+        };
+        let t = rs.to_ascii_table();
+        assert!(t.contains("| state | cases |"));
+        assert!(t.contains("| NY    | 1200  |"));
+        assert!(t.contains("| FL    | 87    |"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Schemas: named, typed field lists.
+
+use crate::value::DataType;
+use serde::{Deserialize, Serialize};
+
+/// A named, typed column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// The name.
+    pub name: String,
+    /// The column's data type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Construct from parts.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self { name: name.into(), data_type }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    /// The fields, in order.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Construct from parts.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Self { fields }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the field named `name` (case-insensitive).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The field named `name` (case-insensitive).
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let s = Schema::new(vec![Field::new("Ra", DataType::Float), Field::new("dec", DataType::Float)]);
+        assert_eq!(s.index_of("ra"), Some(0));
+        assert_eq!(s.index_of("DEC"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+    }
+}

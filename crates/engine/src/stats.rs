@@ -1,0 +1,120 @@
+//! Column statistics.
+//!
+//! Statistics drive two PI2 decisions: (1) visualization selection — a
+//! nominal axis with 500 distinct values wants a different chart than one
+//! with 5 — and (2) widget-domain generalization — an `ANY` over two
+//! literals can widen to a slider spanning the column's full `[min, max]`
+//! range (paper §2, "Tree Transformations").
+
+use crate::schema::Field;
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How many distinct values are retained verbatim before a column's domain
+/// is summarized by its range only.
+pub const DISTINCT_SAMPLE_CAP: usize = 64;
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// The name.
+    pub name: String,
+    /// The column's data type.
+    pub data_type: DataType,
+    /// Total rows, including NULLs.
+    pub row_count: usize,
+    /// Number of NULL values.
+    pub null_count: usize,
+    /// Number of distinct non-NULL values.
+    pub distinct_count: usize,
+    /// Minimum non-NULL value, if any.
+    pub min: Option<Value>,
+    /// Maximum non-NULL value, if any.
+    pub max: Option<Value>,
+    /// The distinct values in sorted order, retained only while there are at
+    /// most [`DISTINCT_SAMPLE_CAP`] of them.
+    pub distinct_values: Option<Vec<Value>>,
+}
+
+impl ColumnStats {
+    /// Compute statistics over an iterator of column values.
+    pub fn compute<'a>(field: &Field, values: impl Iterator<Item = &'a Value>) -> Self {
+        let mut row_count = 0;
+        let mut null_count = 0;
+        let mut distinct: BTreeSet<Value> = BTreeSet::new();
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for v in values {
+            row_count += 1;
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            if min.as_ref().is_none_or(|m| v < m) {
+                min = Some(v.clone());
+            }
+            if max.as_ref().is_none_or(|m| v > m) {
+                max = Some(v.clone());
+            }
+            distinct.insert(v.clone());
+        }
+        let distinct_count = distinct.len();
+        let distinct_values =
+            (distinct_count <= DISTINCT_SAMPLE_CAP).then(|| distinct.into_iter().collect());
+        ColumnStats {
+            name: field.name.clone(),
+            data_type: field.data_type,
+            row_count,
+            null_count,
+            distinct_count,
+            min,
+            max,
+            distinct_values,
+        }
+    }
+
+    /// True when the column looks categorical: few distinct values relative
+    /// to a nominal type, or any type with a very small domain.
+    pub fn is_low_cardinality(&self) -> bool {
+        self.distinct_count <= 20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Field {
+        Field::new("x", DataType::Int)
+    }
+
+    #[test]
+    fn computes_min_max_distinct() {
+        let vals = [Value::Int(3), Value::Int(1), Value::Null, Value::Int(3)];
+        let s = ColumnStats::compute(&field(), vals.iter());
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.distinct_count, 2);
+        assert_eq!(s.min, Some(Value::Int(1)));
+        assert_eq!(s.max, Some(Value::Int(3)));
+        assert_eq!(s.distinct_values, Some(vec![Value::Int(1), Value::Int(3)]));
+    }
+
+    #[test]
+    fn empty_column() {
+        let s = ColumnStats::compute(&field(), std::iter::empty());
+        assert_eq!(s.row_count, 0);
+        assert!(s.min.is_none());
+        assert_eq!(s.distinct_values, Some(vec![]));
+    }
+
+    #[test]
+    fn caps_distinct_values() {
+        let vals: Vec<Value> = (0..200).map(Value::Int).collect();
+        let s = ColumnStats::compute(&field(), vals.iter());
+        assert_eq!(s.distinct_count, 200);
+        assert!(s.distinct_values.is_none());
+        assert!(!s.is_low_cardinality());
+    }
+}

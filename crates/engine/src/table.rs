@@ -1,0 +1,162 @@
+//! In-memory tables.
+
+use crate::error::{EngineError, Result};
+use crate::schema::{Field, Schema};
+use crate::stats::ColumnStats;
+use crate::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+
+/// A named, row-oriented in-memory table with a fixed schema.
+///
+/// Rows are validated against the schema on insertion: each value must match
+/// the column's declared type or be `NULL` (integer values are silently
+/// widened into `FLOAT` columns).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// The name.
+    pub name: String,
+    /// The output schema.
+    pub schema: Schema,
+    /// The data rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Start building a table.
+    pub fn builder(name: impl Into<String>) -> TableBuilder {
+        TableBuilder { name: name.into(), fields: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row after validating it against the schema.
+    pub fn push_row(&mut self, mut row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(EngineError::SchemaViolation(format!(
+                "table {}: row has {} values, schema has {} columns",
+                self.name,
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        for (value, field) in row.iter_mut().zip(&self.schema.fields) {
+            if value.is_null() {
+                continue;
+            }
+            let vt = value.data_type();
+            if vt == field.data_type {
+                continue;
+            }
+            // Widen Int into Float columns.
+            if field.data_type == DataType::Float && vt == DataType::Int {
+                if let Value::Int(v) = value {
+                    *value = Value::Float(*v as f64);
+                }
+                continue;
+            }
+            return Err(EngineError::SchemaViolation(format!(
+                "table {}: column {} expects {}, got {} ({})",
+                self.name, field.name, field.data_type, vt, value
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// All values of the column named `name`.
+    pub fn column_values(&self, name: &str) -> Option<Vec<&Value>> {
+        let idx = self.schema.index_of(name)?;
+        Some(self.rows.iter().map(|r| &r[idx]).collect())
+    }
+
+    /// Compute statistics for the column named `name`.
+    pub fn column_stats(&self, name: &str) -> Option<ColumnStats> {
+        let idx = self.schema.index_of(name)?;
+        let field = &self.schema.fields[idx];
+        Some(ColumnStats::compute(field, self.rows.iter().map(|r| &r[idx])))
+    }
+}
+
+/// Builder for [`Table`].
+pub struct TableBuilder {
+    name: String,
+    fields: Vec<Field>,
+}
+
+impl TableBuilder {
+    /// Add a column.
+    pub fn column(mut self, name: impl Into<String>, data_type: DataType) -> Self {
+        self.fields.push(Field::new(name, data_type));
+        self
+    }
+
+    /// Finish, producing an empty table.
+    pub fn build(self) -> Table {
+        Table { name: self.name, schema: Schema::new(self.fields), rows: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::builder("t")
+            .column("a", DataType::Int)
+            .column("b", DataType::Str)
+            .column("c", DataType::Float)
+            .build()
+    }
+
+    #[test]
+    fn push_valid_row() {
+        let mut table = t();
+        table.push_row(vec![Value::Int(1), Value::str("x"), Value::Float(1.5)]).unwrap();
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn widens_int_to_float() {
+        let mut table = t();
+        table.push_row(vec![Value::Int(1), Value::str("x"), Value::Int(2)]).unwrap();
+        assert_eq!(table.rows[0][2], Value::Float(2.0));
+        assert_eq!(table.rows[0][2].data_type(), DataType::Float);
+    }
+
+    #[test]
+    fn nulls_allowed_everywhere() {
+        let mut table = t();
+        table.push_row(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let mut table = t();
+        assert!(table.push_row(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_type() {
+        let mut table = t();
+        assert!(table.push_row(vec![Value::str("oops"), Value::str("x"), Value::Null]).is_err());
+    }
+
+    #[test]
+    fn column_values_by_name() {
+        let mut table = t();
+        table.push_row(vec![Value::Int(1), Value::str("x"), Value::Null]).unwrap();
+        table.push_row(vec![Value::Int(2), Value::str("y"), Value::Null]).unwrap();
+        let vals = table.column_values("a").unwrap();
+        assert_eq!(vals, vec![&Value::Int(1), &Value::Int(2)]);
+        assert!(table.column_values("zzz").is_none());
+    }
+}

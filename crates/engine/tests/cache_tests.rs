@@ -1,0 +1,50 @@
+//! Query-cache behaviour: correctness of sharing and invalidation.
+
+use pi2_engine::{Catalog, DataType, Table, Value};
+
+fn table_with(values: &[i64]) -> Table {
+    let mut t = Table::builder("t").column("v", DataType::Int).build();
+    for &v in values {
+        t.push_row(vec![Value::Int(v)]).unwrap();
+    }
+    t
+}
+
+#[test]
+fn register_invalidates_cached_results() {
+    let mut c = Catalog::new();
+    c.register(table_with(&[1, 2, 3]));
+    let q = pi2_sql::parse_query("SELECT sum(v) FROM t").unwrap();
+    assert_eq!(c.execute(&q).unwrap().rows[0][0], Value::Int(6));
+    // Replace the table; the cached result must not survive.
+    c.register(table_with(&[10, 20]));
+    assert_eq!(c.execute(&q).unwrap().rows[0][0], Value::Int(30));
+}
+
+#[test]
+fn clones_share_the_cache_until_either_registers() {
+    let mut a = Catalog::new();
+    a.register(table_with(&[5]));
+    let b = a.clone();
+    let q = pi2_sql::parse_query("SELECT sum(v) FROM t").unwrap();
+    // Warm via the clone; both observe the same data.
+    assert_eq!(b.execute(&q).unwrap().rows[0][0], Value::Int(5));
+    assert_eq!(a.execute(&q).unwrap().rows[0][0], Value::Int(5));
+    // Mutating `a` clears the shared cache, but `b` still sees its own
+    // (old) tables: results must reflect each catalog's table map.
+    a.register(table_with(&[7]));
+    assert_eq!(a.execute(&q).unwrap().rows[0][0], Value::Int(7));
+    // NOTE: b's table map still holds the old Arc'd table.
+    assert_eq!(b.execute(&q).unwrap().rows[0][0], Value::Int(5));
+}
+
+#[test]
+fn structurally_equal_queries_share_cache_entries() {
+    let mut c = Catalog::new();
+    c.register(table_with(&[1, 2]));
+    // Different text, same AST after parse (keyword case).
+    let q1 = pi2_sql::parse_query("select v from t where v > 1").unwrap();
+    let q2 = pi2_sql::parse_query("SELECT v FROM t WHERE v > 1").unwrap();
+    assert_eq!(q1.structural_hash(), q2.structural_hash());
+    assert_eq!(c.execute(&q1).unwrap(), c.execute(&q2).unwrap());
+}

@@ -1,0 +1,474 @@
+//! The interface model: charts, widgets, visualization interactions, and
+//! layout — the three component kinds the paper's introduction defines
+//! ("visualizations, widgets, and interactions within a visualization").
+
+use pi2_difftree::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a chart within an interface (`G1`, `G2`, … in the paper).
+pub type ChartId = usize;
+/// Identifier of a widget within an interface.
+pub type WidgetId = usize;
+
+/// A binding target: a choice node in one of the forest's trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Target {
+    /// Index of the DiffTree in the forest.
+    pub tree: usize,
+    /// The choice node within that tree.
+    pub node: NodeId,
+}
+
+/// Chart mark types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mark {
+    /// Bar chart.
+    Bar,
+    /// Line chart.
+    Line,
+    /// Area chart.
+    Area,
+    /// Scatter plot.
+    Scatter,
+    /// Fallback: render the result as a table.
+    Table,
+    /// Two categorical axes + a quantitative color.
+    Heatmap,
+}
+
+/// Visual encoding channels, ranked by effectiveness for quantitative data
+/// (position ≫ size ≫ color), following Cleveland–McGill/Bertin as the
+/// paper's cost model does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Channel {
+    /// Horizontal position.
+    X,
+    /// Vertical position.
+    Y,
+    /// Color/hue.
+    Color,
+    /// Mark size.
+    Size,
+    /// Non-visual grouping (tooltips/detail rows).
+    Detail,
+}
+
+/// Field types in the visualization sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FieldType {
+    /// Continuous numeric.
+    Quantitative,
+    /// Unordered categories.
+    Nominal,
+    /// Ordered categories.
+    Ordinal,
+    /// Time/date.
+    Temporal,
+}
+
+/// One encoding: a result field bound to a channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Encoding {
+    /// Channel.
+    pub channel: Channel,
+    /// The bound result field.
+    pub field: String,
+    /// Visualization field type (quantitative/nominal/ordinal/temporal).
+    pub field_type: FieldType,
+}
+
+/// An in-visualization interaction (paper §1: "brushing to select points,
+/// panning, clicking").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum VizInteraction {
+    /// Drag a range along the x axis; the selected `[low, high]` binds the
+    /// two target holes (possibly in *another* chart's query — the linked
+    /// brushing of Figure 7).
+    BrushX {
+        /// The bound result field.
+        field: String,
+        /// Lower bound (inclusive).
+        low: Target,
+        /// Upper bound (inclusive).
+        high: Target,
+    },
+    /// Drag/scroll to pan and zoom; each axis manipulates a (low, high)
+    /// hole pair (Figure 1c's ra/dec ranges).
+    PanZoom {
+        /// The (low, high) targets for the x axis.
+        x: Option<(Target, Target)>,
+        /// The (low, high) targets for the y axis.
+        y: Option<(Target, Target)>,
+        /// Field on the x axis, if panning x.
+        x_field: Option<String>,
+        /// Field on the y axis, if panning y.
+        y_field: Option<String>,
+    },
+    /// Click a mark; the clicked x-value binds the target hole (Figure 5).
+    ClickBind {
+        /// The bound result field.
+        field: String,
+        /// The bound choice node.
+        target: Target,
+    },
+}
+
+impl VizInteraction {
+    /// All binding targets this interaction drives.
+    pub fn targets(&self) -> Vec<Target> {
+        match self {
+            VizInteraction::BrushX { low, high, .. } => vec![*low, *high],
+            VizInteraction::PanZoom { x, y, .. } => {
+                let mut t = Vec::new();
+                if let Some((a, b)) = x {
+                    t.push(*a);
+                    t.push(*b);
+                }
+                if let Some((a, b)) = y {
+                    t.push(*a);
+                    t.push(*b);
+                }
+                t
+            }
+            VizInteraction::ClickBind { target, .. } => vec![*target],
+        }
+    }
+
+    /// Short name used in specs and cost tables.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            VizInteraction::BrushX { .. } => "brush",
+            VizInteraction::PanZoom { .. } => "pan-zoom",
+            VizInteraction::ClickBind { .. } => "click",
+        }
+    }
+}
+
+/// A chart: one DiffTree's result rendered with a mark and encodings, plus
+/// the interactions attached to it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chart {
+    /// Stable identifier.
+    pub id: ChartId,
+    /// `G1`, `G2`, … display name.
+    pub name: String,
+    /// Display title.
+    pub title: String,
+    /// The chart's mark type.
+    pub mark: Mark,
+    /// Channel encodings.
+    pub encodings: Vec<Encoding>,
+    /// Which DiffTree in the forest this chart visualizes.
+    pub tree: usize,
+    /// In-visualization interactions attached to the chart.
+    pub interactions: Vec<VizInteraction>,
+}
+
+impl Chart {
+    /// The encoding on a given channel.
+    pub fn encoding(&self, channel: Channel) -> Option<&Encoding> {
+        self.encodings.iter().find(|e| e.channel == channel)
+    }
+}
+
+/// Widget flavors (paper §1: dropdowns, sliders; §3: toggles, button pairs,
+/// radio lists, tabs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WidgetKind {
+    /// Radio list over labeled options (one target `Any`).
+    Radio {
+        /// Display labels of the selectable options.
+        options: Vec<String>,
+    },
+    /// A compact button group (two or three options).
+    ButtonGroup {
+        /// Display labels of the selectable options.
+        options: Vec<String>,
+    },
+    /// Dropdown over many options.
+    Dropdown {
+        /// Display labels of the selectable options.
+        options: Vec<String>,
+    },
+    /// On/off toggle for an `Opt`.
+    Toggle,
+    /// Continuous slider over a numeric or date hole.
+    Slider {
+        /// Minimum value.
+        min: f64,
+        /// Maximum value.
+        max: f64,
+        /// Slider step size.
+        step: f64,
+        /// True when values are dates (day numbers).
+        temporal: bool,
+    },
+    /// Two-thumb slider binding a (low, high) hole pair.
+    RangeSlider {
+        /// Minimum value.
+        min: f64,
+        /// Maximum value.
+        max: f64,
+        /// Slider step size.
+        step: f64,
+        /// True when values are dates (day numbers).
+        temporal: bool,
+    },
+    /// Tab strip choosing between whole queries (root-level `Any`).
+    Tabs {
+        /// Display labels of the selectable options.
+        options: Vec<String>,
+    },
+    /// Checkbox group toggling membership of each option independently
+    /// (the SUBSET choice of the full paper: optional `IN`-list members).
+    /// `targets[i]` is the OPT node behind `options[i]`.
+    MultiSelect {
+        /// Display labels of the toggleable options.
+        options: Vec<String>,
+    },
+    /// Free-text input (string hole with unbounded domain).
+    TextInput,
+}
+
+impl WidgetKind {
+    /// Short name used in specs and cost tables.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            WidgetKind::Radio { .. } => "radio",
+            WidgetKind::ButtonGroup { .. } => "button-group",
+            WidgetKind::Dropdown { .. } => "dropdown",
+            WidgetKind::Toggle => "toggle",
+            WidgetKind::Slider { .. } => "slider",
+            WidgetKind::RangeSlider { .. } => "range-slider",
+            WidgetKind::Tabs { .. } => "tabs",
+            WidgetKind::MultiSelect { .. } => "multi-select",
+            WidgetKind::TextInput => "text-input",
+        }
+    }
+}
+
+/// A widget bound to one choice node (two for range sliders).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Widget {
+    /// Stable identifier.
+    pub id: WidgetId,
+    /// Display label.
+    pub label: String,
+    /// The kind.
+    pub kind: WidgetKind,
+    /// One target for most widgets; `[low, high]` for range sliders.
+    pub targets: Vec<Target>,
+}
+
+/// A rectangle of available screen, in abstract pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScreenSpec {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+}
+
+impl ScreenSpec {
+    /// A full-width notebook side panel on a laptop display.
+    pub const WIDE: ScreenSpec = ScreenSpec { width: 1280, height: 800 };
+    /// A narrow side panel (the paper's "small screen" case).
+    pub const NARROW: ScreenSpec = ScreenSpec { width: 480, height: 800 };
+}
+
+impl Default for ScreenSpec {
+    fn default() -> Self {
+        ScreenSpec::WIDE
+    }
+}
+
+/// An element placed by the layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Element {
+    /// Chart.
+    Chart(ChartId),
+    /// Widget.
+    Widget(WidgetId),
+}
+
+/// The layout tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layout {
+    /// Leaf.
+    Leaf(Element),
+    /// Horizontal.
+    Horizontal(Vec<Layout>),
+    /// Vertical.
+    Vertical(Vec<Layout>),
+}
+
+impl Layout {
+    /// All elements in layout order.
+    pub fn elements(&self) -> Vec<Element> {
+        let mut out = Vec::new();
+        fn go(l: &Layout, out: &mut Vec<Element>) {
+            match l {
+                Layout::Leaf(e) => out.push(*e),
+                Layout::Horizontal(xs) | Layout::Vertical(xs) => {
+                    for x in xs {
+                        go(x, out);
+                    }
+                }
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+
+    /// Nesting depth of the layout tree.
+    pub fn depth(&self) -> usize {
+        match self {
+            Layout::Leaf(_) => 1,
+            Layout::Horizontal(xs) | Layout::Vertical(xs) => {
+                1 + xs.iter().map(Layout::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// A complete interface: charts + widgets + layout for a given screen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interface {
+    /// The interface's charts.
+    pub charts: Vec<Chart>,
+    /// How widgets are produced.
+    pub widgets: Vec<Widget>,
+    /// Layout-fit weight.
+    pub layout: Layout,
+    /// The screen the layout was computed for.
+    pub screen: ScreenSpec,
+}
+
+impl Interface {
+    /// Count of in-visualization interactions across charts.
+    pub fn interaction_count(&self) -> usize {
+        self.charts.iter().map(|c| c.interactions.len()).sum()
+    }
+
+    /// All binding targets driven by any widget or interaction.
+    pub fn all_targets(&self) -> Vec<Target> {
+        let mut out: Vec<Target> = self.widgets.iter().flat_map(|w| w.targets.clone()).collect();
+        for c in &self.charts {
+            for i in &c.interactions {
+                out.extend(i.targets());
+            }
+        }
+        out
+    }
+
+    /// Feature summary used by the Table 1 comparison: does the interface
+    /// contain visualizations / widgets / visualization interactions?
+    pub fn feature_summary(&self) -> FeatureSummary {
+        FeatureSummary {
+            charts: self.charts.iter().filter(|c| c.mark != Mark::Table).count(),
+            tables: self.charts.iter().filter(|c| c.mark == Mark::Table).count(),
+            widgets: self.widgets.len(),
+            viz_interactions: self.interaction_count(),
+            linked_views: self
+                .charts
+                .iter()
+                .flat_map(|c| &c.interactions)
+                .flat_map(|i| i.targets())
+                .any(|t| {
+                    // An interaction that drives a different tree's query
+                    // links two views.
+                    self.charts.iter().any(|c2| {
+                        c2.tree == t.tree
+                            && !c2.interactions.iter().any(|i2| i2.targets().contains(&t))
+                    })
+                }),
+        }
+    }
+}
+
+/// Counts used by the tool-comparison table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSummary {
+    /// The interface's charts.
+    pub charts: usize,
+    /// Tables.
+    pub tables: usize,
+    /// How widgets are produced.
+    pub widgets: usize,
+    /// How in-visualization interactions are produced.
+    pub viz_interactions: usize,
+    /// Linked views.
+    pub linked_views: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(tree: usize, node: NodeId) -> Target {
+        Target { tree, node }
+    }
+
+    #[test]
+    fn interaction_targets() {
+        let brush = VizInteraction::BrushX { field: "date".into(), low: target(1, 2), high: target(1, 3) };
+        assert_eq!(brush.targets().len(), 2);
+        let pz = VizInteraction::PanZoom {
+            x: Some((target(0, 1), target(0, 2))),
+            y: Some((target(0, 3), target(0, 4))),
+            x_field: Some("ra".into()),
+            y_field: Some("dec".into()),
+        };
+        assert_eq!(pz.targets().len(), 4);
+        let click = VizInteraction::ClickBind { field: "a".into(), target: target(0, 9) };
+        assert_eq!(click.targets(), vec![target(0, 9)]);
+    }
+
+    #[test]
+    fn layout_elements_and_depth() {
+        let l = Layout::Vertical(vec![
+            Layout::Leaf(Element::Widget(0)),
+            Layout::Horizontal(vec![Layout::Leaf(Element::Chart(0)), Layout::Leaf(Element::Chart(1))]),
+        ]);
+        assert_eq!(l.elements().len(), 3);
+        assert_eq!(l.depth(), 3);
+    }
+
+    #[test]
+    fn feature_summary_counts() {
+        let iface = Interface {
+            charts: vec![
+                Chart {
+                    id: 0,
+                    name: "G1".into(),
+                    title: "overview".into(),
+                    mark: Mark::Line,
+                    encodings: vec![],
+                    tree: 0,
+                    interactions: vec![VizInteraction::BrushX {
+                        field: "date".into(),
+                        low: target(1, 5),
+                        high: target(1, 6),
+                    }],
+                },
+                Chart {
+                    id: 1,
+                    name: "G2".into(),
+                    title: "detail".into(),
+                    mark: Mark::Line,
+                    encodings: vec![],
+                    tree: 1,
+                    interactions: vec![],
+                },
+            ],
+            widgets: vec![Widget { id: 0, label: "t".into(), kind: WidgetKind::Toggle, targets: vec![target(1, 9)] }],
+            layout: Layout::Horizontal(vec![]),
+            screen: ScreenSpec::default(),
+        };
+        let s = iface.feature_summary();
+        assert_eq!(s.charts, 2);
+        assert_eq!(s.widgets, 1);
+        assert_eq!(s.viz_interactions, 1);
+        assert!(s.linked_views);
+    }
+}

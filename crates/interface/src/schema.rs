@@ -1,0 +1,98 @@
+//! Result-schema analysis: classify output fields into visualization field
+//! types using engine types plus cardinality statistics.
+
+use crate::model::FieldType;
+use pi2_engine::{ColumnStats, DataType, ResultSet};
+use serde::{Deserialize, Serialize};
+
+/// A result field with its visualization classification and statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldInfo {
+    /// The name.
+    pub name: String,
+    /// The column's data type.
+    pub data_type: DataType,
+    /// Visualization field type (quantitative/nominal/ordinal/temporal).
+    pub field_type: FieldType,
+    /// Number of distinct non-NULL values.
+    pub distinct: usize,
+    /// Number of NULL values.
+    pub nulls: usize,
+    /// Total number of rows analyzed.
+    pub rows: usize,
+}
+
+/// Classify one output field. The rules follow standard visualization
+/// practice: dates are temporal; strings and booleans are nominal; numeric
+/// fields with very few distinct values behave ordinally (they make good
+/// discrete axes); other numerics are quantitative.
+pub fn classify_field(stats: &ColumnStats) -> FieldType {
+    match stats.data_type {
+        DataType::Date => FieldType::Temporal,
+        DataType::Str | DataType::Bool => FieldType::Nominal,
+        DataType::Int | DataType::Float => {
+            if stats.distinct_count <= 12 && stats.distinct_count > 0 && stats.data_type == DataType::Int
+            {
+                FieldType::Ordinal
+            } else {
+                FieldType::Quantitative
+            }
+        }
+        DataType::Null => FieldType::Nominal,
+    }
+}
+
+/// Analyze every output column of a result set.
+pub fn analyze(result: &ResultSet) -> Vec<FieldInfo> {
+    (0..result.schema.len())
+        .map(|i| {
+            let stats = result.column_stats(i);
+            FieldInfo {
+                name: stats.name.clone(),
+                data_type: stats.data_type,
+                field_type: classify_field(&stats),
+                distinct: stats.distinct_count,
+                nulls: stats.null_count,
+                rows: stats.row_count,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_engine::{Catalog, Table, Value};
+
+    #[test]
+    fn classifies_covid_fields() {
+        let mut c = Catalog::new();
+        let mut t = Table::builder("t")
+            .column("date", DataType::Date)
+            .column("state", DataType::Str)
+            .column("cases", DataType::Int)
+            .build();
+        for i in 0..40 {
+            t.push_row(vec![
+                Value::Date(pi2_sql::Date(i)),
+                Value::str(if i % 2 == 0 { "NY" } else { "FL" }),
+                Value::Int(i as i64 * 17 + 3),
+            ])
+            .unwrap();
+        }
+        c.register(t);
+        let r = c.execute_sql("SELECT date, state, cases FROM t").unwrap();
+        let fields = analyze(&r);
+        assert_eq!(fields[0].field_type, FieldType::Temporal);
+        assert_eq!(fields[1].field_type, FieldType::Nominal);
+        assert_eq!(fields[2].field_type, FieldType::Quantitative);
+    }
+
+    #[test]
+    fn small_int_domain_is_ordinal() {
+        let c = pi2_datasets::toy::default_catalog();
+        let r = c.execute_sql("SELECT p, count(*) AS n FROM t GROUP BY p").unwrap();
+        let fields = analyze(&r);
+        assert_eq!(fields[0].field_type, FieldType::Ordinal, "{fields:?}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Standalone static HTML export with inline SVG charts.
+//!
+//! The export freezes the interface at its current bindings: charts render
+//! as SVG, widgets render as (inert) HTML controls annotated with what they
+//! would control, and the archived query log appears in a collapsible
+//! section — mirroring the *Generated Interfaces* panel of paper Figure 7.
+
+use pi2_core::ChartUpdate;
+use pi2_engine::ResultSet;
+use pi2_interface::{Channel, Chart, Element, Interface, Layout, Mark, Widget, WidgetKind};
+use std::fmt::Write as _;
+
+const SVG_W: f64 = 420.0;
+const SVG_H: f64 = 260.0;
+const PAD: f64 = 36.0;
+
+/// Export an interface as a standalone HTML document.
+pub fn export_html(
+    title: &str,
+    interface: &Interface,
+    updates: &[ChartUpdate],
+    query_log: &[String],
+) -> String {
+    let mut body = String::new();
+    render_layout(&interface.layout, interface, updates, &mut body);
+
+    let mut log = String::new();
+    if !query_log.is_empty() {
+        log.push_str("<details class=\"qlog\"><summary>Query Log</summary><ol>");
+        for q in query_log {
+            // Pretty-print entries that parse; leave free text as is.
+            let pretty = pi2_sql::parse_query(q)
+                .map(|p| pi2_sql::format_query(&p, 2))
+                .unwrap_or_else(|_| q.clone());
+            let _ = write!(log, "<li><pre>{}</pre></li>", escape(&pretty));
+        }
+        log.push_str("</ol></details>");
+    }
+
+    format!(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>{t}</title>\n<style>\n\
+         body{{font-family:sans-serif;margin:16px;background:#fafafa}}\n\
+         .row{{display:flex;gap:12px;align-items:flex-start;flex-wrap:wrap}}\n\
+         .col{{display:flex;flex-direction:column;gap:12px}}\n\
+         .chart,.widget{{background:#fff;border:1px solid #ddd;border-radius:6px;padding:8px}}\n\
+         .widget{{font-size:13px;color:#333}}\n\
+         .qlog{{margin-top:16px;font-size:13px}}\n\
+         h3{{margin:2px 0 6px 0;font-size:14px}} .badge{{font-size:11px;color:#06c}}\n\
+         table{{border-collapse:collapse;font-size:12px}} td,th{{border:1px solid #ccc;padding:2px 6px}}\n\
+         </style></head><body><h2>{t}</h2>\n{body}\n{log}\n</body></html>",
+        t = escape(title),
+        body = body,
+        log = log
+    )
+}
+
+fn render_layout(layout: &Layout, interface: &Interface, updates: &[ChartUpdate], out: &mut String) {
+    match layout {
+        Layout::Leaf(Element::Chart(id)) => {
+            if let Some(c) = interface.charts.iter().find(|c| c.id == *id) {
+                let data = updates.iter().find(|u| u.chart == *id);
+                out.push_str("<div class=\"chart\">");
+                let _ = write!(out, "<h3>{} · {}", escape(&c.name), escape(&c.title));
+                for i in &c.interactions {
+                    let _ = write!(out, " <span class=\"badge\">⚡{}</span>", i.kind_name());
+                }
+                out.push_str("</h3>");
+                match data {
+                    Some(u) => out.push_str(&chart_svg(c, &u.result)),
+                    None => out.push_str("<em>no data</em>"),
+                }
+                out.push_str("</div>");
+            }
+        }
+        Layout::Leaf(Element::Widget(id)) => {
+            if let Some(w) = interface.widgets.iter().find(|w| w.id == *id) {
+                out.push_str(&widget_html(w));
+            }
+        }
+        Layout::Horizontal(xs) => {
+            out.push_str("<div class=\"row\">");
+            for x in xs {
+                render_layout(x, interface, updates, out);
+            }
+            out.push_str("</div>");
+        }
+        Layout::Vertical(xs) => {
+            out.push_str("<div class=\"col\">");
+            for x in xs {
+                render_layout(x, interface, updates, out);
+            }
+            out.push_str("</div>");
+        }
+    }
+}
+
+fn widget_html(w: &Widget) -> String {
+    let control = match &w.kind {
+        WidgetKind::Radio { options } => options
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                format!(
+                    "<label><input type=\"radio\" disabled{}> {}</label>",
+                    if i == 0 { " checked" } else { "" },
+                    escape(o)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+        WidgetKind::ButtonGroup { options } => options
+            .iter()
+            .map(|o| format!("<button disabled>{}</button>", escape(o)))
+            .collect::<Vec<_>>()
+            .join(""),
+        WidgetKind::Dropdown { options } => {
+            let opts: String =
+                options.iter().map(|o| format!("<option>{}</option>", escape(o))).collect();
+            format!("<select disabled>{opts}</select>")
+        }
+        WidgetKind::Toggle => "<input type=\"checkbox\" checked disabled>".to_string(),
+        WidgetKind::Slider { min, max, .. } => {
+            format!("<input type=\"range\" min=\"{min}\" max=\"{max}\" disabled>")
+        }
+        WidgetKind::RangeSlider { min, max, .. } => format!(
+            "<input type=\"range\" min=\"{min}\" max=\"{max}\" disabled> – <input type=\"range\" min=\"{min}\" max=\"{max}\" disabled>"
+        ),
+        WidgetKind::Tabs { options } => options
+            .iter()
+            .map(|o| format!("<button disabled>{}</button>", escape(o)))
+            .collect::<Vec<_>>()
+            .join(""),
+        WidgetKind::MultiSelect { options } => options
+            .iter()
+            .map(|o| format!("<label><input type=\"checkbox\" checked disabled> {}</label>", escape(o)))
+            .collect::<Vec<_>>()
+            .join(" "),
+        WidgetKind::TextInput => "<input type=\"text\" disabled>".to_string(),
+    };
+    format!("<div class=\"widget\"><strong>{}</strong> {control}</div>", escape(&w.label))
+}
+
+/// Render one chart's data as inline SVG.
+fn chart_svg(chart: &Chart, result: &ResultSet) -> String {
+    let xi = chart.encoding(Channel::X).and_then(|e| result.schema.index_of(&e.field));
+    let yi = chart.encoding(Channel::Y).and_then(|e| result.schema.index_of(&e.field));
+    if chart.mark == Mark::Table || xi.is_none() || yi.is_none() {
+        return table_html(result);
+    }
+    let (xi, yi) = (xi.expect("checked"), yi.expect("checked"));
+    let pts: Vec<(f64, f64)> = result
+        .rows
+        .iter()
+        .filter_map(|r| Some((r[xi].as_f64()?, r[yi].as_f64()?)))
+        .collect();
+    if pts.is_empty() {
+        return table_html(result);
+    }
+    let (xmin, xmax) = bounds(pts.iter().map(|p| p.0));
+    let (ymin, ymax) = bounds(pts.iter().map(|p| p.1));
+    let sx = |v: f64| PAD + (v - xmin) / (xmax - xmin) * (SVG_W - 2.0 * PAD);
+    let sy = |v: f64| SVG_H - PAD - (v - ymin) / (ymax - ymin) * (SVG_H - 2.0 * PAD);
+
+    let mut marks = String::new();
+    match chart.mark {
+        Mark::Line | Mark::Area => {
+            let mut sorted = pts.clone();
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let path: Vec<String> =
+                sorted.iter().map(|(x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y))).collect();
+            let _ = write!(
+                marks,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"#1f77b4\" stroke-width=\"1.5\"/>",
+                path.join(" ")
+            );
+        }
+        Mark::Scatter => {
+            for (x, y) in &pts {
+                let _ = write!(
+                    marks,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2\" fill=\"#1f77b4\" fill-opacity=\"0.6\"/>",
+                    sx(*x),
+                    sy(*y)
+                );
+            }
+        }
+        _ => {
+            // Bars (and heatmap fallback): one bar per x.
+            let n = pts.len().max(1) as f64;
+            let bw = ((SVG_W - 2.0 * PAD) / n * 0.8).max(1.0);
+            for (x, y) in &pts {
+                let _ = write!(
+                    marks,
+                    "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#1f77b4\"/>",
+                    sx(*x) - bw / 2.0,
+                    sy(*y),
+                    bw,
+                    (SVG_H - PAD - sy(*y)).max(0.0)
+                );
+            }
+        }
+    }
+    let x_name = chart.encoding(Channel::X).map(|e| e.field.as_str()).unwrap_or("");
+    let y_name = chart.encoding(Channel::Y).map(|e| e.field.as_str()).unwrap_or("");
+    format!(
+        "<svg width=\"{SVG_W}\" height=\"{SVG_H}\" viewBox=\"0 0 {SVG_W} {SVG_H}\">\
+         <line x1=\"{PAD}\" y1=\"{y0}\" x2=\"{x1}\" y2=\"{y0}\" stroke=\"#999\"/>\
+         <line x1=\"{PAD}\" y1=\"{PAD}\" x2=\"{PAD}\" y2=\"{y0}\" stroke=\"#999\"/>\
+         {marks}\
+         <text x=\"{xmid}\" y=\"{SVG_H}\" font-size=\"11\" text-anchor=\"middle\">{x_name}</text>\
+         <text x=\"10\" y=\"{ymid}\" font-size=\"11\" transform=\"rotate(-90 10 {ymid})\" text-anchor=\"middle\">{y_name}</text>\
+         </svg>",
+        y0 = SVG_H - PAD,
+        x1 = SVG_W - PAD,
+        xmid = SVG_W / 2.0,
+        ymid = SVG_H / 2.0,
+        x_name = escape(x_name),
+        y_name = escape(y_name),
+    )
+}
+
+fn table_html(result: &ResultSet) -> String {
+    let mut s = String::from("<table><tr>");
+    for f in &result.schema.fields {
+        let _ = write!(s, "<th>{}</th>", escape(&f.name));
+    }
+    s.push_str("</tr>");
+    for row in result.rows.iter().take(20) {
+        s.push_str("<tr>");
+        for v in row {
+            let _ = write!(s, "<td>{}</td>", escape(&v.to_string()));
+        }
+        s.push_str("</tr>");
+    }
+    s.push_str("</table>");
+    if result.rows.len() > 20 {
+        let _ = write!(s, "<em>… {} more rows</em>", result.rows.len() - 20);
+    }
+    s
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || (max - min).abs() < 1e-12 {
+        (min - 0.5, min + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_core::{Pi2, SearchStrategy};
+
+    #[test]
+    fn exports_valid_looking_html() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::FullMerge)
+            .build();
+        let g = pi2
+            .generate_sql(&[
+                "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+                "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+            ])
+            .unwrap();
+        let session = pi2.session(&g);
+        let updates = session.refresh_all().unwrap();
+        let log: Vec<String> = g.queries.iter().map(|q| q.to_string()).collect();
+        let html = export_html("Toy", &g.interface, &updates, &log);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("Query Log"));
+        assert!(html.contains("</html>"));
+    }
+
+    #[test]
+    fn escapes_query_text() {
+        let html = export_html("x", &Interface {
+            charts: vec![],
+            widgets: vec![],
+            layout: Layout::Vertical(vec![]),
+            screen: Default::default(),
+        }, &[], &["SELECT a FROM t WHERE a < 3".to_string()]);
+        assert!(html.contains("&lt; 3"));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # pi2-render
+//!
+//! Rendering backends for generated interfaces. The original PI2 renders
+//! interactive D3-style charts in the browser; this reproduction separates
+//! *interaction semantics* (the headless [`pi2_core::InterfaceSession`])
+//! from *drawing*, and provides three drawing backends:
+//!
+//! * [`ascii`] — terminal rendering of charts, widgets, and layout, used by
+//!   the runnable examples and the figure-regeneration binaries;
+//! * [`spec`] — a Vega-Lite-style JSON description of the interface, the
+//!   shape a browser front end would consume;
+//! * [`html`] — a standalone static HTML export with inline SVG charts and
+//!   the archived query log.
+//!
+//! ```
+//! use pi2_core::{Pi2, SearchStrategy};
+//!
+//! let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+//!     .strategy(SearchStrategy::FullMerge)
+//!     .build();
+//! let g = pi2.generate_sql(&["SELECT a, count(*) FROM t GROUP BY a"]).unwrap();
+//! let session = pi2.session(&g);
+//! let text = pi2_render::render_session(&session).unwrap();
+//! assert!(text.contains("G1"));
+//! ```
+
+pub mod ascii;
+pub mod html;
+pub mod spec;
+
+pub use ascii::{render_chart, render_interface, render_session, render_widget, render_widget_with_state};
+pub use html::export_html;
+pub use spec::interface_spec;

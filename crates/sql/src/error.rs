@@ -1,0 +1,33 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// Result alias for parsing operations.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+/// An error produced while lexing or parsing SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, offset: usize, line: usize, column: usize) -> Self {
+        Self { message: message.into(), offset, line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}, column {}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,328 @@
+//! A hand-written SQL lexer.
+//!
+//! The lexer is a single forward pass over the input bytes that tracks line
+//! and column information for error reporting. It produces the token stream
+//! consumed by [`crate::parser`].
+
+use crate::error::{ParseError, Result};
+use crate::token::{keyword_of, Symbol, Token, TokenKind};
+
+/// Tokenize `input`, returning the token stream terminated by an
+/// [`TokenKind::Eof`] token.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Self { src: input.as_bytes(), pos: 0, line: 1, column: 1 }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (offset, line, column) = (self.pos, self.line, self.column);
+            let Some(c) = self.peek() else {
+                tokens.push(Token { kind: TokenKind::Eof, offset, line, column });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                b'0'..=b'9' => self.number()?,
+                b'\'' => self.string()?,
+                b'"' => self.quoted_ident()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.word(),
+                _ => self.symbol()?,
+            };
+            tokens.push(Token { kind, offset, line, column });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.pos, self.line, self.column)
+    }
+
+    /// Skip whitespace, `-- line` comments and `/* block */` comments.
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let save = (self.pos, self.line, self.column);
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                (self.pos, self.line, self.column) = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        if is_float {
+            text.parse::<f64>().map(TokenKind::Float).map_err(|e| self.error(format!("bad float literal {text:?}: {e}")))
+        } else {
+            text.parse::<i64>().map(TokenKind::Int).map_err(|e| self.error(format!("bad integer literal {text:?}: {e}")))
+        }
+    }
+
+    fn string(&mut self) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // '' is an escaped quote inside a string literal.
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        out.push('\'');
+                    } else {
+                        return Ok(TokenKind::Str(out));
+                    }
+                }
+                Some(c) => out.push(c as char),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    fn quoted_ident(&mut self) -> Result<TokenKind> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(TokenKind::Ident(out)),
+                Some(c) => out.push(c as char),
+                None => return Err(self.error("unterminated quoted identifier")),
+            }
+        }
+    }
+
+    fn word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii word");
+        match keyword_of(text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text.to_string()),
+        }
+    }
+
+    fn symbol(&mut self) -> Result<TokenKind> {
+        let c = self.bump().expect("symbol() called at eof");
+        let sym = match c {
+            b'(' => Symbol::LParen,
+            b')' => Symbol::RParen,
+            b',' => Symbol::Comma,
+            b'.' => Symbol::Dot,
+            b';' => Symbol::Semicolon,
+            b'*' => Symbol::Star,
+            b'+' => Symbol::Plus,
+            b'-' => Symbol::Minus,
+            b'/' => Symbol::Slash,
+            b'%' => Symbol::Percent,
+            b'=' => Symbol::Eq,
+            b'|' if self.peek() == Some(b'|') => {
+                self.bump();
+                Symbol::Concat
+            }
+            b'<' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    Symbol::LtEq
+                }
+                Some(b'>') => {
+                    self.bump();
+                    Symbol::NotEq
+                }
+                _ => Symbol::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => {
+                    self.bump();
+                    Symbol::GtEq
+                }
+                _ => Symbol::Gt,
+            },
+            b'!' if self.peek() == Some(b'=') => {
+                self.bump();
+                Symbol::NotEq
+            }
+            other => return Err(self.error(format!("unexpected character {:?}", other as char))),
+        };
+        Ok(TokenKind::Symbol(sym))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_case_insensitively() {
+        assert_eq!(kinds("select"), vec![TokenKind::Keyword("SELECT"), TokenKind::Eof]);
+        assert_eq!(kinds("SeLeCt"), vec![TokenKind::Keyword("SELECT"), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_identifiers_preserving_case() {
+        assert_eq!(kinds("PhotoObj"), vec![TokenKind::Ident("PhotoObj".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42), TokenKind::Eof]);
+        assert_eq!(kinds("3.5"), vec![TokenKind::Float(3.5), TokenKind::Eof]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0), TokenKind::Eof]);
+        assert_eq!(kinds("2.5e-1"), vec![TokenKind::Float(0.25), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn dot_after_int_without_digit_is_symbol() {
+        assert_eq!(
+            kinds("t.a"),
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Symbol(Symbol::Dot),
+                TokenKind::Ident("a".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        assert_eq!(
+            kinds("<= >= <> != < > ="),
+            vec![
+                TokenKind::Symbol(Symbol::LtEq),
+                TokenKind::Symbol(Symbol::GtEq),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Symbol(Symbol::Lt),
+                TokenKind::Symbol(Symbol::Gt),
+                TokenKind::Symbol(Symbol::Eq),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("select -- all of it\n1 /* the\n number */ ,2"),
+            vec![
+                TokenKind::Keyword("SELECT"),
+                TokenKind::Int(1),
+                TokenKind::Symbol(Symbol::Comma),
+                TokenKind::Int(2),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_position_of_bad_character() {
+        let err = tokenize("select\n  $").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 4);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        assert!(tokenize("/* abc").is_err());
+    }
+
+    #[test]
+    fn quoted_identifier_keeps_spaces() {
+        assert_eq!(kinds("\"case count\""), vec![TokenKind::Ident("case count".into()), TokenKind::Eof]);
+    }
+}

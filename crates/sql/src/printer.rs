@@ -1,0 +1,331 @@
+//! Pretty-printing of the AST back to SQL text.
+//!
+//! The printer emits canonical SQL that round-trips through the parser: for
+//! every query `q`, `parse_query(&q.to_string()) == Ok(q)` (verified by the
+//! crate's property tests). Parentheses are inserted from operator
+//! precedence, not preserved from the source.
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.dir == SortDir::Desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {}", ident(a))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Named { name, alias } => {
+                write!(f, "{}", ident(name))?;
+                if let Some(a) = alias {
+                    write!(f, " AS {}", ident(a))?;
+                }
+                Ok(())
+            }
+            TableRef::Subquery { query, alias } => write!(f, "({query}) AS {}", ident(alias)),
+            TableRef::Join { left, right, kind, on } => {
+                write!(f, "{left}")?;
+                match kind {
+                    JoinKind::Inner => write!(f, " JOIN ")?,
+                    JoinKind::Left => write!(f, " LEFT JOIN ")?,
+                    JoinKind::Cross => write!(f, " CROSS JOIN ")?,
+                }
+                // A join as the right operand needs parentheses to re-parse
+                // with the same associativity.
+                match right.as_ref() {
+                    TableRef::Join { .. } => write!(f, "({right})")?,
+                    _ => write!(f, "{right}")?,
+                }
+                if let Some(on) = on {
+                    write!(f, " ON {on}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Quote an identifier if it would not re-lex as a plain identifier.
+/// `date` is exempt: the parser accepts the `DATE` keyword in identifier
+/// position, so it round-trips unquoted.
+pub(crate) fn ident(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && (crate::token::keyword_of(name).is_none() || name.eq_ignore_ascii_case("date"));
+    if plain {
+        name.to_string()
+    } else {
+        format!("\"{name}\"")
+    }
+}
+
+impl Expr {
+    /// Precedence of this expression when appearing as an operand; used to
+    /// decide where parentheses are required.
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Binary { op, .. } => op.precedence(),
+            Expr::Unary { op: UnaryOp::Not, .. } => 3,
+            // Postfix predicates sit between NOT and comparisons.
+            Expr::InList { .. }
+            | Expr::InSubquery { .. }
+            | Expr::Between { .. }
+            | Expr::Like { .. }
+            | Expr::IsNull { .. } => 4,
+            _ => 10,
+        }
+    }
+
+    fn fmt_operand(&self, f: &mut fmt::Formatter<'_>, min_prec: u8) -> fmt::Result {
+        if self.precedence() < min_prec {
+            write!(f, "({self})")
+        } else {
+            write!(f, "{self}")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Wildcard => write!(f, "*"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => {
+                    write!(f, "NOT ")?;
+                    expr.fmt_operand(f, 3)
+                }
+                UnaryOp::Neg => {
+                    write!(f, "-")?;
+                    expr.fmt_operand(f, 7)
+                }
+            },
+            Expr::Binary { left, op, right } => {
+                let prec = op.precedence();
+                left.fmt_operand(f, prec)?;
+                write!(f, " {} ", op.sql())?;
+                // Right operand of a left-associative operator needs strictly
+                // higher precedence to round-trip; comparisons are
+                // non-associative so the same holds.
+                right.fmt_operand(f, prec + 1)
+            }
+            Expr::Function { name, args, distinct } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::InList { expr, list, negated } => {
+                expr.fmt_operand(f, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery { expr, subquery, negated } => {
+                expr.fmt_operand(f, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN ({subquery})")
+            }
+            Expr::Exists { subquery, negated } => {
+                if *negated {
+                    write!(f, "NOT ")?;
+                }
+                write!(f, "EXISTS ({subquery})")
+            }
+            Expr::Between { expr, low, high, negated } => {
+                expr.fmt_operand(f, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " BETWEEN ")?;
+                low.fmt_operand(f, 5)?;
+                write!(f, " AND ")?;
+                high.fmt_operand(f, 5)
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::IsNull { expr, negated } => {
+                expr.fmt_operand(f, 5)?;
+                if *negated {
+                    write!(f, " IS NOT NULL")
+                } else {
+                    write!(f, " IS NULL")
+                }
+            }
+            Expr::Like { expr, pattern, negated } => {
+                expr.fmt_operand(f, 5)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " LIKE ")?;
+                pattern.fmt_operand(f, 5)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_query;
+
+    /// Assert that SQL text parses, prints, and re-parses to the same AST.
+    fn roundtrip(sql: &str) -> String {
+        let q1 = parse_query(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
+        let printed = q1.to_string();
+        let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+        assert_eq!(q1, q2, "roundtrip changed AST for {sql:?} -> {printed:?}");
+        printed
+    }
+
+    #[test]
+    fn roundtrips_simple() {
+        assert_eq!(roundtrip("select a from t"), "SELECT a FROM t");
+    }
+
+    #[test]
+    fn roundtrips_all_features() {
+        for sql in [
+            "SELECT DISTINCT a, b AS c FROM t WHERE a > 1 GROUP BY a, b HAVING count(*) > 2 ORDER BY a DESC LIMIT 3 OFFSET 1",
+            "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.w",
+            "SELECT * FROM a CROSS JOIN b",
+            "SELECT x FROM (SELECT y AS x FROM t) AS s",
+            "SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END FROM t",
+            "SELECT CASE a WHEN 1 THEN 'one' END FROM t",
+            "SELECT a FROM t WHERE a IN (1, 2) OR b NOT IN (SELECT c FROM u)",
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+            "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)",
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 2 AND b NOT BETWEEN 3 AND 4",
+            "SELECT a FROM t WHERE d >= DATE '2021-12-01'",
+            "SELECT a FROM t WHERE name LIKE 'Flo%' AND x IS NOT NULL",
+            "SELECT a + b * c - d / e % f FROM t",
+            "SELECT (a + b) * c FROM t",
+            "SELECT -a FROM t",
+            "SELECT count(DISTINCT state) FROM covid",
+            "SELECT a FROM t WHERE NOT (a = 1 OR b = 2)",
+            "SELECT a FROM t WHERE x = (SELECT avg(y) FROM u)",
+            "SELECT a || '-' || b FROM t",
+        ] {
+            roundtrip(sql);
+        }
+    }
+
+    #[test]
+    fn parenthesizes_or_under_and() {
+        let printed = roundtrip("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3");
+        assert!(printed.contains("(x = 1 OR y = 2) AND"), "got {printed}");
+    }
+
+    #[test]
+    fn quotes_awkward_identifiers() {
+        let printed = roundtrip("SELECT \"case count\" FROM \"my table\"");
+        assert!(printed.contains("\"case count\""));
+        assert!(printed.contains("\"my table\""));
+    }
+
+    #[test]
+    fn nested_right_join_parenthesized() {
+        let q = roundtrip("SELECT * FROM a JOIN (b JOIN c ON b.x = c.x) ON a.y = b.y");
+        assert!(q.contains("("), "got {q}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Token definitions shared by the lexer and parser.
+
+use std::fmt;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind.
+    pub kind: TokenKind,
+    /// Byte offset of the token start.
+    pub offset: usize,
+    /// 1-based line of the token start.
+    pub line: usize,
+    /// 1-based column of the token start.
+    pub column: usize,
+}
+
+/// The kinds of tokens the SQL lexer produces.
+///
+/// Keywords are lexed as [`TokenKind::Keyword`] with an upper-cased name;
+/// everything alphabetic that is not a keyword becomes an
+/// [`TokenKind::Ident`] preserving its original spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A reserved word, stored upper-case (`SELECT`, `FROM`, ...).
+    Keyword(&'static str),
+    /// An identifier (table, column, alias, or function name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A single-quoted string literal with escapes resolved.
+    Str(String),
+    /// Punctuation and operators.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// Operator / punctuation symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// L Paren.
+    LParen,
+    /// R Paren.
+    RParen,
+    /// Comma.
+    Comma,
+    /// Dot.
+    Dot,
+    /// Semicolon.
+    Semicolon,
+    /// Star.
+    Star,
+    /// Plus.
+    Plus,
+    /// Minus.
+    Minus,
+    /// Slash.
+    Slash,
+    /// Percent.
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `||` string concatenation.
+    Concat,
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Symbol::LParen => "(",
+            Symbol::RParen => ")",
+            Symbol::Comma => ",",
+            Symbol::Dot => ".",
+            Symbol::Semicolon => ";",
+            Symbol::Star => "*",
+            Symbol::Plus => "+",
+            Symbol::Minus => "-",
+            Symbol::Slash => "/",
+            Symbol::Percent => "%",
+            Symbol::Eq => "=",
+            Symbol::NotEq => "<>",
+            Symbol::Lt => "<",
+            Symbol::LtEq => "<=",
+            Symbol::Gt => ">",
+            Symbol::GtEq => ">=",
+            Symbol::Concat => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Symbol(s) => write!(f, "{s}"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// The set of reserved keywords recognized by the lexer.
+pub const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "OFFSET", "AS", "AND",
+    "OR", "NOT", "IN", "EXISTS", "BETWEEN", "LIKE", "IS", "NULL", "TRUE", "FALSE", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "DISTINCT",
+    "ASC", "DESC", "DATE", "UNION", "ALL",
+];
+
+/// Look up a word in the keyword table, case-insensitively.
+pub fn keyword_of(word: &str) -> Option<&'static str> {
+    let upper = word.to_ascii_uppercase();
+    KEYWORDS.iter().copied().find(|k| *k == upper)
+}

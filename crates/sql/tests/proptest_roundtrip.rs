@@ -1,0 +1,196 @@
+//! Property tests: every generated query pretty-prints to SQL that re-parses
+//! to the identical AST, and normalization is idempotent.
+
+use pi2_sql::*;
+use proptest::prelude::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("cases".to_string()),
+        Just("state".to_string()),
+        Just("date".to_string()),
+        Just("ra".to_string()),
+        Just("total_count".to_string()),
+        Just("G2".to_string()),
+    ]
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i64>().prop_map(Literal::Int),
+        // Finite floats only; the SQL grammar has no NaN/inf literal.
+        (-1e12f64..1e12).prop_map(|v| Literal::Float(F64(v))),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Literal::Str),
+        (0i32..60000).prop_map(|d| Literal::Date(Date(d))),
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        ident_strategy().prop_map(Expr::col),
+        (ident_strategy(), ident_strategy()).prop_map(|(t, c)| Expr::qcol(t, c)),
+        literal_strategy().prop_map(Expr::Literal),
+    ]
+}
+
+fn binop_strategy() -> impl Strategy<Value = BinaryOp> {
+    prop_oneof![
+        Just(BinaryOp::Or),
+        Just(BinaryOp::And),
+        Just(BinaryOp::Eq),
+        Just(BinaryOp::NotEq),
+        Just(BinaryOp::Lt),
+        Just(BinaryOp::LtEq),
+        Just(BinaryOp::Gt),
+        Just(BinaryOp::GtEq),
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Div),
+        Just(BinaryOp::Mod),
+        Just(BinaryOp::Concat),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(2, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), binop_strategy(), inner.clone()).prop_filter_map(
+                "comparisons are non-associative; avoid chaining them",
+                |(l, op, r)| {
+                    let chains_comparison = |e: &Expr| {
+                        matches!(e, Expr::Binary { op, .. } if op.is_comparison())
+                            || matches!(
+                                e,
+                                Expr::InList { .. }
+                                    | Expr::Between { .. }
+                                    | Expr::Like { .. }
+                                    | Expr::IsNull { .. }
+                            )
+                    };
+                    if op.is_comparison() && (chains_comparison(&l) || chains_comparison(&r)) {
+                        None
+                    } else {
+                        Some(Expr::binary(l, op, r))
+                    }
+                }
+            ),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>()).prop_map(
+                |(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }
+            ),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (inner.clone(), leaf_expr(), leaf_expr(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated
+                }
+            ),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(|args| Expr::Function {
+                name: "sum".into(),
+                args,
+                distinct: false
+            }),
+            (inner.clone(), inner.clone(), proptest::option::of(inner)).prop_map(
+                |(w, t, e)| Expr::Case {
+                    operand: None,
+                    branches: vec![(w, t)],
+                    else_expr: e.map(Box::new),
+                }
+            ),
+        ]
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (
+        proptest::collection::vec(
+            (expr_strategy(), proptest::option::of(ident_strategy())),
+            1..4,
+        ),
+        proptest::collection::vec(ident_strategy(), 0..2),
+        proptest::option::of(expr_strategy()),
+        proptest::collection::vec(expr_strategy(), 0..2),
+        proptest::option::of((expr_strategy(), any::<bool>())),
+        proptest::option::of(0u64..1000),
+        any::<bool>(),
+    )
+        .prop_map(|(proj, tables, where_clause, group_by, order, limit, distinct)| {
+            let mut q = Query::new();
+            q.distinct = distinct;
+            q.projection =
+                proj.into_iter().map(|(expr, alias)| SelectItem::Expr { expr, alias }).collect();
+            q.from = tables.into_iter().map(TableRef::named).collect();
+            q.where_clause = where_clause;
+            q.group_by = group_by;
+            q.order_by = order
+                .into_iter()
+                .map(|(expr, desc)| OrderByItem {
+                    expr,
+                    dir: if desc { SortDir::Desc } else { SortDir::Asc },
+                })
+                .collect();
+            q.limit = limit;
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(q in query_strategy()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .map_err(|e| TestCaseError::fail(format!("failed to reparse {printed:?}: {e}")))?;
+        prop_assert_eq!(&q, &reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn normalization_is_idempotent(q in query_strategy()) {
+        let mut once = q.clone();
+        normalize_query(&mut once);
+        let mut twice = once.clone();
+        normalize_query(&mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalized_query_still_roundtrips(q in query_strategy()) {
+        let mut n = q;
+        normalize_query(&mut n);
+        let printed = n.to_string();
+        let reparsed = parse_query(&printed)
+            .map_err(|e| TestCaseError::fail(format!("failed to reparse {printed:?}: {e}")))?;
+        prop_assert_eq!(&n, &reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn structural_hash_agrees_with_equality(a in query_strategy(), b in query_strategy()) {
+        if a == b {
+            prop_assert_eq!(a.structural_hash(), b.structural_hash());
+        }
+        // Self-consistency: hashing is deterministic.
+        prop_assert_eq!(a.structural_hash(), a.clone().structural_hash());
+        prop_assert_eq!(b.structural_hash(), b.clone().structural_hash());
+    }
+
+    #[test]
+    fn lexer_never_panics(s in "\\PC{0,60}") {
+        let _ = pi2_sql::lexer::tokenize(&s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,60}") {
+        let _ = parse_query(&s);
+    }
+}

@@ -1,0 +1,101 @@
+//! The paper's §3.2 use case, replayed interactively: Jane analyzes a
+//! COVID-19 dataset in a notebook, generating interface versions V1–V3.
+//! Also exports each version as a standalone HTML file under `target/`.
+//!
+//! ```sh
+//! cargo run --release -p pi2-bench --example covid_walkthrough
+//! ```
+
+use pi2_core::{Event, Pi2, SearchStrategy};
+use pi2_mcts::MctsConfig;
+use pi2_notebook::Notebook;
+use pi2_sql::Date;
+
+fn main() {
+    let catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config::default());
+    let pi2 = Pi2::builder(catalog)
+        .strategy(SearchStrategy::Mcts(MctsConfig {
+            iterations: 80,
+            rollout_depth: 3,
+            seed: 7,
+            ..Default::default()
+        }))
+        .build();
+    let mut nb = Notebook::with_pi2(pi2);
+
+    let demo = pi2_datasets::covid::demo_queries();
+
+    println!("=== Step 1: overview, then two half-month detail windows ===");
+    for q in &demo[..3] {
+        let id = nb.add_cell(q.to_string());
+        let rows = nb.run_cell(id).expect("cell executes").len();
+        println!("In[{}] ({rows} rows): {q}", id + 1);
+    }
+    let v1 = nb.generate_interface().expect("V1 generates");
+    show_version(&nb, v1);
+
+    // Brush the overview; the detail view follows.
+    let mut session = nb.open_session(v1).expect("session opens");
+    if let Some(chart) = session
+        .interface()
+        .charts
+        .iter()
+        .find(|c| !c.interactions.is_empty())
+        .map(|c| c.id)
+    {
+        let lo = Date::parse("2021-12-20").expect("valid date").0 as f64;
+        let hi = Date::parse("2021-12-28").expect("valid date").0 as f64;
+        let updates = session.dispatch(Event::Brush { chart, low: lo, high: hi }).expect("brush");
+        println!("brushed G{} over 2021-12-20..28; updated charts:", chart + 1);
+        for u in &updates {
+            println!("  G{} → {}", u.chart + 1, u.query);
+        }
+    }
+
+    println!("\n=== Step 2: drill down to state level ===");
+    let id = nb.add_cell(demo[3].to_string());
+    nb.run_cell(id).expect("cell executes");
+    let v2 = nb.generate_interface().expect("V2 generates");
+    show_version(&nb, v2);
+
+    println!("\n=== Step 3: focused region investigation ===");
+    for q in &demo[4..6] {
+        let id = nb.add_cell(q.to_string());
+        nb.run_cell(id).expect("cell executes");
+    }
+    let v3 = nb.generate_interface().expect("V3 generates");
+    show_version(&nb, v3);
+
+    // Render V3 and export every version as HTML.
+    let session = nb.open_session(v3).expect("session opens");
+    let updates = session.refresh_all().expect("refresh");
+    println!("{}", pi2_render::render_interface(session.interface(), &updates));
+
+    std::fs::create_dir_all("target/pi2-exports").expect("create export dir");
+    for v in nb.versions() {
+        let session = nb.open_session(v.number).expect("session opens");
+        let updates = session.refresh_all().expect("refresh");
+        let html = pi2_render::export_html(
+            &format!("PI2 COVID-19 walkthrough — {}", v.label()),
+            &v.generated.interface,
+            &updates,
+            &v.query_log,
+        );
+        let path = format!("target/pi2-exports/covid_{}.html", v.label().to_lowercase());
+        std::fs::write(&path, html).expect("write export");
+        println!("exported {path}");
+    }
+}
+
+fn show_version(nb: &Notebook, number: usize) {
+    let v = nb.version(number).expect("version exists");
+    println!(
+        "{} generated in {:?}: {} charts, {} widgets, {} viz interactions (cost {:.3})",
+        v.label(),
+        v.generated.stats.elapsed,
+        v.generated.interface.charts.len(),
+        v.generated.interface.widgets.len(),
+        v.generated.interface.interaction_count(),
+        v.generated.cost.total,
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: generate an interactive interface from two similar queries
+//! and drive it.
+//!
+//! ```sh
+//! cargo run --release -p pi2-bench --example quickstart
+//! ```
+
+use pi2_core::{Event, Pi2, WidgetValue};
+
+fn main() {
+    // 1. A catalog: the toy table t(p, a, b) from the paper's §2 example.
+    let catalog = pi2_datasets::toy::default_catalog();
+
+    // 2. The analyst's query log: two queries that differ in one literal.
+    let log = [
+        "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+    ];
+    println!("query log:");
+    for q in &log {
+        println!("  {q}");
+    }
+
+    // 3. Generate: PI2 merges the queries into a DiffTree, maps the choice
+    //    nodes to interactions, and returns the lowest-cost interface.
+    let pi2 = Pi2::builder(catalog).build();
+    let generated = pi2.generate_sql(&log).expect("generation succeeds");
+    println!(
+        "\ngenerated in {:?}: {} chart(s), {} widget(s), {} viz interaction(s), cost {:.3}",
+        generated.stats.elapsed,
+        generated.interface.charts.len(),
+        generated.interface.widgets.len(),
+        generated.interface.interaction_count(),
+        generated.cost.total,
+    );
+
+    // 4. Render the initial state.
+    let mut session = pi2.session(&generated);
+    let updates = session.refresh_all().expect("executes");
+    println!("\n{}", pi2_render::render_interface(&generated.interface, &updates));
+
+    // 5. Interact: operate the first widget (or chart interaction) and
+    //    watch the SQL change underneath.
+    if let Some(w) = generated.interface.widgets.first() {
+        let value = match &w.kind {
+            pi2_interface::WidgetKind::Slider { max, .. } => WidgetValue::Scalar(*max),
+            pi2_interface::WidgetKind::Toggle => WidgetValue::Bool(false),
+            _ => WidgetValue::Pick(1),
+        };
+        let updates = session
+            .dispatch(Event::SetWidget { widget: w.id, value })
+            .expect("dispatch succeeds");
+        for u in &updates {
+            println!("after operating '{}', chart {} runs:\n  {}", w.label, u.chart, u.query);
+        }
+    } else if generated.interface.interaction_count() > 0 {
+        let updates = session.dispatch(Event::Click {
+            chart: 0,
+            value: pi2_sql::Literal::Int(3),
+        });
+        if let Ok(updates) = updates {
+            for u in &updates {
+                println!("after clicking, chart {} runs:\n  {}", u.chart, u.query);
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 1(c) live: two SDSS region queries become one scatter plot with
+//! 2-D pan/zoom; dragging and scrolling rewrites the ra/dec ranges.
+//!
+//! ```sh
+//! cargo run --release -p pi2-bench --example sdss_panzoom
+//! ```
+
+use pi2_core::{Event, Pi2};
+
+fn main() {
+    let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config::default());
+    let queries = pi2_datasets::sdss::demo_queries();
+    println!("query log:");
+    for q in &queries {
+        println!("  {q}");
+    }
+
+    let pi2 = Pi2::builder(catalog).build();
+    let generated = pi2.generate(&queries).expect("generation succeeds");
+    println!(
+        "\nPI2 produced {} chart(s) with {} in-visualization interaction(s) and {} widget(s)\n",
+        generated.interface.charts.len(),
+        generated.interface.interaction_count(),
+        generated.interface.widgets.len(),
+    );
+
+    let mut session = pi2.session(&generated);
+    let updates = session.refresh_all().expect("refresh");
+    println!("{}", pi2_render::render_interface(&generated.interface, &updates));
+
+    // Simulate the user's exploration: pan east, zoom out, zoom back in.
+    let gestures = [
+        ("pan east by 1.5°", Event::Pan { chart: 0, dx: 1.5, dy: 0.0 }),
+        ("pan north by 0.8°", Event::Pan { chart: 0, dx: 0.0, dy: 0.8 }),
+        ("zoom out 2×", Event::Zoom { chart: 0, factor: 2.0 }),
+        ("zoom in 4×", Event::Zoom { chart: 0, factor: 0.25 }),
+    ];
+    for (label, event) in gestures {
+        let updates = session.dispatch(event).expect("gesture dispatch");
+        let u = &updates[0];
+        println!("{label}:");
+        println!("  SQL  → {}", u.query);
+        println!("  rows → {}", u.result.len());
+    }
+
+    // The final view, rendered.
+    let updates = session.refresh_all().expect("refresh");
+    println!("\nfinal view:\n{}", pi2_render::render_interface(&generated.interface, &updates));
+}

@@ -1,0 +1,66 @@
+//! S&P 500 exploration: a log of ticker/sector analyses becomes one
+//! interface; the emitted Vega-Lite-style JSON spec is printed (the shape a
+//! browser front end would consume).
+//!
+//! ```sh
+//! cargo run --release -p pi2-bench --example sp500_explorer
+//! ```
+
+use pi2_core::{Event, Pi2, WidgetValue};
+
+fn main() {
+    let catalog = pi2_datasets::sp500::catalog(&pi2_datasets::sp500::Config::default());
+    let queries = pi2_datasets::sp500::demo_queries();
+    println!("query log ({} queries):", queries.len());
+    for q in &queries {
+        println!("  {q}");
+    }
+
+    let pi2 = Pi2::builder(catalog).build();
+    let generated = pi2.generate(&queries).expect("generation succeeds");
+    println!(
+        "\ninterface: {} charts / {} widgets / {} viz interactions (cost {:.3}, {:?})\n",
+        generated.interface.charts.len(),
+        generated.interface.widgets.len(),
+        generated.interface.interaction_count(),
+        generated.cost.total,
+        generated.stats.elapsed,
+    );
+
+    let mut session = pi2.session(&generated);
+    let updates = session.refresh_all().expect("refresh");
+    println!("{}", pi2_render::render_interface(&generated.interface, &updates));
+
+    // Switch the ticker if a discrete widget came out of the ANY/hole over
+    // 'AAPL' / 'MSFT'.
+    let widgets = generated.interface.widgets.clone();
+    for w in &widgets {
+        let options = match &w.kind {
+            pi2_interface::WidgetKind::Radio { options }
+            | pi2_interface::WidgetKind::ButtonGroup { options }
+            | pi2_interface::WidgetKind::Dropdown { options }
+            | pi2_interface::WidgetKind::Tabs { options } => options.clone(),
+            _ => continue,
+        };
+        if let Some(idx) = options.iter().position(|o| o.contains("MSFT")) {
+            let updates = session
+                .dispatch(Event::SetWidget { widget: w.id, value: WidgetValue::Pick(idx) })
+                .expect("widget dispatch");
+            println!("picked '{}' on widget '{}':", options[idx], w.label);
+            for u in &updates {
+                println!("  chart {} → {}", u.chart, u.query);
+            }
+            break;
+        }
+    }
+
+    // Emit the interface spec (truncated for the console).
+    let updates = session.refresh_all().expect("refresh");
+    let spec = pi2_render::interface_spec(session.interface(), &updates);
+    let text = serde_json::to_string_pretty(&spec).expect("serializes");
+    let lines: Vec<&str> = text.lines().collect();
+    println!("\ninterface spec (first 40 of {} lines):", lines.len());
+    for l in lines.iter().take(40) {
+        println!("{l}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Run every comparison tool (plain notebook, Lux, Count, Hex, PI2) on a
+//! scenario of your choice and print what each produces — Table 1, live.
+//!
+//! ```sh
+//! cargo run --release -p pi2-bench --example tool_comparison [covid|sdss|sp500]
+//! ```
+
+use pi2_baselines::{all_tools, expresses_log};
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "sdss".to_string());
+    let scenario = pi2_datasets::demo_scenarios()
+        .into_iter()
+        .find(|s| s.name == wanted)
+        .unwrap_or_else(|| {
+            eprintln!("unknown scenario '{wanted}', expected covid|sdss|sp500");
+            std::process::exit(2);
+        });
+
+    println!("scenario: {} ({} queries)\n", scenario.name, scenario.queries.len());
+    for q in &scenario.queries {
+        println!("  {q}");
+    }
+    println!();
+
+    for tool in all_tools() {
+        match tool.generate(&scenario.queries, &scenario.catalog) {
+            Ok(o) => {
+                let s = o.interface.feature_summary();
+                println!(
+                    "{:<13} {} chart(s) + {} table(s), {} widget(s), {} viz interaction(s); \
+                     manual steps {}; expresses whole log: {}",
+                    o.tool,
+                    s.charts,
+                    s.tables,
+                    s.widgets,
+                    s.viz_interactions,
+                    o.manual_steps,
+                    if expresses_log(&o, &scenario.queries) { "yes" } else { "NO" },
+                );
+                for n in &o.notes {
+                    println!("{:<13}   ({n})", "");
+                }
+                for w in &o.interface.widgets {
+                    println!("{:<13}   widget: {}", "", pi2_render::render_widget(w));
+                }
+            }
+            Err(e) => println!("{:<13} failed: {e}", tool.name()),
+        }
+        println!();
+    }
+}

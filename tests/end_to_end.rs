@@ -1,0 +1,248 @@
+//! Cross-crate integration tests: the full pipeline — datasets → engine →
+//! difftree → mapper → cost → search → session → render — on each demo
+//! scenario.
+
+use pi2_core::{Event, Pi2, SearchStrategy, WidgetValue};
+use pi2_mcts::MctsConfig;
+use pi2_notebook::Notebook;
+
+fn small_covid() -> pi2_engine::Catalog {
+    pi2_datasets::covid::catalog(&pi2_datasets::covid::Config {
+        state_limit: Some(8),
+        ..Default::default()
+    })
+}
+
+#[test]
+fn every_scenario_generates_an_expressive_interface() {
+    for scenario in pi2_datasets::demo_scenarios() {
+        let pi2 = Pi2::builder(scenario.catalog.clone())
+            .strategy(SearchStrategy::Mcts(MctsConfig {
+                iterations: 25,
+                rollout_depth: 2,
+                seed: 3,
+                ..Default::default()
+            }))
+            .build();
+        let g = pi2.generate(&scenario.queries).unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        assert!(g.cost.expressive, "{}: interface must express the log", scenario.name);
+        assert!(g.forest.expresses_all(&scenario.queries), "{}", scenario.name);
+        assert!(!g.interface.charts.is_empty(), "{}", scenario.name);
+        // Every chart's default query executes.
+        let session = pi2.session(&g);
+        let updates = session.refresh_all().unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        assert_eq!(updates.len(), g.interface.charts.len());
+    }
+}
+
+#[test]
+fn sdss_generates_panzoom_and_pan_roundtrips() {
+    let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config::default());
+    let pi2 = Pi2::builder(catalog).build();
+    let g = pi2.generate(&pi2_datasets::sdss::demo_queries()).expect("generates");
+    assert!(
+        g.interface.interaction_count() >= 1,
+        "SDSS log should yield visualization interactions, got widgets {:?}",
+        g.interface.widgets
+    );
+    let mut s = pi2.session(&g);
+    let before = s.query_for_chart(0).expect("query").to_string();
+    let after = s.dispatch(Event::Pan { chart: 0, dx: 0.5, dy: 0.25 }).expect("pan");
+    assert_ne!(before, after[0].query.to_string());
+    // Interaction latency sanity: a dispatch is fast even in debug builds.
+    let t = std::time::Instant::now();
+    s.dispatch(Event::Zoom { chart: 0, factor: 1.5 }).expect("zoom");
+    assert!(t.elapsed() < std::time::Duration::from_secs(2));
+}
+
+#[test]
+fn notebook_walkthrough_generates_three_versions() {
+    let pi2 = Pi2::builder(small_covid())
+        .strategy(SearchStrategy::Mcts(MctsConfig {
+            iterations: 30,
+            rollout_depth: 2,
+            seed: 7,
+            ..Default::default()
+        }))
+        .build();
+    let mut nb = Notebook::with_pi2(pi2);
+    let demo = pi2_datasets::covid::demo_queries();
+    for q in &demo[..3] {
+        let id = nb.add_cell(q.to_string());
+        nb.run_cell(id).expect("cell executes");
+    }
+    let v1 = nb.generate_interface().expect("V1");
+    let id = nb.add_cell(demo[3].to_string());
+    nb.run_cell(id).expect("cell executes");
+    let v2 = nb.generate_interface().expect("V2");
+    for q in &demo[4..6] {
+        let id = nb.add_cell(q.to_string());
+        nb.run_cell(id).expect("cell executes");
+    }
+    let v3 = nb.generate_interface().expect("V3");
+    assert_eq!((v1, v2, v3), (1, 2, 3));
+    assert_eq!(nb.versions().len(), 3);
+    // Archived logs grow monotonically and are snapshots.
+    assert_eq!(nb.version(1).expect("v1").query_log.len(), 3);
+    assert_eq!(nb.version(3).expect("v3").query_log.len(), 6);
+    // V1's interface has the overview+detail linked-brush design.
+    let g1 = &nb.version(1).expect("v1").generated;
+    assert!(g1.interface.charts.len() >= 2, "V1 should be multi-view");
+    assert!(
+        g1.interface.charts.iter().any(|c| c
+            .interactions
+            .iter()
+            .any(|i| matches!(i, pi2_interface::VizInteraction::BrushX { .. }))),
+        "V1 should have linked brushing"
+    );
+    // Every version's session works.
+    for v in 1..=3 {
+        let session = nb.open_session(v).expect("session");
+        session.refresh_all().unwrap_or_else(|e| panic!("V{v}: {e}"));
+    }
+}
+
+#[test]
+fn session_events_keep_queries_inside_expressiveness() {
+    // Dispatch a storm of events; every resulting query must still be
+    // expressed by the forest (the interface can never produce a query the
+    // DiffTree does not express).
+    let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 400, seed: 5 });
+    let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
+    let g = pi2.generate(&pi2_datasets::sdss::demo_queries()).expect("generates");
+    let mut s = pi2.session(&g);
+    let events = [
+        Event::Pan { chart: 0, dx: 3.0, dy: -2.0 },
+        Event::Zoom { chart: 0, factor: 3.0 },
+        Event::Pan { chart: 0, dx: -100.0, dy: 100.0 },
+        Event::Zoom { chart: 0, factor: 0.1 },
+        Event::Pan { chart: 0, dx: 0.01, dy: 0.0 },
+    ];
+    for e in events {
+        let updates = s.dispatch(e).expect("dispatch");
+        for u in &updates {
+            assert!(
+                pi2_difftree::expresses(&g.forest.trees[0], &u.query).is_some(),
+                "session produced inexpressible query {}",
+                u.query
+            );
+        }
+    }
+}
+
+#[test]
+fn render_and_spec_and_html_cover_all_scenarios() {
+    for scenario in pi2_datasets::demo_scenarios() {
+        let pi2 =
+            Pi2::builder(scenario.catalog.clone()).strategy(SearchStrategy::FullMerge).build();
+        let g = match pi2.generate(&scenario.queries) {
+            Ok(g) => g,
+            Err(e) => panic!("{}: {e}", scenario.name),
+        };
+        let session = pi2.session(&g);
+        let updates = session.refresh_all().expect("refresh");
+        let text = pi2_render::render_interface(&g.interface, &updates);
+        assert!(text.contains("G1"), "{}: {text}", scenario.name);
+        let spec = pi2_render::interface_spec(&g.interface, &updates);
+        assert!(spec["charts"].as_array().is_some_and(|a| !a.is_empty()));
+        let log: Vec<String> = g.queries.iter().map(|q| q.to_string()).collect();
+        let html = pi2_render::export_html(scenario.name, &g.interface, &updates, &log);
+        assert!(html.contains("</html>"));
+    }
+}
+
+#[test]
+fn hex_baseline_session_differs_from_pi2_in_effort_not_liveness() {
+    use pi2_baselines::{Hex, Pi2Tool, Tool};
+    let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 300, seed: 8 });
+    let queries = pi2_datasets::sdss::demo_queries();
+    let hex = Hex.generate(&queries, &catalog).expect("hex");
+    let pi2 = Pi2Tool::default().generate(&queries, &catalog).expect("pi2");
+    // Both are live...
+    assert!(pi2_baselines::is_interactive(&hex));
+    assert!(pi2_baselines::is_interactive(&pi2));
+    // ...but reproducing Q1's view in Hex takes four slider operations,
+    // in PI2 one pan gesture.
+    let hex_ops = hex.interface.widgets.len();
+    let pi2_ops = 1;
+    assert!(hex_ops >= 4 * pi2_ops);
+    // And only PI2 required zero manual setup.
+    assert_eq!(pi2.manual_steps, 0);
+    assert!(hex.manual_steps > 0);
+}
+
+#[test]
+fn toggle_roundtrip_via_full_pipeline() {
+    let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+        .strategy(SearchStrategy::FullMerge)
+        .build();
+    let g = pi2
+        .generate(&pi2_datasets::toy::fig2_queries())
+        .expect("generates");
+    let mut s = pi2.session(&g);
+    if let Some(toggle) = g
+        .interface
+        .widgets
+        .iter()
+        .find(|w| matches!(w.kind, pi2_interface::WidgetKind::Toggle))
+    {
+        let off = s
+            .dispatch(Event::SetWidget { widget: toggle.id, value: WidgetValue::Bool(false) })
+            .expect("toggle off");
+        let on = s
+            .dispatch(Event::SetWidget { widget: toggle.id, value: WidgetValue::Bool(true) })
+            .expect("toggle on");
+        assert_ne!(off[0].query, on[0].query);
+    }
+}
+
+#[test]
+fn in_list_membership_becomes_multi_select() {
+    // The SUBSET choice of the full paper: two queries whose IN lists
+    // differ in membership merge into optional members, mapped to one
+    // checkbox group that toggles each member independently.
+    let catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config {
+        state_limit: Some(8),
+        ..Default::default()
+    });
+    let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
+    let g = pi2
+        .generate_sql(&[
+            "SELECT date, sum(cases) AS cases FROM covid WHERE state IN ('AL') GROUP BY date",
+            "SELECT date, sum(cases) AS cases FROM covid WHERE state IN ('AL', 'AZ', 'AK') GROUP BY date",
+        ])
+        .expect("generates");
+    let multi = g
+        .interface
+        .widgets
+        .iter()
+        .find(|w| matches!(w.kind, pi2_interface::WidgetKind::MultiSelect { .. }))
+        .unwrap_or_else(|| panic!("expected a multi-select, got {:?}", g.interface.widgets));
+    let pi2_interface::WidgetKind::MultiSelect { options } = &multi.kind else { unreachable!() };
+    assert_eq!(multi.targets.len(), options.len());
+
+    // Toggle the optional member off: the IN list shrinks.
+    let mut session = pi2.session(&g);
+    let n = options.len();
+    let off = session
+        .dispatch(Event::SetWidget {
+            widget: multi.id,
+            value: WidgetValue::Multi(vec![false; n]),
+        })
+        .expect("dispatch");
+    assert!(!off.is_empty());
+    let q_off = off[0].query.to_string();
+    let on = session
+        .dispatch(Event::SetWidget {
+            widget: multi.id,
+            value: WidgetValue::Multi(vec![true; n]),
+        })
+        .expect("dispatch");
+    let q_on = on[0].query.to_string();
+    assert_ne!(q_off, q_on);
+    assert!(q_on.matches('\'').count() > q_off.matches('\'').count(), "{q_off} vs {q_on}");
+    // Wrong flag arity is rejected.
+    assert!(session
+        .dispatch(Event::SetWidget { widget: multi.id, value: WidgetValue::Multi(vec![true]) })
+        .is_err());
+}

@@ -1,0 +1,150 @@
+//! Qualitative assertions over the regenerated paper exhibits: every table
+//! and figure module runs, and the paper's claims hold in its output.
+
+use pi2_bench::figures;
+
+#[test]
+fn table1_pi2_dominates() {
+    let out = figures::table1::run();
+    // The capability matrix: only PI2 automates all three feature columns.
+    assert!(out.contains("| PI2          | auto           | auto    | auto"), "{out}");
+    assert!(out.contains("| Lux          | auto           | —"), "{out}");
+    // Empirically PI2 expresses every scenario log.
+    for line in out.lines().filter(|l| l.starts_with("| PI2")) {
+        assert!(!line.contains("NO"), "PI2 row must express the log: {line}");
+    }
+    // Baselines never produce visualization interactions.
+    for tool in ["Lux", "Hex", "Count", "SQL notebook"] {
+        for line in out.lines().filter(|l| l.starts_with(&format!("| {tool}"))) {
+            // measured viz-int column is the 4th cell
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            if cells.len() > 4 && cells[4].chars().all(|c| c.is_ascii_digit()) {
+                assert_eq!(cells[4], "0", "{tool} must have no viz interactions: {line}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fig1_pi2_wins_sdss() {
+    let out = figures::fig1_sdss::run();
+    assert!(out.contains("(a) Lux"), "{out}");
+    assert!(out.contains("(b) Hex"), "{out}");
+    assert!(out.contains("(c) PI2"), "{out}");
+    // Hex needs manual sliders; PI2 none.
+    assert!(out.contains("manual steps: 0; pan effort"), "{out}");
+    // PI2's live pan changes the query.
+    assert!(out.contains("before:") && out.contains("after:"), "{out}");
+    let before = out.lines().find(|l| l.trim_start().starts_with("before:")).unwrap();
+    let after = out.lines().find(|l| l.trim_start().starts_with("after:")).unwrap();
+    assert_ne!(before.replace("before:", ""), after.replace("after:", ""));
+}
+
+#[test]
+fn fig2_static_interface() {
+    let out = figures::fig2_static::run();
+    assert!(out.contains("Q1: SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p"), "{out}");
+    assert!(out.contains("0 choice nodes"), "{out}");
+    assert!(out.contains("static interface: 3 charts, 0 widgets, 0 interactions"), "{out}");
+}
+
+#[test]
+fn fig3_variants_and_generalization() {
+    let out = figures::fig3_predicates::run();
+    // (b) expresses the generalization, (a) does not (paper §2).
+    assert!(out.contains("`WHERE b = 1`: (a) no, (b) yes"), "{out}");
+    // (c) has continuous/int-range hole domains.
+    assert!(out.contains("IntRange"), "{out}");
+}
+
+#[test]
+fn fig4_merged_tree_shape() {
+    let out = figures::fig4_merged::run();
+    assert!(out.contains("projection ANY present: true"), "{out}");
+    assert!(out.contains("WHERE OPT present: true"), "{out}");
+}
+
+#[test]
+fn fig5_click_binds_literal() {
+    let out = figures::fig5_multiview::run();
+    assert!(out.contains("click"), "{out}");
+    assert!(out.contains("a = 3"), "click must rebind the literal to 3: {out}");
+}
+
+#[test]
+fn fig6_pipeline_trace() {
+    let out = figures::fig6_pipeline::run();
+    for step in ["① parse", "② map", "③ cost", "④ search"] {
+        assert!(out.contains(step), "missing {step}: {out}");
+    }
+    assert!(out.contains("expresses all 3 queries: true"), "{out}");
+}
+
+#[test]
+fn search_quality_mcts_beats_greedy_at_matched_budget() {
+    let out = figures::search_quality::run();
+    let row_cost = |searcher: &str, budget: &str, col: usize| -> Option<f64> {
+        out.lines()
+            .filter(|l| {
+                let cells: Vec<&str> = l.split('|').map(str::trim).collect();
+                cells.get(1) == Some(&searcher) && cells.get(2) == Some(&budget)
+            })
+            .filter_map(|l| {
+                let cells: Vec<&str> = l.split('|').map(str::trim).collect();
+                cells.get(col).and_then(|c| c.parse::<f64>().ok())
+            })
+            .next()
+    };
+    // At a matched small budget, MCTS is well ahead of greedy (one greedy
+    // step exhausts the budget evaluating all neighbors).
+    let mcts_25 = row_cost("MCTS", "25", 4).expect("mcts@25 row");
+    let greedy_25 = row_cost("greedy", "25", 4).expect("greedy@25 row");
+    assert!(mcts_25 < greedy_25, "MCTS@25 {mcts_25} should beat greedy@25 {greedy_25}\n{out}");
+    // With generous budgets both land near the same optimum.
+    let mcts_200 = row_cost("MCTS", "200", 5).expect("mcts@200 row");
+    let greedy_400 = row_cost("greedy", "400", 5).expect("greedy@400 row");
+    assert!(
+        (mcts_200 - greedy_400).abs() <= 0.35,
+        "MCTS@200 {mcts_200} and greedy@400 {greedy_400} should converge\n{out}"
+    );
+    // Quality improves (weakly) with MCTS budget.
+    let mcts_means: Vec<f64> = out
+        .lines()
+        .filter(|l| l.starts_with("| MCTS"))
+        .filter_map(|l| {
+            let cells: Vec<&str> = l.split('|').map(str::trim).collect();
+            cells.get(4).and_then(|c| c.parse::<f64>().ok())
+        })
+        .collect();
+    assert!(mcts_means.len() >= 3);
+    assert!(
+        mcts_means.last().unwrap() <= mcts_means.first().unwrap(),
+        "quality should improve with budget: {mcts_means:?}"
+    );
+}
+
+#[test]
+fn ablations_shift_designs_toward_failure_modes() {
+    let out = figures::ablations::run();
+    // Extract the covid table rows.
+    let covid_section = out.split("covid V1").nth(1).expect("covid section");
+    let row = |name: &str| -> Vec<String> {
+        covid_section
+            .lines()
+            .find(|l| l.starts_with(&format!("| {name}")))
+            .unwrap_or_else(|| panic!("row {name} in {covid_section}"))
+            .split('|')
+            .map(|c| c.trim().to_string())
+            .collect()
+    };
+    // Full model: the overview+detail brush design (2 trees, >=1 brush).
+    let full = row("full model");
+    assert_eq!(full[2], "2", "{out}");
+    assert!(full[5].starts_with("1/"), "{out}");
+    // No redundancy penalty: similar windows stay as separate charts.
+    let nored = row("no redundancy penalty");
+    assert!(nored[2].parse::<usize>().unwrap() >= 3, "{out}");
+    // No nested-choice penalty: collapses into one merged tree.
+    let nonest = row("no nested-choice penalty");
+    assert_eq!(nonest[2], "1", "{out}");
+}

@@ -245,10 +245,11 @@ fn parameterized_tree(query: &Query, catalog: &Catalog, generalize: bool) -> (Di
     // directly under a comparison, BETWEEN, or IN-list.
     fn replace(node: &mut DiffNode) -> usize {
         let mut replaced = 0;
-        let eligible_parent = matches!(
-            node.kind,
-            NodeKind::Binary(op) if op.is_comparison()
-        ) || matches!(node.kind, NodeKind::Between { .. } | NodeKind::InList { .. });
+        let eligible_parent =
+            matches!(
+                node.kind,
+                NodeKind::Binary(op) if op.is_comparison()
+            ) || matches!(node.kind, NodeKind::Between { .. } | NodeKind::InList { .. });
         if eligible_parent {
             for child in &mut node.children {
                 if let NodeKind::Lit(l) = &child.kind {
@@ -367,7 +368,8 @@ fn parameterized_interface(
         }
     }
     let n_widgets = widgets.len();
-    let mut items: Vec<Layout> = widgets.iter().map(|w| Layout::Leaf(Element::Widget(w.id))).collect();
+    let mut items: Vec<Layout> =
+        widgets.iter().map(|w| Layout::Leaf(Element::Widget(w.id))).collect();
     items.push(Layout::Leaf(Element::Chart(0)));
     Ok((
         Interface {
@@ -407,7 +409,8 @@ impl Tool for CountTool {
         // literal each hole replaces across queries by merging literals of
         // the same position... modeled simply as the last query's values.
         let (tree, n_params) = parameterized_tree(last, catalog, false);
-        let (interface, n_widgets) = parameterized_interface(self.name(), tree.clone(), catalog, last)?;
+        let (interface, n_widgets) =
+            parameterized_interface(self.name(), tree.clone(), catalog, last)?;
         Ok(ToolOutput {
             tool: self.name(),
             interface,
@@ -444,7 +447,8 @@ impl Tool for Hex {
     fn generate(&self, queries: &[Query], catalog: &Catalog) -> Result<ToolOutput, String> {
         let last = queries.last().ok_or("empty query log")?;
         let (tree, n_params) = parameterized_tree(last, catalog, true);
-        let (interface, n_widgets) = parameterized_interface(self.name(), tree.clone(), catalog, last)?;
+        let (interface, n_widgets) =
+            parameterized_interface(self.name(), tree.clone(), catalog, last)?;
         Ok(ToolOutput {
             tool: self.name(),
             interface,
@@ -525,7 +529,8 @@ mod tests {
     use super::*;
 
     fn sdss() -> (Catalog, Vec<Query>) {
-        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 300, seed: 2 });
+        let catalog =
+            pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 300, seed: 2 });
         (catalog, pi2_datasets::sdss::demo_queries())
     }
 
@@ -574,7 +579,7 @@ mod tests {
         let out = Hex.generate(&queries, &catalog).unwrap();
         let forest = out.forest.clone().unwrap();
         let mut session =
-            pi2_core::InterfaceSession::new(catalog, forest, out.interface.clone());
+            pi2_core::SessionBuilder::new(catalog, forest, out.interface.clone()).build();
         let slider = out.interface.widgets[0].id;
         let updates = session
             .dispatch(pi2_core::Event::SetWidget {

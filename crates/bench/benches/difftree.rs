@@ -10,9 +10,7 @@ fn bench_difftree(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("difftree");
 
-    group.bench_function("lift/covid-q4", |b| {
-        b.iter(|| pi2_difftree::lift_query(&covid[4], 0))
-    });
+    group.bench_function("lift/covid-q4", |b| b.iter(|| pi2_difftree::lift_query(&covid[4], 0)));
 
     group.bench_function("merge/covid-6", |b| {
         let indexed: Vec<(usize, &pi2_sql::Query)> = covid.iter().enumerate().collect();

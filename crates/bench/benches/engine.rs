@@ -19,7 +19,8 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| sdss.execute_uncached(&scan).expect("executes"))
     });
 
-    let agg = parse_query("SELECT state, sum(cases), avg(cases) FROM covid GROUP BY state").expect("parse");
+    let agg = parse_query("SELECT state, sum(cases), avg(cases) FROM covid GROUP BY state")
+        .expect("parse");
     group.bench_function("group-by/covid-3k", |b| {
         b.iter(|| covid.execute_uncached(&agg).expect("executes"))
     });

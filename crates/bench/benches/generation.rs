@@ -15,9 +15,8 @@ fn bench_generation(c: &mut Criterion) {
         for n in sizes {
             let log = scenario.queries[..n].to_vec();
 
-            let pi2 = Pi2::builder(scenario.catalog.clone())
-                .strategy(SearchStrategy::FullMerge)
-                .build();
+            let pi2 =
+                Pi2::builder(scenario.catalog.clone()).strategy(SearchStrategy::FullMerge).build();
             group.bench_with_input(
                 BenchmarkId::new(format!("{}/full-merge", scenario.name), n),
                 &log,

@@ -18,7 +18,9 @@ fn bench_interaction(c: &mut Criterion) {
             let mut dir = 1.0;
             b.iter(|| {
                 dir = -dir;
-                session.dispatch(Event::Pan { chart: 0, dx: 0.3 * dir, dy: 0.1 * dir }).expect("pan")
+                session
+                    .dispatch(Event::Pan { chart: 0, dx: 0.3 * dir, dy: 0.1 * dir })
+                    .expect("pan")
             })
         });
         group.bench_function("sdss/zoom", |b| {
@@ -64,7 +66,9 @@ fn bench_interaction(c: &mut Criterion) {
         let lo = pi2_sql::Date::parse("2021-12-01").expect("date").0 as f64;
         group.bench_function("covid/brush", |b| {
             let mut session =
-                pi2_core::InterfaceSession::new_with_log(catalog.clone(), forest.clone(), iface.clone(), &queries);
+                pi2_core::SessionBuilder::new(catalog.clone(), forest.clone(), iface.clone())
+                    .queries(&queries)
+                    .build();
             let mut offset = 0.0;
             b.iter(|| {
                 offset = (offset + 1.0) % 20.0;
@@ -79,9 +83,7 @@ fn bench_interaction(c: &mut Criterion) {
     {
         let catalog = pi2_datasets::toy::default_catalog();
         let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
-        let g = pi2
-            .generate(&pi2_datasets::toy::fig2_queries())
-            .expect("generates");
+        let g = pi2.generate(&pi2_datasets::toy::fig2_queries()).expect("generates");
         if let Some(toggle) = g
             .interface
             .widgets

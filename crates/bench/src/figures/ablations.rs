@@ -28,7 +28,10 @@ fn ablations() -> Vec<Ablation> {
     let base = CostWeights::default;
     vec![
         Ablation { name: "full model", weights: base() },
-        Ablation { name: "no interaction effort", weights: CostWeights { interaction: 0.0, ..base() } },
+        Ablation {
+            name: "no interaction effort",
+            weights: CostWeights { interaction: 0.0, ..base() },
+        },
         Ablation {
             name: "no redundancy penalty",
             weights: CostWeights { redundancy_penalty: 0.0, ..base() },
@@ -42,7 +45,11 @@ fn ablations() -> Vec<Ablation> {
     ]
 }
 
-fn describe(catalog: &pi2_engine::Catalog, queries: &[Query], weights: &CostWeights) -> Vec<String> {
+fn describe(
+    catalog: &pi2_engine::Catalog,
+    queries: &[Query],
+    weights: &CostWeights,
+) -> Vec<String> {
     let pi2 = Pi2::builder(catalog.clone())
         .weights(weights.clone())
         .strategy(SearchStrategy::Mcts(MctsConfig {

@@ -5,8 +5,8 @@
 //! pan/zoom over the ra/dec ranges, automatically.
 
 use pi2_baselines::{Hex, Lux, Pi2Tool, Tool};
+use pi2_core::{Event, SessionBuilder};
 use pi2_cost::{interaction_effort, widget_effort};
-use pi2_core::{Event, InterfaceSession};
 
 pub fn run() -> String {
     let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config::default());
@@ -24,7 +24,12 @@ pub fn run() -> String {
         let o = tool.generate(&queries, &catalog).expect("tool generates");
         let s = o.interface.feature_summary();
         let effort: f64 = o.interface.widgets.iter().map(|w| widget_effort(&w.kind)).sum::<f64>()
-            + o.interface.charts.iter().flat_map(|c| &c.interactions).map(interaction_effort).sum::<f64>();
+            + o.interface
+                .charts
+                .iter()
+                .flat_map(|c| &c.interactions)
+                .map(interaction_effort)
+                .sum::<f64>();
         out.push_str(&format!(
             "({}) {}: {} chart(s), {} widget(s), {} viz interaction(s); manual steps: {}; pan effort: {:.2}\n",
             match o.tool {
@@ -57,7 +62,7 @@ pub fn run() -> String {
     // numbers in SQL.
     let pi2_out = Pi2Tool::default().generate(&queries, &catalog).expect("pi2 generates");
     let forest = pi2_out.forest.clone().expect("pi2 forest");
-    let mut session = InterfaceSession::new(catalog, forest, pi2_out.interface);
+    let mut session = SessionBuilder::new(catalog, forest, pi2_out.interface).build();
     let before = session.query_for_chart(0).expect("query").to_string();
     let updates = session.dispatch(Event::Pan { chart: 0, dx: 1.0, dy: 0.5 }).expect("pan");
     out.push_str("PI2 live pan (drag by +1.0°, +0.5°):\n");

@@ -19,13 +19,19 @@ pub fn run() -> String {
     // Each AST is itself a DiffTree (zero choice nodes).
     let forest = DiffForest::singletons(&queries);
     for (i, t) in forest.trees.iter().enumerate() {
-        out.push_str(&format!("AST / DiffTree of Q{} ({} nodes, {} choice nodes):\n", i + 1, t.root.size(), t.root.choice_count()));
+        out.push_str(&format!(
+            "AST / DiffTree of Q{} ({} nodes, {} choice nodes):\n",
+            i + 1,
+            t.root.size(),
+            t.root.choice_count()
+        ));
         out.push_str(&indent(&t.root.to_string(), "  "));
         out.push('\n');
     }
 
     // The static interface: three charts, no interactions.
-    let candidates = map_forest(&forest, &catalog, &queries, &MapperConfig::default()).expect("mapper");
+    let candidates =
+        map_forest(&forest, &catalog, &queries, &MapperConfig::default()).expect("mapper");
     let iface = &candidates[0];
     out.push_str(&format!(
         "static interface: {} charts, {} widgets, {} interactions\n\n",
@@ -36,9 +42,7 @@ pub fn run() -> String {
 
     // Rendered with live data.
     let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
-    let g = pi2
-        .generate(&queries[..1])
-        .expect("single-query generation");
+    let g = pi2.generate(&queries[..1]).expect("single-query generation");
     let session = pi2.session(&g);
     let updates = session.refresh_all().expect("refresh");
     out.push_str("Q1 rendered:\n");

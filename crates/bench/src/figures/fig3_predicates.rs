@@ -72,13 +72,11 @@ pub fn run() -> String {
     // Map each variant and report the widgets.
     for (label, tree) in [("a", &tree_a), ("b", tree_b), ("c", &tree_c)] {
         let forest = DiffForest { trees: vec![tree.clone()] };
-        let ifaces = map_forest(&forest, &catalog, &queries, &MapperConfig::default()).expect("mapper");
+        let ifaces =
+            map_forest(&forest, &catalog, &queries, &MapperConfig::default()).expect("mapper");
         let iface = &ifaces[0];
-        let widgets: Vec<String> = iface
-            .widgets
-            .iter()
-            .map(|w| format!("{} ({})", w.label, w.kind.kind_name()))
-            .collect();
+        let widgets: Vec<String> =
+            iface.widgets.iter().map(|w| format!("{} ({})", w.label, w.kind.kind_name())).collect();
         out.push_str(&format!(
             "\ninterface ({label}): {} chart(s) + widgets [{}], layout depth {}\n",
             iface.charts.len(),

@@ -3,7 +3,7 @@
 //! the WHERE predicate — and its candidate interface.
 
 use pi2_core::{Pi2, SearchStrategy};
-use pi2_difftree::{Clause, ChoiceKind, NodeKind};
+use pi2_difftree::{ChoiceKind, Clause, NodeKind};
 
 pub fn run() -> String {
     let catalog = pi2_datasets::toy::default_catalog();
@@ -32,11 +32,12 @@ pub fn run() -> String {
         };
         out.push_str(&format!("  choice in {:?}: {kind}\n", c.context.clause));
     }
-    let has_projection_any = cs
+    let has_projection_any = cs.iter().any(|c| {
+        c.context.clause == Clause::Projection && matches!(c.kind, ChoiceKind::Any { .. })
+    });
+    let has_where_opt = cs
         .iter()
-        .any(|c| c.context.clause == Clause::Projection && matches!(c.kind, ChoiceKind::Any { .. }));
-    let has_where_opt =
-        cs.iter().any(|c| c.context.clause == Clause::Where && matches!(c.kind, ChoiceKind::Opt { .. }));
+        .any(|c| c.context.clause == Clause::Where && matches!(c.kind, ChoiceKind::Opt { .. }));
     out.push_str(&format!(
         "\nprojection ANY present: {}; WHERE OPT present: {}\n",
         has_projection_any, has_where_opt

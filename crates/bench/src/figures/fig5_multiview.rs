@@ -1,7 +1,7 @@
 //! Figure 5: a multi-view interface where clicking a bar in Q3's chart
 //! binds the literal in Q1/Q2's ANY node.
 
-use pi2_core::{Event, InterfaceSession};
+use pi2_core::{Event, SessionBuilder};
 use pi2_difftree::rules::canonicalize;
 use pi2_difftree::DiffForest;
 use pi2_interface::{map_forest, MapperConfig, VizInteraction};
@@ -25,13 +25,14 @@ pub fn run() -> String {
         *t = canonicalize(t, Some(&catalog));
     }
 
-    let candidates = map_forest(&forest, &catalog, &queries, &MapperConfig::default()).expect("mapper");
+    let candidates =
+        map_forest(&forest, &catalog, &queries, &MapperConfig::default()).expect("mapper");
     let iface = candidates
         .into_iter()
         .find(|i| {
-            i.charts
-                .iter()
-                .any(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. })))
+            i.charts.iter().any(|c| {
+                c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. }))
+            })
         })
         .expect("click-bind candidate");
 
@@ -61,14 +62,20 @@ pub fn run() -> String {
         .find(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. })))
         .expect("click chart")
         .id;
-    let mut session = InterfaceSession::new(catalog, forest, iface);
+    let mut session = SessionBuilder::new(catalog, forest, iface).build();
     let before = session.query_for_chart(0).expect("query").to_string();
-    let updates =
-        session.dispatch(Event::Click { chart: click_chart, value: Literal::Int(3) }).expect("click");
-    out.push_str(&format!("\nclick on bar a=3 of {}:\n", format!("G{}", click_chart + 1)));
+    let updates = session
+        .dispatch(Event::Click { chart: click_chart, value: Literal::Int(3) })
+        .expect("click");
+    out.push_str(&format!("\nclick on bar a=3 of G{}:\n", click_chart + 1));
     out.push_str(&format!("  left chart before: {before}\n"));
     for u in &updates {
-        out.push_str(&format!("  updated G{}: {} ({} rows)\n", u.chart + 1, u.query, u.result.len()));
+        out.push_str(&format!(
+            "  updated G{}: {} ({} rows)\n",
+            u.chart + 1,
+            u.query,
+            u.result.len()
+        ));
     }
     out
 }

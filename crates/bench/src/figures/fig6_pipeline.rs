@@ -39,7 +39,8 @@ pub fn run() -> String {
     ));
 
     // ④ search: transform DiffTrees, re-map, re-cost, via MCTS.
-    let problem = pi2_core::InterfaceSearch::new(&queries, &catalog, mapper_cfg.clone(), weights.clone());
+    let problem =
+        pi2_core::InterfaceSearch::new(&queries, &catalog, mapper_cfg.clone(), weights.clone());
     let (best_forest, stats) = mcts(
         &problem,
         &MctsConfig { iterations: 60, rollout_depth: 3, seed: 17, ..Default::default() },
@@ -56,7 +57,8 @@ pub fn run() -> String {
         stats.best_reward,
     ));
 
-    let final_candidates = map_forest(&best_forest, &catalog, &queries, &mapper_cfg).expect("mapper");
+    let final_candidates =
+        map_forest(&best_forest, &catalog, &queries, &mapper_cfg).expect("mapper");
     let (_, final_cost) =
         choose_best(&final_candidates, &best_forest, &queries, &catalog, &weights).expect("cost");
     out.push_str(&format!(

@@ -64,7 +64,12 @@ pub fn run() -> String {
             updates.len()
         ));
         for u in &updates {
-            out.push_str(&format!("    G{} now shows: {} ({} rows)\n", u.chart + 1, u.query, u.result.len()));
+            out.push_str(&format!(
+                "    G{} now shows: {} ({} rows)\n",
+                u.chart + 1,
+                u.query,
+                u.result.len()
+            ));
         }
     }
 
@@ -72,22 +77,25 @@ pub fn run() -> String {
     out.push_str("\nStep 2: drill down into state level\n");
     let q3 = nb.add_cell(sql[3].clone());
     let rows = nb.run_cell(q3).map(|r| r.len()).unwrap_or(0);
-    out.push_str(&format!("  In[{}]: {}…  → {} rows\n", q3 + 1, &sql[3][..sql[3].len().min(72)], rows));
+    out.push_str(&format!(
+        "  In[{}]: {}…  → {} rows\n",
+        q3 + 1,
+        &sql[3][..sql[3].len().min(72)],
+        rows
+    ));
     let v2 = nb.generate_interface().expect("V2 generates");
     out.push_str(&describe_version(&nb, v2));
 
     // The brush should now drive multiple detail charts at once.
     let mut session = nb.open_session(v2).expect("session");
-    if let Some(brush_chart) = session
-        .interface()
-        .charts
-        .iter()
-        .find(|c| !c.interactions.is_empty())
-        .map(|c| c.id)
+    if let Some(brush_chart) =
+        session.interface().charts.iter().find(|c| !c.interactions.is_empty()).map(|c| c.id)
     {
         let lo = Date::parse("2021-12-18").expect("date").0 as f64;
         let hi = Date::parse("2021-12-26").expect("date").0 as f64;
-        if let Ok(updates) = session.dispatch(Event::Brush { chart: brush_chart, low: lo, high: hi }) {
+        if let Ok(updates) =
+            session.dispatch(Event::Brush { chart: brush_chart, low: lo, high: hi })
+        {
             out.push_str(&format!(
                 "  one brush on G1 reconfigures {} downstream chart(s) simultaneously\n",
                 updates.len()
@@ -114,9 +122,10 @@ pub fn run() -> String {
                 if options.iter().any(|o| o.contains("Northeast")) =>
             {
                 let idx = options.iter().position(|o| o.contains("Northeast")).expect("option");
-                if let Ok(updates) = session
-                    .dispatch(Event::SetWidget { widget: w.id, value: pi2_core::WidgetValue::Pick(idx) })
-                {
+                if let Ok(updates) = session.dispatch(Event::SetWidget {
+                    widget: w.id,
+                    value: pi2_core::WidgetValue::Pick(idx),
+                }) {
                     out.push_str(&format!(
                         "  pressing [{}] switches the region: {} chart(s) update; first now: {}\n",
                         options[idx],
@@ -129,17 +138,20 @@ pub fn run() -> String {
                 }
             }
             WidgetKind::Toggle => {
-                if let Ok(updates) = session
-                    .dispatch(Event::SetWidget { widget: w.id, value: pi2_core::WidgetValue::Bool(false) })
-                {
+                if let Ok(updates) = session.dispatch(Event::SetWidget {
+                    widget: w.id,
+                    value: pi2_core::WidgetValue::Bool(false),
+                }) {
                     out.push_str(&format!(
                         "  toggling off [{}] simplifies the query: {} chart(s) update\n",
                         w.label.chars().take(48).collect::<String>(),
                         updates.len()
                     ));
                 }
-                let _ = session
-                    .dispatch(Event::SetWidget { widget: w.id, value: pi2_core::WidgetValue::Bool(true) });
+                let _ = session.dispatch(Event::SetWidget {
+                    widget: w.id,
+                    value: pi2_core::WidgetValue::Bool(true),
+                });
             }
             _ => {}
         }

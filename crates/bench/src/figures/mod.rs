@@ -15,10 +15,13 @@ pub mod latency;
 pub mod search_quality;
 pub mod table1;
 
+/// An exhibit generator: renders one paper table or figure as text.
+pub type Exhibit = fn() -> String;
+
 /// Every exhibit in paper order: (name, generator).
-pub fn all() -> Vec<(&'static str, fn() -> String)> {
+pub fn all() -> Vec<(&'static str, Exhibit)> {
     vec![
-        ("Table 1 — tool comparison", table1::run as fn() -> String),
+        ("Table 1 — tool comparison", table1::run as Exhibit),
         ("Figure 1 — SDSS: Lux vs Hex vs PI2", fig1_sdss::run),
         ("Figure 2 — example queries and static interfaces", fig2_static::run),
         ("Figure 3 — DiffTree variants for Q1/Q2", fig3_predicates::run),

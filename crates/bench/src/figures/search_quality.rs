@@ -12,14 +12,21 @@ pub fn run() -> String {
     let mut out = String::new();
     out.push_str("== Search quality: cost vs. iterations, MCTS vs greedy ==\n\n");
 
-    let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 600, seed: 2 });
+    let catalog =
+        pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 600, seed: 2 });
     let queries = pi2_datasets::sdss::exploration_queries();
     let problem =
         InterfaceSearch::new(&queries, &catalog, MapperConfig::default(), CostWeights::default());
     let initial_cost = -problem.reward(&problem.initial());
 
     let mut rows = Vec::new();
-    rows.push(vec!["initial".into(), "-".into(), "-".into(), format!("{initial_cost:.3}"), "-".into()]);
+    rows.push(vec![
+        "initial".into(),
+        "-".into(),
+        "-".into(),
+        format!("{initial_cost:.3}"),
+        "-".into(),
+    ]);
 
     for iterations in [10, 25, 50, 100, 200] {
         // Average over seeds: MCTS is stochastic.

@@ -30,14 +30,26 @@ pub fn run() -> String {
         })
         .collect();
     out.push_str(&text_table(
-        &["tool", "visualizations", "widgets", "viz interactions", "structural widgets", "multi-query", "layout-aware"],
+        &[
+            "tool",
+            "visualizations",
+            "widgets",
+            "viz interactions",
+            "structural widgets",
+            "multi-query",
+            "layout-aware",
+        ],
         &rows,
     ));
 
     // Empirical verification on the three demo scenarios.
     out.push_str("\nMeasured on the demo scenarios (charts / widgets / viz-interactions / manual steps / expresses log):\n\n");
     for scenario in pi2_datasets::demo_scenarios() {
-        out.push_str(&format!("-- scenario: {} ({} queries) --\n", scenario.name, scenario.queries.len()));
+        out.push_str(&format!(
+            "-- scenario: {} ({} queries) --\n",
+            scenario.name,
+            scenario.queries.len()
+        ));
         let mut rows = Vec::new();
         for tool in all_tools() {
             match tool.generate(&scenario.queries, &scenario.catalog) {
@@ -53,7 +65,15 @@ pub fn run() -> String {
                         if is_interactive(&o) { "yes" } else { "no" }.to_string(),
                     ]);
                 }
-                Err(e) => rows.push(vec![tool.name().to_string(), format!("error: {e}"), String::new(), String::new(), String::new(), String::new(), String::new()]),
+                Err(e) => rows.push(vec![
+                    tool.name().to_string(),
+                    format!("error: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]),
             }
         }
         out.push_str(&text_table(

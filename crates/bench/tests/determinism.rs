@@ -1,0 +1,99 @@
+//! Determinism guarantees of the parallel interface search.
+//!
+//! The contract (see `pi2-mcts`): for a fixed `(seed, workers)` pair the
+//! chosen interface is byte-identical across runs, and on logs where every
+//! worker converges to the same optimum, any worker count reproduces the
+//! sequential baseline's interface (ties in the merge keep worker 0, which
+//! runs the sequential trajectory verbatim).
+
+use pi2_core::{GeneratedInterface, Pi2, SearchStrategy};
+use pi2_mcts::MctsConfig;
+use pi2_sql::Query;
+
+fn generate(
+    catalog: &pi2_engine::Catalog,
+    log: &[Query],
+    workers: usize,
+    iterations: usize,
+    seed: u64,
+) -> GeneratedInterface {
+    Pi2::builder(catalog.clone())
+        .strategy(SearchStrategy::Mcts(MctsConfig {
+            iterations,
+            seed,
+            workers,
+            ..Default::default()
+        }))
+        .build()
+        .generate(log)
+        .expect("log generates")
+}
+
+#[test]
+fn same_seed_and_workers_reproduce_byte_identical_interfaces() {
+    let catalog = pi2_datasets::toy::default_catalog();
+    let log = pi2_datasets::toy::fig2_queries();
+    for workers in [1usize, 2, 4] {
+        let runs: Vec<GeneratedInterface> =
+            (0..3).map(|_| generate(&catalog, &log, workers, 60, 11)).collect();
+        for g in &runs[1..] {
+            assert_eq!(
+                format!("{:?}", runs[0].interface),
+                format!("{:?}", g.interface),
+                "workers={workers}: repeated run produced a different interface"
+            );
+            assert_eq!(runs[0].forest.structural_hash(), g.forest.structural_hash());
+            assert_eq!(runs[0].cost.total, g.cost.total);
+        }
+    }
+}
+
+#[test]
+fn worker_counts_agree_with_sequential_on_fig2() {
+    let catalog = pi2_datasets::toy::default_catalog();
+    let log = pi2_datasets::toy::fig2_queries();
+    let sequential = generate(&catalog, &log, 1, 60, 11);
+    for workers in [2usize, 4] {
+        let parallel = generate(&catalog, &log, workers, 60, 11);
+        assert_eq!(
+            sequential.interface, parallel.interface,
+            "workers={workers} diverged from the sequential baseline on the Fig-2 log"
+        );
+        assert_eq!(sequential.cost.total, parallel.cost.total);
+    }
+}
+
+#[test]
+fn worker_counts_agree_with_sequential_on_covid() {
+    let catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config::default());
+    let log = pi2_datasets::covid::demo_queries();
+    let sequential = generate(&catalog, &log, 1, 96, 11);
+    for workers in [2usize, 4] {
+        let parallel = generate(&catalog, &log, workers, 96, 11);
+        assert_eq!(
+            sequential.interface, parallel.interface,
+            "workers={workers} diverged from the sequential baseline on the COVID log"
+        );
+    }
+}
+
+#[test]
+fn regeneration_over_a_warm_memo_is_also_deterministic() {
+    // The cross-run memo must not change results, only latency: a second
+    // generate over the same Pi2 reproduces the first interface with a
+    // saturated cache hit-rate.
+    let catalog = pi2_datasets::toy::default_catalog();
+    let log = pi2_datasets::toy::fig2_queries();
+    let pi2 = Pi2::builder(catalog)
+        .strategy(SearchStrategy::Mcts(MctsConfig {
+            iterations: 60,
+            seed: 11,
+            workers: 2,
+            ..Default::default()
+        }))
+        .build();
+    let first = pi2.generate(&log).expect("first run");
+    let second = pi2.generate(&log).expect("second run");
+    assert_eq!(first.interface, second.interface);
+    assert!(second.stats.cache_hit_rate().expect("memo was consulted") > 0.9);
+}

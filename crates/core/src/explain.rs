@@ -31,8 +31,7 @@ impl GeneratedInterface {
 
         // The partition.
         let _ = writeln!(out, "\nQuery partition ({} tree(s)):", self.forest.trees.len());
-        let per_tree_choices: Vec<Vec<Choice>> =
-            self.forest.trees.iter().map(choices).collect();
+        let per_tree_choices: Vec<Vec<Choice>> = self.forest.trees.iter().map(choices).collect();
         for (i, tree) in self.forest.trees.iter().enumerate() {
             let covered: Vec<String> =
                 tree.source_queries.iter().map(|q| format!("Q{}", q + 1)).collect();
@@ -114,10 +113,7 @@ fn describe_choice(tree: usize, node: NodeId, per_tree: &[Vec<Choice>]) -> Strin
         ChoiceKind::Opt { summary } => format!("an OPT around [{summary}]"),
         ChoiceKind::Hole { domain, source_column } => format!(
             "a hole over {domain:?}{}",
-            source_column
-                .as_ref()
-                .map(|c| format!(" constraining {c}"))
-                .unwrap_or_default()
+            source_column.as_ref().map(|c| format!(" constraining {c}")).unwrap_or_default()
         ),
     };
     format!("{what} in the {:?} clause of tree {}", choice.context.clause, tree + 1)
@@ -167,7 +163,8 @@ mod tests {
 
     #[test]
     fn explains_viz_interactions() {
-        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 200, seed: 6 });
+        let catalog =
+            pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 200, seed: 6 });
         let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
         let g = pi2.generate(&pi2_datasets::sdss::demo_queries()).unwrap();
         let text = g.explain();

@@ -41,4 +41,6 @@ pub use pipeline::{
     GeneratedInterface, GenerationStats, Pi2, Pi2Builder, Pi2Error, SearchStrategy,
 };
 pub use problem::{ForestAction, InterfaceSearch};
-pub use session::{ChartUpdate, Event, InterfaceSession, SessionError, WidgetState, WidgetValue};
+pub use session::{
+    ChartUpdate, Event, InterfaceSession, SessionBuilder, SessionError, WidgetState, WidgetValue,
+};

@@ -1,19 +1,22 @@
 //! The end-to-end generation pipeline and its public entry point.
 
 use crate::problem::InterfaceSearch;
-use pi2_cost::{choose_best, CostBreakdown, CostWeights};
+use pi2_cost::{CostBreakdown, CostMemo, CostWeights};
 use pi2_difftree::DiffForest;
 use pi2_engine::Catalog;
 use pi2_interface::{map_forest, Interface, MapperConfig, ScreenSpec};
-use pi2_mcts::{greedy, mcts, MctsConfig, SearchStats};
+use pi2_mcts::{greedy, mcts_parallel, MctsConfig, SearchStats};
 use pi2_sql::Query;
+use pi2_telemetry::{Registry, Snapshot};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How to explore the space of DiffTree forests.
 #[derive(Debug, Clone)]
 pub enum SearchStrategy {
-    /// Full Monte-Carlo Tree Search (the paper's choice).
+    /// Full Monte-Carlo Tree Search (the paper's choice). Runs
+    /// [`MctsConfig::workers`] root-parallel trees sharing one reward cache.
     Mcts(MctsConfig),
     /// Greedy hill climbing with an evaluation budget (ablation baseline).
     Greedy {
@@ -27,15 +30,19 @@ pub enum SearchStrategy {
 
 impl Default for SearchStrategy {
     fn default() -> Self {
-        SearchStrategy::Mcts(MctsConfig { iterations: 120, rollout_depth: 3, ..Default::default() })
+        // rollout_depth, seed, and workers come from MctsConfig::default();
+        // only the iteration budget is pipeline-specific.
+        SearchStrategy::Mcts(MctsConfig { iterations: 120, ..Default::default() })
     }
 }
 
 /// Errors from the generation pipeline.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum Pi2Error {
-    /// The SQL text failed to parse.
-    Parse(String),
+    /// The SQL text failed to parse. The underlying [`pi2_sql::ParseError`]
+    /// (with line/column position) is available via [`std::error::Error::source`].
+    Parse(pi2_sql::ParseError),
     /// The query log is empty.
     EmptyLog,
     /// Interface mapping failed.
@@ -47,7 +54,7 @@ pub enum Pi2Error {
 impl fmt::Display for Pi2Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Pi2Error::Parse(m) => write!(f, "parse error: {m}"),
+            Pi2Error::Parse(e) => write!(f, "parse error: {e}"),
             Pi2Error::EmptyLog => write!(f, "the query log is empty"),
             Pi2Error::Map(m) => write!(f, "mapping failed: {m}"),
             Pi2Error::NoExpressiveInterface => {
@@ -56,17 +63,78 @@ impl fmt::Display for Pi2Error {
         }
     }
 }
-impl std::error::Error for Pi2Error {}
+
+impl std::error::Error for Pi2Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Pi2Error::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pi2_sql::ParseError> for Pi2Error {
+    fn from(e: pi2_sql::ParseError) -> Self {
+        Pi2Error::Parse(e)
+    }
+}
 
 /// Statistics from one generation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GenerationStats {
-    /// Elapsed.
+    /// Total wall-clock time of the run.
     pub elapsed: Duration,
-    /// Candidates considered.
+    /// Candidates enumerated for the final (winning) forest.
     pub candidates_considered: usize,
-    /// Search.
+    /// Search-layer statistics (iterations, workers, reward cache), when a
+    /// search strategy ran.
     pub search: Option<SearchStats>,
+    /// Per-phase timings and counters for this run: `phase.parse`,
+    /// `phase.search`, `phase.map`, `phase.cost`, plus `memo.hits` /
+    /// `memo.misses` for the cross-run cost memo.
+    pub telemetry: Snapshot,
+    /// Cost-memo lookups this run answered from cache (includes entries
+    /// memoized by *earlier* runs of the same [`Pi2`]).
+    pub memo_hits: u64,
+    /// Cost-memo lookups this run that had to map and cost.
+    pub memo_misses: u64,
+    /// Total entries in the shared memo after this run.
+    pub memo_entries: usize,
+}
+
+impl GenerationStats {
+    /// Fraction of cost-memo lookups served from cache this run, if any.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.memo_hits as f64 / total as f64)
+        }
+    }
+
+    /// Accumulated time of one pipeline phase (`"parse"`, `"search"`,
+    /// `"map"`, `"cost"`), zero if the phase never ran.
+    pub fn phase(&self, name: &str) -> Duration {
+        self.telemetry.timer_total(&format!("phase.{name}"))
+    }
+
+    /// Flat JSON object with every counter and timer of the run plus
+    /// `elapsed_ms`, compatible with the bench harness's `BENCH_*.json`
+    /// schema.
+    pub fn to_json(&self) -> String {
+        let inner = self.telemetry.to_json();
+        let mut out = String::from(inner.trim_end_matches('}'));
+        if out.len() > 1 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"elapsed_ms\":{:.3},\"candidates_considered\":{}}}",
+            self.elapsed.as_secs_f64() * 1e3,
+            self.candidates_considered
+        ));
+        out
+    }
 }
 
 /// The result of a generation: the chosen interface, the DiffTree forest
@@ -85,6 +153,20 @@ pub struct GeneratedInterface {
     pub cost: CostBreakdown,
     /// Generation statistics.
     pub stats: GenerationStats,
+}
+
+impl GeneratedInterface {
+    /// Open an interactive session over this interface. Equivalent to
+    /// [`Pi2::session`] but usable without keeping the generator around.
+    pub fn session(&self, catalog: &Catalog) -> crate::session::InterfaceSession {
+        crate::session::SessionBuilder::new(
+            catalog.clone(),
+            self.forest.clone(),
+            self.interface.clone(),
+        )
+        .queries(&self.queries)
+        .build()
+    }
 }
 
 /// Builder for [`Pi2`].
@@ -117,16 +199,28 @@ impl Pi2Builder {
 
     /// Build.
     pub fn build(self) -> Pi2 {
-        Pi2 { catalog: self.catalog, screen: self.screen, weights: self.weights, strategy: self.strategy }
+        Pi2 {
+            catalog: self.catalog,
+            screen: self.screen,
+            weights: self.weights,
+            strategy: self.strategy,
+            memo: Arc::new(CostMemo::new()),
+        }
     }
 }
 
 /// The PI2 interface generator.
+///
+/// Holds a [`CostMemo`] shared by every `generate` call, so regenerating
+/// after a notebook edit reuses the map/cost work of all forests the
+/// previous searches already visited (the paper's `regen_latency`
+/// scenario).
 pub struct Pi2 {
     catalog: Catalog,
     screen: ScreenSpec,
     weights: CostWeights,
     strategy: SearchStrategy,
+    memo: Arc<CostMemo>,
 }
 
 impl Pi2 {
@@ -145,28 +239,50 @@ impl Pi2 {
         &self.catalog
     }
 
+    /// The cost memo shared across this generator's runs.
+    pub fn memo(&self) -> &Arc<CostMemo> {
+        &self.memo
+    }
+
     /// Generate an interface from SQL text.
     pub fn generate_sql(&self, sql: &[&str]) -> Result<GeneratedInterface, Pi2Error> {
-        let queries: Vec<Query> = sql
-            .iter()
-            .map(|s| pi2_sql::parse_query(s).map_err(|e| Pi2Error::Parse(e.to_string())))
-            .collect::<Result<_, _>>()?;
-        self.generate(&queries)
+        let telemetry = Arc::new(Registry::new());
+        let queries: Vec<Query> = telemetry.time("phase.parse", || {
+            sql.iter()
+                .map(|s| pi2_sql::parse_query(s).map_err(Pi2Error::from))
+                .collect::<Result<_, _>>()
+        })?;
+        self.generate_with(&queries, telemetry)
     }
 
     /// Generate an interface from a parsed query log.
     pub fn generate(&self, queries: &[Query]) -> Result<GeneratedInterface, Pi2Error> {
+        self.generate_with(queries, Arc::new(Registry::new()))
+    }
+
+    fn generate_with(
+        &self,
+        queries: &[Query],
+        telemetry: Arc<Registry>,
+    ) -> Result<GeneratedInterface, Pi2Error> {
         if queries.is_empty() {
             return Err(Pi2Error::EmptyLog);
         }
         let start = Instant::now();
         let mapper_cfg = MapperConfig { screen: self.screen, enumerate_variants: true };
-        let search =
-            InterfaceSearch::new(queries, &self.catalog, mapper_cfg.clone(), self.weights.clone());
+        let search = InterfaceSearch::with_memo(
+            queries,
+            &self.catalog,
+            mapper_cfg.clone(),
+            self.weights.clone(),
+            Arc::clone(&self.memo),
+            Arc::clone(&telemetry),
+        );
+        let (hits_before, misses_before) = (self.memo.hits(), self.memo.misses());
 
-        let (mut forest, search_stats) = match &self.strategy {
+        let (forest, search_stats) = telemetry.time("phase.search", || match &self.strategy {
             SearchStrategy::Mcts(cfg) => {
-                let (f, s) = mcts(&search, cfg);
+                let (f, s) = mcts_parallel(&search, cfg);
                 (f, Some(s))
             }
             SearchStrategy::Greedy { max_evaluations } => {
@@ -176,44 +292,57 @@ impl Pi2 {
             SearchStrategy::FullMerge => {
                 (search.canonicalized(DiffForest::fully_merged(queries)), None)
             }
+        });
+        // Search states are normalized (trees sorted by earliest source
+        // query) inside InterfaceSearch, so the forest is already in stable
+        // display order: G1 is the earliest selected cell.
+
+        let choice = match search.best_choice(&forest) {
+            Some(c) => c,
+            None => {
+                // Distinguish "mapping failed" from "nothing expressive":
+                // re-run the mapper on this one forest for the error detail.
+                map_forest(&forest, &self.catalog, queries, &mapper_cfg)
+                    .map_err(|e| Pi2Error::Map(e.to_string()))?;
+                return Err(Pi2Error::NoExpressiveInterface);
+            }
         };
-
-        // Stable display order: trees sorted by their earliest source query,
-        // so G1 is always the earliest selected cell (merges shuffle order).
-        forest.trees.sort_by_key(|t| t.source_queries.iter().min().copied().unwrap_or(usize::MAX));
-
-        let candidates = map_forest(&forest, &self.catalog, queries, &mapper_cfg)
-            .map_err(|e| Pi2Error::Map(e.to_string()))?;
-        let candidates_considered = candidates.len();
-        let (best_idx, cost) =
-            choose_best(&candidates, &forest, queries, &self.catalog, &self.weights)
-                .ok_or(Pi2Error::NoExpressiveInterface)?;
-        if !cost.expressive {
+        if !choice.breakdown.expressive {
             return Err(Pi2Error::NoExpressiveInterface);
         }
-        let interface = candidates.into_iter().nth(best_idx).expect("index from enumerate");
+
+        let memo_hits = self.memo.hits() - hits_before;
+        let memo_misses = self.memo.misses() - misses_before;
+        telemetry.add("memo.hits", memo_hits);
+        telemetry.add("memo.misses", memo_misses);
+        if let Some(s) = &search_stats {
+            telemetry.add("search.iterations", s.iterations as u64);
+            telemetry.add("search.expansions", s.expansions as u64);
+            telemetry.add("search.reward_cache.hits", s.cache_hits);
+            telemetry.add("search.reward_cache.misses", s.cache_misses);
+            telemetry.add("search.workers", s.workers.len() as u64);
+        }
 
         Ok(GeneratedInterface {
             queries: queries.to_vec(),
             forest,
-            interface,
-            cost,
+            interface: choice.interface.clone(),
+            cost: choice.breakdown.clone(),
             stats: GenerationStats {
                 elapsed: start.elapsed(),
-                candidates_considered,
+                candidates_considered: choice.candidates_considered,
                 search: search_stats,
+                telemetry: telemetry.snapshot(),
+                memo_hits,
+                memo_misses,
+                memo_entries: self.memo.len(),
             },
         })
     }
 
     /// Open an interactive session over a generated interface.
     pub fn session(&self, generated: &GeneratedInterface) -> crate::session::InterfaceSession {
-        crate::session::InterfaceSession::new_with_log(
-            self.catalog.clone(),
-            generated.forest.clone(),
-            generated.interface.clone(),
-            &generated.queries,
-        )
+        generated.session(&self.catalog)
     }
 }
 
@@ -239,7 +368,11 @@ mod tests {
     #[test]
     fn parse_error_is_reported() {
         let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog()).build();
-        assert!(matches!(pi2.generate_sql(&["NOT SQL AT ALL"]), Err(Pi2Error::Parse(_))));
+        let err = pi2.generate_sql(&["NOT SQL AT ALL"]).unwrap_err();
+        assert!(matches!(err, Pi2Error::Parse(_)));
+        // The structured source carries the position.
+        let source = std::error::Error::source(&err).expect("source chain");
+        assert!(source.to_string().contains("line 1"));
     }
 
     #[test]
@@ -277,5 +410,49 @@ mod tests {
         assert!(g.cost.expressive);
         assert!(g.forest.expresses_all(&queries));
         assert!(g.stats.search.is_some());
+    }
+
+    #[test]
+    fn stats_report_phases_and_memo() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::Mcts(MctsConfig {
+                iterations: 20,
+                seed: 7,
+                workers: 2,
+                ..Default::default()
+            }))
+            .build();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let g = pi2.generate(&queries).unwrap();
+        assert!(g.stats.phase("search") > Duration::ZERO);
+        assert!(g.stats.phase("map") > Duration::ZERO);
+        assert!(g.stats.phase("cost") > Duration::ZERO);
+        assert!(g.stats.memo_misses > 0);
+        assert!(g.stats.memo_entries > 0);
+        let json = g.stats.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"phase_search_ms\""));
+        assert!(json.contains("\"elapsed_ms\""));
+    }
+
+    #[test]
+    fn repeated_generation_hits_the_cross_run_memo() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::Mcts(MctsConfig {
+                iterations: 25,
+                seed: 3,
+                ..Default::default()
+            }))
+            .build();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let first = pi2.generate(&queries).unwrap();
+        let second = pi2.generate(&queries).unwrap();
+        // Same log, same config: the second run re-visits the same forests
+        // and must answer (nearly) every lookup from the shared memo.
+        assert!(second.stats.memo_hits > 0, "second run never hit the memo");
+        assert!(second.stats.memo_misses <= first.stats.memo_misses);
+        assert!(second.stats.cache_hit_rate().unwrap() > 0.9);
+        // And produce the identical interface.
+        assert_eq!(first.interface, second.interface);
     }
 }

@@ -8,14 +8,26 @@
 //! (they are always beneficial — see [`pi2_difftree::rules::canonicalize`]),
 //! which keeps the searched space to the decisions that actually trade off
 //! against each other: partitioning and structural factoring.
+//!
+//! Reward evaluation is memoized in a shared [`CostMemo`] keyed by the
+//! forest's `structural_hash` plus a context fingerprint of everything
+//! else the cost depends on (queries, weights, screen). The memo is
+//! shared across MCTS iterations, across parallel worker trees, and —
+//! via [`crate::Pi2`] — across successive `generate` calls, so a forest
+//! is mapped and costed at most once per context. To keep memoized
+//! interfaces valid (charts reference trees by index), every state is
+//! *normalized*: trees canonicalized and sorted by earliest source query.
 
-use pi2_cost::{choose_best, CostWeights};
+use pi2_cost::{choose_best, weights_fingerprint, CostMemo, CostWeights, CostedChoice};
 use pi2_difftree::rules::{self, Rule};
 use pi2_difftree::{DiffForest, NodeId};
 use pi2_engine::Catalog;
 use pi2_interface::{map_forest, MapperConfig};
 use pi2_mcts::SearchProblem;
 use pi2_sql::Query;
+use pi2_telemetry::Registry;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// An action on a forest state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,26 +58,85 @@ pub struct InterfaceSearch<'a> {
     /// Weights.
     pub weights: CostWeights,
     rules: Vec<Box<dyn Rule>>,
+    memo: Arc<CostMemo>,
+    telemetry: Arc<Registry>,
+    context: u64,
 }
 
 impl<'a> InterfaceSearch<'a> {
-    /// Construct from parts.
+    /// Construct from parts with a private memo and telemetry registry.
     pub fn new(
         queries: &'a [Query],
         catalog: &'a Catalog,
         mapper_cfg: MapperConfig,
         weights: CostWeights,
     ) -> Self {
-        let rules = rules::all_rules(Some(catalog.clone()));
-        Self { queries, catalog, mapper_cfg, weights, rules }
+        Self::with_memo(
+            queries,
+            catalog,
+            mapper_cfg,
+            weights,
+            Arc::new(CostMemo::new()),
+            Arc::new(Registry::new()),
+        )
     }
 
-    /// Canonicalize every tree of a forest (collapse + generalize).
+    /// Construct sharing an existing memo (for cross-run reuse) and
+    /// telemetry registry (for per-phase timings).
+    pub fn with_memo(
+        queries: &'a [Query],
+        catalog: &'a Catalog,
+        mapper_cfg: MapperConfig,
+        weights: CostWeights,
+        memo: Arc<CostMemo>,
+        telemetry: Arc<Registry>,
+    ) -> Self {
+        let rules = rules::all_rules(Some(catalog.clone()));
+        let context = context_fingerprint(queries, &weights, &mapper_cfg);
+        Self { queries, catalog, mapper_cfg, weights, rules, memo, telemetry, context }
+    }
+
+    /// The shared cost memo.
+    pub fn memo(&self) -> &Arc<CostMemo> {
+        &self.memo
+    }
+
+    /// The context fingerprint this search memoizes under.
+    pub fn context(&self) -> u64 {
+        self.context
+    }
+
+    /// Normalize a forest into the searched state space: canonicalize
+    /// every tree (collapse + generalize) and sort trees by earliest
+    /// source query. The sort gives every structurally-equal state one
+    /// canonical tree order, so memoized interfaces (which reference
+    /// trees by index) remain valid wherever the state reappears.
     pub fn canonicalized(&self, mut forest: DiffForest) -> DiffForest {
         for tree in &mut forest.trees {
             *tree = rules::canonicalize(tree, Some(self.catalog));
         }
+        forest.trees.sort_by_key(|t| t.source_queries.iter().min().copied().unwrap_or(usize::MAX));
         forest
+    }
+
+    /// Map a forest and choose its best candidate, memoized by
+    /// `(context, structural_hash)`. `None` means mapping failed or no
+    /// candidate was produced.
+    pub fn best_choice(&self, state: &DiffForest) -> Option<Arc<CostedChoice>> {
+        self.memo.get_or_compute(self.context, state.structural_hash(), || {
+            let candidates = self
+                .telemetry
+                .time("phase.map", || {
+                    map_forest(state, self.catalog, self.queries, &self.mapper_cfg)
+                })
+                .ok()?;
+            let candidates_considered = candidates.len();
+            let (best_idx, breakdown) = self.telemetry.time("phase.cost", || {
+                choose_best(&candidates, state, self.queries, self.catalog, &self.weights)
+            })?;
+            let interface = candidates.into_iter().nth(best_idx)?;
+            Some(CostedChoice { interface, breakdown, candidates_considered })
+        })
     }
 
     /// The searched rule subset: structural rules only (normalization rules
@@ -75,6 +146,21 @@ impl<'a> InterfaceSearch<'a> {
             r.name() != "collapse-literal-any" && r.name() != "generalize-hole-domain"
         })
     }
+}
+
+/// Fingerprint of everything a memoized cost depends on besides the
+/// forest: the query log, the cost weights, and the mapper configuration.
+fn context_fingerprint(queries: &[Query], weights: &CostWeights, cfg: &MapperConfig) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    queries.len().hash(&mut h);
+    for q in queries {
+        q.to_string().hash(&mut h);
+    }
+    weights_fingerprint(weights).hash(&mut h);
+    cfg.screen.width.hash(&mut h);
+    cfg.screen.height.hash(&mut h);
+    cfg.enumerate_variants.hash(&mut h);
+    h.finish()
 }
 
 impl<'a> SearchProblem for InterfaceSearch<'a> {
@@ -108,10 +194,10 @@ impl<'a> SearchProblem for InterfaceSearch<'a> {
 
     fn apply(&self, state: &DiffForest, action: &ForestAction) -> Option<DiffForest> {
         match action {
-            ForestAction::Merge(i, j) => {
-                state.merge_pair(*i, *j).map(|f| self.canonicalized(f))
+            ForestAction::Merge(i, j) => state.merge_pair(*i, *j).map(|f| self.canonicalized(f)),
+            ForestAction::Split(i) => {
+                state.split_tree(*i, self.queries).map(|f| self.canonicalized(f))
             }
-            ForestAction::Split(i) => state.split_tree(*i, self.queries),
             ForestAction::Rule { tree, rule, loc } => {
                 let t = state.trees.get(*tree)?;
                 let new_tree = self.rules.get(*rule)?.apply(t, *loc)?;
@@ -123,11 +209,8 @@ impl<'a> SearchProblem for InterfaceSearch<'a> {
     }
 
     fn reward(&self, state: &DiffForest) -> f64 {
-        let Ok(candidates) = map_forest(state, self.catalog, self.queries, &self.mapper_cfg) else {
-            return f64::NEG_INFINITY;
-        };
-        match choose_best(&candidates, state, self.queries, self.catalog, &self.weights) {
-            Some((_, breakdown)) if breakdown.total.is_finite() => -breakdown.total,
+        match self.best_choice(state) {
+            Some(choice) if choice.breakdown.total.is_finite() => -choice.breakdown.total,
             _ => f64::NEG_INFINITY,
         }
     }
@@ -152,7 +235,12 @@ mod tests {
     fn initial_state_is_canonicalized_singletons() {
         let catalog = pi2_datasets::toy::default_catalog();
         let queries = pi2_datasets::toy::fig2_queries();
-        let p = InterfaceSearch::new(&queries, &catalog, MapperConfig::default(), CostWeights::default());
+        let p = InterfaceSearch::new(
+            &queries,
+            &catalog,
+            MapperConfig::default(),
+            CostWeights::default(),
+        );
         let s = p.initial();
         assert_eq!(s.trees.len(), 3);
     }
@@ -210,5 +298,51 @@ mod tests {
                 state = next;
             }
         }
+    }
+
+    #[test]
+    fn repeated_rewards_hit_the_memo() {
+        let catalog = pi2_datasets::toy::default_catalog();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let p = search_for(&queries, &catalog);
+        let s = p.initial();
+        let r1 = p.reward(&s);
+        let r2 = p.reward(&s);
+        assert_eq!(r1, r2);
+        assert_eq!(p.memo().misses(), 1);
+        assert_eq!(p.memo().hits(), 1);
+    }
+
+    #[test]
+    fn memoized_cost_equals_fresh_cost() {
+        let catalog = pi2_datasets::toy::default_catalog();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let p = search_for(&queries, &catalog);
+        let s = p.initial();
+        let memoized = p.best_choice(&s).expect("choice");
+        // Fresh, unmemoized computation of the same state.
+        let candidates = map_forest(&s, &catalog, &queries, &p.mapper_cfg).expect("map");
+        let (idx, fresh) =
+            choose_best(&candidates, &s, &queries, &catalog, &p.weights).expect("best");
+        assert_eq!(memoized.breakdown, fresh);
+        assert_eq!(memoized.interface, candidates[idx]);
+        assert_eq!(memoized.candidates_considered, candidates.len());
+    }
+
+    #[test]
+    fn states_are_sorted_by_earliest_source_query() {
+        let catalog = pi2_datasets::toy::default_catalog();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let p = search_for(&queries, &catalog);
+        let mut state = p.initial();
+        // Merge the last two trees, then check canonical order everywhere.
+        if let Some(next) = p.apply(&state, &ForestAction::Merge(1, 2)) {
+            state = next;
+        }
+        let mins: Vec<usize> =
+            state.trees.iter().map(|t| t.source_queries.iter().min().copied().unwrap()).collect();
+        let mut sorted = mins.clone();
+        sorted.sort_unstable();
+        assert_eq!(mins, sorted);
     }
 }

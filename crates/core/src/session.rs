@@ -79,6 +79,7 @@ pub enum Event {
 
 /// Session errors.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum SessionError {
     /// No widget with that id.
     UnknownWidget(WidgetId),
@@ -141,6 +142,53 @@ pub struct ChartUpdate {
     pub result: ResultSet,
 }
 
+/// Builder for [`InterfaceSession`].
+///
+/// Without [`queries`](SessionBuilder::queries), trees start at their
+/// structural defaults; with it, each tree starts at the witness bindings
+/// of its first source query — guaranteeing the initial view shows real
+/// queries even for merges of structurally different queries.
+/// [`GeneratedInterface::session`](crate::pipeline::GeneratedInterface::session)
+/// is the usual shortcut for sessions over generated interfaces.
+pub struct SessionBuilder<'a> {
+    catalog: Catalog,
+    forest: DiffForest,
+    interface: Interface,
+    log: Option<&'a [Query]>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Start building a session driving `interface` over `forest`,
+    /// executing against `catalog`.
+    pub fn new(catalog: Catalog, forest: DiffForest, interface: Interface) -> Self {
+        Self { catalog, forest, interface, log: None }
+    }
+
+    /// Initialize each tree's bindings from the witness bindings of its
+    /// first source query in `log` instead of structural defaults.
+    pub fn queries(mut self, log: &'a [Query]) -> Self {
+        self.log = Some(log);
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> InterfaceSession {
+        let bindings = match self.log {
+            Some(log) => {
+                self.forest.trees.iter().map(|t| pi2_difftree::default_bindings(t, log)).collect()
+            }
+            None => vec![Bindings::new(); self.forest.trees.len()],
+        };
+        InterfaceSession {
+            catalog: self.catalog,
+            forest: self.forest,
+            interface: self.interface,
+            bindings,
+            history: Vec::new(),
+        }
+    }
+}
+
 /// A live interface: catalog + forest + interface + current bindings.
 pub struct InterfaceSession {
     catalog: Catalog,
@@ -154,23 +202,23 @@ pub struct InterfaceSession {
 
 impl InterfaceSession {
     /// A session whose trees start at their structural defaults.
+    #[deprecated(note = "use `SessionBuilder::new(catalog, forest, interface).build()`")]
     pub fn new(catalog: Catalog, forest: DiffForest, interface: Interface) -> Self {
-        let bindings = vec![Bindings::new(); forest.trees.len()];
-        Self { catalog, forest, interface, bindings, history: Vec::new() }
+        SessionBuilder::new(catalog, forest, interface).build()
     }
 
     /// A session whose trees start at the witness bindings of their first
-    /// source query in `log` — guaranteeing the initial view shows real
-    /// queries even for merges of structurally different queries.
+    /// source query in `log`.
+    #[deprecated(
+        note = "use `SessionBuilder::new(catalog, forest, interface).queries(log).build()`"
+    )]
     pub fn new_with_log(
         catalog: Catalog,
         forest: DiffForest,
         interface: Interface,
         log: &[pi2_sql::Query],
     ) -> Self {
-        let bindings =
-            forest.trees.iter().map(|t| pi2_difftree::default_bindings(t, log)).collect();
-        Self { catalog, forest, interface, bindings, history: Vec::new() }
+        SessionBuilder::new(catalog, forest, interface).queries(log).build()
     }
 
     /// The interface being driven.
@@ -213,9 +261,10 @@ impl InterfaceSession {
             }
             return Ok(WidgetState::Flags(flags));
         }
-        let target = *w.targets.first().ok_or_else(|| {
-            SessionError::Internal(format!("widget {} has no target", w.id))
-        })?;
+        let target = *w
+            .targets
+            .first()
+            .ok_or_else(|| SessionError::Internal(format!("widget {} has no target", w.id)))?;
         match self.node_kind(target)? {
             NodeKind::Any => {
                 let pick = match self.bindings[target.tree].get(target.node) {
@@ -239,7 +288,8 @@ impl InterfaceSession {
                 // A discrete-domain widget (radio/dropdown over a hole)
                 // reports the picked index; continuous ones the value(s).
                 if let Domain::Discrete(items) = &domain {
-                    if !matches!(w.kind, WidgetKind::Slider { .. } | WidgetKind::RangeSlider { .. }) {
+                    if !matches!(w.kind, WidgetKind::Slider { .. } | WidgetKind::RangeSlider { .. })
+                    {
                         let idx = items.iter().position(|l| *l == value).unwrap_or(0);
                         return Ok(WidgetState::Picked(idx));
                     }
@@ -305,8 +355,10 @@ impl InterfaceSession {
             .into_iter()
             .map(|id| {
                 let query = self.query_for_chart(id)?;
-                let result =
-                    self.catalog.execute(&query).map_err(|e| SessionError::Internal(e.to_string()))?;
+                let result = self
+                    .catalog
+                    .execute(&query)
+                    .map_err(|e| SessionError::Internal(e.to_string()))?;
                 Ok(ChartUpdate { chart: id, query, result })
             })
             .collect()
@@ -330,7 +382,9 @@ impl InterfaceSession {
             _ => match self.node_kind(t)? {
                 NodeKind::Hole { default, .. } => default,
                 other => {
-                    return Err(SessionError::Internal(format!("target {t:?} is {other:?}, not a hole")))
+                    return Err(SessionError::Internal(format!(
+                        "target {t:?} is {other:?}, not a hole"
+                    )))
                 }
             },
         };
@@ -351,7 +405,11 @@ impl InterfaceSession {
 
     // ---- event application ----------------------------------------------------
 
-    fn apply_widget(&mut self, id: WidgetId, value: &WidgetValue) -> Result<BTreeSet<usize>, SessionError> {
+    fn apply_widget(
+        &mut self,
+        id: WidgetId,
+        value: &WidgetValue,
+    ) -> Result<BTreeSet<usize>, SessionError> {
         let widget = self
             .interface
             .widgets
@@ -445,7 +503,12 @@ impl InterfaceSession {
         Ok(changed)
     }
 
-    fn apply_brush(&mut self, chart: ChartId, low: f64, high: f64) -> Result<BTreeSet<usize>, SessionError> {
+    fn apply_brush(
+        &mut self,
+        chart: ChartId,
+        low: f64,
+        high: f64,
+    ) -> Result<BTreeSet<usize>, SessionError> {
         let c = self
             .interface
             .charts
@@ -474,7 +537,11 @@ impl InterfaceSession {
         Ok(changed)
     }
 
-    fn apply_click(&mut self, chart: ChartId, value: &Literal) -> Result<BTreeSet<usize>, SessionError> {
+    fn apply_click(
+        &mut self,
+        chart: ChartId,
+        value: &Literal,
+    ) -> Result<BTreeSet<usize>, SessionError> {
         let c = self
             .interface
             .charts
@@ -506,14 +573,19 @@ impl InterfaceSession {
         Ok(changed)
     }
 
-    fn apply_panzoom(&mut self, chart: ChartId, gesture: Gesture) -> Result<BTreeSet<usize>, SessionError> {
+    fn apply_panzoom(
+        &mut self,
+        chart: ChartId,
+        gesture: Gesture,
+    ) -> Result<BTreeSet<usize>, SessionError> {
         let c = self
             .interface
             .charts
             .iter()
             .find(|c| c.id == chart)
             .ok_or(SessionError::UnknownChart(chart))?;
-        let pz: Vec<(Option<(Target, Target)>, Option<(Target, Target)>)> = c
+        type AxisPair = Option<(Target, Target)>;
+        let pz: Vec<(AxisPair, AxisPair)> = c
             .interactions
             .iter()
             .filter_map(|i| match i {
@@ -543,7 +615,8 @@ impl InterfaceSession {
                 let NodeKind::Hole { domain, .. } = self.node_kind(tl)? else {
                     return Err(SessionError::Internal("pan target is not a hole".into()));
                 };
-                let (new_lo, new_hi) = clamp_window(&domain, new_lo, new_hi, matches!(gesture, Gesture::Pan(..)));
+                let (new_lo, new_hi) =
+                    clamp_window(&domain, new_lo, new_hi, matches!(gesture, Gesture::Pan(..)));
                 self.bind_hole_f64(tl, new_lo)?;
                 self.bind_hole_f64(th, new_hi)?;
                 changed.insert(tl.tree);
@@ -617,10 +690,10 @@ fn literal_to_f64(l: &Literal) -> Option<f64> {
 /// the domain.
 fn literal_from_f64_clamped(domain: &Domain, v: f64) -> Option<Literal> {
     match domain {
-        Domain::IntRange { min, max } => {
-            Some(Literal::Int((v.round() as i64).clamp(*min, *max)))
+        Domain::IntRange { min, max } => Some(Literal::Int((v.round() as i64).clamp(*min, *max))),
+        Domain::FloatRange { min, max } => {
+            Some(Literal::Float(pi2_sql::F64(v.clamp(min.0, max.0))))
         }
-        Domain::FloatRange { min, max } => Some(Literal::Float(pi2_sql::F64(v.clamp(min.0, max.0)))),
         Domain::DateRange { min, max } => {
             Some(Literal::Date(Date((v.round() as i32).clamp(min.0, max.0))))
         }
@@ -641,7 +714,8 @@ mod tests {
     use crate::pipeline::{Pi2, SearchStrategy};
 
     fn sdss_session() -> (Pi2, crate::pipeline::GeneratedInterface) {
-        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 400, seed: 3 });
+        let catalog =
+            pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 400, seed: 3 });
         let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
         let queries: Vec<String> =
             pi2_datasets::sdss::demo_queries().iter().map(|q| q.to_string()).collect();
@@ -703,16 +777,18 @@ mod tests {
             .find(|w| matches!(w.kind, WidgetKind::Toggle))
             .expect("toggle widget")
             .id;
-        let updates =
-            s.dispatch(Event::SetWidget { widget: toggle, value: WidgetValue::Bool(false) }).unwrap();
+        let updates = s
+            .dispatch(Event::SetWidget { widget: toggle, value: WidgetValue::Bool(false) })
+            .unwrap();
         assert!(!updates.is_empty());
         assert!(
             !updates[0].query.to_string().contains("WHERE"),
             "toggle off should drop the filter: {}",
             updates[0].query
         );
-        let updates =
-            s.dispatch(Event::SetWidget { widget: toggle, value: WidgetValue::Bool(true) }).unwrap();
+        let updates = s
+            .dispatch(Event::SetWidget { widget: toggle, value: WidgetValue::Bool(true) })
+            .unwrap();
         assert!(updates[0].query.to_string().contains("WHERE"));
     }
 
@@ -742,16 +818,26 @@ mod tests {
         let queries = pi2_datasets::toy::fig5_queries();
         let merged = pi2_difftree::DiffForest::fully_merged(&queries[..2]);
         let single = pi2_difftree::DiffForest::singletons(&queries[2..]);
-        let mut forest =
-            pi2_difftree::DiffForest { trees: vec![merged.trees[0].clone(), single.trees[0].clone()] };
+        let mut forest = pi2_difftree::DiffForest {
+            trees: vec![merged.trees[0].clone(), single.trees[0].clone()],
+        };
         for t in &mut forest.trees {
             *t = pi2_difftree::rules::canonicalize(t, Some(&catalog));
         }
-        let ifaces =
-            pi2_interface::map_forest(&forest, &catalog, &queries, &pi2_interface::MapperConfig::default()).unwrap();
+        let ifaces = pi2_interface::map_forest(
+            &forest,
+            &catalog,
+            &queries,
+            &pi2_interface::MapperConfig::default(),
+        )
+        .unwrap();
         let iface = ifaces
             .into_iter()
-            .find(|i| i.charts.iter().any(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. }))))
+            .find(|i| {
+                i.charts.iter().any(|c| {
+                    c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. }))
+                })
+            })
             .expect("click-bind interface");
         let click_chart = iface
             .charts
@@ -759,8 +845,9 @@ mod tests {
             .find(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. })))
             .unwrap()
             .id;
-        let mut s = InterfaceSession::new(catalog, forest, iface);
-        let updates = s.dispatch(Event::Click { chart: click_chart, value: Literal::Int(3) }).unwrap();
+        let mut s = SessionBuilder::new(catalog, forest, iface).build();
+        let updates =
+            s.dispatch(Event::Click { chart: click_chart, value: Literal::Int(3) }).unwrap();
         assert!(!updates.is_empty());
         assert!(
             updates.iter().any(|u| u.query.to_string().contains("a = 3")),
@@ -778,18 +865,28 @@ mod tests {
         let queries = pi2_datasets::covid::demo_queries_step(3);
         let overview = pi2_difftree::DiffForest::singletons(&queries[..1]);
         let detail = pi2_difftree::DiffForest::fully_merged(&queries[1..3]);
-        let mut forest =
-            pi2_difftree::DiffForest { trees: vec![overview.trees[0].clone(), detail.trees[0].clone()] };
+        let mut forest = pi2_difftree::DiffForest {
+            trees: vec![overview.trees[0].clone(), detail.trees[0].clone()],
+        };
         for t in &mut forest.trees {
             *t = pi2_difftree::rules::canonicalize(t, Some(&catalog));
         }
-        let ifaces =
-            pi2_interface::map_forest(&forest, &catalog, &queries, &pi2_interface::MapperConfig::default()).unwrap();
+        let ifaces = pi2_interface::map_forest(
+            &forest,
+            &catalog,
+            &queries,
+            &pi2_interface::MapperConfig::default(),
+        )
+        .unwrap();
         let iface = ifaces
             .into_iter()
-            .find(|i| i.charts.iter().any(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::BrushX { .. }))))
+            .find(|i| {
+                i.charts.iter().any(|c| {
+                    c.interactions.iter().any(|x| matches!(x, VizInteraction::BrushX { .. }))
+                })
+            })
             .expect("brush interface");
-        let mut s = InterfaceSession::new(catalog, forest, iface);
+        let mut s = SessionBuilder::new(catalog, forest, iface).build();
         // Brush 2021-12-05 .. 2021-12-10 on the overview (chart 0).
         let lo = pi2_sql::Date::parse("2021-12-05").unwrap().0 as f64;
         let hi = pi2_sql::Date::parse("2021-12-10").unwrap().0 as f64;

@@ -1,0 +1,72 @@
+//! Cache-correctness property: for arbitrary reachable forests, the
+//! memoized `best_choice` outcome is indistinguishable from a fresh,
+//! unmemoized computation — same winning interface, same cost breakdown,
+//! same candidate count — and stable across repeated lookups.
+
+use pi2_core::InterfaceSearch;
+use pi2_cost::{choose_best, CostWeights};
+use pi2_interface::{map_forest, MapperConfig};
+use pi2_mcts::SearchProblem;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn memoized_cost_equals_fresh_cost(walk in proptest::collection::vec(0usize..1000, 0..6)) {
+        let catalog = pi2_datasets::toy::default_catalog();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let search = InterfaceSearch::new(
+            &queries,
+            &catalog,
+            MapperConfig::default(),
+            CostWeights::default(),
+        );
+
+        // Random walk through the action space: arbitrary interleavings of
+        // merges, splits, and rules produce arbitrary reachable forests.
+        let mut state = search.initial();
+        for pick in &walk {
+            let actions = search.actions(&state);
+            if actions.is_empty() {
+                break;
+            }
+            if let Some(next) = search.apply(&state, &actions[pick % actions.len()]) {
+                state = next;
+            }
+        }
+
+        let memoized = search.best_choice(&state);
+
+        // Fresh computation, bypassing the memo entirely.
+        let fresh = map_forest(&state, &catalog, &queries, &MapperConfig::default())
+            .ok()
+            .and_then(|candidates| {
+                choose_best(&candidates, &state, &queries, &catalog, &CostWeights::default())
+                    .map(|(idx, breakdown)| (candidates[idx].clone(), breakdown, candidates.len()))
+            });
+
+        match (&memoized, &fresh) {
+            (None, None) => {}
+            (Some(m), Some((iface, breakdown, n))) => {
+                prop_assert_eq!(&m.interface, iface);
+                prop_assert_eq!(&m.breakdown, breakdown);
+                prop_assert_eq!(m.candidates_considered, *n);
+            }
+            _ => prop_assert!(
+                false,
+                "memoized success={} but fresh success={}",
+                memoized.is_some(),
+                fresh.is_some()
+            ),
+        }
+
+        // A repeated lookup hits the cache and returns the same entry.
+        let again = search.best_choice(&state);
+        prop_assert_eq!(memoized.is_some(), again.is_some());
+        if let (Some(a), Some(b)) = (memoized, again) {
+            prop_assert_eq!(&a.breakdown, &b.breakdown);
+            prop_assert_eq!(&a.interface, &b.interface);
+        }
+        prop_assert!(search.memo().hits() >= 1);
+    }
+}

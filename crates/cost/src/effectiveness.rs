@@ -1,7 +1,7 @@
 //! Channel/field-type effectiveness rankings (Cleveland–McGill / Bertin /
 //! Mackinlay), as the paper's cost model "borrows current best practices".
 
-use pi2_interface::{Chart, Channel, FieldType, Mark};
+use pi2_interface::{Channel, Chart, FieldType, Mark};
 
 /// Effectiveness of encoding a field of `field_type` on `channel`,
 /// in `[0, 1]` (higher is better). Position is the strongest channel for
@@ -45,7 +45,9 @@ pub fn mark_penalty(chart: &Chart) -> f64 {
         }
         Mark::Scatter => {
             // Scatter wants two quantitative axes.
-            if !matches!(x, Some(FieldType::Quantitative)) || !matches!(y, Some(FieldType::Quantitative)) {
+            if !matches!(x, Some(FieldType::Quantitative))
+                || !matches!(y, Some(FieldType::Quantitative))
+            {
                 p += 0.2;
             }
         }

@@ -38,6 +38,9 @@
 //! ```
 
 pub mod effectiveness;
+pub mod memo;
+
+pub use memo::{weights_fingerprint, CostMemo, CostedChoice};
 
 use pi2_difftree::{choices, ChoiceKind, DiffForest};
 use pi2_engine::Catalog;
@@ -104,7 +107,15 @@ pub struct CostBreakdown {
 }
 
 impl CostBreakdown {
-    fn total_of(weights: &CostWeights, expressive: bool, viz: f64, interaction: f64, layout: f64, views: f64, generalization: f64) -> Self {
+    fn total_of(
+        weights: &CostWeights,
+        expressive: bool,
+        viz: f64,
+        interaction: f64,
+        layout: f64,
+        views: f64,
+        generalization: f64,
+    ) -> Self {
         let total = if expressive {
             weights.viz * viz
                 + weights.interaction * interaction
@@ -397,7 +408,8 @@ mod tests {
     fn panzoom_variant_beats_slider_variant() {
         // The paper's Figure 1 argument: PI2's pan/zoom interface costs
         // less than the Hex-style four-slider interface.
-        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 400, seed: 3 });
+        let catalog =
+            pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 400, seed: 3 });
         let queries = pi2_datasets::sdss::demo_queries();
         let mut forest = DiffForest::fully_merged(&queries);
         prepare(&mut forest, &catalog);
@@ -406,7 +418,11 @@ mod tests {
 
         let panzoom = candidates
             .iter()
-            .find(|c| c.charts.iter().any(|ch| ch.interactions.iter().any(|i| matches!(i, VizInteraction::PanZoom { .. }))))
+            .find(|c| {
+                c.charts.iter().any(|ch| {
+                    ch.interactions.iter().any(|i| matches!(i, VizInteraction::PanZoom { .. }))
+                })
+            })
             .expect("pan/zoom candidate");
         let sliders = candidates
             .iter()
@@ -492,16 +508,23 @@ mod tests {
     #[test]
     fn widget_effort_ordering_matches_paper_intuitions() {
         // toggle < radio < dropdown < text input; pan/zoom is cheapest.
-        assert!(widget_effort(&WidgetKind::Toggle) < widget_effort(&WidgetKind::Radio { options: vec![] }));
+        assert!(
+            widget_effort(&WidgetKind::Toggle)
+                < widget_effort(&WidgetKind::Radio { options: vec![] })
+        );
         assert!(
             widget_effort(&WidgetKind::Radio { options: vec!["a".into()] })
                 < widget_effort(&WidgetKind::Dropdown { options: vec!["a".into()] })
         );
-        assert!(widget_effort(&WidgetKind::Dropdown { options: vec![] }) < widget_effort(&WidgetKind::TextInput));
+        assert!(
+            widget_effort(&WidgetKind::Dropdown { options: vec![] })
+                < widget_effort(&WidgetKind::TextInput)
+        );
         let pz = VizInteraction::PanZoom { x: None, y: None, x_field: None, y_field: None };
         assert!(interaction_effort(&pz) <= 0.10);
         // Four sliders (Hex) cost ≫ one pan/zoom (PI2) — the Figure 1 claim.
-        let four_sliders = 4.0 * widget_effort(&WidgetKind::Slider { min: 0.0, max: 1.0, step: 0.1, temporal: false });
+        let four_sliders = 4.0
+            * widget_effort(&WidgetKind::Slider { min: 0.0, max: 1.0, step: 0.1, temporal: false });
         assert!(four_sliders > 5.0 * interaction_effort(&pz));
     }
 

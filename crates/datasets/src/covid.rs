@@ -138,10 +138,14 @@ pub fn catalog(config: &Config) -> Catalog {
         }
     }
 
-    let mut regions =
-        Table::builder("regions").column("state", DataType::Str).column("region", DataType::Str).build();
+    let mut regions = Table::builder("regions")
+        .column("state", DataType::Str)
+        .column("region", DataType::Str)
+        .build();
     for (state, _, region) in states {
-        regions.push_row(vec![Value::str(*state), Value::str(*region)]).expect("schema-correct row");
+        regions
+            .push_row(vec![Value::str(*state), Value::str(*region)])
+            .expect("schema-correct row");
     }
 
     let mut c = Catalog::new();
@@ -236,9 +240,7 @@ mod tests {
     fn wave_peaks_in_late_december() {
         let c = catalog(&Config::default());
         let r = c
-            .execute_sql(
-                "SELECT date FROM covid GROUP BY date ORDER BY sum(cases) DESC LIMIT 1",
-            )
+            .execute_sql("SELECT date FROM covid GROUP BY date ORDER BY sum(cases) DESC LIMIT 1")
             .unwrap();
         let Value::Date(peak) = &r.rows[0][0] else { panic!() };
         let (y, m, d) = peak.ymd();

@@ -154,9 +154,7 @@ mod tests {
     #[test]
     fn classes_have_expected_redshift_ranges() {
         let c = catalog(&Config::default());
-        let r = c
-            .execute_sql("SELECT max(redshift) FROM photoobj WHERE class = 'STAR'")
-            .unwrap();
+        let r = c.execute_sql("SELECT max(redshift) FROM photoobj WHERE class = 'STAR'").unwrap();
         let Value::Float(v) = r.rows[0][0] else { panic!() };
         assert!(v < 0.01);
         let r = c.execute_sql("SELECT min(redshift) FROM photoobj WHERE class = 'QSO'").unwrap();

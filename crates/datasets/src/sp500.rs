@@ -75,8 +75,7 @@ pub fn catalog(config: &Config) -> Catalog {
 
     // Sector drift per day: Tech trends up, Energy oscillates, etc.
     let sectors = ["Tech", "Financials", "Energy", "Health", "Staples", "Discretionary"];
-    let sector_drift: Vec<f64> =
-        sectors.iter().map(|_| rng.gen_range(-0.0008..0.0018)).collect();
+    let sector_drift: Vec<f64> = sectors.iter().map(|_| rng.gen_range(-0.0008..0.0018)).collect();
 
     for (ticker, _, sector) in COMPANIES {
         let sector_idx = sectors.iter().position(|s| s == sector).expect("known sector");

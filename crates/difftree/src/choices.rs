@@ -131,9 +131,7 @@ fn walk(node: &DiffNode, ctx: &Ctx, out: &mut Vec<Choice>) {
     match &node.kind {
         NodeKind::Any => out.push(Choice {
             id: node.id,
-            kind: ChoiceKind::Any {
-                options: node.children.iter().map(|c| c.summary()).collect(),
-            },
+            kind: ChoiceKind::Any { options: node.children.iter().map(|c| c.summary()).collect() },
             context: ChoiceContext {
                 clause: ctx.clause,
                 compared_column: ctx.compared.clone(),
@@ -201,8 +199,7 @@ fn walk(node: &DiffNode, ctx: &Ctx, out: &mut Vec<Choice>) {
             }
             _ => ctx.compared.clone(),
         };
-        let query_levels =
-            ctx.query_levels + matches!(node.kind, NodeKind::Query { .. }) as usize;
+        let query_levels = ctx.query_levels + matches!(node.kind, NodeKind::Query { .. }) as usize;
         let in_list_group = match &node.kind {
             NodeKind::InList { .. } if i > 0 => Some(node.id),
             _ => None,
@@ -235,7 +232,7 @@ fn column_of(node: &DiffNode) -> Option<ColumnRef> {
 /// Detect range pairs and fill in [`ChoiceContext::range_role`]:
 /// 1. `col BETWEEN <choice> AND <choice>` — endpoints of the BETWEEN.
 /// 2. `col >= <choice>` and `col <= <choice>` as sibling conjuncts.
-fn pair_ranges(root: &DiffNode, out: &mut Vec<Choice>) {
+fn pair_ranges(root: &DiffNode, out: &mut [Choice]) {
     let mut pairs: Vec<(NodeId, NodeId, ColumnRef)> = Vec::new();
 
     root.walk(&mut |n| {
@@ -316,10 +313,7 @@ mod tests {
 
     #[test]
     fn literal_any_records_compared_column() {
-        let tree = merged(&[
-            "SELECT p FROM t WHERE a = 1",
-            "SELECT p FROM t WHERE a = 2",
-        ]);
+        let tree = merged(&["SELECT p FROM t WHERE a = 1", "SELECT p FROM t WHERE a = 2"]);
         let cs = choices(&tree);
         assert_eq!(cs.len(), 1);
         assert_eq!(cs[0].context.compared_column, Some(ColumnRef::bare("a")));
@@ -333,8 +327,10 @@ mod tests {
         ]);
         let cs = choices(&tree);
         assert_eq!(cs.len(), 2);
-        let lo = cs.iter().find(|c| c.context.range_role.as_ref().is_some_and(|r| r.is_low)).unwrap();
-        let hi = cs.iter().find(|c| c.context.range_role.as_ref().is_some_and(|r| !r.is_low)).unwrap();
+        let lo =
+            cs.iter().find(|c| c.context.range_role.as_ref().is_some_and(|r| r.is_low)).unwrap();
+        let hi =
+            cs.iter().find(|c| c.context.range_role.as_ref().is_some_and(|r| !r.is_low)).unwrap();
         assert_eq!(lo.context.range_role.as_ref().unwrap().partner, hi.id);
         assert_eq!(lo.context.range_role.as_ref().unwrap().column, ColumnRef::bare("date"));
     }
@@ -352,10 +348,8 @@ mod tests {
 
     #[test]
     fn opt_choice_in_where() {
-        let tree = merged(&[
-            "SELECT a FROM t WHERE x = 1",
-            "SELECT a FROM t WHERE x = 1 AND y = 2",
-        ]);
+        let tree =
+            merged(&["SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 1 AND y = 2"]);
         let cs = choices(&tree);
         assert_eq!(cs.len(), 1);
         let ChoiceKind::Opt { summary } = &cs[0].kind else { panic!() };

@@ -193,12 +193,10 @@ mod tests {
             "SELECT a, count(*) FROM t GROUP BY a",
         ]);
         for q in &queries {
-            let b = expresses(&tree, q).unwrap_or_else(|| panic!("cannot express {q}\n{}", tree.root));
+            let b =
+                expresses(&tree, q).unwrap_or_else(|| panic!("cannot express {q}\n{}", tree.root));
             let lowered = lower_query(&tree, &b).unwrap();
-            assert_eq!(
-                pi2_sql::normalize::normalized(&lowered),
-                pi2_sql::normalize::normalized(q)
-            );
+            assert_eq!(pi2_sql::normalize::normalized(&lowered), pi2_sql::normalize::normalized(q));
         }
     }
 
@@ -209,7 +207,11 @@ mod tests {
             "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
         ]);
         assert!(expresses(&tree, &parse_query("SELECT z FROM other").unwrap()).is_none());
-        assert!(expresses(&tree, &parse_query("SELECT p, count(*) FROM t WHERE a = 99 GROUP BY p").unwrap()).is_none());
+        assert!(expresses(
+            &tree,
+            &parse_query("SELECT p, count(*) FROM t WHERE a = 99 GROUP BY p").unwrap()
+        )
+        .is_none());
     }
 
     #[test]
@@ -232,10 +234,8 @@ mod tests {
 
     #[test]
     fn opt_conjunct_matches_present_and_absent() {
-        let (tree, queries) = merged(&[
-            "SELECT a FROM t WHERE x = 1",
-            "SELECT a FROM t WHERE x = 1 AND y = 2",
-        ]);
+        let (tree, queries) =
+            merged(&["SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 1 AND y = 2"]);
         for q in &queries {
             assert!(expresses(&tree, q).is_some(), "cannot express {q}");
         }
@@ -267,10 +267,7 @@ mod tests {
         for q in &queries {
             let b = expresses(&tree, q).unwrap_or_else(|| panic!("cannot express {q}"));
             let lowered = lower_query(&tree, &b).unwrap();
-            assert_eq!(
-                pi2_sql::normalize::normalized(&lowered),
-                pi2_sql::normalize::normalized(q)
-            );
+            assert_eq!(pi2_sql::normalize::normalized(&lowered), pi2_sql::normalize::normalized(q));
         }
     }
 }

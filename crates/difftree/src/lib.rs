@@ -58,4 +58,7 @@ pub use lower::lower_query;
 pub use merge::merge_queries;
 pub use node::{DiffNode, DiffTree, Domain, NodeId, NodeKind};
 pub use rules::{all_rules, Rule, RuleApplication};
-pub use rules::{CollapseLiteralAny, ExpandAnyChild, FactorCommonHead, GeneralizeHoleDomain, ParameterizeLiteral, SortAnyChildren};
+pub use rules::{
+    CollapseLiteralAny, ExpandAnyChild, FactorCommonHead, GeneralizeHoleDomain,
+    ParameterizeLiteral, SortAnyChildren,
+};

@@ -18,20 +18,16 @@ pub fn lift_query(q: &Query, index: usize) -> DiffTree {
 
 /// Lift a query to a bare node (used recursively for subqueries).
 pub(crate) fn lift_query_node(q: &Query) -> DiffNode {
-    let projection = DiffNode::new(
-        NodeKind::Projection,
-        q.projection.iter().map(lift_select_item).collect(),
-    );
+    let projection =
+        DiffNode::new(NodeKind::Projection, q.projection.iter().map(lift_select_item).collect());
     let from = DiffNode::new(NodeKind::From, q.from.iter().map(lift_table_ref).collect());
     let where_node = DiffNode::new(
         NodeKind::Where,
         q.where_clause.as_ref().map(lift_conjuncts).unwrap_or_default(),
     );
     let group_by = DiffNode::new(NodeKind::GroupBy, q.group_by.iter().map(lift_expr).collect());
-    let having = DiffNode::new(
-        NodeKind::Having,
-        q.having.as_ref().map(lift_conjuncts).unwrap_or_default(),
-    );
+    let having =
+        DiffNode::new(NodeKind::Having, q.having.as_ref().map(lift_conjuncts).unwrap_or_default());
     let order_by = DiffNode::new(
         NodeKind::OrderBy,
         q.order_by
@@ -77,10 +73,8 @@ fn lift_table_ref(t: &TableRef) -> DiffNode {
             vec![lift_query_node(query)],
         ),
         TableRef::Join { left, right, kind, on } => {
-            let on_node = DiffNode::new(
-                NodeKind::On,
-                on.as_ref().map(lift_conjuncts).unwrap_or_default(),
-            );
+            let on_node =
+                DiffNode::new(NodeKind::On, on.as_ref().map(lift_conjuncts).unwrap_or_default());
             DiffNode::new(
                 NodeKind::Join { kind: *kind },
                 vec![lift_table_ref(left), lift_table_ref(right), on_node],
@@ -111,7 +105,9 @@ pub(crate) fn lift_expr(e: &Expr) -> DiffNode {
                 NodeKind::CaseBranches,
                 branches
                     .iter()
-                    .map(|(w, t)| DiffNode::new(NodeKind::CaseBranch, vec![lift_expr(w), lift_expr(t)]))
+                    .map(|(w, t)| {
+                        DiffNode::new(NodeKind::CaseBranch, vec![lift_expr(w), lift_expr(t)])
+                    })
                     .collect(),
             );
             let else_node = DiffNode::new(

@@ -49,7 +49,11 @@ fn resolve<'a>(node: &'a DiffNode, bindings: &Bindings) -> Result<Option<&'a Dif
                 None => 0,
             };
             let child = node.children.get(idx).ok_or_else(|| {
-                LowerError(format!("ANY node {}: pick {idx} out of range {}", node.id, node.children.len()))
+                LowerError(format!(
+                    "ANY node {}: pick {idx} out of range {}",
+                    node.id,
+                    node.children.len()
+                ))
             })?;
             resolve(child, bindings)
         }
@@ -86,7 +90,12 @@ fn lower_list<'a>(children: &'a [DiffNode], bindings: &Bindings) -> Result<Vec<&
 }
 
 /// Resolve a fixed-arity child (must be present).
-fn required<'a>(node: &'a DiffNode, idx: usize, bindings: &Bindings, what: &str) -> Result<&'a DiffNode> {
+fn required<'a>(
+    node: &'a DiffNode,
+    idx: usize,
+    bindings: &Bindings,
+    what: &str,
+) -> Result<&'a DiffNode> {
     let c = node
         .children
         .get(idx)
@@ -99,7 +108,10 @@ pub(crate) fn lower_query_node(node: &DiffNode, bindings: &Bindings) -> Result<Q
         return Err(LowerError(format!("expected Query node, got {:?}", node.kind)));
     };
     if node.children.len() != 8 {
-        return Err(LowerError(format!("Query node has {} slots, expected 8", node.children.len())));
+        return Err(LowerError(format!(
+            "Query node has {} slots, expected 8",
+            node.children.len()
+        )));
     }
     let mut q = Query::new();
     q.distinct = *distinct;
@@ -275,10 +287,17 @@ pub(crate) fn lower_expr(node: &DiffNode, bindings: &Bindings) -> Result<Expr> {
                 .ok_or_else(|| LowerError("IN list with no probe expression".into()))?;
             let list: Vec<Expr> =
                 rest.iter().map(|n| lower_expr(n, bindings)).collect::<Result<_>>()?;
-            Ok(Expr::InList { expr: Box::new(lower_expr(first, bindings)?), list, negated: *negated })
+            Ok(Expr::InList {
+                expr: Box::new(lower_expr(first, bindings)?),
+                list,
+                negated: *negated,
+            })
         }
         NodeKind::InSubquery { negated } => Ok(Expr::InSubquery {
-            expr: Box::new(lower_expr(required(node, 0, bindings, "in-subquery probe")?, bindings)?),
+            expr: Box::new(lower_expr(
+                required(node, 0, bindings, "in-subquery probe")?,
+                bindings,
+            )?),
             subquery: Box::new(lower_query_node(
                 required(node, 1, bindings, "in-subquery body")?,
                 bindings,
@@ -368,8 +387,7 @@ mod tests {
         let any_id = tree.choice_ids()[0];
         let q_default = lower_query(&tree, &Bindings::new()).unwrap();
         assert_eq!(q_default.to_string(), "SELECT p FROM t WHERE a = 1");
-        let q_second =
-            lower_query(&tree, &Bindings::new().with(any_id, Binding::Pick(1))).unwrap();
+        let q_second = lower_query(&tree, &Bindings::new().with(any_id, Binding::Pick(1))).unwrap();
         assert_eq!(q_second.to_string(), "SELECT p FROM t WHERE b = 2");
         // Out-of-range pick is an error.
         assert!(lower_query(&tree, &Bindings::new().with(any_id, Binding::Pick(5))).is_err());
@@ -387,7 +405,8 @@ mod tests {
 
         let on = lower_query(&tree, &Bindings::new()).unwrap();
         assert!(on.to_string().contains("b = 2"));
-        let off = lower_query(&tree, &Bindings::new().with(opt_id, Binding::Include(false))).unwrap();
+        let off =
+            lower_query(&tree, &Bindings::new().with(opt_id, Binding::Include(false))).unwrap();
         assert_eq!(off.to_string(), "SELECT p FROM t WHERE a = 1");
     }
 
@@ -407,11 +426,9 @@ mod tests {
 
         let q_default = lower_query(&tree, &Bindings::new()).unwrap();
         assert_eq!(q_default.to_string(), "SELECT p FROM t WHERE a = 1");
-        let q7 = lower_query(
-            &tree,
-            &Bindings::new().with(hole_id, Binding::Value(Literal::Int(7))),
-        )
-        .unwrap();
+        let q7 =
+            lower_query(&tree, &Bindings::new().with(hole_id, Binding::Value(Literal::Int(7))))
+                .unwrap();
         assert_eq!(q7.to_string(), "SELECT p FROM t WHERE a = 7");
         // Out-of-domain value is rejected.
         assert!(lower_query(

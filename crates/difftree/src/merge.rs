@@ -211,8 +211,10 @@ fn pair_cost(a: &DiffNode, b: &DiffNode) -> f64 {
     if matches!(b.kind, NodeKind::Any) {
         return pair_cost(b, a);
     }
-    if matches!((&a.kind, &b.kind), (NodeKind::Hole { .. }, NodeKind::Lit(_)) | (NodeKind::Lit(_), NodeKind::Hole { .. }))
-    {
+    if matches!(
+        (&a.kind, &b.kind),
+        (NodeKind::Hole { .. }, NodeKind::Lit(_)) | (NodeKind::Lit(_), NodeKind::Hole { .. })
+    ) {
         return 0.1;
     }
     if a.kind == b.kind {
@@ -378,10 +380,8 @@ mod tests {
 
     #[test]
     fn added_conjunct_becomes_opt() {
-        let t = merge_sql(&[
-            "SELECT a FROM t WHERE x = 1",
-            "SELECT a FROM t WHERE x = 1 AND y = 2",
-        ]);
+        let t =
+            merge_sql(&["SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 1 AND y = 2"]);
         let where_node = &t.root.children[2];
         assert_eq!(where_node.children.len(), 2);
         let opts = where_node.children.iter().filter(|c| matches!(c.kind, NodeKind::Opt)).count();

@@ -384,7 +384,9 @@ impl DiffNode {
                 let opts: Vec<String> = self.children.iter().map(|c| c.summary()).collect();
                 format!("⟨{}⟩", opts.join(" | "))
             }
-            NodeKind::Opt => format!("[{}]", self.children.first().map(|c| c.summary()).unwrap_or_default()),
+            NodeKind::Opt => {
+                format!("[{}]", self.children.first().map(|c| c.summary()).unwrap_or_default())
+            }
             NodeKind::Unary(UnaryOp::Not) => {
                 format!("NOT {}", self.children.first().map(|c| c.summary()).unwrap_or_default())
             }
@@ -408,7 +410,8 @@ impl DiffNode {
             }
             NodeKind::InList { negated } => {
                 let e = self.children.first().map(|c| c.summary()).unwrap_or_default();
-                let items: Vec<String> = self.children.iter().skip(1).map(|c| c.summary()).collect();
+                let items: Vec<String> =
+                    self.children.iter().skip(1).map(|c| c.summary()).collect();
                 format!("{e} {}IN ({})", if *negated { "NOT " } else { "" }, items.join(", "))
             }
             NodeKind::InSubquery { negated } => {
@@ -572,7 +575,10 @@ mod tests {
     fn renumber_assigns_unique_ids() {
         let n = DiffNode::new(
             NodeKind::Any,
-            vec![DiffNode::leaf(NodeKind::Lit(Literal::Int(1))), DiffNode::leaf(NodeKind::Lit(Literal::Int(2)))],
+            vec![
+                DiffNode::leaf(NodeKind::Lit(Literal::Int(1))),
+                DiffNode::leaf(NodeKind::Lit(Literal::Int(2))),
+            ],
         );
         let t = DiffTree::new(n, vec![0]);
         let mut ids = Vec::new();

@@ -12,7 +12,10 @@ use pi2_engine::{Catalog, Value};
 use pi2_sql::Literal;
 
 /// A tree transformation rule.
-pub trait Rule {
+///
+/// `Send + Sync` so rule sets can be shared by the parallel interface
+/// search's worker threads.
+pub trait Rule: Send + Sync {
     /// Stable rule name (used in traces and ablation benches).
     fn name(&self) -> &'static str;
     /// Node ids at which this rule currently applies.
@@ -89,7 +92,11 @@ pub fn applications(rules: &[Box<dyn Rule>], tree: &DiffTree) -> Vec<RuleApplica
         .collect()
 }
 
-fn rewrite_at(tree: &DiffTree, loc: NodeId, f: impl FnOnce(&DiffNode) -> Option<DiffNode>) -> Option<DiffTree> {
+fn rewrite_at(
+    tree: &DiffTree,
+    loc: NodeId,
+    f: impl FnOnce(&DiffNode) -> Option<DiffNode>,
+) -> Option<DiffTree> {
     let mut new = tree.clone();
     let node = new.root.find_mut(loc)?;
     let replacement = f(node)?;
@@ -182,9 +189,7 @@ impl FactorCommonHead {
         if head.kind.is_choice() || head.children.is_empty() {
             return false;
         }
-        node.children
-            .iter()
-            .all(|c| c.kind == head.kind && c.children.len() == head.children.len())
+        node.children.iter().all(|c| c.kind == head.kind && c.children.len() == head.children.len())
     }
 }
 
@@ -245,10 +250,9 @@ impl ExpandAnyChild {
     fn matches(node: &DiffNode) -> bool {
         !node.kind.is_choice()
             && !matches!(node.kind, NodeKind::Query { .. })
-            && node
-                .children
-                .iter()
-                .any(|c| matches!(c.kind, NodeKind::Any) && c.children.len() <= EXPAND_MAX_ALTERNATIVES)
+            && node.children.iter().any(|c| {
+                matches!(c.kind, NodeKind::Any) && c.children.len() <= EXPAND_MAX_ALTERNATIVES
+            })
     }
 }
 
@@ -272,10 +276,9 @@ impl Rule for ExpandAnyChild {
             if !Self::matches(node) {
                 return None;
             }
-            let any_pos = node
-                .children
-                .iter()
-                .position(|c| matches!(c.kind, NodeKind::Any) && c.children.len() <= EXPAND_MAX_ALTERNATIVES)?;
+            let any_pos = node.children.iter().position(|c| {
+                matches!(c.kind, NodeKind::Any) && c.children.len() <= EXPAND_MAX_ALTERNATIVES
+            })?;
             let alternatives = node.children[any_pos].children.clone();
             let mut any = DiffNode::new(NodeKind::Any, Vec::new());
             for alt in alternatives {
@@ -306,10 +309,7 @@ impl Rule for SortAnyChildren {
         let mut out = Vec::new();
         tree.root.walk(&mut |n| {
             if matches!(n.kind, NodeKind::Any) {
-                let sorted = n
-                    .children
-                    .windows(2)
-                    .all(|w| w[0].summary() <= w[1].summary());
+                let sorted = n.children.windows(2).all(|w| w[0].summary() <= w[1].summary());
                 if !sorted {
                     out.push(n.id);
                 }
@@ -388,13 +388,10 @@ impl Rule for ParameterizeLiteral {
         let mut source_column = None;
         tree.root.walk(&mut |n| {
             if n.children.iter().any(|c| c.id == loc) {
-                source_column = n
-                    .children
-                    .iter()
-                    .find_map(|c| match &c.kind {
-                        NodeKind::Column(col) => Some(col.clone()),
-                        _ => None,
-                    });
+                source_column = n.children.iter().find_map(|c| match &c.kind {
+                    NodeKind::Column(col) => Some(col.clone()),
+                    _ => None,
+                });
             }
         });
         rewrite_at(tree, loc, |node| {
@@ -423,20 +420,23 @@ pub struct GeneralizeHoleDomain {
 impl GeneralizeHoleDomain {
     /// Find statistics for `column` in any table of the catalog that the
     /// tree references.
-    fn stats_for(&self, tree: &DiffTree, column: &pi2_sql::ColumnRef) -> Option<pi2_engine::ColumnStats> {
+    fn stats_for(
+        &self,
+        tree: &DiffTree,
+        column: &pi2_sql::ColumnRef,
+    ) -> Option<pi2_engine::ColumnStats> {
         let mut tables: Vec<String> = Vec::new();
         tree.root.walk(&mut |n| {
             if let NodeKind::TableNamed { name, .. } = &n.kind {
                 tables.push(name.clone());
             }
         });
-        tables
-            .iter()
-            .find_map(|t| self.catalog.column_stats(t, &column.column))
+        tables.iter().find_map(|t| self.catalog.column_stats(t, &column.column))
     }
 
     fn widened(&self, tree: &DiffTree, node: &DiffNode) -> Option<Domain> {
-        let NodeKind::Hole { domain: Domain::Discrete(items), source_column: Some(col), .. } = &node.kind
+        let NodeKind::Hole { domain: Domain::Discrete(items), source_column: Some(col), .. } =
+            &node.kind
         else {
             return None;
         };
@@ -473,15 +473,16 @@ impl Rule for GeneralizeHoleDomain {
     fn applications(&self, tree: &DiffTree) -> Vec<NodeId> {
         let mut candidates = Vec::new();
         tree.root.walk(&mut |n| {
-            if matches!(&n.kind, NodeKind::Hole { domain: Domain::Discrete(_), source_column: Some(_), .. }) {
+            if matches!(
+                &n.kind,
+                NodeKind::Hole { domain: Domain::Discrete(_), source_column: Some(_), .. }
+            ) {
                 candidates.push(n.id);
             }
         });
         candidates
             .into_iter()
-            .filter(|id| {
-                tree.root.find(*id).and_then(|n| self.widened(tree, n)).is_some()
-            })
+            .filter(|id| tree.root.find(*id).and_then(|n| self.widened(tree, n)).is_some())
             .collect()
     }
 
@@ -515,10 +516,8 @@ mod tests {
 
     #[test]
     fn collapse_literal_any_creates_hole() {
-        let (tree, queries) = merged(&[
-            "SELECT p FROM t WHERE a = 1",
-            "SELECT p FROM t WHERE a = 2",
-        ]);
+        let (tree, queries) =
+            merged(&["SELECT p FROM t WHERE a = 1", "SELECT p FROM t WHERE a = 2"]);
         let rule = CollapseLiteralAny;
         let apps = rule.applications(&tree);
         assert_eq!(apps.len(), 1);
@@ -541,10 +540,8 @@ mod tests {
     #[test]
     fn factor_common_head_splits_predicate_any() {
         // Build the unfactored ANY(a=1, b=2) via expand, then factor back.
-        let (tree, queries) = merged(&[
-            "SELECT p FROM t WHERE a = 1",
-            "SELECT p FROM t WHERE b = 2",
-        ]);
+        let (tree, queries) =
+            merged(&["SELECT p FROM t WHERE a = 1", "SELECT p FROM t WHERE b = 2"]);
         // The merge already factors; expand to get Figure 3a's shape.
         let expand = ExpandAnyChild;
         let apps = expand.applications(&tree);
@@ -555,7 +552,9 @@ mod tests {
             let mut found = false;
             unfactored.root.walk(&mut |n| {
                 if matches!(n.kind, NodeKind::Any)
-                    && n.children.iter().all(|c| matches!(c.kind, NodeKind::Binary(pi2_sql::BinaryOp::Eq)))
+                    && n.children
+                        .iter()
+                        .all(|c| matches!(c.kind, NodeKind::Binary(pi2_sql::BinaryOp::Eq)))
                     && n.children.len() == 2
                 {
                     found = true;
@@ -608,10 +607,7 @@ mod tests {
 
     #[test]
     fn sort_any_children_canonicalizes() {
-        let (tree, _) = merged(&[
-            "SELECT p FROM t WHERE b = 2",
-            "SELECT p FROM t WHERE a = 1",
-        ]);
+        let (tree, _) = merged(&["SELECT p FROM t WHERE b = 2", "SELECT p FROM t WHERE a = 1"]);
         let rule = SortAnyChildren;
         let apps = rule.applications(&tree);
         if let Some(&loc) = apps.first() {
@@ -623,10 +619,8 @@ mod tests {
     #[test]
     fn generalize_hole_domain_uses_catalog_stats() {
         let catalog = pi2_datasets::toy::default_catalog();
-        let (tree, queries) = merged(&[
-            "SELECT p FROM t WHERE a = 1",
-            "SELECT p FROM t WHERE a = 2",
-        ]);
+        let (tree, queries) =
+            merged(&["SELECT p FROM t WHERE a = 1", "SELECT p FROM t WHERE a = 2"]);
         let collapse = CollapseLiteralAny;
         let tree = collapse.apply(&tree, collapse.applications(&tree)[0]).unwrap();
         let rule = GeneralizeHoleDomain { catalog };
@@ -651,10 +645,7 @@ mod tests {
 
     #[test]
     fn collapse_then_lower_uses_default() {
-        let (tree, _) = merged(&[
-            "SELECT p FROM t WHERE a = 1",
-            "SELECT p FROM t WHERE a = 2",
-        ]);
+        let (tree, _) = merged(&["SELECT p FROM t WHERE a = 1", "SELECT p FROM t WHERE a = 2"]);
         let rule = CollapseLiteralAny;
         let new = rule.apply(&tree, rule.applications(&tree)[0]).unwrap();
         let q = lower_query(&new, &Bindings::new()).unwrap();

@@ -2,7 +2,10 @@
 //! paper's V3 shape (a plain query merged with a join + correlated-filter
 //! query).
 
-use pi2_difftree::{choices, default_bindings, expresses, lower_query, merge_queries, ChoiceKind, DiffForest, NodeKind};
+use pi2_difftree::{
+    choices, default_bindings, expresses, lower_query, merge_queries, ChoiceKind, DiffForest,
+    NodeKind,
+};
 use pi2_sql::{normalize, parse_query, Query};
 
 fn q(sql: &str) -> Query {
@@ -60,8 +63,10 @@ fn correlated_subquery_variation_merges_inside_subquery() {
 
 #[test]
 fn derived_table_queries_merge() {
-    let a = q("SELECT s.total FROM (SELECT sum(cases) AS total FROM covid WHERE state = 'NY') AS s");
-    let b = q("SELECT s.total FROM (SELECT sum(cases) AS total FROM covid WHERE state = 'FL') AS s");
+    let a =
+        q("SELECT s.total FROM (SELECT sum(cases) AS total FROM covid WHERE state = 'NY') AS s");
+    let b =
+        q("SELECT s.total FROM (SELECT sum(cases) AS total FROM covid WHERE state = 'FL') AS s");
     let tree = merge_queries(&[(0, &a), (1, &b)]);
     assert_eq!(tree.root.choice_count(), 1, "{}", tree.root);
     assert!(expresses(&tree, &a).is_some());

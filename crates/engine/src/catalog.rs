@@ -16,6 +16,9 @@ use std::sync::Arc;
 /// search re-evaluates the same default instantiations constantly).
 const QUERY_CACHE_CAP: usize = 4096;
 
+/// Shared result cache keyed by (catalog version, query structural hash).
+type QueryCache = HashMap<(u64, u64), Arc<ResultSet>>;
+
 /// A collection of named tables plus the query entry point.
 ///
 /// Table lookup is case-insensitive. Tables are stored behind `Arc` so that
@@ -32,7 +35,7 @@ pub struct Catalog {
     /// every cache key so clones that diverge (one registers a new table)
     /// can keep sharing the cache soundly.
     version: u64,
-    cache: Arc<Mutex<HashMap<(u64, u64), Arc<ResultSet>>>>,
+    cache: Arc<Mutex<QueryCache>>,
 }
 
 /// Source of globally-unique catalog versions (see [`Catalog::register`]).
@@ -109,10 +112,8 @@ mod tests {
 
     fn demo_catalog() -> Catalog {
         let mut c = Catalog::new();
-        let mut t = Table::builder("T")
-            .column("a", DataType::Int)
-            .column("b", DataType::Str)
-            .build();
+        let mut t =
+            Table::builder("T").column("a", DataType::Int).column("b", DataType::Str).build();
         t.push_row(vec![Value::Int(1), Value::str("x")]).unwrap();
         c.register(t);
         c

@@ -16,6 +16,9 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+/// Memo of subquery executions, keyed by (query hash, free-variable values).
+type SubqueryMemo = HashMap<(u64, Vec<Value>), Rc<ResultSet>>;
+
 /// One field of an intermediate relation: the visible qualifier (table name
 /// or alias), the column name, and its type.
 #[derive(Debug, Clone)]
@@ -104,7 +107,7 @@ pub struct ExecCtx<'c> {
     /// Catalog.
     pub catalog: &'c Catalog,
     /// Memo for subquery executions, keyed by (query hash, free-var values).
-    pub(crate) memo: RefCell<HashMap<(u64, Vec<Value>), Rc<ResultSet>>>,
+    pub(crate) memo: RefCell<SubqueryMemo>,
     /// Cache of each subquery's free variables, keyed by query hash.
     pub(crate) free_vars: RefCell<HashMap<u64, Rc<Vec<ColumnRef>>>>,
 }
@@ -112,7 +115,11 @@ pub struct ExecCtx<'c> {
 impl<'c> ExecCtx<'c> {
     /// Create a fresh context for one top-level query execution.
     pub fn new(catalog: &'c Catalog) -> Self {
-        Self { catalog, memo: RefCell::new(HashMap::new()), free_vars: RefCell::new(HashMap::new()) }
+        Self {
+            catalog,
+            memo: RefCell::new(HashMap::new()),
+            free_vars: RefCell::new(HashMap::new()),
+        }
     }
 
     /// Evaluate `expr` in `scope`.
@@ -120,9 +127,7 @@ impl<'c> ExecCtx<'c> {
         match expr {
             Expr::Column(c) => scope.lookup(c),
             Expr::Literal(l) => Ok(Value::from_literal(l)),
-            Expr::Wildcard => {
-                Err(EngineError::Unsupported("bare * outside count(*)".into()))
-            }
+            Expr::Wildcard => Err(EngineError::Unsupported("bare * outside count(*)".into())),
             Expr::Unary { op, expr } => {
                 let v = self.eval(expr, scope)?;
                 match op {
@@ -264,7 +269,9 @@ impl<'c> ExecCtx<'c> {
                 match result.rows.len() {
                     0 => Ok(Value::Null),
                     1 => Ok(result.rows[0][0].clone()),
-                    n => Err(EngineError::ScalarSubquery(format!("scalar subquery returned {n} rows"))),
+                    n => Err(EngineError::ScalarSubquery(format!(
+                        "scalar subquery returned {n} rows"
+                    ))),
                 }
             }
             Expr::IsNull { expr, negated } => {
@@ -276,14 +283,22 @@ impl<'c> ExecCtx<'c> {
                 let p = self.eval(pattern, scope)?;
                 match (v, p) {
                     (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                    (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(like_match(&p, &s) != *negated)),
+                    (Value::Str(s), Value::Str(p)) => {
+                        Ok(Value::Bool(like_match(&p, &s) != *negated))
+                    }
                     (a, b) => Err(EngineError::TypeMismatch(format!("{a} LIKE {b}"))),
                 }
             }
         }
     }
 
-    fn eval_binary(&self, left: &Expr, op: BinaryOp, right: &Expr, scope: &Scope<'_>) -> Result<Value> {
+    fn eval_binary(
+        &self,
+        left: &Expr,
+        op: BinaryOp,
+        right: &Expr,
+        scope: &Scope<'_>,
+    ) -> Result<Value> {
         // AND/OR use SQL three-valued logic with short-circuiting where the
         // truth value is already determined.
         match op {
@@ -557,9 +572,13 @@ mod tests {
     #[test]
     fn date_arithmetic() {
         let d = Value::date("2021-12-30");
-        assert_eq!(arithmetic(d.clone(), BinaryOp::Add, Value::Int(3)).unwrap(), Value::date("2022-01-02"));
         assert_eq!(
-            arithmetic(Value::date("2022-01-02"), BinaryOp::Sub, Value::date("2021-12-30")).unwrap(),
+            arithmetic(d.clone(), BinaryOp::Add, Value::Int(3)).unwrap(),
+            Value::date("2022-01-02")
+        );
+        assert_eq!(
+            arithmetic(Value::date("2022-01-02"), BinaryOp::Sub, Value::date("2021-12-30"))
+                .unwrap(),
             Value::Int(3)
         );
     }

@@ -13,8 +13,8 @@ use crate::schema::{Field, Schema};
 use crate::value::{DataType, Value};
 use pi2_sql::visit::walk_expr;
 use pi2_sql::{
-    is_aggregate_function, BinaryOp, ColumnRef, Expr, JoinKind, Literal, Query, SelectItem, SortDir,
-    TableRef, UnaryOp,
+    is_aggregate_function, BinaryOp, ColumnRef, Expr, JoinKind, Literal, Query, SelectItem,
+    SortDir, TableRef, UnaryOp,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -54,7 +54,9 @@ impl<'c> ExecCtx<'c> {
         // Static output schema; refined from values after execution.
         let mut out_fields: Vec<Field> = items
             .iter()
-            .map(|(expr, alias)| Field::new(output_name(expr, alias), infer_type(expr, &input.schema)))
+            .map(|(expr, alias)| {
+                Field::new(output_name(expr, alias), infer_type(expr, &input.schema))
+            })
             .collect();
 
         // Evaluate rows (+ ORDER BY keys alongside).
@@ -210,9 +212,9 @@ impl<'c> ExecCtx<'c> {
         if name == "count" && matches!(args.first(), Some(Expr::Wildcard)) {
             return Ok(Value::Int(group_rows.len() as i64));
         }
-        let arg = args.first().ok_or_else(|| {
-            EngineError::BadFunction(format!("{name}() requires an argument"))
-        })?;
+        let arg = args
+            .first()
+            .ok_or_else(|| EngineError::BadFunction(format!("{name}() requires an argument")))?;
         let mut vals: Vec<Value> = Vec::with_capacity(group_rows.len());
         for row in group_rows {
             let scope = Scope { schema, row, parent: outer, aggs: None };
@@ -418,7 +420,8 @@ impl<'c> ExecCtx<'c> {
                     }
                     if !matched && kind == JoinKind::Left {
                         let mut combined = lrow.clone();
-                        combined.extend(std::iter::repeat_n(Value::Null, right.schema.fields.len()));
+                        combined
+                            .extend(std::iter::repeat_n(Value::Null, right.schema.fields.len()));
                         out_rows.push(combined);
                     }
                 }
@@ -438,7 +441,8 @@ impl<'c> ExecCtx<'c> {
                     }
                     if !matched && kind == JoinKind::Left {
                         let mut combined = lrow.clone();
-                        combined.extend(std::iter::repeat_n(Value::Null, right.schema.fields.len()));
+                        combined
+                            .extend(std::iter::repeat_n(Value::Null, right.schema.fields.len()));
                         out_rows.push(combined);
                     }
                 }

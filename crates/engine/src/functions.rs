@@ -4,8 +4,10 @@ use crate::error::{EngineError, Result};
 use crate::value::Value;
 
 /// Names of the scalar (non-aggregate) functions the engine implements.
-pub const SCALAR_FUNCTIONS: &[&str] =
-    &["abs", "round", "floor", "ceil", "lower", "upper", "length", "coalesce", "substr", "year", "month", "day"];
+pub const SCALAR_FUNCTIONS: &[&str] = &[
+    "abs", "round", "floor", "ceil", "lower", "upper", "length", "coalesce", "substr", "year",
+    "month", "day",
+];
 
 /// Is `name` a known scalar function?
 pub fn is_scalar_function(name: &str) -> bool {
@@ -18,7 +20,10 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
         if args.len() == n {
             Ok(())
         } else {
-            Err(EngineError::BadFunction(format!("{name} expects {n} argument(s), got {}", args.len())))
+            Err(EngineError::BadFunction(format!(
+                "{name} expects {n} argument(s), got {}",
+                args.len()
+            )))
         }
     };
     // NULL in, NULL out — except coalesce, which exists to absorb NULLs.
@@ -108,7 +113,9 @@ pub fn eval_scalar(name: &str, args: &[Value]) -> Result<Value> {
             let begin = (start - 1).max(0) as usize;
             let len = match args.get(2) {
                 Some(Value::Int(l)) => (*l).max(0) as usize,
-                Some(other) => return Err(EngineError::TypeMismatch(format!("substr(_, _, {other})"))),
+                Some(other) => {
+                    return Err(EngineError::TypeMismatch(format!("substr(_, _, {other})")))
+                }
                 None => chars.len().saturating_sub(begin),
             };
             Ok(Value::Str(chars.iter().skip(begin).take(len).collect()))
@@ -140,7 +147,10 @@ mod tests {
         assert_eq!(eval_scalar("abs", &[Value::Int(-3)]).unwrap(), Value::Int(3));
         assert_eq!(eval_scalar("abs", &[Value::Float(-2.5)]).unwrap(), Value::Float(2.5));
         assert_eq!(eval_scalar("round", &[Value::Float(2.6)]).unwrap(), Value::Float(3.0));
-        assert_eq!(eval_scalar("round", &[Value::Float(2.345), Value::Int(2)]).unwrap(), Value::Float(2.35));
+        assert_eq!(
+            eval_scalar("round", &[Value::Float(2.345), Value::Int(2)]).unwrap(),
+            Value::Float(2.35)
+        );
     }
 
     #[test]
@@ -152,14 +162,17 @@ mod tests {
             eval_scalar("substr", &[Value::str("hello"), Value::Int(2), Value::Int(3)]).unwrap(),
             Value::str("ell")
         );
-        assert_eq!(eval_scalar("substr", &[Value::str("hello"), Value::Int(3)]).unwrap(), Value::str("llo"));
+        assert_eq!(
+            eval_scalar("substr", &[Value::str("hello"), Value::Int(3)]).unwrap(),
+            Value::str("llo")
+        );
     }
 
     #[test]
     fn date_parts() {
         let d = Value::date("2021-12-25");
-        assert_eq!(eval_scalar("year", &[d.clone()]).unwrap(), Value::Int(2021));
-        assert_eq!(eval_scalar("month", &[d.clone()]).unwrap(), Value::Int(12));
+        assert_eq!(eval_scalar("year", std::slice::from_ref(&d)).unwrap(), Value::Int(2021));
+        assert_eq!(eval_scalar("month", std::slice::from_ref(&d)).unwrap(), Value::Int(12));
         assert_eq!(eval_scalar("day", &[d]).unwrap(), Value::Int(25));
     }
 

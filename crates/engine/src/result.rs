@@ -42,11 +42,8 @@ impl ResultSet {
     pub fn to_ascii_table(&self) -> String {
         let headers: Vec<String> = self.schema.fields.iter().map(|f| f.name.clone()).collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-        let cells: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
-            .collect();
+        let cells: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(|v| v.to_string()).collect()).collect();
         for row in &cells {
             for (i, c) in row.iter().enumerate() {
                 widths[i] = widths[i].max(c.len());

@@ -59,7 +59,10 @@ mod tests {
 
     #[test]
     fn index_of_is_case_insensitive() {
-        let s = Schema::new(vec![Field::new("Ra", DataType::Float), Field::new("dec", DataType::Float)]);
+        let s = Schema::new(vec![
+            Field::new("Ra", DataType::Float),
+            Field::new("dec", DataType::Float),
+        ]);
         assert_eq!(s.index_of("ra"), Some(0));
         assert_eq!(s.index_of("DEC"), Some(1));
         assert_eq!(s.index_of("nope"), None);

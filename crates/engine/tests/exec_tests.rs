@@ -27,8 +27,10 @@ fn fixture() -> Catalog {
     }
     catalog.register(covid);
 
-    let mut regions =
-        Table::builder("regions").column("state", DataType::Str).column("region", DataType::Str).build();
+    let mut regions = Table::builder("regions")
+        .column("state", DataType::Str)
+        .column("region", DataType::Str)
+        .build();
     for (s, r) in [("NY", "Northeast"), ("VT", "Northeast"), ("FL", "South")] {
         regions.push_row(vec![Value::str(s), Value::str(r)]).unwrap();
     }
@@ -78,7 +80,8 @@ fn arithmetic_projection_types() {
 #[test]
 fn group_by_aggregates() {
     let c = fixture();
-    let r = run(&c, "SELECT state, sum(cases) AS total FROM covid GROUP BY state ORDER BY total DESC");
+    let r =
+        run(&c, "SELECT state, sum(cases) AS total FROM covid GROUP BY state ORDER BY total DESC");
     assert_eq!(r.rows.len(), 3);
     assert_eq!(r.rows[0], vec![Value::str("NY"), Value::Int(450)]);
     assert_eq!(r.rows[1], vec![Value::str("FL"), Value::Int(330)]);
@@ -115,7 +118,8 @@ fn group_by_empty_group_vanishes() {
 #[test]
 fn having_filters_groups() {
     let c = fixture();
-    let r = run(&c, "SELECT state FROM covid GROUP BY state HAVING sum(cases) > 100 ORDER BY state");
+    let r =
+        run(&c, "SELECT state FROM covid GROUP BY state HAVING sum(cases) > 100 ORDER BY state");
     assert_eq!(r.rows, vec![vec![Value::str("FL")], vec![Value::str("NY")]]);
 }
 
@@ -131,7 +135,10 @@ fn inner_join_hash_path() {
     let c = fixture();
     let r = run(&c, "SELECT c.state, r.region FROM covid c JOIN regions r ON c.state = r.state WHERE c.cases > 100");
     assert_eq!(r.rows.len(), 3);
-    assert!(r.rows.iter().all(|row| row[1] == Value::str("Northeast") || row[1] == Value::str("South")));
+    assert!(r
+        .rows
+        .iter()
+        .all(|row| row[1] == Value::str("Northeast") || row[1] == Value::str("South")));
 }
 
 #[test]
@@ -313,7 +320,10 @@ fn case_expression() {
 #[test]
 fn like_and_in_list() {
     let c = fixture();
-    let r = run(&c, "SELECT DISTINCT state FROM covid WHERE state LIKE 'N%' OR state IN ('VT')  ORDER BY state");
+    let r = run(
+        &c,
+        "SELECT DISTINCT state FROM covid WHERE state LIKE 'N%' OR state IN ('VT')  ORDER BY state",
+    );
     assert_eq!(r.rows, vec![vec![Value::str("NY")], vec![Value::str("VT")]]);
 }
 
@@ -408,7 +418,10 @@ fn group_by_groups_nulls_together() {
 #[test]
 fn result_schema_types_inferred() {
     let c = fixture();
-    let r = run(&c, "SELECT date, state, cases, avg(cases) AS m FROM covid GROUP BY date, state, cases LIMIT 1");
+    let r = run(
+        &c,
+        "SELECT date, state, cases, avg(cases) AS m FROM covid GROUP BY date, state, cases LIMIT 1",
+    );
     let types: Vec<DataType> = r.schema.fields.iter().map(|f| f.data_type).collect();
     assert_eq!(types, vec![DataType::Date, DataType::Str, DataType::Int, DataType::Float]);
 }

@@ -21,7 +21,10 @@
 
 use crate::model::*;
 use crate::schema::{analyze, FieldInfo};
-use pi2_difftree::{choices::choices, default_bindings, lower_query, Bindings, Choice, ChoiceKind, Clause, DiffForest, Domain};
+use pi2_difftree::{
+    choices::choices, default_bindings, lower_query, Bindings, Choice, ChoiceKind, Clause,
+    DiffForest, Domain,
+};
 use pi2_engine::{Catalog, ResultSet};
 use std::collections::HashSet;
 use std::fmt;
@@ -117,9 +120,15 @@ pub fn map_forest(
     let mut out = Vec::new();
     let modes: &[bool] = if cfg.enumerate_variants { &[true, false] } else { &[true] };
     for &viz_interactions in modes {
-        let (charts, widgets) = map_interactions(forest, &analyses, charts_base.clone(), viz_interactions);
+        let (charts, widgets) =
+            map_interactions(forest, &analyses, charts_base.clone(), viz_interactions);
         for layout in layout_variants(&charts, &widgets, cfg.screen) {
-            let iface = Interface { charts: charts.clone(), widgets: widgets.clone(), layout, screen: cfg.screen };
+            let iface = Interface {
+                charts: charts.clone(),
+                widgets: widgets.clone(),
+                layout,
+                screen: cfg.screen,
+            };
             if !out.contains(&iface) {
                 out.push(iface);
             }
@@ -132,13 +141,19 @@ pub fn map_forest(
 /// because the Lux-style baseline uses the same recommendation heuristic
 /// on single results.
 pub fn choose_chart(fields: &[FieldInfo]) -> (Mark, Vec<Encoding>) {
-    let enc = |f: &FieldInfo, channel| Encoding { channel, field: f.name.clone(), field_type: f.field_type };
+    let enc = |f: &FieldInfo, channel| Encoding {
+        channel,
+        field: f.name.clone(),
+        field_type: f.field_type,
+    };
 
     // Pick an x axis: temporal > low-cardinality nominal > ordinal > quantitative.
     let x_idx = fields
         .iter()
         .position(|f| f.field_type == FieldType::Temporal)
-        .or_else(|| fields.iter().position(|f| f.field_type == FieldType::Nominal && f.distinct <= 30))
+        .or_else(|| {
+            fields.iter().position(|f| f.field_type == FieldType::Nominal && f.distinct <= 30)
+        })
         .or_else(|| fields.iter().position(|f| f.field_type == FieldType::Ordinal))
         .or_else(|| fields.iter().position(|f| f.field_type == FieldType::Quantitative));
     let Some(x_idx) = x_idx else {
@@ -155,7 +170,10 @@ pub fn choose_chart(fields: &[FieldInfo]) -> (Mark, Vec<Encoding>) {
         .or_else(|| {
             fields.iter().enumerate().position(|(i, f)| {
                 i != x_idx
-                    && matches!(f.data_type, pi2_engine::DataType::Int | pi2_engine::DataType::Float)
+                    && matches!(
+                        f.data_type,
+                        pi2_engine::DataType::Int | pi2_engine::DataType::Float
+                    )
             })
         });
     let Some(y_idx) = y_idx else {
@@ -223,10 +241,11 @@ fn map_interactions(
     let mut widgets: Vec<Widget> = Vec::new();
     let mut consumed: HashSet<Target> = HashSet::new();
     let mut widget_id = 0;
-    let mut push_widget = |widgets: &mut Vec<Widget>, label: String, kind: WidgetKind, targets: Vec<Target>| {
-        widgets.push(Widget { id: widget_id, label, kind, targets });
-        widget_id += 1;
-    };
+    let mut push_widget =
+        |widgets: &mut Vec<Widget>, label: String, kind: WidgetKind, targets: Vec<Target>| {
+            widgets.push(Widget { id: widget_id, label, kind, targets });
+            widget_id += 1;
+        };
 
     for (ti, analysis) in analyses.iter().enumerate() {
         for c in &analysis.choices {
@@ -261,11 +280,14 @@ fn map_interactions(
                                 if ci == ti {
                                     continue;
                                 }
-                                if axis_field(chart, Channel::X).is_some_and(|f| f.eq_ignore_ascii_case(col)) {
+                                if axis_field(chart, Channel::X)
+                                    .is_some_and(|f| f.eq_ignore_ascii_case(col))
+                                {
                                     let extent = x_extent(chart, &analyses[chart.tree]);
                                     let rows = analyses[chart.tree].result.len();
-                                    if best.is_none_or(|(_, (e, r))| extent > e || (extent == e && rows > r))
-                                    {
+                                    if best.is_none_or(|(_, (e, r))| {
+                                        extent > e || (extent == e && rows > r)
+                                    }) {
                                         best = Some((ci, (extent, rows)));
                                     }
                                 }
@@ -280,11 +302,15 @@ fn map_interactions(
                             }
                             // Own chart's axis → pan/zoom (Figure 1c).
                             let own = charts[ti].clone();
-                            if axis_field(&own, Channel::X).is_some_and(|f| f.eq_ignore_ascii_case(col)) {
+                            if axis_field(&own, Channel::X)
+                                .is_some_and(|f| f.eq_ignore_ascii_case(col))
+                            {
                                 attach_panzoom(&mut charts[ti], true, (target, partner), col);
                                 continue;
                             }
-                            if axis_field(&own, Channel::Y).is_some_and(|f| f.eq_ignore_ascii_case(col)) {
+                            if axis_field(&own, Channel::Y)
+                                .is_some_and(|f| f.eq_ignore_ascii_case(col))
+                            {
                                 attach_panzoom(&mut charts[ti], false, (target, partner), col);
                                 continue;
                             }
@@ -361,7 +387,12 @@ fn map_interactions(
                                     vec![target],
                                 );
                             } else {
-                                push_widget(&mut widgets, label, WidgetKind::TextInput, vec![target]);
+                                push_widget(
+                                    &mut widgets,
+                                    label,
+                                    WidgetKind::TextInput,
+                                    vec![target],
+                                );
                             }
                         }
                     }
@@ -437,7 +468,8 @@ fn x_extent(chart: &Chart, analysis: &TreeAnalysis) -> f64 {
     let Some(field) = axis_field(chart, Channel::X) else { return 0.0 };
     let Some(idx) = analysis.result.schema.index_of(field) else { return 0.0 };
     let stats = analysis.result.column_stats(idx);
-    match (stats.min.as_ref().and_then(|v| v.as_f64()), stats.max.as_ref().and_then(|v| v.as_f64())) {
+    match (stats.min.as_ref().and_then(|v| v.as_f64()), stats.max.as_ref().and_then(|v| v.as_f64()))
+    {
         (Some(a), Some(b)) => b - a,
         _ => 0.0,
     }
@@ -448,11 +480,7 @@ fn x_extent(chart: &Chart, analysis: &TreeAnalysis) -> f64 {
 fn x_values_in_domain(chart: &Chart, analysis: &TreeAnalysis, domain: &Domain) -> bool {
     let Some(field) = axis_field(chart, Channel::X) else { return false };
     let Some(idx) = analysis.result.schema.index_of(field) else { return false };
-    analysis
-        .result
-        .column(idx)
-        .filter(|v| !v.is_null())
-        .all(|v| domain.contains(&v.to_literal()))
+    analysis.result.column(idx).filter(|v| !v.is_null()).all(|v| domain.contains(&v.to_literal()))
 }
 
 fn attach_panzoom(chart: &mut Chart, is_x: bool, pair: (Target, Target), field: &str) {
@@ -528,9 +556,11 @@ pub fn option_label(l: &pi2_sql::Literal) -> String {
 
 /// 𝕃: enumerate layout candidates for the screen.
 fn layout_variants(charts: &[Chart], widgets: &[Widget], screen: ScreenSpec) -> Vec<Layout> {
-    let widget_panel = (!widgets.is_empty())
-        .then(|| Layout::Vertical(widgets.iter().map(|w| Layout::Leaf(Element::Widget(w.id))).collect()));
-    let chart_leaves: Vec<Layout> = charts.iter().map(|c| Layout::Leaf(Element::Chart(c.id))).collect();
+    let widget_panel = (!widgets.is_empty()).then(|| {
+        Layout::Vertical(widgets.iter().map(|w| Layout::Leaf(Element::Widget(w.id))).collect())
+    });
+    let chart_leaves: Vec<Layout> =
+        charts.iter().map(|c| Layout::Leaf(Element::Chart(c.id))).collect();
 
     let mut chart_arrangements: Vec<Layout> = Vec::new();
     if charts.len() == 1 {
@@ -541,10 +571,8 @@ fn layout_variants(charts: &[Chart], widgets: &[Widget], screen: ScreenSpec) -> 
         // Grid: rows of `per_row` charts.
         let per_row = ((screen.width / 420).max(1) as usize).min(charts.len());
         if per_row > 1 && per_row < charts.len() {
-            let rows: Vec<Layout> = chart_leaves
-                .chunks(per_row)
-                .map(|row| Layout::Horizontal(row.to_vec()))
-                .collect();
+            let rows: Vec<Layout> =
+                chart_leaves.chunks(per_row).map(|row| Layout::Horizontal(row.to_vec())).collect();
             chart_arrangements.push(Layout::Vertical(rows));
         }
     }
@@ -602,7 +630,8 @@ mod tests {
 
     #[test]
     fn sdss_region_queries_map_to_panzoom() {
-        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 500, seed: 1 });
+        let catalog =
+            pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 500, seed: 1 });
         let queries = pi2_datasets::sdss::demo_queries();
         let mut forest = DiffForest::fully_merged(&queries);
         prepare(&mut forest, &catalog);
@@ -633,7 +662,8 @@ mod tests {
         let queries = pi2_datasets::covid::demo_queries_step(3);
         let overview = DiffForest::singletons(&queries[..1]);
         let detail = DiffForest::fully_merged(&queries[1..3]);
-        let mut forest = DiffForest { trees: vec![overview.trees[0].clone(), detail.trees[0].clone()] };
+        let mut forest =
+            DiffForest { trees: vec![overview.trees[0].clone(), detail.trees[0].clone()] };
         prepare(&mut forest, &catalog);
 
         let ifaces = map_forest(&forest, &catalog, &[], &MapperConfig::default()).unwrap();
@@ -654,15 +684,16 @@ mod tests {
 
     #[test]
     fn widgets_only_variant_uses_range_slider() {
-        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 300, seed: 1 });
+        let catalog =
+            pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 300, seed: 1 });
         let queries = pi2_datasets::sdss::demo_queries();
         let mut forest = DiffForest::fully_merged(&queries);
         prepare(&mut forest, &catalog);
         let ifaces = map_forest(&forest, &catalog, &[], &MapperConfig::default()).unwrap();
         // Some variant should use range sliders instead of pan/zoom.
-        let slider_variant = ifaces.iter().find(|i| {
-            i.widgets.iter().any(|w| matches!(w.kind, WidgetKind::RangeSlider { .. }))
-        });
+        let slider_variant = ifaces
+            .iter()
+            .find(|i| i.widgets.iter().any(|w| matches!(w.kind, WidgetKind::RangeSlider { .. })));
         assert!(slider_variant.is_some(), "{} variants", ifaces.len());
     }
 
@@ -750,16 +781,11 @@ mod tests {
         // Two queries whose Query nodes differ (DISTINCT flag) merge to an
         // ANY over whole queries — the tab-strip case.
         let catalog = pi2_datasets::toy::default_catalog();
-        let forest = forest_of(&[
-            "SELECT a, count(*) FROM t GROUP BY a",
-            "SELECT DISTINCT p FROM t",
-        ]);
+        let forest =
+            forest_of(&["SELECT a, count(*) FROM t GROUP BY a", "SELECT DISTINCT p FROM t"]);
         assert!(matches!(forest.trees[0].root.kind, pi2_difftree::NodeKind::Any));
         let ifaces = map_forest(&forest, &catalog, &[], &MapperConfig::default()).unwrap();
-        let tabs = ifaces[0]
-            .widgets
-            .iter()
-            .find(|w| matches!(w.kind, WidgetKind::Tabs { .. }));
+        let tabs = ifaces[0].widgets.iter().find(|w| matches!(w.kind, WidgetKind::Tabs { .. }));
         assert!(tabs.is_some(), "{:?}", ifaces[0].widgets);
     }
 

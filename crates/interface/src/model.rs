@@ -411,7 +411,8 @@ mod tests {
 
     #[test]
     fn interaction_targets() {
-        let brush = VizInteraction::BrushX { field: "date".into(), low: target(1, 2), high: target(1, 3) };
+        let brush =
+            VizInteraction::BrushX { field: "date".into(), low: target(1, 2), high: target(1, 3) };
         assert_eq!(brush.targets().len(), 2);
         let pz = VizInteraction::PanZoom {
             x: Some((target(0, 1), target(0, 2))),
@@ -428,7 +429,10 @@ mod tests {
     fn layout_elements_and_depth() {
         let l = Layout::Vertical(vec![
             Layout::Leaf(Element::Widget(0)),
-            Layout::Horizontal(vec![Layout::Leaf(Element::Chart(0)), Layout::Leaf(Element::Chart(1))]),
+            Layout::Horizontal(vec![
+                Layout::Leaf(Element::Chart(0)),
+                Layout::Leaf(Element::Chart(1)),
+            ]),
         ]);
         assert_eq!(l.elements().len(), 3);
         assert_eq!(l.depth(), 3);
@@ -461,7 +465,12 @@ mod tests {
                     interactions: vec![],
                 },
             ],
-            widgets: vec![Widget { id: 0, label: "t".into(), kind: WidgetKind::Toggle, targets: vec![target(1, 9)] }],
+            widgets: vec![Widget {
+                id: 0,
+                label: "t".into(),
+                kind: WidgetKind::Toggle,
+                targets: vec![target(1, 9)],
+            }],
             layout: Layout::Horizontal(vec![]),
             screen: ScreenSpec::default(),
         };

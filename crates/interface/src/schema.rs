@@ -31,7 +31,9 @@ pub fn classify_field(stats: &ColumnStats) -> FieldType {
         DataType::Date => FieldType::Temporal,
         DataType::Str | DataType::Bool => FieldType::Nominal,
         DataType::Int | DataType::Float => {
-            if stats.distinct_count <= 12 && stats.distinct_count > 0 && stats.data_type == DataType::Int
+            if stats.distinct_count <= 12
+                && stats.distinct_count > 0
+                && stats.data_type == DataType::Int
             {
                 FieldType::Ordinal
             } else {

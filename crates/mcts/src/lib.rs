@@ -13,6 +13,19 @@
 //! nothing about DiffTrees: the search problem is abstracted behind
 //! [`SearchProblem`], and `pi2-core` instantiates it.
 //!
+//! ## Parallel search
+//!
+//! [`mcts_parallel`] runs **root-parallel UCT**: `config.workers`
+//! independent trees grow from the same root on scoped threads, each with
+//! its own deterministically derived seed, sharing one lock-sharded
+//! [`SharedRewardCache`] so no thread re-evaluates a state any other
+//! thread has already scored. Because rewards are pure functions of the
+//! state, the cache can only short-circuit recomputation — never change a
+//! value — so each worker's trajectory is bit-for-bit independent of
+//! thread interleaving, and the merged result is deterministic for a
+//! fixed `(seed, workers)` pair. Worker 0 uses `config.seed` verbatim,
+//! which makes `workers = 1` reproduce the sequential [`mcts`] exactly.
+//!
 //! ```
 //! use pi2_mcts::{mcts, MctsConfig, SearchProblem};
 //!
@@ -31,9 +44,12 @@
 //! assert_eq!(stats.best_reward, 5.0);
 //! ```
 
+use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// A search problem over an implicit graph of states.
 pub trait SearchProblem {
@@ -48,8 +64,9 @@ pub trait SearchProblem {
     fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
     /// Apply an action; `None` if it no longer applies.
     fn apply(&self, state: &Self::State, action: &Self::Action) -> Option<Self::State>;
-    /// Reward of a state (higher is better). May be expensive; the
-    /// searchers memoize it by [`SearchProblem::state_key`].
+    /// Reward of a state (higher is better). Must be a pure function of
+    /// the state: the searchers memoize it by [`SearchProblem::state_key`],
+    /// and the parallel searcher shares those memos across threads.
     fn reward(&self, state: &Self::State) -> f64;
     /// A collision-resistant key identifying the state (for transposition
     /// detection and reward memoization).
@@ -59,17 +76,21 @@ pub trait SearchProblem {
 /// MCTS configuration.
 #[derive(Debug, Clone)]
 pub struct MctsConfig {
-    /// Number of select–expand–simulate–backpropagate iterations.
+    /// Number of select–expand–simulate–backpropagate iterations per tree.
     pub iterations: usize,
     /// UCB1 exploration constant (√2 is the classic choice).
     pub exploration: f64,
     /// Maximum random-rollout depth from a newly expanded node.
     pub rollout_depth: usize,
-    /// RNG seed: equal seeds give identical searches.
+    /// RNG seed: equal `(seed, workers)` pairs give identical searches.
     pub seed: u64,
     /// Cap on actions considered per node (keeps branching manageable);
     /// actions beyond the cap are sampled away deterministically.
     pub max_actions_per_node: usize,
+    /// Number of root-parallel worker trees used by [`mcts_parallel`]
+    /// (the sequential [`mcts`] ignores it). Defaults to the machine's
+    /// available parallelism, capped at 8.
+    pub workers: usize,
 }
 
 impl Default for MctsConfig {
@@ -77,28 +98,170 @@ impl Default for MctsConfig {
         Self {
             iterations: 200,
             exploration: std::f64::consts::SQRT_2,
-            rollout_depth: 4,
+            rollout_depth: 3,
             seed: 0,
             max_actions_per_node: 64,
+            workers: default_workers(),
         }
     }
+}
+
+/// Available parallelism capped at 8 (the default for
+/// [`MctsConfig::workers`]).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// Derive the seed for a worker tree: worker 0 uses the configured seed
+/// verbatim (so a single worker reproduces the sequential search), later
+/// workers get SplitMix64-scrambled variants.
+pub fn derive_worker_seed(seed: u64, worker: usize) -> u64 {
+    if worker == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const CACHE_SHARDS: usize = 16;
+
+/// A lock-sharded transposition/reward cache shared by all worker trees.
+///
+/// Keys are [`SearchProblem::state_key`] values; entries are memoized
+/// rewards. Lookups take one shard lock; computation happens outside the
+/// lock, so two threads may race to evaluate the same state — both arrive
+/// at the same pure value, so the race is benign and determinism of each
+/// worker's trajectory is preserved.
+#[derive(Debug)]
+pub struct SharedRewardCache {
+    shards: Vec<Mutex<HashMap<u64, f64>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SharedRewardCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedRewardCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SharedRewardCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, f64>> {
+        let idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % CACHE_SHARDS;
+        &self.shards[idx]
+    }
+
+    /// Memoized reward for `key`, computing it with `f` on a miss.
+    pub fn get_or_compute(&self, key: u64, f: impl FnOnce() -> f64) -> f64 {
+        if let Some(&r) = self.shard(key).lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return r;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let r = f();
+        self.shard(key).lock().insert(key, r);
+        r
+    }
+
+    /// Number of distinct states cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to evaluate the reward.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-worker summary from a [`mcts_parallel`] run.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// The derived RNG seed this worker's tree used.
+    pub seed: u64,
+    /// Iterations this worker executed.
+    pub iterations: usize,
+    /// Nodes in this worker's tree at the end.
+    pub tree_nodes: usize,
+    /// Best reward this worker found.
+    pub best_reward: f64,
+    /// Wall-clock time this worker's tree took.
+    pub elapsed: Duration,
 }
 
 /// Statistics from one search run.
 #[derive(Debug, Clone)]
 pub struct SearchStats {
-    /// Iterations actually executed.
+    /// Iterations actually executed (summed across workers).
     pub iterations: usize,
-    /// Nodes in the search tree at the end.
+    /// Nodes in the search tree(s) at the end (summed across workers).
     pub tree_nodes: usize,
     /// Distinct states whose reward was evaluated.
     pub states_evaluated: usize,
     /// Best reward found.
     pub best_reward: f64,
-    /// Iteration at which the best reward was first reached.
+    /// Iteration at which the winning worker first reached the best reward.
     pub best_at_iteration: usize,
-    /// Best-so-far reward after each iteration (for convergence plots).
+    /// Best-so-far reward after each iteration of the winning worker
+    /// (for convergence plots).
     pub reward_trace: Vec<f64>,
+    /// Successful node expansions (summed across workers).
+    pub expansions: usize,
+    /// Histogram of rollout depths actually reached: index = depth,
+    /// final slot = `rollout_depth` (summed across workers).
+    pub rollout_depths: Vec<u64>,
+    /// Reward-cache lookups answered without recomputing.
+    pub cache_hits: u64,
+    /// Reward-cache lookups that evaluated the reward function.
+    pub cache_misses: u64,
+    /// Per-worker summaries (one entry for sequential/greedy searches).
+    pub workers: Vec<WorkerStats>,
+}
+
+impl SearchStats {
+    /// Fraction of reward lookups served from cache, if any were made.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.cache_hits as f64 / total as f64)
+        }
+    }
+
+    /// Ratio of the slowest worker's wall-clock to the fastest's — 1.0
+    /// means perfectly balanced trees. `None` for empty worker lists.
+    pub fn worker_balance(&self) -> Option<f64> {
+        let min = self.workers.iter().map(|w| w.elapsed).min()?;
+        let max = self.workers.iter().map(|w| w.elapsed).max()?;
+        if min.is_zero() {
+            return Some(1.0);
+        }
+        Some(max.as_secs_f64() / min.as_secs_f64())
+    }
 }
 
 struct Node<A> {
@@ -109,29 +272,39 @@ struct Node<A> {
     total_reward: f64,
 }
 
-/// Run MCTS, returning the best state found anywhere (tree or rollout) and
-/// search statistics.
-pub fn mcts<P: SearchProblem>(problem: &P, config: &MctsConfig) -> (P::State, SearchStats) {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut reward_cache: HashMap<u64, f64> = HashMap::new();
-    let mut states: Vec<P::State> = Vec::new();
+/// Everything one worker tree produces; merged by [`mcts_parallel`].
+struct TreeOutcome<S> {
+    best_state: S,
+    best_reward: f64,
+    best_at: usize,
+    trace: Vec<f64>,
+    tree_nodes: usize,
+    iterations: usize,
+    expansions: usize,
+    rollout_depths: Vec<u64>,
+    elapsed: Duration,
+}
 
-    let eval = |s: &P::State, cache: &mut HashMap<u64, f64>| -> f64 {
-        let key = problem.state_key(s);
-        if let Some(&r) = cache.get(&key) {
-            return r;
-        }
-        let r = problem.reward(s);
-        cache.insert(key, r);
-        r
-    };
+/// Grow one UCT tree from the root. All randomness comes from `seed`; all
+/// reward evaluation goes through the shared cache.
+fn run_tree<P: SearchProblem>(
+    problem: &P,
+    config: &MctsConfig,
+    seed: u64,
+    cache: &SharedRewardCache,
+) -> TreeOutcome<P::State> {
+    let started = Instant::now();
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    let eval =
+        |s: &P::State| -> f64 { cache.get_or_compute(problem.state_key(s), || problem.reward(s)) };
 
     let root_state = problem.initial();
     let mut best_state = root_state.clone();
-    let mut best_reward = eval(&root_state, &mut reward_cache);
+    let mut best_reward = eval(&root_state);
     let mut best_at = 0;
 
-    states.push(root_state);
+    let mut states: Vec<P::State> = vec![root_state];
     let mut nodes: Vec<Node<P::Action>> = vec![Node {
         state_idx: 0,
         untried: capped_actions(problem, &states[0], config, &mut rng),
@@ -141,6 +314,8 @@ pub fn mcts<P: SearchProblem>(problem: &P, config: &MctsConfig) -> (P::State, Se
     }];
     let mut parents: Vec<Option<usize>> = vec![None];
     let mut trace = Vec::with_capacity(config.iterations);
+    let mut expansions = 0usize;
+    let mut rollout_depths = vec![0u64; config.rollout_depth + 1];
 
     for iter in 0..config.iterations {
         // ---- selection ----
@@ -179,22 +354,30 @@ pub fn mcts<P: SearchProblem>(problem: &P, config: &MctsConfig) -> (P::State, Se
                 let untried = capped_actions(problem, &new_state, config, &mut rng);
                 states.push(new_state);
                 let state_idx = states.len() - 1;
-                nodes.push(Node { state_idx, untried, children: Vec::new(), visits: 0.0, total_reward: 0.0 });
+                nodes.push(Node {
+                    state_idx,
+                    untried,
+                    children: Vec::new(),
+                    visits: 0.0,
+                    total_reward: 0.0,
+                });
                 parents.push(Some(current));
                 let new_idx = nodes.len() - 1;
                 nodes[current].children.push(new_idx);
                 leaf = new_idx;
+                expansions += 1;
             }
         }
 
         // ---- simulation (random rollout) ----
         let mut sim_state = states[nodes[leaf].state_idx].clone();
-        let mut rollout_best = eval(&sim_state, &mut reward_cache);
+        let mut rollout_best = eval(&sim_state);
         if rollout_best > best_reward {
             best_reward = rollout_best;
             best_state = sim_state.clone();
             best_at = iter;
         }
+        let mut depth_reached = 0usize;
         for _ in 0..config.rollout_depth {
             let actions = problem.actions(&sim_state);
             if actions.is_empty() {
@@ -203,7 +386,8 @@ pub fn mcts<P: SearchProblem>(problem: &P, config: &MctsConfig) -> (P::State, Se
             let a = &actions[rng.gen_range(0..actions.len())];
             let Some(next) = problem.apply(&sim_state, a) else { break };
             sim_state = next;
-            let r = eval(&sim_state, &mut reward_cache);
+            depth_reached += 1;
+            let r = eval(&sim_state);
             if r > rollout_best {
                 rollout_best = r;
             }
@@ -213,6 +397,7 @@ pub fn mcts<P: SearchProblem>(problem: &P, config: &MctsConfig) -> (P::State, Se
                 best_at = iter;
             }
         }
+        rollout_depths[depth_reached] += 1;
 
         // ---- backpropagation (mean of rollout-best rewards) ----
         let mut cur = Some(leaf);
@@ -224,15 +409,114 @@ pub fn mcts<P: SearchProblem>(problem: &P, config: &MctsConfig) -> (P::State, Se
         trace.push(best_reward);
     }
 
-    let stats = SearchStats {
-        iterations: config.iterations,
-        tree_nodes: nodes.len(),
-        states_evaluated: reward_cache.len(),
+    TreeOutcome {
+        best_state,
         best_reward,
-        best_at_iteration: best_at,
-        reward_trace: trace,
+        best_at,
+        trace,
+        tree_nodes: nodes.len(),
+        iterations: config.iterations,
+        expansions,
+        rollout_depths,
+        elapsed: started.elapsed(),
+    }
+}
+
+fn merge_outcomes<S>(
+    config: &MctsConfig,
+    cache: &SharedRewardCache,
+    outcomes: Vec<(u64, TreeOutcome<S>)>,
+) -> (S, SearchStats) {
+    // Deterministic merge: strictly greater reward wins; ties keep the
+    // lowest worker index, so the result is independent of scheduling.
+    let mut winner = 0usize;
+    for (i, (_, o)) in outcomes.iter().enumerate() {
+        if o.best_reward > outcomes[winner].1.best_reward {
+            winner = i;
+        }
+    }
+
+    let mut rollout_depths = vec![0u64; config.rollout_depth + 1];
+    let mut workers = Vec::with_capacity(outcomes.len());
+    let (mut iterations, mut tree_nodes, mut expansions) = (0, 0, 0);
+    for (i, (seed, o)) in outcomes.iter().enumerate() {
+        iterations += o.iterations;
+        tree_nodes += o.tree_nodes;
+        expansions += o.expansions;
+        for (slot, v) in rollout_depths.iter_mut().zip(&o.rollout_depths) {
+            *slot += v;
+        }
+        workers.push(WorkerStats {
+            worker: i,
+            seed: *seed,
+            iterations: o.iterations,
+            tree_nodes: o.tree_nodes,
+            best_reward: o.best_reward,
+            elapsed: o.elapsed,
+        });
+    }
+
+    let (_, win) = outcomes.into_iter().nth(winner).expect("at least one worker outcome");
+    let stats = SearchStats {
+        iterations,
+        tree_nodes,
+        states_evaluated: cache.len(),
+        best_reward: win.best_reward,
+        best_at_iteration: win.best_at,
+        reward_trace: win.trace,
+        expansions,
+        rollout_depths,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        workers,
     };
-    (best_state, stats)
+    (win.best_state, stats)
+}
+
+/// Run sequential MCTS, returning the best state found anywhere (tree or
+/// rollout) and search statistics. Ignores [`MctsConfig::workers`];
+/// equivalent to [`mcts_parallel`] with `workers = 1`.
+pub fn mcts<P: SearchProblem>(problem: &P, config: &MctsConfig) -> (P::State, SearchStats) {
+    let cache = SharedRewardCache::new();
+    let outcome = run_tree(problem, config, config.seed, &cache);
+    merge_outcomes(config, &cache, vec![(config.seed, outcome)])
+}
+
+/// Run root-parallel MCTS: `config.workers` independent trees from the
+/// same root on scoped threads, sharing one reward cache, merged into the
+/// single best result. Deterministic for a fixed `(seed, workers)` pair;
+/// `workers = 1` (or `0`) reproduces [`mcts`] exactly and spawns no
+/// threads.
+pub fn mcts_parallel<P>(problem: &P, config: &MctsConfig) -> (P::State, SearchStats)
+where
+    P: SearchProblem + Sync,
+    P::State: Send,
+    P::Action: Send,
+{
+    let workers = config.workers.max(1);
+    let cache = SharedRewardCache::new();
+
+    let outcomes: Vec<(u64, TreeOutcome<P::State>)> = if workers == 1 {
+        vec![(config.seed, run_tree(problem, config, config.seed, &cache))]
+    } else {
+        let cache_ref = &cache;
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let seed = derive_worker_seed(config.seed, w);
+                    let handle = s.spawn(move || run_tree(problem, config, seed, cache_ref));
+                    (seed, handle)
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(seed, h)| (seed, h.join().expect("mcts worker panicked")))
+                .collect()
+        })
+        .expect("mcts worker panicked")
+    };
+
+    merge_outcomes(config, &cache, outcomes)
 }
 
 fn capped_actions<P: SearchProblem>(
@@ -253,38 +537,35 @@ fn capped_actions<P: SearchProblem>(
 /// none improves or the evaluation budget runs out. The ablation baseline
 /// the benchmarks compare MCTS against.
 pub fn greedy<P: SearchProblem>(problem: &P, max_evaluations: usize) -> (P::State, SearchStats) {
-    let mut reward_cache: HashMap<u64, f64> = HashMap::new();
-    let mut evals = 0usize;
-    let eval = |s: &P::State, cache: &mut HashMap<u64, f64>, evals: &mut usize| -> f64 {
-        let key = problem.state_key(s);
-        if let Some(&r) = cache.get(&key) {
-            return r;
-        }
-        *evals += 1;
-        let r = problem.reward(s);
-        cache.insert(key, r);
-        r
+    let started = Instant::now();
+    let cache = SharedRewardCache::new();
+    let evals = AtomicU64::new(0);
+    let eval = |s: &P::State| -> f64 {
+        cache.get_or_compute(problem.state_key(s), || {
+            evals.fetch_add(1, Ordering::Relaxed);
+            problem.reward(s)
+        })
     };
 
     let mut current = problem.initial();
-    let mut current_reward = eval(&current, &mut reward_cache, &mut evals);
+    let mut current_reward = eval(&current);
     let mut trace = vec![current_reward];
     let mut steps = 0;
 
     loop {
         let mut best_next: Option<(P::State, f64)> = None;
         for a in problem.actions(&current) {
-            if evals >= max_evaluations {
+            if evals.load(Ordering::Relaxed) >= max_evaluations as u64 {
                 break;
             }
             let Some(next) = problem.apply(&current, &a) else { continue };
-            let r = eval(&next, &mut reward_cache, &mut evals);
+            let r = eval(&next);
             if r > current_reward && best_next.as_ref().is_none_or(|(_, br)| r > *br) {
                 best_next = Some((next, r));
             }
         }
         match best_next {
-            Some((next, r)) if evals <= max_evaluations => {
+            Some((next, r)) if evals.load(Ordering::Relaxed) <= max_evaluations as u64 => {
                 current = next;
                 current_reward = r;
                 steps += 1;
@@ -292,7 +573,7 @@ pub fn greedy<P: SearchProblem>(problem: &P, max_evaluations: usize) -> (P::Stat
             }
             _ => break,
         }
-        if evals >= max_evaluations {
+        if evals.load(Ordering::Relaxed) >= max_evaluations as u64 {
             break;
         }
     }
@@ -300,10 +581,22 @@ pub fn greedy<P: SearchProblem>(problem: &P, max_evaluations: usize) -> (P::Stat
     let stats = SearchStats {
         iterations: steps,
         tree_nodes: steps + 1,
-        states_evaluated: reward_cache.len(),
+        states_evaluated: cache.len(),
         best_reward: current_reward,
         best_at_iteration: steps,
         reward_trace: trace,
+        expansions: steps,
+        rollout_depths: Vec::new(),
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        workers: vec![WorkerStats {
+            worker: 0,
+            seed: 0,
+            iterations: steps,
+            tree_nodes: steps + 1,
+            best_reward: current_reward,
+            elapsed: started.elapsed(),
+        }],
     };
     (current, stats)
 }
@@ -338,8 +631,8 @@ mod tests {
             match *s {
                 10 => 5.0,
                 -6 => 9.0,
-                v if v > 0 => v as f64 * 0.5,       // uphill toward 10
-                v => -0.1 * v.abs() as f64,         // downhill valley
+                v if v > 0 => v as f64 * 0.5, // uphill toward 10
+                v => -0.1 * v.abs() as f64,   // downhill valley
             }
         }
         fn state_key(&self, s: &i64) -> u64 {
@@ -378,15 +671,18 @@ mod tests {
 
     #[test]
     fn different_seeds_explore_differently() {
-        let (_, sa) = mcts(&Deceptive, &MctsConfig { iterations: 30, seed: 1, ..Default::default() });
-        let (_, sb) = mcts(&Deceptive, &MctsConfig { iterations: 30, seed: 2, ..Default::default() });
+        let (_, sa) =
+            mcts(&Deceptive, &MctsConfig { iterations: 30, seed: 1, ..Default::default() });
+        let (_, sb) =
+            mcts(&Deceptive, &MctsConfig { iterations: 30, seed: 2, ..Default::default() });
         // Traces usually differ (not guaranteed, but true for these seeds).
         assert_ne!(sa.reward_trace, sb.reward_trace);
     }
 
     #[test]
     fn reward_trace_is_monotone() {
-        let (_, stats) = mcts(&Deceptive, &MctsConfig { iterations: 100, seed: 3, ..Default::default() });
+        let (_, stats) =
+            mcts(&Deceptive, &MctsConfig { iterations: 100, seed: 3, ..Default::default() });
         assert_eq!(stats.reward_trace.len(), 100);
         for w in stats.reward_trace.windows(2) {
             assert!(w[1] >= w[0]);
@@ -395,7 +691,8 @@ mod tests {
 
     #[test]
     fn zero_iterations_returns_initial() {
-        let (best, stats) = mcts(&Deceptive, &MctsConfig { iterations: 0, seed: 0, ..Default::default() });
+        let (best, stats) =
+            mcts(&Deceptive, &MctsConfig { iterations: 0, seed: 0, ..Default::default() });
         assert_eq!(best, 0);
         assert_eq!(stats.iterations, 0);
     }
@@ -428,5 +725,74 @@ mod tests {
         assert_eq!(best, 1);
         let (best, _) = greedy(&Terminal, 10);
         assert_eq!(best, 1);
+    }
+
+    #[test]
+    fn parallel_single_worker_matches_sequential() {
+        let c = MctsConfig { iterations: 150, seed: 7, workers: 1, ..Default::default() };
+        let (seq, seq_stats) = mcts(&Deceptive, &c);
+        let (par, par_stats) = mcts_parallel(&Deceptive, &c);
+        assert_eq!(seq, par);
+        assert_eq!(seq_stats.reward_trace, par_stats.reward_trace);
+        assert_eq!(seq_stats.tree_nodes, par_stats.tree_nodes);
+    }
+
+    #[test]
+    fn parallel_is_deterministic_per_seed_and_workers() {
+        for workers in [2usize, 4] {
+            let c = MctsConfig { iterations: 120, seed: 9, workers, ..Default::default() };
+            let (a, sa) = mcts_parallel(&Deceptive, &c);
+            let (b, sb) = mcts_parallel(&Deceptive, &c);
+            assert_eq!(a, b, "workers={workers}");
+            assert_eq!(sa.reward_trace, sb.reward_trace, "workers={workers}");
+            assert_eq!(sa.best_at_iteration, sb.best_at_iteration, "workers={workers}");
+            assert_eq!(sa.workers.len(), workers);
+        }
+    }
+
+    #[test]
+    fn parallel_never_worse_than_its_own_workers() {
+        let c = MctsConfig {
+            iterations: 200,
+            seed: 5,
+            workers: 4,
+            exploration: 6.0,
+            ..Default::default()
+        };
+        let (_, stats) = mcts_parallel(&Deceptive, &c);
+        for w in &stats.workers {
+            assert!(stats.best_reward >= w.best_reward);
+        }
+        assert_eq!(stats.iterations, 4 * 200);
+    }
+
+    #[test]
+    fn parallel_shares_reward_cache() {
+        let c = MctsConfig { iterations: 300, seed: 1, workers: 4, ..Default::default() };
+        let (_, stats) = mcts_parallel(&Deceptive, &c);
+        // The state space has only 21 states, so nearly every lookup
+        // after warm-up is a cache hit.
+        assert!(stats.states_evaluated <= 21);
+        assert!(stats.cache_hits > stats.cache_misses);
+        assert!(stats.cache_hit_rate().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn rollout_depth_histogram_accounts_all_iterations() {
+        let c = MctsConfig { iterations: 100, seed: 3, ..Default::default() };
+        let (_, stats) = mcts(&Deceptive, &c);
+        assert_eq!(stats.rollout_depths.len(), c.rollout_depth + 1);
+        assert_eq!(stats.rollout_depths.iter().sum::<u64>(), 100);
+        assert!(stats.expansions > 0);
+    }
+
+    #[test]
+    fn worker_seed_derivation_is_stable_and_distinct() {
+        assert_eq!(derive_worker_seed(42, 0), 42);
+        let seeds: Vec<u64> = (0..8).map(|w| derive_worker_seed(42, w)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
     }
 }

@@ -157,7 +157,11 @@ impl Notebook {
 
     /// Replace a cell's source (the "refer back to previous cells to edit"
     /// workflow). Stale results are cleared.
-    pub fn edit_cell(&mut self, id: CellId, source: impl Into<String>) -> Result<(), NotebookError> {
+    pub fn edit_cell(
+        &mut self,
+        id: CellId,
+        source: impl Into<String>,
+    ) -> Result<(), NotebookError> {
         let cell = self.cell_mut(id)?;
         cell.source = source.into();
         cell.result = None;
@@ -233,7 +237,8 @@ impl Notebook {
 
     /// Look up a version by number (1-based).
     pub fn version(&self, number: usize) -> Result<&InterfaceVersion, NotebookError> {
-        self.versions.get(number.checked_sub(1).ok_or(NotebookError::UnknownVersion(number))?)
+        self.versions
+            .get(number.checked_sub(1).ok_or(NotebookError::UnknownVersion(number))?)
             .ok_or(NotebookError::UnknownVersion(number))
     }
 

@@ -21,7 +21,9 @@ pub fn render_interface(interface: &Interface, updates: &[ChartUpdate]) -> Strin
 
 /// Render a live session: charts with current data, widgets with their
 /// current positions (selected radio option, toggle state, slider value).
-pub fn render_session(session: &pi2_core::InterfaceSession) -> Result<String, pi2_core::SessionError> {
+pub fn render_session(
+    session: &pi2_core::InterfaceSession,
+) -> Result<String, pi2_core::SessionError> {
     let updates = session.refresh_all()?;
     let states: std::collections::HashMap<usize, pi2_core::WidgetState> =
         session.widget_states().into_iter().collect();
@@ -74,7 +76,10 @@ pub fn render_widget_with_state(widget: &Widget, state: Option<&pi2_core::Widget
                 .collect();
             format!("{}: {}", widget.label, opts.join("  "))
         }
-        (WidgetKind::ButtonGroup { options } | WidgetKind::Tabs { options }, Some(S::Picked(sel))) => {
+        (
+            WidgetKind::ButtonGroup { options } | WidgetKind::Tabs { options },
+            Some(S::Picked(sel)),
+        ) => {
             let opts: Vec<String> = options
                 .iter()
                 .enumerate()
@@ -154,10 +159,8 @@ fn render_layout(layout: &Layout, interface: &Interface, updates: &[ChartUpdate]
 
 /// Place rendered blocks side by side.
 fn hstack(columns: &[Vec<String>]) -> String {
-    let col_text: Vec<Vec<&str>> = columns
-        .iter()
-        .map(|c| c.iter().flat_map(|b| b.lines()).collect::<Vec<&str>>())
-        .collect();
+    let col_text: Vec<Vec<&str>> =
+        columns.iter().map(|c| c.iter().flat_map(|b| b.lines()).collect::<Vec<&str>>()).collect();
     let widths: Vec<usize> = col_text
         .iter()
         .map(|lines| lines.iter().map(|l| l.chars().count()).max().unwrap_or(0))
@@ -183,8 +186,11 @@ fn hstack(columns: &[Vec<String>]) -> String {
 pub fn render_widget(widget: &Widget) -> String {
     match &widget.kind {
         WidgetKind::Radio { options } => {
-            let opts: Vec<String> =
-                options.iter().enumerate().map(|(i, o)| format!("({}) {o}", if i == 0 { "•" } else { " " })).collect();
+            let opts: Vec<String> = options
+                .iter()
+                .enumerate()
+                .map(|(i, o)| format!("({}) {o}", if i == 0 { "•" } else { " " }))
+                .collect();
             format!("{}: {}", widget.label, opts.join("  "))
         }
         WidgetKind::ButtonGroup { options } => {
@@ -192,14 +198,29 @@ pub fn render_widget(widget: &Widget) -> String {
             format!("{}: {}", widget.label, opts.join(" "))
         }
         WidgetKind::Dropdown { options } => {
-            format!("{}: ▾ {} ({} options)", widget.label, options.first().cloned().unwrap_or_default(), options.len())
+            format!(
+                "{}: ▾ {} ({} options)",
+                widget.label,
+                options.first().cloned().unwrap_or_default(),
+                options.len()
+            )
         }
         WidgetKind::Toggle => format!("[x] {}", widget.label),
         WidgetKind::Slider { min, max, temporal, .. } => {
-            format!("{}: {} ◀──●──▶ {}", widget.label, fmt_axis(*min, *temporal), fmt_axis(*max, *temporal))
+            format!(
+                "{}: {} ◀──●──▶ {}",
+                widget.label,
+                fmt_axis(*min, *temporal),
+                fmt_axis(*max, *temporal)
+            )
         }
         WidgetKind::RangeSlider { min, max, temporal, .. } => {
-            format!("{}: {} ◀─●══●─▶ {}", widget.label, fmt_axis(*min, *temporal), fmt_axis(*max, *temporal))
+            format!(
+                "{}: {} ◀─●══●─▶ {}",
+                widget.label,
+                fmt_axis(*min, *temporal),
+                fmt_axis(*max, *temporal)
+            )
         }
         WidgetKind::Tabs { options } => {
             let opts: Vec<String> = options.iter().map(|o| format!("⟨{o}⟩")).collect();
@@ -262,7 +283,8 @@ fn truncate_table(result: &ResultSet) -> String {
 }
 
 fn render_bar(chart: &Chart, result: &ResultSet) -> String {
-    let (Some(xi), Some(yi)) = (field_index(result, chart, Channel::X), field_index(result, chart, Channel::Y))
+    let (Some(xi), Some(yi)) =
+        (field_index(result, chart, Channel::X), field_index(result, chart, Channel::Y))
     else {
         return truncate_table(result);
     };
@@ -299,13 +321,18 @@ fn render_bar(chart: &Chart, result: &ResultSet) -> String {
         out.push_str(&format!("… {} more bars\n", order.len() - MAX_ROWS));
     }
     if !series.is_empty() {
-        out.push_str(&format!("({} series by {})\n", series.len(), chart.encoding(Channel::Color).map(|e| e.field.as_str()).unwrap_or("?")));
+        out.push_str(&format!(
+            "({} series by {})\n",
+            series.len(),
+            chart.encoding(Channel::Color).map(|e| e.field.as_str()).unwrap_or("?")
+        ));
     }
     out
 }
 
 fn render_grid(chart: &Chart, result: &ResultSet) -> String {
-    let (Some(xi), Some(yi)) = (field_index(result, chart, Channel::X), field_index(result, chart, Channel::Y))
+    let (Some(xi), Some(yi)) =
+        (field_index(result, chart, Channel::X), field_index(result, chart, Channel::Y))
     else {
         return truncate_table(result);
     };
@@ -314,11 +341,7 @@ fn render_grid(chart: &Chart, result: &ResultSet) -> String {
         .rows
         .iter()
         .filter_map(|row| {
-            Some((
-                row[xi].as_f64()?,
-                row[yi].as_f64()?,
-                color_i.map(|ci| row[ci].to_string()),
-            ))
+            Some((row[xi].as_f64()?, row[yi].as_f64()?, color_i.map(|ci| row[ci].to_string())))
         })
         .collect();
     if pts.is_empty() {
@@ -356,7 +379,11 @@ fn render_grid(chart: &Chart, result: &ResultSet) -> String {
     out.push_str(&format!(
         "            {}{}{}\n",
         fmt_axis(xmin, temporal_x),
-        " ".repeat(PLOT_W.saturating_sub(fmt_axis(xmin, temporal_x).len() + fmt_axis(xmax, temporal_x).len())),
+        " ".repeat(
+            PLOT_W.saturating_sub(
+                fmt_axis(xmin, temporal_x).len() + fmt_axis(xmax, temporal_x).len()
+            )
+        ),
         fmt_axis(xmax, temporal_x)
     ));
     if !series.is_empty() {
@@ -372,7 +399,8 @@ fn render_grid(chart: &Chart, result: &ResultSet) -> String {
 }
 
 fn render_heatmap(chart: &Chart, result: &ResultSet) -> String {
-    let (Some(xi), Some(yi)) = (field_index(result, chart, Channel::X), field_index(result, chart, Channel::Y))
+    let (Some(xi), Some(yi)) =
+        (field_index(result, chart, Channel::X), field_index(result, chart, Channel::Y))
     else {
         return truncate_table(result);
     };
@@ -381,7 +409,8 @@ fn render_heatmap(chart: &Chart, result: &ResultSet) -> String {
     };
     let mut xs: Vec<String> = Vec::new();
     let mut ys: Vec<String> = Vec::new();
-    let mut cells: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    let mut cells: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
     for row in &result.rows {
         let xk = row[xi].to_string();
         let yk = row[yi].to_string();
@@ -484,7 +513,9 @@ mod tests {
         });
         let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
         let g = pi2
-            .generate_sql(&["SELECT date, sum(cases) AS cases FROM covid GROUP BY date ORDER BY date"])
+            .generate_sql(&[
+                "SELECT date, sum(cases) AS cases FROM covid GROUP BY date ORDER BY date",
+            ])
             .unwrap();
         let session = pi2.session(&g);
         let updates = session.refresh_all().unwrap();
@@ -500,10 +531,8 @@ mod tests {
         });
         let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
         let g = pi2
-            .generate_sql(&[
-                "SELECT r.region, c.state, sum(c.cases) AS cases FROM covid c \
-                 JOIN regions r ON c.state = r.state GROUP BY r.region, c.state",
-            ])
+            .generate_sql(&["SELECT r.region, c.state, sum(c.cases) AS cases FROM covid c \
+                 JOIN regions r ON c.state = r.state GROUP BY r.region, c.state"])
             .unwrap();
         let session = pi2.session(&g);
         let updates = session.refresh_all().unwrap();
@@ -548,11 +577,8 @@ mod tests {
         let mut session = pi2.session(&g);
         let before = render_session(&session).unwrap();
         // Flip the toggle; the rendering must change state.
-        if let Some(toggle) = g
-            .interface
-            .widgets
-            .iter()
-            .find(|w| matches!(w.kind, WidgetKind::Toggle))
+        if let Some(toggle) =
+            g.interface.widgets.iter().find(|w| matches!(w.kind, WidgetKind::Toggle))
         {
             session
                 .dispatch(pi2_core::Event::SetWidget {

@@ -54,7 +54,12 @@ pub fn export_html(
     )
 }
 
-fn render_layout(layout: &Layout, interface: &Interface, updates: &[ChartUpdate], out: &mut String) {
+fn render_layout(
+    layout: &Layout,
+    interface: &Interface,
+    updates: &[ChartUpdate],
+    out: &mut String,
+) {
     match layout {
         Layout::Leaf(Element::Chart(id)) => {
             if let Some(c) = interface.charts.iter().find(|c| c.id == *id) {
@@ -148,11 +153,8 @@ fn chart_svg(chart: &Chart, result: &ResultSet) -> String {
         return table_html(result);
     }
     let (xi, yi) = (xi.expect("checked"), yi.expect("checked"));
-    let pts: Vec<(f64, f64)> = result
-        .rows
-        .iter()
-        .filter_map(|r| Some((r[xi].as_f64()?, r[yi].as_f64()?)))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        result.rows.iter().filter_map(|r| Some((r[xi].as_f64()?, r[yi].as_f64()?))).collect();
     if pts.is_empty() {
         return table_html(result);
     }
@@ -285,12 +287,17 @@ mod tests {
 
     #[test]
     fn escapes_query_text() {
-        let html = export_html("x", &Interface {
-            charts: vec![],
-            widgets: vec![],
-            layout: Layout::Vertical(vec![]),
-            screen: Default::default(),
-        }, &[], &["SELECT a FROM t WHERE a < 3".to_string()]);
+        let html = export_html(
+            "x",
+            &Interface {
+                charts: vec![],
+                widgets: vec![],
+                layout: Layout::Vertical(vec![]),
+                screen: Default::default(),
+            },
+            &[],
+            &["SELECT a FROM t WHERE a < 3".to_string()],
+        );
         assert!(html.contains("&lt; 3"));
     }
 }

@@ -30,6 +30,8 @@ pub mod ascii;
 pub mod html;
 pub mod spec;
 
-pub use ascii::{render_chart, render_interface, render_session, render_widget, render_widget_with_state};
+pub use ascii::{
+    render_chart, render_interface, render_session, render_widget, render_widget_with_state,
+};
 pub use html::export_html;
 pub use spec::interface_spec;

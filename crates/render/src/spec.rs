@@ -2,7 +2,9 @@
 //! a browser front end (like the original Jupyter extension) would consume.
 
 use pi2_core::ChartUpdate;
-use pi2_interface::{Channel, Chart, Element, FieldType, Interface, Layout, VizInteraction, Widget, WidgetKind};
+use pi2_interface::{
+    Channel, Chart, Element, FieldType, Interface, Layout, VizInteraction, Widget, WidgetKind,
+};
 use serde_json::{json, Value as Json};
 
 /// The JSON spec of a whole interface, optionally with inline data.
@@ -142,8 +144,12 @@ fn layout_spec(l: &Layout) -> Json {
     match l {
         Layout::Leaf(Element::Chart(id)) => json!({ "chart": id }),
         Layout::Leaf(Element::Widget(id)) => json!({ "widget": id }),
-        Layout::Horizontal(xs) => json!({ "hconcat": xs.iter().map(layout_spec).collect::<Vec<_>>() }),
-        Layout::Vertical(xs) => json!({ "vconcat": xs.iter().map(layout_spec).collect::<Vec<_>>() }),
+        Layout::Horizontal(xs) => {
+            json!({ "hconcat": xs.iter().map(layout_spec).collect::<Vec<_>>() })
+        }
+        Layout::Vertical(xs) => {
+            json!({ "vconcat": xs.iter().map(layout_spec).collect::<Vec<_>>() })
+        }
     }
 }
 
@@ -175,7 +181,8 @@ mod tests {
 
     #[test]
     fn interaction_specs_name_their_bindings() {
-        let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 200, seed: 1 });
+        let catalog =
+            pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 200, seed: 1 });
         let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
         let queries: Vec<String> =
             pi2_datasets::sdss::demo_queries().iter().map(|q| q.to_string()).collect();

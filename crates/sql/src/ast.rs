@@ -245,7 +245,12 @@ impl BinaryOp {
         match self {
             BinaryOp::Or => 1,
             BinaryOp::And => 2,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => 4,
+            BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
+            | BinaryOp::GtEq => 4,
             BinaryOp::Add | BinaryOp::Sub | BinaryOp::Concat => 5,
             BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 6,
         }
@@ -255,7 +260,12 @@ impl BinaryOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::NotEq | BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
         )
     }
 }
@@ -609,7 +619,9 @@ mod tests {
 
     #[test]
     fn date_roundtrips_ymd() {
-        for &(y, m, d) in &[(1970, 1, 1), (2000, 2, 29), (2021, 12, 31), (1969, 12, 31), (2024, 2, 29)] {
+        for &(y, m, d) in
+            &[(1970, 1, 1), (2000, 2, 29), (2021, 12, 31), (1969, 12, 31), (2024, 2, 29)]
+        {
             let date = Date::from_ymd(y, m, d).unwrap();
             assert_eq!(date.ymd(), (y, m, d), "roundtrip {y}-{m}-{d}");
         }

@@ -19,7 +19,12 @@ pub struct ParseError {
 }
 
 impl ParseError {
-    pub(crate) fn new(message: impl Into<String>, offset: usize, line: usize, column: usize) -> Self {
+    pub(crate) fn new(
+        message: impl Into<String>,
+        offset: usize,
+        line: usize,
+        column: usize,
+    ) -> Self {
         Self { message: message.into(), offset, line, column }
     }
 }

@@ -141,10 +141,8 @@ fn format_table_ref(t: &TableRef, indent: usize) -> String {
     match t {
         TableRef::Subquery { query, alias } => {
             let inner = format_query(query, indent);
-            let padded: String = inner
-                .lines()
-                .map(|l| format!("{}{l}\n", pad(1, indent)))
-                .collect();
+            let padded: String =
+                inner.lines().map(|l| format!("{}{l}\n", pad(1, indent))).collect();
             format!("(\n{padded}) AS {alias}")
         }
         other => other.to_string(),

@@ -132,9 +132,13 @@ impl<'a> Lexer<'a> {
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
         if is_float {
-            text.parse::<f64>().map(TokenKind::Float).map_err(|e| self.error(format!("bad float literal {text:?}: {e}")))
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|e| self.error(format!("bad float literal {text:?}: {e}")))
         } else {
-            text.parse::<i64>().map(TokenKind::Int).map_err(|e| self.error(format!("bad integer literal {text:?}: {e}")))
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|e| self.error(format!("bad integer literal {text:?}: {e}")))
         }
     }
 
@@ -323,6 +327,9 @@ mod tests {
 
     #[test]
     fn quoted_identifier_keeps_spaces() {
-        assert_eq!(kinds("\"case count\""), vec![TokenKind::Ident("case count".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds("\"case count\""),
+            vec![TokenKind::Ident("case count".into()), TokenKind::Eof]
+        );
     }
 }

@@ -127,7 +127,10 @@ mod tests {
 
     #[test]
     fn sorts_conjuncts() {
-        assert_eq!(norm("SELECT x FROM t WHERE b = 2 AND a = 1"), norm("SELECT x FROM t WHERE a = 1 AND b = 2"));
+        assert_eq!(
+            norm("SELECT x FROM t WHERE b = 2 AND a = 1"),
+            norm("SELECT x FROM t WHERE a = 1 AND b = 2")
+        );
     }
 
     #[test]

@@ -216,9 +216,13 @@ impl Parser {
         // `t.*`
         if let TokenKind::Ident(name) = self.peek_kind() {
             let name = name.clone();
-            if matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Symbol(Symbol::Dot)))
-                && matches!(self.tokens.get(self.pos + 2).map(|t| &t.kind), Some(TokenKind::Symbol(Symbol::Star)))
-            {
+            if matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::Symbol(Symbol::Dot))
+            ) && matches!(
+                self.tokens.get(self.pos + 2).map(|t| &t.kind),
+                Some(TokenKind::Symbol(Symbol::Star))
+            ) {
                 self.bump();
                 self.bump();
                 self.bump();
@@ -226,13 +230,8 @@ impl Parser {
             }
         }
         let expr = self.expr()?;
-        let alias = if self.eat_keyword("AS") {
-            Some(self.ident()?)
-        } else if self.at_ident() {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let alias =
+            if self.eat_keyword("AS") || self.at_ident() { Some(self.ident()?) } else { None };
         Ok(SelectItem::Expr { expr, alias })
     }
 
@@ -286,13 +285,8 @@ impl Parser {
             return Ok(inner);
         }
         let name = self.ident()?;
-        let alias = if self.eat_keyword("AS") {
-            Some(self.ident()?)
-        } else if self.at_ident() {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let alias =
+            if self.eat_keyword("AS") || self.at_ident() { Some(self.ident()?) } else { None };
         Ok(TableRef::Named { name, alias })
     }
 
@@ -469,8 +463,9 @@ impl Parser {
                 self.bump();
                 match self.peek_kind().clone() {
                     TokenKind::Str(s) => {
-                        let d = Date::parse(&s)
-                            .ok_or_else(|| self.error_here(format!("invalid date literal '{s}'")))?;
+                        let d = Date::parse(&s).ok_or_else(|| {
+                            self.error_here(format!("invalid date literal '{s}'"))
+                        })?;
                         self.bump();
                         Ok(Expr::Literal(Literal::Date(d)))
                     }
@@ -669,7 +664,8 @@ mod tests {
 
     #[test]
     fn parses_exists_and_not_exists() {
-        let q = parse_query("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)").unwrap();
+        let q = parse_query("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)")
+            .unwrap();
         assert!(matches!(q.where_clause, Some(Expr::Exists { negated: false, .. })));
         let q = parse_query("SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)").unwrap();
         assert!(matches!(q.where_clause, Some(Expr::Exists { negated: true, .. })));

@@ -368,7 +368,8 @@ mod tests {
 
     #[test]
     fn conjoin_rebuilds() {
-        let parts = vec![Expr::eq(Expr::col("a"), Expr::int(1)), Expr::eq(Expr::col("b"), Expr::int(2))];
+        let parts =
+            vec![Expr::eq(Expr::col("a"), Expr::int(1)), Expr::eq(Expr::col("b"), Expr::int(2))];
         let e = conjoin(parts).unwrap();
         assert_eq!(conjuncts(&e).len(), 2);
         assert!(conjoin(vec![]).is_none());

@@ -80,13 +80,10 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 }
             ),
             inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>()).prop_map(
-                |(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }
-            ),
-            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
-                expr: Box::new(e),
-                negated
-            }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList { expr: Box::new(e), list, negated }),
+            (inner.clone(), any::<bool>())
+                .prop_map(|(e, negated)| Expr::IsNull { expr: Box::new(e), negated }),
             (inner.clone(), leaf_expr(), leaf_expr(), any::<bool>()).prop_map(
                 |(e, lo, hi, negated)| Expr::Between {
                     expr: Box::new(e),
@@ -100,23 +97,16 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 args,
                 distinct: false
             }),
-            (inner.clone(), inner.clone(), proptest::option::of(inner)).prop_map(
-                |(w, t, e)| Expr::Case {
-                    operand: None,
-                    branches: vec![(w, t)],
-                    else_expr: e.map(Box::new),
-                }
-            ),
+            (inner.clone(), inner.clone(), proptest::option::of(inner)).prop_map(|(w, t, e)| {
+                Expr::Case { operand: None, branches: vec![(w, t)], else_expr: e.map(Box::new) }
+            }),
         ]
     })
 }
 
 fn query_strategy() -> impl Strategy<Value = Query> {
     (
-        proptest::collection::vec(
-            (expr_strategy(), proptest::option::of(ident_strategy())),
-            1..4,
-        ),
+        proptest::collection::vec((expr_strategy(), proptest::option::of(ident_strategy())), 1..4),
         proptest::collection::vec(ident_strategy(), 0..2),
         proptest::option::of(expr_strategy()),
         proptest::collection::vec(expr_strategy(), 0..2),

@@ -1,0 +1,323 @@
+//! Lightweight telemetry for the PI2 pipeline.
+//!
+//! A [`Registry`] collects named **counters** (monotonic u64) and named
+//! **timers** (accumulated wall-clock durations with call counts) from any
+//! number of threads. Phases of the pipeline time themselves with
+//! [`Registry::span`] RAII guards; the search layer bumps counters for
+//! iterations, expansions, and cache hits. A [`Snapshot`] freezes the
+//! registry into plain data that `GenerationStats` embeds and that dumps
+//! to a JSON object compatible with the bench harness's `BENCH_*.json`
+//! files — all with no dependencies outside `std`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Accumulated state for one named timer.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimerStat {
+    /// Total accumulated wall-clock time.
+    pub total: Duration,
+    /// Number of recorded intervals.
+    pub count: u64,
+}
+
+impl TimerStat {
+    /// Mean duration per recorded interval (zero if never recorded).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    timers: BTreeMap<String, TimerStat>,
+}
+
+/// A thread-safe sink for counters and timers.
+///
+/// Locking is a plain `std::sync::Mutex`: telemetry writes are rare
+/// (per-phase, per-search) rather than per-iteration, so contention is
+/// negligible next to the work being measured.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add `delta` to the named counter (creating it at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        *self.locked().counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set the named counter to `value`, discarding any previous value.
+    pub fn set(&self, name: &str, value: u64) {
+        self.locked().counters.insert(name.to_string(), value);
+    }
+
+    /// Record one interval of `elapsed` against the named timer.
+    pub fn record(&self, name: &str, elapsed: Duration) {
+        let mut inner = self.locked();
+        let stat = inner.timers.entry(name.to_string()).or_default();
+        stat.total += elapsed;
+        stat.count += 1;
+    }
+
+    /// Start a RAII span; the elapsed time is recorded when the guard drops.
+    pub fn span<'a>(&'a self, name: &'a str) -> Span<'a> {
+        Span { registry: self, name, start: Instant::now() }
+    }
+
+    /// Time a closure and record it under `name`, passing through its result.
+    pub fn time<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed());
+        out
+    }
+
+    /// Current value of a counter (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.locked().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current state of a timer (default if absent).
+    pub fn timer(&self, name: &str) -> TimerStat {
+        self.locked().timers.get(name).copied().unwrap_or_default()
+    }
+
+    /// Freeze the current state into plain data.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.locked();
+        Snapshot { counters: inner.counters.clone(), timers: inner.timers.clone() }
+    }
+
+    /// Merge another snapshot's counters and timers into this registry.
+    pub fn absorb(&self, snap: &Snapshot) {
+        let mut inner = self.locked();
+        for (k, v) in &snap.counters {
+            *inner.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &snap.timers {
+            let stat = inner.timers.entry(k.clone()).or_default();
+            stat.total += v.total;
+            stat.count += v.count;
+        }
+    }
+}
+
+/// RAII timing guard returned by [`Registry::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    registry: &'a Registry,
+    name: &'a str,
+    start: Instant,
+}
+
+impl Span<'_> {
+    /// Elapsed time so far without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.registry.record(self.name, self.start.elapsed());
+    }
+}
+
+/// An immutable copy of a registry's state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Accumulated timers by name.
+    pub timers: BTreeMap<String, TimerStat>,
+}
+
+impl Snapshot {
+    /// Value of a counter (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total accumulated time of a timer (zero if absent).
+    pub fn timer_total(&self, name: &str) -> Duration {
+        self.timers.get(name).map(|t| t.total).unwrap_or(Duration::ZERO)
+    }
+
+    /// Ratio `hits / (hits + misses)` of two counters, or `None` if both
+    /// are zero. The conventional names are `<prefix>.hits` / `<prefix>.misses`.
+    pub fn hit_rate(&self, prefix: &str) -> Option<f64> {
+        let hits = self.counter(&format!("{prefix}.hits"));
+        let misses = self.counter(&format!("{prefix}.misses"));
+        let total = hits + misses;
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+
+    /// Render as a JSON object: counters as integers, timers as
+    /// `{name}_ms` floats plus `{name}_count` integers. Names are
+    /// sanitized (`.` becomes `_`) so the output is easy to consume from
+    /// the bench harness's flat `BENCH_*.json` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", sanitize(name), value);
+        }
+        for (name, stat) in &self.timers {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{}_ms\":{:.3},\"{}_count\":{}",
+                sanitize(name),
+                stat.total.as_secs_f64() * 1e3,
+                sanitize(name),
+                stat.count
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+/// A fixed-bucket histogram for small non-negative integer samples
+/// (e.g. rollout depths); the last bucket absorbs overflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` buckets for values `0..buckets-1`;
+    /// larger samples land in the final bucket.
+    pub fn new(buckets: usize) -> Self {
+        Histogram { buckets: vec![0; buckets.max(1)] }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: usize) {
+        let idx = value.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Bucket counts, index = sample value (last bucket = overflow).
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Merge another histogram of the same shape into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, v) in other.buckets.iter().enumerate() {
+            let idx = i.min(self.buckets.len() - 1);
+            self.buckets[idx] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = Registry::new();
+        reg.add("search.iterations", 10);
+        reg.add("search.iterations", 5);
+        assert_eq!(reg.counter("search.iterations"), 15);
+        assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let reg = Registry::new();
+        {
+            let _s = reg.span("phase.parse");
+        }
+        reg.time("phase.parse", || std::thread::sleep(Duration::from_millis(1)));
+        let stat = reg.timer("phase.parse");
+        assert_eq!(stat.count, 2);
+        assert!(stat.total >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn hit_rate_and_json() {
+        let reg = Registry::new();
+        reg.add("cache.hits", 3);
+        reg.add("cache.misses", 1);
+        reg.record("phase.map", Duration::from_millis(2));
+        let snap = reg.snapshot();
+        assert_eq!(snap.hit_rate("cache"), Some(0.75));
+        assert_eq!(snap.hit_rate("other"), None);
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cache_hits\":3"));
+        assert!(json.contains("\"phase_map_ms\""));
+        assert!(json.contains("\"phase_map_count\":1"));
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let a = Registry::new();
+        a.add("n", 1);
+        let b = Registry::new();
+        b.add("n", 2);
+        b.record("t", Duration::from_millis(1));
+        a.absorb(&b.snapshot());
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.timer("t").count, 1);
+    }
+
+    #[test]
+    fn histogram_overflow_and_merge() {
+        let mut h = Histogram::new(4);
+        h.record(0);
+        h.record(2);
+        h.record(9); // overflow -> last bucket
+        assert_eq!(h.buckets(), &[1, 0, 1, 1]);
+        let mut other = Histogram::new(4);
+        other.record(2);
+        h.merge(&other);
+        assert_eq!(h.buckets(), &[1, 0, 2, 1]);
+        assert_eq!(h.total(), 4);
+    }
+}

@@ -36,12 +36,8 @@ fn main() {
 
     // Brush the overview; the detail view follows.
     let mut session = nb.open_session(v1).expect("session opens");
-    if let Some(chart) = session
-        .interface()
-        .charts
-        .iter()
-        .find(|c| !c.interactions.is_empty())
-        .map(|c| c.id)
+    if let Some(chart) =
+        session.interface().charts.iter().find(|c| !c.interactions.is_empty()).map(|c| c.id)
     {
         let lo = Date::parse("2021-12-20").expect("valid date").0 as f64;
         let hi = Date::parse("2021-12-28").expect("valid date").0 as f64;

@@ -85,7 +85,11 @@ fn main() {
 }
 
 /// Returns false to quit.
-fn run_command(cmd: &str, nb: &mut Notebook, sessions: &mut HashMap<usize, InterfaceSession>) -> bool {
+fn run_command(
+    cmd: &str,
+    nb: &mut Notebook,
+    sessions: &mut HashMap<usize, InterfaceSession>,
+) -> bool {
     let parts: Vec<&str> = cmd.split_whitespace().collect();
     match parts.first().copied() {
         Some("quit") | Some("q") => return false,
@@ -199,7 +203,11 @@ fn num(parts: &[&str], idx: usize) -> Option<f64> {
     pi2_sql::Date::parse(raw).map(|d| d.0 as f64)
 }
 
-fn dispatch_event(parts: Vec<&str>, nb: &mut Notebook, sessions: &mut HashMap<usize, InterfaceSession>) {
+fn dispatch_event(
+    parts: Vec<&str>,
+    nb: &mut Notebook,
+    sessions: &mut HashMap<usize, InterfaceSession>,
+) {
     let v = parse_version(&parts, 1, nb);
     let Some(session) = sessions.get_mut(&v) else {
         println!("no such version (generate first)");

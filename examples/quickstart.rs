@@ -35,7 +35,7 @@ fn main() {
     );
 
     // 4. Render the initial state.
-    let mut session = pi2.session(&generated);
+    let mut session = generated.session(pi2.catalog());
     let updates = session.refresh_all().expect("executes");
     println!("\n{}", pi2_render::render_interface(&generated.interface, &updates));
 
@@ -47,17 +47,13 @@ fn main() {
             pi2_interface::WidgetKind::Toggle => WidgetValue::Bool(false),
             _ => WidgetValue::Pick(1),
         };
-        let updates = session
-            .dispatch(Event::SetWidget { widget: w.id, value })
-            .expect("dispatch succeeds");
+        let updates =
+            session.dispatch(Event::SetWidget { widget: w.id, value }).expect("dispatch succeeds");
         for u in &updates {
             println!("after operating '{}', chart {} runs:\n  {}", w.label, u.chart, u.query);
         }
     } else if generated.interface.interaction_count() > 0 {
-        let updates = session.dispatch(Event::Click {
-            chart: 0,
-            value: pi2_sql::Literal::Int(3),
-        });
+        let updates = session.dispatch(Event::Click { chart: 0, value: pi2_sql::Literal::Int(3) });
         if let Ok(updates) = updates {
             for u in &updates {
                 println!("after clicking, chart {} runs:\n  {}", u.chart, u.query);

@@ -24,7 +24,8 @@ fn every_scenario_generates_an_expressive_interface() {
                 ..Default::default()
             }))
             .build();
-        let g = pi2.generate(&scenario.queries).unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        let g =
+            pi2.generate(&scenario.queries).unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
         assert!(g.cost.expressive, "{}: interface must express the log", scenario.name);
         assert!(g.forest.expresses_all(&scenario.queries), "{}", scenario.name);
         assert!(!g.interface.charts.is_empty(), "{}", scenario.name);
@@ -107,7 +108,8 @@ fn session_events_keep_queries_inside_expressiveness() {
     // Dispatch a storm of events; every resulting query must still be
     // expressed by the forest (the interface can never produce a query the
     // DiffTree does not express).
-    let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 400, seed: 5 });
+    let catalog =
+        pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 400, seed: 5 });
     let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
     let g = pi2.generate(&pi2_datasets::sdss::demo_queries()).expect("generates");
     let mut s = pi2.session(&g);
@@ -154,7 +156,8 @@ fn render_and_spec_and_html_cover_all_scenarios() {
 #[test]
 fn hex_baseline_session_differs_from_pi2_in_effort_not_liveness() {
     use pi2_baselines::{Hex, Pi2Tool, Tool};
-    let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 300, seed: 8 });
+    let catalog =
+        pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 300, seed: 8 });
     let queries = pi2_datasets::sdss::demo_queries();
     let hex = Hex.generate(&queries, &catalog).expect("hex");
     let pi2 = Pi2Tool::default().generate(&queries, &catalog).expect("pi2");
@@ -176,15 +179,10 @@ fn toggle_roundtrip_via_full_pipeline() {
     let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
         .strategy(SearchStrategy::FullMerge)
         .build();
-    let g = pi2
-        .generate(&pi2_datasets::toy::fig2_queries())
-        .expect("generates");
+    let g = pi2.generate(&pi2_datasets::toy::fig2_queries()).expect("generates");
     let mut s = pi2.session(&g);
-    if let Some(toggle) = g
-        .interface
-        .widgets
-        .iter()
-        .find(|w| matches!(w.kind, pi2_interface::WidgetKind::Toggle))
+    if let Some(toggle) =
+        g.interface.widgets.iter().find(|w| matches!(w.kind, pi2_interface::WidgetKind::Toggle))
     {
         let off = s
             .dispatch(Event::SetWidget { widget: toggle.id, value: WidgetValue::Bool(false) })
@@ -225,18 +223,12 @@ fn in_list_membership_becomes_multi_select() {
     let mut session = pi2.session(&g);
     let n = options.len();
     let off = session
-        .dispatch(Event::SetWidget {
-            widget: multi.id,
-            value: WidgetValue::Multi(vec![false; n]),
-        })
+        .dispatch(Event::SetWidget { widget: multi.id, value: WidgetValue::Multi(vec![false; n]) })
         .expect("dispatch");
     assert!(!off.is_empty());
     let q_off = off[0].query.to_string();
     let on = session
-        .dispatch(Event::SetWidget {
-            widget: multi.id,
-            value: WidgetValue::Multi(vec![true; n]),
-        })
+        .dispatch(Event::SetWidget { widget: multi.id, value: WidgetValue::Multi(vec![true; n]) })
         .expect("dispatch");
     let q_on = on[0].query.to_string();
     assert_ne!(q_off, q_on);

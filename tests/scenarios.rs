@@ -29,7 +29,8 @@ fn event_stream(n: usize, seed: u64) -> Vec<Event> {
 
 #[test]
 fn sdss_session_survives_random_event_storms() {
-    let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 500, seed: 11 });
+    let catalog =
+        pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 500, seed: 11 });
     let pi2 = Pi2::builder(catalog.clone()).strategy(SearchStrategy::FullMerge).build();
     let g = pi2.generate(&pi2_datasets::sdss::demo_queries()).expect("generates");
 

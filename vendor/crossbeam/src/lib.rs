@@ -1,0 +1,85 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Exposes crossbeam's scoped-thread API shape implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). Only the subset PI2's
+//! parallel search uses is provided: [`thread::scope`] returning a
+//! `Result` that carries a child-thread panic payload, and
+//! [`thread::Scope::spawn`] with joinable handles.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result alias matching `crossbeam::thread::scope`'s signature: `Err`
+    /// holds the panic payload of a panicking child thread.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope in which child threads borrowing the environment can be
+    /// spawned; all children are joined before `scope` returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result (`Err` on
+        /// panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; it may borrow from the enclosing
+        /// environment and is joined when the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(f) }
+        }
+    }
+
+    /// Run `f` with a scope handle; every thread spawned on the scope is
+    /// joined before this returns. Mirrors `crossbeam::thread::scope`:
+    /// a panic on a child (or in `f`) surfaces as `Err(payload)` instead
+    /// of unwinding through the caller.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_environment() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|chunk| s.spawn(move || chunk.iter().sum::<i32>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_is_captured() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|| panic!("child failure"));
+        });
+        assert!(r.is_err());
+    }
+}

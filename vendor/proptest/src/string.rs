@@ -1,0 +1,147 @@
+//! String strategies from regex-like patterns.
+//!
+//! A `&'static str` used as a strategy is interpreted as a pattern over a
+//! small regex subset: literal characters, character classes with ranges
+//! (`[a-zA-Z0-9 ']`), and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (the unbounded ones capped at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+const UNBOUNDED_CAP: usize = 8;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let mut ranges = Vec::new();
+                let body = &chars[i + 1..close];
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        ranges.push((body[j], body[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((body[j], body[j]));
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling '\\' in pattern {pattern:?}"));
+                i += 2;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                i += 1;
+                (1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        let count = min + rng.below((max - min) as u64 + 1) as usize;
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u64 =
+                        ranges.iter().map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1).sum();
+                    let mut pick = rng.below(total);
+                    for &(lo, hi) in ranges {
+                        let span = (hi as u64) - (lo as u64) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(lo as u32 + pick as u32).unwrap());
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::from_seed(11);
+        let strat = "[a-zA-Z0-9 ']{0,12}";
+        let mut saw_nonempty = false;
+        for _ in 0..200 {
+            let s = Strategy::generate(&strat, &mut rng);
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '\''));
+            saw_nonempty |= !s.is_empty();
+        }
+        assert!(saw_nonempty);
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::from_seed(12);
+        assert_eq!(Strategy::generate(&"abc", &mut rng), "abc");
+        assert_eq!(Strategy::generate(&"a{3}", &mut rng), "aaa");
+    }
+}

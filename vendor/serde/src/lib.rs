@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types so a
+//! real serde can be dropped in when the build environment has network
+//! access; offline, those derives must still compile. This crate provides
+//! the two derive macros as no-ops: they parse to nothing and generate
+//! nothing. JSON output in the workspace goes through the vendored
+//! `serde_json`'s own `Value` type, which does not require these traits.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,462 @@
+//! Offline vendored stand-in for the `serde_json` crate.
+//!
+//! A self-contained JSON document model covering the API subset PI2 uses:
+//! [`Value`], insertion-ordered [`Map`], the [`json!`] macro, pretty and
+//! compact printers, and a strict parser. Conversions into `Value` go
+//! through the local [`ToJson`] trait instead of serde's `Serialize`
+//! (the vendored `serde` derives are no-ops).
+
+mod macros;
+mod parse;
+mod print;
+
+pub use parse::from_str;
+pub use print::{to_string, to_string_pretty};
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Error type for printing/parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON number: integer or double.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for i64.
+    UInt(u64),
+    /// A finite double.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as f64.
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::Int(v) => v as f64,
+            Number::UInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The number as i64, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::Int(v) => Some(v),
+            Number::UInt(v) => i64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (the shape serde_json exposes,
+/// with `preserve_order` semantics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert, replacing any existing entry for the key; returns the old
+    /// value if present.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup by key.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// null
+    #[default]
+    Null,
+    /// true / false
+    Bool(bool),
+    /// number
+    Number(Number),
+    /// string
+    String(String),
+    /// array
+    Array(Vec<Value>),
+    /// object
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as &str, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as bool, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as i64, if an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as f64, if a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice of values, if an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a map, if an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True iff the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Non-panicking indexing: `None` when missing or wrongly typed.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print::to_string(self).map_err(|_| fmt::Error)?)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Object(Map::new());
+        }
+        match self {
+            Value::Object(m) => {
+                if !m.contains_key(key) {
+                    m.insert(key.to_string(), Value::Null);
+                }
+                m.get_mut(key).expect("just inserted")
+            }
+            other => panic!("cannot index {other:?} with a string key"),
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+/// Conversion into a JSON value — the stand-in for serde's `Serialize` in
+/// the `json!` macro and `to_string*` helpers.
+pub trait ToJson {
+    /// Convert to a [`Value`].
+    fn to_json(&self) -> Value;
+}
+
+/// Convert anything [`ToJson`] into a [`Value`] (mirrors
+/// `serde_json::to_value`, minus the `Result`).
+pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Value {
+    value.to_json()
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+impl_tojson_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::Number(Number::Int(v)),
+            Err(_) => Value::Number(Number::UInt(*self)),
+        }
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Value {
+        (*self as u64).to_json()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl ToJson for Map<String, Value> {
+    fn to_json(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let name = "pi2";
+        let items = vec![1, 2, 3];
+        let opt: Option<Value> = None;
+        let v = json!({
+            "name": name,
+            "nested": { "flag": true, "count": items.len() },
+            "items": items,
+            "maybe": opt,
+            "pairs": [{ "a": 1, "b": 2.5 }, { "a": 2 }],
+            "empty_obj": {},
+            "empty_arr": [],
+            "null_lit": null,
+        });
+        assert_eq!(v["name"], "pi2");
+        assert_eq!(v["nested"]["count"].as_i64(), Some(3));
+        assert_eq!(v["pairs"].as_array().unwrap().len(), 2);
+        assert!(v["maybe"].is_null());
+        assert!(v["null_lit"].is_null());
+        assert_eq!(v["items"][1].as_i64(), Some(2));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({
+            "s": "quote \" backslash \\ newline \n tab \t unicode \u{1F600}",
+            "n": [0, -5, 2.5, 1e300],
+            "b": [true, false, null],
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let parsed = from_str(&text).unwrap();
+            assert_eq!(parsed, v, "through {text}");
+        }
+    }
+
+    #[test]
+    fn index_mut_inserts_new_keys() {
+        let mut v = json!({ "a": 1 });
+        v["b"] = json!([1, 2]);
+        assert_eq!(v["b"].as_array().unwrap().len(), 2);
+        v["a"] = json!("replaced");
+        assert_eq!(v["a"], "replaced");
+    }
+
+    #[test]
+    fn missing_paths_read_as_null() {
+        let v = json!({ "a": { "b": 1 } });
+        assert!(v["a"]["missing"]["deeper"].is_null());
+        assert!(v["nope"][3].is_null());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in
+            ["", "{", "[1,]", "{\"a\":}", "tru", "1.2.3", "\"unterminated", "{\"a\":1} trailing"]
+        {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let v = json!({ "z": 1, "a": 2, "m": 3 });
+        let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+}

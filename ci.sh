@@ -6,8 +6,14 @@ cd "$(dirname "$0")"
 echo "== cargo build --release =="
 cargo build --workspace --release
 
+echo "== cargo build --examples =="
+cargo build --workspace --examples
+
 echo "== cargo test =="
 cargo test --workspace -q
+
+echo "== conformance smoke (fixed seed, bounded budget) =="
+cargo run -q -p pi2-conformance --release -- --seed 7 --runs 50 --budget-secs 60 --no-save --quiet
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check

@@ -1,0 +1,335 @@
+//! The committed reproducer corpus: minimal failing inputs serialized to a
+//! line-oriented text format under `crates/conformance/corpus/`, replayed
+//! by `cargo test` as ordinary regression tests.
+//!
+//! Replay semantics depend on whether the entry records a planted
+//! [`Mutation`]:
+//!
+//! * no mutation — the entry is a **regression test**: the bug it once
+//!   reproduced must stay fixed, so [`Reproducer::replay`] requires the
+//!   oracle battery to pass;
+//! * with a mutation — the entry is a **harness self-test**: the planted
+//!   bug must still be caught, so replay requires the recorded oracle to
+//!   fail again.
+
+use crate::oracles::{check, CheckConfig, Mutation, StrategyChoice};
+use crate::scenarios::scenario_by_name;
+use pi2_core::{Event, WidgetValue};
+use pi2_sql::{Expr, Literal, Query};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A minimal failing (or once-failing) input: scenario, oracle, strategy,
+/// query log, and event sequence.
+#[derive(Debug, Clone)]
+pub struct Reproducer {
+    /// Scenario name (see [`crate::scenarios::scenarios`]).
+    pub scenario: String,
+    /// The oracle that tripped.
+    pub oracle: String,
+    /// Human-readable failure message (informational only).
+    pub message: String,
+    /// Strategy the failure was observed under.
+    pub strategy: StrategyChoice,
+    /// Planted bug, if this is a harness self-test entry.
+    pub mutation: Option<Mutation>,
+    /// The (shrunken) query log.
+    pub queries: Vec<Query>,
+    /// The (shrunken) event sequence.
+    pub events: Vec<Event>,
+}
+
+/// Parse a bare SQL literal by round-tripping it through the parser.
+fn parse_literal(s: &str) -> Result<Literal, String> {
+    let q = pi2_sql::parse_query(&format!("SELECT * FROM t WHERE x = {s}"))
+        .map_err(|e| format!("bad literal `{s}`: {e}"))?;
+    if let Some(Expr::Binary { right, .. }) = q.where_clause {
+        if let Expr::Literal(l) = *right {
+            return Ok(l);
+        }
+    }
+    Err(format!("`{s}` is not a literal"))
+}
+
+fn event_to_line(e: &Event) -> String {
+    match e {
+        Event::SetWidget { widget, value } => match value {
+            WidgetValue::Pick(i) => format!("set-widget {widget} pick {i}"),
+            WidgetValue::Bool(b) => format!("set-widget {widget} bool {b}"),
+            WidgetValue::Scalar(v) => format!("set-widget {widget} scalar {v:?}"),
+            WidgetValue::Range(a, b) => format!("set-widget {widget} range {a:?} {b:?}"),
+            WidgetValue::Multi(flags) => {
+                let bits: String = flags.iter().map(|&f| if f { '1' } else { '0' }).collect();
+                format!("set-widget {widget} multi {bits}")
+            }
+            WidgetValue::Literal(l) => format!("set-widget {widget} literal {l}"),
+        },
+        Event::Brush { chart, low, high } => format!("brush {chart} {low:?} {high:?}"),
+        Event::Pan { chart, dx, dy } => format!("pan {chart} {dx:?} {dy:?}"),
+        Event::Zoom { chart, factor } => format!("zoom {chart} {factor:?}"),
+        Event::Click { chart, value } => format!("click {chart} {value}"),
+    }
+}
+
+fn event_from_line(line: &str) -> Result<Event, String> {
+    let err = || format!("bad event line `{line}`");
+    let mut parts = line.splitn(2, ' ');
+    let kind = parts.next().ok_or_else(err)?;
+    let rest = parts.next().unwrap_or("");
+    let words: Vec<&str> = rest.split_whitespace().collect();
+    let num = |s: &str| -> Result<f64, String> { s.parse::<f64>().map_err(|_| err()) };
+    let idx = |s: &str| -> Result<usize, String> { s.parse::<usize>().map_err(|_| err()) };
+    match kind {
+        "set-widget" => {
+            let widget = idx(words.first().ok_or_else(err)?)?;
+            let shape = *words.get(1).ok_or_else(err)?;
+            let value = match shape {
+                "pick" => WidgetValue::Pick(idx(words.get(2).ok_or_else(err)?)?),
+                "bool" => {
+                    WidgetValue::Bool(words.get(2).ok_or_else(err)?.parse().map_err(|_| err())?)
+                }
+                "scalar" => WidgetValue::Scalar(num(words.get(2).ok_or_else(err)?)?),
+                "range" => WidgetValue::Range(
+                    num(words.get(2).ok_or_else(err)?)?,
+                    num(words.get(3).ok_or_else(err)?)?,
+                ),
+                "multi" => WidgetValue::Multi(
+                    words.get(2).ok_or_else(err)?.chars().map(|c| c == '1').collect(),
+                ),
+                "literal" => {
+                    // The literal is everything after the third token (it
+                    // may contain spaces, e.g. `DATE '2020-01-01'`).
+                    let prefix_len = rest.find(" literal ").ok_or_else(err)? + " literal ".len();
+                    WidgetValue::Literal(parse_literal(rest[prefix_len..].trim())?)
+                }
+                _ => return Err(err()),
+            };
+            Ok(Event::SetWidget { widget, value })
+        }
+        "brush" => Ok(Event::Brush {
+            chart: idx(words.first().ok_or_else(err)?)?,
+            low: num(words.get(1).ok_or_else(err)?)?,
+            high: num(words.get(2).ok_or_else(err)?)?,
+        }),
+        "pan" => Ok(Event::Pan {
+            chart: idx(words.first().ok_or_else(err)?)?,
+            dx: num(words.get(1).ok_or_else(err)?)?,
+            dy: num(words.get(2).ok_or_else(err)?)?,
+        }),
+        "zoom" => Ok(Event::Zoom {
+            chart: idx(words.first().ok_or_else(err)?)?,
+            factor: num(words.get(1).ok_or_else(err)?)?,
+        }),
+        "click" => {
+            let chart = idx(words.first().ok_or_else(err)?)?;
+            let sep = rest.find(' ').ok_or_else(err)?;
+            Ok(Event::Click { chart, value: parse_literal(rest[sep..].trim())? })
+        }
+        _ => Err(err()),
+    }
+}
+
+fn strategy_to_line(s: StrategyChoice) -> String {
+    match s {
+        StrategyChoice::FullMerge => "full-merge".into(),
+        StrategyChoice::Mcts { iterations, seed, workers } => {
+            format!("mcts {iterations} {seed} {workers}")
+        }
+    }
+}
+
+fn strategy_from_line(line: &str) -> Result<StrategyChoice, String> {
+    let words: Vec<&str> = line.split_whitespace().collect();
+    match words.as_slice() {
+        ["full-merge"] => Ok(StrategyChoice::FullMerge),
+        ["mcts", i, s, w] => Ok(StrategyChoice::Mcts {
+            iterations: i.parse().map_err(|_| format!("bad strategy `{line}`"))?,
+            seed: s.parse().map_err(|_| format!("bad strategy `{line}`"))?,
+            workers: w.parse().map_err(|_| format!("bad strategy `{line}`"))?,
+        }),
+        _ => Err(format!("bad strategy `{line}`")),
+    }
+}
+
+impl Reproducer {
+    /// Serialize to the corpus text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# pi2-conformance reproducer\n");
+        let _ = writeln!(out, "scenario: {}", self.scenario);
+        let _ = writeln!(out, "oracle: {}", self.oracle);
+        let _ = writeln!(out, "strategy: {}", strategy_to_line(self.strategy));
+        if self.mutation == Some(Mutation::BreakExpressiveness) {
+            let _ = writeln!(out, "mutation: break-expressiveness");
+        }
+        if !self.message.is_empty() {
+            let _ = writeln!(out, "message: {}", self.message.replace('\n', " "));
+        }
+        for q in &self.queries {
+            let _ = writeln!(out, "query: {q}");
+        }
+        for e in &self.events {
+            let _ = writeln!(out, "event: {}", event_to_line(e));
+        }
+        out
+    }
+
+    /// Parse the corpus text format.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut r = Reproducer {
+            scenario: String::new(),
+            oracle: String::new(),
+            message: String::new(),
+            strategy: StrategyChoice::FullMerge,
+            mutation: None,
+            queries: Vec::new(),
+            events: Vec::new(),
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) =
+                line.split_once(':').ok_or_else(|| format!("bad corpus line `{line}`"))?;
+            let value = value.trim();
+            match key.trim() {
+                "scenario" => r.scenario = value.into(),
+                "oracle" => r.oracle = value.into(),
+                "message" => r.message = value.into(),
+                "strategy" => r.strategy = strategy_from_line(value)?,
+                "mutation" => match value {
+                    "break-expressiveness" => r.mutation = Some(Mutation::BreakExpressiveness),
+                    other => return Err(format!("unknown mutation `{other}`")),
+                },
+                "query" => r.queries.push(pi2_sql::parse_query(value).map_err(|e| format!("{e}"))?),
+                "event" => r.events.push(event_from_line(value)?),
+                other => return Err(format!("unknown corpus key `{other}`")),
+            }
+        }
+        if r.scenario.is_empty() || r.oracle.is_empty() || r.queries.is_empty() {
+            return Err("corpus entry missing scenario/oracle/queries".into());
+        }
+        Ok(r)
+    }
+
+    /// Replay this entry against the current pipeline.
+    ///
+    /// Entries without a mutation must *pass* the oracle battery (they
+    /// record fixed bugs); entries with a mutation must *fail* with the
+    /// recorded oracle (they prove the harness still catches the planted
+    /// bug).
+    pub fn replay(&self) -> Result<(), String> {
+        let scenario = scenario_by_name(&self.scenario)
+            .ok_or_else(|| format!("unknown scenario `{}`", self.scenario))?;
+        let cfg = CheckConfig {
+            strategy: self.strategy,
+            mutation: self.mutation,
+            ..CheckConfig::default()
+        };
+        let outcome = check(&scenario.catalog, &self.queries, Some(&self.events), &cfg);
+        match (self.mutation, outcome) {
+            (None, Ok(())) => Ok(()),
+            (None, Err(f)) => Err(format!(
+                "regression resurfaced: oracle `{}` failed again: {}",
+                f.oracle, f.message
+            )),
+            (Some(_), Err(f)) if f.oracle == self.oracle => Ok(()),
+            (Some(_), Err(f)) => Err(format!(
+                "planted bug tripped oracle `{}` instead of `{}`",
+                f.oracle, self.oracle
+            )),
+            (Some(_), Ok(())) => {
+                Err(format!("planted bug no longer caught by oracle `{}`", self.oracle))
+            }
+        }
+    }
+
+    /// Stable file name for this entry.
+    pub fn file_name(&self) -> String {
+        // FNV-1a over the serialized text keeps names stable and unique
+        // enough for a small committed corpus.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.to_text().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        format!("{}-{}-{:08x}.repro", self.scenario, self.oracle, h as u32)
+    }
+
+    /// Write this entry into `dir`, returning the path.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_text())?;
+        Ok(path)
+    }
+}
+
+/// Load every `*.repro` entry under `dir`, sorted by file name.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Reproducer)>, String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "repro"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            let r = Reproducer::from_text(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+            Ok((p, r))
+        })
+        .collect()
+}
+
+/// The committed corpus directory of this crate.
+pub fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let r = Reproducer {
+            scenario: "toy".into(),
+            oracle: "expressiveness".into(),
+            message: "forest cannot express: x".into(),
+            strategy: StrategyChoice::Mcts { iterations: 40, seed: 9, workers: 2 },
+            mutation: Some(Mutation::BreakExpressiveness),
+            queries: vec![
+                pi2_sql::parse_query("SELECT a, count(*) FROM t GROUP BY a").unwrap(),
+                pi2_sql::parse_query("SELECT b FROM t WHERE c = 'x y'").unwrap(),
+            ],
+            events: vec![
+                Event::SetWidget { widget: 3, value: WidgetValue::Pick(2) },
+                Event::SetWidget { widget: 1, value: WidgetValue::Range(0.25, 2.5) },
+                Event::SetWidget { widget: 4, value: WidgetValue::Multi(vec![true, false, true]) },
+                Event::SetWidget {
+                    widget: 5,
+                    value: WidgetValue::Literal(pi2_sql::Literal::Str("a b".into())),
+                },
+                Event::Brush { chart: 0, low: -1.5, high: 3.0 },
+                Event::Pan { chart: 0, dx: 2.0, dy: -1.0 },
+                Event::Zoom { chart: 1, factor: 0.5 },
+                Event::Click { chart: 0, value: pi2_sql::Literal::Int(7) },
+            ],
+        };
+        let text = r.to_text();
+        let back = Reproducer::from_text(&text).unwrap();
+        assert_eq!(format!("{:?}", r.queries), format!("{:?}", back.queries));
+        assert_eq!(format!("{:?}", r.events), format!("{:?}", back.events));
+        assert_eq!(back.strategy, r.strategy);
+        assert_eq!(back.mutation, r.mutation);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn date_literal_round_trips() {
+        let e = event_from_line("click 2 DATE '2020-03-01'").unwrap();
+        assert_eq!(event_from_line(&event_to_line(&e)).unwrap(), e);
+    }
+}

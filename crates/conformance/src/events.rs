@@ -1,0 +1,247 @@
+//! Random-but-valid event generation for a generated interface, plus the
+//! applicability check the shrinker uses during replay.
+//!
+//! Events are drawn from the interface's *actual* widgets and chart
+//! interactions, with values taken from the bound choice nodes' domains —
+//! so a dispatch failure on a generated event is an oracle violation, not
+//! generator noise.
+
+use pi2_core::{Event, GeneratedInterface, WidgetValue};
+use pi2_difftree::{DiffForest, Domain, NodeKind};
+use pi2_interface::{Interface, Target, VizInteraction, WidgetKind};
+use pi2_sql::Literal;
+use rand::Rng;
+
+/// The domain of the choice node behind `target`, if it is a hole.
+fn hole_domain(forest: &DiffForest, target: Target) -> Option<Domain> {
+    let node = forest.trees.get(target.tree)?.root.find(target.node)?;
+    match &node.kind {
+        NodeKind::Hole { domain, .. } => Some(domain.clone()),
+        _ => None,
+    }
+}
+
+/// Continuous bounds of a domain as f64 (dates as day numbers).
+pub(crate) fn domain_bounds(domain: &Domain) -> Option<(f64, f64)> {
+    match domain {
+        Domain::IntRange { min, max } => Some((*min as f64, *max as f64)),
+        Domain::FloatRange { min, max } => Some((min.0, max.0)),
+        Domain::DateRange { min, max } => Some((min.0 as f64, max.0 as f64)),
+        Domain::Discrete(_) => None,
+    }
+}
+
+fn literal_to_f64(l: &Literal) -> Option<f64> {
+    match l {
+        Literal::Int(v) => Some(*v as f64),
+        Literal::Float(f) => Some(f.0),
+        Literal::Date(d) => Some(d.0 as f64),
+        _ => None,
+    }
+}
+
+/// A value within the slider's `[min, max]`, snapped loosely to `step`.
+fn slider_value<R: Rng>(rng: &mut R, min: f64, max: f64, step: f64) -> f64 {
+    if max <= min {
+        return min;
+    }
+    let v = rng.gen_range(min..max);
+    if step > 0.0 {
+        (min + ((v - min) / step).round() * step).clamp(min, max)
+    } else {
+        v
+    }
+}
+
+/// Draw one random valid event for the interface, or `None` when the
+/// interface has no operable control at all (static interfaces exist: a
+/// log of identical queries produces zero widgets).
+pub fn random_event<R: Rng>(g: &GeneratedInterface, rng: &mut R) -> Option<Event> {
+    let mut candidates: Vec<Event> = Vec::new();
+    for w in &g.interface.widgets {
+        match &w.kind {
+            WidgetKind::Radio { options }
+            | WidgetKind::ButtonGroup { options }
+            | WidgetKind::Dropdown { options }
+            | WidgetKind::Tabs { options } => {
+                if !options.is_empty() {
+                    candidates.push(Event::SetWidget {
+                        widget: w.id,
+                        value: WidgetValue::Pick(rng.gen_range(0..options.len())),
+                    });
+                }
+            }
+            WidgetKind::Toggle => {
+                candidates.push(Event::SetWidget {
+                    widget: w.id,
+                    value: WidgetValue::Bool(rng.gen_bool(0.5)),
+                });
+            }
+            WidgetKind::Slider { min, max, step, .. } => {
+                candidates.push(Event::SetWidget {
+                    widget: w.id,
+                    value: WidgetValue::Scalar(slider_value(rng, *min, *max, *step)),
+                });
+            }
+            WidgetKind::RangeSlider { min, max, step, .. } => {
+                let a = slider_value(rng, *min, *max, *step);
+                let b = slider_value(rng, *min, *max, *step);
+                candidates.push(Event::SetWidget {
+                    widget: w.id,
+                    value: WidgetValue::Range(a.min(b), a.max(b)),
+                });
+            }
+            WidgetKind::MultiSelect { options } => {
+                let flags: Vec<bool> = (0..options.len()).map(|_| rng.gen_bool(0.7)).collect();
+                candidates
+                    .push(Event::SetWidget { widget: w.id, value: WidgetValue::Multi(flags) });
+            }
+            WidgetKind::TextInput => {
+                // Only meaningful when the hole's domain is discrete; an
+                // unbounded text hole has no value pool to draw from.
+                if let Some(Domain::Discrete(items)) =
+                    w.targets.first().and_then(|t| hole_domain(&g.forest, *t))
+                {
+                    if !items.is_empty() {
+                        candidates.push(Event::SetWidget {
+                            widget: w.id,
+                            value: WidgetValue::Literal(
+                                items[rng.gen_range(0..items.len())].clone(),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for c in &g.interface.charts {
+        for i in &c.interactions {
+            match i {
+                VizInteraction::BrushX { low, .. } => {
+                    if let Some((min, max)) =
+                        hole_domain(&g.forest, *low).as_ref().and_then(domain_bounds)
+                    {
+                        if max > min {
+                            let a = rng.gen_range(min..max);
+                            let b = rng.gen_range(min..max);
+                            candidates.push(Event::Brush {
+                                chart: c.id,
+                                low: a.min(b),
+                                high: a.max(b),
+                            });
+                        }
+                    }
+                }
+                VizInteraction::PanZoom { x, y, .. } => {
+                    let span = |pair: &Option<(Target, Target)>| {
+                        pair.as_ref()
+                            .and_then(|(lo, _)| hole_domain(&g.forest, *lo))
+                            .as_ref()
+                            .and_then(domain_bounds)
+                            .map(|(min, max)| max - min)
+                            .unwrap_or(0.0)
+                    };
+                    let (sx, sy) = (span(x), span(y));
+                    let dx = if sx > 0.0 { rng.gen_range(-0.25..0.25) * sx } else { 0.0 };
+                    let dy = if sy > 0.0 { rng.gen_range(-0.25..0.25) * sy } else { 0.0 };
+                    candidates.push(Event::Pan { chart: c.id, dx, dy });
+                    candidates.push(Event::Zoom {
+                        chart: c.id,
+                        factor: [0.5, 0.8, 1.25, 2.0][rng.gen_range(0..4)],
+                    });
+                }
+                VizInteraction::ClickBind { target, .. } => match hole_domain(&g.forest, *target) {
+                    Some(Domain::Discrete(items)) if !items.is_empty() => {
+                        candidates.push(Event::Click {
+                            chart: c.id,
+                            value: items[rng.gen_range(0..items.len())].clone(),
+                        });
+                    }
+                    Some(domain) => {
+                        if let Some((min, max)) = domain_bounds(&domain) {
+                            let v = rng.gen_range(min..max.max(min + 1.0));
+                            let lit = match domain {
+                                Domain::IntRange { .. } => Literal::Int(v.round() as i64),
+                                Domain::FloatRange { .. } => Literal::Float(pi2_sql::F64(v)),
+                                Domain::DateRange { .. } => {
+                                    Literal::Date(pi2_sql::Date(v.round() as i32))
+                                }
+                                Domain::Discrete(_) => unreachable!(),
+                            };
+                            candidates.push(Event::Click { chart: c.id, value: lit });
+                        }
+                    }
+                    None => {}
+                },
+            }
+        }
+    }
+    if candidates.is_empty() {
+        None
+    } else {
+        let i = rng.gen_range(0..candidates.len());
+        Some(candidates.swap_remove(i))
+    }
+}
+
+/// Does `event` still address an existing control of `interface`, with a
+/// value of the right shape? The shrinker replays recorded events against
+/// *smaller* logs whose interfaces may have fewer widgets; events that no
+/// longer apply are skipped rather than counted as failures.
+pub fn event_applies(interface: &Interface, event: &Event) -> bool {
+    match event {
+        Event::SetWidget { widget, value } => {
+            let Some(w) = interface.widgets.iter().find(|w| w.id == *widget) else {
+                return false;
+            };
+            match (&w.kind, value) {
+                (
+                    WidgetKind::Radio { options }
+                    | WidgetKind::ButtonGroup { options }
+                    | WidgetKind::Dropdown { options }
+                    | WidgetKind::Tabs { options },
+                    WidgetValue::Pick(i),
+                ) => *i < options.len(),
+                (WidgetKind::Toggle, WidgetValue::Bool(_)) => true,
+                (WidgetKind::Slider { .. }, WidgetValue::Scalar(_)) => true,
+                (WidgetKind::RangeSlider { .. }, WidgetValue::Range(..)) => true,
+                (WidgetKind::MultiSelect { options }, WidgetValue::Multi(flags)) => {
+                    flags.len() == options.len()
+                }
+                (WidgetKind::TextInput, WidgetValue::Literal(_)) => true,
+                _ => false,
+            }
+        }
+        Event::Brush { chart, .. } => interface.charts.iter().any(|c| {
+            c.id == *chart
+                && c.interactions.iter().any(|i| matches!(i, VizInteraction::BrushX { .. }))
+        }),
+        Event::Pan { chart, .. } | Event::Zoom { chart, .. } => interface.charts.iter().any(|c| {
+            c.id == *chart
+                && c.interactions.iter().any(|i| matches!(i, VizInteraction::PanZoom { .. }))
+        }),
+        Event::Click { chart, .. } => interface.charts.iter().any(|c| {
+            c.id == *chart
+                && c.interactions.iter().any(|i| matches!(i, VizInteraction::ClickBind { .. }))
+        }),
+    }
+}
+
+/// The f64 view of the current value of hole `target` in `session`'s
+/// bindings (or the node default), used by the pan round-trip oracle.
+pub(crate) fn current_hole_value(
+    forest: &DiffForest,
+    session: &pi2_core::InterfaceSession,
+    target: Target,
+) -> Option<f64> {
+    if let Some(pi2_difftree::Binding::Value(l)) =
+        session.bindings(target.tree).and_then(|b| b.get(target.node))
+    {
+        return literal_to_f64(l);
+    }
+    let node = forest.trees.get(target.tree)?.root.find(target.node)?;
+    match &node.kind {
+        NodeKind::Hole { default, .. } => literal_to_f64(default),
+        _ => None,
+    }
+}

@@ -1,0 +1,95 @@
+//! `pi2-conformance` — seeded fuzz-and-oracle campaign over the PI2
+//! pipeline.
+//!
+//! ```text
+//! cargo run -p pi2-conformance -- --seed 7 --runs 50 --budget-secs 60
+//! ```
+//!
+//! Exits non-zero when any oracle fails; the shrunken reproducer is
+//! written to the committed corpus directory (override with
+//! `--corpus-dir`, disable with `--no-save`).
+
+use pi2_conformance::{corpus, Mutation, RunnerConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Args {
+    cfg: RunnerConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pi2-conformance [--seed N] [--runs K] [--budget-secs S] \
+         [--corpus-dir DIR] [--no-save] [--inject-bug] [--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut cfg = RunnerConfig {
+        corpus_dir: Some(corpus::default_dir()),
+        verbose: true,
+        ..RunnerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => cfg.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--runs" => cfg.runs = value("--runs").parse().unwrap_or_else(|_| usage()),
+            "--budget-secs" => {
+                let secs: u64 = value("--budget-secs").parse().unwrap_or_else(|_| usage());
+                cfg.budget = Some(Duration::from_secs(secs));
+            }
+            "--corpus-dir" => cfg.corpus_dir = Some(PathBuf::from(value("--corpus-dir"))),
+            "--no-save" => cfg.corpus_dir = None,
+            "--inject-bug" => cfg.mutation = Some(Mutation::BreakExpressiveness),
+            "--quiet" => cfg.verbose = false,
+            "--verbose" => cfg.verbose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    Args { cfg }
+}
+
+fn main() {
+    let Args { cfg } = parse_args();
+    eprintln!(
+        "pi2-conformance: seed={} runs={} budget={:?}{}",
+        cfg.seed,
+        cfg.runs,
+        cfg.budget,
+        if cfg.mutation.is_some() { " (bug injected)" } else { "" }
+    );
+    let report = pi2_conformance::fuzz(&cfg);
+    eprintln!(
+        "{} of {} runs completed in {:.1}s, {} failure(s)",
+        report.runs_completed,
+        cfg.runs,
+        report.elapsed.as_secs_f64(),
+        report.failures.len()
+    );
+    if !report.all_green() {
+        for (r, path) in &report.failures {
+            eprintln!(
+                "  [{}] oracle `{}`: {} ({} queries, {} events){}",
+                r.scenario,
+                r.oracle,
+                r.message,
+                r.queries.len(),
+                r.events.len(),
+                path.as_deref().map(|p| format!(" -> {}", p.display())).unwrap_or_default()
+            );
+        }
+        std::process::exit(1);
+    }
+}

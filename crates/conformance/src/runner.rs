@@ -1,0 +1,173 @@
+//! The fuzz loop: seeded run generation, oracle checking, shrinking, and
+//! corpus persistence.
+
+use crate::corpus::Reproducer;
+use crate::oracles::{check, CheckConfig, Mutation, StrategyChoice};
+use crate::scenarios::{scenarios, Scenario};
+use crate::shrink::shrink;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Configuration for one [`fuzz`] invocation.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Master seed; every run derives its own sub-seed from it, so the
+    /// whole campaign is reproducible from `(seed, runs)`.
+    pub seed: u64,
+    /// Number of fuzz runs to attempt.
+    pub runs: usize,
+    /// Optional wall-clock budget; the loop stops early when exceeded.
+    pub budget: Option<Duration>,
+    /// Planted bug for mutation-testing the harness.
+    pub mutation: Option<Mutation>,
+    /// Where to write shrunken reproducers (`None` disables persistence).
+    pub corpus_dir: Option<PathBuf>,
+    /// Stop after this many distinct failures (shrinking is expensive).
+    pub max_failures: usize,
+    /// Print a line per run to stderr.
+    pub verbose: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            runs: 50,
+            budget: None,
+            mutation: None,
+            corpus_dir: None,
+            max_failures: 3,
+            verbose: false,
+        }
+    }
+}
+
+/// Outcome of a fuzz campaign.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Runs actually completed (≤ `cfg.runs` when the budget ran out).
+    pub runs_completed: usize,
+    /// Shrunken failures, with the corpus path when persistence was on.
+    pub failures: Vec<(Reproducer, Option<PathBuf>)>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl RunReport {
+    /// True when every completed run passed all oracles.
+    pub fn all_green(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// SplitMix64: decorrelate per-run seeds from the master seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The per-run plan derived deterministically from `(master_seed, run)`.
+fn plan(cfg: &RunnerConfig, run: usize) -> (u64, StrategyChoice, bool) {
+    let run_seed = splitmix64(cfg.seed ^ (run as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    // Mostly the fast FullMerge path; every 5th run drives the MCTS
+    // search, alternating worker counts.
+    let strategy = if run % 5 == 4 {
+        StrategyChoice::Mcts {
+            iterations: 24,
+            seed: run_seed,
+            workers: if run % 10 == 9 { 2 } else { 1 },
+        }
+    } else {
+        StrategyChoice::FullMerge
+    };
+    // The memo/workers oracle regenerates four times; gate it.
+    let workers_oracle = run % 7 == 3;
+    (run_seed, strategy, workers_oracle)
+}
+
+/// Run a seeded fuzz campaign over all scenarios.
+pub fn fuzz(cfg: &RunnerConfig) -> RunReport {
+    let started = Instant::now();
+    let scenarios: Vec<Scenario> = scenarios();
+    let mut failures: Vec<(Reproducer, Option<PathBuf>)> = Vec::new();
+    let mut runs_completed = 0usize;
+
+    for run in 0..cfg.runs {
+        if let Some(budget) = cfg.budget {
+            if started.elapsed() >= budget {
+                if cfg.verbose {
+                    eprintln!("budget exhausted after {run} runs");
+                }
+                break;
+            }
+        }
+        let (run_seed, strategy, workers_oracle) = plan(cfg, run);
+        let scenario = &scenarios[run % scenarios.len()];
+        let mut rng = SmallRng::seed_from_u64(run_seed);
+        let log_len = rng.gen_range(1..5);
+        let log = scenario.spec.random_log(&mut rng, log_len);
+        let check_cfg = CheckConfig {
+            strategy,
+            walk_len: 6,
+            walk_seed: splitmix64(run_seed),
+            workers_oracle,
+            mutation: cfg.mutation,
+        };
+        match check(&scenario.catalog, &log, None, &check_cfg) {
+            Ok(()) => {
+                if cfg.verbose {
+                    eprintln!(
+                        "run {run:>4} {:<12} log={log_len} {:<10} ok",
+                        scenario.name,
+                        match strategy {
+                            StrategyChoice::FullMerge => "full-merge".to_string(),
+                            StrategyChoice::Mcts { workers, .. } => format!("mcts/w{workers}"),
+                        }
+                    );
+                }
+            }
+            Err(f) => {
+                eprintln!(
+                    "run {run} ({}): oracle `{}` FAILED: {}",
+                    scenario.name, f.oracle, f.message
+                );
+                let (min_log, min_events) =
+                    shrink(&scenario.catalog, &log, &f.events, &check_cfg, f.oracle)
+                        .unwrap_or((log.clone(), f.events.clone()));
+                eprintln!("  shrunk to {} queries, {} events", min_log.len(), min_events.len());
+                let repro = Reproducer {
+                    scenario: scenario.name.to_string(),
+                    oracle: f.oracle.to_string(),
+                    message: f.message.clone(),
+                    strategy,
+                    mutation: cfg.mutation,
+                    queries: min_log,
+                    events: min_events,
+                };
+                let saved = cfg.corpus_dir.as_deref().and_then(|dir| match repro.save(dir) {
+                    Ok(path) => {
+                        eprintln!("  reproducer saved to {}", path.display());
+                        Some(path)
+                    }
+                    Err(e) => {
+                        eprintln!("  could not save reproducer: {e}");
+                        None
+                    }
+                });
+                failures.push((repro, saved));
+                if failures.len() >= cfg.max_failures {
+                    eprintln!("stopping after {} failures", failures.len());
+                    runs_completed = run + 1;
+                    break;
+                }
+            }
+        }
+        runs_completed = run + 1;
+    }
+
+    RunReport { runs_completed, failures, elapsed: started.elapsed() }
+}

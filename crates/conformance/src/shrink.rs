@@ -1,0 +1,95 @@
+//! Delta-debugging of failing inputs: reduce the query log and the event
+//! sequence to a minimal reproducer that still trips the *same* oracle.
+
+use crate::oracles::{check, CheckConfig, Failure};
+use pi2_core::Event;
+use pi2_engine::Catalog;
+use pi2_sql::Query;
+
+/// Does this (log, events) pair still fail the same oracle? Returns the
+/// failure so the caller can reuse its dispatched-events prefix.
+fn reproduces(
+    catalog: &Catalog,
+    log: &[Query],
+    events: &[Event],
+    cfg: &CheckConfig,
+    oracle: &str,
+) -> Option<Failure> {
+    match check(catalog, log, Some(events), cfg) {
+        Err(f) if f.oracle == oracle => Some(f),
+        _ => None,
+    }
+}
+
+/// Shrink a failing input with a one-at-a-time ddmin pass, first over the
+/// query log, then over the event sequence.
+///
+/// `oracle` is the name of the oracle that originally tripped; a candidate
+/// only counts as reproducing when the *same* oracle fails again (a
+/// smaller log that fails differently is a different bug). Events that no
+/// longer apply to a shrunken log's interface are skipped during replay,
+/// so query removal and event removal don't have to be interleaved.
+///
+/// Returns the minimal `(log, events)`, or `None` if the original input
+/// unexpectedly fails to reproduce (flaky oracle — should not happen with
+/// a deterministic pipeline, but the corpus must never record
+/// non-reproducers).
+pub fn shrink(
+    catalog: &Catalog,
+    log: &[Query],
+    events: &[Event],
+    cfg: &CheckConfig,
+    oracle: &'static str,
+) -> Option<(Vec<Query>, Vec<Event>)> {
+    let mut log = log.to_vec();
+    // The failure's `events` field is the dispatched prefix up to the
+    // trigger: everything after it is dead weight, drop it immediately.
+    let first = reproduces(catalog, &log, events, cfg, oracle)?;
+    let mut events = if first.events.is_empty() { Vec::new() } else { first.events };
+
+    // Phase A: drop queries one at a time until a fixpoint.
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < log.len() {
+            if log.len() == 1 {
+                break;
+            }
+            let mut candidate = log.clone();
+            candidate.remove(i);
+            if let Some(f) = reproduces(catalog, &candidate, &events, cfg, oracle) {
+                log = candidate;
+                if !f.events.is_empty() {
+                    events = f.events;
+                }
+                removed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    // Phase B: drop events one at a time until a fixpoint.
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < events.len() {
+            let mut candidate = events.clone();
+            candidate.remove(i);
+            if reproduces(catalog, &log, &candidate, cfg, oracle).is_some() {
+                events = candidate;
+                removed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+
+    Some((log, events))
+}

@@ -1,0 +1,35 @@
+//! Replay every committed corpus entry (see `corpus/README.md`):
+//! regression entries must pass the oracle battery, planted-bug entries
+//! must still be caught.
+
+use pi2_conformance::corpus;
+
+#[test]
+fn corpus_is_nonempty() {
+    let entries = corpus::load_dir(&corpus::default_dir()).expect("corpus dir readable");
+    assert!(
+        !entries.is_empty(),
+        "committed corpus is empty — regression reproducers have gone missing"
+    );
+}
+
+#[test]
+fn every_corpus_entry_replays() {
+    let entries = corpus::load_dir(&corpus::default_dir()).expect("corpus dir readable");
+    let mut failures = Vec::new();
+    for (path, repro) in entries {
+        if let Err(e) = repro.replay() {
+            failures.push(format!("{}: {e}", path.display()));
+        }
+    }
+    assert!(failures.is_empty(), "corpus replay failures:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn corpus_files_round_trip() {
+    for (path, repro) in corpus::load_dir(&corpus::default_dir()).unwrap() {
+        let reparsed = corpus::Reproducer::from_text(&repro.to_text())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(reparsed.to_text(), repro.to_text(), "{}", path.display());
+    }
+}

@@ -1,0 +1,73 @@
+//! Mutation tests for the harness itself: a planted pipeline bug must be
+//! caught by the fuzzer and shrunk to a minimal reproducer.
+
+use pi2_conformance::{check, shrink, CheckConfig, Failure, Mutation, RunnerConfig};
+
+/// The planted expressiveness bug is found within a small seeded
+/// campaign, and the failing log shrinks to at most 3 queries (two
+/// distinct queries are the minimal witness that "only default
+/// instantiations count" is wrong).
+#[test]
+fn injected_expressiveness_bug_is_caught_and_shrunk() {
+    let cfg = RunnerConfig {
+        seed: 7,
+        runs: 50,
+        mutation: Some(Mutation::BreakExpressiveness),
+        corpus_dir: None,
+        verbose: false,
+        ..RunnerConfig::default()
+    };
+    let report = pi2_conformance::fuzz(&cfg);
+    assert!(!report.failures.is_empty(), "planted bug was never caught");
+    for (repro, _) in &report.failures {
+        assert_eq!(repro.oracle, "expressiveness");
+        assert!(
+            repro.queries.len() <= 3,
+            "reproducer not minimal: {} queries\n{}",
+            repro.queries.len(),
+            repro.to_text()
+        );
+        // A minimal witness needs at least two queries: one query alone is
+        // its own default instantiation.
+        assert!(repro.queries.len() >= 2, "over-shrunk:\n{}", repro.to_text());
+    }
+}
+
+/// Shrinking preserves the failing oracle: the minimized input fails the
+/// same way the original did.
+#[test]
+fn shrunk_input_still_fails_same_oracle() {
+    let scenario = pi2_conformance::scenarios::scenario_by_name("toy").unwrap();
+    let log: Vec<pi2_sql::Query> = [
+        "SELECT a, count(*) FROM t GROUP BY a",
+        "SELECT b, count(*) FROM t GROUP BY b",
+        "SELECT a, count(*) FROM t GROUP BY a",
+    ]
+    .iter()
+    .map(|s| pi2_sql::parse_query(s).unwrap())
+    .collect();
+    let cfg =
+        CheckConfig { mutation: Some(Mutation::BreakExpressiveness), ..CheckConfig::default() };
+    let Err(Failure { oracle, .. }) = check(&scenario.catalog, &log, None, &cfg) else {
+        panic!("planted bug not caught");
+    };
+    assert_eq!(oracle, "expressiveness");
+    let (min_log, min_events) =
+        shrink(&scenario.catalog, &log, &[], &cfg, oracle).expect("shrink reproduces");
+    assert_eq!(min_log.len(), 2, "{min_log:?}");
+    assert!(min_events.is_empty());
+    let Err(again) = check(&scenario.catalog, &min_log, Some(&min_events), &cfg) else {
+        panic!("shrunken input no longer fails");
+    };
+    assert_eq!(again.oracle, "expressiveness");
+}
+
+/// A clean pipeline passes a short seeded campaign end to end (the same
+/// configuration CI runs with a larger budget).
+#[test]
+fn clean_pipeline_fuzzes_green() {
+    let cfg = RunnerConfig { seed: 7, runs: 15, verbose: false, ..RunnerConfig::default() };
+    let report = pi2_conformance::fuzz(&cfg);
+    assert!(report.all_green(), "failures: {:?}", report.failures);
+    assert_eq!(report.runs_completed, 15);
+}

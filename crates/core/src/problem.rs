@@ -123,7 +123,11 @@ impl<'a> InterfaceSearch<'a> {
     /// `(context, structural_hash)`. `None` means mapping failed or no
     /// candidate was produced.
     pub fn best_choice(&self, state: &DiffForest) -> Option<Arc<CostedChoice>> {
-        self.memo.get_or_compute(self.context, state.structural_hash(), || {
+        // Keyed by indexed_hash, not structural_hash: the stored interface
+        // references trees by index, so tree order must be part of the key
+        // (structurally-equal forests can order their trees differently
+        // when the log contains duplicate queries).
+        self.memo.get_or_compute(self.context, state.indexed_hash(), || {
             let candidates = self
                 .telemetry
                 .time("phase.map", || {

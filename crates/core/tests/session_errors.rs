@@ -1,0 +1,113 @@
+//! Error-path tests for [`InterfaceSession::dispatch`]: every rejected
+//! event must surface the *specific* `SessionError` variant the API
+//! documents, so notebook frontends can map errors to UI affordances
+//! (disable a widget vs. flag a bug) without string matching.
+
+use pi2_core::{Event, Pi2, SearchStrategy, SessionError, WidgetValue};
+use pi2_interface::WidgetKind;
+
+/// Full-merge over the Figure 3 pair forces `ANY(a = 1, b = 2)` into the
+/// tree, so the interface reliably carries an options widget to probe.
+fn toy_session() -> (pi2_core::GeneratedInterface, pi2_core::InterfaceSession) {
+    let catalog = pi2_datasets::toy::default_catalog();
+    let pi2 = Pi2::builder(catalog.clone()).strategy(SearchStrategy::FullMerge).build();
+    let generated = pi2.generate(&pi2_datasets::toy::fig3_queries()).expect("generation succeeds");
+    let session = generated.session(&catalog);
+    (generated, session)
+}
+
+/// An id that collides with no widget and no chart in the interface.
+fn unused_id(g: &pi2_core::GeneratedInterface) -> usize {
+    let max_widget = g.interface.widgets.iter().map(|w| w.id).max().unwrap_or(0);
+    let max_chart = g.interface.charts.iter().map(|c| c.id).max().unwrap_or(0);
+    max_widget.max(max_chart) + 1000
+}
+
+#[test]
+fn set_widget_on_nonexistent_widget_is_unknown_widget() {
+    let (generated, mut session) = toy_session();
+    let bogus = unused_id(&generated);
+    let err = session
+        .dispatch(Event::SetWidget { widget: bogus, value: WidgetValue::Pick(0) })
+        .expect_err("nonexistent widget must be rejected");
+    assert!(
+        matches!(err, SessionError::UnknownWidget(id) if id == bogus),
+        "expected UnknownWidget({bogus}), got {err:?}"
+    );
+}
+
+#[test]
+fn query_for_unknown_chart_is_unknown_chart() {
+    let (generated, session) = toy_session();
+    let bogus = unused_id(&generated);
+    let err = session.query_for_chart(bogus).expect_err("nonexistent chart must be rejected");
+    assert!(
+        matches!(err, SessionError::UnknownChart(id) if id == bogus),
+        "expected UnknownChart({bogus}), got {err:?}"
+    );
+}
+
+#[test]
+fn brush_on_unknown_chart_is_unknown_chart() {
+    let (generated, mut session) = toy_session();
+    let bogus = unused_id(&generated);
+    let err = session
+        .dispatch(Event::Brush { chart: bogus, low: 0.0, high: 1.0 })
+        .expect_err("brush on nonexistent chart must be rejected");
+    assert!(
+        matches!(err, SessionError::UnknownChart(id) if id == bogus),
+        "expected UnknownChart({bogus}), got {err:?}"
+    );
+}
+
+#[test]
+fn out_of_range_pick_is_wrong_value() {
+    let (generated, mut session) = toy_session();
+    // Figure 3's merged tree carries ANY(a = 1, b = 2), mapped to an
+    // options widget; picking past its option count is a value-shape error.
+    let (id, len) = generated
+        .interface
+        .widgets
+        .iter()
+        .find_map(|w| match &w.kind {
+            WidgetKind::Radio { options }
+            | WidgetKind::ButtonGroup { options }
+            | WidgetKind::Dropdown { options }
+            | WidgetKind::Tabs { options } => Some((w.id, options.len())),
+            _ => None,
+        })
+        .expect("fig3 interface has an options widget");
+    let err = session
+        .dispatch(Event::SetWidget { widget: id, value: WidgetValue::Pick(len) })
+        .expect_err("out-of-range pick must be rejected");
+    assert!(matches!(err, SessionError::WrongValue(_)), "expected WrongValue, got {err:?}");
+    // The session survives the rejected event: a valid pick still works.
+    session
+        .dispatch(Event::SetWidget { widget: id, value: WidgetValue::Pick(len - 1) })
+        .expect("valid pick after rejected pick");
+}
+
+#[test]
+fn mismatched_value_shape_is_wrong_value() {
+    let (generated, mut session) = toy_session();
+    let id = generated
+        .interface
+        .widgets
+        .iter()
+        .find(|w| {
+            matches!(
+                w.kind,
+                WidgetKind::Radio { .. }
+                    | WidgetKind::ButtonGroup { .. }
+                    | WidgetKind::Dropdown { .. }
+                    | WidgetKind::Tabs { .. }
+            )
+        })
+        .map(|w| w.id)
+        .expect("fig3 interface has an options widget");
+    // A Range delivered to an options widget is the wrong value shape.
+    let err = session
+        .dispatch(Event::SetWidget { widget: id, value: WidgetValue::Range(0.0, 1.0) })
+        .expect_err("range on an options widget must be rejected");
+    assert!(matches!(err, SessionError::WrongValue(_)), "expected WrongValue, got {err:?}");
+}

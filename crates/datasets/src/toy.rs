@@ -34,6 +34,27 @@ pub fn default_catalog() -> Catalog {
     catalog(200, 0x70E)
 }
 
+/// A two-table variant for join workloads: `t(p, a, b)` as in
+/// [`catalog`], plus a small dimension table `u(a INT, w INT)` keyed on
+/// `a`, so `t JOIN u ON t.a = u.a` is always satisfiable. Used by the
+/// conformance harness to fuzz join queries.
+pub fn join_catalog(rows: usize, seed: u64) -> Catalog {
+    let mut c = catalog(rows, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1011);
+    let mut u = Table::builder("u").column("a", DataType::Int).column("w", DataType::Int).build();
+    // One row per `a` value (0..5), plus a few duplicates with other weights.
+    for a in 0..5 {
+        u.push_row(vec![Value::Int(a), Value::Int(rng.gen_range(0..9))])
+            .expect("schema-correct row");
+    }
+    for _ in 0..3 {
+        u.push_row(vec![Value::Int(rng.gen_range(0..5)), Value::Int(rng.gen_range(0..9))])
+            .expect("schema-correct row");
+    }
+    c.register(u);
+    c
+}
+
 /// Figure 2's three queries: Q1 and Q2 differ in the predicate's attribute
 /// and literal; Q3 projects `a` instead of `p` and drops the filter.
 pub fn fig2_queries() -> Vec<Query> {
@@ -71,6 +92,14 @@ mod tests {
             let r = c.execute(q).unwrap();
             assert!(!r.rows.is_empty());
         }
+    }
+
+    #[test]
+    fn join_catalog_supports_equi_join() {
+        let c = join_catalog(100, 1);
+        let r =
+            c.execute_sql("SELECT t.p, count(*) FROM t JOIN u ON t.a = u.a GROUP BY t.p").unwrap();
+        assert!(!r.rows.is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! computes that context in one walk.
 
 use crate::node::{DiffNode, DiffTree, Domain, NodeId, NodeKind};
-use pi2_sql::{BinaryOp, ColumnRef};
+use pi2_sql::{BinaryOp, ColumnRef, Literal};
 use serde::{Deserialize, Serialize};
 
 /// What kind of choice a node exposes, with display material.
@@ -229,6 +229,21 @@ fn column_of(node: &DiffNode) -> Option<ColumnRef> {
     }
 }
 
+/// The numeric view of a choice node's default value (dates as day
+/// numbers), used to prefer non-inverted range pairings. `None` for
+/// choices without a single numeric default (ANY / OPT / text holes).
+fn choice_default(n: &DiffNode) -> Option<f64> {
+    match &n.kind {
+        NodeKind::Hole { default, .. } => match default {
+            Literal::Int(v) => Some(*v as f64),
+            Literal::Float(f) => Some(f.0),
+            Literal::Date(d) => Some(d.0 as f64),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
 /// Detect range pairs and fill in [`ChoiceContext::range_role`]:
 /// 1. `col BETWEEN <choice> AND <choice>` — endpoints of the BETWEEN.
 /// 2. `col >= <choice>` and `col <= <choice>` as sibling conjuncts.
@@ -248,24 +263,51 @@ fn pair_ranges(root: &DiffNode, out: &mut [Choice]) {
         }
         // Case 2: sibling conjuncts `col >= x` / `col <= y` in Where/Having/On.
         if matches!(n.kind, NodeKind::Where | NodeKind::Having | NodeKind::On) {
-            let mut lows: Vec<(ColumnRef, NodeId)> = Vec::new();
-            let mut highs: Vec<(ColumnRef, NodeId)> = Vec::new();
+            let mut lows: Vec<(ColumnRef, NodeId, Option<f64>)> = Vec::new();
+            let mut highs: Vec<(ColumnRef, NodeId, Option<f64>)> = Vec::new();
             for c in &n.children {
                 if let NodeKind::Binary(op) = &c.kind {
                     if let (Some(col), choice) = (column_of(&c.children[0]), &c.children[1]) {
                         if choice.kind.is_choice() {
+                            let def = choice_default(choice);
                             match op {
-                                BinaryOp::GtEq | BinaryOp::Gt => lows.push((col, choice.id)),
-                                BinaryOp::LtEq | BinaryOp::Lt => highs.push((col, choice.id)),
+                                BinaryOp::GtEq | BinaryOp::Gt => lows.push((col, choice.id, def)),
+                                BinaryOp::LtEq | BinaryOp::Lt => highs.push((col, choice.id, def)),
                                 _ => {}
                             }
                         }
                     }
                 }
             }
-            for (lc, lid) in &lows {
-                if let Some((_, hid)) = highs.iter().find(|(hc, _)| hc == lc) {
-                    pairs.push((*lid, *hid, lc.clone()));
+            // One-to-one pairing: each high endpoint joins at most one low.
+            // A query can carry several bounds on the same column
+            // (`w >= 1 AND w <= 1 AND w >= 8`); pairing a high with every
+            // low would bind one node to two range widgets, and pairing
+            // `>= 8` with `<= 1` makes an inverted window whose pan/zoom
+            // clamping is lossy. Prefer pairs whose defaults satisfy
+            // lo <= hi; leftovers stay single holes.
+            let mut used_high = vec![false; highs.len()];
+            let mut used_low = vec![false; lows.len()];
+            for ordered_pass in [true, false] {
+                for (li, (lc, lid, ldef)) in lows.iter().enumerate() {
+                    if used_low[li] {
+                        continue;
+                    }
+                    let hit = highs.iter().enumerate().position(|(hi, (hc, _, hdef))| {
+                        if used_high[hi] || hc != lc {
+                            return false;
+                        }
+                        let ordered = match (ldef, hdef) {
+                            (Some(l), Some(h)) => l <= h,
+                            _ => true,
+                        };
+                        ordered || !ordered_pass
+                    });
+                    if let Some(hi) = hit {
+                        used_low[li] = true;
+                        used_high[hi] = true;
+                        pairs.push((*lid, highs[hi].1, lc.clone()));
+                    }
                 }
             }
         }

@@ -260,6 +260,43 @@ mod tests {
     }
 
     #[test]
+    fn default_bindings_fall_back_to_structural_defaults() {
+        // A tree whose source queries are all absent from the provided log
+        // (stale indices after a notebook edit) cannot produce a witness;
+        // default_bindings must fall back to empty structural defaults,
+        // under which lowering still yields a valid query (first ANY
+        // child, every OPT included, hole defaults).
+        let (mut tree, _) = merged(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+        ]);
+        // Log slot 0 exists but holds an inexpressible query; slot 7 is
+        // out of range entirely.
+        tree.source_queries = vec![0, 7];
+        let log = vec![parse_query("SELECT z FROM other").unwrap()];
+        let b = default_bindings(&tree, &log);
+        assert!(b.is_empty(), "expected structural-defaults fallback, got {b:?}");
+        let lowered = lower_query(&tree, &b).unwrap();
+        assert_eq!(lowered.to_string(), "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p");
+    }
+
+    #[test]
+    fn default_bindings_skip_stale_sources_for_first_expressible() {
+        // Source 0 is stale (log changed underneath), source 1 still
+        // matches: the witness must come from source 1.
+        let (mut tree, queries) = merged(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+        ]);
+        tree.source_queries = vec![0, 1];
+        let log = vec![parse_query("SELECT z FROM other").unwrap(), queries[1].clone()];
+        let b = default_bindings(&tree, &log);
+        assert!(!b.is_empty());
+        let lowered = lower_query(&tree, &b).unwrap();
+        assert_eq!(lowered.to_string(), "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p");
+    }
+
+    #[test]
     fn witness_bindings_reproduce_each_demo_covid_query() {
         let queries = pi2_datasets::covid::demo_queries();
         let indexed: Vec<(usize, &Query)> = queries.iter().enumerate().collect();

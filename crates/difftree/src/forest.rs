@@ -56,6 +56,28 @@ impl DiffForest {
         h.finish()
     }
 
+    /// Order-*sensitive* structural hash, additionally covering each
+    /// tree's source-query set.
+    ///
+    /// Anything that references trees **by index** — memoized interfaces,
+    /// whose widget/chart targets carry `Target { tree, .. }` — must be
+    /// keyed by this hash, not by [`structural_hash`]: two forests that
+    /// are structurally equal as *sets* can still order their trees
+    /// differently (duplicate queries in the log give structurally
+    /// identical trees different source sets, and the canonical
+    /// earliest-source sort then permutes them), which silently remaps
+    /// every target. Found by the pi2-conformance fuzzer.
+    ///
+    /// [`structural_hash`]: DiffForest::structural_hash
+    pub fn indexed_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for t in &self.trees {
+            t.structural_hash().hash(&mut h);
+            t.source_queries.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Merge trees `i` and `j` into one (forest-level action).
     pub fn merge_pair(&self, i: usize, j: usize) -> Option<DiffForest> {
         if i == j || i >= self.trees.len() || j >= self.trees.len() {
@@ -159,6 +181,29 @@ mod tests {
         let mut f2 = f1.clone();
         f2.trees.reverse();
         assert_eq!(f1.structural_hash(), f2.structural_hash());
+    }
+
+    #[test]
+    fn indexed_hash_is_order_sensitive() {
+        let queries = log();
+        let f1 = DiffForest::singletons(&queries);
+        let mut f2 = f1.clone();
+        f2.trees.reverse();
+        assert_ne!(f1.indexed_hash(), f2.indexed_hash());
+        assert_eq!(f1.indexed_hash(), f1.clone().indexed_hash());
+    }
+
+    #[test]
+    fn indexed_hash_covers_source_queries() {
+        // Duplicate queries give structurally identical trees; swapping
+        // their source sets must still change the indexed hash, because
+        // default bindings (the initial view) depend on the sources.
+        let queries = log();
+        let f1 = DiffForest::singletons(&queries);
+        let mut f2 = f1.clone();
+        f2.trees[0].source_queries = vec![1];
+        f2.trees[1].source_queries = vec![0];
+        assert_ne!(f1.indexed_hash(), f2.indexed_hash());
     }
 
     #[test]

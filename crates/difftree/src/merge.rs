@@ -89,6 +89,26 @@ pub fn merge_nodes(a: &DiffNode, b: &DiffNode) -> DiffNode {
                 source_column: source_column.clone(),
             })
         }
+        // Comparisons whose literal types disagree must NOT factor into
+        // per-operand ANYs: the factored form's mixed picks would be
+        // type-invalid queries (`cases = DATE '2021-12-13'`). Keep the
+        // whole predicates as alternatives instead. (Found by the
+        // pi2-conformance fuzzer; see crates/conformance/corpus.)
+        (NodeKind::Binary(op_a), NodeKind::Binary(op_b))
+            if op_a == op_b && is_comparison(*op_a) && !comparison_compatible(a, b) =>
+        {
+            mk_any(a.clone(), b.clone())
+        }
+        (NodeKind::Between { negated: na }, NodeKind::Between { negated: nb })
+            if na == nb && !comparison_compatible(a, b) =>
+        {
+            mk_any(a.clone(), b.clone())
+        }
+        (NodeKind::InList { negated: na }, NodeKind::InList { negated: nb })
+            if na == nb && !comparison_compatible(a, b) =>
+        {
+            mk_any(a.clone(), b.clone())
+        }
         (ka, kb) if ka == kb => {
             // Same structural label: merge children.
             let children = if ka.is_list() {
@@ -140,6 +160,60 @@ fn mk_opt(x: &DiffNode) -> DiffNode {
     } else {
         DiffNode::new(NodeKind::Opt, vec![x.clone()])
     }
+}
+
+fn is_comparison(op: pi2_sql::BinaryOp) -> bool {
+    use pi2_sql::BinaryOp::*;
+    matches!(op, Eq | NotEq | Lt | LtEq | Gt | GtEq)
+}
+
+/// Coarse comparison-type tag of a literal: Int and Float compare fine
+/// with each other, everything else only with itself.
+fn lit_tag(l: &Literal) -> Option<u8> {
+    match l {
+        Literal::Null => None,
+        Literal::Bool(_) => Some(0),
+        Literal::Int(_) | Literal::Float(_) => Some(1),
+        Literal::Str(_) => Some(2),
+        Literal::Date(_) => Some(3),
+    }
+}
+
+fn collect_lit_tags(n: &DiffNode, out: &mut std::collections::BTreeSet<u8>) {
+    match &n.kind {
+        NodeKind::Lit(l) => {
+            out.extend(lit_tag(l));
+        }
+        NodeKind::Hole { domain, .. } => match domain {
+            Domain::IntRange { .. } | Domain::FloatRange { .. } => {
+                out.insert(1);
+            }
+            Domain::DateRange { .. } => {
+                out.insert(3);
+            }
+            Domain::Discrete(items) => {
+                for l in items {
+                    out.extend(lit_tag(l));
+                }
+            }
+        },
+        _ => {
+            for c in &n.children {
+                collect_lit_tags(c, out);
+            }
+        }
+    }
+}
+
+/// Can two comparison predicates factor operand-wise without risking
+/// cross-typed mixed picks? True when the literals (and hole domains)
+/// across both sides are all of one comparison type; columns carry no tag
+/// and never block factoring.
+fn comparison_compatible(a: &DiffNode, b: &DiffNode) -> bool {
+    let mut tags = std::collections::BTreeSet::new();
+    collect_lit_tags(a, &mut tags);
+    collect_lit_tags(b, &mut tags);
+    tags.len() <= 1
 }
 
 fn domain_accepts_type(domain: &Domain, lit: &Literal) -> bool {
@@ -386,6 +460,51 @@ mod tests {
         assert_eq!(where_node.children.len(), 2);
         let opts = where_node.children.iter().filter(|c| matches!(c.kind, NodeKind::Opt)).count();
         assert_eq!(opts, 1, "{}", t.root);
+    }
+
+    #[test]
+    fn cross_typed_comparisons_do_not_factor() {
+        // `cases = 49916` vs `date = DATE '…'`: factoring operand-wise
+        // would let a mixed pick produce `cases = DATE '…'`. The merge
+        // must keep whole predicates as ANY alternatives, so that *every*
+        // combination of picks lowers to a well-typed query.
+        let t = merge_sql(&[
+            "SELECT state, max(cases) FROM covid WHERE cases = 49916 GROUP BY state",
+            "SELECT state, max(cases) FROM covid WHERE date = DATE '2021-12-13' GROUP BY state",
+        ]);
+        let mut cross_typed_any = false;
+        t.root.walk(&mut |n| {
+            if matches!(n.kind, NodeKind::Binary(pi2_sql::BinaryOp::Eq))
+                && n.children.iter().any(|c| matches!(c.kind, NodeKind::Any))
+            {
+                cross_typed_any = true;
+            }
+        });
+        assert!(!cross_typed_any, "cross-typed comparison factored operand-wise:\n{}", t.root);
+        // The WHERE slot holds one ANY over the two complete predicates.
+        let where_node = &t.root.children[2];
+        let pred = &where_node.children[0];
+        assert!(matches!(pred.kind, NodeKind::Any), "{}", t.root);
+        assert_eq!(pred.children.len(), 2);
+        // Both inputs stay expressible.
+        for sql in [
+            "SELECT state, max(cases) FROM covid WHERE cases = 49916 GROUP BY state",
+            "SELECT state, max(cases) FROM covid WHERE date = DATE '2021-12-13' GROUP BY state",
+        ] {
+            let q = parse_query(sql).unwrap();
+            assert!(crate::expresses::expresses(&t, &q).is_some(), "cannot express {sql}");
+        }
+    }
+
+    #[test]
+    fn same_typed_comparisons_still_factor() {
+        // The Figure 3(b) factoring must survive the cross-type guard:
+        // both literals are numeric, so per-operand ANYs are well-typed.
+        let t = merge_sql(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+        ]);
+        assert_eq!(t.root.choice_count(), 2, "{}", t.root);
     }
 
     #[test]

@@ -300,18 +300,20 @@ fn map_interactions(
                                 });
                                 continue;
                             }
-                            // Own chart's axis → pan/zoom (Figure 1c).
+                            // Own chart's axis → pan/zoom (Figure 1c). A
+                            // second pair on an occupied axis falls through
+                            // to the range-slider fallback.
                             let own = charts[ti].clone();
                             if axis_field(&own, Channel::X)
                                 .is_some_and(|f| f.eq_ignore_ascii_case(col))
+                                && attach_panzoom(&mut charts[ti], true, (target, partner), col)
                             {
-                                attach_panzoom(&mut charts[ti], true, (target, partner), col);
                                 continue;
                             }
                             if axis_field(&own, Channel::Y)
                                 .is_some_and(|f| f.eq_ignore_ascii_case(col))
+                                && attach_panzoom(&mut charts[ti], false, (target, partner), col)
                             {
-                                attach_panzoom(&mut charts[ti], false, (target, partner), col);
                                 continue;
                             }
                         }
@@ -483,21 +485,27 @@ fn x_values_in_domain(chart: &Chart, analysis: &TreeAnalysis, domain: &Domain) -
     analysis.result.column(idx).filter(|v| !v.is_null()).all(|v| domain.contains(&v.to_literal()))
 }
 
-fn attach_panzoom(chart: &mut Chart, is_x: bool, pair: (Target, Target), field: &str) {
+/// Attach a pan/zoom axis to the chart; `false` when the axis is already
+/// taken (a second range pair on the same column must fall back to a
+/// widget — stacking another PanZoom would leave a dead interaction that
+/// events never reach).
+fn attach_panzoom(chart: &mut Chart, is_x: bool, pair: (Target, Target), field: &str) -> bool {
     // Merge into an existing PanZoom on the same chart (ra + dec → one 2-D
     // pan/zoom, Figure 1c).
     for i in &mut chart.interactions {
         if let VizInteraction::PanZoom { x, y, x_field, y_field } = i {
-            if is_x && x.is_none() {
-                *x = Some(pair);
-                *x_field = Some(field.to_string());
-                return;
-            }
-            if !is_x && y.is_none() {
+            if is_x {
+                if x.is_none() {
+                    *x = Some(pair);
+                    *x_field = Some(field.to_string());
+                    return true;
+                }
+            } else if y.is_none() {
                 *y = Some(pair);
                 *y_field = Some(field.to_string());
-                return;
+                return true;
             }
+            return false;
         }
     }
     let (x, y, x_field, y_field) = if is_x {
@@ -506,6 +514,7 @@ fn attach_panzoom(chart: &mut Chart, is_x: bool, pair: (Target, Target), field: 
         (None, Some(pair), None, Some(field.to_string()))
     };
     chart.interactions.push(VizInteraction::PanZoom { x, y, x_field, y_field });
+    true
 }
 
 fn clause_label(clause: Clause) -> &'static str {

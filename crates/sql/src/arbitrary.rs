@@ -1,0 +1,493 @@
+//! Schema-aware random query generation (test support).
+//!
+//! The conformance harness (crate `pi2-conformance`) fuzzes the whole PI2
+//! pipeline with *valid-by-construction* query logs. The AST-level
+//! machinery lives here, next to the AST it produces: callers describe the
+//! available tables as [`SchemaSpec`]s (names, column types, literal pools
+//! sampled from real data) and draw random queries — or whole query *logs*,
+//! families of structurally related queries — from any [`rand::Rng`].
+//!
+//! The module also provides [`proptest`] [`Arbitrary`] impls for the leaf
+//! AST types ([`Literal`], [`Date`], [`F64`]) so property tests can embed
+//! them in larger strategies, and [`ProptestRng`], an adapter that drives
+//! the `rand`-generic generators from a proptest [`TestRng`].
+//!
+//! Everything is deterministic per seed: equal specs and equal RNG streams
+//! produce equal logs, which the conformance harness relies on to replay
+//! and shrink failures.
+
+use crate::ast::{
+    BinaryOp, Date, Expr, Literal, OrderByItem, Query, SelectItem, SortDir, TableRef, F64,
+};
+use proptest::arbitrary::Arbitrary;
+use proptest::test_runner::TestRng;
+use rand::Rng;
+
+/// The scalar type of a column, as far as query generation cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarKind {
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// String.
+    Str,
+    /// Calendar date.
+    Date,
+}
+
+impl ScalarKind {
+    /// True for types with a meaningful order (range predicates apply).
+    pub fn is_ordered(self) -> bool {
+        matches!(self, ScalarKind::Int | ScalarKind::Float | ScalarKind::Date)
+    }
+
+    /// True for types `sum`/`avg` accept.
+    pub fn is_summable(self) -> bool {
+        matches!(self, ScalarKind::Int | ScalarKind::Float)
+    }
+}
+
+/// One column of a [`TableSpec`].
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Scalar type.
+    pub kind: ScalarKind,
+    /// Literals that occur in (or at least execute against) the column.
+    /// Predicate literals are drawn from this pool, so a non-empty pool
+    /// makes every generated predicate satisfiable by construction.
+    pub pool: Vec<Literal>,
+    /// Whether `GROUP BY` on this column produces a readable result
+    /// (low cardinality).
+    pub groupable: bool,
+}
+
+impl ColumnSpec {
+    /// A column spec with an explicit literal pool.
+    pub fn new(name: impl Into<String>, kind: ScalarKind, pool: Vec<Literal>) -> Self {
+        Self { name: name.into(), kind, pool, groupable: false }
+    }
+
+    /// Mark the column as sensible to group by.
+    pub fn groupable(mut self) -> Self {
+        self.groupable = true;
+        self
+    }
+}
+
+/// One table available to the generator.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Table name.
+    pub name: String,
+    /// Columns.
+    pub columns: Vec<ColumnSpec>,
+}
+
+impl TableSpec {
+    /// A table spec.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnSpec>) -> Self {
+        Self { name: name.into(), columns }
+    }
+}
+
+/// An equi-join the schema permits: `left.left_column = right.right_column`.
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// Left table name.
+    pub left: String,
+    /// Column of the left table.
+    pub left_column: String,
+    /// Right table name.
+    pub right: String,
+    /// Column of the right table.
+    pub right_column: String,
+}
+
+/// The full schema the generator draws from: tables plus permitted joins.
+#[derive(Debug, Clone)]
+pub struct SchemaSpec {
+    /// Tables.
+    pub tables: Vec<TableSpec>,
+    /// Permitted equi-joins (empty: single-table queries only).
+    pub joins: Vec<JoinSpec>,
+}
+
+impl SchemaSpec {
+    /// A single-table schema.
+    pub fn single(table: TableSpec) -> Self {
+        Self { tables: vec![table], joins: Vec::new() }
+    }
+
+    fn table(&self, name: &str) -> Option<&TableSpec> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Draw one random query.
+    pub fn random_query<R: Rng>(&self, rng: &mut R) -> Query {
+        let template = Template::draw(self, rng);
+        template.instantiate(self, rng)
+    }
+
+    /// Draw a *log*: `len` structurally related queries — one template,
+    /// `len` variants differing in literals, predicate presence, and
+    /// grouping column. This is the shape PI2 consumes: an analysis
+    /// session's incremental edits, not independent random queries.
+    pub fn random_log<R: Rng>(&self, rng: &mut R, len: usize) -> Vec<Query> {
+        let template = Template::draw(self, rng);
+        (0..len).map(|_| template.instantiate(self, rng)).collect()
+    }
+}
+
+/// The frozen skeleton of a query family. Each [`Template::instantiate`]
+/// call re-samples the variable parts (literals, optional predicates,
+/// grouping column) while keeping the skeleton, which is exactly the kind
+/// of variation DiffTree merging factors into choice nodes.
+#[derive(Debug, Clone)]
+struct Template {
+    /// Base table name.
+    table: String,
+    /// The join to apply, if any.
+    join: Option<JoinSpec>,
+    /// Aggregate shape or plain projection.
+    shape: Shape,
+    /// Candidate predicate columns as (table, column) pairs.
+    predicates: Vec<(String, String)>,
+    /// A range predicate (`lo <= col AND col <= hi`) column, if drawn.
+    range: Option<(String, String)>,
+    /// Whether variants may carry ORDER BY + LIMIT.
+    order_limit: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    /// `SELECT g, agg FROM … GROUP BY g`, with alternative group columns.
+    Aggregate {
+        /// (table, column) alternatives for the grouping key.
+        group_alternatives: Vec<(String, String)>,
+        /// Aggregate call, e.g. `count(*)` or `sum(t.x)`.
+        agg: AggSpec,
+    },
+    /// `SELECT c1, c2, … FROM …` over fixed columns.
+    Plain {
+        /// Projected (table, column) pairs.
+        columns: Vec<(String, String)>,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum AggSpec {
+    CountStar,
+    Call { func: &'static str, table: String, column: String },
+}
+
+impl Template {
+    fn draw<R: Rng>(spec: &SchemaSpec, rng: &mut R) -> Template {
+        // Join with probability 1/3 when the schema permits one.
+        let join = if !spec.joins.is_empty() && rng.gen_bool(1.0 / 3.0) {
+            Some(spec.joins[rng.gen_range(0..spec.joins.len())].clone())
+        } else {
+            None
+        };
+        let table = match &join {
+            Some(j) => j.left.clone(),
+            None => spec.tables[rng.gen_range(0..spec.tables.len())].name.clone(),
+        };
+        let mut scope: Vec<String> = vec![table.clone()];
+        if let Some(j) = &join {
+            scope.push(j.right.clone());
+        }
+
+        let columns_of = |t: &str| spec.table(t).map(|ts| ts.columns.as_slice()).unwrap_or(&[]);
+        let in_scope = |f: &dyn Fn(&ColumnSpec) -> bool| -> Vec<(String, String)> {
+            scope
+                .iter()
+                .flat_map(|t| {
+                    columns_of(t).iter().filter(|c| f(c)).map(|c| (t.clone(), c.name.clone()))
+                })
+                .collect()
+        };
+
+        let groupables = in_scope(&|c| c.groupable);
+        let summables = in_scope(&|c| c.kind.is_summable());
+        let shape = if !groupables.is_empty() && rng.gen_bool(0.7) {
+            let agg = if !summables.is_empty() && rng.gen_bool(0.4) {
+                let (t, c) = summables[rng.gen_range(0..summables.len())].clone();
+                let func = ["sum", "avg", "min", "max"][rng.gen_range(0..4)];
+                AggSpec::Call { func, table: t, column: c }
+            } else {
+                AggSpec::CountStar
+            };
+            Shape::Aggregate { group_alternatives: groupables, agg }
+        } else {
+            let all = in_scope(&|_| true);
+            let mut columns = Vec::new();
+            let want = rng.gen_range(1..all.len().min(3) + 1);
+            for _ in 0..want {
+                let pick = all[rng.gen_range(0..all.len())].clone();
+                if !columns.contains(&pick) {
+                    columns.push(pick);
+                }
+            }
+            Shape::Plain { columns }
+        };
+
+        // Predicate candidates: columns with a non-empty literal pool.
+        let candidates = in_scope(&|c| !c.pool.is_empty());
+        let mut predicates = Vec::new();
+        let want = rng.gen_range(0..candidates.len().min(2) + 1);
+        for _ in 0..want {
+            let pick = candidates[rng.gen_range(0..candidates.len())].clone();
+            if !predicates.contains(&pick) {
+                predicates.push(pick);
+            }
+        }
+        // A (lo, hi) range predicate over an ordered column with >= 2 pool
+        // values; this is what produces range sliders / brushes / pan-zoom.
+        let rangeable: Vec<(String, String)> = scope
+            .iter()
+            .flat_map(|t| {
+                columns_of(t)
+                    .iter()
+                    .filter(|c| c.kind.is_ordered() && c.pool.len() >= 2)
+                    .map(|c| (t.clone(), c.name.clone()))
+            })
+            .collect();
+        let range = if !rangeable.is_empty() && rng.gen_bool(0.4) {
+            Some(rangeable[rng.gen_range(0..rangeable.len())].clone())
+        } else {
+            None
+        };
+
+        Template { table, join, shape, predicates, range, order_limit: rng.gen_bool(0.3) }
+    }
+
+    /// Column reference style: qualified when a join puts two tables in
+    /// scope, bare otherwise.
+    fn col(&self, table: &str, column: &str) -> Expr {
+        if self.join.is_some() {
+            Expr::qcol(table, column)
+        } else {
+            Expr::col(column)
+        }
+    }
+
+    fn instantiate<R: Rng>(&self, spec: &SchemaSpec, rng: &mut R) -> Query {
+        let mut q = Query::new();
+
+        // FROM (+ JOIN).
+        q.from = match &self.join {
+            Some(j) => vec![TableRef::Join {
+                left: Box::new(TableRef::named(&j.left)),
+                right: Box::new(TableRef::named(&j.right)),
+                kind: crate::ast::JoinKind::Inner,
+                on: Some(Expr::eq(
+                    Expr::qcol(&j.left, &j.left_column),
+                    Expr::qcol(&j.right, &j.right_column),
+                )),
+            }],
+            None => vec![TableRef::named(&self.table)],
+        };
+
+        // Projection (+ GROUP BY).
+        match &self.shape {
+            Shape::Aggregate { group_alternatives, agg } => {
+                let (gt, gc) =
+                    group_alternatives[rng.gen_range(0..group_alternatives.len())].clone();
+                let group = self.col(&gt, &gc);
+                let agg_expr = match agg {
+                    AggSpec::CountStar => Expr::count_star(),
+                    AggSpec::Call { func, table, column } => {
+                        Expr::func(func, vec![self.col(table, column)])
+                    }
+                };
+                q.projection = vec![SelectItem::expr(group.clone()), SelectItem::expr(agg_expr)];
+                q.group_by = vec![group];
+            }
+            Shape::Plain { columns } => {
+                q.projection =
+                    columns.iter().map(|(t, c)| SelectItem::expr(self.col(t, c))).collect();
+            }
+        }
+
+        // WHERE: each candidate predicate present with probability 0.7,
+        // with a fresh literal each time; the optional range predicate adds
+        // a `lo <= col AND col <= hi` pair.
+        let mut conjuncts: Vec<Expr> = Vec::new();
+        for (t, c) in &self.predicates {
+            if !rng.gen_bool(0.7) {
+                continue;
+            }
+            let col_spec = spec
+                .table(t)
+                .and_then(|ts| ts.columns.iter().find(|cs| &cs.name == c))
+                .expect("template references a spec column");
+            let lit = col_spec.pool[rng.gen_range(0..col_spec.pool.len())].clone();
+            let op = if col_spec.kind.is_ordered() && rng.gen_bool(0.5) {
+                [BinaryOp::Lt, BinaryOp::LtEq, BinaryOp::Gt, BinaryOp::GtEq][rng.gen_range(0..4)]
+            } else {
+                BinaryOp::Eq
+            };
+            conjuncts.push(Expr::binary(self.col(t, c), op, Expr::Literal(lit)));
+        }
+        if let Some((t, c)) = &self.range {
+            let col_spec = spec
+                .table(t)
+                .and_then(|ts| ts.columns.iter().find(|cs| &cs.name == c))
+                .expect("template references a spec column");
+            let a = col_spec.pool[rng.gen_range(0..col_spec.pool.len())].clone();
+            let b = col_spec.pool[rng.gen_range(0..col_spec.pool.len())].clone();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            conjuncts.push(Expr::binary(self.col(t, c), BinaryOp::GtEq, Expr::Literal(lo)));
+            conjuncts.push(Expr::binary(self.col(t, c), BinaryOp::LtEq, Expr::Literal(hi)));
+        }
+        q.where_clause = conjuncts.into_iter().reduce(Expr::and);
+
+        // ORDER BY the first projected expression + LIMIT, sometimes.
+        if self.order_limit && rng.gen_bool(0.5) {
+            if let Some(SelectItem::Expr { expr, .. }) = q.projection.first() {
+                let dir = if rng.gen_bool(0.5) { SortDir::Asc } else { SortDir::Desc };
+                q.order_by = vec![OrderByItem { expr: expr.clone(), dir }];
+                q.limit = Some(rng.gen_range(1..50));
+            }
+        }
+
+        q
+    }
+}
+
+// ---- proptest integration -------------------------------------------------
+
+/// Adapter implementing [`rand::RngCore`] on top of a proptest [`TestRng`],
+/// so strategies can call the `rand`-generic generators above.
+pub struct ProptestRng<'a>(pub &'a mut TestRng);
+
+impl rand::RngCore for ProptestRng<'_> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl Arbitrary for F64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        F64(f64::arbitrary(rng))
+    }
+}
+
+impl Arbitrary for Date {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Any day in 1900-01-01 ..= 2099-12-31.
+        let lo = Date::from_ymd(1900, 1, 1).expect("valid").0;
+        let hi = Date::from_ymd(2099, 12, 31).expect("valid").0;
+        Date(lo + rng.below((hi - lo + 1) as u64) as i32)
+    }
+}
+
+impl Arbitrary for Literal {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(6) {
+            0 => Literal::Null,
+            1 => Literal::Bool(bool::arbitrary(rng)),
+            2 => Literal::Int(rng.below(2_000) as i64 - 1_000),
+            3 => Literal::Float(F64((rng.unit_f64() - 0.5) * 2e4)),
+            4 => {
+                let len = rng.below(8) as usize;
+                let s: String = (0..len).map(|_| (b'a' + rng.below(26) as u8) as char).collect();
+                Literal::Str(s)
+            }
+            _ => Literal::Date(Date::arbitrary(rng)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn toy_spec() -> SchemaSpec {
+        SchemaSpec::single(TableSpec::new(
+            "t",
+            vec![
+                ColumnSpec::new("p", ScalarKind::Int, (0..8).map(Literal::Int).collect())
+                    .groupable(),
+                ColumnSpec::new("a", ScalarKind::Int, (0..5).map(Literal::Int).collect())
+                    .groupable(),
+                ColumnSpec::new("b", ScalarKind::Int, (0..5).map(Literal::Int).collect()),
+            ],
+        ))
+    }
+
+    #[test]
+    fn generated_queries_roundtrip_through_parser() {
+        let spec = toy_spec();
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let q = spec.random_query(&mut rng);
+            let printed = q.to_string();
+            let reparsed = crate::parse_query(&printed)
+                .unwrap_or_else(|e| panic!("generated query does not reparse: {printed}: {e}"));
+            assert_eq!(
+                crate::normalize::normalized(&reparsed),
+                crate::normalize::normalized(&q),
+                "print/parse changed the query: {printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn logs_are_structurally_related() {
+        let spec = toy_spec();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let log = spec.random_log(&mut rng, 4);
+        assert_eq!(log.len(), 4);
+        // Same template: identical FROM clause across the log.
+        for q in &log[1..] {
+            assert_eq!(q.from, log[0].from);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = toy_spec();
+        let a = spec.random_log(&mut SmallRng::seed_from_u64(9), 5);
+        let b = spec.random_log(&mut SmallRng::seed_from_u64(9), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn join_templates_qualify_columns() {
+        let mut spec = toy_spec();
+        spec.tables.push(TableSpec::new(
+            "u",
+            vec![
+                ColumnSpec::new("a", ScalarKind::Int, (0..5).map(Literal::Int).collect()),
+                ColumnSpec::new("w", ScalarKind::Int, (0..9).map(Literal::Int).collect())
+                    .groupable(),
+            ],
+        ));
+        spec.joins.push(JoinSpec {
+            left: "t".into(),
+            left_column: "a".into(),
+            right: "u".into(),
+            right_column: "a".into(),
+        });
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut saw_join = false;
+        for _ in 0..50 {
+            let q = spec.random_query(&mut rng);
+            if matches!(q.from[0], TableRef::Join { .. }) {
+                saw_join = true;
+                let printed = q.to_string();
+                assert!(printed.contains("JOIN"), "{printed}");
+                crate::parse_query(&printed).unwrap();
+            }
+        }
+        assert!(saw_join, "join never drawn in 50 tries");
+    }
+}

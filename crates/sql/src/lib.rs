@@ -20,6 +20,7 @@
 //! assert_eq!(q.to_string(), "SELECT state, sum(cases) FROM covid GROUP BY state");
 //! ```
 
+pub mod arbitrary;
 pub mod ast;
 pub mod error;
 pub mod format;

@@ -5,6 +5,12 @@
 //! shrinking**: a failing case prints its inputs verbatim instead of a
 //! minimized counterexample. Seeds derive from the test name, so failures
 //! reproduce across runs.
+//!
+//! Like upstream proptest, failures are **persisted**: the RNG state that
+//! produced a failing case is appended to
+//! `{crate}/proptest-regressions/{source_file_stem}.txt` and replayed
+//! before novel cases on every later run (see
+//! [`test_runner::persistence`]). Check those files in to source control.
 
 pub mod arbitrary;
 pub mod collection;
@@ -110,18 +116,19 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
-                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-                let mut accepted: u32 = 0;
-                let mut attempts: u32 = 0;
-                while accepted < config.cases {
-                    attempts += 1;
-                    if attempts > config.cases.saturating_mul(20).max(1000) {
-                        panic!(
-                            "proptest {}: too many rejected cases ({} accepted of {} wanted)",
-                            stringify!($name), accepted, config.cases
-                        );
-                    }
-                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let __regressions = $crate::test_runner::persistence::regression_path(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                );
+                // Bind each strategy once; the per-case shadowing below
+                // generates values from these without consuming them.
+                let ( $($arg,)+ ) = ( $($strategy,)+ );
+                let mut __run_case = |rng: &mut $crate::test_runner::TestRng|
+                    -> (
+                        ::std::string::String,
+                        ::std::thread::Result<$crate::test_runner::TestCaseResult>,
+                    ) {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, rng);)+
                     let repr = format!(
                         concat!($("  ", stringify!($arg), " = {:?}\n"),+),
                         $(&$arg),+
@@ -134,19 +141,75 @@ macro_rules! proptest {
                             },
                         ),
                     );
+                    (repr, outcome)
+                };
+                // Replay persisted counterexamples before any novel case,
+                // so a once-seen failure keeps failing until it is fixed.
+                for words in
+                    $crate::test_runner::persistence::load(&__regressions, stringify!($name))
+                {
+                    let mut rng = $crate::test_runner::TestRng::from_words(words);
+                    let (repr, outcome) = __run_case(&mut rng);
                     match outcome {
-                        Ok(Ok(())) => accepted += 1,
-                        Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => continue,
+                        Ok(Ok(()))
+                        | Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {}
                         Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
                             panic!(
-                                "proptest {} failed: {}\nwith inputs:\n{}",
-                                stringify!($name), msg, repr
+                                "proptest {}: persisted regression ({}) failed: {}\nwith inputs:\n{}",
+                                stringify!($name), __regressions.display(), msg, repr
                             );
                         }
                         Err(payload) => {
                             eprintln!(
-                                "proptest {} panicked with inputs:\n{}",
-                                stringify!($name), repr
+                                "proptest {}: persisted regression ({}) panicked with inputs:\n{}",
+                                stringify!($name), __regressions.display(), repr
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    if attempts > config.cases.saturating_mul(20).max(1000) {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                            stringify!($name), accepted, config.cases
+                        );
+                    }
+                    let __case_words = rng.to_words();
+                    let (repr, outcome) = __run_case(&mut rng);
+                    match outcome {
+                        Ok(Ok(())) => accepted += 1,
+                        Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => continue,
+                        Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
+                            let saved = $crate::test_runner::persistence::append(
+                                &__regressions, stringify!($name), __case_words,
+                            );
+                            panic!(
+                                "proptest {} failed: {}\nwith inputs:\n{}{}",
+                                stringify!($name), msg, repr,
+                                if saved {
+                                    format!("persisted to {}\n", __regressions.display())
+                                } else {
+                                    String::new()
+                                }
+                            );
+                        }
+                        Err(payload) => {
+                            let saved = $crate::test_runner::persistence::append(
+                                &__regressions, stringify!($name), __case_words,
+                            );
+                            eprintln!(
+                                "proptest {} panicked with inputs:\n{}{}",
+                                stringify!($name), repr,
+                                if saved {
+                                    format!("persisted to {}\n", __regressions.display())
+                                } else {
+                                    String::new()
+                                }
                             );
                             ::std::panic::resume_unwind(payload);
                         }

@@ -121,6 +121,107 @@ impl TestRng {
     pub fn chance(&mut self, p: f64) -> bool {
         self.unit_f64() < p
     }
+
+    /// Snapshot the raw generator state (for regression persistence: the
+    /// state *before* a failing case generates its inputs identifies the
+    /// case exactly).
+    pub fn to_words(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Restore a generator from [`TestRng::to_words`] output. The all-zero
+    /// state is degenerate for xoshiro and is remapped through SplitMix64.
+    pub fn from_words(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Self::from_seed(0);
+        }
+        TestRng { s }
+    }
+}
+
+/// Failure persistence, mirroring upstream proptest's
+/// `proptest-regressions/` files: when a generated case fails, the RNG
+/// state that produced it is appended to
+/// `{CARGO_MANIFEST_DIR}/proptest-regressions/{source_file_stem}.txt`,
+/// and every persisted state is replayed *before* novel cases on later
+/// runs. Check these files in to source control.
+pub mod persistence {
+    use std::fs;
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+
+    const HEADER: &str = "\
+# Seeds for failure cases proptest has generated in the past. It is
+# automatically read and these particular cases re-run before any novel
+# cases are generated. It is recommended to check this file in to source
+# control so that everyone who runs the test benefits from these saved
+# cases.
+";
+
+    /// Regression file for a test source file: `proptest-regressions/`
+    /// under the crate manifest, named after the source file stem.
+    pub fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+        let stem = Path::new(source_file).file_stem().and_then(|s| s.to_str()).unwrap_or("unknown");
+        Path::new(manifest_dir).join("proptest-regressions").join(format!("{stem}.txt"))
+    }
+
+    /// Persisted RNG states for `test_name`. Lines look like
+    /// `cc <test_name> <w0> <w1> <w2> <w3>` with hex words; comments and
+    /// entries for other tests in the same file are skipped.
+    pub fn load(path: &Path, test_name: &str) -> Vec<[u64; 4]> {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("cc") || parts.next() != Some(test_name) {
+                continue;
+            }
+            let words: Vec<u64> = parts.filter_map(|w| u64::from_str_radix(w, 16).ok()).collect();
+            if words.len() == 4 {
+                out.push([words[0], words[1], words[2], words[3]]);
+            }
+        }
+        out
+    }
+
+    fn entry_line(test_name: &str, words: [u64; 4]) -> String {
+        format!(
+            "cc {test_name} {:016x} {:016x} {:016x} {:016x}",
+            words[0], words[1], words[2], words[3]
+        )
+    }
+
+    /// Record a failing case. Returns `true` if the entry was newly
+    /// written (`false` when it was already present or the write failed —
+    /// persistence must never mask the original test failure).
+    pub fn append(path: &Path, test_name: &str, words: [u64; 4]) -> bool {
+        let line = entry_line(test_name, words);
+        let existing = fs::read_to_string(path).unwrap_or_default();
+        if existing.lines().any(|l| l.trim() == line) {
+            return false;
+        }
+        if let Some(dir) = path.parent() {
+            let _ = fs::create_dir_all(dir);
+        }
+        let mut payload = String::new();
+        if existing.is_empty() {
+            payload.push_str(HEADER);
+        }
+        payload.push_str(&line);
+        payload.push('\n');
+        fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(payload.as_bytes()))
+            .is_ok()
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +246,42 @@ mod tests {
         for _ in 0..1000 {
             assert!(rng.below(13) < 13);
         }
+    }
+
+    #[test]
+    fn words_round_trip_reproduces_stream() {
+        let mut rng = TestRng::from_name("gamma");
+        rng.next_u64();
+        let words = rng.to_words();
+        let mut replayed = TestRng::from_words(words);
+        let xs: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| replayed.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn persistence_appends_loads_and_dedups() {
+        let dir = std::env::temp_dir().join(format!("pi2-proptest-persist-{}", std::process::id()));
+        let path = dir.join("some_test_file.txt");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(persistence::load(&path, "my_test").is_empty());
+
+        let words = [1u64, 2, 3, 4];
+        assert!(persistence::append(&path, "my_test", words));
+        assert!(!persistence::append(&path, "my_test", words), "duplicate must not re-append");
+        assert!(persistence::append(&path, "my_test", [5, 6, 7, 8]));
+        assert!(persistence::append(&path, "other_test", [9, 9, 9, 9]));
+
+        assert_eq!(persistence::load(&path, "my_test"), vec![[1, 2, 3, 4], [5, 6, 7, 8]]);
+        assert_eq!(persistence::load(&path, "other_test"), vec![[9, 9, 9, 9]]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# Seeds for failure cases"), "header missing:\n{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn regression_path_uses_source_stem() {
+        let p = persistence::regression_path("/ws/crates/sql", "crates/sql/tests/roundtrip.rs");
+        assert_eq!(p, std::path::Path::new("/ws/crates/sql/proptest-regressions/roundtrip.txt"));
     }
 }

@@ -15,10 +15,22 @@ cargo test --workspace -q
 echo "== conformance smoke (fixed seed, bounded budget) =="
 cargo run -q -p pi2-conformance --release -- --seed 7 --runs 50 --budget-secs 60 --no-save --quiet
 
+echo "== fault-injection smoke (each fault class once, bounded) =="
+for fault in worker-panic deadline-search deadline-map exec-overrun; do
+    cargo run -q -p pi2-conformance --release -- \
+        --fault "$fault" --seed 7 --runs 5 --budget-secs 30 --no-save --quiet
+done
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+# pi2-core denies clippy::unwrap_used in non-test code at the crate level
+# (see crates/core/src/lib.rs); this run checks it without the `faults`
+# feature that the workspace-wide run unifies on.
+echo "== cargo clippy pi2-core (no unwrap in non-test code, no faults) =="
+cargo clippy -p pi2-core --all-targets -- -D warnings
 
 echo "CI OK"

@@ -1,0 +1,204 @@
+//! Fault-injection conformance: arm one fault class ([`pi2_faults`]) and
+//! check that generation completes without panic or hang, returns an
+//! interface that still expresses every input query, and reports a
+//! truthful [`DegradationLevel`].
+
+use crate::oracles::Failure;
+use pi2_core::{DegradationLevel, GeneratedInterface, Pi2, SearchStrategy};
+use pi2_engine::Catalog;
+use pi2_faults::{inject, Fault};
+use pi2_mcts::MctsConfig;
+use pi2_sql::Query;
+
+/// Stable CLI names of every injectable fault class.
+pub const FAULT_CLASSES: [&str; 4] =
+    ["worker-panic", "deadline-search", "deadline-map", "exec-overrun"];
+
+/// Install a panic hook that silences the backtraces of *injected* worker
+/// panics (recognized by [`pi2_faults::PANIC_MARKER`]) while passing every
+/// real panic through to the previous hook. Call once, before a fault
+/// campaign, so deliberate faults don't spam CI logs.
+pub fn suppress_injected_panic_output() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.as_str())
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !message.starts_with(pi2_faults::PANIC_MARKER) {
+            previous(info);
+        }
+    }));
+}
+
+/// A small MCTS pipeline for fault runs.
+fn mcts_pi2(catalog: &Catalog, seed: u64, workers: usize) -> Pi2 {
+    Pi2::builder(catalog.clone())
+        .strategy(SearchStrategy::Mcts(MctsConfig {
+            iterations: 16,
+            rollout_depth: 2,
+            seed,
+            workers,
+            ..Default::default()
+        }))
+        .build()
+}
+
+/// The invariants every fault run must uphold, regardless of class:
+/// the interface expresses the whole log, has a chart per tree, and the
+/// reported degradation level is consistent with its reason.
+fn valid_and_truthful(
+    g: &GeneratedInterface,
+    log: &[Query],
+    oracle: &'static str,
+) -> Result<(), Failure> {
+    if !g.forest.expresses_all(log) {
+        return Err(Failure::new(oracle, "degraded forest does not express the whole log"));
+    }
+    if g.interface.charts.is_empty() {
+        return Err(Failure::new(oracle, "degraded interface has no charts"));
+    }
+    match (g.stats.degradation, &g.stats.degradation_reason) {
+        (DegradationLevel::Full, Some(r)) => {
+            Err(Failure::new(oracle, format!("full run carries a degradation reason: {r}")))
+        }
+        (DegradationLevel::Anytime | DegradationLevel::Fallback, None) => {
+            Err(Failure::new(oracle, "degraded run carries no degradation reason"))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Run the oracle battery for one fault class over one query log.
+///
+/// Each sub-check arms the fault for exactly the generation (and, for
+/// `exec-overrun`, the session) it exercises; the guard serializes
+/// concurrent injectors and disarms on scope exit.
+pub fn check_fault(
+    catalog: &Catalog,
+    log: &[Query],
+    class: &str,
+    seed: u64,
+) -> Result<(), Failure> {
+    match class {
+        "worker-panic" => {
+            sole_worker_panic(catalog, log, seed)?;
+            surviving_worker_panic(catalog, log, seed)
+        }
+        "deadline-search" => deadline_search(catalog, log, seed),
+        "deadline-map" => deadline_map(catalog, log),
+        "exec-overrun" => exec_overrun(catalog, log),
+        other => Err(Failure::new("fault", format!("unknown fault class `{other}`"))),
+    }
+}
+
+/// Every worker panics (workers = 1, worker 0 dies): the pipeline must
+/// fall back to the no-search baseline, not error or crash.
+fn sole_worker_panic(catalog: &Catalog, log: &[Query], seed: u64) -> Result<(), Failure> {
+    const ORACLE: &str = "fault-worker-panic";
+    let g = {
+        let _fault = inject(Fault::WorkerPanic { worker: 0 });
+        mcts_pi2(catalog, seed, 1).generate(log)
+    }
+    .map_err(|e| Failure::new(ORACLE, format!("all-workers-dead run errored: {e}")))?;
+    if g.stats.degradation != DegradationLevel::Fallback {
+        return Err(Failure::new(
+            ORACLE,
+            format!("expected fallback when every worker dies, got {}", g.stats.degradation),
+        ));
+    }
+    valid_and_truthful(&g, log, ORACLE)
+}
+
+/// One of two workers panics: the survivor's result must be used, the
+/// panic recorded in the stats, and the run reported as Full.
+fn surviving_worker_panic(catalog: &Catalog, log: &[Query], seed: u64) -> Result<(), Failure> {
+    const ORACLE: &str = "fault-worker-panic";
+    let g = {
+        let _fault = inject(Fault::WorkerPanic { worker: 1 });
+        mcts_pi2(catalog, seed, 2).generate(log)
+    }
+    .map_err(|e| Failure::new(ORACLE, format!("survivor run errored: {e}")))?;
+    if g.stats.degradation != DegradationLevel::Full {
+        return Err(Failure::new(
+            ORACLE,
+            format!("expected full result from the surviving worker, got {}", g.stats.degradation),
+        ));
+    }
+    let Some(s) = &g.stats.search else {
+        return Err(Failure::new(ORACLE, "survivor run has no search stats"));
+    };
+    if s.worker_panics != 1 || !s.workers.iter().any(|w| w.panicked) {
+        return Err(Failure::new(
+            ORACLE,
+            format!("stats do not record the panicked worker: {} panics", s.worker_panics),
+        ));
+    }
+    valid_and_truthful(&g, log, ORACLE)
+}
+
+/// The deadline expires the moment search starts: the run must still
+/// return an interface (the initial search state), marked Anytime.
+fn deadline_search(catalog: &Catalog, log: &[Query], seed: u64) -> Result<(), Failure> {
+    const ORACLE: &str = "fault-deadline-search";
+    let g = {
+        let _fault = inject(Fault::DeadlineAtPhase { phase: "search" });
+        mcts_pi2(catalog, seed, 1).generate(log)
+    }
+    .map_err(|e| Failure::new(ORACLE, format!("expired-deadline run errored: {e}")))?;
+    if g.stats.degradation != DegradationLevel::Anytime {
+        return Err(Failure::new(
+            ORACLE,
+            format!(
+                "expected anytime result under an expired deadline, got {}",
+                g.stats.degradation
+            ),
+        ));
+    }
+    if !g.stats.search.as_ref().is_some_and(|s| s.budget_exhausted) {
+        return Err(Failure::new(ORACLE, "search stats do not report budget exhaustion"));
+    }
+    valid_and_truthful(&g, log, ORACLE)
+}
+
+/// The deadline expires as interface mapping begins: no time to map or
+/// cost candidates, so the pipeline must fall back.
+fn deadline_map(catalog: &Catalog, log: &[Query]) -> Result<(), Failure> {
+    const ORACLE: &str = "fault-deadline-map";
+    let g = {
+        let _fault = inject(Fault::DeadlineAtPhase { phase: "map" });
+        Pi2::builder(catalog.clone()).strategy(SearchStrategy::FullMerge).build().generate(log)
+    }
+    .map_err(|e| Failure::new(ORACLE, format!("deadline-at-map run errored: {e}")))?;
+    if g.stats.degradation != DegradationLevel::Fallback {
+        return Err(Failure::new(
+            ORACLE,
+            format!("expected fallback when mapping is cut off, got {}", g.stats.degradation),
+        ));
+    }
+    valid_and_truthful(&g, log, ORACLE)
+}
+
+/// Every query execution reports a resource overrun: generation must
+/// still return a valid interface (structural work doesn't execute), and
+/// driving the session must error cleanly instead of panicking.
+fn exec_overrun(catalog: &Catalog, log: &[Query]) -> Result<(), Failure> {
+    const ORACLE: &str = "fault-exec-overrun";
+    let _fault = inject(Fault::ExecOverrun);
+    let g = Pi2::builder(catalog.clone())
+        .strategy(SearchStrategy::FullMerge)
+        .build()
+        .generate(log)
+        .map_err(|e| Failure::new(ORACLE, format!("exec-overrun run errored: {e}")))?;
+    valid_and_truthful(&g, log, ORACLE)?;
+    let session = g.session(catalog);
+    if session.refresh_all().is_ok() {
+        return Err(Failure::new(
+            ORACLE,
+            "refresh_all succeeded although every execution overruns",
+        ));
+    }
+    Ok(())
+}

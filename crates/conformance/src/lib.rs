@@ -37,12 +37,14 @@
 
 pub mod corpus;
 pub mod events;
+pub mod faults;
 pub mod oracles;
 pub mod runner;
 pub mod scenarios;
 pub mod shrink;
 
 pub use corpus::Reproducer;
+pub use faults::{check_fault, FAULT_CLASSES};
 pub use oracles::{check, CheckConfig, Failure, Mutation, StrategyChoice};
 pub use runner::{fuzz, RunReport, RunnerConfig};
 pub use scenarios::{scenarios, Scenario};

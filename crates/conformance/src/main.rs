@@ -20,8 +20,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: pi2-conformance [--seed N] [--runs K] [--budget-secs S] \
-         [--corpus-dir DIR] [--no-save] [--inject-bug] [--verbose]"
+         [--corpus-dir DIR] [--no-save] [--inject-bug] [--fault CLASS] [--verbose]"
     );
+    eprintln!("fault classes: {}", pi2_conformance::FAULT_CLASSES.join(", "));
     std::process::exit(2);
 }
 
@@ -49,6 +50,14 @@ fn parse_args() -> Args {
             "--corpus-dir" => cfg.corpus_dir = Some(PathBuf::from(value("--corpus-dir"))),
             "--no-save" => cfg.corpus_dir = None,
             "--inject-bug" => cfg.mutation = Some(Mutation::BreakExpressiveness),
+            "--fault" => {
+                let class = value("--fault");
+                if !pi2_conformance::FAULT_CLASSES.contains(&class.as_str()) {
+                    eprintln!("unknown fault class `{class}`");
+                    usage();
+                }
+                cfg.fault = Some(class);
+            }
             "--quiet" => cfg.verbose = false,
             "--verbose" => cfg.verbose = true,
             "--help" | "-h" => usage(),
@@ -63,12 +72,16 @@ fn parse_args() -> Args {
 
 fn main() {
     let Args { cfg } = parse_args();
+    if cfg.fault.is_some() {
+        pi2_conformance::faults::suppress_injected_panic_output();
+    }
     eprintln!(
-        "pi2-conformance: seed={} runs={} budget={:?}{}",
+        "pi2-conformance: seed={} runs={} budget={:?}{}{}",
         cfg.seed,
         cfg.runs,
         cfg.budget,
-        if cfg.mutation.is_some() { " (bug injected)" } else { "" }
+        if cfg.mutation.is_some() { " (bug injected)" } else { "" },
+        cfg.fault.as_deref().map(|f| format!(" (fault: {f})")).unwrap_or_default()
     );
     let report = pi2_conformance::fuzz(&cfg);
     eprintln!(

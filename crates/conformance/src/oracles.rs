@@ -96,7 +96,7 @@ pub struct Failure {
 }
 
 impl Failure {
-    fn new(oracle: &'static str, message: impl Into<String>) -> Self {
+    pub(crate) fn new(oracle: &'static str, message: impl Into<String>) -> Self {
         Failure { oracle, message: message.into(), events: Vec::new() }
     }
 }

@@ -22,6 +22,11 @@ pub struct RunnerConfig {
     pub budget: Option<Duration>,
     /// Planted bug for mutation-testing the harness.
     pub mutation: Option<Mutation>,
+    /// Inject this fault class on every run (see [`crate::faults`]) and
+    /// check the degradation oracles instead of the standard battery.
+    /// Fault runs skip shrinking and corpus persistence: reproducing them
+    /// needs the armed fault, which a bare replay would not restore.
+    pub fault: Option<String>,
     /// Where to write shrunken reproducers (`None` disables persistence).
     pub corpus_dir: Option<PathBuf>,
     /// Stop after this many distinct failures (shrinking is expensive).
@@ -37,6 +42,7 @@ impl Default for RunnerConfig {
             runs: 50,
             budget: None,
             mutation: None,
+            fault: None,
             corpus_dir: None,
             max_failures: 3,
             verbose: false,
@@ -117,15 +123,22 @@ pub fn fuzz(cfg: &RunnerConfig) -> RunReport {
             workers_oracle,
             mutation: cfg.mutation,
         };
-        match check(&scenario.catalog, &log, None, &check_cfg) {
+        let outcome = match cfg.fault.as_deref() {
+            Some(class) => crate::faults::check_fault(&scenario.catalog, &log, class, run_seed),
+            None => check(&scenario.catalog, &log, None, &check_cfg),
+        };
+        match outcome {
             Ok(()) => {
                 if cfg.verbose {
                     eprintln!(
                         "run {run:>4} {:<12} log={log_len} {:<10} ok",
                         scenario.name,
-                        match strategy {
-                            StrategyChoice::FullMerge => "full-merge".to_string(),
-                            StrategyChoice::Mcts { workers, .. } => format!("mcts/w{workers}"),
+                        match cfg.fault.as_deref() {
+                            Some(class) => format!("fault/{class}"),
+                            None => match strategy {
+                                StrategyChoice::FullMerge => "full-merge".to_string(),
+                                StrategyChoice::Mcts { workers, .. } => format!("mcts/w{workers}"),
+                            },
                         }
                     );
                 }
@@ -135,10 +148,17 @@ pub fn fuzz(cfg: &RunnerConfig) -> RunReport {
                     "run {run} ({}): oracle `{}` FAILED: {}",
                     scenario.name, f.oracle, f.message
                 );
-                let (min_log, min_events) =
+                // Fault runs are not shrunk or persisted: replaying a saved
+                // reproducer would not re-arm the injected fault.
+                let (min_log, min_events) = if cfg.fault.is_some() {
+                    (log.clone(), f.events.clone())
+                } else {
                     shrink(&scenario.catalog, &log, &f.events, &check_cfg, f.oracle)
-                        .unwrap_or((log.clone(), f.events.clone()));
-                eprintln!("  shrunk to {} queries, {} events", min_log.len(), min_events.len());
+                        .unwrap_or((log.clone(), f.events.clone()))
+                };
+                if cfg.fault.is_none() {
+                    eprintln!("  shrunk to {} queries, {} events", min_log.len(), min_events.len());
+                }
                 let repro = Reproducer {
                     scenario: scenario.name.to_string(),
                     oracle: f.oracle.to_string(),
@@ -148,16 +168,20 @@ pub fn fuzz(cfg: &RunnerConfig) -> RunReport {
                     queries: min_log,
                     events: min_events,
                 };
-                let saved = cfg.corpus_dir.as_deref().and_then(|dir| match repro.save(dir) {
-                    Ok(path) => {
-                        eprintln!("  reproducer saved to {}", path.display());
-                        Some(path)
-                    }
-                    Err(e) => {
-                        eprintln!("  could not save reproducer: {e}");
-                        None
-                    }
-                });
+                let saved = if cfg.fault.is_some() {
+                    None
+                } else {
+                    cfg.corpus_dir.as_deref().and_then(|dir| match repro.save(dir) {
+                        Ok(path) => {
+                            eprintln!("  reproducer saved to {}", path.display());
+                            Some(path)
+                        }
+                        Err(e) => {
+                            eprintln!("  could not save reproducer: {e}");
+                            None
+                        }
+                    })
+                };
                 failures.push((repro, saved));
                 if failures.len() >= cfg.max_failures {
                     eprintln!("stopping after {} failures", failures.len());

@@ -1,0 +1,86 @@
+//! Fault-injection integration tests: every fault class degrades
+//! gracefully, and panic isolation is deterministic — losing a worker is
+//! bit-equivalent to never having spawned it.
+//!
+//! All tests in this binary either inject a fault or hold the injector
+//! lock via a benign injection, so parallel test threads cannot perturb
+//! each other's fault state.
+
+use pi2_conformance::faults::suppress_injected_panic_output;
+use pi2_conformance::{check_fault, RunnerConfig, FAULT_CLASSES};
+use pi2_core::{DegradationLevel, Pi2, SearchStrategy};
+use pi2_faults::{inject, Fault};
+use pi2_mcts::MctsConfig;
+
+#[test]
+fn every_fault_class_passes_its_oracles() {
+    suppress_injected_panic_output();
+    let catalog = pi2_datasets::toy::default_catalog();
+    let log = pi2_datasets::toy::fig2_queries();
+    for class in FAULT_CLASSES {
+        check_fault(&catalog, &log, class, 7)
+            .unwrap_or_else(|f| panic!("fault `{class}`: oracle `{}`: {}", f.oracle, f.message));
+    }
+}
+
+#[test]
+fn fault_campaign_is_green_and_saves_nothing() {
+    suppress_injected_panic_output();
+    let cfg = RunnerConfig {
+        seed: 3,
+        runs: 4,
+        fault: Some("worker-panic".into()),
+        corpus_dir: None,
+        verbose: false,
+        ..RunnerConfig::default()
+    };
+    let report = pi2_conformance::fuzz(&cfg);
+    assert!(report.all_green(), "failures: {:?}", report.failures);
+    assert_eq!(report.runs_completed, 4);
+}
+
+/// The acceptance bar for panic isolation: a 4-worker search that loses
+/// worker 3 must produce exactly the result of a 3-worker search — worker
+/// seeds depend only on the worker index, rewards are pure, and the merge
+/// ranges over survivors — so the panic costs redundancy, not correctness.
+#[test]
+fn one_panicked_worker_costs_like_a_smaller_panic_free_fleet() {
+    suppress_injected_panic_output();
+    let catalog = pi2_datasets::toy::default_catalog();
+    let queries = pi2_datasets::toy::fig2_queries();
+    let mcts = |workers: usize| {
+        Pi2::builder(catalog.clone())
+            .strategy(SearchStrategy::Mcts(MctsConfig {
+                iterations: 24,
+                rollout_depth: 2,
+                seed: 11,
+                workers,
+                ..Default::default()
+            }))
+            .build()
+    };
+    let degraded = {
+        let _fault = inject(Fault::WorkerPanic { worker: 3 });
+        mcts(4).generate(&queries).unwrap()
+    };
+    let baseline = {
+        // Benign injection (worker 99 never exists): holds the injector
+        // lock so this fault-free run cannot race another test's fault.
+        let _lock = inject(Fault::WorkerPanic { worker: 99 });
+        mcts(3).generate(&queries).unwrap()
+    };
+    assert_eq!(degraded.stats.degradation, DegradationLevel::Full);
+    let stats = degraded.stats.search.as_ref().unwrap();
+    assert_eq!(stats.worker_panics, 1);
+    assert_eq!(stats.workers.len(), 4);
+    assert!(stats.workers[3].panicked);
+    assert_eq!(baseline.stats.search.as_ref().unwrap().worker_panics, 0);
+    assert_eq!(
+        degraded.cost.total.to_bits(),
+        baseline.cost.total.to_bits(),
+        "degraded cost {} != baseline cost {}",
+        degraded.cost.total,
+        baseline.cost.total
+    );
+    assert_eq!(degraded.interface, baseline.interface);
+}

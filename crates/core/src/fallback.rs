@@ -1,0 +1,81 @@
+//! Deterministic no-search fallback: one static chart per input query.
+//!
+//! This is the floor the pipeline degrades to when search fails outright
+//! (every worker panicked) or produces nothing expressive: a singleton
+//! DiffTree per query — which expresses its source query by construction —
+//! with a per-result chart recommendation. No search, no widgets, no
+//! cross-query merging; the result is always valid and always expressive,
+//! just not optimized.
+
+use pi2_cost::{cost, CostBreakdown, CostWeights};
+use pi2_difftree::DiffForest;
+use pi2_engine::Catalog;
+use pi2_interface::{analyze, choose_chart, Chart, Element, Interface, Layout, Mark, ScreenSpec};
+use pi2_sql::Query;
+
+/// Build the fallback interface for `queries`.
+///
+/// Tolerates query execution failures (including engine resource limits):
+/// a query whose result cannot be materialized still gets a chart — a bare
+/// table mark with no encodings — so the returned forest/interface pair
+/// expresses every input query no matter what the engine does.
+pub(crate) fn fallback_interface(
+    queries: &[Query],
+    catalog: &Catalog,
+    screen: ScreenSpec,
+    weights: &CostWeights,
+) -> (DiffForest, Interface, CostBreakdown) {
+    let forest = DiffForest::singletons(queries);
+    let mut charts = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        let (mark, encodings) = match catalog.execute(q) {
+            Ok(result) => choose_chart(&analyze(&result)),
+            Err(_) => (Mark::Table, Vec::new()),
+        };
+        charts.push(Chart {
+            id: i,
+            name: format!("G{}", i + 1),
+            title: format!("query {}", i + 1),
+            mark,
+            encodings,
+            tree: i,
+            interactions: vec![],
+        });
+    }
+    let layout =
+        Layout::Vertical(charts.iter().map(|c| Layout::Leaf(Element::Chart(c.id))).collect());
+    let interface = Interface { charts, widgets: vec![], layout, screen };
+    let breakdown = cost(&interface, &forest, queries, catalog, weights);
+    (forest, interface, breakdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_cost::CostWeights;
+    use pi2_interface::ScreenSpec;
+
+    #[test]
+    fn fallback_expresses_every_query() {
+        let catalog = pi2_datasets::toy::default_catalog();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let (forest, interface, _) =
+            fallback_interface(&queries, &catalog, ScreenSpec::default(), &CostWeights::default());
+        assert!(forest.expresses_all(&queries));
+        assert_eq!(interface.charts.len(), queries.len());
+    }
+
+    #[test]
+    fn fallback_tolerates_execution_failure() {
+        // Row limit 0 makes every execution fail; the fallback must still
+        // produce a chart per query.
+        let mut catalog = pi2_datasets::toy::default_catalog();
+        catalog.set_limits(pi2_engine::ExecLimits::rows(0));
+        let queries = pi2_datasets::toy::fig2_queries();
+        let (forest, interface, _) =
+            fallback_interface(&queries, &catalog, ScreenSpec::default(), &CostWeights::default());
+        assert!(forest.expresses_all(&queries));
+        assert_eq!(interface.charts.len(), queries.len());
+        assert!(interface.charts.iter().all(|c| c.mark == Mark::Table));
+    }
+}

@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Dispatch and pipeline paths must return structured errors, never panic:
+// `unwrap()` is denied in this crate's non-test code (tests may unwrap).
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 //! # pi2-core
 //!
@@ -33,12 +37,15 @@
 //! ```
 
 pub mod explain;
+mod fallback;
 pub mod pipeline;
 pub mod problem;
 pub mod session;
 
+pub use pi2_mcts::GenerationBudget;
 pub use pipeline::{
-    GeneratedInterface, GenerationStats, Pi2, Pi2Builder, Pi2Error, SearchStrategy,
+    DegradationLevel, GeneratedInterface, GenerationStats, Pi2, Pi2Builder, Pi2Error,
+    SearchStrategy,
 };
 pub use problem::{ForestAction, InterfaceSearch};
 pub use session::{

@@ -5,10 +5,11 @@ use pi2_cost::{CostBreakdown, CostMemo, CostWeights};
 use pi2_difftree::DiffForest;
 use pi2_engine::Catalog;
 use pi2_interface::{map_forest, Interface, MapperConfig, ScreenSpec};
-use pi2_mcts::{greedy, mcts_parallel, MctsConfig, SearchStats};
+use pi2_mcts::{greedy_with_budget, mcts_parallel, GenerationBudget, MctsConfig, SearchStats};
 use pi2_sql::Query;
 use pi2_telemetry::{Registry, Snapshot};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,6 +50,11 @@ pub enum Pi2Error {
     Map(String),
     /// No candidate expresses every query.
     NoExpressiveInterface,
+    /// The search produced no result at all — every worker panicked (or
+    /// the sequential search itself panicked). Only surfaced when graceful
+    /// degradation is disabled; otherwise the pipeline falls back to the
+    /// no-search baseline interface instead.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for Pi2Error {
@@ -60,6 +66,7 @@ impl fmt::Display for Pi2Error {
             Pi2Error::NoExpressiveInterface => {
                 write!(f, "no candidate interface expresses every query in the log")
             }
+            Pi2Error::WorkerPanic(m) => write!(f, "search failed: {m}"),
         }
     }
 }
@@ -76,6 +83,31 @@ impl std::error::Error for Pi2Error {
 impl From<pi2_sql::ParseError> for Pi2Error {
     fn from(e: pi2_sql::ParseError) -> Self {
         Pi2Error::Parse(e)
+    }
+}
+
+/// How much of the full generation pipeline produced the returned
+/// interface. Ordered from best to worst.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationLevel {
+    /// The search ran to completion; the interface is the searched optimum.
+    #[default]
+    Full,
+    /// The [`GenerationBudget`] expired mid-search; the interface is the
+    /// best candidate found before expiry (still searched, still costed).
+    Anytime,
+    /// Search failed or produced nothing expressive; the interface is the
+    /// deterministic no-search baseline (one static chart per query).
+    Fallback,
+}
+
+impl fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationLevel::Full => write!(f, "full"),
+            DegradationLevel::Anytime => write!(f, "anytime"),
+            DegradationLevel::Fallback => write!(f, "fallback"),
+        }
     }
 }
 
@@ -100,6 +132,11 @@ pub struct GenerationStats {
     pub memo_misses: u64,
     /// Total entries in the shared memo after this run.
     pub memo_entries: usize,
+    /// How much of the pipeline produced this interface (see
+    /// [`DegradationLevel`]).
+    pub degradation: DegradationLevel,
+    /// Why the run degraded, when `degradation` is not `Full`.
+    pub degradation_reason: Option<String>,
 }
 
 impl GenerationStats {
@@ -175,6 +212,8 @@ pub struct Pi2Builder {
     screen: ScreenSpec,
     weights: CostWeights,
     strategy: SearchStrategy,
+    budget: GenerationBudget,
+    graceful: bool,
 }
 
 impl Pi2Builder {
@@ -197,6 +236,29 @@ impl Pi2Builder {
         self
     }
 
+    /// Resource budget for each `generate` call. Limits set here override
+    /// the corresponding limits of the strategy's own [`MctsConfig`]
+    /// budget. On expiry the search stops and the best-so-far interface is
+    /// returned with [`DegradationLevel::Anytime`].
+    pub fn budget(mut self, budget: GenerationBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Convenience: set only a wall-clock deadline on the budget.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.budget.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether a failed search degrades to the deterministic no-search
+    /// fallback interface (`true`, the default) or surfaces a structured
+    /// error such as [`Pi2Error::WorkerPanic`] (`false`).
+    pub fn graceful_degradation(mut self, enabled: bool) -> Self {
+        self.graceful = enabled;
+        self
+    }
+
     /// Build.
     pub fn build(self) -> Pi2 {
         Pi2 {
@@ -204,6 +266,8 @@ impl Pi2Builder {
             screen: self.screen,
             weights: self.weights,
             strategy: self.strategy,
+            budget: self.budget,
+            graceful: self.graceful,
             memo: Arc::new(CostMemo::new()),
         }
     }
@@ -220,6 +284,8 @@ pub struct Pi2 {
     screen: ScreenSpec,
     weights: CostWeights,
     strategy: SearchStrategy,
+    budget: GenerationBudget,
+    graceful: bool,
     memo: Arc<CostMemo>,
 }
 
@@ -231,6 +297,8 @@ impl Pi2 {
             screen: ScreenSpec::default(),
             weights: CostWeights::default(),
             strategy: SearchStrategy::default(),
+            budget: GenerationBudget::default(),
+            graceful: true,
         }
     }
 
@@ -260,6 +328,16 @@ impl Pi2 {
         self.generate_with(queries, Arc::new(Registry::new()))
     }
 
+    /// The generator's budget layered over a strategy-level budget:
+    /// builder-level limits win where set, the strategy's remain otherwise.
+    fn merged_budget(&self, base: &GenerationBudget) -> GenerationBudget {
+        GenerationBudget {
+            deadline: self.budget.deadline.or(base.deadline),
+            max_iterations: self.budget.max_iterations.or(base.max_iterations),
+            max_states: self.budget.max_states.or(base.max_states),
+        }
+    }
+
     fn generate_with(
         &self,
         queries: &[Query],
@@ -280,36 +358,76 @@ impl Pi2 {
         );
         let (hits_before, misses_before) = (self.memo.hits(), self.memo.misses());
 
-        let (forest, search_stats) = telemetry.time("phase.search", || match &self.strategy {
-            SearchStrategy::Mcts(cfg) => {
-                let (f, s) = mcts_parallel(&search, cfg);
-                (f, Some(s))
-            }
-            SearchStrategy::Greedy { max_evaluations } => {
-                let (f, s) = greedy(&search, *max_evaluations);
-                (f, Some(s))
-            }
-            SearchStrategy::FullMerge => {
-                (search.canonicalized(DiffForest::fully_merged(queries)), None)
-            }
-        });
+        // Injected fault: the deadline "expires" the moment search starts.
+        #[cfg(feature = "faults")]
+        let forced_deadline = pi2_faults::deadline_at("search");
+        #[cfg(not(feature = "faults"))]
+        let forced_deadline = false;
+
+        let outcome: Result<(DiffForest, Option<SearchStats>), Pi2Error> =
+            telemetry.time("phase.search", || match &self.strategy {
+                SearchStrategy::Mcts(cfg) => {
+                    let mut cfg = cfg.clone();
+                    cfg.budget = self.merged_budget(&cfg.budget);
+                    if forced_deadline {
+                        cfg.budget.deadline = Some(Duration::ZERO);
+                    }
+                    // mcts_parallel already isolates per-worker panics;
+                    // the error here means *no* worker survived.
+                    mcts_parallel(&search, &cfg)
+                        .map(|(f, s)| (f, Some(s)))
+                        .map_err(|e| Pi2Error::WorkerPanic(e.to_string()))
+                }
+                SearchStrategy::Greedy { max_evaluations } => {
+                    let mut budget = self.merged_budget(&GenerationBudget::default());
+                    if forced_deadline {
+                        budget.deadline = Some(Duration::ZERO);
+                    }
+                    catch_unwind(AssertUnwindSafe(|| {
+                        greedy_with_budget(&search, *max_evaluations, &budget)
+                    }))
+                    .map(|(f, s)| (f, Some(s)))
+                    .map_err(|p| Pi2Error::WorkerPanic(panic_text(p)))
+                }
+                SearchStrategy::FullMerge => catch_unwind(AssertUnwindSafe(|| {
+                    search.canonicalized(DiffForest::fully_merged(queries))
+                }))
+                .map(|f| (f, None))
+                .map_err(|p| Pi2Error::WorkerPanic(panic_text(p))),
+            });
         // Search states are normalized (trees sorted by earliest source
         // query) inside InterfaceSearch, so the forest is already in stable
         // display order: G1 is the earliest selected cell.
 
+        let (forest, search_stats) = match outcome {
+            Ok(pair) => pair,
+            Err(err) => return self.degrade(queries, start, telemetry, None, err),
+        };
+
+        // Injected fault: the deadline expires as mapping begins.
+        #[cfg(feature = "faults")]
+        if pi2_faults::deadline_at("map") {
+            let err = Pi2Error::Map("deadline expired during interface mapping".into());
+            return self.degrade(queries, start, telemetry, search_stats, err);
+        }
+
         let choice = match search.best_choice(&forest) {
-            Some(c) => c,
-            None => {
-                // Distinguish "mapping failed" from "nothing expressive":
-                // re-run the mapper on this one forest for the error detail.
-                map_forest(&forest, &self.catalog, queries, &mapper_cfg)
-                    .map_err(|e| Pi2Error::Map(e.to_string()))?;
-                return Err(Pi2Error::NoExpressiveInterface);
+            Some(c) if c.breakdown.expressive => c,
+            other => {
+                let err = if other.is_some() {
+                    Pi2Error::NoExpressiveInterface
+                } else {
+                    // Distinguish "mapping failed" from "nothing
+                    // expressive": re-run the mapper on this one forest
+                    // for the error detail.
+                    match map_forest(&forest, &self.catalog, queries, &mapper_cfg) {
+                        Err(e) => Pi2Error::Map(e.to_string()),
+                        Ok(_) => Pi2Error::NoExpressiveInterface,
+                    }
+                };
+                return self.degrade(queries, start, telemetry, search_stats, err);
             }
         };
-        if !choice.breakdown.expressive {
-            return Err(Pi2Error::NoExpressiveInterface);
-        }
 
         let memo_hits = self.memo.hits() - hits_before;
         let memo_misses = self.memo.misses() - misses_before;
@@ -321,7 +439,18 @@ impl Pi2 {
             telemetry.add("search.reward_cache.hits", s.cache_hits);
             telemetry.add("search.reward_cache.misses", s.cache_misses);
             telemetry.add("search.workers", s.workers.len() as u64);
+            telemetry.add("search.worker_panics", s.worker_panics as u64);
         }
+
+        let (degradation, degradation_reason) =
+            if search_stats.as_ref().is_some_and(|s| s.budget_exhausted) {
+                (
+                    DegradationLevel::Anytime,
+                    Some("generation budget exhausted; best-so-far interface".to_string()),
+                )
+            } else {
+                (DegradationLevel::Full, None)
+            };
 
         Ok(GeneratedInterface {
             queries: queries.to_vec(),
@@ -336,6 +465,44 @@ impl Pi2 {
                 memo_hits,
                 memo_misses,
                 memo_entries: self.memo.len(),
+                degradation,
+                degradation_reason,
+            },
+        })
+    }
+
+    /// Either fall back to the deterministic baseline interface (graceful
+    /// mode, the default) or surface the error that stopped the pipeline.
+    fn degrade(
+        &self,
+        queries: &[Query],
+        start: Instant,
+        telemetry: Arc<Registry>,
+        search_stats: Option<SearchStats>,
+        err: Pi2Error,
+    ) -> Result<GeneratedInterface, Pi2Error> {
+        if !self.graceful {
+            return Err(err);
+        }
+        let (forest, interface, cost) = telemetry.time("phase.fallback", || {
+            crate::fallback::fallback_interface(queries, &self.catalog, self.screen, &self.weights)
+        });
+        telemetry.add("degraded.fallback", 1);
+        Ok(GeneratedInterface {
+            queries: queries.to_vec(),
+            forest,
+            interface,
+            cost,
+            stats: GenerationStats {
+                elapsed: start.elapsed(),
+                candidates_considered: 1,
+                search: search_stats,
+                telemetry: telemetry.snapshot(),
+                memo_hits: 0,
+                memo_misses: 0,
+                memo_entries: self.memo.len(),
+                degradation: DegradationLevel::Fallback,
+                degradation_reason: Some(err.to_string()),
             },
         })
     }
@@ -343,6 +510,17 @@ impl Pi2 {
     /// Open an interactive session over a generated interface.
     pub fn session(&self, generated: &GeneratedInterface) -> crate::session::InterfaceSession {
         generated.session(&self.catalog)
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 
@@ -433,6 +611,98 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"phase_search_ms\""));
         assert!(json.contains("\"elapsed_ms\""));
+    }
+
+    #[test]
+    fn zero_iteration_budget_returns_anytime_interface() {
+        // No search at all: the pipeline must still produce a valid,
+        // expressive interface from the initial (singleton) state and be
+        // truthful that the budget cut the search short.
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .budget(GenerationBudget { max_iterations: Some(0), ..Default::default() })
+            .build();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let g = pi2.generate(&queries).unwrap();
+        assert_eq!(g.stats.degradation, DegradationLevel::Anytime);
+        assert!(g.stats.degradation_reason.is_some());
+        assert!(g.forest.expresses_all(&queries));
+        assert!(g.cost.expressive);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_anytime_not_error() {
+        let pi2 =
+            Pi2::builder(pi2_datasets::toy::default_catalog()).deadline(Duration::ZERO).build();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let g = pi2.generate(&queries).unwrap();
+        assert_eq!(g.stats.degradation, DegradationLevel::Anytime);
+        assert!(g.stats.search.as_ref().unwrap().budget_exhausted);
+        assert!(g.forest.expresses_all(&queries));
+        assert!(g.cost.expressive);
+    }
+
+    #[test]
+    fn unbudgeted_run_reports_full_degradation() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog()).build();
+        let g = pi2.generate_sql(&["SELECT a, count(*) FROM t GROUP BY a"]).unwrap();
+        assert_eq!(g.stats.degradation, DegradationLevel::Full);
+        assert!(g.stats.degradation_reason.is_none());
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn sole_worker_panic_degrades_to_fallback() {
+        let _fault = pi2_faults::inject(pi2_faults::Fault::WorkerPanic { worker: 0 });
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::Mcts(MctsConfig {
+                iterations: 10,
+                workers: 1,
+                ..Default::default()
+            }))
+            .build();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let g = pi2.generate(&queries).unwrap();
+        assert_eq!(g.stats.degradation, DegradationLevel::Fallback);
+        assert!(g.stats.degradation_reason.is_some());
+        assert!(g.forest.expresses_all(&queries));
+        assert_eq!(g.interface.charts.len(), queries.len());
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn graceful_off_surfaces_worker_panic() {
+        let _fault = pi2_faults::inject(pi2_faults::Fault::WorkerPanic { worker: 0 });
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::Mcts(MctsConfig {
+                iterations: 10,
+                workers: 1,
+                ..Default::default()
+            }))
+            .graceful_degradation(false)
+            .build();
+        let err = pi2.generate(&pi2_datasets::toy::fig2_queries()).unwrap_err();
+        assert!(matches!(err, Pi2Error::WorkerPanic(_)), "got {err}");
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn surviving_workers_mask_a_panicked_one() {
+        let _fault = pi2_faults::inject(pi2_faults::Fault::WorkerPanic { worker: 1 });
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::Mcts(MctsConfig {
+                iterations: 15,
+                workers: 2,
+                seed: 5,
+                ..Default::default()
+            }))
+            .build();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let g = pi2.generate(&queries).unwrap();
+        assert_eq!(g.stats.degradation, DegradationLevel::Full);
+        let s = g.stats.search.unwrap();
+        assert_eq!(s.worker_panics, 1);
+        assert!(s.workers.iter().any(|w| w.panicked));
+        assert!(g.cost.expressive);
     }
 
     #[test]

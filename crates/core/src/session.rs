@@ -253,7 +253,7 @@ impl InterfaceSession {
         if let WidgetKind::MultiSelect { .. } = &w.kind {
             let mut flags = Vec::with_capacity(w.targets.len());
             for t in &w.targets {
-                let on = match self.bindings[t.tree].get(t.node) {
+                let on = match self.tree_bindings(t.tree)?.get(t.node) {
                     Some(Binding::Include(b)) => *b,
                     _ => true,
                 };
@@ -261,27 +261,24 @@ impl InterfaceSession {
             }
             return Ok(WidgetState::Flags(flags));
         }
-        let target = *w
-            .targets
-            .first()
-            .ok_or_else(|| SessionError::Internal(format!("widget {} has no target", w.id)))?;
+        let target = Self::widget_target(w, 0)?;
         match self.node_kind(target)? {
             NodeKind::Any => {
-                let pick = match self.bindings[target.tree].get(target.node) {
+                let pick = match self.tree_bindings(target.tree)?.get(target.node) {
                     Some(Binding::Pick(i)) => *i,
                     _ => 0,
                 };
                 Ok(WidgetState::Picked(pick))
             }
             NodeKind::Opt => {
-                let on = match self.bindings[target.tree].get(target.node) {
+                let on = match self.tree_bindings(target.tree)?.get(target.node) {
                     Some(Binding::Include(b)) => *b,
                     _ => true,
                 };
                 Ok(WidgetState::Toggled(on))
             }
             NodeKind::Hole { domain, default, .. } => {
-                let value = match self.bindings[target.tree].get(target.node) {
+                let value = match self.tree_bindings(target.tree)?.get(target.node) {
                     Some(Binding::Value(l)) => l.clone(),
                     _ => default,
                 };
@@ -295,8 +292,8 @@ impl InterfaceSession {
                     }
                 }
                 if w.targets.len() == 2 {
-                    let hi_target = w.targets[1];
-                    let hi = match self.bindings[hi_target.tree].get(hi_target.node) {
+                    let hi_target = Self::widget_target(w, 1)?;
+                    let hi = match self.tree_bindings(hi_target.tree)?.get(hi_target.node) {
                         Some(Binding::Value(l)) => l.clone(),
                         _ => match self.node_kind(hi_target)? {
                             NodeKind::Hole { default, .. } => default,
@@ -320,7 +317,10 @@ impl InterfaceSession {
             .iter()
             .find(|c| c.id == chart)
             .ok_or(SessionError::UnknownChart(chart))?;
-        pi2_difftree::lower_query(&self.forest.trees[c.tree], &self.bindings[c.tree])
+        let tree = self.forest.trees.get(c.tree).ok_or_else(|| {
+            SessionError::Internal(format!("chart {chart} references missing tree {}", c.tree))
+        })?;
+        pi2_difftree::lower_query(tree, self.tree_bindings(c.tree)?)
             .map_err(|e| SessionError::Internal(e.to_string()))
     }
 
@@ -366,6 +366,29 @@ impl InterfaceSession {
 
     // ---- binding helpers ----------------------------------------------------
 
+    /// Bindings of tree `tree`, as a session error (instead of a panic)
+    /// when an interface references a tree the forest doesn't have.
+    fn tree_bindings(&self, tree: usize) -> Result<&Bindings, SessionError> {
+        self.bindings
+            .get(tree)
+            .ok_or_else(|| SessionError::Internal(format!("no bindings for tree {tree}")))
+    }
+
+    fn tree_bindings_mut(&mut self, tree: usize) -> Result<&mut Bindings, SessionError> {
+        self.bindings
+            .get_mut(tree)
+            .ok_or_else(|| SessionError::Internal(format!("no bindings for tree {tree}")))
+    }
+
+    /// The `i`th binding target of a widget, as a session error when the
+    /// mapper produced fewer targets than the widget kind requires.
+    fn widget_target(w: &pi2_interface::Widget, i: usize) -> Result<Target, SessionError> {
+        w.targets
+            .get(i)
+            .copied()
+            .ok_or_else(|| SessionError::Internal(format!("widget {} has no target {i}", w.id)))
+    }
+
     fn node_kind(&self, t: Target) -> Result<NodeKind, SessionError> {
         self.forest
             .trees
@@ -377,7 +400,7 @@ impl InterfaceSession {
 
     /// The current f64 view of a hole's value (bindings or default).
     fn hole_value_f64(&self, t: Target) -> Result<f64, SessionError> {
-        let lit = match self.bindings[t.tree].get(t.node) {
+        let lit = match self.tree_bindings(t.tree)?.get(t.node) {
             Some(Binding::Value(l)) => l.clone(),
             _ => match self.node_kind(t)? {
                 NodeKind::Hole { default, .. } => default,
@@ -399,7 +422,7 @@ impl InterfaceSession {
         let lit = literal_from_f64_clamped(&domain, v).ok_or_else(|| {
             SessionError::OutOfDomain(format!("cannot place {v} into {domain:?}"))
         })?;
-        self.bindings[t.tree].set(t.node, Binding::Value(lit));
+        self.tree_bindings_mut(t.tree)?.set(t.node, Binding::Value(lit));
         Ok(())
     }
 
@@ -432,16 +455,17 @@ impl InterfaceSession {
                         options.len()
                     )));
                 }
-                let target = widget.targets[0];
+                let target = Self::widget_target(&widget, 0)?;
                 match self.node_kind(target)? {
                     NodeKind::Any => {
-                        self.bindings[target.tree].set(target.node, Binding::Pick(*i));
+                        self.tree_bindings_mut(target.tree)?.set(target.node, Binding::Pick(*i));
                     }
                     NodeKind::Hole { domain: Domain::Discrete(items), .. } => {
                         let lit = items.get(*i).ok_or_else(|| {
                             SessionError::WrongValue(format!("pick {i} outside domain"))
                         })?;
-                        self.bindings[target.tree].set(target.node, Binding::Value(lit.clone()));
+                        self.tree_bindings_mut(target.tree)?
+                            .set(target.node, Binding::Value(lit.clone()));
                     }
                     other => {
                         return Err(SessionError::Internal(format!(
@@ -452,18 +476,18 @@ impl InterfaceSession {
                 changed.insert(target.tree);
             }
             (WidgetKind::Toggle, WidgetValue::Bool(b)) => {
-                let target = widget.targets[0];
-                self.bindings[target.tree].set(target.node, Binding::Include(*b));
+                let target = Self::widget_target(&widget, 0)?;
+                self.tree_bindings_mut(target.tree)?.set(target.node, Binding::Include(*b));
                 changed.insert(target.tree);
             }
             (WidgetKind::Slider { .. }, WidgetValue::Scalar(v)) => {
-                let target = widget.targets[0];
+                let target = Self::widget_target(&widget, 0)?;
                 self.bind_hole_f64(target, *v)?;
                 changed.insert(target.tree);
             }
             (WidgetKind::RangeSlider { .. }, WidgetValue::Range(lo, hi)) => {
                 let (lo, hi) = if lo <= hi { (*lo, *hi) } else { (*hi, *lo) };
-                let (tl, th) = (widget.targets[0], widget.targets[1]);
+                let (tl, th) = (Self::widget_target(&widget, 0)?, Self::widget_target(&widget, 1)?);
                 self.bind_hole_f64(tl, lo)?;
                 self.bind_hole_f64(th, hi)?;
                 changed.insert(tl.tree);
@@ -478,19 +502,19 @@ impl InterfaceSession {
                     )));
                 }
                 for (t, flag) in widget.targets.iter().zip(flags) {
-                    self.bindings[t.tree].set(t.node, Binding::Include(*flag));
+                    self.tree_bindings_mut(t.tree)?.set(t.node, Binding::Include(*flag));
                     changed.insert(t.tree);
                 }
             }
             (WidgetKind::TextInput, WidgetValue::Literal(l)) => {
-                let target = widget.targets[0];
+                let target = Self::widget_target(&widget, 0)?;
                 let NodeKind::Hole { domain, .. } = self.node_kind(target)? else {
                     return Err(SessionError::Internal("text input without hole".into()));
                 };
                 if !domain.contains(l) {
                     return Err(SessionError::OutOfDomain(format!("{l} not in {domain:?}")));
                 }
-                self.bindings[target.tree].set(target.node, Binding::Value(l.clone()));
+                self.tree_bindings_mut(target.tree)?.set(target.node, Binding::Value(l.clone()));
                 changed.insert(target.tree);
             }
             (kind, v) => {
@@ -567,7 +591,7 @@ impl InterfaceSession {
             if !domain.contains(value) {
                 return Err(SessionError::OutOfDomain(format!("{value} not in {domain:?}")));
             }
-            self.bindings[t.tree].set(t.node, Binding::Value(value.clone()));
+            self.tree_bindings_mut(t.tree)?.set(t.node, Binding::Value(value.clone()));
             changed.insert(t.tree);
         }
         Ok(changed)

@@ -19,6 +19,31 @@ const QUERY_CACHE_CAP: usize = 4096;
 /// Shared result cache keyed by (catalog version, query structural hash).
 type QueryCache = HashMap<(u64, u64), Arc<ResultSet>>;
 
+/// Resource limits applied to each query execution.
+///
+/// Both limits are off by default. When a limit trips, execution stops
+/// with [`EngineError::ResourceExhausted`] instead of materializing more
+/// rows — so a widget interaction that instantiates a huge cross join
+/// fails fast rather than hanging the session.
+///
+/// Limits guard live execution only: a result already in the query cache
+/// is returned as-is, since its cost was already paid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Cap on rows materialized by any single operator (joins, cross
+    /// products, output). `None` = unlimited.
+    pub max_rows: Option<usize>,
+    /// Wall-clock budget for one query execution. `None` = unlimited.
+    pub timeout: Option<std::time::Duration>,
+}
+
+impl ExecLimits {
+    /// Limits with only a row cap.
+    pub fn rows(max_rows: usize) -> Self {
+        ExecLimits { max_rows: Some(max_rows), timeout: None }
+    }
+}
+
 /// A collection of named tables plus the query entry point.
 ///
 /// Table lookup is case-insensitive. Tables are stored behind `Arc` so that
@@ -36,6 +61,7 @@ pub struct Catalog {
     /// can keep sharing the cache soundly.
     version: u64,
     cache: Arc<Mutex<QueryCache>>,
+    limits: ExecLimits,
 }
 
 /// Source of globally-unique catalog versions (see [`Catalog::register`]).
@@ -45,6 +71,21 @@ impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty catalog with the given execution limits.
+    pub fn with_limits(limits: ExecLimits) -> Self {
+        Catalog { limits, ..Self::default() }
+    }
+
+    /// Set the execution limits for subsequent queries.
+    pub fn set_limits(&mut self, limits: ExecLimits) {
+        self.limits = limits;
+    }
+
+    /// The execution limits applied to each query.
+    pub fn limits(&self) -> ExecLimits {
+        self.limits
     }
 
     /// Register (or replace) a table under its own name. The catalog moves
@@ -67,6 +108,10 @@ impl Catalog {
 
     /// Execute a query against this catalog (cached — see type docs).
     pub fn execute(&self, query: &Query) -> Result<ResultSet> {
+        #[cfg(feature = "faults")]
+        if pi2_faults::exec_overrun() {
+            return Err(EngineError::ResourceExhausted("injected execution overrun".into()));
+        }
         let key = (self.version, query.structural_hash());
         if let Some(hit) = self.cache.lock().get(&key).cloned() {
             return Ok((*hit).clone());
@@ -83,6 +128,10 @@ impl Catalog {
     /// Execute without consulting or filling the result cache (used by
     /// benchmarks that measure raw engine latency).
     pub fn execute_uncached(&self, query: &Query) -> Result<ResultSet> {
+        #[cfg(feature = "faults")]
+        if pi2_faults::exec_overrun() {
+            return Err(EngineError::ResourceExhausted("injected execution overrun".into()));
+        }
         ExecCtx::new(self).execute(query)
     }
 
@@ -142,5 +191,45 @@ mod tests {
         let s = c.column_stats("t", "a").unwrap();
         assert_eq!(s.min, Some(Value::Int(1)));
         assert!(c.column_stats("t", "nope").is_none());
+    }
+
+    fn wide_catalog(limits: ExecLimits) -> Catalog {
+        let mut c = Catalog::with_limits(limits);
+        for name in ["a", "b"] {
+            let mut t = Table::builder(name).column("x", DataType::Int).build();
+            for i in 0..50 {
+                t.push_row(vec![Value::Int(i)]).unwrap();
+            }
+            c.register(t);
+        }
+        c
+    }
+
+    #[test]
+    fn row_limit_refuses_large_cross_join() {
+        let c = wide_catalog(ExecLimits::rows(100));
+        // 50 × 50 = 2500 rows would be materialized: refused up front.
+        let err = c.execute_sql("SELECT a.x FROM a, b").unwrap_err();
+        assert!(matches!(err, EngineError::ResourceExhausted(_)), "got {err}");
+        // Queries under the limit still run.
+        let r = c.execute_sql("SELECT x FROM a WHERE x < 3").unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn zero_timeout_fails_fast_instead_of_hanging() {
+        let c =
+            wide_catalog(ExecLimits { max_rows: None, timeout: Some(std::time::Duration::ZERO) });
+        let err = c.execute_sql("SELECT a.x FROM a, b").unwrap_err();
+        assert!(matches!(err, EngineError::ResourceExhausted(_)), "got {err}");
+    }
+
+    #[test]
+    fn limits_survive_clone_and_default_is_unlimited() {
+        let c = wide_catalog(ExecLimits::rows(10));
+        assert_eq!(c.clone().limits(), ExecLimits::rows(10));
+        let unlimited = wide_catalog(ExecLimits::default());
+        let r = unlimited.execute_sql("SELECT a.x FROM a, b").unwrap();
+        assert_eq!(r.rows.len(), 2500);
     }
 }

@@ -112,39 +112,88 @@ fn infer_column_type(cells: &[&str]) -> DataType {
 impl Table {
     /// Load a table from CSV text with a header row, inferring column types.
     pub fn from_csv(name: impl Into<String>, csv: &str) -> Result<Table> {
+        Self::from_csv_impl(name, csv, None)
+    }
+
+    /// Load a table from CSV text with a header row, using the caller's
+    /// declared column types (one per header column) instead of inference.
+    /// Cells that don't parse as the declared type fail with their row and
+    /// column position.
+    pub fn from_csv_with_types(
+        name: impl Into<String>,
+        csv: &str,
+        types: &[DataType],
+    ) -> Result<Table> {
+        Self::from_csv_impl(name, csv, Some(types))
+    }
+
+    fn from_csv_impl(
+        name: impl Into<String>,
+        csv: &str,
+        declared: Option<&[DataType]>,
+    ) -> Result<Table> {
         let mut pos = 0;
         let header = parse_record(csv, &mut pos)
             .ok_or_else(|| EngineError::SchemaViolation("empty CSV".into()))?;
+        if let Some(types) = declared {
+            if types.len() != header.len() {
+                return Err(EngineError::SchemaViolation(format!(
+                    "{} declared types for {} header columns",
+                    types.len(),
+                    header.len()
+                )));
+            }
+        }
         let mut records = Vec::new();
+        // Data rows are 1-based and exclude the header, matching how a
+        // user counts lines in their file (header = line 1, first data
+        // row = row 1 on line 2).
+        let mut data_row = 0usize;
         while let Some(rec) = parse_record(csv, &mut pos) {
             if rec.len() == 1 && rec[0].is_empty() {
                 continue; // trailing blank line
             }
+            data_row += 1;
             if rec.len() != header.len() {
                 return Err(EngineError::SchemaViolation(format!(
-                    "CSV record has {} fields, header has {}",
+                    "CSV row {data_row} (line {}) has {} fields, header has {}",
+                    data_row + 1,
                     rec.len(),
                     header.len()
                 )));
             }
             records.push(rec);
         }
-        let types: Vec<DataType> = (0..header.len())
-            .map(|i| {
-                let col: Vec<&str> = records.iter().map(|r| r[i].as_str()).collect();
-                infer_column_type(&col)
-            })
-            .collect();
+        let types: Vec<DataType> = match declared {
+            Some(types) => types.to_vec(),
+            None => (0..header.len())
+                .map(|i| {
+                    let col: Vec<&str> = records.iter().map(|r| r[i].as_str()).collect();
+                    infer_column_type(&col)
+                })
+                .collect(),
+        };
         let mut builder = Table::builder(name);
         for (h, t) in header.iter().zip(&types) {
             builder = builder.column(h.clone(), *t);
         }
         let mut table = builder.build();
-        for rec in &records {
+        for (r, rec) in records.iter().enumerate() {
             let row: Vec<Value> = rec
                 .iter()
                 .zip(&types)
-                .map(|(cell, ty)| parse_cell(cell, *ty))
+                .enumerate()
+                .map(|(c, (cell, ty))| {
+                    parse_cell(cell, *ty).map_err(|e| match e {
+                        EngineError::SchemaViolation(msg) => EngineError::SchemaViolation(format!(
+                            "CSV row {}, column {} ({}): {msg}",
+                            r + 1,
+                            c + 1,
+                            header[c]
+                        )),
+                        other => other,
+                    })
+                })
                 .collect::<Result<_>>()?;
             table.push_row(row)?;
         }
@@ -239,6 +288,37 @@ mod tests {
     fn ragged_record_is_error() {
         assert!(Table::from_csv("t", "a,b\n1\n").is_err());
         assert!(Table::from_csv("t", "").is_err());
+    }
+
+    #[test]
+    fn ragged_record_error_reports_row_and_line() {
+        // Rows 1 and 2 are fine; row 3 (file line 4) is ragged.
+        let err = Table::from_csv("t", "a,b\n1,2\n3,4\n5\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("row 3"), "missing row number: {msg}");
+        assert!(msg.contains("line 4"), "missing line number: {msg}");
+        assert!(msg.contains("1 fields, header has 2"), "missing field counts: {msg}");
+    }
+
+    #[test]
+    fn bad_cell_error_reports_row_and_column() {
+        // Declared types make the malformed INT cell in row 2 an error
+        // instead of widening the column to Str.
+        let err =
+            Table::from_csv_with_types("t", "a,b\nx,1\ny,oops\n", &[DataType::Str, DataType::Int])
+                .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("row 2"), "missing row number: {msg}");
+        assert!(msg.contains("column 2 (b)"), "missing column: {msg}");
+        assert!(msg.contains("oops"), "missing cell text: {msg}");
+    }
+
+    #[test]
+    fn declared_types_are_used_verbatim() {
+        let t = Table::from_csv_with_types("t", "x\n1\n2\n", &[DataType::Float]).unwrap();
+        assert_eq!(t.schema.fields[0].data_type, DataType::Float);
+        assert_eq!(t.rows[0][0], Value::Float(1.0));
+        assert!(Table::from_csv_with_types("t", "x,y\n1,2\n", &[DataType::Int]).is_err());
     }
 
     #[test]

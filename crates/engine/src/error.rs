@@ -22,6 +22,9 @@ pub enum EngineError {
     ScalarSubquery(String),
     /// A row's shape or types don't match the table schema.
     SchemaViolation(String),
+    /// Execution exceeded a configured resource limit (rows or wall-clock;
+    /// see [`crate::catalog::ExecLimits`]). The query was abandoned.
+    ResourceExhausted(String),
     /// Anything else (unsupported construct, internal invariant).
     Unsupported(String),
 }
@@ -36,6 +39,7 @@ impl fmt::Display for EngineError {
             EngineError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             EngineError::ScalarSubquery(m) => write!(f, "scalar subquery: {m}"),
             EngineError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            EngineError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
         }
     }

@@ -110,6 +110,10 @@ pub struct ExecCtx<'c> {
     pub(crate) memo: RefCell<SubqueryMemo>,
     /// Cache of each subquery's free variables, keyed by query hash.
     pub(crate) free_vars: RefCell<HashMap<u64, Rc<Vec<ColumnRef>>>>,
+    /// Resource limits copied from the catalog at context creation.
+    pub(crate) limits: crate::catalog::ExecLimits,
+    /// When this execution started (for the wall-clock limit).
+    pub(crate) started: std::time::Instant,
 }
 
 impl<'c> ExecCtx<'c> {
@@ -119,7 +123,30 @@ impl<'c> ExecCtx<'c> {
             catalog,
             memo: RefCell::new(HashMap::new()),
             free_vars: RefCell::new(HashMap::new()),
+            limits: catalog.limits(),
+            started: std::time::Instant::now(),
         }
+    }
+
+    /// Enforce the catalog's [`crate::catalog::ExecLimits`] against the
+    /// number of rows an operator has materialized so far. Called from
+    /// the executor's row-producing loops; the wall-clock check is
+    /// amortized to every 256th row to keep the common case to a compare.
+    pub(crate) fn check_limits(&self, rows: usize) -> Result<()> {
+        if self.limits.max_rows.is_some_and(|m| rows > m) {
+            return Err(EngineError::ResourceExhausted(format!(
+                "row limit exceeded: materialized {rows} rows (limit {})",
+                self.limits.max_rows.unwrap_or(0)
+            )));
+        }
+        if let Some(timeout) = self.limits.timeout {
+            if rows.is_multiple_of(256) && self.started.elapsed() >= timeout {
+                return Err(EngineError::ResourceExhausted(format!(
+                    "query timeout: exceeded {timeout:?}"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Evaluate `expr` in `scope`.

@@ -68,6 +68,7 @@ impl<'c> ExecCtx<'c> {
                 return Err(EngineError::Unsupported("HAVING without aggregation".into()));
             }
             for row in rows {
+                self.check_limits(out_rows.len())?;
                 let scope = Scope { schema: &input.schema, row: &row, parent: outer, aggs: None };
                 let mut out = Vec::with_capacity(items.len());
                 for (expr, _) in &items {
@@ -175,6 +176,7 @@ impl<'c> ExecCtx<'c> {
 
         let null_row = vec![Value::Null; schema.fields.len()];
         for (_, group_rows) in groups {
+            self.check_limits(out_rows.len())?;
             let mut aggs = AggBindings::default();
             for agg in &agg_exprs {
                 let v = self.compute_aggregate(agg, schema, &group_rows, outer)?;
@@ -298,7 +300,7 @@ impl<'c> ExecCtx<'c> {
         let mut acc = self.build_table_ref(&from[0], outer)?;
         for t in &from[1..] {
             let right = self.build_table_ref(t, outer)?;
-            acc = cross_product(acc, right);
+            acc = self.cross_product(acc, right)?;
         }
         Ok(acc)
     }
@@ -362,7 +364,7 @@ impl<'c> ExecCtx<'c> {
         let schema = RelSchema { fields };
 
         if kind == JoinKind::Cross || on.is_none() {
-            return Ok(cross_product(left, right));
+            return self.cross_product(left, right);
         }
         let on = on.expect("checked above");
 
@@ -403,6 +405,7 @@ impl<'c> ExecCtx<'c> {
                     }
                 }
                 for lrow in &left.rows {
+                    self.check_limits(out_rows.len())?;
                     let mut matched = false;
                     if !lrow[li].is_null() {
                         if let Some(candidates) = table.get(&lrow[li]) {
@@ -428,6 +431,7 @@ impl<'c> ExecCtx<'c> {
             }
             None => {
                 for lrow in &left.rows {
+                    self.check_limits(out_rows.len())?;
                     let mut matched = false;
                     for rrow in &right.rows {
                         let mut combined = lrow.clone();
@@ -468,18 +472,26 @@ impl<'c> ExecCtx<'c> {
     }
 }
 
-fn cross_product(left: Relation, right: Relation) -> Relation {
-    let mut fields = left.schema.fields;
-    fields.extend(right.schema.fields);
-    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len());
-    for l in &left.rows {
-        for r in &right.rows {
-            let mut combined = l.clone();
-            combined.extend(r.iter().cloned());
-            rows.push(combined);
+impl ExecCtx<'_> {
+    fn cross_product(&self, left: Relation, right: Relation) -> Result<Relation> {
+        // Check the product size up front: the whole point of the row
+        // limit is to refuse a pathological cross join *before*
+        // materializing it.
+        let product = left.rows.len().saturating_mul(right.rows.len());
+        self.check_limits(product)?;
+        let mut fields = left.schema.fields;
+        fields.extend(right.schema.fields);
+        let mut rows = Vec::with_capacity(product);
+        for l in &left.rows {
+            self.check_limits(rows.len())?;
+            for r in &right.rows {
+                let mut combined = l.clone();
+                combined.extend(r.iter().cloned());
+                rows.push(combined);
+            }
         }
+        Ok(Relation { schema: RelSchema { fields }, rows })
     }
-    Relation { schema: RelSchema { fields }, rows }
 }
 
 /// Expand wildcards in a projection list into concrete expressions.

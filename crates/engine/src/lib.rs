@@ -45,7 +45,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, ExecLimits};
 pub use error::{EngineError, Result};
 pub use result::ResultSet;
 pub use schema::{Field, Schema};

@@ -1,0 +1,172 @@
+#![warn(missing_docs)]
+
+//! # pi2-faults
+//!
+//! Process-global fault-injection hooks for resilience testing.
+//!
+//! Production crates (`pi2-mcts`, `pi2-core`, `pi2-engine`) depend on this
+//! crate only behind their `faults` cargo feature and call the `should_*`
+//! probes at well-defined points: worker startup, phase entry, query
+//! execution. With no fault armed every probe is a single relaxed atomic
+//! load, so the hooks are free in ordinary builds that happen to have the
+//! feature unified on.
+//!
+//! The conformance harness arms faults with [`inject`], which returns a
+//! scoped [`FaultGuard`]: the fault stays armed until the guard drops, and
+//! a process-wide lock inside the guard serializes concurrent injectors
+//! (fault state is global, so two tests must not arm faults at once).
+//!
+//! Fault classes mirror the resilience layer's failure domains:
+//!
+//! * [`Fault::WorkerPanic`] — a search worker thread panics at startup.
+//! * [`Fault::DeadlineAtPhase`] — the generation deadline expires the
+//!   moment the named pipeline phase (`"search"`, `"map"`) is entered.
+//! * [`Fault::ExecOverrun`] — every query execution trips the engine's
+//!   resource guard, as a pathological cross join would.
+
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A fault class the resilience layer must degrade gracefully under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic the search worker with this index as soon as it starts.
+    WorkerPanic {
+        /// 0-based worker index (worker 0 is the sequential search).
+        worker: usize,
+    },
+    /// Treat the generation deadline as already expired when the named
+    /// pipeline phase (`"search"` or `"map"`) is entered.
+    DeadlineAtPhase {
+        /// Phase name as used by the pipeline telemetry (`"search"`, `"map"`).
+        phase: &'static str,
+    },
+    /// Make every query execution report a resource-limit overrun.
+    ExecOverrun,
+}
+
+impl Fault {
+    /// Stable CLI / log name of the fault class.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fault::WorkerPanic { .. } => "worker-panic",
+            Fault::DeadlineAtPhase { phase: "search" } => "deadline-search",
+            Fault::DeadlineAtPhase { .. } => "deadline-map",
+            Fault::ExecOverrun => "exec-overrun",
+        }
+    }
+}
+
+/// Fast-path flag: true only while some fault is armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// The armed fault, if any.
+static PLAN: Mutex<Option<Fault>> = Mutex::new(None);
+
+/// Serializes injectors: only one [`FaultGuard`] can exist at a time.
+static INJECTOR: Mutex<()> = Mutex::new(());
+
+/// Marker prefix for injected panic messages, so panic output from
+/// deliberate faults is recognizable in test logs.
+pub const PANIC_MARKER: &str = "pi2-faults: injected worker panic";
+
+/// Scoped fault injection: the fault stays armed until this guard drops.
+///
+/// Holding the guard also holds the process-wide injector lock, so
+/// concurrent tests that inject faults serialize instead of trampling each
+/// other's global state.
+pub struct FaultGuard {
+    _injector: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *PLAN.lock() = None;
+    }
+}
+
+/// Arm `fault` for the lifetime of the returned guard.
+///
+/// Blocks until any previously armed fault is dropped.
+pub fn inject(fault: Fault) -> FaultGuard {
+    let injector = INJECTOR.lock();
+    *PLAN.lock() = Some(fault);
+    ARMED.store(true, Ordering::SeqCst);
+    FaultGuard { _injector: injector }
+}
+
+/// True when any fault is currently armed (cheap fast-path check).
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Probe: should the worker with this index panic now?
+pub fn should_panic_worker(worker: usize) -> bool {
+    armed() && matches!(*PLAN.lock(), Some(Fault::WorkerPanic { worker: w }) if w == worker)
+}
+
+/// Panic if a [`Fault::WorkerPanic`] is armed for `worker`. Call at worker
+/// startup; the panic unwinds into the search layer's isolation boundary.
+pub fn maybe_panic_worker(worker: usize) {
+    if should_panic_worker(worker) {
+        panic!("{PANIC_MARKER} (worker {worker})");
+    }
+}
+
+/// Probe: is a deadline fault armed for this pipeline phase?
+pub fn deadline_at(phase: &str) -> bool {
+    armed() && matches!(*PLAN.lock(), Some(Fault::DeadlineAtPhase { phase: p }) if p == phase)
+}
+
+/// Probe: should query execution report a resource overrun?
+pub fn exec_overrun() -> bool {
+    armed() && matches!(*PLAN.lock(), Some(Fault::ExecOverrun))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_quiet_without_injection() {
+        // May race with the other tests' guards only if run in the same
+        // process without the lock — each test takes the injector lock via
+        // inject(), and this one asserts the disarmed steady state first.
+        let _g = inject(Fault::ExecOverrun);
+        drop(_g);
+        assert!(!armed());
+        assert!(!should_panic_worker(0));
+        assert!(!deadline_at("search"));
+        assert!(!exec_overrun());
+    }
+
+    #[test]
+    fn guard_scopes_the_fault() {
+        let g = inject(Fault::DeadlineAtPhase { phase: "search" });
+        assert!(armed());
+        assert!(deadline_at("search"));
+        assert!(!deadline_at("map"));
+        assert!(!exec_overrun());
+        drop(g);
+        assert!(!deadline_at("search"));
+    }
+
+    #[test]
+    fn worker_panic_targets_one_worker() {
+        let _g = inject(Fault::WorkerPanic { worker: 2 });
+        assert!(should_panic_worker(2));
+        assert!(!should_panic_worker(0));
+        let caught = std::panic::catch_unwind(|| maybe_panic_worker(2));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains(PANIC_MARKER));
+    }
+
+    #[test]
+    fn fault_names_are_stable() {
+        assert_eq!(Fault::WorkerPanic { worker: 0 }.name(), "worker-panic");
+        assert_eq!(Fault::DeadlineAtPhase { phase: "search" }.name(), "deadline-search");
+        assert_eq!(Fault::DeadlineAtPhase { phase: "map" }.name(), "deadline-map");
+        assert_eq!(Fault::ExecOverrun.name(), "exec-overrun");
+    }
+}

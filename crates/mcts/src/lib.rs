@@ -73,6 +73,38 @@ pub trait SearchProblem {
     fn state_key(&self, state: &Self::State) -> u64;
 }
 
+/// Resource budget for one generation/search run. All limits are optional;
+/// the default budget is unbounded and reproduces pre-budget behaviour.
+///
+/// When any limit trips, the search stops where it is and returns the
+/// best state found so far — an *anytime* result — with
+/// [`SearchStats::budget_exhausted`] set. The wall-clock deadline is also
+/// checked between rollout steps, so a single slow rollout cannot overrun
+/// the deadline by more than one reward evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GenerationBudget {
+    /// Wall-clock deadline for the whole search (shared by all workers).
+    pub deadline: Option<Duration>,
+    /// Cap on iterations per worker tree, applied on top of
+    /// [`MctsConfig::iterations`] (the smaller of the two wins).
+    pub max_iterations: Option<usize>,
+    /// Cap on states materialized per worker tree — a coarse memory
+    /// estimate, since retained states dominate the search's footprint.
+    pub max_states: Option<usize>,
+}
+
+impl GenerationBudget {
+    /// A budget with only a wall-clock deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        GenerationBudget { deadline: Some(deadline), ..Default::default() }
+    }
+
+    /// True when no limit is set (the default).
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none() && self.max_iterations.is_none() && self.max_states.is_none()
+    }
+}
+
 /// MCTS configuration.
 #[derive(Debug, Clone)]
 pub struct MctsConfig {
@@ -91,6 +123,8 @@ pub struct MctsConfig {
     /// (the sequential [`mcts`] ignores it). Defaults to the machine's
     /// available parallelism, capped at 8.
     pub workers: usize,
+    /// Resource budget; unbounded by default. See [`GenerationBudget`].
+    pub budget: GenerationBudget,
 }
 
 impl Default for MctsConfig {
@@ -102,6 +136,7 @@ impl Default for MctsConfig {
             seed: 0,
             max_actions_per_node: 64,
             workers: default_workers(),
+            budget: GenerationBudget::default(),
         }
     }
 }
@@ -210,6 +245,11 @@ pub struct WorkerStats {
     pub best_reward: f64,
     /// Wall-clock time this worker's tree took.
     pub elapsed: Duration,
+    /// This worker's tree stopped early because the budget ran out.
+    pub budget_exhausted: bool,
+    /// This worker panicked; its partial tree was discarded and the other
+    /// fields are zeroed. The run's result comes from the survivors.
+    pub panicked: bool,
 }
 
 /// Statistics from one search run.
@@ -239,6 +279,11 @@ pub struct SearchStats {
     pub cache_misses: u64,
     /// Per-worker summaries (one entry for sequential/greedy searches).
     pub workers: Vec<WorkerStats>,
+    /// Some worker stopped early because the [`GenerationBudget`] ran out;
+    /// the returned state is the best found before expiry (anytime result).
+    pub budget_exhausted: bool,
+    /// Number of workers that panicked (their trees were discarded).
+    pub worker_panics: usize,
 }
 
 impl SearchStats {
@@ -283,18 +328,29 @@ struct TreeOutcome<S> {
     expansions: usize,
     rollout_depths: Vec<u64>,
     elapsed: Duration,
+    budget_exhausted: bool,
 }
 
 /// Grow one UCT tree from the root. All randomness comes from `seed`; all
-/// reward evaluation goes through the shared cache.
+/// reward evaluation goes through the shared cache. `deadline` is the
+/// absolute expiry instant, computed once by the caller so every worker
+/// shares the same wall-clock budget.
 fn run_tree<P: SearchProblem>(
     problem: &P,
     config: &MctsConfig,
     seed: u64,
     cache: &SharedRewardCache,
+    deadline: Option<Instant>,
 ) -> TreeOutcome<P::State> {
     let started = Instant::now();
     let mut rng = SmallRng::seed_from_u64(seed);
+    let max_iterations = config.iterations.min(config.budget.max_iterations.unwrap_or(usize::MAX));
+    let expired = |b: &mut bool| -> bool {
+        let hit = deadline.is_some_and(|d| Instant::now() >= d);
+        *b |= hit;
+        hit
+    };
+    let mut budget_exhausted = max_iterations < config.iterations;
 
     let eval =
         |s: &P::State| -> f64 { cache.get_or_compute(problem.state_key(s), || problem.reward(s)) };
@@ -317,7 +373,16 @@ fn run_tree<P: SearchProblem>(
     let mut expansions = 0usize;
     let mut rollout_depths = vec![0u64; config.rollout_depth + 1];
 
-    for iter in 0..config.iterations {
+    let mut iterations_done = 0usize;
+    for iter in 0..max_iterations {
+        if expired(&mut budget_exhausted) {
+            break;
+        }
+        if config.budget.max_states.is_some_and(|m| states.len() >= m) {
+            budget_exhausted = true;
+            break;
+        }
+        iterations_done = iter + 1;
         // ---- selection ----
         let mut current = 0usize;
         loop {
@@ -379,6 +444,11 @@ fn run_tree<P: SearchProblem>(
         }
         let mut depth_reached = 0usize;
         for _ in 0..config.rollout_depth {
+            // Deadline check between rollout steps: expiry mid-rollout
+            // still backpropagates what this rollout saw so far.
+            if expired(&mut budget_exhausted) {
+                break;
+            }
             let actions = problem.actions(&sim_state);
             if actions.is_empty() {
                 break;
@@ -415,48 +485,135 @@ fn run_tree<P: SearchProblem>(
         best_at,
         trace,
         tree_nodes: nodes.len(),
-        iterations: config.iterations,
+        iterations: iterations_done,
         expansions,
         rollout_depths,
         elapsed: started.elapsed(),
+        budget_exhausted,
     }
 }
 
-fn merge_outcomes<S>(
+/// The search could not produce any result at all.
+///
+/// Budget expiry is *not* an error (the search degrades to an anytime
+/// result); the only way a search fails outright is every worker dying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// Every worker tree panicked, so there is no partial result to merge.
+    AllWorkersPanicked {
+        /// How many workers were spawned (and died).
+        workers: usize,
+        /// Panic payload of the first (lowest-index) worker, when it was a
+        /// string.
+        first_message: String,
+    },
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::AllWorkersPanicked { workers, first_message } => {
+                write!(f, "all {workers} search worker(s) panicked: {first_message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// What one spawned worker came back with: its tree, or its panic message.
+struct WorkerRun<S> {
+    worker: usize,
+    seed: u64,
+    result: Result<TreeOutcome<S>, String>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn merge_runs<S>(
     config: &MctsConfig,
     cache: &SharedRewardCache,
-    outcomes: Vec<(u64, TreeOutcome<S>)>,
-) -> (S, SearchStats) {
-    // Deterministic merge: strictly greater reward wins; ties keep the
-    // lowest worker index, so the result is independent of scheduling.
-    let mut winner = 0usize;
-    for (i, (_, o)) in outcomes.iter().enumerate() {
-        if o.best_reward > outcomes[winner].1.best_reward {
-            winner = i;
+    runs: Vec<WorkerRun<S>>,
+) -> Result<(S, SearchStats), SearchError> {
+    let total_workers = runs.len();
+    // Deterministic merge over the survivors: strictly greater reward
+    // wins; ties keep the lowest worker index, so the result is
+    // independent of scheduling — and of *which* other workers died.
+    let mut winner: Option<usize> = None;
+    for (i, run) in runs.iter().enumerate() {
+        let Ok(o) = &run.result else { continue };
+        match winner {
+            Some(w) => {
+                let Ok(best) = &runs[w].result else { unreachable!() };
+                if o.best_reward > best.best_reward {
+                    winner = Some(i);
+                }
+            }
+            None => winner = Some(i),
         }
     }
+    let Some(winner) = winner else {
+        let first_message = runs
+            .into_iter()
+            .find_map(|r| r.result.err())
+            .unwrap_or_else(|| "no workers were spawned".to_string());
+        return Err(SearchError::AllWorkersPanicked { workers: total_workers, first_message });
+    };
 
     let mut rollout_depths = vec![0u64; config.rollout_depth + 1];
-    let mut workers = Vec::with_capacity(outcomes.len());
+    let mut workers = Vec::with_capacity(runs.len());
     let (mut iterations, mut tree_nodes, mut expansions) = (0, 0, 0);
-    for (i, (seed, o)) in outcomes.iter().enumerate() {
-        iterations += o.iterations;
-        tree_nodes += o.tree_nodes;
-        expansions += o.expansions;
-        for (slot, v) in rollout_depths.iter_mut().zip(&o.rollout_depths) {
-            *slot += v;
+    let mut budget_exhausted = false;
+    let mut worker_panics = 0usize;
+    for run in &runs {
+        match &run.result {
+            Ok(o) => {
+                iterations += o.iterations;
+                tree_nodes += o.tree_nodes;
+                expansions += o.expansions;
+                budget_exhausted |= o.budget_exhausted;
+                for (slot, v) in rollout_depths.iter_mut().zip(&o.rollout_depths) {
+                    *slot += v;
+                }
+                workers.push(WorkerStats {
+                    worker: run.worker,
+                    seed: run.seed,
+                    iterations: o.iterations,
+                    tree_nodes: o.tree_nodes,
+                    best_reward: o.best_reward,
+                    elapsed: o.elapsed,
+                    budget_exhausted: o.budget_exhausted,
+                    panicked: false,
+                });
+            }
+            Err(_) => {
+                worker_panics += 1;
+                workers.push(WorkerStats {
+                    worker: run.worker,
+                    seed: run.seed,
+                    iterations: 0,
+                    tree_nodes: 0,
+                    best_reward: f64::NEG_INFINITY,
+                    elapsed: Duration::ZERO,
+                    budget_exhausted: false,
+                    panicked: true,
+                });
+            }
         }
-        workers.push(WorkerStats {
-            worker: i,
-            seed: *seed,
-            iterations: o.iterations,
-            tree_nodes: o.tree_nodes,
-            best_reward: o.best_reward,
-            elapsed: o.elapsed,
-        });
     }
 
-    let (_, win) = outcomes.into_iter().nth(winner).expect("at least one worker outcome");
+    let win = match runs.into_iter().nth(winner).map(|r| r.result) {
+        Some(Ok(o)) => o,
+        _ => unreachable!("winner indexes a surviving run"),
+    };
     let stats = SearchStats {
         iterations,
         tree_nodes,
@@ -469,17 +626,31 @@ fn merge_outcomes<S>(
         cache_hits: cache.hits(),
         cache_misses: cache.misses(),
         workers,
+        budget_exhausted,
+        worker_panics,
     };
-    (win.best_state, stats)
+    Ok((win.best_state, stats))
+}
+
+/// The absolute expiry instant for this run, derived once so that every
+/// worker measures the same wall-clock budget.
+fn search_deadline(config: &MctsConfig) -> Option<Instant> {
+    config.budget.deadline.map(|d| Instant::now() + d)
 }
 
 /// Run sequential MCTS, returning the best state found anywhere (tree or
 /// rollout) and search statistics. Ignores [`MctsConfig::workers`];
-/// equivalent to [`mcts_parallel`] with `workers = 1`.
+/// equivalent to [`mcts_parallel`] with `workers = 1`. Stops early with
+/// an anytime result when the [`GenerationBudget`] expires.
 pub fn mcts<P: SearchProblem>(problem: &P, config: &MctsConfig) -> (P::State, SearchStats) {
     let cache = SharedRewardCache::new();
-    let outcome = run_tree(problem, config, config.seed, &cache);
-    merge_outcomes(config, &cache, vec![(config.seed, outcome)])
+    let deadline = search_deadline(config);
+    let outcome = run_tree(problem, config, config.seed, &cache, deadline);
+    let run = WorkerRun { worker: 0, seed: config.seed, result: Ok(outcome) };
+    match merge_runs(config, &cache, vec![run]) {
+        Ok(r) => r,
+        Err(_) => unreachable!("sequential run cannot lose its only worker"),
+    }
 }
 
 /// Run root-parallel MCTS: `config.workers` independent trees from the
@@ -487,7 +658,18 @@ pub fn mcts<P: SearchProblem>(problem: &P, config: &MctsConfig) -> (P::State, Se
 /// single best result. Deterministic for a fixed `(seed, workers)` pair;
 /// `workers = 1` (or `0`) reproduces [`mcts`] exactly and spawns no
 /// threads.
-pub fn mcts_parallel<P>(problem: &P, config: &MctsConfig) -> (P::State, SearchStats)
+///
+/// Each worker body runs under `catch_unwind`: a panicking worker is
+/// recorded in [`SearchStats::workers`] (with `panicked` set) and the
+/// survivors' trees are merged as usual. Because every worker's seed is
+/// derived only from its own index and the shared reward cache cannot
+/// change values, the merged result equals what a run without the dead
+/// workers would have produced. [`SearchError::AllWorkersPanicked`] is
+/// returned only when no worker survives.
+pub fn mcts_parallel<P>(
+    problem: &P,
+    config: &MctsConfig,
+) -> Result<(P::State, SearchStats), SearchError>
 where
     P: SearchProblem + Sync,
     P::State: Send,
@@ -495,28 +677,54 @@ where
 {
     let workers = config.workers.max(1);
     let cache = SharedRewardCache::new();
+    let deadline = search_deadline(config);
 
-    let outcomes: Vec<(u64, TreeOutcome<P::State>)> = if workers == 1 {
-        vec![(config.seed, run_tree(problem, config, config.seed, &cache))]
+    let run_worker = |w: usize, seed: u64| -> Result<TreeOutcome<P::State>, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            #[cfg(feature = "faults")]
+            pi2_faults::maybe_panic_worker(w);
+            #[cfg(not(feature = "faults"))]
+            let _ = w;
+            run_tree(problem, config, seed, &cache, deadline)
+        }))
+        .map_err(panic_message)
+    };
+
+    let runs: Vec<WorkerRun<P::State>> = if workers == 1 {
+        vec![WorkerRun { worker: 0, seed: config.seed, result: run_worker(0, config.seed) }]
     } else {
-        let cache_ref = &cache;
         crossbeam::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let seed = derive_worker_seed(config.seed, w);
-                    let handle = s.spawn(move || run_tree(problem, config, seed, cache_ref));
-                    (seed, handle)
+                    let handle = s.spawn(move || run_worker(w, seed));
+                    (w, seed, handle)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|(seed, h)| (seed, h.join().expect("mcts worker panicked")))
+                .map(|(worker, seed, h)| {
+                    // The worker body catches its own panics, so join()
+                    // only fails if the catch itself aborted; fold that
+                    // into the same per-worker error path.
+                    let result = match h.join() {
+                        Ok(r) => r,
+                        Err(payload) => Err(panic_message(payload)),
+                    };
+                    WorkerRun { worker, seed, result }
+                })
                 .collect()
         })
-        .expect("mcts worker panicked")
+        .unwrap_or_else(|_| Vec::new())
     };
+    if runs.is_empty() {
+        return Err(SearchError::AllWorkersPanicked {
+            workers,
+            first_message: "worker scope failed".to_string(),
+        });
+    }
 
-    merge_outcomes(config, &cache, outcomes)
+    merge_runs(config, &cache, runs)
 }
 
 fn capped_actions<P: SearchProblem>(
@@ -535,9 +743,25 @@ fn capped_actions<P: SearchProblem>(
 
 /// Greedy hill climbing: repeatedly take the best-improving neighbor until
 /// none improves or the evaluation budget runs out. The ablation baseline
-/// the benchmarks compare MCTS against.
+/// the benchmarks compare MCTS against. Runs with an unbounded
+/// [`GenerationBudget`]; see [`greedy_with_budget`].
 pub fn greedy<P: SearchProblem>(problem: &P, max_evaluations: usize) -> (P::State, SearchStats) {
+    greedy_with_budget(problem, max_evaluations, &GenerationBudget::default())
+}
+
+/// [`greedy`] under a [`GenerationBudget`]: the deadline is checked before
+/// every neighbor evaluation and `budget.max_iterations` caps the number
+/// of hill-climbing steps. On expiry the current (best-so-far) state is
+/// returned with [`SearchStats::budget_exhausted`] set.
+pub fn greedy_with_budget<P: SearchProblem>(
+    problem: &P,
+    max_evaluations: usize,
+    budget: &GenerationBudget,
+) -> (P::State, SearchStats) {
     let started = Instant::now();
+    let deadline = budget.deadline.map(|d| started + d);
+    let max_steps = budget.max_iterations.unwrap_or(usize::MAX);
+    let mut budget_exhausted = false;
     let cache = SharedRewardCache::new();
     let evals = AtomicU64::new(0);
     let eval = |s: &P::State| -> f64 {
@@ -553,8 +777,16 @@ pub fn greedy<P: SearchProblem>(problem: &P, max_evaluations: usize) -> (P::Stat
     let mut steps = 0;
 
     loop {
+        if steps >= max_steps {
+            budget_exhausted = true;
+            break;
+        }
         let mut best_next: Option<(P::State, f64)> = None;
         for a in problem.actions(&current) {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                budget_exhausted = true;
+                break;
+            }
             if evals.load(Ordering::Relaxed) >= max_evaluations as u64 {
                 break;
             }
@@ -563,6 +795,9 @@ pub fn greedy<P: SearchProblem>(problem: &P, max_evaluations: usize) -> (P::Stat
             if r > current_reward && best_next.as_ref().is_none_or(|(_, br)| r > *br) {
                 best_next = Some((next, r));
             }
+        }
+        if budget_exhausted {
+            break;
         }
         match best_next {
             Some((next, r)) if evals.load(Ordering::Relaxed) <= max_evaluations as u64 => {
@@ -596,7 +831,11 @@ pub fn greedy<P: SearchProblem>(problem: &P, max_evaluations: usize) -> (P::Stat
             tree_nodes: steps + 1,
             best_reward: current_reward,
             elapsed: started.elapsed(),
+            budget_exhausted,
+            panicked: false,
         }],
+        budget_exhausted,
+        worker_panics: 0,
     };
     (current, stats)
 }
@@ -731,7 +970,7 @@ mod tests {
     fn parallel_single_worker_matches_sequential() {
         let c = MctsConfig { iterations: 150, seed: 7, workers: 1, ..Default::default() };
         let (seq, seq_stats) = mcts(&Deceptive, &c);
-        let (par, par_stats) = mcts_parallel(&Deceptive, &c);
+        let (par, par_stats) = mcts_parallel(&Deceptive, &c).unwrap();
         assert_eq!(seq, par);
         assert_eq!(seq_stats.reward_trace, par_stats.reward_trace);
         assert_eq!(seq_stats.tree_nodes, par_stats.tree_nodes);
@@ -741,8 +980,8 @@ mod tests {
     fn parallel_is_deterministic_per_seed_and_workers() {
         for workers in [2usize, 4] {
             let c = MctsConfig { iterations: 120, seed: 9, workers, ..Default::default() };
-            let (a, sa) = mcts_parallel(&Deceptive, &c);
-            let (b, sb) = mcts_parallel(&Deceptive, &c);
+            let (a, sa) = mcts_parallel(&Deceptive, &c).unwrap();
+            let (b, sb) = mcts_parallel(&Deceptive, &c).unwrap();
             assert_eq!(a, b, "workers={workers}");
             assert_eq!(sa.reward_trace, sb.reward_trace, "workers={workers}");
             assert_eq!(sa.best_at_iteration, sb.best_at_iteration, "workers={workers}");
@@ -759,17 +998,19 @@ mod tests {
             exploration: 6.0,
             ..Default::default()
         };
-        let (_, stats) = mcts_parallel(&Deceptive, &c);
+        let (_, stats) = mcts_parallel(&Deceptive, &c).unwrap();
         for w in &stats.workers {
             assert!(stats.best_reward >= w.best_reward);
         }
         assert_eq!(stats.iterations, 4 * 200);
+        assert_eq!(stats.worker_panics, 0);
+        assert!(!stats.budget_exhausted);
     }
 
     #[test]
     fn parallel_shares_reward_cache() {
         let c = MctsConfig { iterations: 300, seed: 1, workers: 4, ..Default::default() };
-        let (_, stats) = mcts_parallel(&Deceptive, &c);
+        let (_, stats) = mcts_parallel(&Deceptive, &c).unwrap();
         // The state space has only 21 states, so nearly every lookup
         // after warm-up is a cache hit.
         assert!(stats.states_evaluated <= 21);
@@ -794,5 +1035,100 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), seeds.len());
+    }
+
+    #[test]
+    fn zero_iteration_budget_returns_initial_state() {
+        let c = MctsConfig {
+            iterations: 500,
+            seed: 4,
+            budget: GenerationBudget { max_iterations: Some(0), ..Default::default() },
+            ..Default::default()
+        };
+        let (best, stats) = mcts(&Deceptive, &c);
+        assert_eq!(best, 0, "budget of 0 iterations must return the root state");
+        assert_eq!(stats.iterations, 0);
+        assert!(stats.budget_exhausted);
+        // The root is still evaluated, so the best reward is the root's.
+        assert_eq!(stats.best_reward, Deceptive.reward(&0));
+    }
+
+    #[test]
+    fn iteration_budget_caps_the_search() {
+        let budget = GenerationBudget { max_iterations: Some(25), ..Default::default() };
+        let c = MctsConfig { iterations: 500, seed: 4, budget, ..Default::default() };
+        let (_, stats) = mcts(&Deceptive, &c);
+        assert_eq!(stats.iterations, 25);
+        assert!(stats.budget_exhausted);
+        assert!(stats.workers[0].budget_exhausted);
+    }
+
+    #[test]
+    fn iteration_budget_above_iterations_is_not_exhaustion() {
+        let budget = GenerationBudget { max_iterations: Some(10_000), ..Default::default() };
+        let c = MctsConfig { iterations: 50, seed: 4, budget, ..Default::default() };
+        let (_, stats) = mcts(&Deceptive, &c);
+        assert_eq!(stats.iterations, 50);
+        assert!(!stats.budget_exhausted);
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_a_state() {
+        // A deadline of zero expires before the first iteration: the
+        // search must return the evaluated root, not hang or panic.
+        let budget = GenerationBudget::with_deadline(Duration::ZERO);
+        let c = MctsConfig { iterations: 10_000, seed: 8, budget, ..Default::default() };
+        let (best, stats) = mcts(&Deceptive, &c);
+        assert_eq!(best, 0);
+        assert_eq!(stats.iterations, 0);
+        assert!(stats.budget_exhausted);
+
+        let (pbest, pstats) = mcts_parallel(&Deceptive, &MctsConfig { workers: 4, ..c }).unwrap();
+        assert_eq!(pbest, 0);
+        assert!(pstats.budget_exhausted);
+        assert_eq!(pstats.worker_panics, 0);
+    }
+
+    #[test]
+    fn state_budget_caps_tree_growth() {
+        let budget = GenerationBudget { max_states: Some(5), ..Default::default() };
+        let c = MctsConfig { iterations: 1_000, seed: 2, budget, ..Default::default() };
+        let (_, stats) = mcts(&Deceptive, &c);
+        // One extra state can be added by the iteration that crosses the
+        // cap; growth stops at the next check.
+        assert!(stats.tree_nodes <= 6, "tree_nodes = {}", stats.tree_nodes);
+        assert!(stats.budget_exhausted);
+    }
+
+    #[test]
+    fn greedy_budget_deadline_is_anytime() {
+        let (best, stats) = greedy_with_budget(
+            &Deceptive,
+            10_000,
+            &GenerationBudget::with_deadline(Duration::ZERO),
+        );
+        assert_eq!(best, 0, "expired deadline returns the evaluated root");
+        assert!(stats.budget_exhausted);
+
+        let (best, stats) = greedy_with_budget(
+            &Deceptive,
+            10_000,
+            &GenerationBudget { max_iterations: Some(1), ..Default::default() },
+        );
+        assert_eq!(best, 2, "one uphill step from 0");
+        assert!(stats.budget_exhausted);
+    }
+
+    #[test]
+    fn unbounded_budget_matches_legacy_behaviour() {
+        let c = MctsConfig { iterations: 150, seed: 7, ..Default::default() };
+        assert!(c.budget.is_unbounded());
+        let (_, stats) = mcts(&Deceptive, &c);
+        assert_eq!(stats.reward_trace.len(), 150);
+        assert_eq!(stats.iterations, 150);
+        assert!(!stats.budget_exhausted);
+        let (gb, gs) = greedy(&Deceptive, 10_000);
+        assert_eq!(gb, 10);
+        assert!(!gs.budget_exhausted);
     }
 }

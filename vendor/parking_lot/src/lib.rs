@@ -6,7 +6,10 @@
 //! A poisoned std lock (a panic while holding it) is recovered rather
 //! than propagated, matching parking_lot's semantics of not poisoning.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+// The guard types are std's, re-exported under parking_lot's names so
+// callers can store guards in structs without reaching into std.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock that does not poison.
 #[derive(Debug, Default)]

@@ -21,6 +21,11 @@ for fault in worker-panic deadline-search deadline-map exec-overrun; do
         --fault "$fault" --seed 7 --runs 5 --budget-secs 30 --no-save --quiet
 done
 
+echo "== benchmark artifacts (regen + schema check) =="
+cargo run -q --release -p pi2-bench --bin regen_latency > /dev/null
+cargo run -q --release -p pi2-bench --bin regen_interaction > /dev/null
+cargo run -q --release -p pi2-bench --bin bench_check
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

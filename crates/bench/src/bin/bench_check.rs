@@ -1,0 +1,119 @@
+//! Validate the benchmark JSON artifacts (`target/BENCH_latency.json`,
+//! `target/BENCH_interaction.json`): present, parseable, and matching the
+//! expected schema. Exits non-zero on the first problem so CI fails when a
+//! regen binary silently stops producing its artifact.
+
+use serde_json::Value;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))
+}
+
+fn expect_number(obj: &Value, key: &str, ctx: &str) -> Result<(), String> {
+    match obj.get(key) {
+        Some(v) if v.as_f64().is_some() => Ok(()),
+        Some(_) => Err(format!("{ctx}: `{key}` is not a number")),
+        None => Err(format!("{ctx}: missing `{key}`")),
+    }
+}
+
+fn expect_string(obj: &Value, key: &str, ctx: &str) -> Result<(), String> {
+    match obj.get(key) {
+        Some(v) if v.as_str().is_some() => Ok(()),
+        Some(_) => Err(format!("{ctx}: `{key}` is not a string")),
+        None => Err(format!("{ctx}: missing `{key}`")),
+    }
+}
+
+fn expect_bool(obj: &Value, key: &str, ctx: &str) -> Result<(), String> {
+    match obj.get(key) {
+        Some(v) if v.as_bool().is_some() => Ok(()),
+        Some(_) => Err(format!("{ctx}: `{key}` is not a bool")),
+        None => Err(format!("{ctx}: missing `{key}`")),
+    }
+}
+
+/// `BENCH_latency.json`: a non-empty array of parallel-speedup rows.
+fn check_latency(path: &Path) -> Result<(), String> {
+    let v = load(path)?;
+    let rows =
+        v.as_array().ok_or_else(|| format!("{}: top level must be an array", path.display()))?;
+    if rows.is_empty() {
+        return Err(format!("{}: no rows", path.display()));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("{} row {i}", path.display());
+        for key in ["workers", "per_worker_iterations", "cold_ms", "warm_ms", "cost"] {
+            expect_number(row, key, &ctx)?;
+        }
+        expect_bool(row, "deterministic", &ctx)?;
+        if row.get("stats").and_then(Value::as_object).is_none() {
+            return Err(format!("{ctx}: missing `stats` object"));
+        }
+    }
+    Ok(())
+}
+
+/// `BENCH_interaction.json`: versioned object with per-(scenario, mode,
+/// event class) latency rows and a speedup summary.
+fn check_interaction(path: &Path) -> Result<(), String> {
+    let v = load(path)?;
+    let ctx = path.display().to_string();
+    if v.get("schema_version").and_then(Value::as_i64) != Some(1) {
+        return Err(format!("{ctx}: `schema_version` must be 1"));
+    }
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing `rows` array"))?;
+    if rows.is_empty() {
+        return Err(format!("{ctx}: no rows"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("{ctx} rows[{i}]");
+        for key in ["scenario", "mode", "event_class"] {
+            expect_string(row, key, &ctx)?;
+        }
+        for key in ["count", "p50_us", "p95_us", "p99_us", "mean_us", "max_us"] {
+            expect_number(row, key, &ctx)?;
+        }
+    }
+    if v.get("session_stats").and_then(Value::as_object).is_none() {
+        return Err(format!("{ctx}: missing `session_stats` object"));
+    }
+    let summary = v.get("summary").ok_or_else(|| format!("{ctx}: missing `summary` object"))?;
+    let sctx = format!("{ctx} summary");
+    expect_number(summary, "sdss_warm_speedup_vs_reference", &sctx)?;
+    expect_number(summary, "sdss_cold_columnar_speedup_vs_reference", &sctx)?;
+    expect_bool(summary, "warm_speedup_target_met", &sctx)?;
+    expect_bool(summary, "cold_beats_reference", &sctx)?;
+    Ok(())
+}
+
+type Check = fn(&Path) -> Result<(), String>;
+
+fn main() -> ExitCode {
+    let checks: [(&str, Check); 2] = [
+        ("target/BENCH_latency.json", check_latency),
+        ("target/BENCH_interaction.json", check_interaction),
+    ];
+    let mut failed = false;
+    for (path, check) in checks {
+        match check(Path::new(path)) {
+            Ok(()) => println!("ok: {path}"),
+            Err(m) => {
+                eprintln!("FAIL: {m}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

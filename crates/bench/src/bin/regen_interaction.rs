@@ -1,0 +1,6 @@
+//! Regenerate the interaction-dispatch latency exhibit; see
+//! `pi2_bench::figures::interaction_storm`. Writes
+//! `target/BENCH_interaction.json` as a side effect.
+fn main() {
+    print!("{}", pi2_bench::figures::interaction_storm::run());
+}

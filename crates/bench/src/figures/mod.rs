@@ -11,6 +11,7 @@ pub mod fig4_merged;
 pub mod fig5_multiview;
 pub mod fig6_pipeline;
 pub mod fig7_covid;
+pub mod interaction_storm;
 pub mod latency;
 pub mod search_quality;
 pub mod table1;
@@ -30,6 +31,7 @@ pub fn all() -> Vec<(&'static str, Exhibit)> {
         ("Figure 6 — generation pipeline trace", fig6_pipeline::run),
         ("Figure 7 — COVID-19 walkthrough (V1→V3)", fig7_covid::run),
         ("TR — generation latency", latency::run),
+        ("TR — interaction dispatch latency", interaction_storm::run),
         ("TR — search quality (MCTS vs greedy)", search_quality::run),
         ("Ablations — cost-model terms", ablations::run),
     ]

@@ -147,6 +147,52 @@ fn check_widget_states(session: &InterfaceSession) -> Result<(), String> {
     Ok(())
 }
 
+/// Differential oracle: the engine's columnar fast path must be
+/// indistinguishable from the row-at-a-time reference interpreter — same
+/// schema, same rows in the same order, or the same error. Comparisons
+/// where either side hits a [`ResourceExhausted`](pi2_engine::EngineError)
+/// limit are skipped: wall-clock timeouts are nondeterministic across
+/// executors.
+fn columnar_parity(catalog: &Catalog, q: &Query) -> Result<(), String> {
+    use pi2_engine::EngineError;
+    let exhausted = |e: &EngineError| matches!(e, EngineError::ResourceExhausted(_));
+    let fast = catalog.execute_uncached(q);
+    let reference = catalog.execute_reference(q);
+    if fast.as_ref().err().is_some_and(exhausted) || reference.as_ref().err().is_some_and(exhausted)
+    {
+        return Ok(());
+    }
+    match (fast, reference) {
+        (Ok(f), Ok(r)) => {
+            if f.schema != r.schema {
+                return Err(format!(
+                    "`{q}`: columnar schema {:?} != reference schema {:?}",
+                    f.schema, r.schema
+                ));
+            }
+            if f.rows != r.rows {
+                return Err(format!(
+                    "`{q}`: columnar rows differ from reference ({} vs {} rows)",
+                    f.rows.len(),
+                    r.rows.len()
+                ));
+            }
+            Ok(())
+        }
+        (Err(f), Err(r)) => {
+            if f.to_string() != r.to_string() {
+                return Err(format!("`{q}`: columnar error `{f}` != reference error `{r}`"));
+            }
+            Ok(())
+        }
+        (f, r) => Err(format!(
+            "`{q}`: columnar {} but reference {}",
+            if f.is_ok() { "succeeds" } else { "fails" },
+            if r.is_ok() { "succeeds" } else { "fails" },
+        )),
+    }
+}
+
 /// The real expressiveness oracle, or its planted mutation.
 fn expresses_all(
     g: &GeneratedInterface,
@@ -241,6 +287,7 @@ pub fn check(
         catalog
             .execute(&q)
             .map_err(|e| Failure::new("chart-query", format!("`{q}` fails to execute: {e}")))?;
+        columnar_parity(catalog, &q).map_err(|m| Failure::new("columnar-parity", m))?;
     }
 
     // 4. Widget states are consistent out of the box.
@@ -279,6 +326,7 @@ pub fn check(
             catalog
                 .execute(&u.query)
                 .map_err(|e| fail("event-query", format!("`{}` fails to execute: {e}", u.query)))?;
+            columnar_parity(catalog, &u.query).map_err(|m| fail("columnar-parity", m))?;
         }
         check_widget_states(&session).map_err(|m| fail("widget-state", m))?;
     }

@@ -49,5 +49,6 @@ pub use pipeline::{
 };
 pub use problem::{ForestAction, InterfaceSearch};
 pub use session::{
-    ChartUpdate, Event, InterfaceSession, SessionBuilder, SessionError, WidgetState, WidgetValue,
+    ChartUpdate, Event, ExecMode, InterfaceSession, SessionBuilder, SessionError, SessionStats,
+    WidgetState, WidgetValue,
 };

@@ -12,8 +12,12 @@ use pi2_difftree::{Binding, Bindings, DiffForest, Domain, NodeKind};
 use pi2_engine::{Catalog, ResultSet};
 use pi2_interface::{ChartId, Interface, Target, VizInteraction, WidgetId, WidgetKind};
 use pi2_sql::{Date, Literal, Query};
-use std::collections::BTreeSet;
+use pi2_telemetry::LatencyHistogram;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A value delivered by a widget event.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +79,21 @@ pub enum Event {
         /// The event's value.
         value: Literal,
     },
+}
+
+impl Event {
+    /// The event's class name ("set_widget", "brush", "pan", "zoom",
+    /// "click"), used to key per-class latency histograms in
+    /// [`SessionStats`] and benchmark reports.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Event::SetWidget { .. } => "set_widget",
+            Event::Brush { .. } => "brush",
+            Event::Pan { .. } => "pan",
+            Event::Zoom { .. } => "zoom",
+            Event::Click { .. } => "click",
+        }
+    }
 }
 
 /// Session errors.
@@ -142,6 +161,119 @@ pub struct ChartUpdate {
     pub result: ResultSet,
 }
 
+/// How a session executes chart queries (see
+/// [`SessionBuilder::exec_mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Consult the session's bound-query result cache first; execute
+    /// (columnar fast path where eligible) only on a miss. The default.
+    #[default]
+    Cached,
+    /// Always execute, letting the engine pick its columnar fast path.
+    /// Used to measure cold-path dispatch latency.
+    ColumnarUncached,
+    /// Always execute on the row-at-a-time reference interpreter. Used as
+    /// the pre-optimization baseline in benchmarks.
+    ReferenceUncached,
+}
+
+/// Counters and per-event-class dispatch latency for one session.
+///
+/// Returned by [`InterfaceSession::stats`]; reset-free (counts accumulate
+/// for the session's lifetime).
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Successfully dispatched events.
+    pub dispatches: u64,
+    /// Bound-query result-cache hits ([`ExecMode::Cached`] only).
+    pub cache_hits: u64,
+    /// Bound-query result-cache misses ([`ExecMode::Cached`] only).
+    pub cache_misses: u64,
+    /// Instantiated-query memo hits (lowering skipped).
+    pub query_memo_hits: u64,
+    /// Instantiated-query memo misses (query lowered from the tree).
+    pub query_memo_misses: u64,
+    /// Chart updates returned across all dispatches.
+    pub charts_updated: u64,
+    /// Charts skipped because their tree's bindings did not change.
+    pub charts_skipped: u64,
+    /// Dispatch latency per event class (see [`Event::class`]).
+    pub latency: BTreeMap<&'static str, LatencyHistogram>,
+}
+
+impl SessionStats {
+    /// Render as a JSON object (flat counters plus a `latency` object of
+    /// per-event-class histograms).
+    pub fn to_json(&self) -> String {
+        let latency: Vec<String> =
+            self.latency.iter().map(|(k, h)| format!("\"{k}\":{}", h.to_json())).collect();
+        format!(
+            "{{\"dispatches\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"query_memo_hits\":{},\"query_memo_misses\":{},\
+             \"charts_updated\":{},\"charts_skipped\":{},\"latency\":{{{}}}}}",
+            self.dispatches,
+            self.cache_hits,
+            self.cache_misses,
+            self.query_memo_hits,
+            self.query_memo_misses,
+            self.charts_updated,
+            self.charts_skipped,
+            latency.join(",")
+        )
+    }
+}
+
+/// Bound-query result cache: least-recently-used over 64-bit keys derived
+/// from the *normalized* instantiated query's structural hash, so two
+/// binding states that lower to semantically identical SQL share an entry.
+#[derive(Debug, Default)]
+struct ResultCache {
+    map: HashMap<u64, (u64, Arc<ResultSet>)>,
+    tick: u64,
+}
+
+impl ResultCache {
+    /// Entries kept before the least-recently-used one is evicted. Sized
+    /// for interaction sessions: a brush/pan storm revisits far fewer than
+    /// this many distinct binding states.
+    const CAPACITY: usize = 256;
+
+    fn get(&mut self, key: u64) -> Option<Arc<ResultSet>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|slot| {
+            slot.0 = tick;
+            Arc::clone(&slot.1)
+        })
+    }
+
+    fn insert(&mut self, key: u64, result: Arc<ResultSet>) {
+        if self.map.len() >= Self::CAPACITY && !self.map.contains_key(&key) {
+            if let Some(oldest) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| *k) {
+                self.map.remove(&oldest);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, result));
+    }
+}
+
+/// Interior-mutable session state: caches and counters that read-side APIs
+/// (`query_for_chart`, `refresh_all`) update through `&self`.
+#[derive(Debug, Default)]
+struct SessionState {
+    /// Instantiated query per (tree index, bindings fingerprint): skips
+    /// re-lowering when an event returns a tree to a previously seen
+    /// binding state. Cleared wholesale past [`Self::QUERY_MEMO_CAP`].
+    query_memo: HashMap<(usize, u64), Query>,
+    result_cache: ResultCache,
+    stats: SessionStats,
+}
+
+impl SessionState {
+    const QUERY_MEMO_CAP: usize = 1024;
+}
+
 /// Builder for [`InterfaceSession`].
 ///
 /// Without [`queries`](SessionBuilder::queries), trees start at their
@@ -155,19 +287,27 @@ pub struct SessionBuilder<'a> {
     forest: DiffForest,
     interface: Interface,
     log: Option<&'a [Query]>,
+    mode: ExecMode,
 }
 
 impl<'a> SessionBuilder<'a> {
     /// Start building a session driving `interface` over `forest`,
     /// executing against `catalog`.
     pub fn new(catalog: Catalog, forest: DiffForest, interface: Interface) -> Self {
-        Self { catalog, forest, interface, log: None }
+        Self { catalog, forest, interface, log: None, mode: ExecMode::default() }
     }
 
     /// Initialize each tree's bindings from the witness bindings of its
     /// first source query in `log` instead of structural defaults.
     pub fn queries(mut self, log: &'a [Query]) -> Self {
         self.log = Some(log);
+        self
+    }
+
+    /// Choose how chart queries are executed (default:
+    /// [`ExecMode::Cached`]).
+    pub fn exec_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -185,6 +325,8 @@ impl<'a> SessionBuilder<'a> {
             interface: self.interface,
             bindings,
             history: Vec::new(),
+            mode: self.mode,
+            state: RefCell::new(SessionState::default()),
         }
     }
 }
@@ -198,6 +340,11 @@ pub struct InterfaceSession {
     bindings: Vec<Bindings>,
     /// Event log (for tests, demos, and the notebook's provenance panel).
     history: Vec<Event>,
+    /// How chart queries execute (see [`ExecMode`]).
+    mode: ExecMode,
+    /// Caches and counters (interior-mutable: `query_for_chart` and
+    /// `refresh_all` memoize through `&self`).
+    state: RefCell<SessionState>,
 }
 
 impl InterfaceSession {
@@ -309,7 +456,22 @@ impl InterfaceSession {
         }
     }
 
+    /// Execution counters and dispatch-latency histograms accumulated so
+    /// far (a snapshot; the live counters keep accumulating).
+    pub fn stats(&self) -> SessionStats {
+        self.state.borrow().stats.clone()
+    }
+
+    /// The session's execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
     /// The SQL query a chart currently shows.
+    ///
+    /// Memoized per (tree, bindings fingerprint): returning to a
+    /// previously seen binding state (toggling a filter back on, panning
+    /// back) skips re-lowering the DiffTree.
     pub fn query_for_chart(&self, chart: ChartId) -> Result<Query, SessionError> {
         let c = self
             .interface
@@ -317,11 +479,27 @@ impl InterfaceSession {
             .iter()
             .find(|c| c.id == chart)
             .ok_or(SessionError::UnknownChart(chart))?;
+        let key = (c.tree, self.tree_bindings(c.tree)?.fingerprint());
+        {
+            let mut st = self.state.borrow_mut();
+            if let Some(q) = st.query_memo.get(&key) {
+                let q = q.clone();
+                st.stats.query_memo_hits += 1;
+                return Ok(q);
+            }
+            st.stats.query_memo_misses += 1;
+        }
         let tree = self.forest.trees.get(c.tree).ok_or_else(|| {
             SessionError::Internal(format!("chart {chart} references missing tree {}", c.tree))
         })?;
-        pi2_difftree::lower_query(tree, self.tree_bindings(c.tree)?)
-            .map_err(|e| SessionError::Internal(e.to_string()))
+        let query = pi2_difftree::lower_query(tree, self.tree_bindings(c.tree)?)
+            .map_err(|e| SessionError::Internal(e.to_string()))?;
+        let mut st = self.state.borrow_mut();
+        if st.query_memo.len() >= SessionState::QUERY_MEMO_CAP {
+            st.query_memo.clear();
+        }
+        st.query_memo.insert(key, query.clone());
+        Ok(query)
     }
 
     /// Execute and return every chart's current data.
@@ -331,7 +509,14 @@ impl InterfaceSession {
 
     /// Dispatch one event; returns updates for every chart whose underlying
     /// query changed.
+    ///
+    /// Dependency tracking: a chart re-executes only when the event
+    /// actually *changed* a binding one of its tree's choice nodes reads —
+    /// events that restate the current value (zero-delta pan, re-picking
+    /// the selected option) update nothing.
     pub fn dispatch(&mut self, event: Event) -> Result<Vec<ChartUpdate>, SessionError> {
+        let started = Instant::now();
+        let class = event.class();
         let changed_trees = match &event {
             Event::SetWidget { widget, value } => self.apply_widget(*widget, value)?,
             Event::Brush { chart, low, high } => self.apply_brush(*chart, *low, *high)?,
@@ -347,7 +532,14 @@ impl InterfaceSession {
             .filter(|c| changed_trees.contains(&c.tree))
             .map(|c| c.id)
             .collect();
-        self.updates_for(charts)
+        let skipped = self.interface.charts.len() - charts.len();
+        let updates = self.updates_for(charts)?;
+        let mut st = self.state.borrow_mut();
+        st.stats.dispatches += 1;
+        st.stats.charts_updated += updates.len() as u64;
+        st.stats.charts_skipped += skipped as u64;
+        st.stats.latency.entry(class).or_default().record(started.elapsed());
+        Ok(updates)
     }
 
     fn updates_for(&self, charts: Vec<ChartId>) -> Result<Vec<ChartUpdate>, SessionError> {
@@ -355,13 +547,38 @@ impl InterfaceSession {
             .into_iter()
             .map(|id| {
                 let query = self.query_for_chart(id)?;
-                let result = self
-                    .catalog
-                    .execute(&query)
-                    .map_err(|e| SessionError::Internal(e.to_string()))?;
+                let result = self.execute_for_session(&query)?;
                 Ok(ChartUpdate { chart: id, query, result })
             })
             .collect()
+    }
+
+    /// Execute one chart query according to the session's [`ExecMode`].
+    ///
+    /// In [`ExecMode::Cached`], the cache key is the structural hash of the
+    /// *normalized* query, so binding states that lower to semantically
+    /// identical SQL (modulo normalization) share an entry. Errors are
+    /// never cached.
+    fn execute_for_session(&self, query: &Query) -> Result<ResultSet, SessionError> {
+        let internal = |e: pi2_engine::EngineError| SessionError::Internal(e.to_string());
+        match self.mode {
+            ExecMode::ReferenceUncached => self.catalog.execute_reference(query).map_err(internal),
+            ExecMode::ColumnarUncached => self.catalog.execute_uncached(query).map_err(internal),
+            ExecMode::Cached => {
+                let key = pi2_sql::normalize::normalized(query).structural_hash();
+                {
+                    let mut st = self.state.borrow_mut();
+                    if let Some(hit) = st.result_cache.get(key) {
+                        st.stats.cache_hits += 1;
+                        return Ok((*hit).clone());
+                    }
+                    st.stats.cache_misses += 1;
+                }
+                let result = Arc::new(self.catalog.execute_uncached(query).map_err(internal)?);
+                self.state.borrow_mut().result_cache.insert(key, Arc::clone(&result));
+                Ok((*result).clone())
+            }
+        }
     }
 
     // ---- binding helpers ----------------------------------------------------
@@ -415,15 +632,48 @@ impl InterfaceSession {
             .ok_or_else(|| SessionError::WrongValue(format!("{lit} is not numeric")))
     }
 
-    fn bind_hole_f64(&mut self, t: Target, v: f64) -> Result<(), SessionError> {
+    /// Bind a hole to the clamped f64 `v`; returns whether the effective
+    /// value changed.
+    fn bind_hole_f64(&mut self, t: Target, v: f64) -> Result<bool, SessionError> {
         let NodeKind::Hole { domain, .. } = self.node_kind(t)? else {
             return Err(SessionError::Internal(format!("target {t:?} is not a hole")));
         };
         let lit = literal_from_f64_clamped(&domain, v).ok_or_else(|| {
             SessionError::OutOfDomain(format!("cannot place {v} into {domain:?}"))
         })?;
-        self.tree_bindings_mut(t.tree)?.set(t.node, Binding::Value(lit));
-        Ok(())
+        self.apply_binding(t, Binding::Value(lit))
+    }
+
+    /// The binding a node falls back to when none is set explicitly
+    /// (mirrors the lowering defaults: first `Any` child, `Opt` included,
+    /// `Hole` default).
+    fn default_binding(&self, t: Target) -> Result<Binding, SessionError> {
+        Ok(match self.node_kind(t)? {
+            NodeKind::Any => Binding::Pick(0),
+            NodeKind::Opt => Binding::Include(true),
+            NodeKind::Hole { default, .. } => Binding::Value(default),
+            other => {
+                return Err(SessionError::Internal(format!(
+                    "target {t:?} is {other:?}, not a choice node"
+                )))
+            }
+        })
+    }
+
+    /// Set `t`'s binding, returning whether the *effective* value changed.
+    /// Restating the current value (explicit or default) is a no-op, so
+    /// dispatch can skip re-executing charts whose queries cannot have
+    /// changed.
+    fn apply_binding(&mut self, t: Target, b: Binding) -> Result<bool, SessionError> {
+        let current = match self.tree_bindings(t.tree)?.get(t.node) {
+            Some(cur) => cur.clone(),
+            None => self.default_binding(t)?,
+        };
+        if current == b {
+            return Ok(false);
+        }
+        self.tree_bindings_mut(t.tree)?.set(t.node, b);
+        Ok(true)
     }
 
     // ---- event application ----------------------------------------------------
@@ -456,42 +706,45 @@ impl InterfaceSession {
                     )));
                 }
                 let target = Self::widget_target(&widget, 0)?;
-                match self.node_kind(target)? {
-                    NodeKind::Any => {
-                        self.tree_bindings_mut(target.tree)?.set(target.node, Binding::Pick(*i));
-                    }
+                let binding = match self.node_kind(target)? {
+                    NodeKind::Any => Binding::Pick(*i),
                     NodeKind::Hole { domain: Domain::Discrete(items), .. } => {
                         let lit = items.get(*i).ok_or_else(|| {
                             SessionError::WrongValue(format!("pick {i} outside domain"))
                         })?;
-                        self.tree_bindings_mut(target.tree)?
-                            .set(target.node, Binding::Value(lit.clone()));
+                        Binding::Value(lit.clone())
                     }
                     other => {
                         return Err(SessionError::Internal(format!(
                             "discrete widget bound to {other:?}"
                         )))
                     }
+                };
+                if self.apply_binding(target, binding)? {
+                    changed.insert(target.tree);
                 }
-                changed.insert(target.tree);
             }
             (WidgetKind::Toggle, WidgetValue::Bool(b)) => {
                 let target = Self::widget_target(&widget, 0)?;
-                self.tree_bindings_mut(target.tree)?.set(target.node, Binding::Include(*b));
-                changed.insert(target.tree);
+                if self.apply_binding(target, Binding::Include(*b))? {
+                    changed.insert(target.tree);
+                }
             }
             (WidgetKind::Slider { .. }, WidgetValue::Scalar(v)) => {
                 let target = Self::widget_target(&widget, 0)?;
-                self.bind_hole_f64(target, *v)?;
-                changed.insert(target.tree);
+                if self.bind_hole_f64(target, *v)? {
+                    changed.insert(target.tree);
+                }
             }
             (WidgetKind::RangeSlider { .. }, WidgetValue::Range(lo, hi)) => {
                 let (lo, hi) = if lo <= hi { (*lo, *hi) } else { (*hi, *lo) };
                 let (tl, th) = (Self::widget_target(&widget, 0)?, Self::widget_target(&widget, 1)?);
-                self.bind_hole_f64(tl, lo)?;
-                self.bind_hole_f64(th, hi)?;
-                changed.insert(tl.tree);
-                changed.insert(th.tree);
+                if self.bind_hole_f64(tl, lo)? {
+                    changed.insert(tl.tree);
+                }
+                if self.bind_hole_f64(th, hi)? {
+                    changed.insert(th.tree);
+                }
             }
             (WidgetKind::MultiSelect { options }, WidgetValue::Multi(flags)) => {
                 if flags.len() != options.len() || flags.len() != widget.targets.len() {
@@ -502,8 +755,9 @@ impl InterfaceSession {
                     )));
                 }
                 for (t, flag) in widget.targets.iter().zip(flags) {
-                    self.tree_bindings_mut(t.tree)?.set(t.node, Binding::Include(*flag));
-                    changed.insert(t.tree);
+                    if self.apply_binding(*t, Binding::Include(*flag))? {
+                        changed.insert(t.tree);
+                    }
                 }
             }
             (WidgetKind::TextInput, WidgetValue::Literal(l)) => {
@@ -514,8 +768,9 @@ impl InterfaceSession {
                 if !domain.contains(l) {
                     return Err(SessionError::OutOfDomain(format!("{l} not in {domain:?}")));
                 }
-                self.tree_bindings_mut(target.tree)?.set(target.node, Binding::Value(l.clone()));
-                changed.insert(target.tree);
+                if self.apply_binding(target, Binding::Value(l.clone()))? {
+                    changed.insert(target.tree);
+                }
             }
             (kind, v) => {
                 return Err(SessionError::WrongValue(format!(
@@ -553,10 +808,12 @@ impl InterfaceSession {
         let (lo, hi) = if low <= high { (low, high) } else { (high, low) };
         let mut changed = BTreeSet::new();
         for (tl, th) in brushes {
-            self.bind_hole_f64(tl, lo)?;
-            self.bind_hole_f64(th, hi)?;
-            changed.insert(tl.tree);
-            changed.insert(th.tree);
+            if self.bind_hole_f64(tl, lo)? {
+                changed.insert(tl.tree);
+            }
+            if self.bind_hole_f64(th, hi)? {
+                changed.insert(th.tree);
+            }
         }
         Ok(changed)
     }
@@ -591,8 +848,9 @@ impl InterfaceSession {
             if !domain.contains(value) {
                 return Err(SessionError::OutOfDomain(format!("{value} not in {domain:?}")));
             }
-            self.tree_bindings_mut(t.tree)?.set(t.node, Binding::Value(value.clone()));
-            changed.insert(t.tree);
+            if self.apply_binding(t, Binding::Value(value.clone()))? {
+                changed.insert(t.tree);
+            }
         }
         Ok(changed)
     }
@@ -641,10 +899,12 @@ impl InterfaceSession {
                 };
                 let (new_lo, new_hi) =
                     clamp_window(&domain, new_lo, new_hi, matches!(gesture, Gesture::Pan(..)));
-                self.bind_hole_f64(tl, new_lo)?;
-                self.bind_hole_f64(th, new_hi)?;
-                changed.insert(tl.tree);
-                changed.insert(th.tree);
+                if self.bind_hole_f64(tl, new_lo)? {
+                    changed.insert(tl.tree);
+                }
+                if self.bind_hole_f64(th, new_hi)? {
+                    changed.insert(th.tree);
+                }
             }
         }
         Ok(changed)
@@ -835,9 +1095,9 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn click_binding_roundtrip() {
-        // Build the Figure 5 scenario by hand: two trees.
+    /// The Figure 5 scenario built by hand: two trees, one chart with a
+    /// click binding. Returns the session and the clickable chart's id.
+    fn fig5_click_session() -> (InterfaceSession, ChartId) {
         let catalog = pi2_datasets::toy::default_catalog();
         let queries = pi2_datasets::toy::fig5_queries();
         let merged = pi2_difftree::DiffForest::fully_merged(&queries[..2]);
@@ -869,7 +1129,12 @@ mod tests {
             .find(|c| c.interactions.iter().any(|x| matches!(x, VizInteraction::ClickBind { .. })))
             .unwrap()
             .id;
-        let mut s = SessionBuilder::new(catalog, forest, iface).build();
+        (SessionBuilder::new(catalog, forest, iface).build(), click_chart)
+    }
+
+    #[test]
+    fn click_binding_roundtrip() {
+        let (mut s, click_chart) = fig5_click_session();
         let updates =
             s.dispatch(Event::Click { chart: click_chart, value: Literal::Int(3) }).unwrap();
         assert!(!updates.is_empty());
@@ -880,8 +1145,9 @@ mod tests {
         );
     }
 
-    #[test]
-    fn brush_on_overview_updates_detail() {
+    /// The COVID overview/detail scenario: brushing chart 0 drives the
+    /// detail chart's date window.
+    fn covid_brush_session() -> InterfaceSession {
         let catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config {
             state_limit: Some(6),
             ..Default::default()
@@ -910,7 +1176,12 @@ mod tests {
                 })
             })
             .expect("brush interface");
-        let mut s = SessionBuilder::new(catalog, forest, iface).build();
+        SessionBuilder::new(catalog, forest, iface).build()
+    }
+
+    #[test]
+    fn brush_on_overview_updates_detail() {
+        let mut s = covid_brush_session();
         // Brush 2021-12-05 .. 2021-12-10 on the overview (chart 0).
         let lo = pi2_sql::Date::parse("2021-12-05").unwrap().0 as f64;
         let hi = pi2_sql::Date::parse("2021-12-10").unwrap().0 as f64;
@@ -926,5 +1197,158 @@ mod tests {
                 assert!(d.0 >= lo as i32 && d.0 <= hi as i32);
             }
         }
+    }
+
+    // ---- result cache / dependency tracking -------------------------------
+
+    #[test]
+    fn zero_delta_pan_skips_all_charts() {
+        let (pi2, g) = sdss_session();
+        let mut s = pi2.session(&g);
+        s.dispatch(Event::Pan { chart: 0, dx: 0.25, dy: 0.125 }).unwrap();
+        let updates = s.dispatch(Event::Pan { chart: 0, dx: 0.0, dy: 0.0 }).unwrap();
+        assert!(updates.is_empty(), "zero-delta pan must not re-execute charts");
+        let st = s.stats();
+        assert_eq!(st.dispatches, 2);
+        assert!(st.charts_skipped >= 1, "{st:?}");
+    }
+
+    #[test]
+    fn pan_cycle_hits_result_cache_and_query_memo() {
+        let (pi2, g) = sdss_session();
+        let mut s = pi2.session(&g);
+        s.refresh_all().unwrap();
+        let st0 = s.stats();
+        s.dispatch(Event::Pan { chart: 0, dx: 0.25, dy: 0.0 }).unwrap();
+        s.dispatch(Event::Pan { chart: 0, dx: -0.25, dy: 0.0 }).unwrap();
+        let st = s.stats();
+        assert!(st.cache_hits > st0.cache_hits, "panning back must hit the result cache: {st:?}");
+        assert!(
+            st.query_memo_hits > st0.query_memo_hits,
+            "panning back must hit the query memo: {st:?}"
+        );
+    }
+
+    #[test]
+    fn zoom_invalidates_cached_result() {
+        let (pi2, g) = sdss_session();
+        let mut s = pi2.session(&g);
+        s.refresh_all().unwrap();
+        let miss0 = s.stats().cache_misses;
+        let updates = s.dispatch(Event::Zoom { chart: 0, factor: 2.0 }).unwrap();
+        assert!(!updates.is_empty());
+        assert!(s.stats().cache_misses > miss0, "zoom must miss the cache and re-execute");
+    }
+
+    #[test]
+    fn toggle_cycle_hits_result_cache_and_restating_skips() {
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::FullMerge)
+            .build();
+        let g = pi2
+            .generate_sql(&[
+                "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+                "SELECT p, count(*) FROM t WHERE b = 2 GROUP BY p",
+                "SELECT a, count(*) FROM t GROUP BY a",
+            ])
+            .unwrap();
+        let mut s = pi2.session(&g);
+        s.refresh_all().unwrap();
+        let toggle = g
+            .interface
+            .widgets
+            .iter()
+            .find(|w| matches!(w.kind, WidgetKind::Toggle))
+            .expect("toggle widget")
+            .id;
+        s.dispatch(Event::SetWidget { widget: toggle, value: WidgetValue::Bool(false) }).unwrap();
+        let st1 = s.stats();
+        let updates = s
+            .dispatch(Event::SetWidget { widget: toggle, value: WidgetValue::Bool(true) })
+            .unwrap();
+        assert!(!updates.is_empty());
+        let st2 = s.stats();
+        assert!(st2.cache_hits > st1.cache_hits, "toggling back must hit the result cache");
+        // Restating the current toggle state updates nothing.
+        let updates = s
+            .dispatch(Event::SetWidget { widget: toggle, value: WidgetValue::Bool(true) })
+            .unwrap();
+        assert!(updates.is_empty(), "same-value toggle must not re-execute charts");
+    }
+
+    #[test]
+    fn brush_cycle_hits_result_cache_and_rebrush_skips() {
+        let mut s = covid_brush_session();
+        let day = |d: &str| pi2_sql::Date::parse(d).unwrap().0 as f64;
+        let (a, b) = (day("2021-12-05"), day("2021-12-10"));
+        s.dispatch(Event::Brush { chart: 0, low: a, high: b }).unwrap();
+        let st1 = s.stats();
+        s.dispatch(Event::Brush { chart: 0, low: day("2021-12-12"), high: day("2021-12-20") })
+            .unwrap();
+        let st2 = s.stats();
+        assert!(st2.cache_misses > st1.cache_misses, "new brush window must miss the cache");
+        s.dispatch(Event::Brush { chart: 0, low: a, high: b }).unwrap();
+        let st3 = s.stats();
+        assert!(st3.cache_hits > st2.cache_hits, "returning brush window must hit the cache");
+        let updates = s.dispatch(Event::Brush { chart: 0, low: a, high: b }).unwrap();
+        assert!(updates.is_empty(), "re-brushing the same window must not re-execute charts");
+    }
+
+    #[test]
+    fn click_cycle_hits_result_cache_and_reclick_skips() {
+        let (mut s, chart) = fig5_click_session();
+        s.dispatch(Event::Click { chart, value: Literal::Int(3) }).unwrap();
+        let st1 = s.stats();
+        s.dispatch(Event::Click { chart, value: Literal::Int(4) }).unwrap();
+        let st2 = s.stats();
+        assert!(st2.cache_misses > st1.cache_misses, "new click value must miss the cache");
+        s.dispatch(Event::Click { chart, value: Literal::Int(3) }).unwrap();
+        let st3 = s.stats();
+        assert!(st3.cache_hits > st2.cache_hits, "returning click value must hit the cache");
+        let updates = s.dispatch(Event::Click { chart, value: Literal::Int(3) }).unwrap();
+        assert!(updates.is_empty(), "re-clicking the same value must not re-execute charts");
+    }
+
+    #[test]
+    fn exec_modes_agree_and_uncached_modes_skip_cache() {
+        let catalog =
+            pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config { objects: 400, seed: 3 });
+        let pi2 = Pi2::builder(catalog.clone()).strategy(SearchStrategy::FullMerge).build();
+        let queries: Vec<String> =
+            pi2_datasets::sdss::demo_queries().iter().map(|q| q.to_string()).collect();
+        let refs: Vec<&str> = queries.iter().map(|s| s.as_str()).collect();
+        let g = pi2.generate_sql(&refs).unwrap();
+        let mut per_mode = Vec::new();
+        for mode in [ExecMode::Cached, ExecMode::ColumnarUncached, ExecMode::ReferenceUncached] {
+            let mut s = SessionBuilder::new(catalog.clone(), g.forest.clone(), g.interface.clone())
+                .queries(&g.queries)
+                .exec_mode(mode)
+                .build();
+            assert_eq!(s.exec_mode(), mode);
+            s.refresh_all().unwrap();
+            let updates = s.dispatch(Event::Pan { chart: 0, dx: 0.25, dy: 0.125 }).unwrap();
+            let st = s.stats();
+            if mode == ExecMode::Cached {
+                assert!(st.cache_misses > 0);
+            } else {
+                assert_eq!((st.cache_hits, st.cache_misses), (0, 0), "{mode:?} must not cache");
+            }
+            let shape: Vec<(String, Vec<Vec<pi2_engine::Value>>)> =
+                updates.iter().map(|u| (u.query.to_string(), u.result.rows.clone())).collect();
+            per_mode.push(shape);
+        }
+        assert_eq!(per_mode[0], per_mode[1], "cached vs columnar-uncached disagree");
+        assert_eq!(per_mode[0], per_mode[2], "cached vs reference-uncached disagree");
+    }
+
+    #[test]
+    fn stats_json_has_counters_and_latency() {
+        let (pi2, g) = sdss_session();
+        let mut s = pi2.session(&g);
+        s.dispatch(Event::Pan { chart: 0, dx: 0.25, dy: 0.0 }).unwrap();
+        let json = s.stats().to_json();
+        assert!(json.contains("\"dispatches\":1"), "{json}");
+        assert!(json.contains("\"pan\":{\"count\":1"), "{json}");
+        assert!(json.contains("\"cache_misses\""), "{json}");
     }
 }

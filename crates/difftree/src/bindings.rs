@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The binding of one choice node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Binding {
     /// For `Any`: the chosen child index.
     Pick(usize),
@@ -74,6 +74,20 @@ impl Bindings {
         for (id, b) in other.iter() {
             self.map.insert(*id, b.clone());
         }
+    }
+
+    /// A stable 64-bit fingerprint of the binding set, suitable as a cache
+    /// key component (sessions memoize the instantiated query per
+    /// (tree, bindings-fingerprint)). BTreeMap iteration order makes it
+    /// deterministic for equal binding sets.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (id, b) in &self.map {
+            id.hash(&mut h);
+            b.hash(&mut h);
+        }
+        h.finish()
     }
 }
 

@@ -1,5 +1,6 @@
 //! The table catalog: the engine's entry point.
 
+use crate::columnar::ColumnarTable;
 use crate::error::{EngineError, Result};
 use crate::eval::ExecCtx;
 use crate::result::ResultSet;
@@ -9,6 +10,7 @@ use parking_lot::Mutex;
 use pi2_sql::Query;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Upper bound on cached query results; the cache is cleared wholesale when
@@ -56,12 +58,24 @@ impl ExecLimits {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, Arc<Table>>,
+    /// Typed column-major mirrors of `tables`, built once at registration
+    /// and scanned by the columnar fast path (see [`crate::exec_columnar`]).
+    columnar: BTreeMap<String, Arc<ColumnarTable>>,
     /// Globally-unique fingerprint of this catalog's table map; part of
     /// every cache key so clones that diverge (one registers a new table)
     /// can keep sharing the cache soundly.
     version: u64,
     cache: Arc<Mutex<QueryCache>>,
     limits: ExecLimits,
+    /// Fast-path vs fallback execution tally, shared across clones.
+    exec_counts: Arc<ExecCounts>,
+}
+
+/// How many fresh (non-cached) executions took each path.
+#[derive(Debug, Default)]
+struct ExecCounts {
+    columnar: AtomicU64,
+    reference: AtomicU64,
 }
 
 /// Source of globally-unique catalog versions (see [`Catalog::register`]).
@@ -92,13 +106,20 @@ impl Catalog {
     /// to a fresh version, so previously cached results (including those
     /// shared with clones) no longer match its keys.
     pub fn register(&mut self, table: Table) {
-        self.tables.insert(table.name.to_lowercase(), Arc::new(table));
-        self.version = NEXT_VERSION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let key = table.name.to_lowercase();
+        self.columnar.insert(key.clone(), Arc::new(ColumnarTable::build(&table)));
+        self.tables.insert(key, Arc::new(table));
+        self.version = NEXT_VERSION.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Look up a table by name (case-insensitive).
     pub fn get(&self, name: &str) -> Option<Arc<Table>> {
         self.tables.get(&name.to_lowercase()).cloned()
+    }
+
+    /// The columnar mirror of a table (case-insensitive).
+    pub(crate) fn columnar(&self, name: &str) -> Option<Arc<ColumnarTable>> {
+        self.columnar.get(&name.to_lowercase()).cloned()
     }
 
     /// Names of all registered tables, sorted.
@@ -116,7 +137,7 @@ impl Catalog {
         if let Some(hit) = self.cache.lock().get(&key).cloned() {
             return Ok((*hit).clone());
         }
-        let result = ExecCtx::new(self).execute(query)?;
+        let result = self.execute_fresh(query)?;
         let mut cache = self.cache.lock();
         if cache.len() >= QUERY_CACHE_CAP {
             cache.clear();
@@ -132,7 +153,43 @@ impl Catalog {
         if pi2_faults::exec_overrun() {
             return Err(EngineError::ResourceExhausted("injected execution overrun".into()));
         }
+        self.execute_fresh(query)
+    }
+
+    /// Columnar fast path when the query qualifies, reference interpreter
+    /// otherwise.
+    fn execute_fresh(&self, query: &Query) -> Result<ResultSet> {
+        match crate::exec_columnar::try_execute(self, query) {
+            Some(result) => {
+                self.exec_counts.columnar.fetch_add(1, Ordering::Relaxed);
+                result
+            }
+            None => {
+                self.exec_counts.reference.fetch_add(1, Ordering::Relaxed);
+                ExecCtx::new(self).execute(query)
+            }
+        }
+    }
+
+    /// Execute on the row-at-a-time reference path only, bypassing both the
+    /// result cache and the columnar fast path. This is the semantic oracle:
+    /// differential tests and benchmarks compare it against
+    /// [`Catalog::execute_uncached`].
+    pub fn execute_reference(&self, query: &Query) -> Result<ResultSet> {
+        #[cfg(feature = "faults")]
+        if pi2_faults::exec_overrun() {
+            return Err(EngineError::ResourceExhausted("injected execution overrun".into()));
+        }
         ExecCtx::new(self).execute(query)
+    }
+
+    /// How many fresh executions ran columnar vs on the reference fallback
+    /// (shared across clones of this catalog).
+    pub fn exec_path_counts(&self) -> (u64, u64) {
+        (
+            self.exec_counts.columnar.load(Ordering::Relaxed),
+            self.exec_counts.reference.load(Ordering::Relaxed),
+        )
     }
 
     /// Parse and execute SQL text.

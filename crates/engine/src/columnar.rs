@@ -1,0 +1,196 @@
+//! Columnar mirrors of base tables.
+//!
+//! The row-oriented [`Table`] stays the source of truth; a [`ColumnarTable`]
+//! is a typed, column-major copy built once when the table is registered in
+//! the catalog. The columnar executor (see [`crate::exec_columnar`]) scans
+//! these vectors directly instead of cloning `Vec<Vec<Value>>` row storage
+//! per query, and its compiled predicates read typed slices instead of
+//! matching on `Value` per row.
+
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use pi2_sql::Date;
+
+/// Typed storage for one column. Null slots hold a placeholder (0 / empty
+/// string / epoch) and are tracked by the enclosing [`Column::nulls`] mask.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Strings.
+    Str(Vec<String>),
+    /// Dates as day numbers.
+    Date(Vec<i32>),
+    /// Catch-all for columns whose values defy a single type (possible when
+    /// a `Table` is constructed literally, bypassing `push_row` validation).
+    Mixed(Vec<Value>),
+}
+
+/// One column of a [`ColumnarTable`]: typed data plus an optional null mask
+/// (absent when the column contains no NULLs, the common case).
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// The values.
+    pub data: ColumnData,
+    /// `nulls[i]` is true when row `i` is NULL; `None` means no NULLs.
+    pub nulls: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// Build a column from row-major values, choosing typed storage when
+    /// every non-null value matches `declared`, and `Mixed` otherwise.
+    pub fn from_values<'a>(declared: DataType, values: impl Iterator<Item = &'a Value>) -> Column {
+        let values: Vec<&Value> = values.collect();
+        let uniform = values
+            .iter()
+            .all(|v| v.is_null() || v.data_type() == declared || declared == DataType::Null);
+        if !uniform || declared == DataType::Null {
+            let mixed: Vec<Value> = values.into_iter().cloned().collect();
+            let nulls = null_mask(mixed.iter().map(Value::is_null));
+            return Column { data: ColumnData::Mixed(mixed), nulls };
+        }
+        let nulls = null_mask(values.iter().map(|v| v.is_null()));
+        let data = match declared {
+            DataType::Int => ColumnData::Int(
+                values.iter().map(|v| if let Value::Int(x) = v { *x } else { 0 }).collect(),
+            ),
+            DataType::Float => ColumnData::Float(
+                values.iter().map(|v| if let Value::Float(x) = v { *x } else { 0.0 }).collect(),
+            ),
+            DataType::Bool => {
+                ColumnData::Bool(values.iter().map(|v| matches!(v, Value::Bool(true))).collect())
+            }
+            DataType::Str => ColumnData::Str(
+                values
+                    .iter()
+                    .map(|v| if let Value::Str(s) = v { s.clone() } else { String::new() })
+                    .collect(),
+            ),
+            DataType::Date => ColumnData::Date(
+                values.iter().map(|v| if let Value::Date(d) = v { d.0 } else { 0 }).collect(),
+            ),
+            DataType::Null => unreachable!("handled above"),
+        };
+        Column { data, nulls }
+    }
+
+    /// True when row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n[i])
+    }
+
+    /// Materialize row `i` as a [`Value`].
+    #[inline]
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Date(v) => Value::Date(Date(v[i])),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+}
+
+/// A null mask, or `None` when nothing is null.
+fn null_mask(flags: impl Iterator<Item = bool>) -> Option<Vec<bool>> {
+    let mask: Vec<bool> = flags.collect();
+    if mask.iter().any(|&b| b) {
+        Some(mask)
+    } else {
+        None
+    }
+}
+
+/// A column-major copy of one base table.
+#[derive(Debug, Clone)]
+pub struct ColumnarTable {
+    /// Number of rows.
+    pub len: usize,
+    /// Columns, in schema order.
+    pub columns: Vec<Column>,
+}
+
+impl ColumnarTable {
+    /// Transpose a row-oriented table.
+    pub fn build(table: &Table) -> ColumnarTable {
+        let columns = table
+            .schema
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| Column::from_values(f.data_type, table.rows.iter().map(|r| &r[i])))
+            .collect();
+        ColumnarTable { len: table.rows.len(), columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::builder("t")
+            .column("a", DataType::Int)
+            .column("b", DataType::Str)
+            .column("c", DataType::Float)
+            .build();
+        t.push_row(vec![Value::Int(1), Value::str("x"), Value::Float(0.5)]).unwrap();
+        t.push_row(vec![Value::Null, Value::str("y"), Value::Null]).unwrap();
+        t.push_row(vec![Value::Int(3), Value::Null, Value::Float(2.5)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn transpose_roundtrips_values() {
+        let t = sample();
+        let c = ColumnarTable::build(&t);
+        assert_eq!(c.len, 3);
+        for (i, row) in t.rows.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(&c.columns[j].value(i), v, "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn typed_storage_and_null_masks() {
+        let c = ColumnarTable::build(&sample());
+        assert!(matches!(c.columns[0].data, ColumnData::Int(_)));
+        assert!(matches!(c.columns[1].data, ColumnData::Str(_)));
+        assert!(matches!(c.columns[2].data, ColumnData::Float(_)));
+        assert!(c.columns[0].is_null(1));
+        assert!(!c.columns[0].is_null(0));
+        assert!(c.columns[1].is_null(2));
+    }
+
+    #[test]
+    fn no_nulls_means_no_mask() {
+        let mut t = Table::builder("t").column("a", DataType::Int).build();
+        t.push_row(vec![Value::Int(1)]).unwrap();
+        let c = ColumnarTable::build(&t);
+        assert!(c.columns[0].nulls.is_none());
+    }
+
+    #[test]
+    fn hand_built_mismatched_rows_fall_back_to_mixed() {
+        // A literally-constructed table can bypass push_row validation.
+        let t = Table {
+            name: "t".into(),
+            schema: crate::schema::Schema::new(vec![crate::schema::Field::new("a", DataType::Int)]),
+            rows: vec![vec![Value::Int(1)], vec![Value::str("oops")]],
+        };
+        let c = ColumnarTable::build(&t);
+        assert!(matches!(c.columns[0].data, ColumnData::Mixed(_)));
+        assert_eq!(c.columns[0].value(1), Value::str("oops"));
+    }
+}

@@ -11,6 +11,7 @@ use crate::functions::eval_scalar;
 use crate::result::ResultSet;
 use crate::value::{DataType, Value};
 use pi2_sql::{is_aggregate_function, BinaryOp, ColumnRef, Expr, Query, UnaryOp};
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -92,10 +93,17 @@ impl<'a> Scope<'a> {
     }
 
     fn lookup(&self, col: &ColumnRef) -> Result<Value> {
+        self.lookup_ref(col).cloned()
+    }
+
+    /// Resolve a column to a borrowed value, walking parent scopes. The
+    /// returned borrow lives as long as the scope's row — this is what lets
+    /// the executor's hot loops evaluate predicates without cloning.
+    pub(crate) fn lookup_ref(&self, col: &ColumnRef) -> Result<&'a Value> {
         match self.schema.resolve(col)? {
-            Some(i) => Ok(self.row[i].clone()),
+            Some(i) => Ok(&self.row[i]),
             None => match self.parent {
-                Some(p) => p.lookup(col),
+                Some(p) => p.lookup_ref(col),
                 None => Err(EngineError::UnknownColumn(col.to_string())),
             },
         }
@@ -133,20 +141,18 @@ impl<'c> ExecCtx<'c> {
     /// the executor's row-producing loops; the wall-clock check is
     /// amortized to every 256th row to keep the common case to a compare.
     pub(crate) fn check_limits(&self, rows: usize) -> Result<()> {
-        if self.limits.max_rows.is_some_and(|m| rows > m) {
-            return Err(EngineError::ResourceExhausted(format!(
-                "row limit exceeded: materialized {rows} rows (limit {})",
-                self.limits.max_rows.unwrap_or(0)
-            )));
+        enforce_limits(&self.limits, self.started, rows)
+    }
+
+    /// Evaluate `expr` in `scope`, borrowing the result from the row when
+    /// the expression is a plain column reference. Hot loops (WHERE
+    /// filtering, comparisons, IN lists) go through this to avoid cloning a
+    /// `Value` — potentially a heap string — per row per column access.
+    pub(crate) fn eval_ref<'s>(&self, expr: &Expr, scope: &Scope<'s>) -> Result<Cow<'s, Value>> {
+        match expr {
+            Expr::Column(c) => scope.lookup_ref(c).map(Cow::Borrowed),
+            other => self.eval(other, scope).map(Cow::Owned),
         }
-        if let Some(timeout) = self.limits.timeout {
-            if rows.is_multiple_of(256) && self.started.elapsed() >= timeout {
-                return Err(EngineError::ResourceExhausted(format!(
-                    "query timeout: exceeded {timeout:?}"
-                )));
-            }
-        }
-        Ok(())
     }
 
     /// Evaluate `expr` in `scope`.
@@ -156,16 +162,16 @@ impl<'c> ExecCtx<'c> {
             Expr::Literal(l) => Ok(Value::from_literal(l)),
             Expr::Wildcard => Err(EngineError::Unsupported("bare * outside count(*)".into())),
             Expr::Unary { op, expr } => {
-                let v = self.eval(expr, scope)?;
+                let v = self.eval_ref(expr, scope)?;
                 match op {
-                    UnaryOp::Not => Ok(match v {
+                    UnaryOp::Not => Ok(match &*v {
                         Value::Null => Value::Null,
                         Value::Bool(b) => Value::Bool(!b),
                         other => {
                             return Err(EngineError::TypeMismatch(format!("NOT {other}")));
                         }
                     }),
-                    UnaryOp::Neg => match v {
+                    UnaryOp::Neg => match &*v {
                         Value::Null => Ok(Value::Null),
                         Value::Int(v) => Ok(Value::Int(-v)),
                         Value::Float(v) => Ok(Value::Float(-v)),
@@ -203,14 +209,14 @@ impl<'c> ExecCtx<'c> {
                 }
             }
             Expr::Case { operand, branches, else_expr } => {
-                let op_val = operand.as_ref().map(|o| self.eval(o, scope)).transpose()?;
+                let op_val = operand.as_ref().map(|o| self.eval_ref(o, scope)).transpose()?;
                 for (when, then) in branches {
                     let hit = match &op_val {
                         Some(ov) => {
-                            let wv = self.eval(when, scope)?;
+                            let wv = self.eval_ref(when, scope)?;
                             cmp_values(ov, &wv)? == Some(Ordering::Equal)
                         }
-                        None => self.eval(when, scope)?.is_truthy(),
+                        None => self.eval_ref(when, scope)?.is_truthy(),
                     };
                     if hit {
                         return self.eval(then, scope);
@@ -222,13 +228,13 @@ impl<'c> ExecCtx<'c> {
                 }
             }
             Expr::InList { expr, list, negated } => {
-                let needle = self.eval(expr, scope)?;
+                let needle = self.eval_ref(expr, scope)?;
                 if needle.is_null() {
                     return Ok(Value::Null);
                 }
                 let mut saw_null = false;
                 for item in list {
-                    let v = self.eval(item, scope)?;
+                    let v = self.eval_ref(item, scope)?;
                     match cmp_values(&needle, &v)? {
                         None => saw_null = true,
                         Some(Ordering::Equal) => {
@@ -244,7 +250,7 @@ impl<'c> ExecCtx<'c> {
                 }
             }
             Expr::InSubquery { expr, subquery, negated } => {
-                let needle = self.eval(expr, scope)?;
+                let needle = self.eval_ref(expr, scope)?;
                 if needle.is_null() {
                     return Ok(Value::Null);
                 }
@@ -274,9 +280,9 @@ impl<'c> ExecCtx<'c> {
                 Ok(Value::Bool(result.rows.is_empty() == *negated))
             }
             Expr::Between { expr, low, high, negated } => {
-                let v = self.eval(expr, scope)?;
-                let lo = self.eval(low, scope)?;
-                let hi = self.eval(high, scope)?;
+                let v = self.eval_ref(expr, scope)?;
+                let lo = self.eval_ref(low, scope)?;
+                let hi = self.eval_ref(high, scope)?;
                 let ge = three_valued_cmp(&v, &lo, |o| o != Ordering::Less)?;
                 let le = three_valued_cmp(&v, &hi, |o| o != Ordering::Greater)?;
                 let both = and3(ge, le);
@@ -302,17 +308,15 @@ impl<'c> ExecCtx<'c> {
                 }
             }
             Expr::IsNull { expr, negated } => {
-                let v = self.eval(expr, scope)?;
+                let v = self.eval_ref(expr, scope)?;
                 Ok(Value::Bool(v.is_null() != *negated))
             }
             Expr::Like { expr, pattern, negated } => {
-                let v = self.eval(expr, scope)?;
-                let p = self.eval(pattern, scope)?;
-                match (v, p) {
+                let v = self.eval_ref(expr, scope)?;
+                let p = self.eval_ref(pattern, scope)?;
+                match (&*v, &*p) {
                     (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
-                    (Value::Str(s), Value::Str(p)) => {
-                        Ok(Value::Bool(like_match(&p, &s) != *negated))
-                    }
+                    (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(like_match(p, s) != *negated)),
                     (a, b) => Err(EngineError::TypeMismatch(format!("{a} LIKE {b}"))),
                 }
             }
@@ -330,22 +334,26 @@ impl<'c> ExecCtx<'c> {
         // truth value is already determined.
         match op {
             BinaryOp::And => {
-                let l = to_bool3(self.eval(left, scope)?)?;
+                let lv = self.eval_ref(left, scope)?;
+                let l = to_bool3(&lv)?;
                 if l == Some(false) {
                     return Ok(Value::Bool(false));
                 }
-                let r = to_bool3(self.eval(right, scope)?)?;
+                let rv = self.eval_ref(right, scope)?;
+                let r = to_bool3(&rv)?;
                 return Ok(match and3(l, r) {
                     Some(b) => Value::Bool(b),
                     None => Value::Null,
                 });
             }
             BinaryOp::Or => {
-                let l = to_bool3(self.eval(left, scope)?)?;
+                let lv = self.eval_ref(left, scope)?;
+                let l = to_bool3(&lv)?;
                 if l == Some(true) {
                     return Ok(Value::Bool(true));
                 }
-                let r = to_bool3(self.eval(right, scope)?)?;
+                let rv = self.eval_ref(right, scope)?;
+                let r = to_bool3(&rv)?;
                 return Ok(match or3(l, r) {
                     Some(b) => Value::Bool(b),
                     None => Value::Null,
@@ -353,23 +361,15 @@ impl<'c> ExecCtx<'c> {
             }
             _ => {}
         }
-        let l = self.eval(left, scope)?;
-        let r = self.eval(right, scope)?;
+        let l = self.eval_ref(left, scope)?;
+        let r = self.eval_ref(right, scope)?;
         if op.is_comparison() {
             return Ok(match cmp_values(&l, &r)? {
                 None => Value::Null,
-                Some(ord) => Value::Bool(match op {
-                    BinaryOp::Eq => ord == Ordering::Equal,
-                    BinaryOp::NotEq => ord != Ordering::Equal,
-                    BinaryOp::Lt => ord == Ordering::Less,
-                    BinaryOp::LtEq => ord != Ordering::Greater,
-                    BinaryOp::Gt => ord == Ordering::Greater,
-                    BinaryOp::GtEq => ord != Ordering::Less,
-                    _ => unreachable!(),
-                }),
+                Some(ord) => Value::Bool(apply_comparison(op, ord)),
             });
         }
-        arithmetic(l, op, r)
+        arithmetic(&l, op, &r)
     }
 
     /// Execute a subquery with memoization on its free variables.
@@ -434,19 +434,59 @@ pub fn cmp_values(a: &Value, b: &Value) -> Result<Option<Ordering>> {
     }))
 }
 
-fn three_valued_cmp(a: &Value, b: &Value, f: impl Fn(Ordering) -> bool) -> Result<Option<bool>> {
+/// Wall-clock / row-count limit enforcement shared by the reference and
+/// columnar executors (see [`ExecCtx::check_limits`] for the cadence).
+pub(crate) fn enforce_limits(
+    limits: &crate::catalog::ExecLimits,
+    started: std::time::Instant,
+    rows: usize,
+) -> Result<()> {
+    if limits.max_rows.is_some_and(|m| rows > m) {
+        return Err(EngineError::ResourceExhausted(format!(
+            "row limit exceeded: materialized {rows} rows (limit {})",
+            limits.max_rows.unwrap_or(0)
+        )));
+    }
+    if let Some(timeout) = limits.timeout {
+        if rows.is_multiple_of(256) && started.elapsed() >= timeout {
+            return Err(EngineError::ResourceExhausted(format!(
+                "query timeout: exceeded {timeout:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Map a comparison operator over an ordering; `op` must be a comparison.
+pub(crate) fn apply_comparison(op: BinaryOp, ord: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::NotEq => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::LtEq => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+pub(crate) fn three_valued_cmp(
+    a: &Value,
+    b: &Value,
+    f: impl Fn(Ordering) -> bool,
+) -> Result<Option<bool>> {
     Ok(cmp_values(a, b)?.map(f))
 }
 
-fn to_bool3(v: Value) -> Result<Option<bool>> {
+pub(crate) fn to_bool3(v: &Value) -> Result<Option<bool>> {
     match v {
         Value::Null => Ok(None),
-        Value::Bool(b) => Ok(Some(b)),
+        Value::Bool(b) => Ok(Some(*b)),
         other => Err(EngineError::TypeMismatch(format!("expected boolean, got {other}"))),
     }
 }
 
-fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Some(false),
         (Some(true), Some(true)) => Some(true),
@@ -454,7 +494,7 @@ fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     }
 }
 
-fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(true), _) | (_, Some(true)) => Some(true),
         (Some(false), Some(false)) => Some(false),
@@ -462,7 +502,7 @@ fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     }
 }
 
-fn arithmetic(l: Value, op: BinaryOp, r: Value) -> Result<Value> {
+pub(crate) fn arithmetic(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
     use Value::*;
     if l.is_null() || r.is_null() {
         return Ok(Null);
@@ -584,14 +624,17 @@ mod tests {
 
     #[test]
     fn arithmetic_int_division_truncates() {
-        assert_eq!(arithmetic(Value::Int(7), BinaryOp::Div, Value::Int(2)).unwrap(), Value::Int(3));
-        assert_eq!(arithmetic(Value::Int(7), BinaryOp::Div, Value::Int(0)).unwrap(), Value::Null);
+        assert_eq!(
+            arithmetic(&Value::Int(7), BinaryOp::Div, &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(arithmetic(&Value::Int(7), BinaryOp::Div, &Value::Int(0)).unwrap(), Value::Null);
     }
 
     #[test]
     fn arithmetic_mixed_is_float() {
         assert_eq!(
-            arithmetic(Value::Int(1), BinaryOp::Add, Value::Float(0.5)).unwrap(),
+            arithmetic(&Value::Int(1), BinaryOp::Add, &Value::Float(0.5)).unwrap(),
             Value::Float(1.5)
         );
     }
@@ -600,11 +643,11 @@ mod tests {
     fn date_arithmetic() {
         let d = Value::date("2021-12-30");
         assert_eq!(
-            arithmetic(d.clone(), BinaryOp::Add, Value::Int(3)).unwrap(),
+            arithmetic(&d, BinaryOp::Add, &Value::Int(3)).unwrap(),
             Value::date("2022-01-02")
         );
         assert_eq!(
-            arithmetic(Value::date("2022-01-02"), BinaryOp::Sub, Value::date("2021-12-30"))
+            arithmetic(&Value::date("2022-01-02"), BinaryOp::Sub, &Value::date("2021-12-30"))
                 .unwrap(),
             Value::Int(3)
         );
@@ -613,7 +656,7 @@ mod tests {
     #[test]
     fn concat_coerces() {
         assert_eq!(
-            arithmetic(Value::str("a"), BinaryOp::Concat, Value::Int(1)).unwrap(),
+            arithmetic(&Value::str("a"), BinaryOp::Concat, &Value::Int(1)).unwrap(),
             Value::str("a1")
         );
     }

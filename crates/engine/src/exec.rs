@@ -40,7 +40,7 @@ impl<'c> ExecCtx<'c> {
                 for row in input.rows {
                     let scope =
                         Scope { schema: &input.schema, row: &row, parent: outer, aggs: None };
-                    if self.eval(pred, &scope)?.is_truthy() {
+                    if self.eval_ref(pred, &scope)?.is_truthy() {
                         rows.push(row);
                     }
                 }
@@ -52,7 +52,7 @@ impl<'c> ExecCtx<'c> {
         let items = expand_projection(&q.projection, &input.schema)?;
 
         // Static output schema; refined from values after execution.
-        let mut out_fields: Vec<Field> = items
+        let out_fields: Vec<Field> = items
             .iter()
             .map(|(expr, alias)| {
                 Field::new(output_name(expr, alias), infer_type(expr, &input.schema))
@@ -79,48 +79,7 @@ impl<'c> ExecCtx<'c> {
             }
         }
 
-        // DISTINCT
-        if q.distinct {
-            let mut seen: HashSet<Vec<Value>> = HashSet::new();
-            out_rows.retain(|(row, _)| seen.insert(row.clone()));
-        }
-
-        // ORDER BY (stable sort; DESC flips per key).
-        if !q.order_by.is_empty() {
-            let dirs: Vec<SortDir> = q.order_by.iter().map(|o| o.dir).collect();
-            out_rows.sort_by(|(_, ka), (_, kb)| {
-                for (i, dir) in dirs.iter().enumerate() {
-                    let ord = ka[i].cmp(&kb[i]);
-                    let ord = match dir {
-                        SortDir::Asc => ord,
-                        SortDir::Desc => ord.reverse(),
-                    };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-        }
-
-        // OFFSET / LIMIT
-        let offset = q.offset.unwrap_or(0) as usize;
-        let mut final_rows: Vec<Vec<Value>> =
-            out_rows.into_iter().skip(offset).map(|(r, _)| r).collect();
-        if let Some(limit) = q.limit {
-            final_rows.truncate(limit as usize);
-        }
-
-        // Dynamic type refinement for columns the static pass couldn't type.
-        for (i, f) in out_fields.iter_mut().enumerate() {
-            if f.data_type == DataType::Null {
-                if let Some(v) = final_rows.iter().map(|r| &r[i]).find(|v| !v.is_null()) {
-                    f.data_type = v.data_type();
-                }
-            }
-        }
-
-        Ok(ResultSet { schema: Schema::new(out_fields), rows: final_rows })
+        Ok(finalize_result(q, out_fields, out_rows))
     }
 
     /// Grouped execution: hash-aggregate `rows`, filter with HAVING, project.
@@ -185,7 +144,7 @@ impl<'c> ExecCtx<'c> {
             let rep_row = group_rows.first().unwrap_or(&null_row);
             let scope = Scope { schema, row: rep_row, parent: outer, aggs: Some(&aggs) };
             if let Some(h) = &q.having {
-                if !self.eval(h, &scope)?.is_truthy() {
+                if !self.eval_ref(h, &scope)?.is_truthy() {
                     continue;
                 }
             }
@@ -438,7 +397,7 @@ impl<'c> ExecCtx<'c> {
                         combined.extend(rrow.iter().cloned());
                         let scope =
                             Scope { schema: &schema, row: &combined, parent: outer, aggs: None };
-                        if self.eval(on, &scope)?.is_truthy() {
+                        if self.eval_ref(on, &scope)?.is_truthy() {
                             matched = true;
                             out_rows.push(combined);
                         }
@@ -464,7 +423,7 @@ impl<'c> ExecCtx<'c> {
     ) -> Result<bool> {
         for pred in residual {
             let scope = Scope { schema, row, parent: outer, aggs: None };
-            if !self.eval(pred, &scope)?.is_truthy() {
+            if !self.eval_ref(pred, &scope)?.is_truthy() {
                 return Ok(false);
             }
         }
@@ -494,8 +453,61 @@ impl ExecCtx<'_> {
     }
 }
 
+/// The shared query tail: DISTINCT, ORDER BY (over precomputed sort keys),
+/// OFFSET/LIMIT, and dynamic type refinement. Both the reference and the
+/// columnar executors funnel through this, so the post-projection semantics
+/// cannot drift between them.
+pub(crate) fn finalize_result(
+    q: &Query,
+    mut out_fields: Vec<Field>,
+    mut out_rows: Vec<(Vec<Value>, Vec<Value>)>,
+) -> ResultSet {
+    // DISTINCT
+    if q.distinct {
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        out_rows.retain(|(row, _)| seen.insert(row.clone()));
+    }
+
+    // ORDER BY (stable sort; DESC flips per key).
+    if !q.order_by.is_empty() {
+        let dirs: Vec<SortDir> = q.order_by.iter().map(|o| o.dir).collect();
+        out_rows.sort_by(|(_, ka), (_, kb)| {
+            for (i, dir) in dirs.iter().enumerate() {
+                let ord = ka[i].cmp(&kb[i]);
+                let ord = match dir {
+                    SortDir::Asc => ord,
+                    SortDir::Desc => ord.reverse(),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // OFFSET / LIMIT
+    let offset = q.offset.unwrap_or(0) as usize;
+    let mut final_rows: Vec<Vec<Value>> =
+        out_rows.into_iter().skip(offset).map(|(r, _)| r).collect();
+    if let Some(limit) = q.limit {
+        final_rows.truncate(limit as usize);
+    }
+
+    // Dynamic type refinement for columns the static pass couldn't type.
+    for (i, f) in out_fields.iter_mut().enumerate() {
+        if f.data_type == DataType::Null {
+            if let Some(v) = final_rows.iter().map(|r| &r[i]).find(|v| !v.is_null()) {
+                f.data_type = v.data_type();
+            }
+        }
+    }
+
+    ResultSet { schema: Schema::new(out_fields), rows: final_rows }
+}
+
 /// Expand wildcards in a projection list into concrete expressions.
-fn expand_projection(
+pub(crate) fn expand_projection(
     projection: &[SelectItem],
     schema: &RelSchema,
 ) -> Result<Vec<(Expr, Option<String>)>> {
@@ -533,7 +545,7 @@ fn expand_projection(
 }
 
 /// The display name of an output column.
-fn output_name(expr: &Expr, alias: &Option<String>) -> String {
+pub(crate) fn output_name(expr: &Expr, alias: &Option<String>) -> String {
     if let Some(a) = alias {
         return a.clone();
     }
@@ -608,7 +620,7 @@ pub fn infer_type(expr: &Expr, schema: &RelSchema) -> DataType {
 /// Invoke `f` on each aggregate call in `expr`, without descending into
 /// subqueries (they aggregate in their own scope) or into aggregate
 /// arguments (aggregates cannot nest).
-fn collect_aggregates(expr: &Expr, f: &mut impl FnMut(&Expr)) {
+pub(crate) fn collect_aggregates(expr: &Expr, f: &mut impl FnMut(&Expr)) {
     match expr {
         Expr::Function { name, .. } if is_aggregate_function(name) => f(expr),
         Expr::InSubquery { expr, .. } => collect_aggregates(expr, f),

@@ -1,0 +1,810 @@
+//! The columnar fast-path executor.
+//!
+//! Single-table queries — the shape every widget interaction produces — are
+//! executed against the typed column vectors built at registration (see
+//! [`crate::columnar`]) instead of cloning the row store. Expressions are
+//! compiled **once per query** into [`CExpr`] (column references become
+//! vector indices, so the per-row cost drops to an array access instead of a
+//! case-insensitive name resolution), WHERE runs as mask refinement with
+//! typed loops for column-vs-constant comparisons, and aggregation hashes
+//! group keys over the selected row set.
+//!
+//! The row-at-a-time interpreter in [`crate::exec`] remains the semantic
+//! reference. This module keeps parity by construction: anything it is not
+//! sure it can reproduce exactly — joins, subqueries, unresolvable names —
+//! makes [`try_execute`] return `None` and the caller falls back to the
+//! reference path. Shared helpers (`cmp_values`, `arithmetic`,
+//! `finalize_result`, …) ensure the overlapping semantics cannot drift; the
+//! conformance `columnar-parity` oracle checks the rest.
+
+use crate::catalog::Catalog;
+use crate::columnar::{Column, ColumnData, ColumnarTable};
+use crate::error::{EngineError, Result};
+use crate::eval::{
+    and3, apply_comparison, arithmetic, cmp_values, enforce_limits, like_match, or3,
+    three_valued_cmp, to_bool3, RelField, RelSchema,
+};
+use crate::exec::{
+    collect_aggregates, expand_projection, finalize_result, infer_type, output_name,
+};
+use crate::functions::eval_scalar;
+use crate::result::ResultSet;
+use crate::schema::Field;
+use crate::value::Value;
+use pi2_sql::{
+    is_aggregate_function, BinaryOp, ColumnRef, Expr, Literal, Query, TableRef, UnaryOp,
+};
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Execute `q` on the columnar path, or `None` when the query's shape is
+/// outside the fast path's supported fragment (the caller falls back to the
+/// reference executor, which also owns producing any name-resolution error).
+pub(crate) fn try_execute(catalog: &Catalog, q: &Query) -> Option<Result<ResultSet>> {
+    // Only plain single-table FROM clauses; joins, derived tables, and
+    // multi-table products stay on the reference path.
+    let [TableRef::Named { name, alias }] = q.from.as_slice() else {
+        return None;
+    };
+    let table = catalog.get(name)?;
+    let columnar = catalog.columnar(name)?;
+    let qualifier = alias.clone().unwrap_or_else(|| name.clone());
+    let schema = RelSchema {
+        fields: table
+            .schema
+            .fields
+            .iter()
+            .map(|f| RelField {
+                qualifier: Some(qualifier.clone()),
+                name: f.name.clone(),
+                data_type: f.data_type,
+            })
+            .collect(),
+    };
+
+    let items = expand_projection(&q.projection, &schema).ok()?;
+    let plan = Plan::compile(q, &schema, &items)?;
+    let ctx =
+        ColCtx { table: &columnar, limits: catalog.limits(), started: std::time::Instant::now() };
+    Some(ctx.run(q, &schema, &items, &plan))
+}
+
+/// A compiled expression: column references resolved to vector indices,
+/// literals materialized, aggregate calls replaced by slots into the
+/// per-group aggregate array.
+#[derive(Debug)]
+enum CExpr {
+    Col(usize),
+    Const(Value),
+    Agg(usize),
+    Unary {
+        op: UnaryOp,
+        expr: Box<CExpr>,
+    },
+    Binary {
+        left: Box<CExpr>,
+        op: BinaryOp,
+        right: Box<CExpr>,
+    },
+    Func {
+        name: String,
+        args: Vec<CExpr>,
+    },
+    Case {
+        operand: Option<Box<CExpr>>,
+        branches: Vec<(CExpr, CExpr)>,
+        else_expr: Option<Box<CExpr>>,
+    },
+    InList {
+        expr: Box<CExpr>,
+        list: Vec<CExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<CExpr>,
+        low: Box<CExpr>,
+        high: Box<CExpr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<CExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<CExpr>,
+        pattern: Box<CExpr>,
+        negated: bool,
+    },
+}
+
+/// How one ORDER BY entry produces its sort key — resolved once per query
+/// instead of per row (the reference re-runs the alias/position scan for
+/// every output row).
+#[derive(Debug)]
+enum KeySpec {
+    /// Sort by output column `i`.
+    Output(usize),
+    /// Sort by a compiled expression.
+    Compiled(CExpr),
+}
+
+/// One compiled aggregate call.
+#[derive(Debug)]
+struct CAgg {
+    name: String,
+    distinct: bool,
+    /// `None` for `count(*)`.
+    arg: Option<CExpr>,
+}
+
+/// The fully compiled query plan.
+struct Plan {
+    where_clause: Option<CExpr>,
+    /// Projection expressions (pre-agg for plain queries, post-agg when
+    /// aggregating).
+    items: Vec<CExpr>,
+    order_keys: Vec<KeySpec>,
+    /// Aggregating-query extras.
+    group_by: Vec<CExpr>,
+    aggs: Vec<CAgg>,
+    having: Option<CExpr>,
+}
+
+/// Expression compiler; `agg_hashes` is the structural-hash index of the
+/// collected aggregate calls when compiling post-aggregation expressions.
+struct Compiler<'a> {
+    schema: &'a RelSchema,
+    agg_hashes: &'a [u64],
+    allow_aggs: bool,
+}
+
+impl Compiler<'_> {
+    /// Compile, or `None` when the expression leaves the supported fragment
+    /// (subqueries, unresolvable/ambiguous names, nested aggregates).
+    fn compile(&self, e: &Expr) -> Option<CExpr> {
+        Some(match e {
+            Expr::Column(c) => CExpr::Col(self.resolve(c)?),
+            Expr::Literal(l) => CExpr::Const(Value::from_literal(l)),
+            Expr::Wildcard => return None,
+            Expr::Unary { op, expr } => {
+                CExpr::Unary { op: *op, expr: Box::new(self.compile(expr)?) }
+            }
+            Expr::Binary { left, op, right } => CExpr::Binary {
+                left: Box::new(self.compile(left)?),
+                op: *op,
+                right: Box::new(self.compile(right)?),
+            },
+            Expr::Function { name, args, .. } => {
+                if is_aggregate_function(name) {
+                    if !self.allow_aggs {
+                        return None;
+                    }
+                    let h = e.structural_hash();
+                    let slot = self.agg_hashes.iter().position(|&a| a == h)?;
+                    CExpr::Agg(slot)
+                } else {
+                    let args: Option<Vec<CExpr>> = args.iter().map(|a| self.compile(a)).collect();
+                    CExpr::Func { name: name.clone(), args: args? }
+                }
+            }
+            Expr::Case { operand, branches, else_expr } => CExpr::Case {
+                operand: match operand {
+                    Some(o) => Some(Box::new(self.compile(o)?)),
+                    None => None,
+                },
+                branches: branches
+                    .iter()
+                    .map(|(w, t)| Some((self.compile(w)?, self.compile(t)?)))
+                    .collect::<Option<_>>()?,
+                else_expr: match else_expr {
+                    Some(e) => Some(Box::new(self.compile(e)?)),
+                    None => None,
+                },
+            },
+            Expr::InList { expr, list, negated } => CExpr::InList {
+                expr: Box::new(self.compile(expr)?),
+                list: list.iter().map(|i| self.compile(i)).collect::<Option<_>>()?,
+                negated: *negated,
+            },
+            Expr::Between { expr, low, high, negated } => CExpr::Between {
+                expr: Box::new(self.compile(expr)?),
+                low: Box::new(self.compile(low)?),
+                high: Box::new(self.compile(high)?),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => {
+                CExpr::IsNull { expr: Box::new(self.compile(expr)?), negated: *negated }
+            }
+            Expr::Like { expr, pattern, negated } => CExpr::Like {
+                expr: Box::new(self.compile(expr)?),
+                pattern: Box::new(self.compile(pattern)?),
+                negated: *negated,
+            },
+            Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_) => return None,
+        })
+    }
+
+    fn resolve(&self, c: &ColumnRef) -> Option<usize> {
+        self.schema.resolve(c).ok().flatten()
+    }
+}
+
+impl Plan {
+    fn compile(q: &Query, schema: &RelSchema, items: &[(Expr, Option<String>)]) -> Option<Plan> {
+        let aggregating = q.is_aggregating();
+        let pre = Compiler { schema, agg_hashes: &[], allow_aggs: false };
+
+        let where_clause = match &q.where_clause {
+            Some(p) => Some(pre.compile(p)?),
+            None => None,
+        };
+
+        // Collect aggregate calls in the same order as the reference
+        // executor (projection, HAVING, ORDER BY; deduped by structural
+        // hash) so slot indices match what post-agg compilation hands out.
+        let mut agg_exprs: Vec<Expr> = Vec::new();
+        let mut agg_hashes: Vec<u64> = Vec::new();
+        if aggregating {
+            let mut seen: HashSet<u64> = HashSet::new();
+            let mut collect = |e: &Expr| {
+                collect_aggregates(e, &mut |agg| {
+                    if seen.insert(agg.structural_hash()) {
+                        agg_exprs.push(agg.clone());
+                        agg_hashes.push(agg.structural_hash());
+                    }
+                });
+            };
+            for (expr, _) in items {
+                collect(expr);
+            }
+            if let Some(h) = &q.having {
+                collect(h);
+            }
+            for o in &q.order_by {
+                collect(&o.expr);
+            }
+        }
+
+        let aggs = agg_exprs
+            .iter()
+            .map(|agg| {
+                let Expr::Function { name, args, distinct } = agg else {
+                    return None;
+                };
+                let arg = if name == "count" && matches!(args.first(), Some(Expr::Wildcard)) {
+                    None
+                } else {
+                    Some(pre.compile(args.first()?)?)
+                };
+                Some(CAgg { name: name.clone(), distinct: *distinct, arg })
+            })
+            .collect::<Option<Vec<_>>>()?;
+
+        let post = Compiler { schema, agg_hashes: &agg_hashes, allow_aggs: true };
+        let out = if aggregating { &post } else { &pre };
+
+        let compiled_items =
+            items.iter().map(|(e, _)| out.compile(e)).collect::<Option<Vec<_>>>()?;
+        let group_by = q.group_by.iter().map(|g| pre.compile(g)).collect::<Option<Vec<_>>>()?;
+        let having = match &q.having {
+            Some(h) if aggregating => Some(out.compile(h)?),
+            // HAVING without aggregation: handled in run() with the
+            // reference executor's exact error.
+            Some(_) => None,
+            None => None,
+        };
+
+        // ORDER BY: resolve alias / positional references to output columns
+        // once; compile the rest.
+        let mut order_keys = Vec::with_capacity(q.order_by.len());
+        for o in &q.order_by {
+            if let Expr::Column(ColumnRef { table: None, column }) = &o.expr {
+                if let Some(idx) = items.iter().position(|(expr, alias)| {
+                    alias.as_deref().is_some_and(|a| a.eq_ignore_ascii_case(column))
+                        || matches!(expr, Expr::Column(c) if c.column.eq_ignore_ascii_case(column) && c.table.is_none())
+                }) {
+                    order_keys.push(KeySpec::Output(idx));
+                    continue;
+                }
+            }
+            if let Expr::Literal(Literal::Int(pos)) = &o.expr {
+                let idx = *pos as usize;
+                if idx >= 1 && idx <= items.len() {
+                    order_keys.push(KeySpec::Output(idx - 1));
+                    continue;
+                }
+            }
+            order_keys.push(KeySpec::Compiled(out.compile(&o.expr)?));
+        }
+
+        Some(Plan { where_clause, items: compiled_items, order_keys, group_by, aggs, having })
+    }
+}
+
+/// Execution context for one columnar query run.
+struct ColCtx<'a> {
+    table: &'a Arc<ColumnarTable>,
+    limits: crate::catalog::ExecLimits,
+    started: std::time::Instant,
+}
+
+impl ColCtx<'_> {
+    fn run(
+        &self,
+        q: &Query,
+        schema: &RelSchema,
+        items: &[(Expr, Option<String>)],
+        plan: &Plan,
+    ) -> Result<ResultSet> {
+        let out_fields: Vec<Field> = items
+            .iter()
+            .map(|(expr, alias)| Field::new(output_name(expr, alias), infer_type(expr, schema)))
+            .collect();
+
+        // WHERE as mask refinement.
+        let mut mask = vec![true; self.table.len];
+        if let Some(pred) = &plan.where_clause {
+            self.refine(pred, &mut mask)?;
+        }
+        let selected: Vec<usize> =
+            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+
+        let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+        if q.is_aggregating() {
+            self.run_grouped(plan, selected, &mut out_rows)?;
+        } else {
+            if q.having.is_some() {
+                return Err(EngineError::Unsupported("HAVING without aggregation".into()));
+            }
+            for row in selected {
+                self.check_limits(out_rows.len())?;
+                let mut out = Vec::with_capacity(plan.items.len());
+                for e in &plan.items {
+                    out.push(self.eval(e, Some(row), &[])?);
+                }
+                let keys = self.order_key_values(plan, &out, Some(row), &[])?;
+                out_rows.push((out, keys));
+            }
+        }
+
+        Ok(finalize_result(q, out_fields, out_rows))
+    }
+
+    /// Hash-aggregate the selected rows, filter with HAVING, project.
+    fn run_grouped(
+        &self,
+        plan: &Plan,
+        selected: Vec<usize>,
+        out_rows: &mut Vec<(Vec<Value>, Vec<Value>)>,
+    ) -> Result<()> {
+        // Group rows by GROUP BY keys (first-seen order, like the reference).
+        let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for row in selected {
+            let key: Vec<Value> = plan
+                .group_by
+                .iter()
+                .map(|g| self.eval(g, Some(row), &[]))
+                .collect::<Result<_>>()?;
+            match index.get(&key) {
+                Some(&i) => groups[i].1.push(row),
+                None => {
+                    index.insert(key.clone(), groups.len());
+                    groups.push((key, vec![row]));
+                }
+            }
+        }
+        // Ungrouped aggregation over zero rows still yields one group.
+        if groups.is_empty() && plan.group_by.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+
+        for (_, group_rows) in groups {
+            self.check_limits(out_rows.len())?;
+            let mut agg_values = Vec::with_capacity(plan.aggs.len());
+            for agg in &plan.aggs {
+                agg_values.push(self.compute_aggregate(agg, &group_rows)?);
+            }
+            // The representative row for post-agg column references; `None`
+            // stands in for the reference executor's synthetic all-NULL row.
+            let rep = group_rows.first().copied();
+            if let Some(h) = &plan.having {
+                if !self.eval(h, rep, &agg_values)?.is_truthy() {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(plan.items.len());
+            for e in &plan.items {
+                out.push(self.eval(e, rep, &agg_values)?);
+            }
+            let keys = self.order_key_values(plan, &out, rep, &agg_values)?;
+            out_rows.push((out, keys));
+        }
+        Ok(())
+    }
+
+    /// One aggregate over a group; mirrors the reference's
+    /// `compute_aggregate` value-for-value (including float summation
+    /// order).
+    fn compute_aggregate(&self, agg: &CAgg, group_rows: &[usize]) -> Result<Value> {
+        let Some(arg) = &agg.arg else {
+            return Ok(Value::Int(group_rows.len() as i64)); // count(*)
+        };
+        let mut vals: Vec<Value> = Vec::with_capacity(group_rows.len());
+        for &row in group_rows {
+            let v = self.eval(arg, Some(row), &[])?;
+            if !v.is_null() {
+                vals.push(v);
+            }
+        }
+        if agg.distinct {
+            let mut seen: HashSet<Value> = HashSet::new();
+            vals.retain(|v| seen.insert(v.clone()));
+        }
+        let name = agg.name.as_str();
+        match name {
+            "count" => Ok(Value::Int(vals.len() as i64)),
+            "min" => Ok(vals.into_iter().min().unwrap_or(Value::Null)),
+            "max" => Ok(vals.into_iter().max().unwrap_or(Value::Null)),
+            "sum" | "avg" => {
+                if vals.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let all_int = vals.iter().all(|v| matches!(v, Value::Int(_)));
+                let total: f64 = vals
+                    .iter()
+                    .map(|v| {
+                        v.as_f64().ok_or_else(|| {
+                            EngineError::TypeMismatch(format!("{name}({})", v.data_type()))
+                        })
+                    })
+                    .sum::<Result<f64>>()?;
+                if name == "avg" {
+                    Ok(Value::Float(total / vals.len() as f64))
+                } else if all_int {
+                    Ok(Value::Int(total as i64))
+                } else {
+                    Ok(Value::Float(total))
+                }
+            }
+            other => Err(EngineError::BadFunction(format!("unknown aggregate {other}"))),
+        }
+    }
+
+    fn order_key_values(
+        &self,
+        plan: &Plan,
+        out: &[Value],
+        row: Option<usize>,
+        aggs: &[Value],
+    ) -> Result<Vec<Value>> {
+        let mut keys = Vec::with_capacity(plan.order_keys.len());
+        for spec in &plan.order_keys {
+            keys.push(match spec {
+                KeySpec::Output(i) => out[*i].clone(),
+                KeySpec::Compiled(e) => self.eval(e, row, aggs)?,
+            });
+        }
+        Ok(keys)
+    }
+
+    fn check_limits(&self, rows: usize) -> Result<()> {
+        enforce_limits(&self.limits, self.started, rows)
+    }
+
+    fn col(&self, i: usize) -> &Column {
+        &self.table.columns[i]
+    }
+
+    /// Clear mask slots whose rows do not satisfy `e` (strictly-true
+    /// semantics, as in the reference WHERE loop). Conjunctions refine
+    /// sequentially, so the right side is only evaluated on rows the left
+    /// side kept — the same evaluation set as the reference's short-circuit.
+    fn refine(&self, e: &CExpr, mask: &mut [bool]) -> Result<()> {
+        match e {
+            // Splitting `l AND r` into sequential refinement is only valid
+            // when both sides can evaluate to nothing but Bool/NULL (or fail
+            // identically on both paths): the reference feeds AND operands
+            // through `to_bool3`, which *errors* on other types, whereas
+            // mask refinement would silently treat them as false.
+            CExpr::Binary { left, op: BinaryOp::And, right }
+                if self.is_predicate(left) && self.is_predicate(right) =>
+            {
+                self.refine(left, mask)?;
+                self.refine(right, mask)
+            }
+            CExpr::Binary { left, op, right } if op.is_comparison() => {
+                // Column-vs-constant comparisons get typed loops.
+                if let (CExpr::Col(c), CExpr::Const(k)) = (left.as_ref(), right.as_ref()) {
+                    if self.refine_cmp(*c, *op, k, false, mask)? {
+                        return Ok(());
+                    }
+                } else if let (CExpr::Const(k), CExpr::Col(c)) = (left.as_ref(), right.as_ref()) {
+                    if self.refine_cmp(*c, *op, k, true, mask)? {
+                        return Ok(());
+                    }
+                }
+                self.refine_generic(e, mask)
+            }
+            CExpr::Between { expr, low, high, negated: false } => {
+                if let (CExpr::Col(c), CExpr::Const(lo), CExpr::Const(hi)) =
+                    (expr.as_ref(), low.as_ref(), high.as_ref())
+                {
+                    if self.refine_between(*c, lo, hi, mask)? {
+                        return Ok(());
+                    }
+                }
+                self.refine_generic(e, mask)
+            }
+            _ => self.refine_generic(e, mask),
+        }
+    }
+
+    /// True when `e` can only evaluate to `Bool`/`NULL` — or fail with the
+    /// same error on both executor paths — making it safe to use under mask
+    /// refinement's "not strictly true means dropped" rule.
+    fn is_predicate(&self, e: &CExpr) -> bool {
+        match e {
+            CExpr::Binary { op, left, right } => {
+                op.is_comparison()
+                    || (matches!(op, BinaryOp::And | BinaryOp::Or)
+                        && self.is_predicate(left)
+                        && self.is_predicate(right))
+            }
+            CExpr::Between { .. }
+            | CExpr::InList { .. }
+            | CExpr::IsNull { .. }
+            | CExpr::Like { .. } => true,
+            // NOT of a non-bool errors identically in both evaluators.
+            CExpr::Unary { op: UnaryOp::Not, .. } => true,
+            CExpr::Const(v) => matches!(v, Value::Bool(_) | Value::Null),
+            CExpr::Col(i) => matches!(self.col(*i).data, ColumnData::Bool(_)),
+            _ => false,
+        }
+    }
+
+    /// Per-row fallback refinement (still cheap: no name resolution, no row
+    /// materialization).
+    fn refine_generic(&self, e: &CExpr, mask: &mut [bool]) -> Result<()> {
+        for (i, keep) in mask.iter_mut().enumerate() {
+            if *keep && !self.eval(e, Some(i), &[])?.is_truthy() {
+                *keep = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Typed loop for `col <op> const` (or `const <op> col` when `flipped`).
+    /// Returns false when no typed loop applies, so the caller can fall back
+    /// to the generic path — which also owns reproducing the reference's
+    /// type-mismatch errors.
+    fn refine_cmp(
+        &self,
+        col: usize,
+        op: BinaryOp,
+        konst: &Value,
+        flipped: bool,
+        mask: &mut [bool],
+    ) -> Result<bool> {
+        let column = self.col(col);
+        // NULL constant: every comparison is NULL, nothing survives.
+        if konst.is_null() {
+            mask.fill(false);
+            return Ok(true);
+        }
+        let keep = |ord: Ordering| -> bool {
+            apply_comparison(op, if flipped { ord.reverse() } else { ord })
+        };
+        macro_rules! typed_loop {
+            ($data:expr, $cmp:expr) => {{
+                for (i, x) in $data.iter().enumerate() {
+                    if mask[i] {
+                        mask[i] = !column.is_null(i) && keep($cmp(x));
+                    }
+                }
+                Ok(true)
+            }};
+        }
+        match (&column.data, konst) {
+            (ColumnData::Int(data), Value::Int(k)) => typed_loop!(data, |x: &i64| x.cmp(k)),
+            (ColumnData::Int(data), Value::Float(k)) => {
+                typed_loop!(data, |x: &i64| (*x as f64).total_cmp(k))
+            }
+            (ColumnData::Float(data), Value::Int(k)) => {
+                let k = *k as f64;
+                typed_loop!(data, |x: &f64| x.total_cmp(&k))
+            }
+            (ColumnData::Float(data), Value::Float(k)) => {
+                typed_loop!(data, |x: &f64| x.total_cmp(k))
+            }
+            (ColumnData::Str(data), Value::Str(k)) => {
+                typed_loop!(data, |x: &String| x.as_str().cmp(k.as_str()))
+            }
+            (ColumnData::Date(data), Value::Date(k)) => typed_loop!(data, |x: &i32| x.cmp(&k.0)),
+            (ColumnData::Bool(data), Value::Bool(k)) => typed_loop!(data, |x: &bool| x.cmp(k)),
+            _ => Ok(false),
+        }
+    }
+
+    /// Typed loop for numeric `col BETWEEN lo AND hi` with non-null bounds.
+    /// Only strictly numeric constants qualify — Bool/Date bounds against a
+    /// numeric column are a type error on the reference path, so they take
+    /// the generic path that reproduces it.
+    fn refine_between(
+        &self,
+        col: usize,
+        lo: &Value,
+        hi: &Value,
+        mask: &mut [bool],
+    ) -> Result<bool> {
+        let column = self.col(col);
+        if !lo.data_type().is_numeric() || !hi.data_type().is_numeric() {
+            return Ok(false);
+        }
+        let (Some(lo), Some(hi)) = (lo.as_f64(), hi.as_f64()) else {
+            return Ok(false);
+        };
+        match &column.data {
+            ColumnData::Int(data) => {
+                for (i, x) in data.iter().enumerate() {
+                    if mask[i] {
+                        let x = *x as f64;
+                        mask[i] = !column.is_null(i)
+                            && x.total_cmp(&lo) != Ordering::Less
+                            && x.total_cmp(&hi) != Ordering::Greater;
+                    }
+                }
+                Ok(true)
+            }
+            ColumnData::Float(data) => {
+                for (i, x) in data.iter().enumerate() {
+                    if mask[i] {
+                        mask[i] = !column.is_null(i)
+                            && x.total_cmp(&lo) != Ordering::Less
+                            && x.total_cmp(&hi) != Ordering::Greater;
+                    }
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Evaluate a compiled expression for one row. `row = None` is the
+    /// synthetic all-NULL representative of an empty aggregation group.
+    fn eval(&self, e: &CExpr, row: Option<usize>, aggs: &[Value]) -> Result<Value> {
+        match e {
+            CExpr::Col(i) => Ok(match row {
+                Some(r) => self.col(*i).value(r),
+                None => Value::Null,
+            }),
+            CExpr::Const(v) => Ok(v.clone()),
+            CExpr::Agg(i) => Ok(aggs[*i].clone()),
+            CExpr::Unary { op, expr } => {
+                let v = self.eval(expr, row, aggs)?;
+                match op {
+                    UnaryOp::Not => Ok(match v {
+                        Value::Null => Value::Null,
+                        Value::Bool(b) => Value::Bool(!b),
+                        other => return Err(EngineError::TypeMismatch(format!("NOT {other}"))),
+                    }),
+                    UnaryOp::Neg => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(v) => Ok(Value::Int(-v)),
+                        Value::Float(v) => Ok(Value::Float(-v)),
+                        other => Err(EngineError::TypeMismatch(format!("-{other}"))),
+                    },
+                }
+            }
+            CExpr::Binary { left, op, right } => match op {
+                BinaryOp::And => {
+                    let l = to_bool3(&self.eval(left, row, aggs)?)?;
+                    if l == Some(false) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = to_bool3(&self.eval(right, row, aggs)?)?;
+                    Ok(match and3(l, r) {
+                        Some(b) => Value::Bool(b),
+                        None => Value::Null,
+                    })
+                }
+                BinaryOp::Or => {
+                    let l = to_bool3(&self.eval(left, row, aggs)?)?;
+                    if l == Some(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = to_bool3(&self.eval(right, row, aggs)?)?;
+                    Ok(match or3(l, r) {
+                        Some(b) => Value::Bool(b),
+                        None => Value::Null,
+                    })
+                }
+                _ => {
+                    let l = self.eval(left, row, aggs)?;
+                    let r = self.eval(right, row, aggs)?;
+                    if op.is_comparison() {
+                        return Ok(match cmp_values(&l, &r)? {
+                            None => Value::Null,
+                            Some(ord) => Value::Bool(apply_comparison(*op, ord)),
+                        });
+                    }
+                    arithmetic(&l, *op, &r)
+                }
+            },
+            CExpr::Func { name, args } => {
+                let vals: Vec<Value> =
+                    args.iter().map(|a| self.eval(a, row, aggs)).collect::<Result<_>>()?;
+                eval_scalar(name, &vals)
+            }
+            CExpr::Case { operand, branches, else_expr } => {
+                let op_val = match operand {
+                    Some(o) => Some(self.eval(o, row, aggs)?),
+                    None => None,
+                };
+                for (when, then) in branches {
+                    let hit = match &op_val {
+                        Some(ov) => {
+                            let wv = self.eval(when, row, aggs)?;
+                            cmp_values(ov, &wv)? == Some(Ordering::Equal)
+                        }
+                        None => self.eval(when, row, aggs)?.is_truthy(),
+                    };
+                    if hit {
+                        return self.eval(then, row, aggs);
+                    }
+                }
+                match else_expr {
+                    Some(e) => self.eval(e, row, aggs),
+                    None => Ok(Value::Null),
+                }
+            }
+            CExpr::InList { expr, list, negated } => {
+                let needle = self.eval(expr, row, aggs)?;
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let v = self.eval(item, row, aggs)?;
+                    match cmp_values(&needle, &v)? {
+                        None => saw_null = true,
+                        Some(Ordering::Equal) => return Ok(Value::Bool(!negated)),
+                        Some(_) => {}
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            CExpr::Between { expr, low, high, negated } => {
+                let v = self.eval(expr, row, aggs)?;
+                let lo = self.eval(low, row, aggs)?;
+                let hi = self.eval(high, row, aggs)?;
+                let ge = three_valued_cmp(&v, &lo, |o| o != Ordering::Less)?;
+                let le = three_valued_cmp(&v, &hi, |o| o != Ordering::Greater)?;
+                Ok(match and3(ge, le) {
+                    None => Value::Null,
+                    Some(b) => Value::Bool(b != *negated),
+                })
+            }
+            CExpr::IsNull { expr, negated } => {
+                let v = self.eval(expr, row, aggs)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            CExpr::Like { expr, pattern, negated } => {
+                let v = self.eval(expr, row, aggs)?;
+                let p = self.eval(pattern, row, aggs)?;
+                match (v, p) {
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (Value::Str(s), Value::Str(p)) => {
+                        Ok(Value::Bool(like_match(&p, &s) != *negated))
+                    }
+                    (a, b) => Err(EngineError::TypeMismatch(format!("{a} LIKE {b}"))),
+                }
+            }
+        }
+    }
+}

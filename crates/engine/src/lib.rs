@@ -34,10 +34,12 @@
 //! ```
 
 pub mod catalog;
+pub mod columnar;
 pub mod csv;
 pub mod error;
 pub mod eval;
 pub mod exec;
+pub(crate) mod exec_columnar;
 pub mod functions;
 pub mod result;
 pub mod schema;

@@ -92,11 +92,24 @@ fn widget_storms_on_toy_interface() {
             }
             pi2_interface::WidgetKind::TextInput => vec![],
         };
-        for v in values {
+        let mut updated_any = false;
+        for v in &values {
             let updates = session
                 .dispatch(Event::SetWidget { widget: w.id, value: v.clone() })
                 .unwrap_or_else(|e| panic!("widget {} value {v:?}: {e}", w.label));
-            assert!(!updates.is_empty(), "widget {} should update at least one chart", w.label);
+            updated_any |= !updates.is_empty();
+            // Dependency tracking: immediately restating the value the
+            // widget now holds must not re-execute any chart.
+            let again = session
+                .dispatch(Event::SetWidget { widget: w.id, value: v.clone() })
+                .unwrap_or_else(|e| panic!("widget {} value {v:?}: {e}", w.label));
+            assert!(again.is_empty(), "restating {v:?} on widget {} must be a no-op", w.label);
+        }
+        // The values are distinct, so at most one of them can restate the
+        // widget's starting state: any widget with 2+ values must have
+        // driven its charts at least once.
+        if values.len() > 1 {
+            assert!(updated_any, "widget {} should update at least one chart", w.label);
         }
     }
 }

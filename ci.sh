@@ -21,9 +21,13 @@ for fault in worker-panic deadline-search deadline-map exec-overrun; do
         --fault "$fault" --seed 7 --runs 5 --budget-secs 30 --no-save --quiet
 done
 
+echo "== server smoke (open/run/generate/gesture/render over real TCP) =="
+cargo run -q --release -p pi2-server -- --smoke --scenario sdss
+
 echo "== benchmark artifacts (regen + schema check) =="
 cargo run -q --release -p pi2-bench --bin regen_latency > /dev/null
 cargo run -q --release -p pi2-bench --bin regen_interaction > /dev/null
+cargo run -q --release -p pi2-bench --bin regen_server > /dev/null
 cargo run -q --release -p pi2-bench --bin bench_check
 
 echo "== cargo fmt --check =="
@@ -37,5 +41,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 # feature that the workspace-wide run unifies on.
 echo "== cargo clippy pi2-core (no unwrap in non-test code, no faults) =="
 cargo clippy -p pi2-core --all-targets -- -D warnings
+
+# pi2-server likewise denies clippy::unwrap_used in non-test code
+# (see crates/server/src/lib.rs).
+echo "== cargo clippy pi2-server (no unwrap in non-test code) =="
+cargo clippy -p pi2-server --all-targets -- -D warnings
 
 echo "CI OK"

@@ -94,12 +94,48 @@ fn check_interaction(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// `BENCH_server.json`: versioned object with per-phase latency rows and
+/// the storm-vs-single-session summary.
+fn check_server(path: &Path) -> Result<(), String> {
+    let v = load(path)?;
+    let ctx = path.display().to_string();
+    if v.get("schema_version").and_then(Value::as_i64) != Some(1) {
+        return Err(format!("{ctx}: `schema_version` must be 1"));
+    }
+    expect_string(&v, "scenario", &ctx)?;
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing `rows` array"))?;
+    if rows.is_empty() {
+        return Err(format!("{ctx}: no rows"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("{ctx} rows[{i}]");
+        expect_string(row, "phase", &ctx)?;
+        for key in ["clients", "count", "p50_us", "p95_us", "p99_us", "mean_us", "max_us"] {
+            expect_number(row, key, &ctx)?;
+        }
+    }
+    let summary = v.get("summary").ok_or_else(|| format!("{ctx}: missing `summary` object"))?;
+    let sctx = format!("{ctx} summary");
+    for key in ["clients", "single_session_p50_us", "storm_p50_us", "p50_ratio"] {
+        expect_number(summary, key, &sctx)?;
+    }
+    expect_bool(summary, "p50_within_2x_single_session", &sctx)?;
+    if v.get("server_stats").and_then(Value::as_object).is_none() {
+        return Err(format!("{ctx}: missing `server_stats` object"));
+    }
+    Ok(())
+}
+
 type Check = fn(&Path) -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let checks: [(&str, Check); 2] = [
+    let checks: [(&str, Check); 3] = [
         ("target/BENCH_latency.json", check_latency),
         ("target/BENCH_interaction.json", check_interaction),
+        ("target/BENCH_server.json", check_server),
     ];
     let mut failed = false;
     for (path, check) in checks {

@@ -1,0 +1,6 @@
+//! Regenerate the server-storm dispatch-latency exhibit; see
+//! `pi2_bench::figures::server_storm`. Writes
+//! `target/BENCH_server.json` as a side effect.
+fn main() {
+    print!("{}", pi2_bench::figures::server_storm::run());
+}

@@ -14,6 +14,7 @@ pub mod fig7_covid;
 pub mod interaction_storm;
 pub mod latency;
 pub mod search_quality;
+pub mod server_storm;
 pub mod table1;
 
 /// An exhibit generator: renders one paper table or figure as text.
@@ -32,6 +33,7 @@ pub fn all() -> Vec<(&'static str, Exhibit)> {
         ("Figure 7 — COVID-19 walkthrough (V1→V3)", fig7_covid::run),
         ("TR — generation latency", latency::run),
         ("TR — interaction dispatch latency", interaction_storm::run),
+        ("TR — server dispatch under client storm", server_storm::run),
         ("TR — search quality (MCTS vs greedy)", search_quality::run),
         ("Ablations — cost-model terms", ablations::run),
     ]

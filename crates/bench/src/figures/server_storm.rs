@@ -1,0 +1,180 @@
+//! Server dispatch latency under a concurrent client storm.
+//!
+//! Replays the SDSS pan/zoom cycle through `pi2-server`'s full request
+//! path (line-protocol encode → sharded registry lookup → queue →
+//! coalesce → dispatch → response encode) twice: one client on an idle
+//! server (the single-session baseline, directly comparable to the
+//! in-process `interaction_storm` numbers), then sixteen concurrent
+//! clients each driving their own session on one shared server. The
+//! headline check: storm p50 must stay within 2× of the single-session
+//! p50 — sessions are independent, so the server must not serialize them.
+//!
+//! Both phases use [`LocalClient`] so the measurement excludes kernel
+//! socket buffers and measures the server itself; the cycle's dyadic
+//! deltas make it a closed loop, so after one warmup cycle the cached
+//! exec mode serves warm hits, exactly like the single-session bench.
+//!
+//! Writes `target/BENCH_server.json` as a side effect.
+
+use pi2_server::{LocalClient, ServerState};
+use pi2_telemetry::LatencyHistogram;
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Concurrent clients in the storm phase.
+const CLIENTS: usize = 16;
+/// Unmeasured cache-priming cycles per client.
+const WARMUP_CYCLES: usize = 1;
+/// Measured cycles per client.
+const MEASURE_CYCLES: usize = 12;
+
+/// The SDSS pan/zoom cycle from the interaction storm, as protocol
+/// events: dyadic deltas over dyadic witness windows, so the cycle
+/// returns to bit-identical binding states.
+fn cycle_events() -> Vec<Value> {
+    vec![
+        json!({"type": "pan", "chart": 0, "dx": 0.25, "dy": 0.125}),
+        json!({"type": "pan", "chart": 0, "dx": 0.25, "dy": 0.0}),
+        json!({"type": "zoom", "chart": 0, "factor": 2.0}),
+        json!({"type": "zoom", "chart": 0, "factor": 0.5}),
+        json!({"type": "pan", "chart": 0, "dx": -0.25, "dy": -0.125}),
+        json!({"type": "pan", "chart": 0, "dx": -0.25, "dy": 0.0}),
+    ]
+}
+
+/// Open an SDSS session and generate its interface; returns the id.
+fn open_session(client: &LocalClient) -> i64 {
+    let opened = client.request(json!({"cmd": "open", "scenario": "sdss"}));
+    assert_eq!(opened["ok"].as_bool(), Some(true), "open failed: {opened}");
+    let session = opened["session"].as_i64().expect("session id");
+    for query in pi2_datasets::sdss::demo_queries() {
+        let ran = client
+            .request(json!({"cmd": "run_cell", "session": session, "sql": query.to_string()}));
+        assert_eq!(ran["ok"].as_bool(), Some(true), "run_cell failed: {ran}");
+    }
+    let generated = client.request(json!({"cmd": "generate", "session": session}));
+    assert_eq!(generated["ok"].as_bool(), Some(true), "generate failed: {generated}");
+    session
+}
+
+/// Replay the cycle; returns a histogram of per-request latency over the
+/// measured cycles.
+fn replay(client: &LocalClient, session: i64) -> LatencyHistogram {
+    let events = cycle_events();
+    let mut latency = LatencyHistogram::new();
+    for cycle in 0..WARMUP_CYCLES + MEASURE_CYCLES {
+        for event in &events {
+            let request = json!({
+                "cmd": "gesture", "session": session, "events": [event.clone()],
+            });
+            let start = Instant::now();
+            let response = client.request(request);
+            let elapsed = start.elapsed();
+            assert_eq!(response["ok"].as_bool(), Some(true), "gesture failed: {response}");
+            if cycle >= WARMUP_CYCLES {
+                latency.record(elapsed);
+            }
+        }
+    }
+    latency
+}
+
+fn histogram_row(phase: &str, clients: usize, h: &LatencyHistogram) -> Value {
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    json!({
+        "phase": phase,
+        "clients": clients,
+        "count": h.count(),
+        "p50_us": us(h.percentile(0.50)),
+        "p95_us": us(h.percentile(0.95)),
+        "p99_us": us(h.percentile(0.99)),
+        "mean_us": us(h.mean()),
+        "max_us": us(h.max()),
+    })
+}
+
+/// Regenerate the exhibit; writes `target/BENCH_server.json`.
+pub fn run() -> String {
+    // Phase 1: one client, idle server.
+    let single_state = Arc::new(ServerState::new());
+    let single_client = LocalClient::new(single_state);
+    let single_session = open_session(&single_client);
+    let single = replay(&single_client, single_session);
+
+    // Phase 2: sixteen clients, one shared server, one session each.
+    let state = Arc::new(ServerState::new());
+    // Prime the shared catalog cache so client threads measure serving,
+    // not the one-off dataset build.
+    open_session(&LocalClient::new(Arc::clone(&state)));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let client = LocalClient::new(state);
+                let session = open_session(&client);
+                replay(&client, session)
+            })
+        })
+        .collect();
+    let mut storm = LatencyHistogram::new();
+    for worker in workers {
+        storm.absorb(&worker.join().expect("storm worker"));
+    }
+
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let single_p50 = us(single.percentile(0.50));
+    let storm_p50 = us(storm.percentile(0.50));
+    let ratio = if single_p50 > 0.0 { storm_p50 / single_p50 } else { f64::INFINITY };
+    let within_2x = ratio <= 2.0;
+
+    let server_stats = LocalClient::new(Arc::clone(&state)).request(json!({"cmd": "stats"}));
+    let rows =
+        vec![histogram_row("single_session", 1, &single), histogram_row("storm", CLIENTS, &storm)];
+    let doc = json!({
+        "schema_version": 1,
+        "scenario": "sdss-panzoom",
+        "rows": rows,
+        "summary": {
+            "clients": CLIENTS,
+            "single_session_p50_us": single_p50,
+            "storm_p50_us": storm_p50,
+            "p50_ratio": ratio,
+            "p50_within_2x_single_session": within_2x,
+        },
+        "server_stats": server_stats["stats"].clone(),
+    });
+
+    let mut out = String::from("Server dispatch latency: 16-client storm vs single session\n");
+    out.push_str(&crate::text_table(
+        &["phase", "clients", "requests", "p50 us", "p95 us", "p99 us", "mean us", "max us"],
+        &[&single, &storm]
+            .iter()
+            .zip(["single_session", "storm"])
+            .map(|(h, phase)| {
+                vec![
+                    phase.to_string(),
+                    if phase == "storm" { CLIENTS.to_string() } else { "1".to_string() },
+                    h.count().to_string(),
+                    format!("{:.1}", us(h.percentile(0.50))),
+                    format!("{:.1}", us(h.percentile(0.95))),
+                    format!("{:.1}", us(h.percentile(0.99))),
+                    format!("{:.1}", us(h.mean())),
+                    format!("{:.1}", us(h.max())),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&format!(
+        "\nstorm p50 / single p50 = {ratio:.2}x (target: <= 2x) — {}\n",
+        if within_2x { "met" } else { "MISSED" }
+    ));
+
+    let text = serde_json::to_string_pretty(&doc).unwrap_or_default();
+    let path = std::path::Path::new("target").join("BENCH_server.json");
+    match std::fs::create_dir_all("target").and_then(|_| std::fs::write(&path, &text)) {
+        Ok(()) => out.push_str(&format!("wrote {}\n", path.display())),
+        Err(e) => out.push_str(&format!("could not write {}: {e}\n", path.display())),
+    }
+    out
+}

@@ -18,7 +18,7 @@
 //!    every input query.
 //!
 //! ```
-//! use pi2_core::Pi2;
+//! use pi2_core::prelude::*;
 //!
 //! let catalog = pi2_datasets::toy::default_catalog();
 //! let pi2 = Pi2::builder(catalog).build();
@@ -39,6 +39,7 @@
 pub mod explain;
 mod fallback;
 pub mod pipeline;
+pub mod prelude;
 pub mod problem;
 pub mod session;
 

@@ -348,26 +348,6 @@ pub struct InterfaceSession {
 }
 
 impl InterfaceSession {
-    /// A session whose trees start at their structural defaults.
-    #[deprecated(note = "use `SessionBuilder::new(catalog, forest, interface).build()`")]
-    pub fn new(catalog: Catalog, forest: DiffForest, interface: Interface) -> Self {
-        SessionBuilder::new(catalog, forest, interface).build()
-    }
-
-    /// A session whose trees start at the witness bindings of their first
-    /// source query in `log`.
-    #[deprecated(
-        note = "use `SessionBuilder::new(catalog, forest, interface).queries(log).build()`"
-    )]
-    pub fn new_with_log(
-        catalog: Catalog,
-        forest: DiffForest,
-        interface: Interface,
-        log: &[pi2_sql::Query],
-    ) -> Self {
-        SessionBuilder::new(catalog, forest, interface).queries(log).build()
-    }
-
     /// The interface being driven.
     pub fn interface(&self) -> &Interface {
         &self.interface

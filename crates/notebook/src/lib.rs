@@ -72,17 +72,38 @@ impl InterfaceVersion {
 }
 
 /// Notebook errors.
+///
+/// Structured like [`Pi2Error`] and `SessionError`: `#[non_exhaustive]`
+/// (downstream matches need a `_` arm), with the underlying parse /
+/// engine / generation error carried as a typed field and chained through
+/// [`std::error::Error::source`] rather than flattened into a string.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum NotebookError {
     /// No cell with that id.
     UnknownCell(CellId),
     /// No such interface version.
     UnknownVersion(usize),
-    /// Cell execution failed (parse or engine error).
-    Execution(String),
+    /// A cell's SQL failed to parse. The [`pi2_sql::ParseError`] (with
+    /// line/column position) is available via `source()`.
+    Parse {
+        /// The cell whose source failed to parse.
+        cell: CellId,
+        /// The structured parse error.
+        source: pi2_sql::ParseError,
+    },
+    /// A cell's query failed to execute. The [`EngineError`] is available
+    /// via `source()`.
+    Execution {
+        /// The cell whose query failed.
+        cell: CellId,
+        /// The structured engine error.
+        source: EngineError,
+    },
     /// No cells are selected for generation.
     NothingSelected,
-    /// Interface generation failed.
+    /// Interface generation failed; the [`Pi2Error`] is available via
+    /// `source()`.
     Generation(Pi2Error),
 }
 
@@ -91,17 +112,26 @@ impl fmt::Display for NotebookError {
         match self {
             NotebookError::UnknownCell(c) => write!(f, "unknown cell {c}"),
             NotebookError::UnknownVersion(v) => write!(f, "unknown interface version {v}"),
-            NotebookError::Execution(m) => write!(f, "cell execution failed: {m}"),
+            NotebookError::Parse { cell, source } => {
+                write!(f, "cell {cell} failed to parse: {source}")
+            }
+            NotebookError::Execution { cell, source } => {
+                write!(f, "cell {cell} failed to execute: {source}")
+            }
             NotebookError::NothingSelected => write!(f, "no cells selected for generation"),
             NotebookError::Generation(e) => write!(f, "interface generation failed: {e}"),
         }
     }
 }
-impl std::error::Error for NotebookError {}
 
-impl From<EngineError> for NotebookError {
-    fn from(e: EngineError) -> Self {
-        NotebookError::Execution(e.to_string())
+impl std::error::Error for NotebookError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NotebookError::Parse { source, .. } => Some(source),
+            NotebookError::Execution { source, .. } => Some(source),
+            NotebookError::Generation(e) => Some(e),
+            _ => None,
+        }
     }
 }
 
@@ -182,7 +212,15 @@ impl Notebook {
         let catalog = self.pi2.catalog().clone();
         let cell = self.cell_mut(id)?;
         cell.execution_count = count;
-        match catalog.execute_sql(&cell.source) {
+        let query = match pi2_sql::parse_query(&cell.source) {
+            Ok(q) => q,
+            Err(e) => {
+                cell.result = None;
+                cell.error = Some(e.to_string());
+                return Err(NotebookError::Parse { cell: id, source: e });
+            }
+        };
+        match catalog.execute(&query) {
             Ok(r) => {
                 cell.result = Some(r);
                 cell.error = None;
@@ -191,7 +229,7 @@ impl Notebook {
             Err(e) => {
                 cell.result = None;
                 cell.error = Some(e.to_string());
-                Err(NotebookError::Execution(e.to_string()))
+                Err(NotebookError::Execution { cell: id, source: e })
             }
         }
     }
@@ -210,7 +248,7 @@ impl Notebook {
         for cell in &self.cells {
             if cell.selected {
                 let q = pi2_sql::parse_query(&cell.source)
-                    .map_err(|e| NotebookError::Execution(format!("cell {}: {e}", cell.id)))?;
+                    .map_err(|e| NotebookError::Parse { cell: cell.id, source: e })?;
                 queries.push(q);
             }
         }
@@ -293,6 +331,30 @@ mod tests {
         assert!(nb.run_cell(c).is_err());
         assert!(nb.cells()[c].error.is_some());
         assert!(nb.cells()[c].result.is_none());
+    }
+
+    #[test]
+    fn errors_are_structured_and_source_chained() {
+        let mut nb = toy_notebook();
+        let c = nb.add_cell("NOT SQL AT ALL");
+        let err = nb.run_cell(c).unwrap_err();
+        assert!(matches!(err, NotebookError::Parse { cell, .. } if cell == c), "{err:?}");
+        let source = std::error::Error::source(&err).expect("parse source");
+        assert!(source.to_string().contains("line 1"), "{source}");
+
+        let c2 = nb.add_cell("SELECT nope FROM t");
+        let err = nb.run_cell(c2).unwrap_err();
+        assert!(matches!(err, NotebookError::Execution { cell, .. } if cell == c2), "{err:?}");
+        let source = std::error::Error::source(&err).expect("engine source");
+        assert!(source.to_string().contains("nope"), "{source}");
+
+        // selected_queries reports the failing cell, not a flat string.
+        let mut nb = toy_notebook();
+        let bad = nb.add_cell("ALSO NOT SQL");
+        match nb.generate_interface().unwrap_err() {
+            NotebookError::Parse { cell, .. } => assert_eq!(cell, bad),
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 
     #[test]

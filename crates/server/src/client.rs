@@ -1,0 +1,83 @@
+//! Clients: in-process and TCP.
+//!
+//! Both speak the identical line protocol. [`LocalClient`] serializes the
+//! request to its wire form and parses the wire response, so in-process
+//! use exercises the exact bytes a TCP client would — protocol tests and
+//! benchmarks run against it without sockets in the way.
+
+use crate::state::ServerState;
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// An in-process client: requests go straight to a shared
+/// [`ServerState`], through the same line encode/decode as TCP.
+#[derive(Clone)]
+pub struct LocalClient {
+    state: Arc<ServerState>,
+}
+
+impl LocalClient {
+    /// A client talking to `state` (share the `Arc` to get many
+    /// concurrent clients of one server).
+    pub fn new(state: Arc<ServerState>) -> Self {
+        Self { state }
+    }
+
+    /// A client over a fresh private server state.
+    pub fn standalone() -> Self {
+        Self::new(Arc::new(ServerState::new()))
+    }
+
+    /// The underlying server state.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Send one raw request line; returns the raw response line.
+    pub fn request_line(&self, line: &str) -> String {
+        self.state.handle_line(line)
+    }
+
+    /// Send a request document; returns the parsed response.
+    pub fn request(&self, request: Value) -> Value {
+        let line =
+            serde_json::to_string(&request).unwrap_or_else(|_| "{\"cmd\":\"invalid\"}".to_string());
+        serde_json::from_str(&self.request_line(&line)).unwrap_or(Value::Null)
+    }
+}
+
+/// A blocking TCP client (used by the smoke test and the CI gate).
+pub struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    /// Connect to a server address.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: stream })
+    }
+
+    /// Send one request document and read the one-line response.
+    pub fn request(&mut self, request: Value) -> std::io::Result<Value> {
+        let line = serde_json::to_string(&request)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        self.reader.read_line(&mut response)?;
+        if response.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(response.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}

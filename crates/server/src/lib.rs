@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+// The server must degrade to structured error responses, never panic on
+// user input: `unwrap()` is denied in non-test code (tests may unwrap).
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+//! # pi2-server
+//!
+//! A concurrent session server for PI2: many analysts' notebook sessions
+//! multiplexed over shared, immutable catalogs, driven through a
+//! line-delimited JSON protocol — over TCP or fully in-process.
+//!
+//! The paper demonstrates PI2 inside a single Jupyter notebook; this
+//! crate is the piece a hosted deployment needs on top: one resident
+//! server holding each scenario's columnar tables **once** (sessions get
+//! `Arc`-sharing catalog clones), a sharded registry so concurrent
+//! dispatches to different sessions never contend on one lock, per-session
+//! **gesture coalescing** (a pan storm collapses before dispatch), bounded
+//! queues with structured `overloaded` backpressure, per-endpoint latency
+//! telemetry, and graceful drain on shutdown.
+//!
+//! ```
+//! use pi2_server::LocalClient;
+//! use serde_json::json;
+//!
+//! let client = LocalClient::standalone();
+//! let opened = client.request(json!({"cmd": "open", "scenario": "toy"}));
+//! let session = opened["session"].as_i64().unwrap();
+//! for sql in [
+//!     "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+//!     "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+//! ] {
+//!     client.request(json!({"cmd": "run_cell", "session": session, "sql": sql}));
+//! }
+//! let generated = client.request(json!({"cmd": "generate", "session": session}));
+//! assert_eq!(generated["ok"].as_bool(), Some(true));
+//! // Operate the generated slider: the chart's WHERE literal follows it.
+//! let updated = client.request(json!({
+//!     "cmd": "gesture", "session": session,
+//!     "events": [{"type": "set_widget", "widget": 0, "value": {"scalar": 2.0}}],
+//! }));
+//! assert_eq!(updated["applied"].as_i64(), Some(1));
+//! assert!(updated["updates"][0]["sql"].as_str().unwrap().contains("a = 2"));
+//! ```
+//!
+//! See `DESIGN.md` ("Serving") for the protocol reference and the
+//! concurrency model.
+
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod session;
+pub mod state;
+
+pub use client::{LocalClient, TcpClient};
+pub use protocol::{ErrorKind, OpenOptions, Request, Strategy};
+pub use registry::Registry;
+pub use server::Server;
+pub use session::{coalesce, Enqueue, SessionEntry, QUEUE_CAP};
+pub use state::ServerState;

@@ -1,0 +1,157 @@
+// Same policy as the library: the binary reports errors, it never panics.
+#![deny(clippy::unwrap_used)]
+
+//! The `pi2-server` binary: serve the line-delimited JSON protocol over
+//! TCP, or run a self-contained `--smoke` check (bind an ephemeral port,
+//! drive one session over real TCP, shut down cleanly).
+
+use pi2_server::{Server, ServerState, TcpClient};
+use serde_json::{json, Value};
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    scenario: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { addr: "127.0.0.1:7878".to_string(), scenario: "sdss".to_string(), smoke: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => args.addr = it.next().ok_or("--addr needs a value")?,
+            "--scenario" => args.scenario = it.next().ok_or("--scenario needs a value")?,
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: pi2-server [--addr HOST:PORT] [--scenario {}] [--smoke]",
+                    ServerState::scenario_names().join("|")
+                ))
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if !ServerState::scenario_names().contains(&args.scenario.as_str()) {
+        return Err(format!(
+            "unknown scenario `{}` (expected {})",
+            args.scenario,
+            ServerState::scenario_names().join("|")
+        ));
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let result = if args.smoke { smoke(&args.scenario) } else { serve(&args) };
+    if let Err(e) = result {
+        eprintln!("pi2-server: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let state = Arc::new(ServerState::new());
+    let server = Server::bind(&args.addr, state).map_err(|e| e.to_string())?;
+    println!("pi2-server listening on {}", server.local_addr());
+    println!("open a session with: {{\"cmd\": \"open\", \"scenario\": \"{}\"}}", args.scenario);
+    server.join();
+    println!("pi2-server stopped");
+    Ok(())
+}
+
+/// End-to-end check over real TCP: open → run demo cells → generate →
+/// gesture → render → stats → shutdown, asserting each step.
+fn smoke(scenario: &str) -> Result<(), String> {
+    let state = Arc::new(ServerState::new());
+    let server = Server::bind("127.0.0.1:0", state).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let mut client = TcpClient::connect(addr).map_err(|e| e.to_string())?;
+
+    let opened = ok(&mut client, json!({"cmd": "open", "scenario": scenario, "id": 1}))?;
+    let session = opened["session"].as_i64().ok_or("open returned no session id")?;
+    if opened["id"].as_i64() != Some(1) {
+        return Err("request id was not echoed".to_string());
+    }
+
+    // Demo scenarios replay their paper query logs; `toy` uses a
+    // two-literal log whose interface grows a slider. The gesture pair is
+    // scenario-appropriate (each generated interface exposes different
+    // interactions) but always two coalescable events on one target.
+    let demo = match pi2_datasets::demo_scenarios().into_iter().find(|s| s.name == scenario) {
+        Some(s) => s.queries.iter().map(|q| q.to_string()).collect::<Vec<_>>(),
+        None => vec![
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p".to_string(),
+            "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p".to_string(),
+        ],
+    };
+    let gestures = match scenario {
+        // Celestial / time-series charts with pan-zoom interactions.
+        "sdss" | "covid" => json!([
+            {"type": "pan", "chart": 0, "dx": 0.25, "dy": 0.0},
+            {"type": "pan", "chart": 0, "dx": 0.25, "dy": 0.0},
+        ]),
+        // Column/table button group over the ticker facets.
+        "sp500" => json!([
+            {"type": "set_widget", "widget": 0, "value": {"pick": 1}},
+            {"type": "set_widget", "widget": 0, "value": {"pick": 0}},
+        ]),
+        // The toy log's literal slider.
+        _ => json!([
+            {"type": "set_widget", "widget": 0, "value": {"scalar": 1.0}},
+            {"type": "set_widget", "widget": 0, "value": {"scalar": 2.0}},
+        ]),
+    };
+    for sql in &demo {
+        ok(&mut client, json!({"cmd": "run_cell", "session": session, "sql": sql.clone()}))?;
+    }
+
+    let generated = ok(&mut client, json!({"cmd": "generate", "session": session}))?;
+    let version = generated["version"].as_i64().ok_or("generate returned no version")?;
+    let updated = ok(
+        &mut client,
+        json!({
+            "cmd": "gesture", "session": session, "version": version,
+            "events": gestures,
+        }),
+    )?;
+    if updated["applied"].as_i64() != Some(1) || updated["coalesced"].as_i64() != Some(1) {
+        return Err(format!("expected the two gestures to coalesce into one: {updated}"));
+    }
+
+    let rendered = ok(&mut client, json!({"cmd": "render", "session": session}))?;
+    if rendered["text"].as_str().is_none_or(str::is_empty) {
+        return Err("render returned no text".to_string());
+    }
+
+    let stats = ok(&mut client, json!({"cmd": "stats"}))?;
+    if stats["stats"]["active_sessions"].as_i64() != Some(1) {
+        return Err(format!("expected 1 active session: {stats}"));
+    }
+
+    ok(&mut client, json!({"cmd": "close", "session": session}))?;
+    let bye = ok(&mut client, json!({"cmd": "shutdown"}))?;
+    if bye["draining"].as_bool() != Some(true) {
+        return Err(format!("shutdown did not start draining: {bye}"));
+    }
+    server.join();
+    println!("server smoke OK: scenario={scenario} cells={} version={version}", demo.len());
+    Ok(())
+}
+
+fn ok(client: &mut TcpClient, request: Value) -> Result<Value, String> {
+    let what = request["cmd"].as_str().unwrap_or("?").to_string();
+    let response = client.request(request).map_err(|e| format!("{what}: {e}"))?;
+    if response["ok"].as_bool() != Some(true) {
+        return Err(format!("{what} failed: {response}"));
+    }
+    Ok(response)
+}

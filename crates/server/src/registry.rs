@@ -1,0 +1,86 @@
+//! Sharded session registry.
+//!
+//! Dispatch is the hot path: a gesture request must reach its session
+//! without serializing behind unrelated opens/closes. The registry hashes
+//! session ids across [`SHARDS`] independently read-write-locked maps, so
+//! concurrent lookups of different sessions touch different locks and
+//! lookups never contend with opens on other shards. Entries are `Arc`s:
+//! a lookup clones the handle and releases the shard lock immediately,
+//! so no shard lock is ever held across a dispatch.
+
+use crate::session::SessionEntry;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of independently locked shards. Power of two so the shard index
+/// is a mask; 16 comfortably exceeds the storm benchmark's client count.
+pub const SHARDS: usize = 16;
+
+/// The registry: id allocation plus sharded id → session maps.
+pub struct Registry {
+    shards: Vec<RwLock<HashMap<u64, Arc<SessionEntry>>>>,
+    next_id: AtomicU64,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn shard(&self, id: u64) -> &RwLock<HashMap<u64, Arc<SessionEntry>>> {
+        &self.shards[(id as usize) & (SHARDS - 1)]
+    }
+
+    /// Allocate the next session id (ids are never reused).
+    pub fn allocate_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Insert a session under its id.
+    pub fn insert(&self, entry: Arc<SessionEntry>) {
+        self.shard(entry.id).write().insert(entry.id, entry);
+    }
+
+    /// Look up a session; read-locks exactly one shard, briefly.
+    pub fn get(&self, id: u64) -> Option<Arc<SessionEntry>> {
+        self.shard(id).read().get(&id).cloned()
+    }
+
+    /// Remove a session, returning it if present.
+    pub fn remove(&self, id: u64) -> Option<Arc<SessionEntry>> {
+        self.shard(id).write().remove(&id)
+    }
+
+    /// Number of live sessions (sums all shards).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all live sessions, in id order.
+    pub fn entries(&self) -> Vec<Arc<SessionEntry>> {
+        let mut all: Vec<Arc<SessionEntry>> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().values().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort_by_key(|e| e.id);
+        all
+    }
+}

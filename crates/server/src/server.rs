@@ -1,0 +1,131 @@
+//! The TCP transport: a threaded accept loop with graceful shutdown.
+//!
+//! One OS thread per connection (the protocol is line-oriented and
+//! sessions serialize on their own locks, so a thread pool would add
+//! complexity without changing the bottleneck). The listener and all
+//! connection readers poll with short timeouts so a `shutdown` request —
+//! or [`Server::shutdown`] from the embedding process — stops accepting,
+//! lets every in-flight request finish, and joins all threads.
+
+use crate::state::ServerState;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poll interval for the nonblocking accept loop and connection readers.
+const POLL: Duration = Duration::from_millis(25);
+
+/// A running server bound to a TCP address.
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `state` on background threads.
+    pub fn bind(addr: &str, state: Arc<ServerState>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("pi2-server-accept".into())
+            .spawn(move || accept_loop(listener, accept_state))?;
+        Ok(Server { state, addr: local, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (e.g. to pair a [`LocalClient`](crate::LocalClient)
+    /// with a TCP server).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Begin graceful shutdown from the embedding process (equivalent to a
+    /// `shutdown` request).
+    pub fn shutdown(&self) {
+        self.state.begin_drain();
+    }
+
+    /// Wait until the server has fully stopped: every connection has
+    /// finished its in-flight request and exited, and the accept thread
+    /// has joined them all. Blocks until someone initiates shutdown.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            // A panic in the accept thread already aborted serving; there
+            // is nothing better to do than surface it as a clean stop.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let handlers: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    loop {
+        if state.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_state = Arc::clone(&state);
+                let spawned = std::thread::Builder::new()
+                    .name("pi2-server-conn".into())
+                    .spawn(move || handle_connection(stream, conn_state));
+                if let Ok(handle) = spawned {
+                    handlers.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(handle);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // Draining: wait for every connection to finish its in-flight work.
+    let handles = {
+        let mut guard = handlers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::take(&mut *guard)
+    };
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // `read_line` appends whatever it managed to read before a timeout, so
+    // `line` persists across poll iterations until a full line arrives.
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let request = line.trim();
+                if !request.is_empty() {
+                    let response = state.handle_line(request);
+                    if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if state.draining() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Server-side session state: a notebook plus live interface sessions,
+//! behind a bounded event queue that coalesces rapid-fire gestures.
+//!
+//! # Concurrency model
+//!
+//! A session's state is inherently serial (one analyst, one notebook), so
+//! all mutation happens under the entry's `core` mutex. What the server
+//! adds is *admission control in front of that lock*: gesture events are
+//! first pushed onto a bounded queue (rejecting with `overloaded` when
+//! full — that is the backpressure signal), and whichever request thread
+//! holds the core lock drains the queue, **coalesces** runs of events
+//! that target the same widget/chart (a pan storm collapses to one pan
+//! with summed deltas), and dispatches the survivors. A client hammering
+//! one session therefore costs bounded memory and the dispatch work of
+//! the coalesced stream, never an unbounded backlog.
+
+use pi2_core::prelude::{ChartUpdate, Event, InterfaceSession, SessionError};
+use pi2_notebook::{Notebook, NotebookError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, TryLockError};
+
+/// Maximum pending (version, event) pairs per session. Beyond this the
+/// server answers `overloaded` and the client must retry after backoff.
+pub const QUEUE_CAP: usize = 64;
+
+/// Lock a mutex, recovering the data from a poisoned lock (a panic in
+/// another handler must not wedge the whole session).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The serial part of a session: the notebook plus one live
+/// [`InterfaceSession`] per generated version, opened lazily.
+pub struct SessionCore {
+    /// The notebook backing this session.
+    pub notebook: Notebook,
+    /// Live interface sessions keyed by version number.
+    pub live: HashMap<usize, InterfaceSession>,
+}
+
+impl SessionCore {
+    /// The live session for `version`, opening it from the notebook on
+    /// first use.
+    pub fn live_session(&mut self, version: usize) -> Result<&mut InterfaceSession, NotebookError> {
+        if !self.live.contains_key(&version) {
+            let session = self.notebook.open_session(version)?;
+            self.live.insert(version, session);
+        }
+        Ok(self.live.get_mut(&version).expect("just inserted"))
+    }
+}
+
+/// Monotone per-session counters, readable without any lock.
+#[derive(Default)]
+pub struct SessionCounters {
+    /// Events accepted onto the queue.
+    pub enqueued: AtomicU64,
+    /// Events dropped by coalescing (merged into a neighbor).
+    pub coalesced: AtomicU64,
+    /// Events actually dispatched to an interface session.
+    pub dispatched: AtomicU64,
+    /// Gesture requests rejected with `overloaded`.
+    pub overloaded: AtomicU64,
+}
+
+/// One server-side session.
+pub struct SessionEntry {
+    /// The session id (allocated by the registry, never reused).
+    pub id: u64,
+    /// Scenario name the session was opened on.
+    pub scenario: String,
+    /// Serial state; hold only while dispatching or mutating.
+    pub core: Mutex<SessionCore>,
+    /// Pending events awaiting dispatch; never hold while taking `core`.
+    queue: Mutex<VecDeque<(usize, Event)>>,
+    /// Highest generated version number (0 = none yet), maintained by
+    /// `generate` so enqueue can resolve "latest" without the core lock.
+    pub latest_version: AtomicUsize,
+    /// Counters.
+    pub counters: SessionCounters,
+}
+
+/// Outcome of [`SessionEntry::enqueue`].
+pub enum Enqueue {
+    /// All events accepted; queue depth after the push.
+    Accepted(usize),
+    /// Queue would overflow; nothing was pushed. Carries current depth.
+    Overloaded(usize),
+}
+
+/// Outcome of one drain-and-dispatch pass.
+pub struct DrainOutcome {
+    /// Final update per chart, in first-touched order.
+    pub updates: Vec<ChartUpdate>,
+    /// Events dispatched (after coalescing).
+    pub applied: usize,
+    /// Events dropped by coalescing.
+    pub coalesced: usize,
+    /// Per-event dispatch errors (dispatching continued past them).
+    pub errors: Vec<SessionError>,
+}
+
+impl SessionEntry {
+    /// A fresh entry wrapping `notebook`.
+    pub fn new(id: u64, scenario: String, notebook: Notebook) -> Self {
+        Self {
+            id,
+            scenario,
+            core: Mutex::new(SessionCore { notebook, live: HashMap::new() }),
+            queue: Mutex::new(VecDeque::new()),
+            latest_version: AtomicUsize::new(0),
+            counters: SessionCounters::default(),
+        }
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Push `events` (all for `version`) onto the bounded queue.
+    pub fn enqueue(&self, version: usize, events: Vec<Event>) -> Enqueue {
+        let mut queue = lock(&self.queue);
+        if queue.len() + events.len() > QUEUE_CAP {
+            self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Enqueue::Overloaded(queue.len());
+        }
+        let n = events.len() as u64;
+        queue.extend(events.into_iter().map(|e| (version, e)));
+        self.counters.enqueued.fetch_add(n, Ordering::Relaxed);
+        Enqueue::Accepted(queue.len())
+    }
+
+    /// Acquire the core lock and drain the queue until it stays empty:
+    /// each pass swaps the queue out, coalesces it, and dispatches the
+    /// survivors. Events enqueued by other threads mid-pass are picked up
+    /// by the next pass, so a successful return means the queue was
+    /// observed empty *while still holding the core lock*.
+    pub fn drain_and_dispatch(&self) -> Result<DrainOutcome, NotebookError> {
+        let mut core = lock(&self.core);
+        self.drain_locked(&mut core)
+    }
+
+    /// As [`drain_and_dispatch`](Self::drain_and_dispatch), but gives up
+    /// immediately when another thread holds the core lock (that thread's
+    /// drain loop will dispatch our queued events).
+    pub fn try_drain_and_dispatch(&self) -> Option<Result<DrainOutcome, NotebookError>> {
+        match self.core.try_lock() {
+            Ok(mut core) => Some(self.drain_locked(&mut core)),
+            Err(TryLockError::Poisoned(p)) => Some(self.drain_locked(&mut p.into_inner())),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    fn drain_locked(&self, core: &mut SessionCore) -> Result<DrainOutcome, NotebookError> {
+        let mut outcome =
+            DrainOutcome { updates: Vec::new(), applied: 0, coalesced: 0, errors: Vec::new() };
+        // Final update per chart: later events supersede earlier ones.
+        let mut by_chart: HashMap<usize, usize> = HashMap::new();
+        loop {
+            let batch: Vec<(usize, Event)> = lock(&self.queue).drain(..).collect();
+            if batch.is_empty() {
+                return Ok(outcome);
+            }
+            let before = batch.len();
+            let batch = coalesce(batch);
+            let dropped = before - batch.len();
+            outcome.coalesced += dropped;
+            self.counters.coalesced.fetch_add(dropped as u64, Ordering::Relaxed);
+            for (version, event) in batch {
+                let session = core.live_session(version)?;
+                match session.dispatch(event) {
+                    Ok(updates) => {
+                        outcome.applied += 1;
+                        self.counters.dispatched.fetch_add(1, Ordering::Relaxed);
+                        for update in updates {
+                            match by_chart.get(&update.chart) {
+                                Some(&slot) => outcome.updates[slot] = update,
+                                None => {
+                                    by_chart.insert(update.chart, outcome.updates.len());
+                                    outcome.updates.push(update);
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => outcome.errors.push(e),
+                }
+            }
+        }
+    }
+}
+
+/// Merge runs of events that address the same target, preserving order:
+///
+/// * consecutive **pans** of one chart sum their deltas;
+/// * consecutive **zooms** of one chart multiply their factors;
+/// * consecutive **brushes** of one chart keep only the last range;
+/// * consecutive **set-widget** events on one widget keep only the last
+///   value;
+/// * **clicks** never merge (each click is a distinct selection).
+///
+/// Only *adjacent* events (within the same interface version) merge, so
+/// interleaved targets keep their relative order and semantics.
+pub fn coalesce(events: Vec<(usize, Event)>) -> Vec<(usize, Event)> {
+    let mut out: Vec<(usize, Event)> = Vec::with_capacity(events.len());
+    for (version, event) in events {
+        if let Some((last_version, last)) = out.last_mut() {
+            if *last_version == version {
+                match (last, &event) {
+                    (
+                        Event::Pan { chart: c1, dx, dy },
+                        Event::Pan { chart: c2, dx: dx2, dy: dy2 },
+                    ) if c1 == c2 => {
+                        *dx += dx2;
+                        *dy += dy2;
+                        continue;
+                    }
+                    (Event::Zoom { chart: c1, factor }, Event::Zoom { chart: c2, factor: f2 })
+                        if c1 == c2 =>
+                    {
+                        *factor *= f2;
+                        continue;
+                    }
+                    (
+                        Event::Brush { chart: c1, low, high },
+                        Event::Brush { chart: c2, low: l2, high: h2 },
+                    ) if c1 == c2 => {
+                        *low = *l2;
+                        *high = *h2;
+                        continue;
+                    }
+                    (
+                        Event::SetWidget { widget: w1, value },
+                        Event::SetWidget { widget: w2, value: v2 },
+                    ) if w1 == w2 => {
+                        *value = v2.clone();
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out.push((version, event));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_core::prelude::WidgetValue;
+
+    fn pan(chart: usize, dx: f64) -> Event {
+        Event::Pan { chart, dx, dy: 0.0 }
+    }
+
+    #[test]
+    fn pans_sum_zooms_multiply_brushes_last_win() {
+        let out = coalesce(vec![
+            (1, pan(0, 1.0)),
+            (1, pan(0, 2.0)),
+            (1, Event::Zoom { chart: 0, factor: 2.0 }),
+            (1, Event::Zoom { chart: 0, factor: 0.25 }),
+            (1, Event::Brush { chart: 1, low: 0.0, high: 1.0 }),
+            (1, Event::Brush { chart: 1, low: 5.0, high: 9.0 }),
+            (1, Event::SetWidget { widget: 3, value: WidgetValue::Pick(0) }),
+            (1, Event::SetWidget { widget: 3, value: WidgetValue::Pick(2) }),
+        ]);
+        assert_eq!(
+            out,
+            vec![
+                (1, pan(0, 3.0)),
+                (1, Event::Zoom { chart: 0, factor: 0.5 }),
+                (1, Event::Brush { chart: 1, low: 5.0, high: 9.0 }),
+                (1, Event::SetWidget { widget: 3, value: WidgetValue::Pick(2) }),
+            ]
+        );
+    }
+
+    #[test]
+    fn different_targets_versions_and_clicks_do_not_merge() {
+        let click = Event::Click { chart: 0, value: pi2_sql::Literal::Int(1) };
+        let input = vec![
+            (1, pan(0, 1.0)),
+            (1, pan(1, 1.0)), // different chart
+            (2, pan(1, 1.0)), // different version
+            (2, click.clone()),
+            (2, click.clone()), // clicks never merge
+            (2, Event::SetWidget { widget: 0, value: WidgetValue::Bool(true) }),
+            (2, Event::SetWidget { widget: 1, value: WidgetValue::Bool(true) }), // different widget
+        ];
+        assert_eq!(coalesce(input.clone()), input);
+    }
+
+    #[test]
+    fn interleaved_targets_preserve_order() {
+        let input = vec![(1, pan(0, 1.0)), (1, pan(1, 1.0)), (1, pan(0, 1.0))];
+        // The interleaving chart-1 pan prevents merging the chart-0 pans.
+        assert_eq!(coalesce(input.clone()), input);
+    }
+}

@@ -1,0 +1,491 @@
+//! Shared server state and the request dispatcher.
+//!
+//! [`ServerState::handle_line`] is the transport-independent heart of the
+//! server: the TCP loop and the in-process [`LocalClient`](crate::LocalClient)
+//! both feed request lines through it, so they observe byte-identical
+//! behavior.
+
+use crate::protocol::{self, defaults, error_response, ErrorKind, OpenOptions, Request, Strategy};
+use crate::registry::Registry;
+use crate::session::{Enqueue, SessionEntry};
+use pi2_core::prelude::{
+    Catalog, Event, ExecLimits, GenerationBudget, Pi2, SearchStrategy, WidgetValue,
+};
+use pi2_notebook::{Notebook, NotebookError};
+use pi2_telemetry::LatencyHistogram;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Server-wide request counters.
+#[derive(Default)]
+pub struct ServerCounters {
+    /// Request lines handled (any verb, any outcome).
+    pub requests: AtomicU64,
+    /// Requests answered with an error.
+    pub errors: AtomicU64,
+    /// Gesture requests rejected with `overloaded`.
+    pub overloaded: AtomicU64,
+    /// Sessions opened.
+    pub opened: AtomicU64,
+    /// Sessions closed.
+    pub closed: AtomicU64,
+}
+
+/// All state shared between connections (and with [`LocalClient`]s).
+///
+/// Catalogs are built once per scenario and cached; a session's catalog is
+/// a cheap clone whose tables are `Arc`-shared with every other session on
+/// the same scenario, so N sessions cost N notebooks but one dataset.
+pub struct ServerState {
+    registry: Registry,
+    catalogs: Mutex<BTreeMap<String, Catalog>>,
+    draining: AtomicBool,
+    endpoint_latency: Mutex<BTreeMap<&'static str, LatencyHistogram>>,
+    counters: ServerCounters,
+}
+
+impl Default for ServerState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerState {
+    /// Fresh state with no sessions and no cached catalogs.
+    pub fn new() -> Self {
+        Self {
+            registry: Registry::new(),
+            catalogs: Mutex::new(BTreeMap::new()),
+            draining: AtomicBool::new(false),
+            endpoint_latency: Mutex::new(BTreeMap::new()),
+            counters: ServerCounters::default(),
+        }
+    }
+
+    /// The session registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Whether graceful shutdown has begun.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begin graceful shutdown: new non-`stats` requests are refused while
+    /// in-flight dispatches finish.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// The scenario names this server can open sessions on.
+    pub fn scenario_names() -> &'static [&'static str] {
+        &["toy", "covid", "sdss", "sp500"]
+    }
+
+    /// The shared catalog for `scenario`, building and caching it on first
+    /// use. Clones share the underlying tables via `Arc`.
+    fn catalog_for(&self, scenario: &str) -> Option<Catalog> {
+        let mut cache = lock(&self.catalogs);
+        if let Some(c) = cache.get(scenario) {
+            return Some(c.clone());
+        }
+        let built = match scenario {
+            "toy" => pi2_datasets::toy::default_catalog(),
+            "covid" => pi2_datasets::covid::catalog(&pi2_datasets::covid::Config::default()),
+            "sdss" => pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config::default()),
+            "sp500" => pi2_datasets::sp500::catalog(&pi2_datasets::sp500::Config::default()),
+            _ => return None,
+        };
+        cache.insert(scenario.to_string(), built.clone());
+        Some(built)
+    }
+
+    /// Handle one request line; returns the response (without newline).
+    /// This is the single entry point for every transport.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (request, id) = match protocol::parse_request(line) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return to_line(&e);
+            }
+        };
+        let endpoint = endpoint_name(&request);
+        let start = Instant::now();
+        let mut response = self.handle_request(request);
+        lock(&self.endpoint_latency).entry(endpoint).or_default().record(start.elapsed());
+        if response["ok"].as_bool() != Some(true) {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(id) = id {
+            response["id"] = id;
+        }
+        to_line(&response)
+    }
+
+    /// Handle a parsed request.
+    pub fn handle_request(&self, request: Request) -> Value {
+        if self.draining() && !matches!(request, Request::Stats { .. } | Request::Shutdown) {
+            return error_response(ErrorKind::ShuttingDown, "server is draining");
+        }
+        match request {
+            Request::Open { scenario, options } => self.open(&scenario, options),
+            Request::Close { session } => self.close(session),
+            Request::RunCell { session, sql } => self.run_cell(session, &sql),
+            Request::Generate { session } => self.generate(session),
+            Request::ApplyBinding { session, version, widget, value } => {
+                self.apply_binding(session, version, widget, value)
+            }
+            Request::Gesture { session, version, events, include_data } => {
+                self.gesture(session, version, events, include_data)
+            }
+            Request::Render { session, version } => self.render(session, version),
+            Request::Stats { session } => self.stats(session),
+            Request::Shutdown => {
+                self.begin_drain();
+                json!({"ok": true, "draining": true})
+            }
+        }
+    }
+
+    fn open(&self, scenario: &str, options: OpenOptions) -> Value {
+        let Some(mut catalog) = self.catalog_for(scenario) else {
+            return error_response(
+                ErrorKind::UnknownScenario,
+                format!("unknown scenario `{scenario}` ({})", Self::scenario_names().join("|")),
+            );
+        };
+        catalog.set_limits(ExecLimits {
+            max_rows: options.max_rows.filter(|&n| n > 0),
+            timeout: match options.timeout_ms {
+                None => Some(defaults::EXEC_TIMEOUT),
+                Some(0) => None,
+                Some(ms) => Some(Duration::from_millis(ms)),
+            },
+        });
+        let budget = GenerationBudget {
+            deadline: match options.deadline_ms {
+                None => Some(defaults::GENERATION_DEADLINE),
+                Some(0) => None,
+                Some(ms) => Some(Duration::from_millis(ms)),
+            },
+            max_iterations: options.max_iterations,
+            max_states: None,
+        };
+        let strategy = match options.strategy {
+            Strategy::FullMerge => SearchStrategy::FullMerge,
+            Strategy::Mcts => SearchStrategy::default(),
+            Strategy::Greedy => SearchStrategy::Greedy { max_evaluations: 200 },
+        };
+        let pi2 = Pi2::builder(catalog).strategy(strategy).budget(budget).build();
+        let id = self.registry.allocate_id();
+        let entry = Arc::new(SessionEntry::new(id, scenario.to_string(), Notebook::with_pi2(pi2)));
+        self.registry.insert(entry);
+        self.counters.opened.fetch_add(1, Ordering::Relaxed);
+        json!({"ok": true, "session": id, "scenario": scenario})
+    }
+
+    fn close(&self, session: u64) -> Value {
+        match self.registry.remove(session) {
+            Some(_) => {
+                self.counters.closed.fetch_add(1, Ordering::Relaxed);
+                json!({"ok": true, "closed": session})
+            }
+            None => unknown_session(session),
+        }
+    }
+
+    fn entry(&self, session: u64) -> Result<Arc<SessionEntry>, Value> {
+        self.registry.get(session).ok_or_else(|| unknown_session(session))
+    }
+
+    fn run_cell(&self, session: u64, sql: &str) -> Value {
+        let entry = match self.entry(session) {
+            Ok(e) => e,
+            Err(e) => return e,
+        };
+        let mut core = entry.lock_core();
+        let cell = core.notebook.add_cell(sql);
+        match core.notebook.run_cell(cell) {
+            Ok(result) => {
+                let columns: Vec<Value> =
+                    result.schema.fields.iter().map(|f| json!(f.name.clone())).collect();
+                json!({"ok": true, "cell": cell, "rows": result.rows.len(), "columns": columns})
+            }
+            Err(e) => notebook_error(&e),
+        }
+    }
+
+    fn generate(&self, session: u64) -> Value {
+        let entry = match self.entry(session) {
+            Ok(e) => e,
+            Err(e) => return e,
+        };
+        let mut core = entry.lock_core();
+        match core.notebook.generate_interface() {
+            Ok(version) => {
+                entry.latest_version.fetch_max(version, Ordering::SeqCst);
+                let iface = &core
+                    .notebook
+                    .versions()
+                    .last()
+                    .map(|v| {
+                        (v.generated.interface.charts.len(), v.generated.interface.widgets.len())
+                    })
+                    .unwrap_or((0, 0));
+                json!({
+                    "ok": true,
+                    "version": version,
+                    "charts": iface.0,
+                    "widgets": iface.1,
+                })
+            }
+            Err(e) => notebook_error(&e),
+        }
+    }
+
+    /// Resolve an optional wire version against the session's latest.
+    fn resolve_version(entry: &SessionEntry, version: Option<usize>) -> Result<usize, Value> {
+        let latest = entry.latest_version.load(Ordering::SeqCst);
+        match version {
+            None if latest == 0 => Err(error_response(
+                ErrorKind::UnknownVersion,
+                "no interface generated yet (call generate first)",
+            )),
+            None => Ok(latest),
+            Some(v) if v == 0 || v > latest => Err(error_response(
+                ErrorKind::UnknownVersion,
+                format!("unknown interface version {v} (latest is {latest})"),
+            )),
+            Some(v) => Ok(v),
+        }
+    }
+
+    fn apply_binding(
+        &self,
+        session: u64,
+        version: Option<usize>,
+        widget: usize,
+        value: WidgetValue,
+    ) -> Value {
+        self.gesture(session, version, vec![Event::SetWidget { widget, value }], false)
+    }
+
+    fn gesture(
+        &self,
+        session: u64,
+        version: Option<usize>,
+        events: Vec<Event>,
+        include_data: bool,
+    ) -> Value {
+        let entry = match self.entry(session) {
+            Ok(e) => e,
+            Err(e) => return e,
+        };
+        let version = match Self::resolve_version(&entry, version) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        let single = events.len() == 1;
+        match entry.enqueue(version, events) {
+            Enqueue::Overloaded(depth) => {
+                self.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                let mut e = error_response(
+                    ErrorKind::Overloaded,
+                    format!("session {session} queue is full ({depth} pending)"),
+                );
+                e["error"]["queue_depth"] = json!(depth);
+                e
+            }
+            Enqueue::Accepted(_) => match entry.drain_and_dispatch() {
+                Err(e) => notebook_error(&e),
+                Ok(outcome) => {
+                    if single && outcome.applied == 0 && !outcome.errors.is_empty() {
+                        return error_response(ErrorKind::Session, &outcome.errors[0]);
+                    }
+                    let updates: Vec<Value> = outcome
+                        .updates
+                        .iter()
+                        .map(|u| {
+                            let mut obj = json!({
+                                "chart": u.chart,
+                                "sql": u.query.to_string(),
+                                "rows": u.result.rows.len(),
+                            });
+                            if include_data {
+                                obj["data"] = result_rows(&u.result);
+                            }
+                            obj
+                        })
+                        .collect();
+                    let mut resp = json!({
+                        "ok": true,
+                        "version": version,
+                        "applied": outcome.applied,
+                        "coalesced": outcome.coalesced,
+                        "updates": updates,
+                    });
+                    if !outcome.errors.is_empty() {
+                        resp["errors"] = Value::Array(
+                            outcome.errors.iter().map(|e| json!(e.to_string())).collect(),
+                        );
+                    }
+                    resp
+                }
+            },
+        }
+    }
+
+    fn render(&self, session: u64, version: Option<usize>) -> Value {
+        let entry = match self.entry(session) {
+            Ok(e) => e,
+            Err(e) => return e,
+        };
+        let version = match Self::resolve_version(&entry, version) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        let mut core = entry.lock_core();
+        let live = match core.live_session(version) {
+            Ok(s) => s,
+            Err(e) => return notebook_error(&e),
+        };
+        match pi2_render::render_session(live) {
+            Ok(text) => json!({"ok": true, "version": version, "text": text}),
+            Err(e) => error_response(ErrorKind::Session, e),
+        }
+    }
+
+    fn stats(&self, session: Option<u64>) -> Value {
+        match session {
+            Some(id) => {
+                let entry = match self.entry(id) {
+                    Ok(e) => e,
+                    Err(e) => return e,
+                };
+                let mut per_version = serde_json::Map::new();
+                {
+                    let core = entry.lock_core();
+                    for (version, live) in &core.live {
+                        per_version
+                            .insert(format!("v{version}"), parse_json(&live.stats().to_json()));
+                    }
+                }
+                json!({
+                    "ok": true,
+                    "session": id,
+                    "scenario": entry.scenario.clone(),
+                    "queue_depth": entry.queue_depth(),
+                    "enqueued": entry.counters.enqueued.load(Ordering::Relaxed),
+                    "coalesced": entry.counters.coalesced.load(Ordering::Relaxed),
+                    "dispatched": entry.counters.dispatched.load(Ordering::Relaxed),
+                    "overloaded": entry.counters.overloaded.load(Ordering::Relaxed),
+                    "versions": Value::Object(per_version),
+                })
+            }
+            None => json!({"ok": true, "stats": self.stats_json()}),
+        }
+    }
+
+    /// Server-wide stats as a JSON object: counters, gauges (active
+    /// sessions, queue depths), and per-endpoint latency histograms.
+    pub fn stats_json(&self) -> Value {
+        let endpoints: serde_json::Map = lock(&self.endpoint_latency)
+            .iter()
+            .map(|(name, h)| ((*name).to_string(), parse_json(&h.to_json())))
+            .collect();
+        let sessions: Vec<Value> = self
+            .registry
+            .entries()
+            .iter()
+            .map(|e| {
+                json!({
+                    "id": e.id,
+                    "scenario": e.scenario.clone(),
+                    "queue_depth": e.queue_depth(),
+                    "enqueued": e.counters.enqueued.load(Ordering::Relaxed),
+                    "coalesced": e.counters.coalesced.load(Ordering::Relaxed),
+                    "dispatched": e.counters.dispatched.load(Ordering::Relaxed),
+                    "overloaded": e.counters.overloaded.load(Ordering::Relaxed),
+                })
+            })
+            .collect();
+        json!({
+            "active_sessions": self.registry.len(),
+            "draining": self.draining(),
+            "requests": self.counters.requests.load(Ordering::Relaxed),
+            "errors": self.counters.errors.load(Ordering::Relaxed),
+            "overloaded": self.counters.overloaded.load(Ordering::Relaxed),
+            "opened": self.counters.opened.load(Ordering::Relaxed),
+            "closed": self.counters.closed.load(Ordering::Relaxed),
+            "endpoints": Value::Object(endpoints),
+            "sessions": sessions,
+        })
+    }
+}
+
+impl SessionEntry {
+    /// Lock the serial core, recovering from poisoning.
+    pub fn lock_core(&self) -> std::sync::MutexGuard<'_, crate::session::SessionCore> {
+        self.core.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+fn endpoint_name(request: &Request) -> &'static str {
+    match request {
+        Request::Open { .. } => "open",
+        Request::Close { .. } => "close",
+        Request::RunCell { .. } => "run_cell",
+        Request::Generate { .. } => "generate",
+        Request::ApplyBinding { .. } => "apply_binding",
+        Request::Gesture { .. } => "gesture",
+        Request::Render { .. } => "render",
+        Request::Stats { .. } => "stats",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+fn unknown_session(id: u64) -> Value {
+    error_response(ErrorKind::UnknownSession, format!("no session {id}"))
+}
+
+fn notebook_error(e: &NotebookError) -> Value {
+    let kind = match e {
+        NotebookError::UnknownVersion(_) => ErrorKind::UnknownVersion,
+        NotebookError::Generation(_) => ErrorKind::Generation,
+        _ => ErrorKind::Notebook,
+    };
+    error_response(kind, e)
+}
+
+/// Embed a JSON string produced by a `to_json()` helper as a value.
+fn parse_json(text: &str) -> Value {
+    serde_json::from_str(text).unwrap_or(Value::Null)
+}
+
+/// Serialize a response document to one protocol line.
+fn to_line(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|e| {
+        format!("{{\"ok\":false,\"error\":{{\"kind\":\"internal\",\"message\":\"response serialization failed: {e}\"}}}}")
+    })
+}
+
+/// Result rows as arrays of JSON values.
+fn result_rows(result: &pi2_engine::ResultSet) -> Value {
+    Value::Array(
+        result
+            .rows
+            .iter()
+            .map(|row| Value::Array(row.iter().map(protocol::engine_value_to_json).collect()))
+            .collect(),
+    )
+}

@@ -6,10 +6,8 @@
 //! cargo run --release -p pi2-bench --example covid_walkthrough
 //! ```
 
-use pi2_core::{Event, Pi2, SearchStrategy};
-use pi2_mcts::MctsConfig;
+use pi2_core::prelude::*;
 use pi2_notebook::Notebook;
-use pi2_sql::Date;
 
 fn main() {
     let catalog = pi2_datasets::covid::catalog(&pi2_datasets::covid::Config::default());

@@ -26,7 +26,7 @@
 //! When stdin is not a terminal the REPL consumes a scripted session, so it
 //! is pipeable: `echo ':help' | cargo run … --example notebook_repl`.
 
-use pi2_core::{Event, InterfaceSession, WidgetValue};
+use pi2_core::prelude::*;
 use pi2_notebook::Notebook;
 use std::collections::HashMap;
 use std::io::{BufRead, Write};

@@ -5,7 +5,7 @@
 //! cargo run --release -p pi2-bench --example quickstart
 //! ```
 
-use pi2_core::{Event, Pi2, WidgetValue};
+use pi2_core::prelude::*;
 
 fn main() {
     // 1. A catalog: the toy table t(p, a, b) from the paper's §2 example.

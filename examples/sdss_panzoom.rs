@@ -5,7 +5,7 @@
 //! cargo run --release -p pi2-bench --example sdss_panzoom
 //! ```
 
-use pi2_core::{Event, Pi2};
+use pi2_core::prelude::*;
 
 fn main() {
     let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config::default());

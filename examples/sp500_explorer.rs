@@ -6,7 +6,7 @@
 //! cargo run --release -p pi2-bench --example sp500_explorer
 //! ```
 
-use pi2_core::{Event, Pi2, WidgetValue};
+use pi2_core::prelude::*;
 
 fn main() {
     let catalog = pi2_datasets::sp500::catalog(&pi2_datasets::sp500::Config::default());

@@ -28,6 +28,7 @@ echo "== benchmark artifacts (regen + schema check) =="
 cargo run -q --release -p pi2-bench --bin regen_latency > /dev/null
 cargo run -q --release -p pi2-bench --bin regen_interaction > /dev/null
 cargo run -q --release -p pi2-bench --bin regen_server > /dev/null
+cargo run -q --release -p pi2-bench --bin regen_fleet > /dev/null
 cargo run -q --release -p pi2-bench --bin bench_check
 
 echo "== cargo fmt --check =="
@@ -38,7 +39,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # pi2-core denies clippy::unwrap_used in non-test code at the crate level
 # (see crates/core/src/lib.rs); this run checks it without the `faults`
-# feature that the workspace-wide run unifies on.
+# feature that the workspace-wide run unifies on. The fleet module
+# (crates/core/src/fleet.rs) — shared generation cache, single-flight
+# table, admission limiter — is covered by this same gate: its lock
+# handling must never unwrap in non-test code.
 echo "== cargo clippy pi2-core (no unwrap in non-test code, no faults) =="
 cargo clippy -p pi2-core --all-targets -- -D warnings
 

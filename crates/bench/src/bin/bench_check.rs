@@ -129,13 +129,57 @@ fn check_server(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// `BENCH_fleet.json`: versioned object with per-fleet-outcome latency
+/// rows and the generation-storm summary. Beyond schema shape, the two
+/// headline claims are *enforced*: a cache-hit p50 time-to-interface
+/// under 1 ms, and exactly one cold generation per unique log
+/// fingerprint (no duplicated search work, nothing shed).
+fn check_fleet(path: &Path) -> Result<(), String> {
+    let v = load(path)?;
+    let ctx = path.display().to_string();
+    if v.get("schema_version").and_then(Value::as_i64) != Some(1) {
+        return Err(format!("{ctx}: `schema_version` must be 1"));
+    }
+    expect_string(&v, "scenario", &ctx)?;
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing `rows` array"))?;
+    if rows.is_empty() {
+        return Err(format!("{ctx}: no rows"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("{ctx} rows[{i}]");
+        expect_string(row, "outcome", &ctx)?;
+        for key in ["count", "p50_us", "p95_us", "p99_us", "mean_us", "max_us"] {
+            expect_number(row, key, &ctx)?;
+        }
+    }
+    let summary = v.get("summary").ok_or_else(|| format!("{ctx}: missing `summary` object"))?;
+    let sctx = format!("{ctx} summary");
+    for key in ["clients", "repeated_fraction", "unique_fingerprints", "cache_hit_p50_us"] {
+        expect_number(summary, key, &sctx)?;
+    }
+    for key in ["cache_hit_p50_within_1ms", "one_generation_per_unique_fingerprint"] {
+        expect_bool(summary, key, &sctx)?;
+        if summary[key].as_bool() != Some(true) {
+            return Err(format!("{sctx}: `{key}` is false — headline claim not met"));
+        }
+    }
+    if v.get("server_stats").and_then(Value::as_object).is_none() {
+        return Err(format!("{ctx}: missing `server_stats` object"));
+    }
+    Ok(())
+}
+
 type Check = fn(&Path) -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let checks: [(&str, Check); 3] = [
+    let checks: [(&str, Check); 4] = [
         ("target/BENCH_latency.json", check_latency),
         ("target/BENCH_interaction.json", check_interaction),
         ("target/BENCH_server.json", check_server),
+        ("target/BENCH_fleet.json", check_fleet),
     ];
     let mut failed = false;
     for (path, check) in checks {

@@ -1,0 +1,6 @@
+//! Regenerate the fleet-cache generation-storm exhibit; see
+//! `pi2_bench::figures::fleet_storm`. Writes
+//! `target/BENCH_fleet.json` as a side effect.
+fn main() {
+    print!("{}", pi2_bench::figures::fleet_storm::run());
+}

@@ -1,0 +1,201 @@
+//! Fleet-cache effectiveness under a 64-client generation storm.
+//!
+//! Sixty-four clients open notebooks concurrently against one server.
+//! Ninety percent replay the *same* query log (the fleet-cache hot path:
+//! literal and ordering differences fold into one fingerprint); the rest
+//! carry structurally unique logs that genuinely require a cold search.
+//! Each client is timed from `open` through `run_cell` to the `generate`
+//! response — the full time-to-interface — and bucketed by how the fleet
+//! served it (`hit`, `join`, `miss`).
+//!
+//! Two headline checks, both enforced by `bench_check`:
+//!
+//! * **cache-hit p50 time-to-interface < 1 ms** — a served-from-cache
+//!   open must feel instant;
+//! * **exactly one generation per unique fingerprint** — the single-flight
+//!   table collapses every repeated log onto one search (fleet `misses`
+//!   equals the number of unique fingerprints, and nothing is shed).
+//!
+//! Writes `target/BENCH_fleet.json` as a side effect.
+
+use pi2_core::FleetConfig;
+use pi2_server::{LocalClient, ServerState};
+use pi2_telemetry::LatencyHistogram;
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Concurrent clients in the storm.
+const CLIENTS: usize = 64;
+/// One client in `REPEAT_EVERY` carries a structurally unique log; the
+/// rest replay the base log (a 90/10 split at 64 clients).
+const REPEAT_EVERY: usize = 10;
+
+/// The base log every repeated client replays. The literals differ per
+/// client (folded away by the fingerprint) and half the clients reverse
+/// the order (folded away too): the fleet must see ONE fingerprint.
+fn base_log(client: usize) -> Vec<String> {
+    let a = 1 + (client % 2);
+    let b = 3 - a;
+    let mut log = vec![
+        format!("SELECT p, count(*) FROM t WHERE a = {a} GROUP BY p"),
+        format!("SELECT p, count(*) FROM t WHERE a = {b} GROUP BY p"),
+    ];
+    if client % 2 == 1 {
+        log.reverse();
+    }
+    log
+}
+
+/// A structurally unique log for variant `v`: the base log plus `v + 1`
+/// extra queries. Fingerprints preserve multiplicity, so each variant is
+/// its own cache entry and must run its own cold generation.
+fn variant_log(v: usize) -> Vec<String> {
+    let mut log = base_log(0);
+    for _ in 0..=v {
+        log.push("SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p".to_string());
+    }
+    log
+}
+
+/// Open a toy session, run `log`, and generate. Returns the fleet
+/// outcome reported by the server and the wall-clock time from `open`
+/// to the `generate` response (the client's time-to-interface).
+fn time_to_interface(client: &LocalClient, log: &[String]) -> (String, std::time::Duration) {
+    let start = Instant::now();
+    let opened = client.request(json!({"cmd": "open", "scenario": "toy"}));
+    assert_eq!(opened["ok"].as_bool(), Some(true), "open failed: {opened}");
+    let session = opened["session"].as_i64().expect("session id");
+    for sql in log {
+        let ran = client.request(json!({"cmd": "run_cell", "session": session, "sql": sql}));
+        assert_eq!(ran["ok"].as_bool(), Some(true), "run_cell failed: {ran}");
+    }
+    let generated = client.request(json!({"cmd": "generate", "session": session}));
+    let elapsed = start.elapsed();
+    assert_eq!(generated["ok"].as_bool(), Some(true), "generate failed: {generated}");
+    let outcome = generated["fleet"].as_str().unwrap_or("none").to_string();
+    (outcome, elapsed)
+}
+
+fn histogram_row(outcome: &str, h: &LatencyHistogram) -> Value {
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    json!({
+        "outcome": outcome,
+        "count": h.count(),
+        "p50_us": us(h.percentile(0.50)),
+        "p95_us": us(h.percentile(0.95)),
+        "p99_us": us(h.percentile(0.99)),
+        "mean_us": us(h.mean()),
+        "max_us": us(h.max()),
+    })
+}
+
+/// Regenerate the exhibit; writes `target/BENCH_fleet.json`.
+pub fn run() -> String {
+    // Generous cold cap: this exhibit measures the cache and the
+    // single-flight table, not admission-control shedding.
+    let state = Arc::new(ServerState::with_fleet(FleetConfig::new().max_concurrent_cold(CLIENTS)));
+
+    // Prime: one cold generation of the base fingerprint, and the one-off
+    // toy catalog build, stay out of the storm measurement.
+    let (outcome, _) = time_to_interface(&LocalClient::new(Arc::clone(&state)), &base_log(0));
+    assert_eq!(outcome, "miss", "priming generation must be the first cold miss");
+
+    let unique_variants = CLIENTS.div_ceil(REPEAT_EVERY) - 1;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let log = if i % REPEAT_EVERY == REPEAT_EVERY - 1 {
+                    variant_log(i / REPEAT_EVERY)
+                } else {
+                    base_log(i)
+                };
+                time_to_interface(&LocalClient::new(state), &log)
+            })
+        })
+        .collect();
+
+    let mut by_outcome: Vec<(String, LatencyHistogram)> = Vec::new();
+    for worker in workers {
+        let (outcome, elapsed) = worker.join().expect("storm client");
+        match by_outcome.iter_mut().find(|(o, _)| *o == outcome) {
+            Some((_, h)) => h.record(elapsed),
+            None => {
+                let mut h = LatencyHistogram::new();
+                h.record(elapsed);
+                by_outcome.push((outcome, h));
+            }
+        }
+    }
+    by_outcome.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let hit_p50_us = by_outcome
+        .iter()
+        .find(|(o, _)| o == "hit")
+        .map(|(_, h)| us(h.percentile(0.50)))
+        .unwrap_or(f64::INFINITY);
+    let hit_p50_within_1ms = hit_p50_us < 1000.0;
+
+    // The fleet counters are the single-flight witness: one miss per
+    // unique fingerprint (base + variants, prime included), zero sheds.
+    let stats = LocalClient::new(Arc::clone(&state)).request(json!({"cmd": "stats"}));
+    let fleet = &stats["stats"]["fleet"];
+    let misses = fleet["misses"].as_i64().unwrap_or(0);
+    let sheds = fleet["sheds"].as_i64().unwrap_or(i64::MAX);
+    let expected_fingerprints = (1 + unique_variants) as i64;
+    let one_generation_per_fingerprint = misses == expected_fingerprints && sheds == 0;
+
+    let rows: Vec<Value> = by_outcome.iter().map(|(o, h)| histogram_row(o, h)).collect();
+    let doc = json!({
+        "schema_version": 1,
+        "scenario": "toy-fleet-storm",
+        "rows": rows,
+        "summary": {
+            "clients": CLIENTS,
+            "repeated_fraction": 1.0 - (unique_variants as f64 / CLIENTS as f64),
+            "unique_fingerprints": expected_fingerprints,
+            "cache_hit_p50_us": hit_p50_us,
+            "cache_hit_p50_within_1ms": hit_p50_within_1ms,
+            "one_generation_per_unique_fingerprint": one_generation_per_fingerprint,
+        },
+        "server_stats": stats["stats"].clone(),
+    });
+
+    let mut out =
+        String::from("Fleet cache under a 64-client generation storm (90% repeated logs)\n");
+    out.push_str(&crate::text_table(
+        &["outcome", "clients", "p50 us", "p95 us", "p99 us", "mean us", "max us"],
+        &by_outcome
+            .iter()
+            .map(|(o, h)| {
+                vec![
+                    o.clone(),
+                    h.count().to_string(),
+                    format!("{:.1}", us(h.percentile(0.50))),
+                    format!("{:.1}", us(h.percentile(0.95))),
+                    format!("{:.1}", us(h.percentile(0.99))),
+                    format!("{:.1}", us(h.mean())),
+                    format!("{:.1}", us(h.max())),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&format!(
+        "\ncache-hit p50 time-to-interface = {hit_p50_us:.1} us (target: < 1000 us) — {}\n",
+        if hit_p50_within_1ms { "met" } else { "MISSED" }
+    ));
+    out.push_str(&format!(
+        "generations: {misses} cold for {expected_fingerprints} unique fingerprints, {sheds} shed — {}\n",
+        if one_generation_per_fingerprint { "exactly one per fingerprint" } else { "DUPLICATED WORK" }
+    ));
+
+    let text = serde_json::to_string_pretty(&doc).unwrap_or_default();
+    let path = std::path::Path::new("target").join("BENCH_fleet.json");
+    match std::fs::create_dir_all("target").and_then(|_| std::fs::write(&path, &text)) {
+        Ok(()) => out.push_str(&format!("wrote {}\n", path.display())),
+        Err(e) => out.push_str(&format!("could not write {}: {e}\n", path.display())),
+    }
+    out
+}

@@ -11,6 +11,7 @@ pub mod fig4_merged;
 pub mod fig5_multiview;
 pub mod fig6_pipeline;
 pub mod fig7_covid;
+pub mod fleet_storm;
 pub mod interaction_storm;
 pub mod latency;
 pub mod search_quality;
@@ -34,6 +35,7 @@ pub fn all() -> Vec<(&'static str, Exhibit)> {
         ("TR — generation latency", latency::run),
         ("TR — interaction dispatch latency", interaction_storm::run),
         ("TR — server dispatch under client storm", server_storm::run),
+        ("TR — fleet cache under generation storm", fleet_storm::run),
         ("TR — search quality (MCTS vs greedy)", search_quality::run),
         ("Ablations — cost-model terms", ablations::run),
     ]

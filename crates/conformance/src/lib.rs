@@ -45,7 +45,7 @@ pub mod shrink;
 
 pub use corpus::Reproducer;
 pub use faults::{check_fault, FAULT_CLASSES};
-pub use oracles::{check, CheckConfig, Failure, Mutation, StrategyChoice};
+pub use oracles::{check, check_fleet, CheckConfig, Failure, Mutation, StrategyChoice};
 pub use runner::{fuzz, RunReport, RunnerConfig};
 pub use scenarios::{scenarios, Scenario};
 pub use shrink::shrink;

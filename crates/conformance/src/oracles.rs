@@ -1,7 +1,10 @@
 //! The oracle battery: every invariant checked per fuzzed query log.
 
 use crate::events::{current_hole_value, domain_bounds, event_applies, random_event};
-use pi2_core::{Event, GeneratedInterface, InterfaceSession, Pi2, SearchStrategy, WidgetState};
+use pi2_core::{
+    Event, FleetConfig, FleetHandle, FleetOutcome, GeneratedInterface, InterfaceSession, Pi2,
+    SearchStrategy, WidgetState,
+};
 use pi2_difftree::{default_bindings, expresses, lower_query, Bindings, Domain, NodeKind};
 use pi2_engine::Catalog;
 use pi2_interface::{Target, VizInteraction, WidgetKind};
@@ -414,6 +417,66 @@ fn pan_roundtrip(catalog: &Catalog, g: &GeneratedInterface) -> Result<(), Failur
                 ));
             }
         }
+    }
+    Ok(())
+}
+
+/// Fleet-cache oracle: a shared [`FleetHandle`] must be *transparent*.
+///
+/// Three generations of the same log — the leader's cold search, a second
+/// builder's cache hit, and a fleet-less private run — must agree:
+///
+/// * the hit is **bit-identical** to the cold generation (interface,
+///   forest, canonical query snapshot, and cost bits) and reports
+///   `degradation: Full`;
+/// * the fleet counters record exactly one miss and one hit (the hit ran
+///   no search);
+/// * the private run produces the same interface, so caching can never
+///   change what the deterministic pipeline would have generated.
+pub fn check_fleet(
+    catalog: &Catalog,
+    log: &[Query],
+    strategy: StrategyChoice,
+) -> Result<(), Failure> {
+    let fail = |m: String| Failure::new("fleet-cache", m);
+    let fleet = FleetHandle::new(FleetConfig::new());
+    let leader =
+        Pi2::builder(catalog.clone()).strategy(strategy.to_strategy()).fleet(&fleet).build();
+    let cold = leader.generate(log).map_err(|e| fail(format!("cold generation: {e}")))?;
+    if cold.stats.fleet != Some(FleetOutcome::Miss) {
+        return Err(fail(format!("cold outcome {:?}, expected Miss", cold.stats.fleet)));
+    }
+
+    let follower =
+        Pi2::builder(catalog.clone()).strategy(strategy.to_strategy()).fleet(&fleet).build();
+    let warm = follower.generate(log).map_err(|e| fail(format!("warm generation: {e}")))?;
+    if warm.stats.fleet != Some(FleetOutcome::Hit) {
+        return Err(fail(format!("warm outcome {:?}, expected Hit", warm.stats.fleet)));
+    }
+    if warm.interface != cold.interface {
+        return Err(fail("cache hit changed the interface".to_string()));
+    }
+    if warm.forest != cold.forest {
+        return Err(fail("cache hit changed the DiffTree forest".to_string()));
+    }
+    if warm.queries != cold.queries {
+        return Err(fail("cache hit changed the canonical query snapshot".to_string()));
+    }
+    if warm.cost.total.to_bits() != cold.cost.total.to_bits() {
+        return Err(fail(format!(
+            "cache hit changed the cost: {} != {}",
+            warm.cost.total, cold.cost.total
+        )));
+    }
+    let counters = fleet.counters();
+    if counters.misses != 1 || counters.hits != 1 {
+        return Err(fail(format!("expected exactly one miss and one hit, got {counters:?}")));
+    }
+
+    let private = Pi2::builder(catalog.clone()).strategy(strategy.to_strategy()).build();
+    let alone = private.generate(log).map_err(|e| fail(format!("private generation: {e}")))?;
+    if alone.interface != cold.interface {
+        return Err(fail("fleet-attached generation diverged from a private run".to_string()));
     }
     Ok(())
 }

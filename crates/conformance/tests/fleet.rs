@@ -1,0 +1,35 @@
+//! Fleet-cache conformance: over fuzzed logs, scenarios, and strategies,
+//! a cache hit must be bit-identical to the cold generation it was
+//! published from, and attaching a fleet must never change what the
+//! pipeline generates (see [`pi2_conformance::check_fleet`]).
+
+use pi2_conformance::{check_fleet, scenarios, StrategyChoice};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn cache_hits_are_bit_identical_across_fuzzed_logs() {
+    for scenario in scenarios() {
+        let mut rng = SmallRng::seed_from_u64(0xF1EE7);
+        for run in 0..6u64 {
+            let log_len = rng.gen_range(1..5);
+            let log = scenario.spec.random_log(&mut rng, log_len);
+            // Alternate the fast deterministic path and a small seeded
+            // search (exercises the fleet-shared cost memo too).
+            let strategy = if run % 2 == 0 {
+                StrategyChoice::FullMerge
+            } else {
+                StrategyChoice::Mcts { iterations: 12, seed: 17, workers: 2 }
+            };
+            if let Err(f) = check_fleet(&scenario.catalog, &log, strategy) {
+                panic!(
+                    "scenario {} run {run} ({strategy:?}): [{}] {}\nlog: {}",
+                    scenario.name,
+                    f.oracle,
+                    f.message,
+                    log.iter().map(|q| q.to_string()).collect::<Vec<_>>().join(" | "),
+                );
+            }
+        }
+    }
+}

@@ -38,11 +38,13 @@
 
 pub mod explain;
 mod fallback;
+pub mod fleet;
 pub mod pipeline;
 pub mod prelude;
 pub mod problem;
 pub mod session;
 
+pub use fleet::{FleetConfig, FleetCounters, FleetHandle, FleetOutcome};
 pub use pi2_mcts::GenerationBudget;
 pub use pipeline::{
     DegradationLevel, GeneratedInterface, GenerationStats, Pi2, Pi2Builder, Pi2Error,

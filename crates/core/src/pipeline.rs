@@ -1,7 +1,8 @@
 //! The end-to-end generation pipeline and its public entry point.
 
+use crate::fleet::{self, CachedGeneration, FleetHandle, FleetOutcome, FlightOutcome, Role};
 use crate::problem::InterfaceSearch;
-use pi2_cost::{CostBreakdown, CostMemo, CostWeights};
+use pi2_cost::{combine_fingerprints, weights_fingerprint, CostBreakdown, CostMemo, CostWeights};
 use pi2_difftree::DiffForest;
 use pi2_engine::Catalog;
 use pi2_interface::{map_forest, Interface, MapperConfig, ScreenSpec};
@@ -137,6 +138,9 @@ pub struct GenerationStats {
     pub degradation: DegradationLevel,
     /// Why the run degraded, when `degradation` is not `Full`.
     pub degradation_reason: Option<String>,
+    /// How the fleet generation cache participated, when a
+    /// [`FleetHandle`] is attached (`None` without one).
+    pub fleet: Option<FleetOutcome>,
 }
 
 impl GenerationStats {
@@ -214,6 +218,7 @@ pub struct Pi2Builder {
     strategy: SearchStrategy,
     budget: GenerationBudget,
     graceful: bool,
+    fleet: Option<FleetHandle>,
 }
 
 impl Pi2Builder {
@@ -259,8 +264,23 @@ impl Pi2Builder {
         self
     }
 
+    /// Attach the process-wide [`FleetHandle`]: this generator serves
+    /// repeated logs from the shared generation cache, joins in-flight
+    /// generations of the same fingerprint instead of repeating them,
+    /// respects the handle's admission cap, and uses the handle's shared
+    /// [`CostMemo`] in place of a private one. This supersedes the
+    /// deprecated per-`Pi2` memo wiring ([`Pi2::memo`]).
+    pub fn fleet(mut self, handle: &FleetHandle) -> Self {
+        self.fleet = Some(handle.clone());
+        self
+    }
+
     /// Build.
     pub fn build(self) -> Pi2 {
+        let memo = match &self.fleet {
+            Some(handle) => Arc::clone(handle.memo()),
+            None => Arc::new(CostMemo::new()),
+        };
         Pi2 {
             catalog: self.catalog,
             screen: self.screen,
@@ -268,7 +288,8 @@ impl Pi2Builder {
             strategy: self.strategy,
             budget: self.budget,
             graceful: self.graceful,
-            memo: Arc::new(CostMemo::new()),
+            fleet: self.fleet,
+            memo,
         }
     }
 }
@@ -286,6 +307,7 @@ pub struct Pi2 {
     strategy: SearchStrategy,
     budget: GenerationBudget,
     graceful: bool,
+    fleet: Option<FleetHandle>,
     memo: Arc<CostMemo>,
 }
 
@@ -299,6 +321,7 @@ impl Pi2 {
             strategy: SearchStrategy::default(),
             budget: GenerationBudget::default(),
             graceful: true,
+            fleet: None,
         }
     }
 
@@ -308,8 +331,18 @@ impl Pi2 {
     }
 
     /// The cost memo shared across this generator's runs.
+    #[deprecated(
+        since = "0.6.0",
+        note = "attach a `FleetHandle` with `Pi2Builder::fleet` and read `FleetHandle::memo` \
+                instead; ad-hoc per-`Pi2` memo wiring is superseded by the shared fleet state"
+    )]
     pub fn memo(&self) -> &Arc<CostMemo> {
         &self.memo
+    }
+
+    /// The attached fleet handle, if any.
+    pub fn fleet(&self) -> Option<&FleetHandle> {
+        self.fleet.as_ref()
     }
 
     /// Generate an interface from SQL text.
@@ -346,6 +379,185 @@ impl Pi2 {
         if queries.is_empty() {
             return Err(Pi2Error::EmptyLog);
         }
+        match self.fleet.clone() {
+            Some(handle) => self.generate_fleet(&handle, queries, telemetry),
+            None => self.generate_cold(queries, telemetry, None),
+        }
+    }
+
+    /// The context half of the fleet cache key: everything besides the
+    /// query log that determines the generation outcome. Catalog identity
+    /// and execution limits are included because binding domains and
+    /// costing consult the data.
+    fn fleet_context(&self) -> u64 {
+        let strategy_fp = match &self.strategy {
+            SearchStrategy::Mcts(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.budget = self.merged_budget(&cfg.budget);
+                combine_fingerprints(&[1, cfg.fingerprint()])
+            }
+            SearchStrategy::Greedy { max_evaluations } => combine_fingerprints(&[
+                2,
+                *max_evaluations as u64,
+                self.merged_budget(&GenerationBudget::default()).fingerprint(),
+            ]),
+            SearchStrategy::FullMerge => combine_fingerprints(&[3]),
+        };
+        let limits = self.catalog.limits();
+        combine_fingerprints(&[
+            self.catalog.version(),
+            weights_fingerprint(&self.weights),
+            self.screen.width as u64,
+            self.screen.height as u64,
+            strategy_fp,
+            u64::from(self.graceful),
+            limits.max_rows.map_or(0, |n| n as u64 + 1),
+            limits.timeout.map_or(0, |t| t.as_nanos() as u64),
+        ])
+    }
+
+    /// Generate through the fleet: cache hit, single-flight join, or a
+    /// led cold generation (admitted or shed) that publishes its result.
+    fn generate_fleet(
+        &self,
+        handle: &FleetHandle,
+        queries: &[Query],
+        telemetry: Arc<Registry>,
+    ) -> Result<GeneratedInterface, Pi2Error> {
+        let start = Instant::now();
+        let key = (self.fleet_context(), fleet::log_fingerprint(queries));
+        if let Some(cached) = handle.lookup(key) {
+            telemetry.add("fleet.hit", 1);
+            return Ok(self.serve_cached(
+                &cached,
+                DegradationLevel::Full,
+                None,
+                FleetOutcome::Hit,
+                start,
+                &telemetry,
+            ));
+        }
+        match handle.begin(key) {
+            Role::Cached(cached) => {
+                telemetry.add("fleet.hit", 1);
+                Ok(self.serve_cached(
+                    &cached,
+                    DegradationLevel::Full,
+                    None,
+                    FleetOutcome::Hit,
+                    start,
+                    &telemetry,
+                ))
+            }
+            Role::Follow(flight) => match handle.join(&flight) {
+                Some(Ok(outcome)) => {
+                    telemetry.add("fleet.join", 1);
+                    Ok(self.serve_cached(
+                        &outcome.generation,
+                        outcome.degradation,
+                        outcome.degradation_reason,
+                        FleetOutcome::Join,
+                        start,
+                        &telemetry,
+                    ))
+                }
+                // The leader failed; take the normal degradation path
+                // (fallback interface in graceful mode, the error itself
+                // otherwise).
+                Some(Err(err)) => self.degrade(queries, start, telemetry, None, err),
+                // The leader outlived our patience; generate privately
+                // without publishing (the leader keeps the lease).
+                None => self.generate_cold(queries, telemetry, None),
+            },
+            Role::Lead(lease) => {
+                let permit = handle.admit();
+                let shed = permit.is_none();
+                telemetry.add(if shed { "fleet.shed" } else { "fleet.miss" }, 1);
+                let overflow = shed.then(|| handle.config().overflow_budget.clone());
+                let mut result =
+                    self.generate_cold(queries, Arc::clone(&telemetry), overflow.as_ref());
+                drop(permit);
+                if shed {
+                    if let Ok(g) = &mut result {
+                        // A fallback stays a fallback; anything better is
+                        // truthfully at most Anytime once shed, and the
+                        // reason records the admission decision.
+                        if g.stats.degradation <= DegradationLevel::Anytime {
+                            g.stats.degradation = DegradationLevel::Anytime;
+                            g.stats.degradation_reason =
+                                Some(match g.stats.degradation_reason.take() {
+                                    Some(prior) => format!(
+                                        "admission control shed this cold generation \
+                                         (overflow budget applied); {prior}"
+                                    ),
+                                    None => "admission control shed this cold generation; it \
+                                             ran immediately under the overflow budget"
+                                        .to_string(),
+                                });
+                        }
+                    }
+                }
+                let flight_result = match &result {
+                    Ok(g) => Ok(FlightOutcome {
+                        generation: Arc::new(CachedGeneration {
+                            queries: g.queries.clone(),
+                            forest: g.forest.clone(),
+                            interface: g.interface.clone(),
+                            cost: g.cost.clone(),
+                            candidates_considered: g.stats.candidates_considered,
+                        }),
+                        degradation: g.stats.degradation,
+                        degradation_reason: g.stats.degradation_reason.clone(),
+                    }),
+                    Err(e) => Err(e.clone()),
+                };
+                lease.publish(&flight_result);
+                if let Ok(g) = &mut result {
+                    g.stats.fleet =
+                        Some(if shed { FleetOutcome::Shed } else { FleetOutcome::Miss });
+                }
+                result
+            }
+        }
+    }
+
+    /// Assemble a [`GeneratedInterface`] from a cached (or just-published)
+    /// generation: the artifacts are the leader's, bit for bit.
+    fn serve_cached(
+        &self,
+        cached: &Arc<CachedGeneration>,
+        degradation: DegradationLevel,
+        degradation_reason: Option<String>,
+        outcome: FleetOutcome,
+        start: Instant,
+        telemetry: &Registry,
+    ) -> GeneratedInterface {
+        GeneratedInterface {
+            queries: cached.queries.clone(),
+            forest: cached.forest.clone(),
+            interface: cached.interface.clone(),
+            cost: cached.cost.clone(),
+            stats: GenerationStats {
+                elapsed: start.elapsed(),
+                candidates_considered: cached.candidates_considered,
+                search: None,
+                telemetry: telemetry.snapshot(),
+                memo_hits: 0,
+                memo_misses: 0,
+                memo_entries: self.memo.len(),
+                degradation,
+                degradation_reason,
+                fleet: Some(outcome),
+            },
+        }
+    }
+
+    fn generate_cold(
+        &self,
+        queries: &[Query],
+        telemetry: Arc<Registry>,
+        overflow: Option<&GenerationBudget>,
+    ) -> Result<GeneratedInterface, Pi2Error> {
         let start = Instant::now();
         let mapper_cfg = MapperConfig { screen: self.screen, enumerate_variants: true };
         let search = InterfaceSearch::with_memo(
@@ -369,6 +581,9 @@ impl Pi2 {
                 SearchStrategy::Mcts(cfg) => {
                     let mut cfg = cfg.clone();
                     cfg.budget = self.merged_budget(&cfg.budget);
+                    if let Some(o) = overflow {
+                        cfg.budget = tightened(&cfg.budget, o);
+                    }
                     if forced_deadline {
                         cfg.budget.deadline = Some(Duration::ZERO);
                     }
@@ -380,6 +595,9 @@ impl Pi2 {
                 }
                 SearchStrategy::Greedy { max_evaluations } => {
                     let mut budget = self.merged_budget(&GenerationBudget::default());
+                    if let Some(o) = overflow {
+                        budget = tightened(&budget, o);
+                    }
                     if forced_deadline {
                         budget.deadline = Some(Duration::ZERO);
                     }
@@ -467,6 +685,7 @@ impl Pi2 {
                 memo_entries: self.memo.len(),
                 degradation,
                 degradation_reason,
+                fleet: None,
             },
         })
     }
@@ -503,6 +722,7 @@ impl Pi2 {
                 memo_entries: self.memo.len(),
                 degradation: DegradationLevel::Fallback,
                 degradation_reason: Some(err.to_string()),
+                fleet: None,
             },
         })
     }
@@ -510,6 +730,23 @@ impl Pi2 {
     /// Open an interactive session over a generated interface.
     pub fn session(&self, generated: &GeneratedInterface) -> crate::session::InterfaceSession {
         generated.session(&self.catalog)
+    }
+}
+
+/// Layer two budgets, keeping the tighter limit on each axis. Used to
+/// clamp the fleet's overflow budget onto shed generations.
+fn tightened(base: &GenerationBudget, clamp: &GenerationBudget) -> GenerationBudget {
+    fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+    GenerationBudget {
+        deadline: tighter(base.deadline, clamp.deadline),
+        max_iterations: tighter(base.max_iterations, clamp.max_iterations),
+        max_states: tighter(base.max_states, clamp.max_states),
     }
 }
 
@@ -527,6 +764,7 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::FleetConfig;
 
     #[test]
     fn generates_for_single_query() {
@@ -703,6 +941,97 @@ mod tests {
         assert_eq!(s.worker_panics, 1);
         assert!(s.workers.iter().any(|w| w.panicked));
         assert!(g.cost.expressive);
+    }
+
+    #[test]
+    fn fleet_cache_hit_is_bit_identical_to_the_cold_generation() {
+        let fleet = FleetHandle::new(FleetConfig::new());
+        let catalog = pi2_datasets::toy::default_catalog();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let cold = Pi2::builder(catalog.clone()).fleet(&fleet).build().generate(&queries).unwrap();
+        assert_eq!(cold.stats.fleet, Some(FleetOutcome::Miss));
+        assert_eq!(cold.stats.degradation, DegradationLevel::Full);
+        // A different generator instance (another "session") hits.
+        let warm = Pi2::builder(catalog).fleet(&fleet).build().generate(&queries).unwrap();
+        assert_eq!(warm.stats.fleet, Some(FleetOutcome::Hit));
+        assert_eq!(warm.interface, cold.interface);
+        assert_eq!(warm.forest, cold.forest);
+        assert_eq!(warm.cost, cold.cost);
+        assert_eq!(warm.queries, cold.queries);
+        let c = fleet.counters();
+        assert_eq!((c.hits, c.misses, c.entries), (1, 1, 1), "{c:?}");
+    }
+
+    #[test]
+    fn literal_variants_share_a_fleet_entry_but_structures_do_not() {
+        let fleet = FleetHandle::new(FleetConfig::new());
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
+            .strategy(SearchStrategy::FullMerge)
+            .fleet(&fleet)
+            .build();
+        let first = pi2
+            .generate_sql(&[
+                "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+                "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+            ])
+            .unwrap();
+        // Only the literals differ: same fingerprint, served from cache
+        // with the canonical (leader's) query snapshot.
+        let variant = pi2
+            .generate_sql(&[
+                "SELECT p, count(*) FROM t WHERE a = 5 GROUP BY p",
+                "SELECT p, count(*) FROM t WHERE a = 7 GROUP BY p",
+            ])
+            .unwrap();
+        assert_eq!(variant.stats.fleet, Some(FleetOutcome::Hit));
+        assert_eq!(variant.interface, first.interface);
+        assert_eq!(variant.queries, first.queries);
+        // A structural difference misses.
+        let other =
+            pi2.generate_sql(&["SELECT b, count(*) FROM t WHERE a = 1 GROUP BY b"]).unwrap();
+        assert_eq!(other.stats.fleet, Some(FleetOutcome::Miss));
+        assert_eq!(fleet.counters().misses, 2);
+        assert_eq!(fleet.counters().entries, 2);
+    }
+
+    #[test]
+    fn shed_generation_reports_anytime_and_is_never_cached() {
+        // Cap 0: admission control sheds every cold generation. It still
+        // runs immediately (no queueing) under the overflow budget and is
+        // truthfully labeled Anytime, and the degraded result must not be
+        // pinned in the cache.
+        let fleet = FleetHandle::new(FleetConfig::new().max_concurrent_cold(0));
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog()).fleet(&fleet).build();
+        let queries = pi2_datasets::toy::fig2_queries();
+        let g = pi2.generate(&queries).unwrap();
+        assert_eq!(g.stats.fleet, Some(FleetOutcome::Shed));
+        assert_eq!(g.stats.degradation, DegradationLevel::Anytime);
+        assert!(g.stats.degradation_reason.as_ref().unwrap().contains("admission"));
+        assert!(g.forest.expresses_all(&queries));
+        assert!(fleet.is_empty(), "shed results must not be cached");
+        let again = pi2.generate(&queries).unwrap();
+        assert_eq!(again.stats.fleet, Some(FleetOutcome::Shed));
+        assert_eq!(fleet.counters().sheds, 2);
+    }
+
+    #[test]
+    fn concurrent_generations_of_one_fingerprint_run_one_search() {
+        let fleet = FleetHandle::new(FleetConfig::new());
+        let catalog = pi2_datasets::toy::default_catalog();
+        let queries = pi2_datasets::toy::fig2_queries();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let pi2 = Pi2::builder(catalog.clone()).fleet(&fleet).build();
+                    let g = pi2.generate(&queries).unwrap();
+                    assert!(g.cost.expressive);
+                });
+            }
+        });
+        let c = fleet.counters();
+        assert_eq!(c.misses, 1, "exactly one cold generation must run: {c:?}");
+        assert_eq!(c.hits + c.joins, 7, "{c:?}");
+        assert_eq!(c.sheds, 0, "{c:?}");
     }
 
     #[test]

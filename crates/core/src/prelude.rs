@@ -19,6 +19,7 @@
 //! here; specialized layers (dataset builders, renderers, the search
 //! internals) keep their own namespaces.
 
+pub use crate::fleet::{FleetConfig, FleetCounters, FleetHandle, FleetOutcome};
 pub use crate::pipeline::{
     DegradationLevel, GeneratedInterface, GenerationStats, Pi2, Pi2Builder, Pi2Error,
     SearchStrategy,

@@ -40,7 +40,7 @@
 pub mod effectiveness;
 pub mod memo;
 
-pub use memo::{weights_fingerprint, CostMemo, CostedChoice};
+pub use memo::{combine_fingerprints, weights_fingerprint, CostMemo, CostedChoice};
 
 use pi2_difftree::{choices, ChoiceKind, DiffForest};
 use pi2_engine::Catalog;

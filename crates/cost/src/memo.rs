@@ -147,6 +147,21 @@ pub fn weights_fingerprint(w: &crate::CostWeights) -> u64 {
     h.finish()
 }
 
+/// Stable, order-sensitive combination of fingerprint parts into one
+/// `u64`. The shared building block for composite cache keys (the cost
+/// memo's context fingerprint, the fleet generation-cache key): callers
+/// hash each input with its own `fingerprint()` helper and combine the
+/// parts here, so every layer composes keys the same way.
+pub fn combine_fingerprints(parts: &[u64]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    parts.len().hash(&mut h);
+    for p in parts {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +226,13 @@ mod tests {
             assert!(got.is_none());
         }
         assert_eq!(computed, 1);
+    }
+
+    #[test]
+    fn combined_fingerprints_are_order_sensitive_and_stable() {
+        assert_eq!(combine_fingerprints(&[1, 2, 3]), combine_fingerprints(&[1, 2, 3]));
+        assert_ne!(combine_fingerprints(&[1, 2, 3]), combine_fingerprints(&[3, 2, 1]));
+        assert_ne!(combine_fingerprints(&[]), combine_fingerprints(&[0]));
     }
 
     #[test]

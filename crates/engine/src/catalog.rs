@@ -102,6 +102,17 @@ impl Catalog {
         self.limits
     }
 
+    /// The catalog's globally-unique content version. Every
+    /// [`register`](Self::register) moves the catalog to a fresh version;
+    /// clones share their source's version until they diverge. Two
+    /// catalogs with the same version hold identical table data, which
+    /// makes the version a sound catalog-identity input for cache keys
+    /// (the engine's own result cache and the fleet generation cache both
+    /// key on it).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Register (or replace) a table under its own name. The catalog moves
     /// to a fresh version, so previously cached results (including those
     /// shared with clones) no longer match its keys.

@@ -103,6 +103,19 @@ impl GenerationBudget {
     pub fn is_unbounded(&self) -> bool {
         self.deadline.is_none() && self.max_iterations.is_none() && self.max_states.is_none()
     }
+
+    /// A stable fingerprint of the budget's limits, an input to search
+    /// cache keys: two searches with different budgets may legitimately
+    /// return different (anytime) results, so they must not share cached
+    /// outcomes.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.deadline.map(|d| d.as_nanos()).hash(&mut h);
+        self.max_iterations.hash(&mut h);
+        self.max_states.hash(&mut h);
+        h.finish()
+    }
 }
 
 /// MCTS configuration.
@@ -125,6 +138,27 @@ pub struct MctsConfig {
     pub workers: usize,
     /// Resource budget; unbounded by default. See [`GenerationBudget`].
     pub budget: GenerationBudget,
+}
+
+impl MctsConfig {
+    /// A stable fingerprint of everything that determines the search
+    /// outcome for a fixed problem: iteration budget, exploration constant
+    /// (exact bit pattern), rollout depth, seed, action cap, worker count,
+    /// and the nested [`GenerationBudget`]. Equal fingerprints mean the
+    /// deterministic search returns bit-identical results, so the fleet
+    /// generation cache keys on it.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.iterations.hash(&mut h);
+        self.exploration.to_bits().hash(&mut h);
+        self.rollout_depth.hash(&mut h);
+        self.seed.hash(&mut h);
+        self.max_actions_per_node.hash(&mut h);
+        self.workers.hash(&mut h);
+        self.budget.fingerprint().hash(&mut h);
+        h.finish()
+    }
 }
 
 impl Default for MctsConfig {

@@ -54,7 +54,7 @@ pub mod session;
 pub mod state;
 
 pub use client::{LocalClient, TcpClient};
-pub use protocol::{ErrorKind, OpenOptions, Request, Strategy};
+pub use protocol::{CacheMode, CacheOptions, ErrorKind, OpenOptions, Request, Strategy};
 pub use registry::Registry;
 pub use server::Server;
 pub use session::{coalesce, Enqueue, SessionEntry, QUEUE_CAP};

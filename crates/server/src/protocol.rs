@@ -36,6 +36,62 @@ pub enum Strategy {
     Greedy,
 }
 
+/// How a session's `generate` calls relate to the server's fleet-wide
+/// generation cache. Carried in `open`'s `cache: {"mode": ...}` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Use the process-wide fleet cache (the default): repeated logs are
+    /// served from cache, concurrent identical generations single-flight,
+    /// and admission control may shed to `Anytime`.
+    #[default]
+    Shared,
+    /// Always run a private, fresh search; never read or write the fleet
+    /// cache (for reproduction runs and benchmarking the cold path).
+    Bypass,
+}
+
+impl CacheMode {
+    /// The wire name of the mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheMode::Shared => "shared",
+            CacheMode::Bypass => "bypass",
+        }
+    }
+}
+
+/// The structured `cache` option block of `open`:
+/// `{"mode": "shared"|"bypass", "wait_ms": n}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct CacheOptions {
+    /// Fleet-cache participation (default [`CacheMode::Shared`]).
+    pub mode: CacheMode,
+    /// How long this session's `generate` waits on another session's
+    /// in-flight generation of the same fingerprint before searching
+    /// privately (`0` = don't wait, absent = the fleet default).
+    pub wait_ms: Option<u64>,
+}
+
+impl CacheOptions {
+    /// Defaults (alias for `Default`): shared mode, fleet-default wait.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the cache mode.
+    pub fn mode(mut self, mode: CacheMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the single-flight follower wait in milliseconds.
+    pub fn wait_ms(mut self, wait_ms: Option<u64>) -> Self {
+        self.wait_ms = wait_ms;
+        self
+    }
+}
+
 /// Options accepted by `open`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OpenOptions {
@@ -51,6 +107,8 @@ pub struct OpenOptions {
     pub max_iterations: Option<usize>,
     /// Search strategy for this session.
     pub strategy: Strategy,
+    /// Fleet-cache participation (see [`CacheOptions`]).
+    pub cache: CacheOptions,
 }
 
 /// A parsed request.
@@ -237,6 +295,7 @@ pub fn parse_request_value(doc: &Value) -> Result<Request, Value> {
                     deadline_ms: opt_u64(doc, "deadline_ms")?,
                     max_iterations: opt_usize(doc, "max_iterations")?,
                     strategy,
+                    cache: parse_cache_options(doc.get("cache"))?,
                 },
             })
         }
@@ -286,6 +345,24 @@ pub fn parse_request_value(doc: &Value) -> Result<Request, Value> {
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!("unknown cmd `{other}`"))),
     }
+}
+
+/// Parse `open`'s optional `cache` block:
+/// `{"mode": "shared"|"bypass", "wait_ms": n}` (absent = all defaults).
+fn parse_cache_options(doc: Option<&Value>) -> Result<CacheOptions, Value> {
+    let Some(doc) = doc else { return Ok(CacheOptions::default()) };
+    if doc.is_null() {
+        return Ok(CacheOptions::default());
+    }
+    if !matches!(doc, Value::Object(_)) {
+        return Err(bad("`cache` must be an object {mode, wait_ms}"));
+    }
+    let mode = match doc.get("mode").and_then(Value::as_str) {
+        None | Some("shared") => CacheMode::Shared,
+        Some("bypass") => CacheMode::Bypass,
+        Some(other) => return Err(bad(format!("unknown cache mode `{other}` (shared|bypass)"))),
+    };
+    Ok(CacheOptions { mode, wait_ms: opt_u64(doc, "wait_ms")? })
 }
 
 // ---- events -----------------------------------------------------------------
@@ -492,11 +569,40 @@ mod tests {
             r#"{"cmd": "gesture", "session": 1, "events": []}"#,
             r#"{"cmd": "run_cell", "session": "one", "sql": "SELECT 1"}"#,
             r#"{"cmd": "open", "scenario": "toy", "max_rows": -3}"#,
+            r#"{"cmd": "open", "scenario": "toy", "cache": "shared"}"#,
+            r#"{"cmd": "open", "scenario": "toy", "cache": {"mode": "maybe"}}"#,
+            r#"{"cmd": "open", "scenario": "toy", "cache": {"wait_ms": -1}}"#,
         ] {
             let err = parse_request(bad_line).unwrap_err();
             assert_eq!(err["ok"].as_bool(), Some(false), "{bad_line} -> {err}");
             assert_eq!(err["error"]["kind"].as_str(), Some("bad_request"), "{bad_line}");
         }
+    }
+
+    #[test]
+    fn cache_options_parse_with_defaults() {
+        // Absent block: shared mode, fleet-default wait.
+        let (req, _) = parse_request(r#"{"cmd": "open", "scenario": "toy"}"#).unwrap();
+        let Request::Open { options, .. } = req else { panic!() };
+        assert_eq!(options.cache, CacheOptions::default());
+        assert_eq!(options.cache.mode, CacheMode::Shared);
+
+        // Fully specified block.
+        let (req, _) = parse_request(
+            r#"{"cmd": "open", "scenario": "toy", "cache": {"mode": "bypass", "wait_ms": 250}}"#,
+        )
+        .unwrap();
+        let Request::Open { options, .. } = req else { panic!() };
+        assert_eq!(options.cache.mode, CacheMode::Bypass);
+        assert_eq!(options.cache.wait_ms, Some(250));
+
+        // Mode defaults to shared inside a partial block.
+        let (req, _) =
+            parse_request(r#"{"cmd": "open", "scenario": "toy", "cache": {"wait_ms": 0}}"#)
+                .unwrap();
+        let Request::Open { options, .. } = req else { panic!() };
+        assert_eq!(options.cache.mode, CacheMode::Shared);
+        assert_eq!(options.cache.wait_ms, Some(0));
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! both feed request lines through it, so they observe byte-identical
 //! behavior.
 
-use crate::protocol::{self, defaults, error_response, ErrorKind, OpenOptions, Request, Strategy};
+use crate::protocol::{
+    self, defaults, error_response, CacheMode, ErrorKind, OpenOptions, Request, Strategy,
+};
 use crate::registry::Registry;
 use crate::session::{Enqueue, SessionEntry};
 use pi2_core::prelude::{
-    Catalog, Event, ExecLimits, GenerationBudget, Pi2, SearchStrategy, WidgetValue,
+    Catalog, Event, ExecLimits, FleetConfig, FleetHandle, GenerationBudget, Pi2, SearchStrategy,
+    WidgetValue,
 };
 use pi2_notebook::{Notebook, NotebookError};
 use pi2_telemetry::LatencyHistogram;
@@ -46,6 +49,7 @@ pub struct ServerCounters {
 pub struct ServerState {
     registry: Registry,
     catalogs: Mutex<BTreeMap<String, Catalog>>,
+    fleet: FleetHandle,
     draining: AtomicBool,
     endpoint_latency: Mutex<BTreeMap<&'static str, LatencyHistogram>>,
     counters: ServerCounters,
@@ -58,11 +62,20 @@ impl Default for ServerState {
 }
 
 impl ServerState {
-    /// Fresh state with no sessions and no cached catalogs.
+    /// Fresh state with no sessions and no cached catalogs, using the
+    /// default fleet configuration.
     pub fn new() -> Self {
+        Self::with_fleet(FleetConfig::default())
+    }
+
+    /// Fresh state whose fleet-wide generation cache, single-flight
+    /// table, and admission limiter use `fleet` (see
+    /// [`FleetConfig`]).
+    pub fn with_fleet(fleet: FleetConfig) -> Self {
         Self {
             registry: Registry::new(),
             catalogs: Mutex::new(BTreeMap::new()),
+            fleet: FleetHandle::new(fleet),
             draining: AtomicBool::new(false),
             endpoint_latency: Mutex::new(BTreeMap::new()),
             counters: ServerCounters::default(),
@@ -72,6 +85,12 @@ impl ServerState {
     /// The session registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// The process-wide fleet handle shared by every `shared`-mode
+    /// session.
+    pub fn fleet(&self) -> &FleetHandle {
+        &self.fleet
     }
 
     /// Whether graceful shutdown has begun.
@@ -186,7 +205,19 @@ impl ServerState {
             Strategy::Mcts => SearchStrategy::default(),
             Strategy::Greedy => SearchStrategy::Greedy { max_evaluations: 200 },
         };
-        let pi2 = Pi2::builder(catalog).strategy(strategy).budget(budget).build();
+        let mut builder = Pi2::builder(catalog).strategy(strategy).budget(budget);
+        if options.cache.mode == CacheMode::Shared {
+            // One fleet handle per process; a per-session `wait_ms` only
+            // overrides how long this session waits on another session's
+            // in-flight generation, not the shared state itself.
+            let handle = match options.cache.wait_ms {
+                None => self.fleet.clone(),
+                Some(0) => self.fleet.clone().with_follower_wait(Some(Duration::ZERO)),
+                Some(ms) => self.fleet.clone().with_follower_wait(Some(Duration::from_millis(ms))),
+            };
+            builder = builder.fleet(&handle);
+        }
+        let pi2 = builder.build();
         let id = self.registry.allocate_id();
         let entry = Arc::new(SessionEntry::new(id, scenario.to_string(), Notebook::with_pi2(pi2)));
         self.registry.insert(entry);
@@ -234,20 +265,22 @@ impl ServerState {
         match core.notebook.generate_interface() {
             Ok(version) => {
                 entry.latest_version.fetch_max(version, Ordering::SeqCst);
-                let iface = &core
-                    .notebook
-                    .versions()
-                    .last()
-                    .map(|v| {
-                        (v.generated.interface.charts.len(), v.generated.interface.widgets.len())
-                    })
-                    .unwrap_or((0, 0));
-                json!({
-                    "ok": true,
-                    "version": version,
-                    "charts": iface.0,
-                    "widgets": iface.1,
-                })
+                let mut resp = json!({"ok": true, "version": version});
+                if let Some(v) = core.notebook.versions().last() {
+                    resp["charts"] = json!(v.generated.interface.charts.len());
+                    resp["widgets"] = json!(v.generated.interface.widgets.len());
+                    // Truthful quality label (full|anytime|fallback) and,
+                    // for shared-cache sessions, how the fleet served it
+                    // (hit|miss|join|shed).
+                    resp["degradation"] = json!(v.generated.stats.degradation.to_string());
+                    if let Some(outcome) = v.generated.stats.fleet {
+                        resp["fleet"] = json!(outcome.to_string());
+                    }
+                } else {
+                    resp["charts"] = json!(0);
+                    resp["widgets"] = json!(0);
+                }
+                resp
             }
             Err(e) => notebook_error(&e),
         }
@@ -419,6 +452,7 @@ impl ServerState {
                 })
             })
             .collect();
+        let fleet = self.fleet.counters();
         json!({
             "active_sessions": self.registry.len(),
             "draining": self.draining(),
@@ -427,6 +461,13 @@ impl ServerState {
             "overloaded": self.counters.overloaded.load(Ordering::Relaxed),
             "opened": self.counters.opened.load(Ordering::Relaxed),
             "closed": self.counters.closed.load(Ordering::Relaxed),
+            "fleet": {
+                "hits": fleet.hits,
+                "misses": fleet.misses,
+                "joins": fleet.joins,
+                "sheds": fleet.sheds,
+                "entries": fleet.entries,
+            },
             "endpoints": Value::Object(endpoints),
             "sessions": sessions,
         })

@@ -205,6 +205,100 @@ fn sixteen_client_storm_has_zero_cross_session_leakage() {
     assert!(stats["stats"]["endpoints"]["gesture"]["count"].as_i64().expect("histogram") >= 64);
 }
 
+/// Sixteen clients open the same scenario and log concurrently; the
+/// fleet cache's single-flight table must collapse them onto exactly one
+/// cold search. The fleet counters are the witness: one miss (the
+/// leader), and every other generation either joined the leader's flight
+/// or hit the published cache entry.
+#[test]
+fn sixteen_concurrent_opens_run_exactly_one_generation() {
+    const CLIENTS: usize = 16;
+    let state = Arc::new(ServerState::new());
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let client = LocalClient::new(state);
+                open_toy(&client)
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+
+    let stats = LocalClient::new(Arc::clone(&state)).request(json!({"cmd": "stats"}));
+    let fleet = &stats["stats"]["fleet"];
+    assert_eq!(fleet["misses"].as_i64(), Some(1), "{stats}");
+    let hits = fleet["hits"].as_i64().expect("hits");
+    let joins = fleet["joins"].as_i64().expect("joins");
+    assert_eq!(hits + joins, (CLIENTS - 1) as i64, "{stats}");
+    assert_eq!(fleet["sheds"].as_i64(), Some(0), "{stats}");
+    assert_eq!(fleet["entries"].as_i64(), Some(1), "{stats}");
+}
+
+/// `cache: {"mode": "bypass"}` opts a session out of the fleet: its
+/// generation runs a fresh private search that neither reads nor writes
+/// the shared cache, and its responses carry no `fleet` outcome.
+#[test]
+fn cache_bypass_forces_a_fresh_private_search() {
+    let state = Arc::new(ServerState::new());
+    let shared = LocalClient::new(Arc::clone(&state));
+    open_toy(&shared); // one cold generation, now cached
+
+    let client = LocalClient::new(Arc::clone(&state));
+    let opened =
+        client.request(json!({"cmd": "open", "scenario": "toy", "cache": {"mode": "bypass"}}));
+    assert_eq!(opened["ok"].as_bool(), Some(true), "{opened}");
+    let session = opened["session"].as_i64().expect("session id");
+    for sql in [
+        "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+    ] {
+        client.request(json!({"cmd": "run_cell", "session": session, "sql": sql}));
+    }
+    let generated = client.request(json!({"cmd": "generate", "session": session}));
+    assert_eq!(generated["ok"].as_bool(), Some(true), "{generated}");
+    assert_eq!(generated["degradation"].as_str(), Some("full"), "{generated}");
+    assert!(generated["fleet"].is_null(), "bypass must not touch the fleet: {generated}");
+
+    // The bypass generation left every fleet counter where open_toy put it.
+    let stats = shared.request(json!({"cmd": "stats"}));
+    let fleet = &stats["stats"]["fleet"];
+    assert_eq!(fleet["misses"].as_i64(), Some(1), "{stats}");
+    assert_eq!(fleet["hits"].as_i64(), Some(0), "{stats}");
+    assert_eq!(fleet["joins"].as_i64(), Some(0), "{stats}");
+}
+
+/// With the cold-generation cap at zero every cold search is shed by
+/// admission control: it still runs immediately (never queues) but under
+/// the overflow budget, and the response says so truthfully — the
+/// degradation level is `anytime` and the fleet outcome is `shed`.
+#[test]
+fn admission_overflow_degrades_to_anytime_and_never_queues() {
+    let state =
+        Arc::new(ServerState::with_fleet(pi2_core::FleetConfig::new().max_concurrent_cold(0)));
+    let client = LocalClient::new(Arc::clone(&state));
+    let opened = client.request(json!({"cmd": "open", "scenario": "toy"}));
+    let session = opened["session"].as_i64().expect("session id");
+    for sql in [
+        "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+    ] {
+        client.request(json!({"cmd": "run_cell", "session": session, "sql": sql}));
+    }
+    let generated = client.request(json!({"cmd": "generate", "session": session}));
+    assert_eq!(generated["ok"].as_bool(), Some(true), "{generated}");
+    assert_eq!(generated["degradation"].as_str(), Some("anytime"), "{generated}");
+    assert_eq!(generated["fleet"].as_str(), Some("shed"), "{generated}");
+
+    let stats = client.request(json!({"cmd": "stats"}));
+    let fleet = &stats["stats"]["fleet"];
+    assert!(fleet["sheds"].as_i64().expect("sheds") >= 1, "{stats}");
+    // Shed results are never pinned: the cache must still be empty.
+    assert_eq!(fleet["entries"].as_i64(), Some(0), "{stats}");
+}
+
 #[test]
 fn full_queue_returns_structured_overload() {
     let entry = SessionEntry::new(

@@ -34,5 +34,5 @@ pub mod visit;
 pub use ast::*;
 pub use error::{ParseError, Result};
 pub use format::format_query;
-pub use normalize::normalize_query;
+pub use normalize::{literal_free, normalize_query};
 pub use parser::{parse_queries, parse_query};

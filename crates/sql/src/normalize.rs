@@ -49,6 +49,31 @@ pub fn normalized(query: &Query) -> Query {
     q
 }
 
+/// Literal-free normalized copy of a query: every literal constant is
+/// replaced by a canonical placeholder (`NULL`), then the query is
+/// normalized. Two queries that differ only in their literal values —
+/// `a = 1` vs `a = 2`, `d BETWEEN '2021-01-01' AND '2021-02-01'` vs any
+/// other date window — produce identical literal-free forms, while any
+/// structural difference (another column, operator, grouping, …) keeps
+/// them apart.
+///
+/// This is the per-query basis of the fleet generation-cache fingerprint:
+/// in a DiffTree, literal variation becomes the *binding domain* of a
+/// widget rather than interface structure, so logs that only differ in
+/// literals generate the same interface and may share a cache entry.
+///
+/// Literals are erased *before* normalization so conjunct sort keys never
+/// depend on the erased values.
+pub fn literal_free(query: &Query) -> Query {
+    let mut q = query.clone();
+    crate::visit::rewrite_query_exprs(&mut q, &mut |e| match e {
+        Expr::Literal(_) => Expr::Literal(Literal::Null),
+        other => other,
+    });
+    normalize_query(&mut q);
+    q
+}
+
 fn normalize_table_ref(t: &mut TableRef) {
     match t {
         TableRef::Named { .. } => {}
@@ -165,5 +190,41 @@ mod tests {
     fn keeps_between_spelling() {
         let s = norm("SELECT x FROM t WHERE a BETWEEN 1 AND 2");
         assert!(s.contains("BETWEEN"));
+    }
+
+    fn lf(sql: &str) -> String {
+        literal_free(&parse_query(sql).unwrap()).to_string()
+    }
+
+    #[test]
+    fn literal_free_erases_only_literals() {
+        assert_eq!(
+            lf("SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p"),
+            lf("SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p")
+        );
+        // Different column: still distinct.
+        assert_ne!(
+            lf("SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p"),
+            lf("SELECT p, count(*) FROM t WHERE b = 1 GROUP BY p")
+        );
+        // Different operator: still distinct.
+        assert_ne!(lf("SELECT x FROM t WHERE a = 1"), lf("SELECT x FROM t WHERE a > 1"));
+    }
+
+    #[test]
+    fn literal_free_is_order_stable() {
+        // Conjunct order never depends on the erased literal values.
+        assert_eq!(
+            lf("SELECT x FROM t WHERE a = 9 AND b = 0"),
+            lf("SELECT x FROM t WHERE b = 7 AND a = 7")
+        );
+    }
+
+    #[test]
+    fn literal_free_reaches_subqueries_and_between() {
+        assert_eq!(
+            lf("SELECT x FROM t WHERE y IN (SELECT z FROM u WHERE c = 3) AND a BETWEEN 1 AND 5"),
+            lf("SELECT x FROM t WHERE y IN (SELECT z FROM u WHERE c = 8) AND a BETWEEN 2 AND 9")
+        );
     }
 }

@@ -421,6 +421,31 @@ fn pan_roundtrip(catalog: &Catalog, g: &GeneratedInterface) -> Result<(), Failur
     Ok(())
 }
 
+/// A literal-variant of `log`: every literal nudged to a different value
+/// of the same type (ints +1, floats +1.0, strings suffixed, dates +1
+/// day, booleans flipped). Shares the original's literal-free fleet
+/// fingerprint by construction.
+fn literal_variant(log: &[Query]) -> Vec<Query> {
+    use pi2_sql::{Expr, Literal};
+    log.iter()
+        .map(|q| {
+            let mut q = q.clone();
+            pi2_sql::visit::rewrite_query_exprs(&mut q, &mut |e| match e {
+                Expr::Literal(l) => Expr::Literal(match l {
+                    Literal::Null => Literal::Null,
+                    Literal::Bool(b) => Literal::Bool(!b),
+                    Literal::Int(n) => Literal::Int(n.wrapping_add(1)),
+                    Literal::Float(f) => Literal::Float(pi2_sql::F64(f.0 + 1.0)),
+                    Literal::Str(s) => Literal::Str(format!("{s}~")),
+                    Literal::Date(d) => Literal::Date(pi2_sql::Date(d.0.wrapping_add(1))),
+                }),
+                other => other,
+            });
+            q
+        })
+        .collect()
+}
+
 /// Fleet-cache oracle: a shared [`FleetHandle`] must be *transparent*.
 ///
 /// Three generations of the same log — the leader's cold search, a second
@@ -433,6 +458,16 @@ fn pan_roundtrip(catalog: &Catalog, g: &GeneratedInterface) -> Result<(), Failur
 ///   no search);
 /// * the private run produces the same interface, so caching can never
 ///   change what the deterministic pipeline would have generated.
+///
+/// A fourth phase serves a **literal-variant** of the log through the
+/// warm cache: same fingerprint, different literal values. The serve must
+/// be respecialized onto the variant's own queries (`Rebind`) — never the
+/// leader's literal-bearing snapshot — must express the variant's own
+/// queries, must be deterministic, and (under the deterministic
+/// `FullMerge` strategy, or whenever the fleet legitimately fell through
+/// to a cold `Miss`) must be bit-identical to a fleet-less run of the
+/// variant. It must also leave the cache untouched: no new entry, and the
+/// original log still served verbatim afterwards.
 pub fn check_fleet(
     catalog: &Catalog,
     log: &[Query],
@@ -477,6 +512,84 @@ pub fn check_fleet(
     let alone = private.generate(log).map_err(|e| fail(format!("private generation: {e}")))?;
     if alone.interface != cold.interface {
         return Err(fail("fleet-attached generation diverged from a private run".to_string()));
+    }
+
+    // Literal-variant phase: the cache entry is shared across literal
+    // spellings, but the served artifacts must never be.
+    let variant = literal_variant(log);
+    if variant.as_slice() != log {
+        let entries_before = fleet.counters().entries;
+        let warm_v =
+            follower.generate(&variant).map_err(|e| fail(format!("variant generation: {e}")))?;
+        if warm_v.queries != variant {
+            return Err(fail(
+                "variant serve leaked the leader's query snapshot instead of the caller's"
+                    .to_string(),
+            ));
+        }
+        if !warm_v.forest.expresses_all(&variant) {
+            return Err(fail("variant serve cannot express the caller's own queries".to_string()));
+        }
+        match warm_v.stats.fleet {
+            Some(FleetOutcome::Rebind) => {
+                // Serving the same variant again must be deterministic.
+                let again = follower
+                    .generate(&variant)
+                    .map_err(|e| fail(format!("variant re-serve: {e}")))?;
+                if again.interface != warm_v.interface || again.forest != warm_v.forest {
+                    return Err(fail("re-serving the variant changed the interface".to_string()));
+                }
+                // FullMerge replays the exact fold a cold run performs, so
+                // the rebound serve must be bit-identical to a fleet-less
+                // generation of the variant. (A searched strategy may
+                // legitimately pick a different partition for different
+                // literals, so exact equality is only provable here.)
+                if strategy == StrategyChoice::FullMerge {
+                    let alone_v = private
+                        .generate(&variant)
+                        .map_err(|e| fail(format!("private variant generation: {e}")))?;
+                    if warm_v.interface != alone_v.interface
+                        || warm_v.forest != alone_v.forest
+                        || warm_v.queries != alone_v.queries
+                        || warm_v.cost.total.to_bits() != alone_v.cost.total.to_bits()
+                    {
+                        return Err(fail(
+                            "rebound variant serve diverged from a fleet-less run of the variant"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+            // The fleet may legitimately fall through to a private cold
+            // generation (respecialization could not express the log) —
+            // then it must match a fleet-less run exactly.
+            Some(FleetOutcome::Miss) => {
+                let alone_v = private
+                    .generate(&variant)
+                    .map_err(|e| fail(format!("private variant generation: {e}")))?;
+                if warm_v.interface != alone_v.interface {
+                    return Err(fail(
+                        "fall-through variant generation diverged from a fleet-less run"
+                            .to_string(),
+                    ));
+                }
+            }
+            other => {
+                return Err(fail(format!("variant outcome {other:?}, expected Rebind or Miss")));
+            }
+        }
+        if fleet.counters().entries != entries_before {
+            return Err(fail("variant serve repinned or grew the cache".to_string()));
+        }
+        // The original log is still served verbatim from the untouched
+        // entry.
+        let warm_again =
+            follower.generate(log).map_err(|e| fail(format!("post-variant warm: {e}")))?;
+        if warm_again.stats.fleet != Some(FleetOutcome::Hit)
+            || warm_again.interface != cold.interface
+        {
+            return Err(fail("variant serve disturbed the original cache entry".to_string()));
+        }
     }
     Ok(())
 }

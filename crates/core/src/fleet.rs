@@ -6,9 +6,14 @@
 //! most of that work is redundant: thousands of users replaying the same
 //! tutorial produce identical — or literal-only-different — query logs,
 //! and PI2's interface is a deterministic function of the log's
-//! *structural* diffs. Literal variation does not change the interface's
-//! structure at all; it becomes the binding domain of a widget. So one
-//! generation per **fingerprint** suffices for the whole process.
+//! *structural* diffs. So one *search* per **fingerprint** suffices for
+//! the whole process. Literal values are not structural, but they are
+//! also not free to share: hole defaults and un-widened discrete domains
+//! come from the observed literals, so a caller whose log differs only in
+//! literals is served a **respecialization** — the cached partition
+//! replayed over the caller's own queries (see
+//! [`FleetOutcome::Rebind`]) — never the leader's literal-bearing
+//! artifacts verbatim.
 //!
 //! [`FleetHandle`] is the one shared-state object behind a single `Arc`:
 //!
@@ -176,6 +181,15 @@ pub enum FleetOutcome {
     /// This call led a cold generation but was shed by admission control:
     /// it ran under the overflow budget and reports `Anytime`.
     Shed,
+    /// Served by respecializing a cached generation: the caller's log
+    /// shares the entry's literal-free fingerprint but differs in literal
+    /// values (or order), so the cached *partition* was replayed over the
+    /// caller's own queries — no search ran, and no other session's
+    /// literals were served.
+    Rebind,
+    /// This call followed an in-flight leader but gave up waiting
+    /// ([`FleetConfig::follower_wait`]) and generated privately.
+    JoinTimeout,
 }
 
 impl std::fmt::Display for FleetOutcome {
@@ -185,6 +199,8 @@ impl std::fmt::Display for FleetOutcome {
             FleetOutcome::Miss => write!(f, "miss"),
             FleetOutcome::Join => write!(f, "join"),
             FleetOutcome::Shed => write!(f, "shed"),
+            FleetOutcome::Rebind => write!(f, "rebind"),
+            FleetOutcome::JoinTimeout => write!(f, "join-timeout"),
         }
     }
 }
@@ -193,7 +209,8 @@ impl std::fmt::Display for FleetOutcome {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct FleetCounters {
-    /// Generations served from the cache.
+    /// Generations served verbatim from the cache (the caller's log is
+    /// exactly the cached snapshot).
     pub hits: u64,
     /// Cold generations led (each one ran the full pipeline once).
     pub misses: u64,
@@ -201,15 +218,23 @@ pub struct FleetCounters {
     pub joins: u64,
     /// Cold generations shed by admission control (subset of `misses`).
     pub sheds: u64,
+    /// Generations served by respecializing a cached entry onto the
+    /// caller's own literals ([`FleetOutcome::Rebind`]).
+    pub rebinds: u64,
+    /// Followers that gave up waiting on their leader and generated
+    /// privately ([`FleetOutcome::JoinTimeout`]).
+    pub join_timeouts: u64,
     /// Generations currently cached.
     pub entries: usize,
 }
 
-/// The complete cached outcome of one full-quality generation. Returned
-/// by value parts are cloned into each hit's
-/// [`GeneratedInterface`](crate::GeneratedInterface); the canonical query
-/// snapshot is the *leader's* (a literal-variant or reordered log maps to
-/// the same key, and the snapshot keeps interface and forest consistent).
+/// The complete cached outcome of one full-quality generation. The query
+/// snapshot, forest, and interface are the *leader's*: they are served
+/// verbatim only to callers whose log equals the snapshot exactly.
+/// Literal-variant and reordered logs map to the same key but are served
+/// a respecialization built from the forest's partition and the caller's
+/// own queries ([`FleetOutcome::Rebind`]), so one session's literals
+/// never reach another.
 #[derive(Debug)]
 pub struct CachedGeneration {
     /// The leader's query snapshot.
@@ -351,6 +376,8 @@ struct FleetInner {
     misses: AtomicU64,
     joins: AtomicU64,
     sheds: AtomicU64,
+    rebinds: AtomicU64,
+    join_timeouts: AtomicU64,
 }
 
 impl FleetInner {
@@ -403,6 +430,8 @@ impl FleetHandle {
                 misses: AtomicU64::new(0),
                 joins: AtomicU64::new(0),
                 sheds: AtomicU64::new(0),
+                rebinds: AtomicU64::new(0),
+                join_timeouts: AtomicU64::new(0),
             }),
             wait,
         }
@@ -433,6 +462,8 @@ impl FleetHandle {
             misses: self.inner.misses.load(Ordering::Relaxed),
             joins: self.inner.joins.load(Ordering::Relaxed),
             sheds: self.inner.sheds.load(Ordering::Relaxed),
+            rebinds: self.inner.rebinds.load(Ordering::Relaxed),
+            join_timeouts: self.inner.join_timeouts.load(Ordering::Relaxed),
             entries: self.len(),
         }
     }
@@ -452,15 +483,30 @@ impl FleetHandle {
         lock(&self.inner.cache).clear();
     }
 
-    /// Cache lookup, counting a hit and refreshing recency.
+    /// Cache lookup, refreshing recency. How the serve is counted (hit,
+    /// rebind, or fall-through miss) is decided by the caller once it
+    /// knows how the entry relates to its log — see [`FleetHandle::note_hit`].
     pub(crate) fn lookup(&self, key: FleetKey) -> Option<Arc<CachedGeneration>> {
         let mut cache = lock(&self.inner.cache);
         let entry = cache.get_mut(&key)?;
         entry.0 = self.inner.tick.fetch_add(1, Ordering::Relaxed);
-        let generation = Arc::clone(&entry.1);
-        drop(cache);
+        Some(Arc::clone(&entry.1))
+    }
+
+    /// Count a verbatim cache serve ([`FleetOutcome::Hit`]).
+    pub(crate) fn note_hit(&self) {
         self.inner.hits.fetch_add(1, Ordering::Relaxed);
-        Some(generation)
+    }
+
+    /// Count a respecialized cache serve ([`FleetOutcome::Rebind`]).
+    pub(crate) fn note_rebind(&self) {
+        self.inner.rebinds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a cold generation that ran outside leader election (a cached
+    /// entry existed but could not serve the caller's log).
+    pub(crate) fn note_miss(&self) {
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Elect a role for `key`: leader (with a publish lease), follower of
@@ -471,13 +517,11 @@ impl FleetHandle {
     pub(crate) fn begin(&self, key: FleetKey) -> Role {
         let mut inflight = lock(&self.inner.inflight);
         if let Some(flight) = inflight.get(&key) {
-            self.inner.joins.fetch_add(1, Ordering::Relaxed);
             return Role::Follow(Arc::clone(flight));
         }
         // `publish` caches before retiring the flight (both under this
         // lock), so a missing flight with a cached entry is authoritative.
         if let Some(entry) = lock(&self.inner.cache).get(&key) {
-            self.inner.hits.fetch_add(1, Ordering::Relaxed);
             return Role::Cached(Arc::clone(&entry.1));
         }
         let flight = Arc::new(Flight::new());
@@ -504,9 +548,16 @@ impl FleetHandle {
         }
     }
 
-    /// Wait on another leader's flight (counted as a join by `begin`).
+    /// Wait on another leader's flight. The join is counted only once the
+    /// flight yields a result; a follower that gives up first is counted
+    /// as a join timeout instead (it never consumed the leader's work).
     pub(crate) fn join(&self, flight: &Arc<Flight>) -> Option<Result<FlightOutcome, Pi2Error>> {
-        flight.wait(self.wait)
+        let result = flight.wait(self.wait);
+        match result {
+            Some(_) => self.inner.joins.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.join_timeouts.fetch_add(1, Ordering::Relaxed),
+        };
+        result
     }
 }
 
@@ -601,6 +652,25 @@ mod tests {
         drop(a);
         // Releasing a permit re-opens the slot.
         assert!(handle.admit().is_some());
+    }
+
+    #[test]
+    fn join_counts_only_after_the_flight_yields() {
+        let handle = FleetHandle::new(FleetConfig::new().follower_wait(Some(Duration::ZERO)));
+        let key = (3, 3);
+        let Role::Lead(lease) = handle.begin(key) else { panic!("expected leadership") };
+        let Role::Follow(flight) = handle.begin(key) else { panic!("expected follower") };
+        // The leader is still working: a zero-patience follower times out
+        // and is counted as such, never as a join.
+        assert!(handle.join(&flight).is_none());
+        let c = handle.counters();
+        assert_eq!((c.joins, c.join_timeouts), (0, 1));
+        // Once the flight yields (here: the leader's abandonment error),
+        // waiting on it counts as a join.
+        drop(lease);
+        assert!(matches!(handle.join(&flight), Some(Err(_))));
+        let c = handle.counters();
+        assert_eq!((c.joins, c.join_timeouts), (1, 1));
     }
 
     #[test]

@@ -3,12 +3,13 @@
 use crate::fleet::{self, CachedGeneration, FleetHandle, FleetOutcome, FlightOutcome, Role};
 use crate::problem::InterfaceSearch;
 use pi2_cost::{combine_fingerprints, weights_fingerprint, CostBreakdown, CostMemo, CostWeights};
-use pi2_difftree::DiffForest;
+use pi2_difftree::{merge_queries, DiffForest};
 use pi2_engine::Catalog;
 use pi2_interface::{map_forest, Interface, MapperConfig, ScreenSpec};
 use pi2_mcts::{greedy_with_budget, mcts_parallel, GenerationBudget, MctsConfig, SearchStats};
 use pi2_sql::Query;
 use pi2_telemetry::{Registry, Snapshot};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -412,12 +413,15 @@ impl Pi2 {
             strategy_fp,
             u64::from(self.graceful),
             limits.max_rows.map_or(0, |n| n as u64 + 1),
-            limits.timeout.map_or(0, |t| t.as_nanos() as u64),
+            // `+ 1` disambiguates a zero timeout from no timeout, exactly
+            // as for `max_rows` above.
+            limits.timeout.map_or(0, |t| (t.as_nanos() as u64).saturating_add(1)),
         ])
     }
 
-    /// Generate through the fleet: cache hit, single-flight join, or a
-    /// led cold generation (admitted or shed) that publishes its result.
+    /// Generate through the fleet: a cache serve (verbatim hit or a
+    /// literal-variant rebind), a single-flight join, or a led cold
+    /// generation (admitted or shed) that publishes its result.
     fn generate_fleet(
         &self,
         handle: &FleetHandle,
@@ -427,47 +431,61 @@ impl Pi2 {
         let start = Instant::now();
         let key = (self.fleet_context(), fleet::log_fingerprint(queries));
         if let Some(cached) = handle.lookup(key) {
-            telemetry.add("fleet.hit", 1);
-            return Ok(self.serve_cached(
+            return self.serve_shared(
+                handle,
                 &cached,
                 DegradationLevel::Full,
                 None,
                 FleetOutcome::Hit,
+                queries,
                 start,
-                &telemetry,
-            ));
+                telemetry,
+            );
         }
         match handle.begin(key) {
-            Role::Cached(cached) => {
-                telemetry.add("fleet.hit", 1);
-                Ok(self.serve_cached(
-                    &cached,
-                    DegradationLevel::Full,
-                    None,
-                    FleetOutcome::Hit,
-                    start,
-                    &telemetry,
-                ))
-            }
+            Role::Cached(cached) => self.serve_shared(
+                handle,
+                &cached,
+                DegradationLevel::Full,
+                None,
+                FleetOutcome::Hit,
+                queries,
+                start,
+                telemetry,
+            ),
             Role::Follow(flight) => match handle.join(&flight) {
-                Some(Ok(outcome)) => {
-                    telemetry.add("fleet.join", 1);
-                    Ok(self.serve_cached(
-                        &outcome.generation,
-                        outcome.degradation,
-                        outcome.degradation_reason,
-                        FleetOutcome::Join,
-                        start,
-                        &telemetry,
-                    ))
-                }
+                Some(Ok(outcome)) => self.serve_shared(
+                    handle,
+                    &outcome.generation,
+                    outcome.degradation,
+                    outcome.degradation_reason,
+                    FleetOutcome::Join,
+                    queries,
+                    start,
+                    telemetry,
+                ),
                 // The leader failed; take the normal degradation path
                 // (fallback interface in graceful mode, the error itself
-                // otherwise).
-                Some(Err(err)) => self.degrade(queries, start, telemetry, None, err),
-                // The leader outlived our patience; generate privately
-                // without publishing (the leader keeps the lease).
-                None => self.generate_cold(queries, telemetry, None),
+                // otherwise), recording that this call did consume the
+                // flight's result.
+                Some(Err(err)) => {
+                    let mut result = self.degrade(queries, start, telemetry, None, err);
+                    if let Ok(g) = &mut result {
+                        g.stats.fleet = Some(FleetOutcome::Join);
+                    }
+                    result
+                }
+                // The leader outlived our patience (counted as a join
+                // timeout, not a join); generate privately without
+                // publishing (the leader keeps the lease).
+                None => {
+                    telemetry.add("fleet.join_timeout", 1);
+                    let mut result = self.generate_cold(queries, telemetry, None);
+                    if let Ok(g) = &mut result {
+                        g.stats.fleet = Some(FleetOutcome::JoinTimeout);
+                    }
+                    result
+                }
             },
             Role::Lead(lease) => {
                 let permit = handle.admit();
@@ -521,8 +539,168 @@ impl Pi2 {
         }
     }
 
+    /// Serve a cached (or just-published) generation to this caller:
+    /// verbatim when the caller's log is exactly the cached snapshot,
+    /// respecialized onto the caller's own literals otherwise, and by a
+    /// private cold generation when respecialization cannot express the
+    /// caller's log. Generated artifacts depend on literal values (hole
+    /// defaults, un-widened discrete domains), so the leader's artifacts
+    /// are never handed to a caller with a different log — that would
+    /// both break expressiveness on the caller's queries and leak another
+    /// session's literals.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_shared(
+        &self,
+        handle: &FleetHandle,
+        cached: &Arc<CachedGeneration>,
+        degradation: DegradationLevel,
+        degradation_reason: Option<String>,
+        verbatim: FleetOutcome,
+        queries: &[Query],
+        start: Instant,
+        telemetry: Arc<Registry>,
+    ) -> Result<GeneratedInterface, Pi2Error> {
+        if queries == cached.queries.as_slice() {
+            match verbatim {
+                FleetOutcome::Hit => {
+                    handle.note_hit();
+                    telemetry.add("fleet.hit", 1);
+                }
+                // A join was already counted when the flight yielded.
+                _ => telemetry.add("fleet.join", 1),
+            }
+            return Ok(self.serve_cached(
+                cached,
+                degradation,
+                degradation_reason,
+                verbatim,
+                start,
+                &telemetry,
+            ));
+        }
+        if let Some(g) =
+            self.respecialize(cached, queries, &telemetry, start, degradation, degradation_reason)
+        {
+            handle.note_rebind();
+            telemetry.add("fleet.rebind", 1);
+            return Ok(g);
+        }
+        // Same fingerprint, but the cached design cannot be replayed over
+        // this log (a fingerprint collision, or the respecialized forest
+        // is inexpressive): run the full pipeline privately.
+        handle.note_miss();
+        telemetry.add("fleet.miss", 1);
+        let mut result = self.generate_cold(queries, telemetry, None);
+        if let Ok(g) = &mut result {
+            g.stats.fleet = Some(FleetOutcome::Miss);
+        }
+        result
+    }
+
+    /// Replay a cached generation's *partition* — the expensive search
+    /// decision — over the caller's own queries: remap each cached tree's
+    /// source set through a literal-free structural matching, re-merge,
+    /// re-canonicalize, and re-map/cost through the shared memo. Every
+    /// served artifact (query snapshot, forest, binding domains and
+    /// defaults, cost) derives from the caller's literals; nothing of the
+    /// leader's log leaks through. `None` when the replay cannot express
+    /// the caller's log.
+    fn respecialize(
+        &self,
+        cached: &CachedGeneration,
+        queries: &[Query],
+        telemetry: &Arc<Registry>,
+        start: Instant,
+        degradation: DegradationLevel,
+        degradation_reason: Option<String>,
+    ) -> Option<GeneratedInterface> {
+        // Match caller queries to snapshot queries by literal-free
+        // structural hash. Equal log fingerprints mean the two multisets
+        // of hashes agree, so a perfect matching exists unless the
+        // fingerprints collided — which surfaces here as an unmatched
+        // query and falls through to a cold generation.
+        let mut by_structure: HashMap<u64, VecDeque<usize>> = HashMap::new();
+        for (j, q) in cached.queries.iter().enumerate() {
+            let hash = pi2_sql::literal_free(q).structural_hash();
+            by_structure.entry(hash).or_default().push_back(j);
+        }
+        let mut caller_for_leader = vec![usize::MAX; cached.queries.len()];
+        for (i, q) in queries.iter().enumerate() {
+            let hash = pi2_sql::literal_free(q).structural_hash();
+            let j = by_structure.get_mut(&hash)?.pop_front()?;
+            caller_for_leader[j] = i;
+        }
+        if by_structure.values().any(|bucket| !bucket.is_empty()) {
+            return None;
+        }
+
+        // Replay the partition: each cached tree's source set, remapped
+        // to caller indices, merged over the caller's own queries in log
+        // order (the same fold a cold run of this partition would do).
+        let mut trees = Vec::with_capacity(cached.forest.trees.len());
+        for tree in &cached.forest.trees {
+            let mut sources = Vec::with_capacity(tree.source_queries.len());
+            for &j in &tree.source_queries {
+                let i = *caller_for_leader.get(j)?;
+                if i == usize::MAX {
+                    return None;
+                }
+                sources.push(i);
+            }
+            if sources.is_empty() {
+                return None;
+            }
+            sources.sort_unstable();
+            let indexed: Vec<(usize, &Query)> = sources.iter().map(|&i| (i, &queries[i])).collect();
+            trees.push(merge_queries(&indexed));
+        }
+
+        let mapper_cfg = MapperConfig { screen: self.screen, enumerate_variants: true };
+        let search = InterfaceSearch::with_memo(
+            queries,
+            &self.catalog,
+            mapper_cfg,
+            self.weights.clone(),
+            Arc::clone(&self.memo),
+            Arc::clone(telemetry),
+        );
+        let (hits_before, misses_before) = (self.memo.hits(), self.memo.misses());
+        let forest = search.canonicalized(DiffForest { trees });
+        if !forest.expresses_all(queries) {
+            return None;
+        }
+        let choice = match search.best_choice(&forest) {
+            Some(c) if c.breakdown.expressive => c,
+            _ => return None,
+        };
+        let memo_hits = self.memo.hits() - hits_before;
+        let memo_misses = self.memo.misses() - misses_before;
+        telemetry.add("memo.hits", memo_hits);
+        telemetry.add("memo.misses", memo_misses);
+        Some(GeneratedInterface {
+            queries: queries.to_vec(),
+            forest,
+            interface: choice.interface.clone(),
+            cost: choice.breakdown.clone(),
+            stats: GenerationStats {
+                elapsed: start.elapsed(),
+                candidates_considered: choice.candidates_considered,
+                search: None,
+                telemetry: telemetry.snapshot(),
+                memo_hits,
+                memo_misses,
+                memo_entries: self.memo.len(),
+                degradation,
+                degradation_reason,
+                fleet: Some(FleetOutcome::Rebind),
+            },
+        })
+    }
+
     /// Assemble a [`GeneratedInterface`] from a cached (or just-published)
-    /// generation: the artifacts are the leader's, bit for bit.
+    /// generation: the artifacts are the leader's, bit for bit. Only
+    /// reached when the caller's log equals the cached snapshot exactly
+    /// (see [`Pi2::serve_shared`]).
     fn serve_cached(
         &self,
         cached: &Arc<CachedGeneration>,
@@ -975,23 +1153,113 @@ mod tests {
                 "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
             ])
             .unwrap();
-        // Only the literals differ: same fingerprint, served from cache
-        // with the canonical (leader's) query snapshot.
-        let variant = pi2
-            .generate_sql(&[
-                "SELECT p, count(*) FROM t WHERE a = 5 GROUP BY p",
-                "SELECT p, count(*) FROM t WHERE a = 7 GROUP BY p",
-            ])
-            .unwrap();
-        assert_eq!(variant.stats.fleet, Some(FleetOutcome::Hit));
-        assert_eq!(variant.interface, first.interface);
-        assert_eq!(variant.queries, first.queries);
+        // Only the literals differ: same fingerprint, same cache entry —
+        // but the serve is respecialized onto the caller's own queries
+        // (note the literals 5 and 7 even sit outside the catalog's
+        // observed range for `a`, so the leader's binding domain could
+        // not have expressed them).
+        let variant_sql = [
+            "SELECT p, count(*) FROM t WHERE a = 5 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE a = 7 GROUP BY p",
+        ];
+        let variant = pi2.generate_sql(&variant_sql).unwrap();
+        assert_eq!(variant.stats.fleet, Some(FleetOutcome::Rebind));
+        assert_ne!(variant.queries, first.queries, "leader's query snapshot leaked");
+        assert_eq!(variant.queries.len(), 2);
+        assert!(variant.forest.expresses_all(&variant.queries));
+        assert!(variant.cost.expressive);
         // A structural difference misses.
         let other =
             pi2.generate_sql(&["SELECT b, count(*) FROM t WHERE a = 1 GROUP BY b"]).unwrap();
         assert_eq!(other.stats.fleet, Some(FleetOutcome::Miss));
-        assert_eq!(fleet.counters().misses, 2);
-        assert_eq!(fleet.counters().entries, 2);
+        let c = fleet.counters();
+        assert_eq!((c.misses, c.rebinds, c.entries), (2, 1, 2), "{c:?}");
+    }
+
+    #[test]
+    fn rebound_serve_matches_a_cold_generation_of_the_variant() {
+        let fleet = FleetHandle::new(FleetConfig::new());
+        let catalog = pi2_datasets::toy::default_catalog();
+        let warm_pi2 =
+            Pi2::builder(catalog.clone()).strategy(SearchStrategy::FullMerge).fleet(&fleet).build();
+        warm_pi2
+            .generate_sql(&[
+                "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+                "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+            ])
+            .unwrap();
+        // Different literals: same fingerprint, rebound serve.
+        let variant_sql = [
+            "SELECT p, count(*) FROM t WHERE a = 3 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE a = 0 GROUP BY p",
+        ];
+        let warm = warm_pi2.generate_sql(&variant_sql).unwrap();
+        assert_eq!(warm.stats.fleet, Some(FleetOutcome::Rebind));
+        // FullMerge is deterministic, so the respecialized serve must be
+        // bit-identical to what a fleet-less generator produces for the
+        // variant: the cache is transparent, not just sound.
+        let cold = Pi2::builder(catalog)
+            .strategy(SearchStrategy::FullMerge)
+            .build()
+            .generate_sql(&variant_sql)
+            .unwrap();
+        assert_eq!(warm.interface, cold.interface);
+        assert_eq!(warm.forest, cold.forest);
+        assert_eq!(warm.queries, cold.queries);
+        assert_eq!(warm.cost, cold.cost);
+    }
+
+    #[test]
+    fn rebind_respects_the_callers_duplicate_literals() {
+        // The cached entry was built from two distinct literals (the diff
+        // becomes a widget over {1, 2}); the caller repeats ONE literal,
+        // and its own cold generation dedups the hole away entirely. The
+        // rebound serve must match that — not the leader's two-valued
+        // widget.
+        let fleet = FleetHandle::new(FleetConfig::new());
+        let catalog = pi2_datasets::toy::default_catalog();
+        let pi2 =
+            Pi2::builder(catalog.clone()).strategy(SearchStrategy::FullMerge).fleet(&fleet).build();
+        pi2.generate_sql(&[
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+        ])
+        .unwrap();
+        let twice = [
+            "SELECT p, count(*) FROM t WHERE a = 3 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE a = 3 GROUP BY p",
+        ];
+        let warm = pi2.generate_sql(&twice).unwrap();
+        assert_eq!(warm.stats.fleet, Some(FleetOutcome::Rebind));
+        let cold = Pi2::builder(catalog)
+            .strategy(SearchStrategy::FullMerge)
+            .build()
+            .generate_sql(&twice)
+            .unwrap();
+        assert_eq!(warm.interface, cold.interface);
+        assert_eq!(warm.forest, cold.forest);
+    }
+
+    #[test]
+    fn follower_timeout_generates_privately_and_reports_join_timeout() {
+        use crate::fleet::Role;
+        let handle = FleetHandle::new(FleetConfig::new().follower_wait(Some(Duration::ZERO)));
+        let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog()).fleet(&handle).build();
+        let queries = pi2_datasets::toy::fig2_queries();
+        // Occupy the flight for this log's key, simulating a stuck leader.
+        let key = (pi2.fleet_context(), fleet::log_fingerprint(&queries));
+        let Role::Lead(lease) = handle.begin(key) else { panic!("expected leadership") };
+        // A zero-patience follower gives up immediately, generates
+        // privately, and is truthful about how the fleet participated:
+        // a timed-out join, not a join and not a plain private run.
+        let g = pi2.generate(&queries).unwrap();
+        assert_eq!(g.stats.fleet, Some(FleetOutcome::JoinTimeout));
+        assert!(g.cost.expressive);
+        let c = handle.counters();
+        // The one miss is the stuck leader's; the timed-out follower is
+        // counted as a join timeout, never as a join.
+        assert_eq!((c.joins, c.join_timeouts, c.misses), (0, 1, 1), "{c:?}");
+        drop(lease);
     }
 
     #[test]

@@ -271,7 +271,7 @@ impl ServerState {
                     resp["widgets"] = json!(v.generated.interface.widgets.len());
                     // Truthful quality label (full|anytime|fallback) and,
                     // for shared-cache sessions, how the fleet served it
-                    // (hit|miss|join|shed).
+                    // (hit|rebind|miss|join|join-timeout|shed).
                     resp["degradation"] = json!(v.generated.stats.degradation.to_string());
                     if let Some(outcome) = v.generated.stats.fleet {
                         resp["fleet"] = json!(outcome.to_string());
@@ -466,6 +466,8 @@ impl ServerState {
                 "misses": fleet.misses,
                 "joins": fleet.joins,
                 "sheds": fleet.sheds,
+                "rebinds": fleet.rebinds,
+                "join_timeouts": fleet.join_timeouts,
                 "entries": fleet.entries,
             },
             "endpoints": Value::Object(endpoints),

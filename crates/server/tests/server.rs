@@ -237,6 +237,43 @@ fn sixteen_concurrent_opens_run_exactly_one_generation() {
     assert_eq!(fleet["entries"].as_i64(), Some(1), "{stats}");
 }
 
+/// A session whose log differs from a cached entry only in literal values
+/// is served a respecialization of the cached design (`rebind`) bound to
+/// its OWN literals — never the first session's literal-bearing snapshot.
+#[test]
+fn literal_variant_session_is_rebound_not_served_verbatim() {
+    let state = Arc::new(ServerState::new());
+    open_toy(&LocalClient::new(Arc::clone(&state))); // primes a = 1 / a = 2
+
+    let client = LocalClient::new(Arc::clone(&state));
+    let opened = client.request(json!({"cmd": "open", "scenario": "toy"}));
+    assert_eq!(opened["ok"].as_bool(), Some(true), "{opened}");
+    let session = opened["session"].as_i64().expect("session id");
+    for sql in [
+        "SELECT p, count(*) FROM t WHERE a = 3 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE a = 0 GROUP BY p",
+    ] {
+        let ran = client.request(json!({"cmd": "run_cell", "session": session, "sql": sql}));
+        assert_eq!(ran["ok"].as_bool(), Some(true), "{ran}");
+    }
+    let generated = client.request(json!({"cmd": "generate", "session": session}));
+    assert_eq!(generated["ok"].as_bool(), Some(true), "{generated}");
+    assert_eq!(generated["fleet"].as_str(), Some("rebind"), "{generated}");
+    assert_eq!(generated["degradation"].as_str(), Some("full"), "{generated}");
+
+    // The rebound interface is interactive over this session's literals
+    // (its default is the session's own first literal, a = 3, so moving
+    // to the session's other literal must produce an update).
+    let sql = current_sql(&client, session, 0.0);
+    assert!(sql.contains("a = 0"), "rebound widget ignored the session's literal: {sql}");
+
+    let stats = client.request(json!({"cmd": "stats"}));
+    let fleet = &stats["stats"]["fleet"];
+    assert_eq!(fleet["rebinds"].as_i64(), Some(1), "{stats}");
+    assert_eq!(fleet["misses"].as_i64(), Some(1), "{stats}");
+    assert_eq!(fleet["entries"].as_i64(), Some(1), "{stats}");
+}
+
 /// `cache: {"mode": "bypass"}` opts a session out of the fleet: its
 /// generation runs a fresh private search that neither reads nor writes
 /// the shared cache, and its responses carry no `fleet` outcome.

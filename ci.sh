@@ -24,11 +24,17 @@ done
 echo "== server smoke (open/run/generate/gesture/render over real TCP) =="
 cargo run -q --release -p pi2-server -- --smoke --scenario sdss
 
+echo "== reactor soak smoke (1k-session churn over TCP, release) =="
+PI2_SOAK_SESSIONS=1000 cargo test -q --release -p pi2-server --test soak
+
 echo "== benchmark artifacts (regen + schema check) =="
 cargo run -q --release -p pi2-bench --bin regen_latency > /dev/null
 cargo run -q --release -p pi2-bench --bin regen_interaction > /dev/null
 cargo run -q --release -p pi2-bench --bin regen_server > /dev/null
 cargo run -q --release -p pi2-bench --bin regen_fleet > /dev/null
+# The load storm sustains >= 1k live sessions over the reactor;
+# bench_check enforces its headline (storm p99 <= 20x single-session p99).
+cargo run -q --release -p pi2-bench --bin regen_load > /dev/null
 cargo run -q --release -p pi2-bench --bin bench_check
 
 echo "== cargo fmt --check =="

@@ -1,7 +1,10 @@
 //! Validate the benchmark JSON artifacts (`target/BENCH_latency.json`,
-//! `target/BENCH_interaction.json`): present, parseable, and matching the
-//! expected schema. Exits non-zero on the first problem so CI fails when a
-//! regen binary silently stops producing its artifact.
+//! `target/BENCH_interaction.json`, `target/BENCH_server.json`,
+//! `target/BENCH_fleet.json`, `target/BENCH_load.json`): present,
+//! parseable, matching the expected schema, and — where an exhibit makes
+//! a headline claim (fleet cache-hit p50, load-storm tail) — meeting it.
+//! Exits non-zero on the first problem so CI fails when a regen binary
+//! silently stops producing its artifact.
 
 use serde_json::Value;
 use std::path::Path;
@@ -172,14 +175,81 @@ fn check_fleet(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// `BENCH_load.json`: versioned object with per-phase latency rows and
+/// the load-storm summary. The reactor's headline claims are *enforced*:
+/// at least 1k sessions sustained through the storm, storm p99 within
+/// 20× of the single-session p99, and a clean teardown (zero sessions
+/// left at the end).
+fn check_load(path: &Path) -> Result<(), String> {
+    let v = load(path)?;
+    let ctx = path.display().to_string();
+    if v.get("schema_version").and_then(Value::as_i64) != Some(1) {
+        return Err(format!("{ctx}: `schema_version` must be 1"));
+    }
+    expect_string(&v, "scenario", &ctx)?;
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing `rows` array"))?;
+    if rows.is_empty() {
+        return Err(format!("{ctx}: no rows"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("{ctx} rows[{i}]");
+        expect_string(row, "phase", &ctx)?;
+        for key in ["count", "p50_us", "p95_us", "p99_us", "p999_us", "mean_us", "max_us"] {
+            expect_number(row, key, &ctx)?;
+        }
+    }
+    let summary = v.get("summary").ok_or_else(|| format!("{ctx}: missing `summary` object"))?;
+    let sctx = format!("{ctx} summary");
+    for key in [
+        "sessions",
+        "connections",
+        "outstanding_cap",
+        "measured_requests",
+        "churn_cycles",
+        "sheds",
+        "shed_rate",
+        "single_session_p99_us",
+        "storm_p99_us",
+        "storm_p999_us",
+        "p99_ratio",
+        "active_sessions_at_peak",
+        "active_sessions_at_end",
+    ] {
+        expect_number(summary, key, &sctx)?;
+    }
+    expect_bool(summary, "p99_within_20x_single_session", &sctx)?;
+    if summary["p99_within_20x_single_session"].as_bool() != Some(true) {
+        return Err(format!(
+            "{sctx}: `p99_within_20x_single_session` is false — the storm tail is not dead"
+        ));
+    }
+    if summary["sessions"].as_i64().unwrap_or(0) < 1000 {
+        return Err(format!("{sctx}: fewer than 1000 sessions sustained"));
+    }
+    if summary["active_sessions_at_peak"].as_i64() != summary["sessions"].as_i64() {
+        return Err(format!("{sctx}: not all sessions were live at peak"));
+    }
+    if summary["active_sessions_at_end"].as_i64() != Some(0) {
+        return Err(format!("{sctx}: sessions leaked past teardown"));
+    }
+    if v.get("server_stats").and_then(Value::as_object).is_none() {
+        return Err(format!("{ctx}: missing `server_stats` object"));
+    }
+    Ok(())
+}
+
 type Check = fn(&Path) -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let checks: [(&str, Check); 4] = [
+    let checks: [(&str, Check); 5] = [
         ("target/BENCH_latency.json", check_latency),
         ("target/BENCH_interaction.json", check_interaction),
         ("target/BENCH_server.json", check_server),
         ("target/BENCH_fleet.json", check_fleet),
+        ("target/BENCH_load.json", check_load),
     ];
     let mut failed = false;
     for (path, check) in checks {

@@ -1,0 +1,7 @@
+//! Regenerate the 1k-session reactor load-storm exhibit; see
+//! `pi2_bench::figures::load_storm`. Writes `target/BENCH_load.json` as
+//! a side effect. Scale knobs: `PI2_LOAD_SESSIONS` (default 1024, up to
+//! 10k), `PI2_LOAD_CONNS` (default 64), `PI2_LOAD_OPS` (default 20000).
+fn main() {
+    print!("{}", pi2_bench::figures::load_storm::run());
+}

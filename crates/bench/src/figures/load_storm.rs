@@ -1,0 +1,508 @@
+//! Thousand-session load storm against the reactor server, over real TCP.
+//!
+//! This is the scale exhibit for the readiness-driven reactor: it ramps
+//! up ≥ 1k concurrent sessions (default 1024; `PI2_LOAD_SESSIONS` scales
+//! to 10k) multiplexed over a few dozen connections (`PI2_LOAD_CONNS`,
+//! default 64), then drives a measured storm of mixed traffic — ~90%
+//! gesture bursts, ~5% regenerates (served by the fleet cache), ~5%
+//! session churn (close → reopen → rebuild → regenerate) — and compares
+//! the storm's tail latency against a single-session baseline running
+//! the *same* op mix on an idle server.
+//!
+//! The driver is itself a tiny reactor: one thread multiplexing all
+//! connections nonblocking, with at most one outstanding request per
+//! connection and a small global outstanding cap. The cap is the point —
+//! it makes the measurement *closed-loop per lane*, so the reported tail
+//! is queueing-at-the-server, not the driver's own convoy. The headline
+//! gate (enforced by `bench_check`): storm p99 ≤ 20× single-session p99
+//! with ≥ 1k sessions live. Writes `target/BENCH_load.json`.
+
+use pi2_server::{Server, ServerConfig, ServerState, TcpClient};
+use pi2_telemetry::LatencyHistogram;
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Concurrent sessions held live through the storm (the gate needs ≥ 1k).
+const DEFAULT_SESSIONS: usize = 1024;
+/// TCP connections the sessions are multiplexed over.
+const DEFAULT_CONNS: usize = 64;
+/// Measured storm operations (requests issued by the scheduler).
+const DEFAULT_OPS: usize = 20_000;
+/// Baseline operations (same mix, one session, one connection).
+const BASELINE_OPS: usize = 2_000;
+/// Global outstanding-request cap across all connections.
+const OUTSTANDING_CAP: usize = 8;
+/// Storm p99 must stay within this factor of the single-session p99.
+const P99_BUDGET: f64 = 20.0;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+/// Deterministic splitmix-style generator: the op schedule must not
+/// change between runs.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// What the in-flight request on a connection is, and what follows it.
+/// Churn is a five-request sequence (close → open → 2 cells → generate)
+/// threaded through the same lane, one response at a time.
+enum ReqKind {
+    Gesture,
+    Generate,
+    ChurnClose { slot: usize },
+    ChurnOpen { slot: usize },
+    ChurnCell { slot: usize, second: bool },
+    ChurnGenerate,
+}
+
+impl ReqKind {
+    fn bucket(&self) -> usize {
+        match self {
+            ReqKind::Gesture => 0,
+            ReqKind::Generate => 1,
+            _ => 2,
+        }
+    }
+}
+
+struct Outstanding {
+    kind: ReqKind,
+    sent_at: Instant,
+}
+
+/// One multiplexed lane of the load driver: a nonblocking socket, its
+/// partial-read buffer, and the sessions pinned to it.
+struct Lane {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    sessions: Vec<i64>,
+    outstanding: Option<Outstanding>,
+}
+
+struct Metrics {
+    /// gesture / generate / churn request latencies.
+    by_kind: [LatencyHistogram; 3],
+    /// Every measured request.
+    all: LatencyHistogram,
+    /// `overloaded` responses observed (the server shedding load).
+    sheds: u64,
+    /// Completed close→reopen→regenerate cycles.
+    churn_cycles: u64,
+    /// Alternates the slider literal so gestures do real rebind work.
+    flips: u64,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        Metrics {
+            by_kind: [LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new()],
+            all: LatencyHistogram::new(),
+            sheds: 0,
+            churn_cycles: 0,
+            flips: 0,
+        }
+    }
+}
+
+const RAMP_QUERIES: [&str; 2] = [
+    "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+    "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+];
+
+/// Blocking request/response during ramp and teardown (the storm itself
+/// never blocks).
+fn request_blocking(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    req: &Value,
+) -> Value {
+    let mut line = req.to_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes()).expect("ramp write");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("ramp read");
+    let v: Value = serde_json::from_str(response.trim()).expect("ramp response json");
+    assert_eq!(v["ok"].as_bool(), Some(true), "ramp request failed: {req} -> {v}");
+    v
+}
+
+/// Open and fully build one toy session over a blocking connection:
+/// open → two notebook cells → generate (fleet-cache-served after the
+/// first). Returns the session id.
+fn ramp_one(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>) -> i64 {
+    let opened = request_blocking(writer, reader, &json!({"cmd": "open", "scenario": "toy"}));
+    let session = opened["session"].as_i64().expect("session id");
+    for sql in RAMP_QUERIES {
+        request_blocking(
+            writer,
+            reader,
+            &json!({"cmd": "run_cell", "session": session, "sql": sql}),
+        );
+    }
+    request_blocking(writer, reader, &json!({"cmd": "generate", "session": session}));
+    session
+}
+
+/// Connect one lane and ramp `share` sessions onto it.
+fn ramp_lane(addr: std::net::SocketAddr, share: usize) -> Lane {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream.try_clone().expect("clone");
+    let sessions = (0..share).map(|_| ramp_one(&mut writer, &mut reader)).collect();
+    stream.set_nonblocking(true).expect("nonblocking");
+    Lane { stream, read_buf: Vec::new(), sessions, outstanding: None }
+}
+
+fn send(lane: &mut Lane, kind: ReqKind, request: Value) {
+    debug_assert!(lane.outstanding.is_none(), "one outstanding request per lane");
+    let mut line = request.to_string();
+    line.push('\n');
+    let sent_at = Instant::now();
+    // Requests are a few hundred bytes against an empty socket buffer:
+    // one nonblocking write_all suffices in practice, but loop anyway.
+    let mut written = 0;
+    while written < line.len() {
+        match lane.stream.write(&line.as_bytes()[written..]) {
+            Ok(n) => written += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::yield_now(),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => panic!("load driver write failed: {e}"),
+        }
+    }
+    lane.outstanding = Some(Outstanding { kind, sent_at });
+}
+
+/// Issue the next scheduled op on a free lane: ~90% gestures, ~5%
+/// regenerates, ~5% churn starts.
+fn schedule_op(lane: &mut Lane, lcg: &mut Lcg, m: &mut Metrics) {
+    let roll = lcg.next() % 100;
+    let slot = (lcg.next() as usize) % lane.sessions.len();
+    let session = lane.sessions[slot];
+    if roll < 90 {
+        m.flips += 1;
+        let scalar = if m.flips.is_multiple_of(2) { 1.0 } else { 2.0 };
+        send(
+            lane,
+            ReqKind::Gesture,
+            json!({"cmd": "gesture", "session": session, "events": [
+                {"type": "set_widget", "widget": 0, "value": {"scalar": scalar}},
+            ]}),
+        );
+    } else if roll < 95 {
+        send(lane, ReqKind::Generate, json!({"cmd": "generate", "session": session}));
+    } else {
+        send(lane, ReqKind::ChurnClose { slot }, json!({"cmd": "close", "session": session}));
+    }
+}
+
+/// Handle one complete response line on a lane: record its latency and
+/// advance a churn sequence if one is in flight.
+fn complete(lane: &mut Lane, line: &str, m: &mut Metrics) {
+    let response: Value = serde_json::from_str(line).expect("response json");
+    let done = lane.outstanding.take().expect("response without a request");
+    let elapsed = done.sent_at.elapsed();
+    m.by_kind[done.kind.bucket()].record(elapsed);
+    m.all.record(elapsed);
+    if response["ok"].as_bool() != Some(true) {
+        let kind = response["error"]["kind"].as_str().unwrap_or("?");
+        assert_eq!(kind, "overloaded", "unexpected error under load: {response}");
+        m.sheds += 1;
+        // A shed churn step would desync the sequence; sheds only ever
+        // apply to queue-full gestures, which need no follow-up.
+        assert!(matches!(done.kind, ReqKind::Gesture | ReqKind::Generate));
+        return;
+    }
+    match done.kind {
+        ReqKind::ChurnClose { slot } => {
+            send(lane, ReqKind::ChurnOpen { slot }, json!({"cmd": "open", "scenario": "toy"}));
+        }
+        ReqKind::ChurnOpen { slot } => {
+            lane.sessions[slot] = response["session"].as_i64().expect("reopened session id");
+            let session = lane.sessions[slot];
+            send(
+                lane,
+                ReqKind::ChurnCell { slot, second: false },
+                json!({"cmd": "run_cell", "session": session, "sql": RAMP_QUERIES[0]}),
+            );
+        }
+        ReqKind::ChurnCell { slot, second: false } => {
+            let session = lane.sessions[slot];
+            send(
+                lane,
+                ReqKind::ChurnCell { slot, second: true },
+                json!({"cmd": "run_cell", "session": session, "sql": RAMP_QUERIES[1]}),
+            );
+        }
+        ReqKind::ChurnCell { slot, second: true } => {
+            let session = lane.sessions[slot];
+            send(lane, ReqKind::ChurnGenerate, json!({"cmd": "generate", "session": session}));
+        }
+        ReqKind::ChurnGenerate => m.churn_cycles += 1,
+        ReqKind::Gesture | ReqKind::Generate => {}
+    }
+}
+
+/// Pump one lane: read whatever is available, complete any full line.
+/// Returns whether anything happened.
+fn pump(lane: &mut Lane, m: &mut Metrics) -> bool {
+    if lane.outstanding.is_none() {
+        return false;
+    }
+    let mut scratch = [0u8; 4096];
+    let mut progress = false;
+    loop {
+        match lane.stream.read(&mut scratch) {
+            Ok(0) => panic!("server closed a load connection mid-storm"),
+            Ok(n) => {
+                lane.read_buf.extend_from_slice(&scratch[..n]);
+                progress = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => panic!("load driver read failed: {e}"),
+        }
+        if lane.read_buf.contains(&b'\n') {
+            break;
+        }
+    }
+    while let Some(pos) = lane.read_buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = lane.read_buf.drain(..=pos).collect();
+        let line = std::str::from_utf8(&line[..line.len() - 1]).expect("utf8 response");
+        complete(lane, line, m);
+    }
+    progress
+}
+
+/// Drive `total_ops` scheduled ops over the lanes with at most `cap`
+/// requests outstanding globally (and ≤ 1 per lane), rotating fairly.
+fn run_storm(lanes: &mut [Lane], total_ops: usize, cap: usize, m: &mut Metrics) -> Duration {
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(600);
+    let mut lcg = Lcg(0x9E37_79B9_7F4A_7C15);
+    let mut scheduled = 0usize;
+    let mut cursor = 0usize;
+    let mut idle_passes = 0u32;
+    loop {
+        let mut progress = false;
+        for lane in lanes.iter_mut() {
+            if pump(lane, m) {
+                progress = true;
+            }
+        }
+        let mut outstanding = lanes.iter().filter(|l| l.outstanding.is_some()).count();
+        while outstanding < cap && scheduled < total_ops {
+            let Some(idx) = (0..lanes.len())
+                .map(|k| (cursor + k) % lanes.len())
+                .find(|&i| lanes[i].outstanding.is_none())
+            else {
+                break;
+            };
+            cursor = (idx + 1) % lanes.len();
+            schedule_op(&mut lanes[idx], &mut lcg, m);
+            scheduled += 1;
+            outstanding += 1;
+            progress = true;
+        }
+        if scheduled >= total_ops && outstanding == 0 {
+            return started.elapsed();
+        }
+        if progress {
+            idle_passes = 0;
+        } else {
+            assert!(Instant::now() < deadline, "load driver stalled waiting for responses");
+            idle_passes = idle_passes.saturating_add(1);
+            if idle_passes < 64 {
+                std::thread::yield_now();
+            } else {
+                let exp = (idle_passes - 64).min(5);
+                std::thread::sleep(Duration::from_micros(8u64 << exp));
+            }
+        }
+    }
+}
+
+/// Close every session on every lane (blocking, pipelined per lane).
+fn teardown(lanes: &mut [Lane]) {
+    for lane in lanes.iter_mut() {
+        lane.stream.set_nonblocking(false).expect("blocking");
+        let mut batch = String::new();
+        for session in &lane.sessions {
+            batch.push_str(&json!({"cmd": "close", "session": session}).to_string());
+            batch.push('\n');
+        }
+        lane.stream.write_all(batch.as_bytes()).expect("teardown write");
+        let mut reader = BufReader::new(lane.stream.try_clone().expect("clone"));
+        for session in &lane.sessions {
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("teardown read");
+            let v: Value = serde_json::from_str(response.trim()).expect("teardown json");
+            assert_eq!(v["ok"].as_bool(), Some(true), "close {session} failed: {v}");
+        }
+    }
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn histogram_row(phase: &str, h: &LatencyHistogram) -> Value {
+    json!({
+        "phase": phase,
+        "count": h.count(),
+        "p50_us": us(h.percentile(0.50)),
+        "p95_us": us(h.percentile(0.95)),
+        "p99_us": us(h.percentile(0.99)),
+        "p999_us": us(h.percentile(0.999)),
+        "mean_us": us(h.mean()),
+        "max_us": us(h.max()),
+    })
+}
+
+/// Regenerate the exhibit; writes `target/BENCH_load.json`.
+pub fn run() -> String {
+    let sessions = env_usize("PI2_LOAD_SESSIONS", DEFAULT_SESSIONS);
+    let conns = env_usize("PI2_LOAD_CONNS", DEFAULT_CONNS).min(sessions);
+    let ops = env_usize("PI2_LOAD_OPS", DEFAULT_OPS);
+
+    // Phase 1 — single-session baseline: the same op mix (gestures,
+    // regenerates, churn) on an idle server, one lane, one in flight.
+    let baseline_state = Arc::new(ServerState::new());
+    let baseline_server =
+        Server::bind_with("127.0.0.1:0", Arc::clone(&baseline_state), ServerConfig::new())
+            .expect("bind baseline");
+    let mut baseline_lanes = vec![ramp_lane(baseline_server.local_addr(), 1)];
+    let mut baseline = Metrics::new();
+    run_storm(&mut baseline_lanes, BASELINE_OPS, 1, &mut baseline);
+    teardown(&mut baseline_lanes);
+    baseline_server.shutdown();
+    baseline_server.join();
+
+    // Phase 2 — ramp the fleet: `sessions` toy sessions over `conns`
+    // connections, each opened, built (two cells) and generated. The
+    // first generate is the only cache miss; the rest are fleet hits.
+    let state = Arc::new(ServerState::new());
+    let server =
+        Server::bind_with("127.0.0.1:0", Arc::clone(&state), ServerConfig::new()).expect("bind");
+    let addr = server.local_addr();
+    let ramp_started = Instant::now();
+    let mut lanes: Vec<Lane> = (0..conns)
+        .map(|i| ramp_lane(addr, sessions / conns + usize::from(i < sessions % conns)))
+        .collect();
+    let ramp_elapsed = ramp_started.elapsed();
+
+    let mut stats_client = TcpClient::connect(addr).expect("stats connect");
+    let peak = stats_client.request(json!({"cmd": "stats"})).expect("stats");
+    let active_at_peak = peak["stats"]["active_sessions"].as_i64().unwrap_or(-1);
+    assert_eq!(active_at_peak, sessions as i64, "ramp did not reach target: {peak}");
+
+    // Phase 3 — the measured storm.
+    let mut storm = Metrics::new();
+    let storm_elapsed = run_storm(&mut lanes, ops, OUTSTANDING_CAP, &mut storm);
+
+    // Phase 4 — teardown: close everything, then verify nothing leaked.
+    teardown(&mut lanes);
+    let end = stats_client.request(json!({"cmd": "stats"})).expect("stats");
+    let active_at_end = end["stats"]["active_sessions"].as_i64().unwrap_or(-1);
+    assert_eq!(active_at_end, 0, "sessions leaked: {end}");
+    assert!(state.registry().is_empty(), "registry not empty after teardown");
+    server.shutdown();
+    server.join();
+
+    let single_p99 = us(baseline.all.percentile(0.99));
+    let storm_p99 = us(storm.all.percentile(0.99));
+    let ratio = if single_p99 > 0.0 { storm_p99 / single_p99 } else { f64::INFINITY };
+    let within = ratio <= P99_BUDGET;
+    let requests = storm.all.count();
+    let shed_rate = if requests > 0 { storm.sheds as f64 / requests as f64 } else { 0.0 };
+
+    let kind_names = ["storm_gesture", "storm_generate", "storm_churn"];
+    let mut rows = vec![histogram_row("single_session", &baseline.all)];
+    rows.push(histogram_row("storm", &storm.all));
+    for (name, h) in kind_names.iter().zip(&storm.by_kind) {
+        rows.push(histogram_row(name, h));
+    }
+    let doc = json!({
+        "schema_version": 1,
+        "scenario": "toy-load-storm",
+        "rows": rows,
+        "summary": {
+            "sessions": sessions,
+            "connections": conns,
+            "outstanding_cap": OUTSTANDING_CAP,
+            "measured_requests": requests,
+            "churn_cycles": storm.churn_cycles,
+            "sheds": storm.sheds,
+            "shed_rate": shed_rate,
+            "server_overloaded": end["stats"]["overloaded"].as_i64().unwrap_or(-1),
+            "ramp_seconds": ramp_elapsed.as_secs_f64(),
+            "storm_seconds": storm_elapsed.as_secs_f64(),
+            "throughput_rps": requests as f64 / storm_elapsed.as_secs_f64().max(1e-9),
+            "single_session_p99_us": single_p99,
+            "storm_p99_us": storm_p99,
+            "storm_p999_us": us(storm.all.percentile(0.999)),
+            "p99_ratio": ratio,
+            "p99_within_20x_single_session": within,
+            "active_sessions_at_peak": active_at_peak,
+            "active_sessions_at_end": active_at_end,
+        },
+        "server_stats": end["stats"].clone(),
+    });
+
+    let mut out = format!(
+        "Load storm: {sessions} sessions over {conns} connections, cap {OUTSTANDING_CAP} in flight\n",
+    );
+    let labeled: Vec<(&str, &LatencyHistogram)> =
+        std::iter::once(("single_session", &baseline.all))
+            .chain(std::iter::once(("storm", &storm.all)))
+            .chain(kind_names.iter().copied().zip(storm.by_kind.iter()))
+            .collect();
+    out.push_str(&crate::text_table(
+        &["phase", "requests", "p50 us", "p95 us", "p99 us", "p99.9 us", "mean us", "max us"],
+        &labeled
+            .iter()
+            .map(|(phase, h)| {
+                vec![
+                    (*phase).to_string(),
+                    h.count().to_string(),
+                    format!("{:.1}", us(h.percentile(0.50))),
+                    format!("{:.1}", us(h.percentile(0.95))),
+                    format!("{:.1}", us(h.percentile(0.99))),
+                    format!("{:.1}", us(h.percentile(0.999))),
+                    format!("{:.1}", us(h.mean())),
+                    format!("{:.1}", us(h.max())),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&format!(
+        "\nchurn cycles: {} | sheds: {} ({:.3}% of {} requests) | throughput: {:.0} req/s\n",
+        storm.churn_cycles,
+        storm.sheds,
+        shed_rate * 100.0,
+        requests,
+        requests as f64 / storm_elapsed.as_secs_f64().max(1e-9),
+    ));
+    out.push_str(&format!(
+        "storm p99 / single p99 = {ratio:.2}x (target: <= {P99_BUDGET:.0}x) — {}\n",
+        if within { "met" } else { "MISSED" }
+    ));
+
+    let text = serde_json::to_string_pretty(&doc).unwrap_or_default();
+    let path = std::path::Path::new("target").join("BENCH_load.json");
+    match std::fs::create_dir_all("target").and_then(|_| std::fs::write(&path, &text)) {
+        Ok(()) => out.push_str(&format!("wrote {}\n", path.display())),
+        Err(e) => out.push_str(&format!("could not write {}: {e}\n", path.display())),
+    }
+    out
+}

@@ -13,11 +13,14 @@
 //! The paper demonstrates PI2 inside a single Jupyter notebook; this
 //! crate is the piece a hosted deployment needs on top: one resident
 //! server holding each scenario's columnar tables **once** (sessions get
-//! `Arc`-sharing catalog clones), a sharded registry so concurrent
-//! dispatches to different sessions never contend on one lock, per-session
-//! **gesture coalescing** (a pan storm collapses before dispatch), bounded
-//! queues with structured `overloaded` backpressure, per-endpoint latency
-//! telemetry, and graceful drain on shutdown.
+//! `Arc`-sharing catalog clones), a **readiness-driven reactor** (a small
+//! fixed pool of worker threads, each multiplexing many nonblocking
+//! connections — fleet size is bounded by sockets, not threads), a
+//! sharded registry so concurrent dispatches to different sessions never
+//! contend on one lock, per-session **gesture coalescing** (a pan storm
+//! collapses before dispatch), bounded queues with structured
+//! `overloaded` backpressure, per-endpoint latency telemetry, and
+//! graceful drain on shutdown.
 //!
 //! ```
 //! use pi2_server::LocalClient;
@@ -56,6 +59,6 @@ pub mod state;
 pub use client::{LocalClient, TcpClient};
 pub use protocol::{CacheMode, CacheOptions, ErrorKind, OpenOptions, Request, Strategy};
 pub use registry::Registry;
-pub use server::Server;
+pub use server::{Server, ServerConfig};
 pub use session::{coalesce, Enqueue, SessionEntry, QUEUE_CAP};
-pub use state::ServerState;
+pub use state::{ServerCounters, ServerState};

@@ -5,7 +5,7 @@
 //! TCP, or run a self-contained `--smoke` check (bind an ephemeral port,
 //! drive one session over real TCP, shut down cleanly).
 
-use pi2_server::{Server, ServerState, TcpClient};
+use pi2_server::{Server, ServerConfig, ServerState, TcpClient};
 use serde_json::{json, Value};
 use std::sync::Arc;
 
@@ -13,20 +13,32 @@ struct Args {
     addr: String,
     scenario: String,
     smoke: bool,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { addr: "127.0.0.1:7878".to_string(), scenario: "sdss".to_string(), smoke: false };
+    let mut args = Args {
+        addr: "127.0.0.1:7878".to_string(),
+        scenario: "sdss".to_string(),
+        smoke: false,
+        workers: 0,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => args.addr = it.next().ok_or("--addr needs a value")?,
             "--scenario" => args.scenario = it.next().ok_or("--scenario needs a value")?,
             "--smoke" => args.smoke = true,
+            "--workers" => {
+                args.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: pi2-server [--addr HOST:PORT] [--scenario {}] [--smoke]",
+                    "usage: pi2-server [--addr HOST:PORT] [--scenario {}] [--workers N] [--smoke]",
                     ServerState::scenario_names().join("|")
                 ))
             }
@@ -60,7 +72,8 @@ fn main() {
 
 fn serve(args: &Args) -> Result<(), String> {
     let state = Arc::new(ServerState::new());
-    let server = Server::bind(&args.addr, state).map_err(|e| e.to_string())?;
+    let config = ServerConfig::new().workers(args.workers);
+    let server = Server::bind_with(&args.addr, state, config).map_err(|e| e.to_string())?;
     println!("pi2-server listening on {}", server.local_addr());
     println!("open a session with: {{\"cmd\": \"open\", \"scenario\": \"{}\"}}", args.scenario);
     server.join();

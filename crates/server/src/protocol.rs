@@ -181,6 +181,9 @@ pub enum Request {
 pub enum ErrorKind {
     /// Malformed JSON or a missing/ill-typed field.
     BadRequest,
+    /// A request line exceeded the server's line-length cap; the rest of
+    /// the line is discarded and the connection stays usable.
+    TooLarge,
     /// `open` named a scenario the server does not know.
     UnknownScenario,
     /// No session with that id.
@@ -204,6 +207,7 @@ impl ErrorKind {
     pub fn as_str(self) -> &'static str {
         match self {
             ErrorKind::BadRequest => "bad_request",
+            ErrorKind::TooLarge => "too_large",
             ErrorKind::UnknownScenario => "unknown_scenario",
             ErrorKind::UnknownSession => "unknown_session",
             ErrorKind::UnknownVersion => "unknown_version",

@@ -73,6 +73,17 @@ impl Registry {
         self.len() == 0
     }
 
+    /// Visit every live session without materializing a snapshot: one
+    /// shard is read-locked at a time, so a 10k-session stats pass never
+    /// clones 10k `Arc`s or blocks writers for the whole walk.
+    pub fn for_each(&self, mut f: impl FnMut(&Arc<SessionEntry>)) {
+        for shard in &self.shards {
+            for entry in shard.read().values() {
+                f(entry);
+            }
+        }
+    }
+
     /// Snapshot of all live sessions, in id order.
     pub fn entries(&self) -> Vec<Arc<SessionEntry>> {
         let mut all: Vec<Arc<SessionEntry>> = self

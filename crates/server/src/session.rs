@@ -153,21 +153,31 @@ impl SessionEntry {
         }
     }
 
+    /// Swap out the pending queue and coalesce it, **without**
+    /// dispatching: returns the surviving events and how many were
+    /// merged away. This is the exact pre-dispatch step of
+    /// [`drain_and_dispatch`](Self::drain_and_dispatch), exposed so the
+    /// coalescing property tests can drive the real session queue.
+    pub fn drain_coalesced(&self) -> (Vec<(usize, Event)>, usize) {
+        let batch: Vec<(usize, Event)> = lock(&self.queue).drain(..).collect();
+        let before = batch.len();
+        let batch = coalesce(batch);
+        let dropped = before - batch.len();
+        self.counters.coalesced.fetch_add(dropped as u64, Ordering::Relaxed);
+        (batch, dropped)
+    }
+
     fn drain_locked(&self, core: &mut SessionCore) -> Result<DrainOutcome, NotebookError> {
         let mut outcome =
             DrainOutcome { updates: Vec::new(), applied: 0, coalesced: 0, errors: Vec::new() };
         // Final update per chart: later events supersede earlier ones.
         let mut by_chart: HashMap<usize, usize> = HashMap::new();
         loop {
-            let batch: Vec<(usize, Event)> = lock(&self.queue).drain(..).collect();
-            if batch.is_empty() {
+            let (batch, dropped) = self.drain_coalesced();
+            if batch.is_empty() && dropped == 0 {
                 return Ok(outcome);
             }
-            let before = batch.len();
-            let batch = coalesce(batch);
-            let dropped = before - batch.len();
             outcome.coalesced += dropped;
-            self.counters.coalesced.fetch_add(dropped as u64, Ordering::Relaxed);
             for (version, event) in batch {
                 let session = core.live_session(version)?;
                 match session.dispatch(event) {

@@ -39,6 +39,11 @@ pub struct ServerCounters {
     pub opened: AtomicU64,
     /// Sessions closed.
     pub closed: AtomicU64,
+    /// TCP connections accepted by the reactor.
+    pub connections_accepted: AtomicU64,
+    /// TCP connections closed by the reactor (peer hangup, fatal error,
+    /// write-cap breach, or drain).
+    pub connections_closed: AtomicU64,
 }
 
 /// All state shared between connections (and with [`LocalClient`]s).
@@ -85,6 +90,11 @@ impl ServerState {
     /// The session registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Server-wide request/session/connection counters.
+    pub fn counters(&self) -> &ServerCounters {
+        &self.counters
     }
 
     /// The process-wide fleet handle shared by every `shared`-mode
@@ -149,6 +159,25 @@ impl ServerState {
             response["id"] = id;
         }
         to_line(&response)
+    }
+
+    /// The response for a request line that was not valid UTF-8 (counted
+    /// like any other bad request; no id can be recovered from it).
+    pub fn handle_line_invalid_utf8(&self) -> String {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        to_line(&error_response(ErrorKind::BadRequest, "request line is not valid UTF-8"))
+    }
+
+    /// The response for a request line that exceeded the transport's
+    /// line-length cap; the transport discards the rest of the line.
+    pub fn handle_line_too_long(&self, cap: usize) -> String {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        to_line(&error_response(
+            ErrorKind::TooLarge,
+            format!("request line exceeds {cap} bytes; discarded to next newline"),
+        ))
     }
 
     /// Handle a parsed request.
@@ -429,38 +458,74 @@ impl ServerState {
         }
     }
 
+    /// How many per-session detail rows `stats` will list before
+    /// switching to totals only: a 10k-session fleet must not serialize
+    /// 10k objects per stats call.
+    pub const STATS_SESSION_DETAIL_CAP: usize = 32;
+
     /// Server-wide stats as a JSON object: counters, gauges (active
     /// sessions, queue depths), and per-endpoint latency histograms.
+    ///
+    /// Per-session counters are always *aggregated* in `session_totals`;
+    /// the per-session `sessions` list is included only while the fleet
+    /// is small (≤ [`Self::STATS_SESSION_DETAIL_CAP`] sessions) —
+    /// `sessions_omitted` reports how many were elided.
     pub fn stats_json(&self) -> Value {
         let endpoints: serde_json::Map = lock(&self.endpoint_latency)
             .iter()
             .map(|(name, h)| ((*name).to_string(), parse_json(&h.to_json())))
             .collect();
-        let sessions: Vec<Value> = self
-            .registry
-            .entries()
-            .iter()
-            .map(|e| {
-                json!({
-                    "id": e.id,
-                    "scenario": e.scenario.clone(),
-                    "queue_depth": e.queue_depth(),
-                    "enqueued": e.counters.enqueued.load(Ordering::Relaxed),
-                    "coalesced": e.counters.coalesced.load(Ordering::Relaxed),
-                    "dispatched": e.counters.dispatched.load(Ordering::Relaxed),
-                    "overloaded": e.counters.overloaded.load(Ordering::Relaxed),
+        let mut active = 0u64;
+        let (mut queued, mut enqueued, mut coalesced, mut dispatched, mut overloaded) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        self.registry.for_each(|e| {
+            active += 1;
+            queued += e.queue_depth() as u64;
+            enqueued += e.counters.enqueued.load(Ordering::Relaxed);
+            coalesced += e.counters.coalesced.load(Ordering::Relaxed);
+            dispatched += e.counters.dispatched.load(Ordering::Relaxed);
+            overloaded += e.counters.overloaded.load(Ordering::Relaxed);
+        });
+        let detailed = active as usize <= Self::STATS_SESSION_DETAIL_CAP;
+        let sessions: Vec<Value> = if detailed {
+            self.registry
+                .entries()
+                .iter()
+                .map(|e| {
+                    json!({
+                        "id": e.id,
+                        "scenario": e.scenario.clone(),
+                        "queue_depth": e.queue_depth(),
+                        "enqueued": e.counters.enqueued.load(Ordering::Relaxed),
+                        "coalesced": e.counters.coalesced.load(Ordering::Relaxed),
+                        "dispatched": e.counters.dispatched.load(Ordering::Relaxed),
+                        "overloaded": e.counters.overloaded.load(Ordering::Relaxed),
+                    })
                 })
-            })
-            .collect();
+                .collect()
+        } else {
+            Vec::new()
+        };
         let fleet = self.fleet.counters();
         json!({
-            "active_sessions": self.registry.len(),
+            "active_sessions": active,
             "draining": self.draining(),
             "requests": self.counters.requests.load(Ordering::Relaxed),
             "errors": self.counters.errors.load(Ordering::Relaxed),
             "overloaded": self.counters.overloaded.load(Ordering::Relaxed),
             "opened": self.counters.opened.load(Ordering::Relaxed),
             "closed": self.counters.closed.load(Ordering::Relaxed),
+            "connections_accepted":
+                self.counters.connections_accepted.load(Ordering::Relaxed),
+            "connections_closed": self.counters.connections_closed.load(Ordering::Relaxed),
+            "session_totals": {
+                "queue_depth": queued,
+                "enqueued": enqueued,
+                "coalesced": coalesced,
+                "dispatched": dispatched,
+                "overloaded": overloaded,
+            },
+            "sessions_omitted": if detailed { 0 } else { active },
             "fleet": {
                 "hits": fleet.hits,
                 "misses": fleet.misses,

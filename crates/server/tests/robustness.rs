@@ -1,0 +1,333 @@
+//! Protocol-robustness battery for the reactor transport.
+//!
+//! Throws hostile input at a live TCP server — malformed JSON, invalid
+//! UTF-8, truncated lines, oversized requests, mid-request disconnects,
+//! slow-loris partial writes — and asserts three invariants throughout:
+//! every complete request line gets a *structured* error or success
+//! response, the server never panics (it keeps serving new work
+//! afterwards), and the session registry never leaks entries that a
+//! client did not successfully open.
+
+use pi2_server::{Server, ServerConfig, ServerState, TcpClient};
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bind a reactor server with test-sized limits on an ephemeral port.
+fn start(config: ServerConfig) -> (Server, Arc<ServerState>) {
+    let state = Arc::new(ServerState::new());
+    let server = Server::bind_with("127.0.0.1:0", Arc::clone(&state), config).expect("bind");
+    (server, state)
+}
+
+/// A raw byte-level client: no framing help, so tests control exactly
+/// what crosses the wire.
+struct RawClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawClient {
+    fn connect(server: &Server) -> Self {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        RawClient { reader, writer: stream }
+    }
+
+    fn send(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("write");
+        self.writer.flush().expect("flush");
+    }
+
+    fn read_response(&mut self) -> Value {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read");
+        assert!(!line.is_empty(), "server closed the connection unexpectedly");
+        serde_json::from_str(line.trim()).expect("response is valid JSON")
+    }
+}
+
+/// The connection must still serve a normal request — the strongest
+/// "no panic, framing still in sync" witness.
+fn assert_alive(client: &mut RawClient) {
+    client.send(b"{\"cmd\": \"stats\", \"id\": \"alive\"}\n");
+    let r = client.read_response();
+    assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+    assert_eq!(r["id"].as_str(), Some("alive"), "{r}");
+}
+
+#[test]
+fn malformed_json_gets_structured_error_and_connection_survives() {
+    let (server, state) = start(ServerConfig::new());
+    let mut client = RawClient::connect(&server);
+
+    for garbage in
+        ["not json at all", "{{{", "[1, 2, 3]", "\"just a string\"", "{\"cmd\": \"nope\"}"]
+    {
+        client.send(format!("{garbage}\n").as_bytes());
+        let r = client.read_response();
+        assert_eq!(r["ok"].as_bool(), Some(false), "{garbage} -> {r}");
+        assert_eq!(r["error"]["kind"].as_str(), Some("bad_request"), "{garbage} -> {r}");
+    }
+    assert_alive(&mut client);
+    assert!(state.registry().is_empty(), "garbage must not create sessions");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn invalid_utf8_is_rejected_without_killing_the_framing() {
+    let (server, state) = start(ServerConfig::new());
+    let mut client = RawClient::connect(&server);
+
+    client.send(b"\xff\xfe\x80garbage\n");
+    let r = client.read_response();
+    assert_eq!(r["error"]["kind"].as_str(), Some("bad_request"), "{r}");
+    assert!(r["error"]["message"].as_str().expect("message").contains("UTF-8"), "{r}");
+
+    assert_alive(&mut client);
+    assert!(state.registry().is_empty());
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn blank_lines_are_ignored_not_answered() {
+    let (server, _state) = start(ServerConfig::new());
+    let mut client = RawClient::connect(&server);
+
+    // Blank and whitespace-only lines produce no response at all; the
+    // next real request's response must be the first thing we read.
+    client.send(b"\n\n   \n\t\n{\"cmd\": \"stats\", \"id\": 42}\n");
+    let r = client.read_response();
+    assert_eq!(r["id"].as_i64(), Some(42), "{r}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_line_gets_too_large_error_and_framing_resyncs() {
+    // A small cap so the test is cheap; the junk is 4× the cap.
+    let cap = 16 * 1024;
+    let (server, state) = start(ServerConfig::new().max_line_bytes(cap));
+    let mut client = RawClient::connect(&server);
+
+    let junk = vec![b'x'; cap * 4];
+    client.send(&junk);
+    // The error arrives *before* the newline: the server answers as soon
+    // as the partial line crosses the cap.
+    let r = client.read_response();
+    assert_eq!(r["ok"].as_bool(), Some(false), "{r}");
+    assert_eq!(r["error"]["kind"].as_str(), Some("too_large"), "{r}");
+
+    // Finish the oversized line; everything up to that newline must be
+    // discarded, and the next line parses normally.
+    client.send(b"more junk after the error\n");
+    assert_alive(&mut client);
+
+    // An oversized line never half-creates anything.
+    assert!(state.registry().is_empty());
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn oversized_line_split_across_many_writes_is_still_caught() {
+    let cap = 8 * 1024;
+    let (server, _state) = start(ServerConfig::new().max_line_bytes(cap));
+    let mut client = RawClient::connect(&server);
+
+    // Drip-feed 3× the cap in 1 KiB chunks with no newline.
+    let chunk = vec![b'y'; 1024];
+    for _ in 0..(cap * 3 / chunk.len()) {
+        client.send(&chunk);
+    }
+    let r = client.read_response();
+    assert_eq!(r["error"]["kind"].as_str(), Some("too_large"), "{r}");
+    client.send(b"\n");
+    assert_alive(&mut client);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn slow_loris_byte_at_a_time_request_completes_correctly() {
+    let (server, _state) = start(ServerConfig::new());
+    let mut client = RawClient::connect(&server);
+
+    // One valid request, written one byte at a time with pauses: the
+    // reactor must accumulate the partial line across many poll passes
+    // without blocking other connections (exercised by a second client
+    // completing a full round-trip mid-drip).
+    let request = b"{\"cmd\": \"stats\", \"id\": \"loris\"}\n";
+    let mut other = RawClient::connect(&server);
+    for (i, byte) in request.iter().enumerate() {
+        client.send(std::slice::from_ref(byte));
+        if i % 8 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if i == request.len() / 2 {
+            // A slow sender must not stall the reactor for everyone else.
+            assert_alive(&mut other);
+        }
+    }
+    let r = client.read_response();
+    assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+    assert_eq!(r["id"].as_str(), Some("loris"), "{r}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn truncated_line_then_disconnect_leaks_nothing() {
+    let (server, state) = start(ServerConfig::new());
+
+    // Half an `open` request, then the peer vanishes: no response owed,
+    // no session may exist, and the server must keep serving.
+    {
+        let mut client = RawClient::connect(&server);
+        client.send(b"{\"cmd\": \"open\", \"scenario\": \"to");
+        // Give the reactor a chance to ingest the fragment.
+        std::thread::sleep(Duration::from_millis(20));
+    } // dropped: RST/FIN mid-line
+
+    // The incomplete line must not have opened anything.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while state.counters().connections_closed.load(std::sync::atomic::Ordering::Relaxed) < 1 {
+        assert!(std::time::Instant::now() < deadline, "reactor never reaped the dead peer");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(state.registry().is_empty(), "truncated open must not leak a session");
+
+    let mut client = RawClient::connect(&server);
+    assert_alive(&mut client);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn disconnect_between_requests_keeps_sessions_adoptable_and_closable() {
+    let (server, state) = start(ServerConfig::new());
+
+    // Open a session, then drop the connection without closing it.
+    let session = {
+        let mut client = TcpClient::connect(server.local_addr()).expect("connect");
+        let opened = client.request(json!({"cmd": "open", "scenario": "toy"})).expect("open");
+        assert_eq!(opened["ok"].as_bool(), Some(true), "{opened}");
+        opened["session"].as_i64().expect("session id")
+    };
+
+    // Sessions are independent of connections by design: the entry
+    // survives the disconnect and a *new* connection can adopt it...
+    assert_eq!(state.registry().len(), 1);
+    let mut client = TcpClient::connect(server.local_addr()).expect("reconnect");
+    let r = client
+        .request(json!({"cmd": "run_cell", "session": session,
+            "sql": "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p"}))
+        .expect("run_cell");
+    assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+
+    // ...and closing it leaves the registry empty: nothing leaked.
+    let r = client.request(json!({"cmd": "close", "session": session})).expect("close");
+    assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+    assert!(state.registry().is_empty());
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let (server, _state) = start(ServerConfig::new());
+    let mut client = RawClient::connect(&server);
+
+    // Ten requests in one write; ten responses, ids in order. (More than
+    // `max_lines_per_turn` would also work — excess lines just wait one
+    // poll pass — but ten keeps the test instant.)
+    let mut batch = String::new();
+    for id in 0..10 {
+        batch.push_str(&format!("{{\"cmd\": \"stats\", \"id\": {id}}}\n"));
+    }
+    client.send(batch.as_bytes());
+    for id in 0..10 {
+        let r = client.read_response();
+        assert_eq!(r["id"].as_i64(), Some(id), "{r}");
+        assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn firehose_of_bad_lines_is_survived_and_counted() {
+    let (server, state) = start(ServerConfig::new());
+    let mut client = RawClient::connect(&server);
+
+    const BAD: usize = 500;
+    let mut batch = String::new();
+    for i in 0..BAD {
+        batch.push_str(&format!("this is not json #{i}\n"));
+    }
+    client.send(batch.as_bytes());
+    for _ in 0..BAD {
+        let r = client.read_response();
+        assert_eq!(r["error"]["kind"].as_str(), Some("bad_request"), "{r}");
+    }
+    assert_alive(&mut client);
+    assert!(
+        state.counters().errors.load(std::sync::atomic::Ordering::Relaxed) >= BAD as u64,
+        "every bad line must be counted as an error"
+    );
+    assert!(state.registry().is_empty());
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn half_open_peer_that_never_reads_is_eventually_cut_off() {
+    // Tiny write cap: a peer that requests data but never drains its
+    // socket must be disconnected once its responses exceed the cap,
+    // instead of growing an unbounded write buffer.
+    let (server, state) = start(ServerConfig::new().max_write_buffer(32 * 1024));
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+
+    // `stats` responses are a few hundred bytes; thousands of them with
+    // a never-reading client overflow a 32 KiB cap quickly. The client's
+    // own send may block once kernel buffers fill, so write from a
+    // thread and only until the server hangs up.
+    let flood = std::thread::spawn(move || {
+        let line = b"{\"cmd\": \"stats\"}\n";
+        for _ in 0..200_000 {
+            if writer.write_all(line).is_err() {
+                return; // server cut us off — expected
+            }
+        }
+    });
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while state.counters().connections_closed.load(std::sync::atomic::Ordering::Relaxed) < 1 {
+        assert!(std::time::Instant::now() < deadline, "write-cap breach never closed the conn");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Reading nothing, the peer eventually sees EOF/RST on its next read.
+    let mut buf = [0u8; 4096];
+    let mut reader = stream;
+    reader.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+    loop {
+        match reader.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => continue,
+        }
+    }
+    flood.join().expect("flood thread");
+
+    // And the server is still healthy for everyone else.
+    let mut client = RawClient::connect(&server);
+    assert_alive(&mut client);
+    server.shutdown();
+    server.join();
+}

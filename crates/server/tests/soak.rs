@@ -1,0 +1,184 @@
+//! Soak / churn test: many short-lived sessions opened, exercised, and
+//! closed across the reactor's worker threads, plus a determinism check
+//! that the TCP transport is byte-identical to the in-process
+//! `LocalClient` for a replayed script.
+//!
+//! The churn count defaults to a CI-friendly size; `PI2_SOAK_SESSIONS`
+//! scales it up (ci.sh runs the release soak at 1000).
+
+use pi2_server::{Server, ServerConfig, ServerState, TcpClient};
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+fn soak_sessions() -> usize {
+    std::env::var("PI2_SOAK_SESSIONS").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
+}
+
+/// One session's whole life over an existing connection: open, two
+/// notebook cells, generate (the fleet cache makes the repeats cheap),
+/// a gesture burst, close. Returns the session id it used.
+fn churn_one(client: &mut TcpClient) -> i64 {
+    let opened = client.request(json!({"cmd": "open", "scenario": "toy"})).expect("open");
+    assert_eq!(opened["ok"].as_bool(), Some(true), "{opened}");
+    let session = opened["session"].as_i64().expect("session id");
+    for sql in [
+        "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+    ] {
+        let r = client
+            .request(json!({"cmd": "run_cell", "session": session, "sql": sql}))
+            .expect("run_cell");
+        assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+    }
+    let generated = client.request(json!({"cmd": "generate", "session": session})).expect("gen");
+    assert_eq!(generated["ok"].as_bool(), Some(true), "{generated}");
+    let r = client
+        .request(json!({
+            "cmd": "gesture", "session": session,
+            "events": [
+                {"type": "set_widget", "widget": 0, "value": {"scalar": 1.0}},
+                {"type": "set_widget", "widget": 0, "value": {"scalar": 2.0}},
+            ],
+        }))
+        .expect("gesture");
+    assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+    let r = client.request(json!({"cmd": "close", "session": session})).expect("close");
+    assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+    session
+}
+
+#[test]
+fn churn_soak_leaves_no_residue() {
+    const CLIENTS: usize = 8;
+    let total = soak_sessions();
+    let state = Arc::new(ServerState::new());
+    let server =
+        Server::bind_with("127.0.0.1:0", Arc::clone(&state), ServerConfig::new()).expect("bind");
+    let addr = server.local_addr();
+
+    // CLIENTS connections churn `total` sessions between them; the
+    // reactor multiplexes them across its worker pool.
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let share = total / CLIENTS + usize::from(i < total % CLIENTS);
+            std::thread::spawn(move || {
+                let mut client = TcpClient::connect(addr).expect("connect");
+                let mut sessions = Vec::with_capacity(share);
+                for _ in 0..share {
+                    sessions.push(churn_one(&mut client));
+                }
+                sessions
+            })
+        })
+        .collect();
+    let mut all_sessions = Vec::new();
+    for h in handles {
+        all_sessions.extend(h.join().expect("client thread"));
+    }
+
+    // Every session got a distinct id — no reuse even under churn.
+    assert_eq!(all_sessions.len(), total);
+    all_sessions.sort_unstable();
+    all_sessions.dedup();
+    assert_eq!(all_sessions.len(), total, "session ids were reused");
+
+    // Nothing left behind: registry empty, counters balance.
+    assert!(state.registry().is_empty(), "registry must be empty after close-all");
+    let counters = state.counters();
+    let opened = counters.opened.load(Ordering::Relaxed);
+    let closed = counters.closed.load(Ordering::Relaxed);
+    assert_eq!(opened, total as u64);
+    assert_eq!(opened, closed + state.registry().len() as u64, "opens != closes + active");
+    assert_eq!(counters.errors.load(Ordering::Relaxed), 0, "soak must be error-free");
+
+    // The server's own stats agree.
+    let mut client = TcpClient::connect(addr).expect("connect");
+    let stats = client.request(json!({"cmd": "stats"})).expect("stats");
+    assert_eq!(stats["stats"]["active_sessions"].as_i64(), Some(0), "{stats}");
+    assert_eq!(stats["stats"]["opened"].as_i64(), Some(total as i64), "{stats}");
+    assert_eq!(stats["stats"]["closed"].as_i64(), Some(total as i64), "{stats}");
+    // `session_totals` aggregates *live* sessions only, so after
+    // close-all it must read zero...
+    assert_eq!(stats["stats"]["session_totals"]["queue_depth"].as_i64(), Some(0), "{stats}");
+    assert_eq!(stats["stats"]["session_totals"]["dispatched"].as_i64(), Some(0), "{stats}");
+    // ...while the endpoint telemetry proves every session's gesture
+    // burst actually flowed through the coalescing queues.
+    let gestures = stats["stats"]["endpoints"]["gesture"]["count"].as_i64().expect("count");
+    assert_eq!(gestures, total as i64, "one gesture request per churned session: {stats}");
+
+    server.shutdown();
+    server.join();
+
+    // After drain every accepted connection was closed.
+    let accepted = counters.connections_accepted.load(Ordering::Relaxed);
+    let conn_closed = counters.connections_closed.load(Ordering::Relaxed);
+    assert_eq!(accepted, CLIENTS as u64 + 1);
+    assert_eq!(accepted, conn_closed, "drain must close every connection it accepted");
+}
+
+/// The deterministic script both transports replay. `stats` is excluded
+/// (latency histograms legitimately differ); everything else — session
+/// ids, chart updates, render text, id echoes — must match to the byte.
+fn script() -> Vec<String> {
+    [
+        json!({"cmd": "open", "scenario": "toy", "id": 1}),
+        json!({"cmd": "run_cell", "session": 1,
+            "sql": "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p", "id": 2}),
+        json!({"cmd": "run_cell", "session": 1,
+            "sql": "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p", "id": 3}),
+        json!({"cmd": "generate", "session": 1, "id": 4}),
+        json!({"cmd": "gesture", "session": 1, "version": 1, "id": 5, "events": [
+            {"type": "set_widget", "widget": 0, "value": {"scalar": 1.0}},
+            {"type": "set_widget", "widget": 0, "value": {"scalar": 2.0}},
+        ]}),
+        json!({"cmd": "render", "session": 1, "id": 6}),
+        json!({"cmd": "gesture", "session": 1, "version": 1, "id": 7, "events": [
+            {"type": "set_widget", "widget": 0, "value": {"scalar": 1.0}},
+        ]}),
+        json!({"cmd": "render", "session": 1, "id": 8}),
+        json!({"cmd": "close", "session": 1, "id": 9}),
+        // Transport-level errors must be deterministic too.
+        json!({"cmd": "render", "session": 1, "id": 10}),
+        Value::String("this is not json".to_string()),
+    ]
+    .into_iter()
+    .map(|v| match v {
+        Value::String(raw) => raw,
+        v => v.to_string(),
+    })
+    .collect()
+}
+
+#[test]
+fn tcp_responses_are_byte_identical_to_local_client() {
+    // In-process replay on a fresh state.
+    let local = pi2_server::LocalClient::standalone();
+    let expected: Vec<String> = script().iter().map(|line| local.request_line(line)).collect();
+
+    // TCP replay on another fresh state (same id allocation from 1).
+    let state = Arc::new(ServerState::new());
+    let server = Server::bind_with("127.0.0.1:0", state, ServerConfig::new()).expect("bind");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut got = Vec::new();
+    for line in script() {
+        writer.write_all(line.as_bytes()).expect("write");
+        writer.write_all(b"\n").expect("write");
+        writer.flush().expect("flush");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read");
+        got.push(response.trim_end_matches('\n').to_string());
+    }
+    server.shutdown();
+    server.join();
+
+    assert_eq!(got.len(), expected.len());
+    for (i, (tcp, local)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(tcp, local, "response {i} diverged between TCP and LocalClient");
+    }
+}

@@ -16,13 +16,17 @@ echo "== conformance smoke (fixed seed, bounded budget) =="
 cargo run -q -p pi2-conformance --release -- --seed 7 --runs 50 --budget-secs 60 --no-save --quiet
 
 echo "== fault-injection smoke (each fault class once, bounded) =="
-for fault in worker-panic deadline-search deadline-map exec-overrun; do
+for fault in worker-panic deadline-search deadline-map exec-overrun \
+             journal-torn-write checkpoint-crash recovery-fsync; do
     cargo run -q -p pi2-conformance --release -- \
         --fault "$fault" --seed 7 --runs 5 --budget-secs 30 --no-save --quiet
 done
 
 echo "== server smoke (open/run/generate/gesture/render over real TCP) =="
 cargo run -q --release -p pi2-server -- --smoke --scenario sdss
+
+echo "== recovery smoke (journaled server killed -9, restarted, resumed) =="
+cargo run -q --release -p pi2-server -- --recovery-smoke
 
 echo "== reactor soak smoke (1k-session churn over TCP, release) =="
 PI2_SOAK_SESSIONS=1000 cargo test -q --release -p pi2-server --test soak
@@ -35,6 +39,10 @@ cargo run -q --release -p pi2-bench --bin regen_fleet > /dev/null
 # The load storm sustains >= 1k live sessions over the reactor;
 # bench_check enforces its headline (storm p99 <= 20x single-session p99).
 cargo run -q --release -p pi2-bench --bin regen_load > /dev/null
+# The recovery storm kills 1k journaled sessions mid-storm; bench_check
+# enforces 100% byte-identical resumes, the 2s resume p99 budget, and
+# zero leakage of closed sessions through recovery.
+cargo run -q --release -p pi2-bench --bin regen_recovery > /dev/null
 cargo run -q --release -p pi2-bench --bin bench_check
 
 echo "== cargo fmt --check =="

@@ -1,8 +1,9 @@
 //! Validate the benchmark JSON artifacts (`target/BENCH_latency.json`,
 //! `target/BENCH_interaction.json`, `target/BENCH_server.json`,
-//! `target/BENCH_fleet.json`, `target/BENCH_load.json`): present,
-//! parseable, matching the expected schema, and — where an exhibit makes
-//! a headline claim (fleet cache-hit p50, load-storm tail) — meeting it.
+//! `target/BENCH_fleet.json`, `target/BENCH_load.json`,
+//! `target/BENCH_recovery.json`): present, parseable, matching the
+//! expected schema, and — where an exhibit makes a headline claim (fleet
+//! cache-hit p50, load-storm tail, crash-recovery fidelity) — meeting it.
 //! Exits non-zero on the first problem so CI fails when a regen binary
 //! silently stops producing its artifact.
 
@@ -241,15 +242,65 @@ fn check_load(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// `BENCH_recovery.json`: the crash-recovery storm gates — every ramped
+/// session recovered with a byte-identical render, the resume tail held
+/// its budget, and nothing survived close + crash.
+fn check_recovery(path: &Path) -> Result<(), String> {
+    let v = load(path)?;
+    let ctx = path.display().to_string();
+    if v.get("schema_version").and_then(Value::as_i64) != Some(1) {
+        return Err(format!("{ctx}: `schema_version` must be 1"));
+    }
+    expect_string(&v, "scenario", &ctx)?;
+    let summary = v.get("summary").ok_or_else(|| format!("{ctx}: missing `summary` object"))?;
+    let sctx = format!("{ctx} summary");
+    for key in [
+        "sessions",
+        "sessions_recovered",
+        "frames_replayed",
+        "frames_skipped",
+        "recovery_warnings",
+        "recovery_ms",
+        "identical_renders",
+        "resume_p50_ms",
+        "resume_p99_ms",
+        "resume_max_ms",
+        "leaked_sessions_after_close",
+        "leaked_checkpoints_after_close",
+        "active_sessions_at_end",
+    ] {
+        expect_number(summary, key, &sctx)?;
+    }
+    if summary["sessions"].as_i64().unwrap_or(0) < 1000 {
+        return Err(format!("{sctx}: fewer than 1000 sessions ramped"));
+    }
+    if summary["all_sessions_recovered"].as_bool() != Some(true) {
+        return Err(format!("{sctx}: not every checkpointed session recovered"));
+    }
+    if summary["all_renders_identical"].as_bool() != Some(true) {
+        return Err(format!(
+            "{sctx}: a recovered session rendered differently than before the kill"
+        ));
+    }
+    if summary["resume_p99_within_budget"].as_bool() != Some(true) {
+        return Err(format!("{sctx}: resume+render p99 blew the 2s budget"));
+    }
+    if summary["zero_leakage_after_close"].as_bool() != Some(true) {
+        return Err(format!("{sctx}: closed sessions leaked through recovery"));
+    }
+    Ok(())
+}
+
 type Check = fn(&Path) -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let checks: [(&str, Check); 5] = [
+    let checks: [(&str, Check); 6] = [
         ("target/BENCH_latency.json", check_latency),
         ("target/BENCH_interaction.json", check_interaction),
         ("target/BENCH_server.json", check_server),
         ("target/BENCH_fleet.json", check_fleet),
         ("target/BENCH_load.json", check_load),
+        ("target/BENCH_recovery.json", check_recovery),
     ];
     let mut failed = false;
     for (path, check) in checks {

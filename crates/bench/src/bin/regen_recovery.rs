@@ -1,0 +1,7 @@
+//! Regenerate the crash-recovery storm exhibit; see
+//! `pi2_bench::figures::recovery_storm`. Writes
+//! `target/BENCH_recovery.json` as a side effect. Scale knob:
+//! `PI2_RECOVERY_SESSIONS` (default 1000).
+fn main() {
+    print!("{}", pi2_bench::figures::recovery_storm::run());
+}

@@ -15,6 +15,7 @@ pub mod fleet_storm;
 pub mod interaction_storm;
 pub mod latency;
 pub mod load_storm;
+pub mod recovery_storm;
 pub mod search_quality;
 pub mod server_storm;
 pub mod table1;
@@ -38,6 +39,7 @@ pub fn all() -> Vec<(&'static str, Exhibit)> {
         ("TR — server dispatch under client storm", server_storm::run),
         ("TR — fleet cache under generation storm", fleet_storm::run),
         ("TR — reactor under 1k-session load storm", load_storm::run),
+        ("TR — crash recovery under session storm", recovery_storm::run),
         ("TR — search quality (MCTS vs greedy)", search_quality::run),
         ("Ablations — cost-model terms", ablations::run),
     ]

@@ -1,0 +1,233 @@
+//! Crash-recovery storm: 1k journaled sessions killed mid-storm, then
+//! recovered, resumed, and byte-compared against their pre-crash renders.
+//!
+//! The exhibit ramps `PI2_RECOVERY_SESSIONS` (default 1000) toy sessions
+//! on a journaled server (checkpoint cadence 2, so every ramped session
+//! is checkpointed), captures each session's render as the control, then
+//! drives a *same-value* gesture storm — the slider is set to the value
+//! it already holds, so every journal-replay prefix of the storm renders
+//! identically — and crashes the server partway through by dropping it
+//! with no clean close. On-disk state at that instant is exactly what
+//! `kill -9` leaves (the true SIGKILL path is exercised by
+//! `pi2-server --recovery-smoke`); recovery is then timed end to end,
+//! every session is resumed by token, and its render must match the
+//! control byte for byte. A final close-everything + second crash +
+//! third recovery proves tombstones hold under load: zero sessions and
+//! zero checkpoint files may survive.
+//!
+//! Gates (enforced by `bench_check` on `target/BENCH_recovery.json`):
+//! 100% of sessions recovered with byte-identical renders, per-session
+//! resume+render p99 ≤ 2s, and zero recovered-session leakage after
+//! close.
+
+use pi2_core::prelude::FleetConfig;
+use pi2_server::{JournalConfig, LocalClient, ServerState};
+use pi2_telemetry::LatencyHistogram;
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+const DEFAULT_SESSIONS: usize = 1000;
+/// Per-session resume+render p99 gate, in milliseconds.
+const RESUME_P99_BUDGET_MS: f64 = 2_000.0;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+fn ok(client: &LocalClient, request: Value) -> Value {
+    let response = client.request(request);
+    assert_eq!(response["ok"].as_bool(), Some(true), "{response}");
+    response
+}
+
+fn render_text(client: &LocalClient, session: u64) -> String {
+    ok(client, json!({"cmd": "render", "session": session}))["text"]
+        .as_str()
+        .expect("render text")
+        .to_string()
+}
+
+fn journaled(dir: &std::path::Path) -> (LocalClient, pi2_server::RecoveryReport) {
+    let config = JournalConfig::new(dir).checkpoint_every(2).compact_bytes(256 << 20);
+    let (state, report) =
+        ServerState::with_journal(FleetConfig::default(), config).expect("with_journal");
+    (LocalClient::new(Arc::new(state)), report)
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Regenerate the exhibit; writes `target/BENCH_recovery.json`.
+pub fn run() -> String {
+    let sessions = env_usize("PI2_RECOVERY_SESSIONS", DEFAULT_SESSIONS);
+    let dir = std::env::temp_dir().join(format!("pi2-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Phase 1: ramp N journaled sessions and capture controls ----------
+    let ramp_started = Instant::now();
+    let (client, _) = journaled(&dir);
+    let mut live: Vec<(u64, String)> = Vec::with_capacity(sessions);
+    let mut controls: Vec<String> = Vec::with_capacity(sessions);
+    for _ in 0..sessions {
+        let opened = ok(&client, json!({"cmd": "open", "scenario": "toy"}));
+        let session = opened["session"].as_u64().expect("session id");
+        let token = opened["session_token"].as_str().expect("token").to_string();
+        for sql in [
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+        ] {
+            ok(&client, json!({"cmd": "run_cell", "session": session, "sql": sql}));
+        }
+        // The fleet cache makes all but the first generate a cheap serve.
+        ok(&client, json!({"cmd": "generate", "session": session}));
+        ok(
+            &client,
+            json!({
+                "cmd": "gesture", "session": session,
+                "events": [{"type": "set_widget", "widget": 0, "value": {"scalar": 2.0}}],
+            }),
+        );
+        live.push((session, token));
+    }
+    for (session, _) in &live {
+        controls.push(render_text(&client, *session));
+    }
+    let ramp_secs = ramp_started.elapsed().as_secs_f64();
+
+    // ---- Phase 2: same-value gesture storm, crash mid-storm ---------------
+    // Every storm gesture re-asserts the slider's current value, so any
+    // replayed prefix of the storm renders identically to the control —
+    // which is what makes "byte-identical after an arbitrary-instant
+    // crash" a checkable property rather than a race.
+    let storm_ops = live.len() + live.len() / 2;
+    for k in 0..storm_ops {
+        let (session, _) = &live[k % live.len()];
+        ok(
+            &client,
+            json!({
+                "cmd": "gesture", "session": session,
+                "events": [{"type": "set_widget", "widget": 0, "value": {"scalar": 2.0}}],
+            }),
+        );
+    }
+    drop(client); // crash: no clean close, no final checkpoints
+
+    // ---- Phase 3: timed recovery, resume storm, byte-compare --------------
+    let recovery_started = Instant::now();
+    let (client, report) = journaled(&dir);
+    let recovery_ms = ms(recovery_started.elapsed());
+    let mut resume_latency = LatencyHistogram::new();
+    let mut identical = 0usize;
+    for (i, (session, token)) in live.iter().enumerate() {
+        let started = Instant::now();
+        let resumed = ok(&client, json!({"cmd": "resume", "token": token.clone()}));
+        let text = render_text(&client, *session);
+        resume_latency.record(started.elapsed());
+        assert_eq!(resumed["session"].as_u64(), Some(*session), "{resumed}");
+        if text == controls[i] {
+            identical += 1;
+        }
+    }
+    let resume_p99_ms = ms(resume_latency.percentile(0.99));
+
+    // ---- Phase 4: close everything, crash again, prove zero leakage -------
+    for (session, _) in &live {
+        ok(&client, json!({"cmd": "close", "session": session}));
+    }
+    drop(client); // crash before any clean close: tombstone frames must win
+    let (client, after_close) = journaled(&dir);
+    let leaked_sessions = after_close.sessions_recovered;
+    let leaked_checkpoints = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter(|e| {
+                    e.file_name().to_string_lossy().starts_with("ckpt-")
+                        && e.file_name().to_string_lossy().ends_with(".json")
+                })
+                .count() as u64
+        })
+        .unwrap_or(0);
+    let active_at_end = client.state().stats_json()["active_sessions"].as_u64().unwrap_or(u64::MAX);
+    drop(client);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let all_recovered = report.sessions_recovered as usize == sessions;
+    let all_identical = identical == sessions;
+    let p99_ok = resume_p99_ms <= RESUME_P99_BUDGET_MS;
+    let no_leak = leaked_sessions == 0 && leaked_checkpoints == 0 && active_at_end == 0;
+
+    let doc = json!({
+        "schema_version": 1,
+        "scenario": "toy",
+        "summary": {
+            "sessions": sessions,
+            "ramp_secs": ramp_secs,
+            "sessions_recovered": report.sessions_recovered,
+            "frames_replayed": report.frames_replayed,
+            "frames_skipped": report.frames_skipped,
+            "recovery_warnings": report.warnings.len(),
+            "recovery_ms": recovery_ms,
+            "identical_renders": identical,
+            "resume_p50_ms": ms(resume_latency.percentile(0.50)),
+            "resume_p99_ms": resume_p99_ms,
+            "resume_max_ms": ms(resume_latency.max()),
+            "leaked_sessions_after_close": leaked_sessions,
+            "leaked_checkpoints_after_close": leaked_checkpoints,
+            "active_sessions_at_end": active_at_end,
+            "all_sessions_recovered": all_recovered,
+            "all_renders_identical": all_identical,
+            "resume_p99_within_budget": p99_ok,
+            "zero_leakage_after_close": no_leak,
+        },
+    });
+    let text = serde_json::to_string(&doc).unwrap_or_default();
+    let path = std::path::Path::new("target").join("BENCH_recovery.json");
+    match std::fs::create_dir_all("target").and_then(|_| std::fs::write(&path, &text)) {
+        Ok(()) => {}
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    let mut out = String::new();
+    out.push_str("TR — crash recovery under a 1k-session storm\n");
+    out.push_str(&format!(
+        "sessions ramped          {sessions} (journaled, checkpoint cadence 2)\n"
+    ));
+    out.push_str(&format!(
+        "recovered after kill     {} ({} frame(s) replayed, {} skipped, {} warning(s))\n",
+        report.sessions_recovered,
+        report.frames_replayed,
+        report.frames_skipped,
+        report.warnings.len()
+    ));
+    out.push_str(&format!("restart recovery time    {recovery_ms:.0} ms\n"));
+    out.push_str(&format!("byte-identical renders   {identical}/{sessions}\n"));
+    out.push_str(&format!(
+        "resume+render latency    p50 {:.1} ms  p99 {:.1} ms  max {:.1} ms (budget p99 ≤ {:.0} ms)\n",
+        ms(resume_latency.percentile(0.50)),
+        resume_p99_ms,
+        ms(resume_latency.max()),
+        RESUME_P99_BUDGET_MS
+    ));
+    out.push_str(&format!(
+        "leakage after close+kill {leaked_sessions} session(s), {leaked_checkpoints} checkpoint file(s)\n"
+    ));
+    out.push_str(&format!(
+        "gates                    recovered {}  identical {}  p99 {}  leakage {}\n",
+        pass(all_recovered),
+        pass(all_identical),
+        pass(p99_ok),
+        pass(no_leak)
+    ));
+    out
+}
+
+fn pass(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}

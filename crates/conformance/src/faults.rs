@@ -11,8 +11,15 @@ use pi2_mcts::MctsConfig;
 use pi2_sql::Query;
 
 /// Stable CLI names of every injectable fault class.
-pub const FAULT_CLASSES: [&str; 4] =
-    ["worker-panic", "deadline-search", "deadline-map", "exec-overrun"];
+pub const FAULT_CLASSES: [&str; 7] = [
+    "worker-panic",
+    "deadline-search",
+    "deadline-map",
+    "exec-overrun",
+    "journal-torn-write",
+    "checkpoint-crash",
+    "recovery-fsync",
+];
 
 /// Install a panic hook that silences the backtraces of *injected* worker
 /// panics (recognized by [`pi2_faults::PANIC_MARKER`]) while passing every
@@ -90,6 +97,12 @@ pub fn check_fault(
         "deadline-search" => deadline_search(catalog, log, seed),
         "deadline-map" => deadline_map(catalog, log),
         "exec-overrun" => exec_overrun(catalog, log),
+        // The journal classes exercise the server's durability layer;
+        // they drive the `toy` scenario (seed-varied) rather than the
+        // fuzzed catalog, since the protocol opens sessions by name.
+        "journal-torn-write" => crate::recovery::torn_write(seed),
+        "checkpoint-crash" => crate::recovery::checkpoint_crash(seed),
+        "recovery-fsync" => crate::recovery::recovery_fsync(seed),
         other => Err(Failure::new("fault", format!("unknown fault class `{other}`"))),
     }
 }

@@ -39,6 +39,7 @@ pub mod corpus;
 pub mod events;
 pub mod faults;
 pub mod oracles;
+pub mod recovery;
 pub mod runner;
 pub mod scenarios;
 pub mod shrink;

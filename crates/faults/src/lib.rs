@@ -23,6 +23,14 @@
 //!   moment the named pipeline phase (`"search"`, `"map"`) is entered.
 //! * [`Fault::ExecOverrun`] — every query execution trips the engine's
 //!   resource guard, as a pathological cross join would.
+//! * [`Fault::JournalTornWrite`] — the session journal's next append is
+//!   torn mid-frame, as a crash between `write` and the trailing bytes
+//!   reaching disk would leave it.
+//! * [`Fault::CheckpointCrash`] — a checkpoint write dies after the tmp
+//!   file is partially written but before the atomic rename.
+//! * [`Fault::RecoveryFsync`] — every fsync issued during recovery
+//!   reports an I/O error (the recovering process must warn and carry
+//!   on, not abort).
 
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,6 +51,15 @@ pub enum Fault {
     },
     /// Make every query execution report a resource-limit overrun.
     ExecOverrun,
+    /// Tear the session journal's appends mid-frame: the header and a
+    /// prefix of the payload reach the file, the rest (and the fsync)
+    /// are lost, exactly as a crash mid-`write` would leave the tail.
+    JournalTornWrite,
+    /// Crash a checkpoint write after the tmp file is partially written
+    /// but before the atomic rename publishes it.
+    CheckpointCrash,
+    /// Fail every fsync issued while recovery is running.
+    RecoveryFsync,
 }
 
 impl Fault {
@@ -53,6 +70,9 @@ impl Fault {
             Fault::DeadlineAtPhase { phase: "search" } => "deadline-search",
             Fault::DeadlineAtPhase { .. } => "deadline-map",
             Fault::ExecOverrun => "exec-overrun",
+            Fault::JournalTornWrite => "journal-torn-write",
+            Fault::CheckpointCrash => "checkpoint-crash",
+            Fault::RecoveryFsync => "recovery-fsync",
         }
     }
 }
@@ -124,6 +144,21 @@ pub fn exec_overrun() -> bool {
     armed() && matches!(*PLAN.lock(), Some(Fault::ExecOverrun))
 }
 
+/// Probe: should the journal's next append be torn mid-frame?
+pub fn journal_torn_write() -> bool {
+    armed() && matches!(*PLAN.lock(), Some(Fault::JournalTornWrite))
+}
+
+/// Probe: should the next checkpoint write crash before its rename?
+pub fn checkpoint_crash() -> bool {
+    armed() && matches!(*PLAN.lock(), Some(Fault::CheckpointCrash))
+}
+
+/// Probe: should fsyncs issued during recovery report an I/O error?
+pub fn recovery_fsync_error() -> bool {
+    armed() && matches!(*PLAN.lock(), Some(Fault::RecoveryFsync))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +203,25 @@ mod tests {
         assert_eq!(Fault::DeadlineAtPhase { phase: "search" }.name(), "deadline-search");
         assert_eq!(Fault::DeadlineAtPhase { phase: "map" }.name(), "deadline-map");
         assert_eq!(Fault::ExecOverrun.name(), "exec-overrun");
+        assert_eq!(Fault::JournalTornWrite.name(), "journal-torn-write");
+        assert_eq!(Fault::CheckpointCrash.name(), "checkpoint-crash");
+        assert_eq!(Fault::RecoveryFsync.name(), "recovery-fsync");
+    }
+
+    #[test]
+    fn journal_probes_follow_their_guards() {
+        let g = inject(Fault::JournalTornWrite);
+        assert!(journal_torn_write());
+        assert!(!checkpoint_crash());
+        assert!(!recovery_fsync_error());
+        drop(g);
+        let g = inject(Fault::CheckpointCrash);
+        assert!(checkpoint_crash());
+        assert!(!journal_torn_write());
+        drop(g);
+        let g = inject(Fault::RecoveryFsync);
+        assert!(recovery_fsync_error());
+        drop(g);
+        assert!(!recovery_fsync_error());
     }
 }

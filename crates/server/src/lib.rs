@@ -50,15 +50,17 @@
 //! concurrency model.
 
 pub mod client;
+pub mod journal;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod session;
 pub mod state;
 
-pub use client::{LocalClient, TcpClient};
+pub use client::{LocalClient, RetryPolicy, TcpClient};
+pub use journal::{Journal, JournalConfig};
 pub use protocol::{CacheMode, CacheOptions, ErrorKind, OpenOptions, Request, Strategy};
 pub use registry::Registry;
 pub use server::{Server, ServerConfig};
-pub use session::{coalesce, Enqueue, SessionEntry, QUEUE_CAP};
-pub use state::{ServerCounters, ServerState};
+pub use session::{coalesce, Enqueue, SessionEntry, DEDUPE_WINDOW, QUEUE_CAP};
+pub use state::{JournalCounters, RecoveryReport, ServerCounters, ServerState};

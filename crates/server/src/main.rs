@@ -2,18 +2,27 @@
 #![deny(clippy::unwrap_used)]
 
 //! The `pi2-server` binary: serve the line-delimited JSON protocol over
-//! TCP, or run a self-contained `--smoke` check (bind an ephemeral port,
-//! drive one session over real TCP, shut down cleanly).
+//! TCP (optionally journaled via `--journal-dir`), or run a
+//! self-contained check — `--smoke` (bind an ephemeral port, drive one
+//! session over real TCP, shut down cleanly) or `--recovery-smoke`
+//! (spawn a journaled child server, drive a session, `kill -9` it,
+//! restart on the same journal, and assert `resume` renders the
+//! identical interface).
 
-use pi2_server::{Server, ServerConfig, ServerState, TcpClient};
+use pi2_core::prelude::FleetConfig;
+use pi2_server::{JournalConfig, Server, ServerConfig, ServerState, TcpClient};
 use serde_json::{json, Value};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 struct Args {
     addr: String,
     scenario: String,
     smoke: bool,
+    recovery_smoke: bool,
     workers: usize,
+    journal_dir: Option<PathBuf>,
+    checkpoint_every: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -21,7 +30,10 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7878".to_string(),
         scenario: "sdss".to_string(),
         smoke: false,
+        recovery_smoke: false,
         workers: 0,
+        journal_dir: None,
+        checkpoint_every: 8,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -29,6 +41,18 @@ fn parse_args() -> Result<Args, String> {
             "--addr" => args.addr = it.next().ok_or("--addr needs a value")?,
             "--scenario" => args.scenario = it.next().ok_or("--scenario needs a value")?,
             "--smoke" => args.smoke = true,
+            "--recovery-smoke" => args.recovery_smoke = true,
+            "--journal-dir" => {
+                args.journal_dir =
+                    Some(PathBuf::from(it.next().ok_or("--journal-dir needs a value")?));
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = it
+                    .next()
+                    .ok_or("--checkpoint-every needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+            }
             "--workers" => {
                 args.workers = it
                     .next()
@@ -38,7 +62,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(format!(
-                    "usage: pi2-server [--addr HOST:PORT] [--scenario {}] [--workers N] [--smoke]",
+                    "usage: pi2-server [--addr HOST:PORT] [--scenario {}] [--workers N] \
+                     [--journal-dir DIR] [--checkpoint-every N] [--smoke] [--recovery-smoke]",
                     ServerState::scenario_names().join("|")
                 ))
             }
@@ -63,7 +88,13 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let result = if args.smoke { smoke(&args.scenario) } else { serve(&args) };
+    let result = if args.recovery_smoke {
+        recovery_smoke()
+    } else if args.smoke {
+        smoke(&args.scenario)
+    } else {
+        serve(&args)
+    };
     if let Err(e) = result {
         eprintln!("pi2-server: {e}");
         std::process::exit(1);
@@ -71,13 +102,188 @@ fn main() {
 }
 
 fn serve(args: &Args) -> Result<(), String> {
-    let state = Arc::new(ServerState::new());
+    let state = match &args.journal_dir {
+        Some(dir) => {
+            let config = JournalConfig::new(dir).checkpoint_every(args.checkpoint_every);
+            let (state, report) = ServerState::with_journal(FleetConfig::default(), config)
+                .map_err(|e| format!("journal recovery in {}: {e}", dir.display()))?;
+            for warning in &report.warnings {
+                eprintln!("pi2-server: recovery: {warning}");
+            }
+            if report.clean {
+                println!(
+                    "pi2-server: clean journal, {} session(s) restored from checkpoints",
+                    report.sessions_recovered
+                );
+            } else {
+                println!(
+                    "pi2-server: recovered {} session(s) ({} frame(s) replayed, {} skipped, {} warning(s))",
+                    report.sessions_recovered,
+                    report.frames_replayed,
+                    report.frames_skipped,
+                    report.warnings.len()
+                );
+            }
+            Arc::new(state)
+        }
+        None => Arc::new(ServerState::new()),
+    };
     let config = ServerConfig::new().workers(args.workers);
     let server = Server::bind_with(&args.addr, state, config).map_err(|e| e.to_string())?;
     println!("pi2-server listening on {}", server.local_addr());
     println!("open a session with: {{\"cmd\": \"open\", \"scenario\": \"{}\"}}", args.scenario);
     server.join();
     println!("pi2-server stopped");
+    Ok(())
+}
+
+/// A spawned child `pi2-server` process whose listening address was
+/// parsed off its stdout. The stdout handle is kept open so the child
+/// never sees a broken pipe on its own shutdown messages.
+struct ChildServer {
+    child: std::process::Child,
+    addr: String,
+    _stdout: std::io::BufReader<std::process::ChildStdout>,
+}
+
+impl ChildServer {
+    fn spawn(journal_dir: &std::path::Path) -> Result<Self, String> {
+        use std::io::BufRead;
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        let mut child = std::process::Command::new(exe)
+            .args(["--addr", "127.0.0.1:0", "--scenario", "toy", "--checkpoint-every", "2"])
+            .arg("--journal-dir")
+            .arg(journal_dir)
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn child server: {e}"))?;
+        let stdout = child.stdout.take().ok_or("child stdout not captured")?;
+        let mut reader = std::io::BufReader::new(stdout);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = reader.read_line(&mut line).map_err(|e| format!("child stdout: {e}"))?;
+            if n == 0 {
+                let _ = child.kill();
+                return Err("child exited before listening".to_string());
+            }
+            if let Some(addr) = line.trim().strip_prefix("pi2-server listening on ") {
+                return Ok(Self { child, addr: addr.to_string(), _stdout: reader });
+            }
+        }
+    }
+
+    /// `kill -9`: no drain, no final checkpoint, no clean marker.
+    fn kill(mut self) -> Result<(), String> {
+        self.child.kill().map_err(|e| format!("kill child: {e}"))?;
+        self.child.wait().map_err(|e| format!("wait child: {e}"))?;
+        Ok(())
+    }
+
+    /// Ask the server to drain via the protocol, then reap the process.
+    fn shutdown(mut self, client: &mut TcpClient) -> Result<(), String> {
+        ok(client, json!({"cmd": "shutdown"}))?;
+        self.child.wait().map_err(|e| format!("wait child: {e}"))?;
+        Ok(())
+    }
+}
+
+/// End-to-end crash/recovery check: a journaled child server is driven
+/// through open → cells → generate → gesture → render, killed with
+/// SIGKILL mid-flight, restarted on the same journal directory, and the
+/// resumed session must render byte-identically. A clean shutdown and a
+/// third restart then verify the closed session stays closed.
+fn recovery_smoke() -> Result<(), String> {
+    let dir = std::env::temp_dir().join(format!("pi2-recovery-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = recovery_smoke_in(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn recovery_smoke_in(dir: &std::path::Path) -> Result<(), String> {
+    // Phase 1: drive a session, then SIGKILL the server mid-life.
+    let server = ChildServer::spawn(dir)?;
+    let mut client = TcpClient::connect(&server.addr).map_err(|e| e.to_string())?;
+    let opened =
+        ok(&mut client, json!({"cmd": "open", "scenario": "toy", "req_id": "rsmoke-open"}))?;
+    let session = opened["session"].as_u64().ok_or("open returned no session id")?;
+    let token =
+        opened["session_token"].as_str().ok_or("open returned no session_token")?.to_string();
+    for (i, sql) in [
+        "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+    ]
+    .iter()
+    .enumerate()
+    {
+        ok(
+            &mut client,
+            json!({
+                "cmd": "run_cell", "session": session, "sql": *sql,
+                "req_id": format!("rsmoke-cell-{i}"),
+            }),
+        )?;
+    }
+    let generated =
+        ok(&mut client, json!({"cmd": "generate", "session": session, "req_id": "rsmoke-gen"}))?;
+    let version = generated["version"].as_i64().ok_or("generate returned no version")?;
+    ok(
+        &mut client,
+        json!({
+            "cmd": "gesture", "session": session, "version": version, "req_id": "rsmoke-gesture",
+            "events": [{"type": "set_widget", "widget": 0, "value": {"scalar": 2.0}}],
+        }),
+    )?;
+    let rendered = ok(&mut client, json!({"cmd": "render", "session": session}))?;
+    let before = rendered["text"].as_str().ok_or("render returned no text")?.to_string();
+    drop(client);
+    server.kill()?;
+
+    // Phase 2: restart on the same journal; resume must reach the same
+    // interface, byte for byte.
+    let server = ChildServer::spawn(dir)?;
+    let mut client = TcpClient::connect(&server.addr).map_err(|e| e.to_string())?;
+    let resumed = ok(&mut client, json!({"cmd": "resume", "token": token.clone()}))?;
+    if resumed["session"].as_u64() != Some(session) {
+        return Err(format!("resume returned the wrong session: {resumed}"));
+    }
+    if resumed["recovered"].as_bool() != Some(true) {
+        return Err(format!("resumed session was not marked recovered: {resumed}"));
+    }
+    let rendered = ok(&mut client, json!({"cmd": "render", "session": session}))?;
+    let after = rendered["text"].as_str().ok_or("post-recovery render returned no text")?;
+    if after != before {
+        return Err(format!(
+            "post-recovery render diverged:\n--- before crash ---\n{before}\n--- after recovery ---\n{after}"
+        ));
+    }
+    let stats = ok(&mut client, json!({"cmd": "stats"}))?;
+    if stats["stats"]["journal"]["sessions_recovered"].as_u64() != Some(1) {
+        return Err(format!("stats did not report the recovered session: {stats}"));
+    }
+    // Phase 3: close the session, shut down cleanly, and confirm a
+    // third restart neither resurrects the closed session nor replays.
+    ok(&mut client, json!({"cmd": "close", "session": session, "req_id": "rsmoke-close"}))?;
+    server.shutdown(&mut client)?;
+    drop(client);
+
+    let server = ChildServer::spawn(dir)?;
+    let mut client = TcpClient::connect(&server.addr).map_err(|e| e.to_string())?;
+    let resumed = client
+        .request(json!({"cmd": "resume", "token": token}))
+        .map_err(|e| format!("resume after close: {e}"))?;
+    if resumed["ok"].as_bool() != Some(false)
+        || resumed["error"]["kind"].as_str() != Some("unknown_token")
+    {
+        return Err(format!("closed session must not be resumable: {resumed}"));
+    }
+    let stats = ok(&mut client, json!({"cmd": "stats"}))?;
+    if stats["stats"]["active_sessions"].as_i64() != Some(0) {
+        return Err(format!("closed session leaked through recovery: {stats}"));
+    }
+    server.shutdown(&mut client)?;
+    println!("recovery smoke OK: session {session} survived kill -9 with an identical render");
     Ok(())
 }
 

@@ -172,8 +172,43 @@ pub enum Request {
         /// Restrict to one session.
         session: Option<u64>,
     },
+    /// Reattach to a live (or crash-recovered) session by its token.
+    Resume {
+        /// The `session_token` returned by `open`.
+        token: String,
+    },
     /// Begin graceful shutdown: drain in-flight dispatches, then stop.
     Shutdown,
+}
+
+impl Request {
+    /// The session id this request addresses, when it addresses one.
+    pub fn session(&self) -> Option<u64> {
+        match self {
+            Request::Close { session }
+            | Request::RunCell { session, .. }
+            | Request::Generate { session }
+            | Request::ApplyBinding { session, .. }
+            | Request::Gesture { session, .. }
+            | Request::Render { session, .. } => Some(*session),
+            Request::Stats { session } => *session,
+            Request::Open { .. } | Request::Resume { .. } | Request::Shutdown => None,
+        }
+    }
+
+    /// Whether this verb changes durable session state (and therefore is
+    /// journaled and participates in `req_id` dedupe).
+    pub fn mutating(&self) -> bool {
+        matches!(
+            self,
+            Request::Open { .. }
+                | Request::Close { .. }
+                | Request::RunCell { .. }
+                | Request::Generate { .. }
+                | Request::ApplyBinding { .. }
+                | Request::Gesture { .. }
+        )
+    }
 }
 
 /// Structured error kinds carried in `"error": {"kind": ...}`.
@@ -198,6 +233,8 @@ pub enum ErrorKind {
     Notebook,
     /// Interface generation failed (see message).
     Generation,
+    /// `resume` presented a token no live or recovered session carries.
+    UnknownToken,
     /// The server is draining; only `stats` is served.
     ShuttingDown,
 }
@@ -215,6 +252,7 @@ impl ErrorKind {
             ErrorKind::Session => "session",
             ErrorKind::Notebook => "notebook",
             ErrorKind::Generation => "generation",
+            ErrorKind::UnknownToken => "unknown_token",
             ErrorKind::ShuttingDown => "shutting_down",
         }
     }
@@ -236,10 +274,27 @@ pub fn error_response(kind: ErrorKind, message: impl std::fmt::Display) -> Value
 
 /// Parse one request line (already stripped of its trailing newline).
 pub fn parse_request(line: &str) -> Result<(Request, Option<Value>), Value> {
+    parse_request_full(line).map(|(r, id, _)| (r, id))
+}
+
+/// As [`parse_request`], but also returns the client-assigned `req_id`
+/// (the idempotency key mutating requests may carry).
+pub fn parse_request_full(line: &str) -> Result<(Request, Option<Value>, Option<String>), Value> {
     let doc: Value = serde_json::from_str(line)
         .map_err(|e| error_response(ErrorKind::BadRequest, format!("invalid JSON: {e}")))?;
     let id = doc.get("id").cloned();
-    parse_request_value(&doc).map(|r| (r, id)).map_err(|mut e| {
+    let req_id = match doc.get("req_id") {
+        None | Some(Value::Null) => None,
+        Some(Value::String(s)) => Some(s.clone()),
+        Some(_) => {
+            let mut e = bad("`req_id` must be a string");
+            if let Some(id) = doc.get("id") {
+                e["id"] = id.clone();
+            }
+            return Err(e);
+        }
+    };
+    parse_request_value(&doc).map(|r| (r, id, req_id)).map_err(|mut e| {
         if let Some(id) = doc.get("id") {
             e["id"] = id.clone();
         }
@@ -346,8 +401,87 @@ pub fn parse_request_value(doc: &Value) -> Result<Request, Value> {
                 Some(_) => Some(need_u64(doc, "session")?),
             },
         }),
+        "resume" => Ok(Request::Resume { token: need_str(doc, "token")?.to_string() }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!("unknown cmd `{other}`"))),
+    }
+}
+
+/// Serialize a request back to its wire form (the inverse of
+/// [`parse_request_value`]): `parse_request_value(&request_to_json(r))`
+/// returns `r`. The journal records accepted requests in this form so
+/// recovery replays exactly the bytes-equivalent request.
+pub fn request_to_json(request: &Request) -> Value {
+    match request {
+        Request::Open { scenario, options } => {
+            let mut doc = json!({"cmd": "open", "scenario": scenario});
+            if let Some(n) = options.max_rows {
+                doc["max_rows"] = json!(n);
+            }
+            if let Some(ms) = options.timeout_ms {
+                doc["timeout_ms"] = json!(ms);
+            }
+            if let Some(ms) = options.deadline_ms {
+                doc["deadline_ms"] = json!(ms);
+            }
+            if let Some(n) = options.max_iterations {
+                doc["max_iterations"] = json!(n);
+            }
+            match options.strategy {
+                Strategy::FullMerge => {}
+                Strategy::Mcts => doc["strategy"] = json!("mcts"),
+                Strategy::Greedy => doc["strategy"] = json!("greedy"),
+            }
+            if options.cache != CacheOptions::default() {
+                let mut cache = json!({"mode": options.cache.mode.as_str()});
+                if let Some(ms) = options.cache.wait_ms {
+                    cache["wait_ms"] = json!(ms);
+                }
+                doc["cache"] = cache;
+            }
+            doc
+        }
+        Request::Close { session } => json!({"cmd": "close", "session": session}),
+        Request::RunCell { session, sql } => {
+            json!({"cmd": "run_cell", "session": session, "sql": sql})
+        }
+        Request::Generate { session } => json!({"cmd": "generate", "session": session}),
+        Request::ApplyBinding { session, version, widget, value } => {
+            let mut doc = json!({
+                "cmd": "apply_binding", "session": session,
+                "widget": widget, "value": widget_value_to_json(value),
+            });
+            if let Some(v) = version {
+                doc["version"] = json!(v);
+            }
+            doc
+        }
+        Request::Gesture { session, version, events, include_data } => {
+            let mut doc = json!({
+                "cmd": "gesture", "session": session,
+                "events": events.iter().map(event_to_json).collect::<Vec<_>>(),
+            });
+            if let Some(v) = version {
+                doc["version"] = json!(v);
+            }
+            if *include_data {
+                doc["include_data"] = json!(true);
+            }
+            doc
+        }
+        Request::Render { session, version } => {
+            let mut doc = json!({"cmd": "render", "session": session});
+            if let Some(v) = version {
+                doc["version"] = json!(v);
+            }
+            doc
+        }
+        Request::Stats { session } => match session {
+            Some(s) => json!({"cmd": "stats", "session": s}),
+            None => json!({"cmd": "stats"}),
+        },
+        Request::Resume { token } => json!({"cmd": "resume", "token": token}),
+        Request::Shutdown => json!({"cmd": "shutdown"}),
     }
 }
 
@@ -607,6 +741,55 @@ mod tests {
         let Request::Open { options, .. } = req else { panic!() };
         assert_eq!(options.cache.mode, CacheMode::Shared);
         assert_eq!(options.cache.wait_ms, Some(0));
+    }
+
+    #[test]
+    fn requests_round_trip_through_request_to_json() {
+        let lines = [
+            r#"{"cmd": "open", "scenario": "toy"}"#,
+            r#"{"cmd": "open", "scenario": "sdss", "max_rows": 9, "timeout_ms": 5, "deadline_ms": 7, "max_iterations": 3, "strategy": "mcts", "cache": {"mode": "bypass", "wait_ms": 250}}"#,
+            r#"{"cmd": "close", "session": 4}"#,
+            r#"{"cmd": "run_cell", "session": 4, "sql": "SELECT 1"}"#,
+            r#"{"cmd": "generate", "session": 4}"#,
+            r#"{"cmd": "apply_binding", "session": 4, "version": 2, "widget": 1, "value": {"scalar": 2.5}}"#,
+            r#"{"cmd": "gesture", "session": 4, "events": [{"type": "pan", "chart": 0, "dx": 1.0, "dy": 0.0}], "include_data": true}"#,
+            r#"{"cmd": "render", "session": 4, "version": 1}"#,
+            r#"{"cmd": "stats"}"#,
+            r#"{"cmd": "resume", "token": "tok-abc"}"#,
+            r#"{"cmd": "shutdown"}"#,
+        ];
+        for line in lines {
+            let (request, _) = parse_request(line).unwrap();
+            let rewired = parse_request_value(&request_to_json(&request)).unwrap();
+            assert_eq!(rewired, request, "through {line}");
+        }
+    }
+
+    #[test]
+    fn req_id_parses_and_rejects_non_strings() {
+        let (req, id, req_id) =
+            parse_request_full(r#"{"cmd": "generate", "session": 1, "id": 3, "req_id": "c1-7"}"#)
+                .unwrap();
+        assert!(matches!(req, Request::Generate { session: 1 }));
+        assert_eq!(id.unwrap().as_i64(), Some(3));
+        assert_eq!(req_id.as_deref(), Some("c1-7"));
+        let (_, _, none) = parse_request_full(r#"{"cmd": "generate", "session": 1}"#).unwrap();
+        assert!(none.is_none());
+        let err =
+            parse_request_full(r#"{"cmd": "generate", "session": 1, "req_id": 7}"#).unwrap_err();
+        assert_eq!(err["error"]["kind"].as_str(), Some("bad_request"));
+    }
+
+    #[test]
+    fn mutating_and_session_classifiers() {
+        let (open, _) = parse_request(r#"{"cmd": "open", "scenario": "toy"}"#).unwrap();
+        assert!(open.mutating());
+        assert_eq!(open.session(), None);
+        let (render, _) = parse_request(r#"{"cmd": "render", "session": 5}"#).unwrap();
+        assert!(!render.mutating());
+        assert_eq!(render.session(), Some(5));
+        let (resume, _) = parse_request(r#"{"cmd": "resume", "token": "t"}"#).unwrap();
+        assert!(!resume.mutating());
     }
 
     #[test]

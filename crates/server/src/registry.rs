@@ -21,6 +21,9 @@ pub const SHARDS: usize = 16;
 /// The registry: id allocation plus sharded id → session maps.
 pub struct Registry {
     shards: Vec<RwLock<HashMap<u64, Arc<SessionEntry>>>>,
+    /// Resume-token → session-id index. One lock (not sharded): `resume`
+    /// is a reconnect-path verb, never a dispatch-path one.
+    tokens: RwLock<HashMap<String, u64>>,
     next_id: AtomicU64,
 }
 
@@ -35,6 +38,7 @@ impl Registry {
     pub fn new() -> Self {
         Self {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            tokens: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
         }
     }
@@ -48,8 +52,15 @@ impl Registry {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Insert a session under its id.
+    /// Ensure future allocations start at `min` or above. Recovery calls
+    /// this after rebuilding sessions so rebuilt ids are never reissued.
+    pub fn bump_next_id(&self, min: u64) {
+        self.next_id.fetch_max(min, Ordering::SeqCst);
+    }
+
+    /// Insert a session under its id (and index its resume token).
     pub fn insert(&self, entry: Arc<SessionEntry>) {
+        self.tokens.write().insert(entry.token.clone(), entry.id);
         self.shard(entry.id).write().insert(entry.id, entry);
     }
 
@@ -58,9 +69,17 @@ impl Registry {
         self.shard(id).read().get(&id).cloned()
     }
 
-    /// Remove a session, returning it if present.
+    /// Look up a session by its resume token.
+    pub fn get_by_token(&self, token: &str) -> Option<Arc<SessionEntry>> {
+        let id = *self.tokens.read().get(token)?;
+        self.get(id)
+    }
+
+    /// Remove a session (and its token), returning it if present.
     pub fn remove(&self, id: u64) -> Option<Arc<SessionEntry>> {
-        self.shard(id).write().remove(&id)
+        let entry = self.shard(id).write().remove(&id)?;
+        self.tokens.write().remove(&entry.token);
+        Some(entry)
     }
 
     /// Number of live sessions (sums all shards).

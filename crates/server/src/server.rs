@@ -201,7 +201,10 @@ impl Server {
 
     /// Wait until the server has fully stopped: every worker has flushed
     /// its connections' pending responses and exited, and the accept
-    /// thread is gone. Blocks until someone initiates shutdown.
+    /// thread is gone. Blocks until someone initiates shutdown. Once all
+    /// dispatch threads are quiesced, a final clean checkpoint is written
+    /// for every live session and the journal is marked cleanly closed,
+    /// so a planned restart skips tail replay entirely.
     pub fn join(mut self) {
         if let Some(handle) = self.accept.take() {
             // A panic in the accept thread already aborted accepting;
@@ -211,6 +214,7 @@ impl Server {
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        self.state.journal_clean_close();
     }
 }
 

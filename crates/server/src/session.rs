@@ -16,6 +16,7 @@
 
 use pi2_core::prelude::{ChartUpdate, Event, InterfaceSession, SessionError};
 use pi2_notebook::{Notebook, NotebookError};
+use serde_json::Value;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, TryLockError};
@@ -23,6 +24,11 @@ use std::sync::{Mutex, MutexGuard, TryLockError};
 /// Maximum pending (version, event) pairs per session. Beyond this the
 /// server answers `overloaded` and the client must retry after backoff.
 pub const QUEUE_CAP: usize = 64;
+
+/// How many recent `req_id`s (and their responses) a session remembers
+/// for idempotent replay. A reconnecting client only ever retries its
+/// most recent unacknowledged request, so a short window suffices.
+pub const DEDUPE_WINDOW: usize = 128;
 
 /// Lock a mutex, recovering the data from a poisoned lock (a panic in
 /// another handler must not wedge the whole session).
@@ -64,12 +70,84 @@ pub struct SessionCounters {
     pub overloaded: AtomicU64,
 }
 
+/// One notebook-level mutation in a session's durable history. Cell and
+/// generate ops must replay in their original interleaving: a `generate`
+/// sees exactly the cells that preceded it, so aggregating them would
+/// rebuild different interfaces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurableOp {
+    /// `run_cell` with this SQL (failed cells included — replay re-fails
+    /// them deterministically).
+    Cell(String),
+    /// One accepted `generate`.
+    Generate,
+}
+
+/// The durable replay state of a session: everything needed to rebuild
+/// the notebook and its live interfaces deterministically, snapshotted
+/// into checkpoints. Maintained only while a journal is attached.
+#[derive(Default)]
+pub struct Durable {
+    /// The original `open` request in wire form (scenario + options).
+    pub open_req: Value,
+    /// Cell and generate ops in acceptance order.
+    pub ops: Vec<DurableOp>,
+    /// Successfully dispatched (version, event) pairs, coalesced on
+    /// append so storms collapse exactly as the live queue collapses.
+    /// Replayable after all generates: a version's widget state depends
+    /// only on the events that targeted it, in order.
+    pub applied: Vec<(usize, Event)>,
+    /// Journaled mutations since the last checkpoint.
+    pub mutations_since_ckpt: u64,
+    /// The journal LSN the latest checkpoint covers (frames at or below
+    /// it are redundant for this session).
+    pub last_ckpt_lsn: u64,
+}
+
+/// The per-session idempotency window: recent `req_id`s mapped to the
+/// response each produced, bounded to [`DEDUPE_WINDOW`] entries.
+#[derive(Default)]
+pub struct DedupeWindow {
+    order: VecDeque<String>,
+    responses: HashMap<String, Value>,
+}
+
+impl DedupeWindow {
+    /// The cached response for `req_id`, if still in the window.
+    pub fn get(&self, req_id: &str) -> Option<&Value> {
+        self.responses.get(req_id)
+    }
+
+    /// Remember `response` for `req_id`, evicting the oldest entry past
+    /// the cap. Re-inserting an existing id refreshes its response.
+    pub fn put(&mut self, req_id: &str, response: Value) {
+        if self.responses.insert(req_id.to_string(), response).is_none() {
+            self.order.push_back(req_id.to_string());
+            if self.order.len() > DEDUPE_WINDOW {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.responses.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// The ids currently in the window, oldest first (checkpointed so a
+    /// recovered session still answers retries idempotently).
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(String::as_str)
+    }
+}
+
 /// One server-side session.
 pub struct SessionEntry {
     /// The session id (allocated by the registry, never reused).
     pub id: u64,
     /// Scenario name the session was opened on.
     pub scenario: String,
+    /// The resume token `open` handed the client.
+    pub token: String,
+    /// Whether this session was rebuilt by crash recovery.
+    pub recovered: bool,
     /// Serial state; hold only while dispatching or mutating.
     pub core: Mutex<SessionCore>,
     /// Pending events awaiting dispatch; never hold while taking `core`.
@@ -79,6 +157,12 @@ pub struct SessionEntry {
     pub latest_version: AtomicUsize,
     /// Counters.
     pub counters: SessionCounters,
+    /// Replay state for checkpoints; populated only while a journal is
+    /// attached (the dispatcher records each journaled mutation here).
+    pub durable: Mutex<Durable>,
+    /// Recent `req_id` → response pairs for idempotent retries. Always
+    /// maintained (dedupe is a protocol property, not a journal one).
+    pub dedupe: Mutex<DedupeWindow>,
 }
 
 /// Outcome of [`SessionEntry::enqueue`].
@@ -103,15 +187,50 @@ pub struct DrainOutcome {
 
 impl SessionEntry {
     /// A fresh entry wrapping `notebook`.
-    pub fn new(id: u64, scenario: String, notebook: Notebook) -> Self {
+    pub fn new(id: u64, scenario: String, token: String, notebook: Notebook) -> Self {
         Self {
             id,
             scenario,
+            token,
+            recovered: false,
             core: Mutex::new(SessionCore { notebook, live: HashMap::new() }),
             queue: Mutex::new(VecDeque::new()),
             latest_version: AtomicUsize::new(0),
             counters: SessionCounters::default(),
+            durable: Mutex::new(Durable::default()),
+            dedupe: Mutex::new(DedupeWindow::default()),
         }
+    }
+
+    /// Mark this entry as rebuilt by crash recovery.
+    pub fn mark_recovered(mut self) -> Self {
+        self.recovered = true;
+        self
+    }
+
+    /// Lock the durable replay state.
+    pub fn lock_durable(&self) -> MutexGuard<'_, Durable> {
+        lock(&self.durable)
+    }
+
+    /// The cached response for a retried `req_id`, with the dedupe
+    /// marker added so clients can tell a replay from a first effect.
+    pub fn dedupe_get(&self, req_id: &str) -> Option<Value> {
+        lock(&self.dedupe).get(req_id).cloned().map(|mut v| {
+            v["deduped"] = Value::Bool(true);
+            v
+        })
+    }
+
+    /// Remember the response an accepted `req_id` produced.
+    pub fn dedupe_put(&self, req_id: &str, response: Value) {
+        lock(&self.dedupe).put(req_id, response);
+    }
+
+    /// The `req_id`s currently in the dedupe window, oldest first
+    /// (checkpointed so a recovered session still dedupes retries).
+    pub fn dedupe_ids(&self) -> Vec<String> {
+        lock(&self.dedupe).ids().map(str::to_string).collect()
     }
 
     /// Current queue depth.
@@ -308,5 +427,24 @@ mod tests {
         let input = vec![(1, pan(0, 1.0)), (1, pan(1, 1.0)), (1, pan(0, 1.0))];
         // The interleaving chart-1 pan prevents merging the chart-0 pans.
         assert_eq!(coalesce(input.clone()), input);
+    }
+
+    #[test]
+    fn dedupe_window_is_bounded_and_replays_responses() {
+        let mut window = DedupeWindow::default();
+        for i in 0..DEDUPE_WINDOW + 10 {
+            window.put(&format!("r{i}"), serde_json::json!({"ok": true, "n": i}));
+        }
+        // The oldest ten fell out; the newest are replayable.
+        assert!(window.get("r0").is_none());
+        assert!(window.get("r9").is_none());
+        assert_eq!(window.get("r10").unwrap()["n"].as_u64(), Some(10));
+        let last = format!("r{}", DEDUPE_WINDOW + 9);
+        assert_eq!(window.get(&last).unwrap()["ok"].as_bool(), Some(true));
+        assert_eq!(window.ids().count(), DEDUPE_WINDOW);
+        // Refreshing an id replaces its response without growing the window.
+        window.put("r10", serde_json::json!({"ok": true, "n": 999}));
+        assert_eq!(window.get("r10").unwrap()["n"].as_u64(), Some(999));
+        assert_eq!(window.ids().count(), DEDUPE_WINDOW);
     }
 }

@@ -5,11 +5,12 @@
 //! both feed request lines through it, so they observe byte-identical
 //! behavior.
 
+use crate::journal::{self, Journal, JournalConfig};
 use crate::protocol::{
     self, defaults, error_response, CacheMode, ErrorKind, OpenOptions, Request, Strategy,
 };
 use crate::registry::Registry;
-use crate::session::{Enqueue, SessionEntry};
+use crate::session::{coalesce, DurableOp, Enqueue, SessionEntry};
 use pi2_core::prelude::{
     Catalog, Event, ExecLimits, FleetConfig, FleetHandle, GenerationBudget, Pi2, SearchStrategy,
     WidgetValue,
@@ -17,9 +18,9 @@ use pi2_core::prelude::{
 use pi2_notebook::{Notebook, NotebookError};
 use pi2_telemetry::LatencyHistogram;
 use serde_json::{json, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -46,6 +47,40 @@ pub struct ServerCounters {
     pub connections_closed: AtomicU64,
 }
 
+/// Durability-layer counters, surfaced in `stats` under `"journal"`.
+#[derive(Default)]
+pub struct JournalCounters {
+    /// Sessions rebuilt by the last recovery.
+    pub sessions_recovered: AtomicU64,
+    /// Journal frames dropped during recovery (corrupt, orphaned,
+    /// duplicate `req_id`, or superseded by a newer checkpoint).
+    pub frames_skipped: AtomicU64,
+    /// Journal frames replayed during recovery.
+    pub frames_replayed: AtomicU64,
+    /// Structured warnings from recovery and journaling (corruption
+    /// skips, failed appends/checkpoints, fsync errors).
+    pub warnings: AtomicU64,
+}
+
+/// What [`ServerState::recover`] found and rebuilt.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Sessions rebuilt into the registry.
+    pub sessions_recovered: u64,
+    /// Tail frames replayed on top of checkpoints.
+    pub frames_replayed: u64,
+    /// Frames dropped (corruption, orphans, tombstoned sessions).
+    pub frames_skipped: u64,
+    /// Tombstoned (closed-before-crash) sessions whose frames and
+    /// checkpoints were discarded.
+    pub tombstones: u64,
+    /// Human-readable irregularity notes.
+    pub warnings: Vec<String>,
+    /// The journal carried a clean-shutdown marker: checkpoints were
+    /// trusted as-is and no tail replay ran.
+    pub clean: bool,
+}
+
 /// All state shared between connections (and with [`LocalClient`]s).
 ///
 /// Catalogs are built once per scenario and cached; a session's catalog is
@@ -58,6 +93,10 @@ pub struct ServerState {
     draining: AtomicBool,
     endpoint_latency: Mutex<BTreeMap<&'static str, LatencyHistogram>>,
     counters: ServerCounters,
+    /// The write-ahead journal, attached once (after recovery replay, so
+    /// replay itself is never re-journaled).
+    journal: OnceLock<Arc<Journal>>,
+    journal_counters: JournalCounters,
 }
 
 impl Default for ServerState {
@@ -84,7 +123,29 @@ impl ServerState {
             draining: AtomicBool::new(false),
             endpoint_latency: Mutex::new(BTreeMap::new()),
             counters: ServerCounters::default(),
+            journal: OnceLock::new(),
+            journal_counters: JournalCounters::default(),
         }
+    }
+
+    /// Fresh state journaling to `config.dir` (creating it if needed),
+    /// recovering whatever sessions a previous process left there. This
+    /// is the durable-server entry point: `pi2-server --journal-dir`.
+    pub fn with_journal(
+        fleet: FleetConfig,
+        config: JournalConfig,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        Self::recover(fleet, config)
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.get()
+    }
+
+    /// Durability counters (`sessions_recovered`, `frames_skipped`, …).
+    pub fn journal_counters(&self) -> &JournalCounters {
+        &self.journal_counters
     }
 
     /// The session registry.
@@ -141,7 +202,7 @@ impl ServerState {
     /// This is the single entry point for every transport.
     pub fn handle_line(&self, line: &str) -> String {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let (request, id) = match protocol::parse_request(line) {
+        let (request, id, req_id) = match protocol::parse_request_full(line) {
             Ok(parsed) => parsed,
             Err(e) => {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -150,7 +211,7 @@ impl ServerState {
         };
         let endpoint = endpoint_name(&request);
         let start = Instant::now();
-        let mut response = self.handle_request(request);
+        let mut response = self.handle_request_with(request, req_id.as_deref());
         lock(&self.endpoint_latency).entry(endpoint).or_default().record(start.elapsed());
         if response["ok"].as_bool() != Some(true) {
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -180,12 +241,40 @@ impl ServerState {
         ))
     }
 
-    /// Handle a parsed request.
+    /// Handle a parsed request (with no idempotency key).
     pub fn handle_request(&self, request: Request) -> Value {
+        self.handle_request_with(request, None)
+    }
+
+    /// Handle a parsed request carrying an optional client-assigned
+    /// `req_id`. A mutating request whose `req_id` is still in its
+    /// session's dedupe window is answered from the cached response
+    /// (marked `"deduped": true`) without re-executing: delivery is
+    /// at-least-once, the visible effect exactly-once. Successful
+    /// mutations are appended to the journal (when one is attached)
+    /// *after* they execute, so a frame in the log always describes an
+    /// effect the client could have observed.
+    pub fn handle_request_with(&self, request: Request, req_id: Option<&str>) -> Value {
         if self.draining() && !matches!(request, Request::Stats { .. } | Request::Shutdown) {
             return error_response(ErrorKind::ShuttingDown, "server is draining");
         }
-        match request {
+        let mutating = request.mutating();
+        let target = request.session();
+        if let (Some(rid), Some(session)) = (req_id.filter(|_| mutating), target) {
+            if let Some(entry) = self.registry.get(session) {
+                if let Some(cached) = entry.dedupe_get(rid) {
+                    return cached;
+                }
+            }
+        }
+        // Capture the wire form before `request` moves into dispatch; the
+        // journal frame is written only if the response comes back ok.
+        let record = if mutating && self.journal.get().is_some() {
+            Some(mutation_record(&request, req_id))
+        } else {
+            None
+        };
+        let response = match request {
             Request::Open { scenario, options } => self.open(&scenario, options),
             Request::Close { session } => self.close(session),
             Request::RunCell { session, sql } => self.run_cell(session, &sql),
@@ -198,19 +287,58 @@ impl ServerState {
             }
             Request::Render { session, version } => self.render(session, version),
             Request::Stats { session } => self.stats(session),
+            Request::Resume { token } => self.resume(&token),
             Request::Shutdown => {
                 self.begin_drain();
                 json!({"ok": true, "draining": true})
             }
+        };
+        if mutating && response["ok"].as_bool() == Some(true) {
+            if let Some(record) = record {
+                if let Some(journal) = self.journal.get().cloned() {
+                    self.after_mutation(&journal, record, &response);
+                }
+            }
+            if let Some(rid) = req_id {
+                // Cache the response for idempotent retries. `close` has
+                // nothing to cache against — the entry (and its window)
+                // is gone, so a retried close reads `unknown_session`.
+                let session = target.or_else(|| response["session"].as_u64());
+                if let Some(entry) = session.and_then(|s| self.registry.get(s)) {
+                    entry.dedupe_put(rid, response.clone());
+                }
+            }
         }
+        response
     }
 
     fn open(&self, scenario: &str, options: OpenOptions) -> Value {
+        let pi2 = match self.build_pi2(scenario, &options) {
+            Ok(p) => p,
+            Err(e) => return e,
+        };
+        let id = self.registry.allocate_id();
+        let token = session_token(id);
+        let entry = Arc::new(SessionEntry::new(
+            id,
+            scenario.to_string(),
+            token.clone(),
+            Notebook::with_pi2(pi2),
+        ));
+        self.registry.insert(entry);
+        self.counters.opened.fetch_add(1, Ordering::Relaxed);
+        json!({"ok": true, "session": id, "scenario": scenario, "session_token": token})
+    }
+
+    /// Build a session's engine from `open` options. Shared by `open` and
+    /// recovery (which replays the journaled open request through this
+    /// same path, so a rebuilt session searches with identical budgets).
+    fn build_pi2(&self, scenario: &str, options: &OpenOptions) -> Result<Pi2, Value> {
         let Some(mut catalog) = self.catalog_for(scenario) else {
-            return error_response(
+            return Err(error_response(
                 ErrorKind::UnknownScenario,
                 format!("unknown scenario `{scenario}` ({})", Self::scenario_names().join("|")),
-            );
+            ));
         };
         catalog.set_limits(ExecLimits {
             max_rows: options.max_rows.filter(|&n| n > 0),
@@ -246,12 +374,7 @@ impl ServerState {
             };
             builder = builder.fleet(&handle);
         }
-        let pi2 = builder.build();
-        let id = self.registry.allocate_id();
-        let entry = Arc::new(SessionEntry::new(id, scenario.to_string(), Notebook::with_pi2(pi2)));
-        self.registry.insert(entry);
-        self.counters.opened.fetch_add(1, Ordering::Relaxed);
-        json!({"ok": true, "session": id, "scenario": scenario})
+        Ok(builder.build())
     }
 
     fn close(&self, session: u64) -> Value {
@@ -261,6 +384,24 @@ impl ServerState {
                 json!({"ok": true, "closed": session})
             }
             None => unknown_session(session),
+        }
+    }
+
+    /// Reattach to a live (or crash-recovered) session by its token.
+    fn resume(&self, token: &str) -> Value {
+        match self.registry.get_by_token(token) {
+            Some(entry) => json!({
+                "ok": true,
+                "session": entry.id,
+                "scenario": entry.scenario.clone(),
+                "latest_version": entry.latest_version.load(Ordering::SeqCst),
+                "session_token": entry.token.clone(),
+                "recovered": entry.recovered,
+            }),
+            None => error_response(
+                ErrorKind::UnknownToken,
+                "no live or recovered session with that token",
+            ),
         }
     }
 
@@ -537,7 +678,496 @@ impl ServerState {
             },
             "endpoints": Value::Object(endpoints),
             "sessions": sessions,
+            "journal": self.journal_stats_json(),
         })
+    }
+
+    fn journal_stats_json(&self) -> Value {
+        match self.journal.get() {
+            None => json!({"enabled": false}),
+            Some(journal) => json!({
+                "enabled": true,
+                "journal_bytes": journal.bytes(),
+                "sessions_recovered":
+                    self.journal_counters.sessions_recovered.load(Ordering::Relaxed),
+                "frames_replayed": self.journal_counters.frames_replayed.load(Ordering::Relaxed),
+                "frames_skipped": self.journal_counters.frames_skipped.load(Ordering::Relaxed),
+                "warnings": self.journal_counters.warnings.load(Ordering::Relaxed),
+            }),
+        }
+    }
+
+    /// Count (and log) a journal irregularity. Journal IO failures never
+    /// fail the request that triggered them — the mutation already
+    /// executed and the client deserves its response; the cost is only
+    /// weaker durability, which the counter makes observable.
+    fn journal_warn(&self, msg: impl std::fmt::Display) {
+        self.journal_counters.warnings.fetch_add(1, Ordering::Relaxed);
+        eprintln!("pi2-server: journal: {msg}");
+    }
+
+    /// Record one successful mutation in the journal: append its frame,
+    /// fold it into the session's durable replay state, and checkpoint /
+    /// compact when cadence or size thresholds say so.
+    fn after_mutation(&self, journal: &Arc<Journal>, mut record: MutationRecord, response: &Value) {
+        if matches!(record.kind, MutationKind::Close) {
+            let session = record.req["session"].as_u64().unwrap_or(0);
+            // Tombstone ordering: the close frame must be durable
+            // *before* the checkpoint disappears, otherwise a crash in
+            // between resurrects the closed session on recovery.
+            match journal.append(session, None, &record.req) {
+                Ok(_) => {
+                    if let Err(e) = journal.sync() {
+                        self.journal_warn(format!("tombstone fsync for session {session}: {e}"));
+                    }
+                    if let Err(e) = journal.remove_checkpoint(session) {
+                        self.journal_warn(format!("checkpoint removal for session {session}: {e}"));
+                    }
+                }
+                Err(e) => self.journal_warn(format!("tombstone append for session {session}: {e}")),
+            }
+            return;
+        }
+        let session = match record.kind {
+            MutationKind::Open => response["session"].as_u64(),
+            _ => record.req["session"].as_u64(),
+        };
+        let Some(session) = session else { return };
+        let Some(entry) = self.registry.get(session) else { return };
+        let token = response["session_token"].as_str().map(str::to_string);
+        if matches!(record.kind, MutationKind::Applied) {
+            // Pin the version the server resolved: a replayed `latest`
+            // would resolve against the *final* version count, not the
+            // one this gesture actually addressed.
+            if let Some(v) = response["version"].as_u64() {
+                record.req["version"] = json!(v);
+            }
+        }
+        let mut durable = entry.lock_durable();
+        let lsn = match journal.append(session, token.as_deref(), &record.req) {
+            Ok(lsn) => lsn,
+            Err(e) => {
+                drop(durable);
+                self.journal_warn(format!("append for session {session}: {e}"));
+                return;
+            }
+        };
+        match record.kind {
+            MutationKind::Open => durable.open_req = record.req.clone(),
+            MutationKind::Cell(sql) => durable.ops.push(DurableOp::Cell(sql)),
+            MutationKind::Generate => durable.ops.push(DurableOp::Generate),
+            MutationKind::Applied => {
+                let version = record.req["version"].as_u64().unwrap_or(0) as usize;
+                let pairs: Vec<(usize, Event)> = match protocol::parse_request_value(&record.req) {
+                    Ok(Request::Gesture { events, .. }) => {
+                        events.into_iter().map(|e| (version, e)).collect()
+                    }
+                    Ok(Request::ApplyBinding { widget, value, .. }) => {
+                        vec![(version, Event::SetWidget { widget, value })]
+                    }
+                    _ => Vec::new(),
+                };
+                let mut merged = std::mem::take(&mut durable.applied);
+                merged.extend(pairs);
+                durable.applied = coalesce(merged);
+            }
+            MutationKind::Close => unreachable!("close handled above"),
+        }
+        durable.mutations_since_ckpt += 1;
+        if durable.mutations_since_ckpt >= journal.config().checkpoint_every {
+            self.checkpoint_locked(journal, &entry, &mut durable, lsn);
+        }
+        drop(durable);
+        if journal.wants_compaction() {
+            self.compact_journal(journal);
+        }
+    }
+
+    /// Write a checkpoint for `entry` covering frames up to `cover_lsn`,
+    /// with its durable state already locked by the caller.
+    fn checkpoint_locked(
+        &self,
+        journal: &Journal,
+        entry: &SessionEntry,
+        durable: &mut crate::session::Durable,
+        cover_lsn: u64,
+    ) {
+        let doc = checkpoint_doc(entry, durable, cover_lsn);
+        match journal.write_checkpoint(entry.id, &doc) {
+            Ok(()) => {
+                durable.last_ckpt_lsn = cover_lsn;
+                durable.mutations_since_ckpt = 0;
+            }
+            Err(e) => self.journal_warn(format!("checkpoint for session {}: {e}", entry.id)),
+        }
+    }
+
+    /// Rewrite the journal, dropping frames already covered by a live
+    /// session's checkpoint and frames of sessions that no longer exist.
+    /// The keep-map is snapshotted *before* the journal lock is taken
+    /// (lock order: session durable → journal, never the reverse).
+    fn compact_journal(&self, journal: &Journal) {
+        let mut keep: HashMap<u64, u64> = HashMap::new();
+        self.registry.for_each(|e| {
+            keep.insert(e.id, e.lock_durable().last_ckpt_lsn);
+        });
+        if let Err(e) = journal
+            .compact(&|session, lsn| keep.get(&session).is_some_and(|&covered| lsn > covered))
+        {
+            self.journal_warn(format!("compaction: {e}"));
+        }
+    }
+
+    /// Graceful-shutdown hook: checkpoint every live session, truncate
+    /// the journal, and write the clean marker so the next start trusts
+    /// the checkpoints alone and skips tail replay. No-op when no journal
+    /// is attached. If any checkpoint fails the journal is left intact —
+    /// the next start simply runs a normal (tail-replaying) recovery.
+    pub fn journal_clean_close(&self) {
+        let Some(journal) = self.journal.get() else { return };
+        let cover = journal.last_lsn();
+        let mut all_ok = true;
+        for entry in self.registry.entries() {
+            let mut durable = entry.lock_durable();
+            let doc = checkpoint_doc(&entry, &durable, cover);
+            match journal.write_checkpoint(entry.id, &doc) {
+                Ok(()) => {
+                    durable.last_ckpt_lsn = cover;
+                    durable.mutations_since_ckpt = 0;
+                }
+                Err(e) => {
+                    all_ok = false;
+                    self.journal_warn(format!("shutdown checkpoint for session {}: {e}", entry.id));
+                }
+            }
+        }
+        if !all_ok {
+            return;
+        }
+        if let Err(e) = journal.truncate() {
+            self.journal_warn(format!("shutdown truncate: {e}"));
+            return;
+        }
+        if let Err(e) = journal.mark_clean() {
+            self.journal_warn(format!("clean marker: {e}"));
+        }
+    }
+
+    /// Rebuild server state from a journal directory, then attach the
+    /// journal for new writes. See the module docs of [`crate::journal`]
+    /// for the format and the corruption policy; the shape here is:
+    ///
+    /// 1. consume the clean marker, scan frames, load checkpoints;
+    /// 2. collect tombstones (`close` frames) — neither their frames nor
+    ///    leftover checkpoints may resurrect a closed session;
+    /// 3. plan per session: checkpoint + newer tail frames, or (never
+    ///    checkpointed) an `open` frame plus its tail; orphan frames with
+    ///    neither are dropped with a warning;
+    /// 4. rebuild sessions **in parallel** — replay is deterministic and
+    ///    the fleet cache single-flights identical regenerations, so a
+    ///    1k-session recovery pays one cold search per unique
+    ///    fingerprint;
+    /// 5. bump the id allocator past every rebuilt id, raise the journal
+    ///    LSN past every checkpoint, and (unless the shutdown was clean)
+    ///    re-checkpoint everything and truncate so the next recovery
+    ///    starts from a compact prefix.
+    fn recover(
+        fleet: FleetConfig,
+        config: JournalConfig,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
+        std::fs::create_dir_all(&config.dir)?;
+        let state = Self::with_fleet(fleet);
+        let mut report =
+            RecoveryReport { clean: journal::take_clean_marker(&config.dir), ..Default::default() };
+        let (frames, scan) = journal::scan(&config.dir)?;
+        report.frames_skipped += scan.frames_skipped;
+        report.warnings.extend(scan.warnings);
+        let mut ckpt_scan = journal::ScanReport::default();
+        let checkpoints = journal::load_checkpoints(&config.dir, &mut ckpt_scan);
+        report.warnings.extend(ckpt_scan.warnings);
+
+        let tombstoned: HashSet<u64> =
+            frames.iter().filter(|f| f.req["cmd"] == "close").map(|f| f.session).collect();
+        report.tombstones = tombstoned.len() as u64;
+
+        let mut plans: BTreeMap<u64, RecoveryPlan> = BTreeMap::new();
+        let mut max_ckpt_lsn = 0u64;
+        for (id, doc) in checkpoints {
+            max_ckpt_lsn = max_ckpt_lsn.max(doc["last_lsn"].as_u64().unwrap_or(0));
+            if tombstoned.contains(&id) {
+                continue; // closed before the crash; cleaned up below
+            }
+            let token = doc["token"].as_str().map(str::to_string);
+            plans.insert(id, RecoveryPlan { token, ckpt: Some(doc), tail: Vec::new() });
+        }
+        if report.clean {
+            // Planned restart: the checkpoints are complete by contract;
+            // any leftover frames are redundant, not lost work.
+            report.frames_skipped +=
+                frames.iter().filter(|f| f.req["cmd"] != "close").count() as u64;
+        } else {
+            for frame in frames {
+                if frame.req["cmd"] == "close" {
+                    continue; // the tombstone itself
+                }
+                if tombstoned.contains(&frame.session) {
+                    report.frames_skipped += 1;
+                    continue;
+                }
+                match plans.get_mut(&frame.session) {
+                    Some(plan) => {
+                        let covered =
+                            plan.ckpt.as_ref().and_then(|c| c["last_lsn"].as_u64()).unwrap_or(0);
+                        if frame.lsn <= covered {
+                            report.frames_skipped += 1;
+                        } else {
+                            plan.tail.push(frame);
+                        }
+                    }
+                    None if frame.req["cmd"] == "open" => {
+                        plans.insert(
+                            frame.session,
+                            RecoveryPlan {
+                                token: frame.token.clone(),
+                                ckpt: None,
+                                tail: vec![frame],
+                            },
+                        );
+                    }
+                    None => {
+                        report.frames_skipped += 1;
+                        report.warnings.push(format!(
+                            "orphan frame for session {} dropped (no checkpoint or open frame)",
+                            frame.session
+                        ));
+                    }
+                }
+            }
+        }
+
+        let plan_list: Vec<(u64, RecoveryPlan)> = plans.into_iter().collect();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(plan_list.len().max(1));
+        let results: Mutex<Vec<(u64, Result<Rebuilt, String>)>> = Mutex::new(Vec::new());
+        let next = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    let Some((id, plan)) = plan_list.get(i) else { break };
+                    let rebuilt = state.rebuild_session(*id, plan);
+                    lock(&results).push((*id, rebuilt));
+                });
+            }
+        });
+        let mut results = results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        results.sort_by_key(|(id, _)| *id);
+        let mut max_id = 0u64;
+        for (id, rebuilt) in results {
+            max_id = max_id.max(id);
+            match rebuilt {
+                Ok(rebuilt) => {
+                    report.sessions_recovered += 1;
+                    report.frames_replayed += rebuilt.frames_replayed;
+                    report.frames_skipped += rebuilt.frames_skipped;
+                    report.warnings.extend(rebuilt.warnings);
+                    state.registry.insert(rebuilt.entry);
+                }
+                Err(e) => report.warnings.push(format!("session {id} not recovered: {e}")),
+            }
+        }
+        state.registry.bump_next_id(max_id + 1);
+
+        let journal = Arc::new(Journal::open(config)?);
+        // LSNs must clear every checkpoint even when the journal file is
+        // freshly empty, or the next recovery would see "new" frames
+        // below `last_lsn` and wrongly skip them as already covered.
+        journal.ensure_lsn_at_least(max_ckpt_lsn.max(scan.max_lsn) + 1);
+        for id in &tombstoned {
+            if let Err(e) = journal.remove_checkpoint(*id) {
+                report.warnings.push(format!("stale checkpoint removal for session {id}: {e}"));
+            }
+        }
+        if !report.clean {
+            // Fold the tail into fresh checkpoints and truncate: recovery
+            // is idempotent and the next one starts from a compact prefix.
+            let cover = max_ckpt_lsn.max(scan.max_lsn);
+            let mut all_ok = true;
+            for entry in state.registry.entries() {
+                let mut durable = entry.lock_durable();
+                let doc = checkpoint_doc(&entry, &durable, cover);
+                match journal.write_checkpoint(entry.id, &doc) {
+                    Ok(()) => {
+                        durable.last_ckpt_lsn = cover;
+                        durable.mutations_since_ckpt = 0;
+                    }
+                    Err(e) => {
+                        all_ok = false;
+                        report.warnings.push(format!(
+                            "post-recovery checkpoint for session {}: {e}",
+                            entry.id
+                        ));
+                    }
+                }
+            }
+            if all_ok {
+                if let Err(e) = journal.truncate() {
+                    report.warnings.push(format!("post-recovery truncate: {e}"));
+                }
+            }
+        }
+        let _ = state.journal.set(journal);
+        let c = &state.journal_counters;
+        c.sessions_recovered.store(report.sessions_recovered, Ordering::Relaxed);
+        c.frames_replayed.store(report.frames_replayed, Ordering::Relaxed);
+        c.frames_skipped.store(report.frames_skipped, Ordering::Relaxed);
+        c.warnings.store(report.warnings.len() as u64, Ordering::Relaxed);
+        Ok((state, report))
+    }
+
+    /// Rebuild one session from its recovery plan: re-open the engine
+    /// through [`Self::build_pi2`], replay checkpointed ops, replay tail
+    /// frames (skipping duplicate `req_id`s), then dispatch the applied
+    /// gesture history. Cell/generate interleaving is preserved exactly;
+    /// gesture events replay after all generates, which is sound because
+    /// a version's widget state depends only on its own events, in order.
+    fn rebuild_session(&self, id: u64, plan: &RecoveryPlan) -> Result<Rebuilt, String> {
+        let open_req = match &plan.ckpt {
+            Some(ckpt) => ckpt["open_req"].clone(),
+            None => plan.tail.first().map(|f| f.req.clone()).ok_or("empty recovery plan")?,
+        };
+        let parsed = protocol::parse_request_value(&open_req)
+            .map_err(|e| format!("unreplayable open request: {}", error_message(&e)))?;
+        let Request::Open { scenario, options } = parsed else {
+            return Err("stored open request is not an `open`".to_string());
+        };
+        let pi2 = self
+            .build_pi2(&scenario, &options)
+            .map_err(|e| format!("engine rebuild failed: {}", error_message(&e)))?;
+        let token = plan.token.clone().unwrap_or_else(|| session_token(id));
+        let entry = Arc::new(
+            SessionEntry::new(id, scenario, token, Notebook::with_pi2(pi2)).mark_recovered(),
+        );
+        let mut warnings = Vec::new();
+        let mut durable = crate::session::Durable { open_req, ..Default::default() };
+        let mut applied: Vec<(usize, Event)> = Vec::new();
+        let mut req_ids: Vec<String> = Vec::new();
+
+        if let Some(ckpt) = &plan.ckpt {
+            durable.last_ckpt_lsn = ckpt["last_lsn"].as_u64().unwrap_or(0);
+            for op in ckpt["ops"].as_array().map(Vec::as_slice).unwrap_or_default() {
+                match op["op"].as_str() {
+                    Some("cell") => {
+                        let sql = op["sql"].as_str().unwrap_or_default().to_string();
+                        replay_cell(&entry, &sql);
+                        durable.ops.push(DurableOp::Cell(sql));
+                    }
+                    Some("generate") => {
+                        replay_generate(&entry)
+                            .map_err(|e| format!("checkpointed generate replay: {e}"))?;
+                        durable.ops.push(DurableOp::Generate);
+                    }
+                    other => {
+                        warnings.push(format!("session {id}: unknown checkpoint op {other:?}"))
+                    }
+                }
+            }
+            for item in ckpt["applied"].as_array().map(Vec::as_slice).unwrap_or_default() {
+                let version = item["version"].as_u64().unwrap_or(0) as usize;
+                match protocol::parse_event(&item["event"]) {
+                    Ok(event) => applied.push((version, event)),
+                    Err(e) => warnings.push(format!(
+                        "session {id}: unreplayable checkpointed event: {}",
+                        error_message(&e)
+                    )),
+                }
+            }
+            for rid in ckpt["req_ids"].as_array().map(Vec::as_slice).unwrap_or_default() {
+                if let Some(rid) = rid.as_str() {
+                    req_ids.push(rid.to_string());
+                }
+            }
+        }
+
+        let mut frames_replayed = 0u64;
+        let mut frames_skipped = 0u64;
+        let mut seen: HashSet<String> = req_ids.iter().cloned().collect();
+        for frame in &plan.tail {
+            if let Some(rid) = frame.req["req_id"].as_str() {
+                if !seen.insert(rid.to_string()) {
+                    // The retry's effect was already deduped live; replay
+                    // must not apply it a second time.
+                    frames_skipped += 1;
+                    warnings.push(format!("session {id}: duplicate req_id `{rid}` frame skipped"));
+                    continue;
+                }
+                req_ids.push(rid.to_string());
+            }
+            let request = match protocol::parse_request_value(&frame.req) {
+                Ok(r) => r,
+                Err(e) => {
+                    frames_skipped += 1;
+                    warnings.push(format!(
+                        "session {id}: unreplayable frame at lsn {}: {}",
+                        frame.lsn,
+                        error_message(&e)
+                    ));
+                    continue;
+                }
+            };
+            match request {
+                Request::Open { .. } => {} // the bootstrap frame itself
+                Request::RunCell { sql, .. } => {
+                    replay_cell(&entry, &sql);
+                    durable.ops.push(DurableOp::Cell(sql));
+                }
+                Request::Generate { .. } => {
+                    replay_generate(&entry).map_err(|e| format!("generate replay: {e}"))?;
+                    durable.ops.push(DurableOp::Generate);
+                }
+                Request::Gesture { version, events, .. } => {
+                    let version = version.unwrap_or(0);
+                    applied.extend(events.into_iter().map(|e| (version, e)));
+                }
+                Request::ApplyBinding { version, widget, value, .. } => {
+                    applied.push((version.unwrap_or(0), Event::SetWidget { widget, value }));
+                }
+                _ => {
+                    frames_skipped += 1;
+                    warnings.push(format!(
+                        "session {id}: non-mutating frame at lsn {} skipped",
+                        frame.lsn
+                    ));
+                    continue;
+                }
+            }
+            frames_replayed += 1;
+        }
+
+        let applied = coalesce(applied);
+        for (version, event) in &applied {
+            let mut core = entry.lock_core();
+            match core.live_session(*version) {
+                Ok(live) => {
+                    if let Err(e) = live.dispatch(event.clone()) {
+                        warnings.push(format!("session {id}: replayed event rejected: {e}"));
+                    }
+                }
+                Err(e) => warnings
+                    .push(format!("session {id}: version {version} unavailable at replay: {e}")),
+            }
+        }
+        durable.applied = applied;
+        *entry.lock_durable() = durable;
+        for rid in req_ids {
+            // The original responses died with the old process; a retry
+            // of an already-applied request gets a bare ok (the effect is
+            // present, which is the contract — not the original body).
+            entry.dedupe_put(&rid, json!({"ok": true}));
+        }
+        Ok(Rebuilt { entry, frames_replayed, frames_skipped, warnings })
     }
 }
 
@@ -546,6 +1176,148 @@ impl SessionEntry {
     pub fn lock_core(&self) -> std::sync::MutexGuard<'_, crate::session::SessionCore> {
         self.core.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
+}
+
+/// The durable-op flavor of a mutating request, captured pre-dispatch so
+/// [`ServerState::after_mutation`] knows how to fold the frame into the
+/// session's replay state without re-classifying the JSON.
+enum MutationKind {
+    Open,
+    Close,
+    Cell(String),
+    Generate,
+    /// `gesture` / `apply_binding`: the journaled frame carries the
+    /// (coalesced, version-pinned) events themselves.
+    Applied,
+}
+
+/// A mutating request's wire form plus its durable-op classification.
+struct MutationRecord {
+    kind: MutationKind,
+    req: Value,
+}
+
+/// Capture `request` for journaling. Gestures are recorded *after*
+/// request-local coalescing — replay dispatches the same merged stream
+/// the live queue would have produced for this request — and the
+/// client's `req_id`, if any, rides along inside the frame so recovery
+/// can skip duplicate-delivery frames.
+fn mutation_record(request: &Request, req_id: Option<&str>) -> MutationRecord {
+    let kind = match request {
+        Request::Open { .. } => MutationKind::Open,
+        Request::Close { .. } => MutationKind::Close,
+        Request::RunCell { sql, .. } => MutationKind::Cell(sql.clone()),
+        Request::Generate { .. } => MutationKind::Generate,
+        _ => MutationKind::Applied,
+    };
+    let mut req = match request {
+        Request::Gesture { session, version, events, include_data } => {
+            let events: Vec<Event> = coalesce(events.iter().map(|e| (0, e.clone())).collect())
+                .into_iter()
+                .map(|(_, e)| e)
+                .collect();
+            protocol::request_to_json(&Request::Gesture {
+                session: *session,
+                version: *version,
+                events,
+                include_data: *include_data,
+            })
+        }
+        other => protocol::request_to_json(other),
+    };
+    if let Some(rid) = req_id {
+        req["req_id"] = json!(rid);
+    }
+    MutationRecord { kind, req }
+}
+
+/// One session's inputs to [`ServerState::rebuild_session`].
+struct RecoveryPlan {
+    token: Option<String>,
+    ckpt: Option<Value>,
+    tail: Vec<journal::Frame>,
+}
+
+/// One successfully rebuilt session plus its replay accounting.
+struct Rebuilt {
+    entry: Arc<SessionEntry>,
+    frames_replayed: u64,
+    frames_skipped: u64,
+    warnings: Vec<String>,
+}
+
+/// The resume token for session `id`: a keyed splitmix64 mix, **stable
+/// across processes** so a recovered session still answers the token its
+/// `open` handed out — and deterministic by design, because the
+/// protocol-equivalence suite replays one script against independent
+/// server states and compares responses byte-for-byte. Tokens gate
+/// reattachment to the right session, not secrecy (the line protocol is
+/// plaintext anyway).
+fn session_token(id: u64) -> String {
+    let mut z = (id ^ 0x7069_3273_6573_7374).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    format!("tok-{z:016x}")
+}
+
+/// Replay one notebook cell. A cell that failed live re-fails here
+/// deterministically; its failure is part of the notebook's history, not
+/// a recovery error.
+fn replay_cell(entry: &SessionEntry, sql: &str) {
+    let mut core = entry.lock_core();
+    let cell = core.notebook.add_cell(sql);
+    let _ = core.notebook.run_cell(cell);
+}
+
+/// Replay one accepted `generate`. Goes through the same engine (and
+/// fleet cache) path as the original call, so identical logs across a
+/// recovering fleet single-flight to one cold search.
+fn replay_generate(entry: &SessionEntry) -> Result<(), NotebookError> {
+    let mut core = entry.lock_core();
+    let version = core.notebook.generate_interface()?;
+    entry.latest_version.fetch_max(version, Ordering::SeqCst);
+    Ok(())
+}
+
+/// The `message` of an error-response document (for recovery warnings).
+fn error_message(e: &Value) -> &str {
+    e["error"]["message"].as_str().unwrap_or("unknown error")
+}
+
+/// A checkpoint document: everything [`ServerState::rebuild_session`]
+/// needs to restore the session without any journal frames at or below
+/// `cover_lsn`.
+fn checkpoint_doc(
+    entry: &SessionEntry,
+    durable: &crate::session::Durable,
+    cover_lsn: u64,
+) -> Value {
+    let ops: Vec<Value> = durable
+        .ops
+        .iter()
+        .map(|op| match op {
+            DurableOp::Cell(sql) => json!({"op": "cell", "sql": sql}),
+            DurableOp::Generate => json!({"op": "generate"}),
+        })
+        .collect();
+    let applied: Vec<Value> = durable
+        .applied
+        .iter()
+        .map(
+            |(version, event)| json!({"version": version, "event": protocol::event_to_json(event)}),
+        )
+        .collect();
+    json!({
+        "session": entry.id,
+        "token": entry.token.clone(),
+        "scenario": entry.scenario.clone(),
+        "open_req": durable.open_req.clone(),
+        "ops": ops,
+        "applied": applied,
+        "req_ids": entry.dedupe_ids(),
+        "last_lsn": cover_lsn,
+    })
 }
 
 fn endpoint_name(request: &Request) -> &'static str {
@@ -558,6 +1330,7 @@ fn endpoint_name(request: &Request) -> &'static str {
         Request::Gesture { .. } => "gesture",
         Request::Render { .. } => "render",
         Request::Stats { .. } => "stats",
+        Request::Resume { .. } => "resume",
         Request::Shutdown => "shutdown",
     }
 }

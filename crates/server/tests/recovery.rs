@@ -1,0 +1,234 @@
+//! Crash-safety integration tests: the write-ahead session journal,
+//! restart recovery, resume-by-token, and the `req_id` dedupe window.
+//!
+//! "Crash" here is dropping a journaled `ServerState` without calling
+//! `journal_clean_close` — exactly the state a `kill -9` leaves on disk
+//! (the process-level version runs in `pi2-server --recovery-smoke`).
+
+use pi2_core::prelude::FleetConfig;
+use pi2_server::{JournalConfig, LocalClient, ServerState};
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pi2-recovery-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn journaled(dir: &PathBuf, checkpoint_every: u64) -> (LocalClient, pi2_server::RecoveryReport) {
+    let config = JournalConfig::new(dir).checkpoint_every(checkpoint_every);
+    let (state, report) =
+        ServerState::with_journal(FleetConfig::default(), config).expect("with_journal");
+    (LocalClient::new(Arc::new(state)), report)
+}
+
+fn ok(client: &LocalClient, request: Value) -> Value {
+    let response = client.request(request);
+    assert_eq!(response["ok"].as_bool(), Some(true), "{response}");
+    response
+}
+
+/// Open a toy session, run the two demo cells, generate, move the
+/// slider. Returns (session, token, render text).
+fn drive_toy(client: &LocalClient) -> (u64, String, String) {
+    let opened = ok(client, json!({"cmd": "open", "scenario": "toy", "req_id": "r-open"}));
+    let session = opened["session"].as_u64().expect("session id");
+    let token = opened["session_token"].as_str().expect("session_token").to_string();
+    for (i, sql) in [
+        "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+    ]
+    .iter()
+    .enumerate()
+    {
+        ok(
+            client,
+            json!({
+                "cmd": "run_cell", "session": session, "sql": *sql,
+                "req_id": format!("r-cell-{i}"),
+            }),
+        );
+    }
+    ok(client, json!({"cmd": "generate", "session": session, "req_id": "r-gen"}));
+    ok(
+        client,
+        json!({
+            "cmd": "gesture", "session": session, "req_id": "r-gesture",
+            "events": [{"type": "set_widget", "widget": 0, "value": {"scalar": 2.0}}],
+        }),
+    );
+    (session, token, render(client, session))
+}
+
+fn render(client: &LocalClient, session: u64) -> String {
+    let rendered = ok(client, json!({"cmd": "render", "session": session}));
+    rendered["text"].as_str().expect("render text").to_string()
+}
+
+#[test]
+fn crash_recovery_resumes_byte_identical_render() {
+    let dir = temp_dir("crash");
+    let (client, report) = journaled(&dir, 3);
+    assert_eq!(report.sessions_recovered, 0, "fresh journal");
+    let (session, token, before) = drive_toy(&client);
+    drop(client); // crash: no clean close, no final checkpoint
+
+    let (client, report) = journaled(&dir, 3);
+    assert_eq!(report.sessions_recovered, 1, "{report:?}");
+    assert!(!report.clean);
+    assert!(report.warnings.is_empty(), "{report:?}");
+    let resumed = ok(&client, json!({"cmd": "resume", "token": token}));
+    assert_eq!(resumed["session"].as_u64(), Some(session));
+    assert_eq!(resumed["recovered"].as_bool(), Some(true));
+    assert_eq!(resumed["latest_version"].as_u64(), Some(1));
+    assert_eq!(render(&client, session), before, "recovered render must be byte-identical");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_finds_live_sessions_and_rejects_unknown_tokens() {
+    let client = LocalClient::standalone();
+    let opened = ok(&client, json!({"cmd": "open", "scenario": "toy"}));
+    let token = opened["session_token"].as_str().expect("token");
+    let resumed = ok(&client, json!({"cmd": "resume", "token": token}));
+    assert_eq!(resumed["session"], opened["session"]);
+    assert_eq!(resumed["recovered"].as_bool(), Some(false), "live, not rebuilt");
+    let bogus = client.request(json!({"cmd": "resume", "token": "tok-feedfacecafebeef"}));
+    assert_eq!(bogus["ok"].as_bool(), Some(false));
+    assert_eq!(bogus["error"]["kind"].as_str(), Some("unknown_token"));
+}
+
+#[test]
+fn retried_req_id_replays_the_cached_response() {
+    // Dedupe is protocol-level: it works without any journal attached.
+    let client = LocalClient::standalone();
+    let opened = ok(&client, json!({"cmd": "open", "scenario": "toy"}));
+    let session = opened["session"].as_u64().expect("session");
+    let req = json!({
+        "cmd": "run_cell", "session": session, "req_id": "retry-1",
+        "sql": "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+    });
+    let first = ok(&client, req.clone());
+    assert!(first.get("deduped").is_none());
+    let second = ok(&client, req);
+    assert_eq!(second["deduped"].as_bool(), Some(true), "{second}");
+    assert_eq!(second["cell"], first["cell"], "same cached effect, not a new cell");
+    // A genuinely new request under a new id still lands a new cell.
+    let third = ok(
+        &client,
+        json!({
+            "cmd": "run_cell", "session": session, "req_id": "retry-2",
+            "sql": "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+        }),
+    );
+    assert_ne!(third["cell"], first["cell"]);
+}
+
+#[test]
+fn clean_shutdown_skips_tail_replay() {
+    let dir = temp_dir("clean");
+    let (client, _) = journaled(&dir, 1000); // cadence never fires: the clean close must checkpoint
+    let (session, token, before) = drive_toy(&client);
+    client.state().journal_clean_close();
+    drop(client);
+
+    let (client, report) = journaled(&dir, 1000);
+    assert!(report.clean, "{report:?}");
+    assert_eq!(report.sessions_recovered, 1);
+    assert_eq!(report.frames_replayed, 0, "clean restarts trust checkpoints alone");
+    let resumed = ok(&client, json!({"cmd": "resume", "token": token}));
+    assert_eq!(resumed["session"].as_u64(), Some(session));
+    assert_eq!(render(&client, session), before);
+    // A crash *after* the clean restart must still recover: the marker
+    // was consumed, not left behind.
+    drop(client);
+    let (_, report) = journaled(&dir, 1000);
+    assert!(!report.clean, "the clean marker is single-use");
+    assert_eq!(report.sessions_recovered, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn duplicate_req_id_frames_replay_once() {
+    let dir = temp_dir("dupframe");
+    let (client, _) = journaled(&dir, 1000); // no checkpoints: everything replays from frames
+    let (session, _token, before) = drive_toy(&client);
+    // Simulate an at-least-once append gone wrong: the same accepted
+    // request journaled twice under one req_id.
+    let journal = client.state().journal().expect("journal attached").clone();
+    journal
+        .append(
+            session,
+            None,
+            &json!({
+                "cmd": "run_cell", "session": session, "req_id": "r-cell-0",
+                "sql": "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            }),
+        )
+        .expect("append duplicate");
+    drop(client);
+
+    let (client, report) = journaled(&dir, 1000);
+    assert_eq!(report.sessions_recovered, 1);
+    assert!(report.frames_skipped >= 1, "{report:?}");
+    assert!(report.warnings.iter().any(|w| w.contains("duplicate req_id")), "{report:?}");
+    assert_eq!(render(&client, session), before, "the duplicate cell must not re-apply");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_newer_than_every_tail_frame_replays_nothing() {
+    let dir = temp_dir("cknewer");
+    // Checkpoint after every mutation: the final checkpoint covers every
+    // frame left in the journal, so recovery must treat the whole tail
+    // as superseded rather than double-applying it.
+    let (client, _) = journaled(&dir, 1);
+    let (session, token, before) = drive_toy(&client);
+    drop(client);
+
+    let (client, report) = journaled(&dir, 1);
+    assert_eq!(report.sessions_recovered, 1);
+    assert_eq!(report.frames_replayed, 0, "{report:?}");
+    assert!(report.frames_skipped >= 1, "superseded frames are counted: {report:?}");
+    let resumed = ok(&client, json!({"cmd": "resume", "token": token}));
+    assert_eq!(resumed["session"].as_u64(), Some(session));
+    assert_eq!(render(&client, session), before);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovered_sessions_stay_fully_operable() {
+    let dir = temp_dir("operable");
+    let (client, _) = journaled(&dir, 2);
+    let (session, token, _) = drive_toy(&client);
+    drop(client);
+
+    let (client, _) = journaled(&dir, 2);
+    ok(&client, json!({"cmd": "resume", "token": token}));
+    // Life goes on: new cells, a new generation, new gestures — all
+    // journaled again and recoverable after a *second* crash.
+    ok(
+        &client,
+        json!({
+            "cmd": "run_cell", "session": session,
+            "sql": "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        }),
+    );
+    ok(&client, json!({"cmd": "generate", "session": session}));
+    ok(
+        &client,
+        json!({
+            "cmd": "gesture", "session": session,
+            "events": [{"type": "set_widget", "widget": 0, "value": {"scalar": 1.0}}],
+        }),
+    );
+    let before = render(&client, session);
+    drop(client);
+
+    let (client, report) = journaled(&dir, 2);
+    assert_eq!(report.sessions_recovered, 1, "{report:?}");
+    assert_eq!(render(&client, session), before, "second-generation state survives too");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

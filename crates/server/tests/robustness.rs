@@ -331,3 +331,136 @@ fn half_open_peer_that_never_reads_is_eventually_cut_off() {
     server.shutdown();
     server.join();
 }
+
+// ---- journal corruption ------------------------------------------------------
+//
+// The durability layer gets the same treatment as the wire: damaged
+// journals must degrade to skipped frames and structured counters,
+// never a panic and never a double-applied effect.
+
+mod journal_corruption {
+    use super::*;
+    use pi2_core::prelude::FleetConfig;
+    use pi2_server::{JournalConfig, LocalClient};
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pi2-robust-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn journaled(dir: &PathBuf) -> (LocalClient, pi2_server::RecoveryReport) {
+        // Cadence high enough that nothing checkpoints: recovery depends
+        // entirely on the (damaged) frame tail.
+        let config = JournalConfig::new(dir).checkpoint_every(1000);
+        let (state, report) =
+            ServerState::with_journal(FleetConfig::default(), config).expect("with_journal");
+        (LocalClient::new(Arc::new(state)), report)
+    }
+
+    fn ok(client: &LocalClient, request: Value) -> Value {
+        let response = client.request(request);
+        assert_eq!(response["ok"].as_bool(), Some(true), "{response}");
+        response
+    }
+
+    /// open + two cells + generate (+ optionally the slider gesture).
+    fn drive(client: &LocalClient, gesture: bool) -> (u64, String) {
+        let opened = ok(client, json!({"cmd": "open", "scenario": "toy"}));
+        let session = opened["session"].as_u64().expect("session");
+        for sql in [
+            "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+        ] {
+            ok(client, json!({"cmd": "run_cell", "session": session, "sql": sql}));
+        }
+        ok(client, json!({"cmd": "generate", "session": session}));
+        if gesture {
+            ok(
+                client,
+                json!({
+                    "cmd": "gesture", "session": session,
+                    "events": [{"type": "set_widget", "widget": 0, "value": {"scalar": 2.0}}],
+                }),
+            );
+        }
+        let rendered = ok(client, json!({"cmd": "render", "session": session}));
+        (session, rendered["text"].as_str().expect("text").to_string())
+    }
+
+    #[test]
+    fn truncated_final_frame_recovers_the_prefix() {
+        let dir = temp_dir("torn");
+        let (client, _) = journaled(&dir);
+        let (session, _) = drive(&client, true);
+        drop(client);
+        // Tear the tail mid-frame, as a crash mid-append would.
+        let path = dir.join("journal.log");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (client, report) = journaled(&dir);
+        assert_eq!(report.sessions_recovered, 1, "{report:?}");
+        assert!(!report.warnings.is_empty(), "torn tail must be reported: {report:?}");
+        // The torn frame was the gesture: the recovered render is the
+        // un-gestured control, not garbage and not a panic.
+        let control = LocalClient::standalone();
+        let (control_session, expected) = drive(&control, false);
+        let rendered = ok(&client, json!({"cmd": "render", "session": session}));
+        assert_eq!(rendered["text"].as_str(), Some(expected.as_str()));
+        let _ = control_session;
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_frame_is_skipped_and_counted_in_stats() {
+        let dir = temp_dir("flip");
+        let (client, _) = journaled(&dir);
+        let (session, _) = drive(&client, true);
+        drop(client);
+        // Flip a payload bit in the second frame (the first run_cell):
+        // frame 0's length header tells us where it ends.
+        let path = dir.join("journal.log");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let frame0_len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        let frame1_payload = 8 + frame0_len + 8 + 4;
+        bytes[frame1_payload] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (client, report) = journaled(&dir);
+        // The damaged cell frame is skipped; everything after it still
+        // replays (generate now sees one cell — a *different* interface
+        // is fine, a panic or a lost session is not).
+        assert_eq!(report.sessions_recovered, 1, "{report:?}");
+        assert!(report.frames_skipped >= 1, "{report:?}");
+        assert!(!report.warnings.is_empty(), "{report:?}");
+        let rendered = ok(&client, json!({"cmd": "render", "session": session}));
+        assert!(!rendered["text"].as_str().unwrap_or("").is_empty());
+        // The damage is observable in `stats` under `"journal"`.
+        let stats = ok(&client, json!({"cmd": "stats"}));
+        let journal = &stats["stats"]["journal"];
+        assert_eq!(journal["enabled"].as_bool(), Some(true), "{stats}");
+        assert_eq!(journal["sessions_recovered"].as_u64(), Some(1), "{stats}");
+        assert!(journal["frames_skipped"].as_u64().unwrap_or(0) >= 1, "{stats}");
+        assert!(journal["warnings"].as_u64().unwrap_or(0) >= 1, "{stats}");
+        assert!(journal["journal_bytes"].as_u64().is_some(), "{stats}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_journal_yields_empty_state_not_a_panic() {
+        let dir = temp_dir("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("journal.log"), b"\xde\xad\xbe\xef not a journal at all").unwrap();
+        std::fs::write(dir.join("ckpt-3.json"), b"{ truncated checkpoint").unwrap();
+        let (client, report) = journaled(&dir);
+        assert_eq!(report.sessions_recovered, 0);
+        assert!(!report.warnings.is_empty(), "{report:?}");
+        // The server is fully usable on top of the wreckage.
+        let (_, text) = drive(&client, true);
+        assert!(!text.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

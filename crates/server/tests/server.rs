@@ -341,6 +341,7 @@ fn full_queue_returns_structured_overload() {
     let entry = SessionEntry::new(
         1,
         "toy".to_string(),
+        "tok-test".to_string(),
         pi2_notebook::Notebook::new(pi2_datasets::toy::default_catalog()),
     );
     let event = || pi2_core::Event::Click { chart: 0, value: pi2_sql::Literal::Int(1) };

@@ -182,3 +182,69 @@ fn tcp_responses_are_byte_identical_to_local_client() {
         assert_eq!(tcp, local, "response {i} diverged between TCP and LocalClient");
     }
 }
+
+/// Tombstone soundness under churn: sessions closed *before* the crash
+/// must not be resurrected by recovery — even though their open/cell
+/// frames may still sit in the journal — while sessions still open at
+/// the kill must all come back resumable.
+#[test]
+fn closed_then_crashed_sessions_are_not_resurrected() {
+    use pi2_core::prelude::FleetConfig;
+    use pi2_server::{JournalConfig, LocalClient};
+
+    let dir = std::env::temp_dir().join(format!("pi2-soak-tombstone-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let journaled = || {
+        let config = JournalConfig::new(&dir).checkpoint_every(2);
+        let (state, report) = pi2_server::ServerState::with_journal(FleetConfig::default(), config)
+            .expect("with_journal");
+        (LocalClient::new(Arc::new(state)), report)
+    };
+
+    const SESSIONS: usize = 8;
+    let (client, _) = journaled();
+    let mut tokens = Vec::new();
+    for i in 0..SESSIONS {
+        let opened = client.request(json!({"cmd": "open", "scenario": "toy"}));
+        assert_eq!(opened["ok"].as_bool(), Some(true), "{opened}");
+        let session = opened["session"].as_u64().expect("session");
+        let token = opened["session_token"].as_str().expect("token").to_string();
+        let r = client.request(json!({
+            "cmd": "run_cell", "session": session,
+            "sql": "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+        }));
+        assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+        if i % 2 == 0 {
+            // Closed before the crash: its tombstone frame must win over
+            // its open/cell frames and any checkpoint already on disk.
+            let r = client.request(json!({"cmd": "close", "session": session}));
+            assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+        }
+        tokens.push((session, token, i % 2 == 0));
+    }
+    drop(client); // crash: no clean close
+
+    let (client, report) = journaled();
+    assert_eq!(report.sessions_recovered as usize, SESSIONS / 2, "{report:?}");
+    assert_eq!(report.tombstones as usize, SESSIONS / 2, "{report:?}");
+    for (session, token, closed) in &tokens {
+        let resumed = client.request(json!({"cmd": "resume", "token": token.clone()}));
+        if *closed {
+            assert_eq!(resumed["ok"].as_bool(), Some(false), "session {session}: {resumed}");
+            assert_eq!(resumed["error"]["kind"].as_str(), Some("unknown_token"), "{resumed}");
+        } else {
+            assert_eq!(resumed["ok"].as_bool(), Some(true), "session {session}: {resumed}");
+            assert_eq!(resumed["session"].as_u64(), Some(*session), "{resumed}");
+        }
+    }
+    // No checkpoint residue for the tombstoned half.
+    for (session, _, closed) in &tokens {
+        let ckpt = dir.join(format!("ckpt-{session}.json"));
+        if *closed {
+            assert!(!ckpt.exists(), "closed session {session} left a checkpoint behind");
+        }
+    }
+    let stats = client.state().stats_json();
+    assert_eq!(stats["active_sessions"].as_u64(), Some(SESSIONS as u64 / 2), "{stats}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

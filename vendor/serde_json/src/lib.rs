@@ -65,6 +65,15 @@ impl Number {
             Number::Float(_) => None,
         }
     }
+
+    /// The number as u64, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::Int(v) => u64::try_from(v).ok(),
+            Number::UInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
 }
 
 impl PartialEq for Number {
@@ -195,6 +204,14 @@ impl Value {
         }
     }
 
+    /// The value as u64, if an integral non-negative number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
     /// The value as a slice of values, if an array.
     pub fn as_array(&self) -> Option<&Vec<Value>> {
         match self {
@@ -291,6 +308,17 @@ pub trait ToJson {
 /// `serde_json::to_value`, minus the `Result`).
 pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Value {
     value.to_json()
+}
+
+/// Serialize to compact JSON bytes (the UTF-8 of [`to_string`]).
+pub fn to_vec<T: ToJson + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parse a JSON document from bytes (must be valid UTF-8).
+pub fn from_slice(bytes: &[u8]) -> Result<Value, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
 }
 
 impl ToJson for Value {
@@ -426,6 +454,17 @@ mod tests {
             let parsed = from_str(&text).unwrap();
             assert_eq!(parsed, v, "through {text}");
         }
+    }
+
+    #[test]
+    fn byte_helpers_and_u64_accessor() {
+        let v = json!({"big": 123456789u64, "neg": -1, "f": 1.5});
+        let bytes = to_vec(&v).unwrap();
+        assert_eq!(from_slice(&bytes).unwrap(), v);
+        assert_eq!(v["big"].as_u64(), Some(123456789));
+        assert_eq!(v["neg"].as_u64(), None);
+        assert_eq!(v["f"].as_u64(), None);
+        assert!(from_slice(&[0xFF, 0xFE]).is_err());
     }
 
     #[test]

@@ -104,15 +104,28 @@ pub struct Durable {
     pub last_ckpt_lsn: u64,
 }
 
-/// The per-session idempotency window: recent `req_id`s mapped to the
-/// response each produced, bounded to [`DEDUPE_WINDOW`] entries.
-#[derive(Default)]
+/// An idempotency window: recent `req_id`s mapped to the response each
+/// produced, bounded to a fixed capacity ([`DEDUPE_WINDOW`] by default).
+/// Sessions use one per entry; the server keeps a larger one for `open`
+/// (which has no session to look up yet).
 pub struct DedupeWindow {
     order: VecDeque<String>,
     responses: HashMap<String, Value>,
+    cap: usize,
+}
+
+impl Default for DedupeWindow {
+    fn default() -> Self {
+        Self::with_capacity(DEDUPE_WINDOW)
+    }
 }
 
 impl DedupeWindow {
+    /// A window remembering at most `cap` ids.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { order: VecDeque::new(), responses: HashMap::new(), cap: cap.max(1) }
+    }
+
     /// The cached response for `req_id`, if still in the window.
     pub fn get(&self, req_id: &str) -> Option<&Value> {
         self.responses.get(req_id)
@@ -123,7 +136,7 @@ impl DedupeWindow {
     pub fn put(&mut self, req_id: &str, response: Value) {
         if self.responses.insert(req_id.to_string(), response).is_none() {
             self.order.push_back(req_id.to_string());
-            if self.order.len() > DEDUPE_WINDOW {
+            if self.order.len() > self.cap {
                 if let Some(evicted) = self.order.pop_front() {
                     self.responses.remove(&evicted);
                 }
@@ -163,6 +176,12 @@ pub struct SessionEntry {
     /// Recent `req_id` → response pairs for idempotent retries. Always
     /// maintained (dedupe is a protocol property, not a journal one).
     pub dedupe: Mutex<DedupeWindow>,
+    /// Serializes this session's whole mutation pipeline — dedupe
+    /// check, execution, journal append, dedupe publish — so journal
+    /// frame order always matches execution order and a concurrently
+    /// retried `req_id` can never execute twice. Held *around* `core`,
+    /// never acquired while holding it.
+    order: Mutex<()>,
 }
 
 /// Outcome of [`SessionEntry::enqueue`].
@@ -199,7 +218,15 @@ impl SessionEntry {
             counters: SessionCounters::default(),
             durable: Mutex::new(Durable::default()),
             dedupe: Mutex::new(DedupeWindow::default()),
+            order: Mutex::new(()),
         }
+    }
+
+    /// Lock the mutation-order guard: the holder's execute → journal →
+    /// dedupe-publish sequence is atomic with respect to every other
+    /// mutating request on this session.
+    pub fn lock_order(&self) -> MutexGuard<'_, ()> {
+        lock(&self.order)
     }
 
     /// Mark this entry as rebuilt by crash recovery.

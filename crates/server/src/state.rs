@@ -10,7 +10,7 @@ use crate::protocol::{
     self, defaults, error_response, CacheMode, ErrorKind, OpenOptions, Request, Strategy,
 };
 use crate::registry::Registry;
-use crate::session::{coalesce, DurableOp, Enqueue, SessionEntry};
+use crate::session::{coalesce, DedupeWindow, DurableOp, Enqueue, SessionEntry};
 use pi2_core::prelude::{
     Catalog, Event, ExecLimits, FleetConfig, FleetHandle, GenerationBudget, Pi2, SearchStrategy,
     WidgetValue,
@@ -97,6 +97,17 @@ pub struct ServerState {
     /// replay itself is never re-journaled).
     journal: OnceLock<Arc<Journal>>,
     journal_counters: JournalCounters,
+    /// Server-level `req_id` window for `open` retries: an open carries
+    /// no session id, so its dedupe cannot live on a session entry. The
+    /// lock is held across the whole open when a `req_id` is present,
+    /// making duplicate-open suppression race-free. Reseeded from
+    /// journaled open frames on recovery.
+    open_dedupe: Mutex<DedupeWindow>,
+    /// Sessions a recovery *failed* to rebuild (e.g. a transiently
+    /// unreplayable frame). Their journal frames must survive
+    /// compaction and truncation so a later restart can retry, instead
+    /// of turning a transient replay failure into permanent loss.
+    unrecovered: Mutex<HashSet<u64>>,
 }
 
 impl Default for ServerState {
@@ -125,8 +136,15 @@ impl ServerState {
             counters: ServerCounters::default(),
             journal: OnceLock::new(),
             journal_counters: JournalCounters::default(),
+            open_dedupe: Mutex::new(DedupeWindow::with_capacity(Self::OPEN_DEDUPE_WINDOW)),
+            unrecovered: Mutex::new(HashSet::new()),
         }
     }
+
+    /// Capacity of the server-level `open` dedupe window. Larger than
+    /// the per-session window: every open in the fleet shares it, and a
+    /// retry must still find its id after a burst of unrelated opens.
+    pub const OPEN_DEDUPE_WINDOW: usize = 1024;
 
     /// Fresh state journaling to `config.dir` (creating it if needed),
     /// recovering whatever sessions a previous process left there. This
@@ -247,36 +265,57 @@ impl ServerState {
     }
 
     /// Handle a parsed request carrying an optional client-assigned
-    /// `req_id`. A mutating request whose `req_id` is still in its
-    /// session's dedupe window is answered from the cached response
-    /// (marked `"deduped": true`) without re-executing: delivery is
-    /// at-least-once, the visible effect exactly-once. Successful
-    /// mutations are appended to the journal (when one is attached)
-    /// *after* they execute, so a frame in the log always describes an
-    /// effect the client could have observed.
+    /// `req_id`. A mutating request whose `req_id` was already accepted
+    /// is answered from the cached response (marked `"deduped": true`)
+    /// without re-executing: delivery is at-least-once, the visible
+    /// effect exactly-once. Each session's mutations run under the
+    /// entry's order lock, so the dedupe lookup, the execution, the
+    /// journal append, and the response caching form one atomic step —
+    /// journal replay order always equals live execution order, and a
+    /// concurrently retried `req_id` can never execute twice.
     pub fn handle_request_with(&self, request: Request, req_id: Option<&str>) -> Value {
         if self.draining() && !matches!(request, Request::Stats { .. } | Request::Shutdown) {
             return error_response(ErrorKind::ShuttingDown, "server is draining");
         }
-        let mutating = request.mutating();
-        let target = request.session();
-        if let (Some(rid), Some(session)) = (req_id.filter(|_| mutating), target) {
-            if let Some(entry) = self.registry.get(session) {
-                if let Some(cached) = entry.dedupe_get(rid) {
-                    return cached;
-                }
+        match request {
+            Request::Open { scenario, options } => self.open(&scenario, options, req_id),
+            Request::Close { session } => self.close(session),
+            mutation @ (Request::RunCell { .. }
+            | Request::Generate { .. }
+            | Request::ApplyBinding { .. }
+            | Request::Gesture { .. }) => self.mutate(mutation, req_id),
+            Request::Render { session, version } => self.render(session, version),
+            Request::Stats { session } => self.stats(session),
+            Request::Resume { token } => self.resume(&token),
+            Request::Shutdown => {
+                self.begin_drain();
+                json!({"ok": true, "draining": true})
+            }
+        }
+    }
+
+    /// Execute a session-targeted mutation under the session's order
+    /// lock, serializing it end to end against every other mutation of
+    /// the same session.
+    fn mutate(&self, request: Request, req_id: Option<&str>) -> Value {
+        let Some(session) = request.session() else {
+            return error_response(ErrorKind::BadRequest, "mutation without a session");
+        };
+        let Some(entry) = self.registry.get(session) else { return unknown_session(session) };
+        let _order = entry.lock_order();
+        if let Some(rid) = req_id {
+            if let Some(cached) = entry.dedupe_get(rid) {
+                return cached;
             }
         }
         // Capture the wire form before `request` moves into dispatch; the
         // journal frame is written only if the response comes back ok.
-        let record = if mutating && self.journal.get().is_some() {
+        let record = if self.journal.get().is_some() {
             Some(mutation_record(&request, req_id))
         } else {
             None
         };
         let response = match request {
-            Request::Open { scenario, options } => self.open(&scenario, options),
-            Request::Close { session } => self.close(session),
             Request::RunCell { session, sql } => self.run_cell(session, &sql),
             Request::Generate { session } => self.generate(session),
             Request::ApplyBinding { session, version, widget, value } => {
@@ -285,34 +324,46 @@ impl ServerState {
             Request::Gesture { session, version, events, include_data } => {
                 self.gesture(session, version, events, include_data)
             }
-            Request::Render { session, version } => self.render(session, version),
-            Request::Stats { session } => self.stats(session),
-            Request::Resume { token } => self.resume(&token),
-            Request::Shutdown => {
-                self.begin_drain();
-                json!({"ok": true, "draining": true})
-            }
+            _ => return error_response(ErrorKind::BadRequest, "not a session mutation"),
         };
-        if mutating && response["ok"].as_bool() == Some(true) {
+        if response["ok"].as_bool() == Some(true) {
+            // Cache before journaling: a checkpoint triggered by this
+            // very mutation must snapshot a dedupe window that already
+            // holds its req_id, or the frame (covered by the checkpoint,
+            // so never replayed) would leave a post-crash retry free to
+            // re-apply the mutation.
+            if let Some(rid) = req_id {
+                entry.dedupe_put(rid, response.clone());
+            }
             if let Some(record) = record {
                 if let Some(journal) = self.journal.get().cloned() {
-                    self.after_mutation(&journal, record, &response);
-                }
-            }
-            if let Some(rid) = req_id {
-                // Cache the response for idempotent retries. `close` has
-                // nothing to cache against — the entry (and its window)
-                // is gone, so a retried close reads `unknown_session`.
-                let session = target.or_else(|| response["session"].as_u64());
-                if let Some(entry) = session.and_then(|s| self.registry.get(s)) {
-                    entry.dedupe_put(rid, response.clone());
+                    self.journal_mutation(&journal, &entry, record, &response);
                 }
             }
         }
         response
     }
 
-    fn open(&self, scenario: &str, options: OpenOptions) -> Value {
+    fn open(&self, scenario: &str, options: OpenOptions, req_id: Option<&str>) -> Value {
+        let Some(rid) = req_id else { return self.open_fresh(scenario, options, None) };
+        // Hold the window lock across the whole open: a concurrent or
+        // later retry of the same req_id (TcpClient auto-resends `open`
+        // after a lost ack) reads the cached response instead of
+        // creating a second, orphaned session.
+        let mut window = lock(&self.open_dedupe);
+        if let Some(cached) = window.get(rid) {
+            let mut replay = cached.clone();
+            replay["deduped"] = Value::Bool(true);
+            return replay;
+        }
+        let response = self.open_fresh(scenario, options, Some(rid));
+        if response["ok"].as_bool() == Some(true) {
+            window.put(rid, response.clone());
+        }
+        response
+    }
+
+    fn open_fresh(&self, scenario: &str, options: OpenOptions, req_id: Option<&str>) -> Value {
         let pi2 = match self.build_pi2(scenario, &options) {
             Ok(p) => p,
             Err(e) => return e,
@@ -325,9 +376,22 @@ impl ServerState {
             token.clone(),
             Notebook::with_pi2(pi2),
         ));
+        let response =
+            json!({"ok": true, "session": id, "scenario": scenario, "session_token": token});
+        if let Some(rid) = req_id {
+            entry.dedupe_put(rid, response.clone());
+        }
+        // Journal the open frame *before* publishing the entry, so no
+        // other connection can journal a frame for this session ahead of
+        // the open frame recovery needs to bootstrap it.
+        if let Some(journal) = self.journal.get().cloned() {
+            let record =
+                mutation_record(&Request::Open { scenario: scenario.to_string(), options }, req_id);
+            self.journal_mutation(&journal, &entry, record, &response);
+        }
         self.registry.insert(entry);
         self.counters.opened.fetch_add(1, Ordering::Relaxed);
-        json!({"ok": true, "session": id, "scenario": scenario, "session_token": token})
+        response
     }
 
     /// Build a session's engine from `open` options. Shared by `open` and
@@ -378,13 +442,33 @@ impl ServerState {
     }
 
     fn close(&self, session: u64) -> Value {
-        match self.registry.remove(session) {
-            Some(_) => {
-                self.counters.closed.fetch_add(1, Ordering::Relaxed);
-                json!({"ok": true, "closed": session})
-            }
-            None => unknown_session(session),
+        let Some(entry) = self.registry.get(session) else { return unknown_session(session) };
+        // Take the order lock so an in-flight mutation journals its frame
+        // before the tombstone; a retried close has nothing to dedupe
+        // against (the entry and its window are gone) and reads
+        // `unknown_session`, which is the documented contract.
+        let _order = entry.lock_order();
+        if self.registry.remove(session).is_none() {
+            return unknown_session(session); // lost a close/close race
         }
+        self.counters.closed.fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = self.journal.get() {
+            // Tombstone ordering: the close frame must be durable
+            // *before* the checkpoint disappears, otherwise a crash in
+            // between resurrects the closed session on recovery.
+            match journal.append(session, None, &json!({"cmd": "close", "session": session})) {
+                Ok(_) => {
+                    if let Err(e) = journal.sync() {
+                        self.journal_warn(format!("tombstone fsync for session {session}: {e}"));
+                    }
+                    if let Err(e) = journal.remove_checkpoint(session) {
+                        self.journal_warn(format!("checkpoint removal for session {session}: {e}"));
+                    }
+                }
+                Err(e) => self.journal_warn(format!("tombstone append for session {session}: {e}")),
+            }
+        }
+        json!({"ok": true, "closed": session})
     }
 
     /// Reattach to a live (or crash-recovered) session by its token.
@@ -708,32 +792,17 @@ impl ServerState {
 
     /// Record one successful mutation in the journal: append its frame,
     /// fold it into the session's durable replay state, and checkpoint /
-    /// compact when cadence or size thresholds say so.
-    fn after_mutation(&self, journal: &Arc<Journal>, mut record: MutationRecord, response: &Value) {
-        if matches!(record.kind, MutationKind::Close) {
-            let session = record.req["session"].as_u64().unwrap_or(0);
-            // Tombstone ordering: the close frame must be durable
-            // *before* the checkpoint disappears, otherwise a crash in
-            // between resurrects the closed session on recovery.
-            match journal.append(session, None, &record.req) {
-                Ok(_) => {
-                    if let Err(e) = journal.sync() {
-                        self.journal_warn(format!("tombstone fsync for session {session}: {e}"));
-                    }
-                    if let Err(e) = journal.remove_checkpoint(session) {
-                        self.journal_warn(format!("checkpoint removal for session {session}: {e}"));
-                    }
-                }
-                Err(e) => self.journal_warn(format!("tombstone append for session {session}: {e}")),
-            }
-            return;
-        }
-        let session = match record.kind {
-            MutationKind::Open => response["session"].as_u64(),
-            _ => record.req["session"].as_u64(),
-        };
-        let Some(session) = session else { return };
-        let Some(entry) = self.registry.get(session) else { return };
+    /// compact when cadence or size thresholds say so. The caller holds
+    /// the session's order lock (or, for `open`, the entry is not yet
+    /// published), so frames always append in execution order.
+    fn journal_mutation(
+        &self,
+        journal: &Arc<Journal>,
+        entry: &SessionEntry,
+        mut record: MutationRecord,
+        response: &Value,
+    ) {
+        let session = entry.id;
         let token = response["session_token"].as_str().map(str::to_string);
         if matches!(record.kind, MutationKind::Applied) {
             // Pin the version the server resolved: a replayed `latest`
@@ -771,11 +840,10 @@ impl ServerState {
                 merged.extend(pairs);
                 durable.applied = coalesce(merged);
             }
-            MutationKind::Close => unreachable!("close handled above"),
         }
         durable.mutations_since_ckpt += 1;
         if durable.mutations_since_ckpt >= journal.config().checkpoint_every {
-            self.checkpoint_locked(journal, &entry, &mut durable, lsn);
+            self.checkpoint_locked(journal, entry, &mut durable, lsn);
         }
         drop(durable);
         if journal.wants_compaction() {
@@ -811,9 +879,15 @@ impl ServerState {
         self.registry.for_each(|e| {
             keep.insert(e.id, e.lock_durable().last_ckpt_lsn);
         });
-        if let Err(e) = journal
-            .compact(&|session, lsn| keep.get(&session).is_some_and(|&covered| lsn > covered))
-        {
+        let unrecovered = lock(&self.unrecovered).clone();
+        if let Err(e) = journal.compact(&|session, lsn| match keep.get(&session) {
+            Some(&covered) => lsn > covered,
+            // Not in the registry: frames of sessions a recovery failed
+            // to rebuild are their only surviving state — keep them so a
+            // later restart can retry; everything else (closed or
+            // unknown) is dropped.
+            None => unrecovered.contains(&session),
+        }) {
             self.journal_warn(format!("compaction: {e}"));
         }
     }
@@ -842,6 +916,16 @@ impl ServerState {
             }
         }
         if !all_ok {
+            return;
+        }
+        if !lock(&self.unrecovered).is_empty() {
+            // Sessions the last recovery failed to rebuild live only in
+            // journal frames; truncating (or letting a clean marker skip
+            // tail replay) would erase them for good. Leave the journal
+            // for the next recovery to retry.
+            self.journal_warn(
+                "clean close kept the journal: unrecovered sessions live only in its frames",
+            );
             return;
         }
         if let Err(e) = journal.truncate() {
@@ -965,6 +1049,7 @@ impl ServerState {
         let mut results = results.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
         results.sort_by_key(|(id, _)| *id);
         let mut max_id = 0u64;
+        let mut failed: HashSet<u64> = HashSet::new();
         for (id, rebuilt) in results {
             max_id = max_id.max(id);
             match rebuilt {
@@ -973,9 +1058,27 @@ impl ServerState {
                     report.frames_replayed += rebuilt.frames_replayed;
                     report.frames_skipped += rebuilt.frames_skipped;
                     report.warnings.extend(rebuilt.warnings);
+                    // Reseed the server-level open window: a client whose
+                    // open ack died with the old process retries the same
+                    // req_id and must reattach to this session, not open
+                    // a second one.
+                    if let Some(rid) = rebuilt.entry.lock_durable().open_req["req_id"].as_str() {
+                        lock(&state.open_dedupe).put(
+                            rid,
+                            json!({
+                                "ok": true,
+                                "session": rebuilt.entry.id,
+                                "scenario": rebuilt.entry.scenario.clone(),
+                                "session_token": rebuilt.entry.token.clone(),
+                            }),
+                        );
+                    }
                     state.registry.insert(rebuilt.entry);
                 }
-                Err(e) => report.warnings.push(format!("session {id} not recovered: {e}")),
+                Err(e) => {
+                    failed.insert(id);
+                    report.warnings.push(format!("session {id} not recovered: {e}"));
+                }
             }
         }
         state.registry.bump_next_id(max_id + 1);
@@ -1012,12 +1115,22 @@ impl ServerState {
                     }
                 }
             }
-            if all_ok {
+            if all_ok && failed.is_empty() {
                 if let Err(e) = journal.truncate() {
                     report.warnings.push(format!("post-recovery truncate: {e}"));
                 }
+            } else if !failed.is_empty() {
+                // The failed sessions exist only as journal frames;
+                // truncating would turn a possibly transient replay
+                // failure into unrecoverable loss. Keep the tail so the
+                // next restart can retry them.
+                report.warnings.push(format!(
+                    "journal retained: {} session(s) failed to rebuild and live only in its frames",
+                    failed.len()
+                ));
             }
         }
+        *lock(&state.unrecovered) = failed;
         let _ = state.journal.set(journal);
         let c = &state.journal_counters;
         c.sessions_recovered.store(report.sessions_recovered, Ordering::Relaxed);
@@ -1183,7 +1296,6 @@ impl SessionEntry {
 /// session's replay state without re-classifying the JSON.
 enum MutationKind {
     Open,
-    Close,
     Cell(String),
     Generate,
     /// `gesture` / `apply_binding`: the journaled frame carries the
@@ -1201,11 +1313,11 @@ struct MutationRecord {
 /// request-local coalescing — replay dispatches the same merged stream
 /// the live queue would have produced for this request — and the
 /// client's `req_id`, if any, rides along inside the frame so recovery
-/// can skip duplicate-delivery frames.
+/// can skip duplicate-delivery frames. `close` never comes through here:
+/// its tombstone frame is appended directly by [`ServerState::close`].
 fn mutation_record(request: &Request, req_id: Option<&str>) -> MutationRecord {
     let kind = match request {
         Request::Open { .. } => MutationKind::Open,
-        Request::Close { .. } => MutationKind::Close,
         Request::RunCell { sql, .. } => MutationKind::Cell(sql.clone()),
         Request::Generate { .. } => MutationKind::Generate,
         _ => MutationKind::Applied,

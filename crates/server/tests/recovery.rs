@@ -198,6 +198,201 @@ fn checkpoint_newer_than_every_tail_frame_replays_nothing() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Review regression: with `checkpoint_every(1)` every mutation triggers
+/// a checkpoint, so each checkpoint must snapshot a dedupe window that
+/// already contains the req_id of the very mutation that triggered it.
+/// If it doesn't, that frame is skipped at replay (lsn <= covered) AND
+/// its id is missing from the rebuilt window — a post-crash retry then
+/// applies the mutation a second time.
+#[test]
+fn checkpoint_boundary_req_id_survives_the_crash() {
+    let dir = temp_dir("ckptrid");
+    let (client, _) = journaled(&dir, 1);
+    let (session, token, before) = drive_toy(&client);
+    drop(client); // crash
+
+    let (client, report) = journaled(&dir, 1);
+    assert_eq!(report.sessions_recovered, 1, "{report:?}");
+    ok(&client, json!({"cmd": "resume", "token": token}));
+    // The client never saw the ack for its last cell; it retries under
+    // the original req_id. The effect must already be present.
+    let retried = ok(
+        &client,
+        json!({
+            "cmd": "run_cell", "session": session, "req_id": "r-cell-1",
+            "sql": "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+        }),
+    );
+    assert_eq!(retried["deduped"].as_bool(), Some(true), "retry must not re-execute: {retried}");
+    let gestured = ok(
+        &client,
+        json!({
+            "cmd": "gesture", "session": session, "req_id": "r-gesture",
+            "events": [{"type": "set_widget", "widget": 0, "value": {"scalar": 2.0}}],
+        }),
+    );
+    assert_eq!(gestured["deduped"].as_bool(), Some(true), "{gestured}");
+    assert_eq!(render(&client, session), before, "retries must leave state untouched");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Review regression: `open` carries no session id, so its dedupe lives
+/// in a server-level window. A retried open (TcpClient resends it after
+/// a lost ack) must reattach to the session it already created, not
+/// leak a second, orphaned one.
+#[test]
+fn retried_open_reuses_the_session_instead_of_leaking_one() {
+    let client = LocalClient::standalone();
+    let first = ok(&client, json!({"cmd": "open", "scenario": "toy", "req_id": "open-A"}));
+    let second = ok(&client, json!({"cmd": "open", "scenario": "toy", "req_id": "open-A"}));
+    assert_eq!(second["session"], first["session"], "{second}");
+    assert_eq!(second["session_token"], first["session_token"]);
+    assert_eq!(second["deduped"].as_bool(), Some(true), "{second}");
+    assert_eq!(client.state().registry().len(), 1, "no orphan session");
+    // A different id still opens a fresh session.
+    let third = ok(&client, json!({"cmd": "open", "scenario": "toy", "req_id": "open-B"}));
+    assert_ne!(third["session"], first["session"]);
+    assert_eq!(client.state().registry().len(), 2);
+}
+
+/// The open dedupe window is reseeded from journaled open frames, so an
+/// open retry that straddles a crash still reattaches.
+#[test]
+fn retried_open_dedupes_across_the_crash() {
+    let dir = temp_dir("openrid");
+    let (client, _) = journaled(&dir, 3);
+    let (session, token, _) = drive_toy(&client); // opens with req_id "r-open"
+    drop(client); // crash before the (hypothetical) open ack arrived
+
+    let (client, report) = journaled(&dir, 3);
+    assert_eq!(report.sessions_recovered, 1, "{report:?}");
+    let retried = ok(&client, json!({"cmd": "open", "scenario": "toy", "req_id": "r-open"}));
+    assert_eq!(retried["session"].as_u64(), Some(session), "{retried}");
+    assert_eq!(retried["session_token"].as_str(), Some(token.as_str()));
+    assert_eq!(retried["deduped"].as_bool(), Some(true), "{retried}");
+    assert_eq!(client.state().registry().len(), 1, "retry must not open a second session");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Review regression: a session whose rebuild fails must keep its
+/// journal frames through the post-recovery truncate — a transient
+/// replay failure must not become permanent loss.
+#[test]
+fn failed_rebuild_keeps_its_journal_frames() {
+    let dir = temp_dir("failkeep");
+    let (client, _) = journaled(&dir, 1000);
+    let (_session, token, before) = drive_toy(&client);
+    // A frame tail for a session that cannot be rebuilt (its scenario
+    // does not exist — standing in for any transient replay failure).
+    let journal = client.state().journal().expect("journal").clone();
+    journal.append(77, Some("tok-broken"), &json!({"cmd": "open", "scenario": "nope"})).unwrap();
+    journal
+        .append(77, None, &json!({"cmd": "run_cell", "session": 77, "sql": "SELECT 1"}))
+        .unwrap();
+    drop(client); // crash
+
+    let (client, report) = journaled(&dir, 1000);
+    assert_eq!(report.sessions_recovered, 1, "{report:?}");
+    assert!(report.warnings.iter().any(|w| w.contains("session 77 not recovered")), "{report:?}");
+    assert!(report.warnings.iter().any(|w| w.contains("journal retained")), "{report:?}");
+    let (frames, _) = pi2_server::journal::scan(&dir).expect("scan");
+    assert!(
+        frames.iter().any(|f| f.session == 77),
+        "session 77's frames must survive the post-recovery truncate"
+    );
+    // The healthy session is unaffected, and a second crash+recovery
+    // still sees (and still preserves) the failed session's frames.
+    let resumed = ok(&client, json!({"cmd": "resume", "token": token}));
+    let session = resumed["session"].as_u64().unwrap();
+    assert_eq!(render(&client, session), before);
+    drop(client);
+    let (_, report) = journaled(&dir, 1000);
+    assert_eq!(report.sessions_recovered, 1);
+    let (frames, _) = pi2_server::journal::scan(&dir).expect("scan");
+    assert!(frames.iter().any(|f| f.session == 77), "frames survive repeated recoveries");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Review regression: mutations execute and journal under one
+/// per-session order lock, so concurrent connections can never journal
+/// frames in a different order than they executed — recovery replays
+/// byte-identically even for racy histories.
+#[test]
+fn concurrent_mutations_journal_in_execution_order() {
+    let dir = temp_dir("order");
+    let (client, _) = journaled(&dir, 1000);
+    let opened = ok(&client, json!({"cmd": "open", "scenario": "toy"}));
+    let session = opened["session"].as_u64().unwrap();
+    let token = opened["session_token"].as_str().unwrap().to_string();
+    std::thread::scope(|scope| {
+        for a in [1i64, 2] {
+            let client = client.clone();
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    ok(
+                        &client,
+                        json!({
+                            "cmd": "run_cell", "session": session,
+                            "sql": format!("SELECT p, count(*) FROM t WHERE a = {a} GROUP BY p"),
+                        }),
+                    );
+                }
+            });
+        }
+    });
+    ok(&client, json!({"cmd": "generate", "session": session}));
+    let before = render(&client, session);
+    drop(client); // crash
+
+    let (client, report) = journaled(&dir, 1000);
+    assert_eq!(report.sessions_recovered, 1, "{report:?}");
+    ok(&client, json!({"cmd": "resume", "token": token}));
+    assert_eq!(render(&client, session), before, "replay must match the live execution order");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Review regression: two in-flight requests carrying the same req_id
+/// must produce exactly one effect — the order lock makes the dedupe
+/// check-then-act atomic with execution.
+#[test]
+fn concurrent_same_req_id_executes_once() {
+    let client = LocalClient::standalone();
+    let opened = ok(&client, json!({"cmd": "open", "scenario": "toy"}));
+    let session = opened["session"].as_u64().unwrap();
+    let request = json!({
+        "cmd": "run_cell", "session": session, "req_id": "dup-1",
+        "sql": "SELECT p, count(*) FROM t WHERE a = 1 GROUP BY p",
+    });
+    let responses: Vec<Value> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let client = client.clone();
+                let request = request.clone();
+                scope.spawn(move || client.request(request))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+    });
+    for r in &responses {
+        assert_eq!(r["ok"].as_bool(), Some(true), "{r}");
+    }
+    assert_eq!(responses[0]["cell"], responses[1]["cell"], "one effect, one cell index");
+    assert_eq!(
+        responses.iter().filter(|r| r["deduped"].as_bool() == Some(true)).count(),
+        1,
+        "exactly one of the pair is a replay: {responses:?}"
+    );
+    // The next cell lands at index 1: only one cell was ever added.
+    let next = ok(
+        &client,
+        json!({
+            "cmd": "run_cell", "session": session, "req_id": "dup-2",
+            "sql": "SELECT p, count(*) FROM t WHERE a = 2 GROUP BY p",
+        }),
+    );
+    assert_eq!(next["cell"].as_u64(), Some(1), "{next}");
+}
+
 #[test]
 fn recovered_sessions_stay_fully_operable() {
     let dir = temp_dir("operable");

@@ -33,7 +33,12 @@ PI2_SOAK_SESSIONS=1000 cargo test -q --release -p pi2-server --test soak
 
 echo "== benchmark artifacts (regen + schema check) =="
 cargo run -q --release -p pi2-bench --bin regen_latency > /dev/null
-cargo run -q --release -p pi2-bench --bin regen_interaction > /dev/null
+# The interaction regen includes the latency-vs-data-size sweep at a
+# reduced 1M-row top size by default; set PI2_BENCH_SCALE=10000000 for
+# the full 10M-row run. bench_check enforces the sweep's sub-linearity
+# gate (top-size warm pan p50 <= 10x the mid-size p50).
+PI2_BENCH_SCALE="${PI2_BENCH_SCALE:-1000000}" \
+    cargo run -q --release -p pi2-bench --bin regen_interaction > /dev/null
 cargo run -q --release -p pi2-bench --bin regen_server > /dev/null
 cargo run -q --release -p pi2-bench --bin regen_fleet > /dev/null
 # The load storm sustains >= 1k live sessions over the reactor;

@@ -89,6 +89,56 @@ fn check_interaction(path: &Path) -> Result<(), String> {
     if v.get("session_stats").and_then(Value::as_object).is_none() {
         return Err(format!("{ctx}: missing `session_stats` object"));
     }
+    let sweep = v
+        .get("size_sweep")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing `size_sweep` array"))?;
+    if sweep.len() < 3 {
+        return Err(format!("{ctx}: `size_sweep` needs at least 3 sizes, has {}", sweep.len()));
+    }
+    for (i, point) in sweep.iter().enumerate() {
+        let ctx = format!("{ctx} size_sweep[{i}]");
+        for key in [
+            "rows",
+            "catalog_build_ms",
+            "columnar_build_ms",
+            "warm_pan_p50_us",
+            "delta_pan_p50_us",
+            "cold_pan_p50_us",
+            "blocks_scanned",
+            "blocks_pruned",
+            "delta_hits",
+            "delta_seeds",
+        ] {
+            expect_number(point, key, &ctx)?;
+        }
+        if point["delta_hits"].as_i64() == Some(0) {
+            return Err(format!("{ctx}: no pans were answered by delta recomputation"));
+        }
+        // Tables under a few storage blocks have nothing to prune; only
+        // multi-block sizes must show zone maps earning their keep.
+        if point["rows"].as_i64().unwrap_or(0) >= 10_000
+            && point["blocks_pruned"].as_i64() == Some(0)
+        {
+            return Err(format!("{ctx}: zone maps pruned nothing"));
+        }
+    }
+    let scaling = v.get("scaling").ok_or_else(|| format!("{ctx}: missing `scaling` object"))?;
+    let gctx = format!("{ctx} scaling");
+    expect_number(scaling, "warm_p50_ratio_top_vs_mid", &gctx)?;
+    expect_bool(scaling, "warm_ratio_target_met", &gctx)?;
+    if scaling.get("sizes").and_then(Value::as_array).is_none() {
+        return Err(format!("{gctx}: missing `sizes` array"));
+    }
+    // The sub-linearity gate: warm-gesture latency must not scale with
+    // data size (10x more rows must cost well under 10x the p50).
+    if scaling["warm_ratio_target_met"].as_bool() != Some(true) {
+        return Err(format!(
+            "{gctx}: `warm_ratio_target_met` is false — warm dispatch latency grew \
+             with data size (ratio {})",
+            scaling["warm_p50_ratio_top_vs_mid"]
+        ));
+    }
     let summary = v.get("summary").ok_or_else(|| format!("{ctx}: missing `summary` object"))?;
     let sctx = format!("{ctx} summary");
     expect_number(summary, "sdss_warm_speedup_vs_reference", &sctx)?;

@@ -6,7 +6,7 @@ use pi2_core::{
     SearchStrategy, WidgetState,
 };
 use pi2_difftree::{default_bindings, expresses, lower_query, Bindings, Domain, NodeKind};
-use pi2_engine::Catalog;
+use pi2_engine::{Catalog, DeltaCache};
 use pi2_interface::{Target, VizInteraction, WidgetKind};
 use pi2_mcts::MctsConfig;
 use pi2_sql::{normalize, Query};
@@ -157,10 +157,34 @@ fn check_widget_states(session: &InterfaceSession) -> Result<(), String> {
 /// limit are skipped: wall-clock timeouts are nondeterministic across
 /// executors.
 fn columnar_parity(catalog: &Catalog, q: &Query) -> Result<(), String> {
-    use pi2_engine::EngineError;
-    let exhausted = |e: &EngineError| matches!(e, EngineError::ResourceExhausted(_));
     let fast = catalog.execute_uncached(q);
     let reference = catalog.execute_reference(q);
+    compare_against_reference(q, "columnar", fast, reference)
+}
+
+/// Differential oracle for the incremental (delta) path: whenever
+/// [`Catalog::execute_delta`] applies, its result must be byte-identical
+/// to the reference interpreter. The mask cache persists across the whole
+/// event walk — exactly how a live session holds it — so later gestures
+/// exercise the incremental (dirty-block) path, not just seeding.
+fn delta_parity(catalog: &Catalog, q: &Query, cache: &mut DeltaCache) -> Result<(), String> {
+    let Some((delta, _outcome)) = catalog.execute_delta(q, cache) else {
+        return Ok(()); // outside the delta fragment; full execution covers it
+    };
+    let reference = catalog.execute_reference(q);
+    compare_against_reference(q, "delta", delta, reference)
+}
+
+/// Byte-identical comparison of an optimized executor's outcome against the
+/// reference interpreter's, skipping nondeterministic resource-limit trips.
+fn compare_against_reference(
+    q: &Query,
+    what: &str,
+    fast: Result<pi2_engine::ResultSet, pi2_engine::EngineError>,
+    reference: Result<pi2_engine::ResultSet, pi2_engine::EngineError>,
+) -> Result<(), String> {
+    use pi2_engine::EngineError;
+    let exhausted = |e: &EngineError| matches!(e, EngineError::ResourceExhausted(_));
     if fast.as_ref().err().is_some_and(exhausted) || reference.as_ref().err().is_some_and(exhausted)
     {
         return Ok(());
@@ -169,13 +193,13 @@ fn columnar_parity(catalog: &Catalog, q: &Query) -> Result<(), String> {
         (Ok(f), Ok(r)) => {
             if f.schema != r.schema {
                 return Err(format!(
-                    "`{q}`: columnar schema {:?} != reference schema {:?}",
+                    "`{q}`: {what} schema {:?} != reference schema {:?}",
                     f.schema, r.schema
                 ));
             }
             if f.rows != r.rows {
                 return Err(format!(
-                    "`{q}`: columnar rows differ from reference ({} vs {} rows)",
+                    "`{q}`: {what} rows differ from reference ({} vs {} rows)",
                     f.rows.len(),
                     r.rows.len()
                 ));
@@ -184,12 +208,12 @@ fn columnar_parity(catalog: &Catalog, q: &Query) -> Result<(), String> {
         }
         (Err(f), Err(r)) => {
             if f.to_string() != r.to_string() {
-                return Err(format!("`{q}`: columnar error `{f}` != reference error `{r}`"));
+                return Err(format!("`{q}`: {what} error `{f}` != reference error `{r}`"));
             }
             Ok(())
         }
         (f, r) => Err(format!(
-            "`{q}`: columnar {} but reference {}",
+            "`{q}`: {what} {} but reference {}",
             if f.is_ok() { "succeeds" } else { "fails" },
             if r.is_ok() { "succeeds" } else { "fails" },
         )),
@@ -280,7 +304,9 @@ pub fn check(
         }
     }
 
-    // 3. Chart queries parse/print round-trip and execute.
+    // 3. Chart queries parse/print round-trip and execute. The delta-mask
+    // cache persists from here through the event walk, session-style.
+    let mut delta_cache = DeltaCache::new();
     let session = g.session(catalog);
     for c in &g.interface.charts {
         let q = session
@@ -291,6 +317,8 @@ pub fn check(
             .execute(&q)
             .map_err(|e| Failure::new("chart-query", format!("`{q}` fails to execute: {e}")))?;
         columnar_parity(catalog, &q).map_err(|m| Failure::new("columnar-parity", m))?;
+        delta_parity(catalog, &q, &mut delta_cache)
+            .map_err(|m| Failure::new("columnar-parity", m))?;
     }
 
     // 4. Widget states are consistent out of the box.
@@ -330,6 +358,8 @@ pub fn check(
                 .execute(&u.query)
                 .map_err(|e| fail("event-query", format!("`{}` fails to execute: {e}", u.query)))?;
             columnar_parity(catalog, &u.query).map_err(|m| fail("columnar-parity", m))?;
+            delta_parity(catalog, &u.query, &mut delta_cache)
+                .map_err(|m| fail("columnar-parity", m))?;
         }
         check_widget_states(&session).map_err(|m| fail("widget-state", m))?;
     }

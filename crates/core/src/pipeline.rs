@@ -331,16 +331,6 @@ impl Pi2 {
         &self.catalog
     }
 
-    /// The cost memo shared across this generator's runs.
-    #[deprecated(
-        since = "0.6.0",
-        note = "attach a `FleetHandle` with `Pi2Builder::fleet` and read `FleetHandle::memo` \
-                instead; ad-hoc per-`Pi2` memo wiring is superseded by the shared fleet state"
-    )]
-    pub fn memo(&self) -> &Arc<CostMemo> {
-        &self.memo
-    }
-
     /// The attached fleet handle, if any.
     pub fn fleet(&self) -> Option<&FleetHandle> {
         self.fleet.as_ref()

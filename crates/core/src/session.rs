@@ -9,7 +9,7 @@
 //! feedback"* — is exercised headlessly through [`InterfaceSession::dispatch`].
 
 use pi2_difftree::{Binding, Bindings, DiffForest, Domain, NodeKind};
-use pi2_engine::{Catalog, ResultSet};
+use pi2_engine::{Catalog, DeltaCache, DeltaOutcome, ResultSet};
 use pi2_interface::{ChartId, Interface, Target, VizInteraction, WidgetId, WidgetKind};
 use pi2_sql::{Date, Literal, Query};
 use pi2_telemetry::LatencyHistogram;
@@ -157,8 +157,9 @@ pub struct ChartUpdate {
     /// The SQL the chart now shows (also displayed in the demo's query
     /// panel).
     pub query: Query,
-    /// Result.
-    pub result: ResultSet,
+    /// Result, shared with the session's result cache so a warm dispatch
+    /// hands back the cached rows without copying them.
+    pub result: Arc<ResultSet>,
 }
 
 /// How a session executes chart queries (see
@@ -193,6 +194,13 @@ pub struct SessionStats {
     pub query_memo_hits: u64,
     /// Instantiated-query memo misses (query lowered from the tree).
     pub query_memo_misses: u64,
+    /// Cache misses satisfied by incremental (delta) recomputation: only
+    /// the blocks a bound shift could affect were re-evaluated
+    /// ([`ExecMode::Cached`] only).
+    pub delta_hits: u64,
+    /// Cache misses that seeded the delta cache with a full mask
+    /// ([`ExecMode::Cached`] only).
+    pub delta_seeds: u64,
     /// Chart updates returned across all dispatches.
     pub charts_updated: u64,
     /// Charts skipped because their tree's bindings did not change.
@@ -210,12 +218,15 @@ impl SessionStats {
         format!(
             "{{\"dispatches\":{},\"cache_hits\":{},\"cache_misses\":{},\
              \"query_memo_hits\":{},\"query_memo_misses\":{},\
+             \"delta_hits\":{},\"delta_seeds\":{},\
              \"charts_updated\":{},\"charts_skipped\":{},\"latency\":{{{}}}}}",
             self.dispatches,
             self.cache_hits,
             self.cache_misses,
             self.query_memo_hits,
             self.query_memo_misses,
+            self.delta_hits,
+            self.delta_seeds,
             self.charts_updated,
             self.charts_skipped,
             latency.join(",")
@@ -267,6 +278,10 @@ struct SessionState {
     /// binding state. Cleared wholesale past [`Self::QUERY_MEMO_CAP`].
     query_memo: HashMap<(usize, u64), Query>,
     result_cache: ResultCache,
+    /// Selection masks from previous dispatches, keyed by query template:
+    /// lets a pan/zoom/brush that only shifts range bounds re-evaluate
+    /// only the affected zone-map blocks (see [`pi2_engine::DeltaCache`]).
+    delta_cache: DeltaCache,
     stats: SessionStats,
 }
 
@@ -539,24 +554,45 @@ impl InterfaceSession {
     /// *normalized* query, so binding states that lower to semantically
     /// identical SQL (modulo normalization) share an entry. Errors are
     /// never cached.
-    fn execute_for_session(&self, query: &Query) -> Result<ResultSet, SessionError> {
+    fn execute_for_session(&self, query: &Query) -> Result<Arc<ResultSet>, SessionError> {
         let internal = |e: pi2_engine::EngineError| SessionError::Internal(e.to_string());
         match self.mode {
-            ExecMode::ReferenceUncached => self.catalog.execute_reference(query).map_err(internal),
-            ExecMode::ColumnarUncached => self.catalog.execute_uncached(query).map_err(internal),
+            ExecMode::ReferenceUncached => {
+                self.catalog.execute_reference(query).map(Arc::new).map_err(internal)
+            }
+            ExecMode::ColumnarUncached => {
+                self.catalog.execute_uncached(query).map(Arc::new).map_err(internal)
+            }
             ExecMode::Cached => {
                 let key = pi2_sql::normalize::normalized(query).structural_hash();
                 {
                     let mut st = self.state.borrow_mut();
                     if let Some(hit) = st.result_cache.get(key) {
                         st.stats.cache_hits += 1;
-                        return Ok((*hit).clone());
+                        return Ok(hit);
                     }
                     st.stats.cache_misses += 1;
                 }
-                let result = Arc::new(self.catalog.execute_uncached(query).map_err(internal)?);
+                // On a miss, try incremental recomputation first: a gesture
+                // that only shifted range bounds re-evaluates just the
+                // affected blocks of the previous dispatch's mask.
+                let delta = {
+                    let mut st = self.state.borrow_mut();
+                    let SessionState { delta_cache, stats, .. } = &mut *st;
+                    let attempt = self.catalog.execute_delta(query, delta_cache);
+                    match &attempt {
+                        Some((_, DeltaOutcome::Incremental { .. })) => stats.delta_hits += 1,
+                        Some((_, DeltaOutcome::Seeded)) => stats.delta_seeds += 1,
+                        None => {}
+                    }
+                    attempt
+                };
+                let result = match delta {
+                    Some((res, _)) => Arc::new(res.map_err(internal)?),
+                    None => Arc::new(self.catalog.execute_uncached(query).map_err(internal)?),
+                };
                 self.state.borrow_mut().result_cache.insert(key, Arc::clone(&result));
-                Ok((*result).clone())
+                Ok(result)
             }
         }
     }

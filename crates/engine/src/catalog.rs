@@ -1,10 +1,11 @@
 //! The table catalog: the engine's entry point.
 
 use crate::columnar::ColumnarTable;
+use crate::delta::{DeltaCache, DeltaOutcome};
 use crate::error::{EngineError, Result};
 use crate::eval::ExecCtx;
 use crate::result::ResultSet;
-use crate::stats::ColumnStats;
+use crate::stats::{ColumnStats, ScanStats};
 use crate::table::Table;
 use parking_lot::Mutex;
 use pi2_sql::Query;
@@ -69,6 +70,8 @@ pub struct Catalog {
     limits: ExecLimits,
     /// Fast-path vs fallback execution tally, shared across clones.
     exec_counts: Arc<ExecCounts>,
+    /// Zone-map pruning tallies, shared across clones.
+    scan_stats: Arc<ScanStats>,
 }
 
 /// How many fresh (non-cached) executions took each path.
@@ -203,6 +206,45 @@ impl Catalog {
         )
     }
 
+    /// Execute incrementally when only range-predicate bounds shifted since
+    /// a previous dispatch of the same query template (see
+    /// [`crate::delta`]). `None` means the query is outside the delta
+    /// fragment and the caller should fall back to
+    /// [`execute_uncached`](Self::execute_uncached); `Some` carries a
+    /// result byte-identical to full execution plus how it was obtained.
+    pub fn execute_delta(
+        &self,
+        query: &Query,
+        cache: &mut DeltaCache,
+    ) -> Option<(Result<ResultSet>, DeltaOutcome)> {
+        #[cfg(feature = "faults")]
+        if pi2_faults::exec_overrun() {
+            return Some((
+                Err(EngineError::ResourceExhausted("injected execution overrun".into())),
+                DeltaOutcome::Seeded,
+            ));
+        }
+        crate::delta::execute(self, query, cache)
+    }
+
+    /// Zone-map block counters: `(blocks_scanned, blocks_pruned)` across
+    /// every typed predicate loop run against this catalog (shared across
+    /// clones).
+    pub fn scan_counts(&self) -> (u64, u64) {
+        (self.scan_stats.blocks_scanned(), self.scan_stats.blocks_pruned())
+    }
+
+    /// The shared scan counters (for the columnar executor).
+    pub(crate) fn scan_stats(&self) -> Arc<ScanStats> {
+        Arc::clone(&self.scan_stats)
+    }
+
+    /// Total wall-clock nanoseconds spent building the columnar mirrors
+    /// currently registered in this catalog.
+    pub fn columnar_build_nanos(&self) -> u64 {
+        self.columnar.values().map(|c| c.build_nanos()).sum()
+    }
+
     /// Parse and execute SQL text.
     pub fn execute_sql(&self, sql: &str) -> Result<ResultSet> {
         let q = pi2_sql::parse_query(sql)
@@ -210,8 +252,16 @@ impl Catalog {
         self.execute(&q)
     }
 
-    /// Statistics for `table.column`, if both exist.
+    /// Statistics for `table.column`, if both exist. Served from the
+    /// columnar mirror's lazily computed per-column cache (typed sort /
+    /// dictionary read) instead of re-walking row storage per call; the
+    /// row-store fallback only covers tables without a mirror.
     pub fn column_stats(&self, table: &str, column: &str) -> Option<ColumnStats> {
+        if let Some(columnar) = self.columnar(table) {
+            if let Some(idx) = columnar.column_index(column) {
+                return Some(columnar.column_stats(idx).clone());
+            }
+        }
         self.get(table)?.column_stats(column)
     }
 

@@ -1,0 +1,380 @@
+//! Incremental recomputation of shifted range predicates.
+//!
+//! Interactive gestures — pan, zoom, brush — re-dispatch the *same* query
+//! with only the bounds of one or more `BETWEEN` conjuncts moved. Instead
+//! of rescanning all N rows, this module caches the previous dispatch's
+//! selection mask per query *template* (the query with its shiftable
+//! bounds erased) and, on the next dispatch, re-evaluates only the zone-map
+//! blocks whose value range intersects the bounds' movement: a row's
+//! membership can only change if its value lies between an old and new
+//! bound, so blocks outside those hull intervals keep their previous bits
+//! verbatim.
+//!
+//! The path is deliberately conservative. It applies only when the WHERE
+//! clause is an AND-tree whose every conjunct takes a typed loop that
+//! cannot fail (column-vs-constant comparisons with matching types, typed
+//! `BETWEEN`, `IS NULL` on a column) and at least one conjunct is a
+//! shiftable range. Anything else returns `None` and the caller falls back
+//! to full execution — so the delta path can never produce an error or a
+//! row set that full execution would not. Debug builds additionally
+//! recompute the full mask and assert bit-for-bit agreement, which the
+//! conformance corpus replays continuously; release parity is covered by
+//! the `columnar-parity` oracle's delta arm.
+
+use crate::catalog::Catalog;
+use crate::columnar::{block_count, block_range, BitMask, ColumnData};
+use crate::error::Result;
+use crate::exec_columnar::{prepare, Prepared};
+use crate::result::ResultSet;
+use crate::value::Value;
+use pi2_sql::{BinaryOp, Expr, Literal, Query};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Upper bound on cached templates per [`DeltaCache`]; cleared wholesale
+/// when full (a session interacts with a handful of chart queries at a
+/// time, so 32 templates is generous).
+const CACHE_CAP: usize = 32;
+
+/// Per-session cache of selection masks keyed by query template, enabling
+/// [`Catalog::execute_delta`] to recompute only the blocks a gesture's
+/// bound shift can affect.
+#[derive(Debug, Default)]
+pub struct DeltaCache {
+    entries: HashMap<u64, Entry>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// Catalog version the mask was computed against.
+    version: u64,
+    /// The shiftable conjuncts' bounds at the time of the last dispatch,
+    /// in WHERE-traversal order.
+    bounds: Vec<(f64, f64)>,
+    /// The full selection mask of the last dispatch.
+    mask: BitMask,
+}
+
+impl DeltaCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached query templates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no templates are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn insert(&mut self, key: u64, entry: Entry) {
+        if self.entries.len() >= CACHE_CAP && !self.entries.contains_key(&key) {
+            self.entries.clear();
+        }
+        self.entries.insert(key, entry);
+    }
+}
+
+/// How a delta execution was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOutcome {
+    /// No cached mask for this template yet (or the catalog changed): the
+    /// mask was computed in full and cached for the next gesture.
+    Seeded,
+    /// The cached mask was reused; only `dirty_blocks` of `total_blocks`
+    /// were re-evaluated.
+    Incremental {
+        /// Blocks whose bits were recomputed.
+        dirty_blocks: usize,
+        /// Total zone-map blocks in the table.
+        total_blocks: usize,
+    },
+}
+
+/// One shiftable `BETWEEN` conjunct: which column it ranges over and its
+/// current bounds, encoded as f64 exactly as the typed loops compare them
+/// (numerics directly, dates by day number).
+struct Shift {
+    col: usize,
+    lo: f64,
+    hi: f64,
+}
+
+struct Analysis {
+    /// Structural hash of the query with shiftable bounds erased.
+    key: u64,
+    shifts: Vec<Shift>,
+}
+
+/// Try to execute `q` incrementally. `None` means the query is outside the
+/// delta fragment (caller falls back to full execution); `Some` carries the
+/// result — byte-identical to full execution — and how it was obtained.
+pub(crate) fn execute(
+    catalog: &Catalog,
+    q: &Query,
+    cache: &mut DeltaCache,
+) -> Option<(Result<ResultSet>, DeltaOutcome)> {
+    let p = prepare(catalog, q)?;
+    let analysis = analyze(q, &p)?;
+    let ctx = p.ctx(catalog);
+    let version = catalog.version();
+    let len = p.table.len;
+    let total_blocks = block_count(len);
+
+    let hit = cache
+        .entries
+        .get(&analysis.key)
+        .filter(|e| {
+            e.version == version && e.mask.len() == len && e.bounds.len() == analysis.shifts.len()
+        })
+        .map(|e| (e.bounds.clone(), e.mask.clone()));
+
+    let bounds: Vec<(f64, f64)> = analysis.shifts.iter().map(|s| (s.lo, s.hi)).collect();
+    let Some((old_bounds, mut mask)) = hit else {
+        let mask = match ctx.compute_mask() {
+            Ok(m) => m,
+            Err(e) => return Some((Err(e), DeltaOutcome::Seeded)),
+        };
+        let result = ctx.run_with_mask(q, &mask);
+        cache.insert(analysis.key, Entry { version, bounds, mask });
+        return Some((result, DeltaOutcome::Seeded));
+    };
+
+    let dirty = dirty_blocks(&p, &analysis.shifts, &old_bounds, total_blocks);
+    for &b in &dirty {
+        mask.fill_range(block_range(b, len), true);
+    }
+    if let Err(e) = ctx.refine_blocks(&mut mask, &dirty) {
+        return Some((
+            Err(e),
+            DeltaOutcome::Incremental { dirty_blocks: dirty.len(), total_blocks },
+        ));
+    }
+    #[cfg(debug_assertions)]
+    if let Ok(full) = ctx.compute_mask() {
+        debug_assert!(mask == full, "delta-recomputed mask diverged from full recomputation");
+    }
+    let result = ctx.run_with_mask(q, &mask);
+    let outcome = DeltaOutcome::Incremental { dirty_blocks: dirty.len(), total_blocks };
+    cache.insert(analysis.key, Entry { version, bounds, mask });
+    Some((result, outcome))
+}
+
+/// Classify the WHERE clause and build the template key. `None` when the
+/// query is outside the delta fragment.
+fn analyze(q: &Query, p: &Prepared) -> Option<Analysis> {
+    q.where_clause.as_ref()?;
+    let mut template = q.clone();
+    let mut shifts = Vec::new();
+    let w = template.where_clause.as_mut()?;
+    if !classify(w, p, &mut shifts) || shifts.is_empty() {
+        return None;
+    }
+    Some(Analysis { key: template.structural_hash(), shifts })
+}
+
+/// Walk an AND-tree of conjuncts, erasing shiftable bounds in place (the
+/// expression becomes the cache template) and recording their values.
+/// Returns false as soon as any conjunct falls outside the typed,
+/// cannot-error fragment.
+fn classify(e: &mut Expr, p: &Prepared, shifts: &mut Vec<Shift>) -> bool {
+    match e {
+        Expr::Binary { left, op: BinaryOp::And, right } => {
+            classify(left, p, shifts) && classify(right, p, shifts)
+        }
+        Expr::Between { expr, low, high, negated: false } => {
+            let Expr::Column(c) = &**expr else { return false };
+            let Some(col) = p.resolve_column(c) else { return false };
+            let (Expr::Literal(l), Expr::Literal(h)) = (&**low, &**high) else {
+                return false;
+            };
+            let (lo, hi) = (Value::from_literal(l), Value::from_literal(h));
+            let bounds = match (&p.table.columns[col].data, &lo, &hi) {
+                (ColumnData::Int(_) | ColumnData::Float(_), _, _)
+                    if lo.data_type().is_numeric() && hi.data_type().is_numeric() =>
+                {
+                    match (lo.as_f64(), hi.as_f64()) {
+                        (Some(a), Some(b)) => (a, b),
+                        _ => return false,
+                    }
+                }
+                (ColumnData::Date(_), Value::Date(a), Value::Date(b)) => (a.0 as f64, b.0 as f64),
+                _ => return false,
+            };
+            shifts.push(Shift { col, lo: bounds.0, hi: bounds.1 });
+            **low = Expr::Literal(Literal::Null);
+            **high = Expr::Literal(Literal::Null);
+            true
+        }
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            let (c, lit) = match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(l)) | (Expr::Literal(l), Expr::Column(c)) => (c, l),
+                _ => return false,
+            };
+            let Some(col) = p.resolve_column(c) else { return false };
+            let k = Value::from_literal(lit);
+            // A NULL constant clears the mask on every column type without
+            // evaluating rows; otherwise the (column, constant) pair must
+            // have a typed loop, which cannot error.
+            k.is_null()
+                || matches!(
+                    (&p.table.columns[col].data, &k),
+                    (ColumnData::Int(_), Value::Int(_) | Value::Float(_))
+                        | (ColumnData::Float(_), Value::Int(_) | Value::Float(_))
+                        | (ColumnData::Str(_), Value::Str(_))
+                        | (ColumnData::Date(_), Value::Date(_))
+                        | (ColumnData::Bool(_), Value::Bool(_))
+                )
+        }
+        // IS [NOT] NULL on a bare column never errors.
+        Expr::IsNull { expr, .. } => {
+            matches!(&**expr, Expr::Column(c) if p.resolve_column(c).is_some())
+        }
+        _ => false,
+    }
+}
+
+/// Blocks whose rows' membership can differ between the old and new bounds
+/// of any shiftable conjunct: a row changes membership only if its value
+/// lies in the closed hull of a moving bound, so a block is dirty exactly
+/// when its zone range intersects one of those hulls.
+fn dirty_blocks(
+    p: &Prepared,
+    shifts: &[Shift],
+    old_bounds: &[(f64, f64)],
+    total_blocks: usize,
+) -> Vec<usize> {
+    let fmin = |a: f64, b: f64| if a.total_cmp(&b) == Ordering::Greater { b } else { a };
+    let fmax = |a: f64, b: f64| if a.total_cmp(&b) == Ordering::Less { b } else { a };
+    let le = |a: f64, b: f64| a.total_cmp(&b) != Ordering::Greater;
+    let intersects = |z: (f64, f64), h: (f64, f64)| le(z.0, h.1) && le(h.0, z.1);
+
+    let mut dirty = vec![false; total_blocks];
+    for (s, &(lo0, hi0)) in shifts.iter().zip(old_bounds) {
+        let lo_hull = (fmin(lo0, s.lo), fmax(lo0, s.lo));
+        let hi_hull = (fmin(hi0, s.hi), fmax(hi0, s.hi));
+        if lo_hull.0.total_cmp(&lo_hull.1) == Ordering::Equal
+            && hi_hull.0.total_cmp(&hi_hull.1) == Ordering::Equal
+        {
+            continue; // bounds unchanged for this conjunct
+        }
+        let zones = &p.table.columns[s.col].zones;
+        for (b, z) in zones.iter().enumerate() {
+            if dirty[b] {
+                continue;
+            }
+            // An all-NULL block has no rows whose membership can change.
+            let Some((zmin, zmax)) = &z.min_max else { continue };
+            match (zmin.as_f64(), zmax.as_f64()) {
+                (Some(zmin), Some(zmax)) => {
+                    if intersects((zmin, zmax), lo_hull) || intersects((zmin, zmax), hi_hull) {
+                        dirty[b] = true;
+                    }
+                }
+                // Un-summarizable zone values: be conservative.
+                _ => dirty[b] = true,
+            }
+        }
+    }
+    dirty.iter().enumerate().filter_map(|(b, &d)| d.then_some(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use crate::value::DataType;
+
+    fn catalog(rows: i64) -> Catalog {
+        let mut t = Table::builder("t")
+            .column("x", DataType::Int)
+            .column("y", DataType::Float)
+            .column("c", DataType::Str)
+            .build();
+        for i in 0..rows {
+            t.push_row(vec![
+                Value::Int(i),
+                Value::Float(i as f64 / 2.0),
+                Value::str(if i % 3 == 0 { "a" } else { "b" }),
+            ])
+            .unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register(t);
+        c
+    }
+
+    fn q(sql: &str) -> Query {
+        pi2_sql::parse_query(sql).unwrap()
+    }
+
+    #[test]
+    fn seed_then_incremental_pan_matches_full() {
+        let c = catalog(20_000);
+        let mut cache = DeltaCache::new();
+        let q1 = q("SELECT x, y FROM t WHERE x BETWEEN 100 AND 200 AND c = 'a'");
+        let (r1, o1) = execute(&c, &q1, &mut cache).expect("delta applies");
+        assert_eq!(o1, DeltaOutcome::Seeded);
+        assert_eq!(r1.unwrap(), c.execute_reference(&q1).unwrap());
+
+        // Pan: shift the window; only boundary blocks should be dirty.
+        let q2 = q("SELECT x, y FROM t WHERE x BETWEEN 150 AND 250 AND c = 'a'");
+        let (r2, o2) = execute(&c, &q2, &mut cache).expect("delta applies");
+        let DeltaOutcome::Incremental { dirty_blocks, total_blocks } = o2 else {
+            panic!("expected incremental, got {o2:?}");
+        };
+        assert!(dirty_blocks < total_blocks, "{dirty_blocks}/{total_blocks}");
+        assert_eq!(r2.unwrap(), c.execute_reference(&q2).unwrap());
+    }
+
+    #[test]
+    fn zoom_and_repeat_dispatches_stay_exact() {
+        let c = catalog(10_000);
+        let mut cache = DeltaCache::new();
+        let windows = [(0, 9999), (2000, 7999), (3000, 6999), (3000, 6999), (0, 9999)];
+        for (lo, hi) in windows {
+            let query = q(&format!("SELECT count(*) AS n FROM t WHERE x BETWEEN {lo} AND {hi}"));
+            let (r, _) = execute(&c, &query, &mut cache).expect("delta applies");
+            assert_eq!(r.unwrap(), c.execute_reference(&query).unwrap(), "window {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn inapplicable_shapes_return_none() {
+        let c = catalog(100);
+        let mut cache = DeltaCache::new();
+        // No shiftable range.
+        assert!(execute(&c, &q("SELECT x FROM t WHERE c = 'a'"), &mut cache).is_none());
+        // OR at the top level.
+        assert!(execute(&c, &q("SELECT x FROM t WHERE x BETWEEN 1 AND 5 OR c = 'a'"), &mut cache)
+            .is_none());
+        // Expression bound.
+        assert!(execute(&c, &q("SELECT x FROM t WHERE x BETWEEN 1 AND y"), &mut cache).is_none());
+        // No WHERE at all.
+        assert!(execute(&c, &q("SELECT x FROM t"), &mut cache).is_none());
+    }
+
+    #[test]
+    fn catalog_version_change_invalidates_entries() {
+        let mut c = catalog(5_000);
+        let mut cache = DeltaCache::new();
+        let q1 = q("SELECT count(*) AS n FROM t WHERE x BETWEEN 10 AND 20");
+        let (_, o1) = execute(&c, &q1, &mut cache).unwrap();
+        assert_eq!(o1, DeltaOutcome::Seeded);
+
+        // Re-register the table: different data, same name.
+        let mut t = Table::builder("t").column("x", DataType::Int).build();
+        for i in 0..50 {
+            t.push_row(vec![Value::Int(i)]).unwrap();
+        }
+        c.register(t);
+        let q2 = q("SELECT count(*) AS n FROM t WHERE x BETWEEN 10 AND 25");
+        let (r2, o2) = execute(&c, &q2, &mut cache).unwrap();
+        assert_eq!(o2, DeltaOutcome::Seeded, "stale mask must not be reused");
+        assert_eq!(r2.unwrap(), c.execute_reference(&q2).unwrap());
+    }
+}

@@ -9,6 +9,18 @@
 //! typed loops for column-vs-constant comparisons, and aggregation hashes
 //! group keys over the selected row set.
 //!
+//! The selection mask is a bit-packed [`BitMask`], and typed loops walk it
+//! one zone-map block at a time: a block whose `[min, max]` cannot satisfy
+//! the predicate is cleared 64 rows per word without touching column data,
+//! and a block that trivially satisfies it (and holds no NULLs) is skipped
+//! outright. Every prune carries a `debug_assert` that re-scans the block
+//! and proves the shortcut agrees with the row-by-row answer, so the
+//! conformance fuzz loop (which replays its corpus under `cargo test`,
+//! debug assertions on) exercises pruning soundness continuously.
+//! String comparisons run on dictionary codes: the dictionary is sorted, so
+//! a constant's binary-searched rank turns every string predicate into a
+//! `u32` comparison.
+//!
 //! The row-at-a-time interpreter in [`crate::exec`] remains the semantic
 //! reference. This module keeps parity by construction: anything it is not
 //! sure it can reproduce exactly — joins, subqueries, unresolvable names —
@@ -18,7 +30,9 @@
 //! conformance `columnar-parity` oracle checks the rest.
 
 use crate::catalog::Catalog;
-use crate::columnar::{Column, ColumnData, ColumnarTable};
+use crate::columnar::{
+    block_count, block_range, BitMask, Column, ColumnData, ColumnarTable, ZoneMap,
+};
 use crate::error::{EngineError, Result};
 use crate::eval::{
     and3, apply_comparison, arithmetic, cmp_values, enforce_limits, like_match, or3,
@@ -30,6 +44,7 @@ use crate::exec::{
 use crate::functions::eval_scalar;
 use crate::result::ResultSet;
 use crate::schema::Field;
+use crate::stats::ScanStats;
 use crate::value::Value;
 use pi2_sql::{
     is_aggregate_function, BinaryOp, ColumnRef, Expr, Literal, Query, TableRef, UnaryOp,
@@ -42,6 +57,16 @@ use std::sync::Arc;
 /// outside the fast path's supported fragment (the caller falls back to the
 /// reference executor, which also owns producing any name-resolution error).
 pub(crate) fn try_execute(catalog: &Catalog, q: &Query) -> Option<Result<ResultSet>> {
+    let p = prepare(catalog, q)?;
+    let ctx = p.ctx(catalog);
+    Some(ctx.compute_mask().and_then(|mask| ctx.run_with_mask(q, &mask)))
+}
+
+/// Resolve and compile `q` against the catalog's columnar storage, or
+/// `None` when the query leaves the fast path's fragment. The result can
+/// be executed directly ([`try_execute`]) or driven block-by-block by the
+/// incremental path (see [`crate::delta`]).
+pub(crate) fn prepare(catalog: &Catalog, q: &Query) -> Option<Prepared> {
     // Only plain single-table FROM clauses; joins, derived tables, and
     // multi-table products stay on the reference path.
     let [TableRef::Named { name, alias }] = q.from.as_slice() else {
@@ -65,9 +90,37 @@ pub(crate) fn try_execute(catalog: &Catalog, q: &Query) -> Option<Result<ResultS
 
     let items = expand_projection(&q.projection, &schema).ok()?;
     let plan = Plan::compile(q, &schema, &items)?;
-    let ctx =
-        ColCtx { table: &columnar, limits: catalog.limits(), started: std::time::Instant::now() };
-    Some(ctx.run(q, &schema, &items, &plan))
+    Some(Prepared { table: columnar, schema, items, plan })
+}
+
+/// A compiled, executable columnar query: the table mirror, the resolved
+/// schema, the expanded projection, and the compiled plan.
+pub(crate) struct Prepared {
+    pub(crate) table: Arc<ColumnarTable>,
+    schema: RelSchema,
+    items: Vec<(Expr, Option<String>)>,
+    plan: Plan,
+}
+
+impl Prepared {
+    /// An execution context borrowing this plan, with the catalog's limits
+    /// and scan counters attached.
+    pub(crate) fn ctx(&self, catalog: &Catalog) -> ColCtx<'_> {
+        ColCtx {
+            table: &self.table,
+            schema: &self.schema,
+            items: &self.items,
+            plan: &self.plan,
+            limits: catalog.limits(),
+            started: std::time::Instant::now(),
+            scan: catalog.scan_stats(),
+        }
+    }
+
+    /// Resolve a column reference to its index in the table schema.
+    pub(crate) fn resolve_column(&self, c: &ColumnRef) -> Option<usize> {
+        self.schema.resolve(c).ok().flatten()
+    }
 }
 
 /// A compiled expression: column references resolved to vector indices,
@@ -322,48 +375,211 @@ impl Plan {
     }
 }
 
+/// What a zone map says about one block under a predicate.
+enum Decision {
+    /// No row in the block can satisfy the predicate: clear it wholesale.
+    AllFail,
+    /// Every row satisfies it (and none is NULL): leave the mask untouched.
+    AllPass,
+    /// Inconclusive: scan the block row by row.
+    Scan,
+}
+
+/// Decide a block for a `col <op> const` comparison. `keep` is the
+/// row-level acceptance test on `row.cmp(konst)`; because the zone min/max
+/// are stored as [`Value`]s whose total order agrees with every typed
+/// comparison loop, the set of orderings a row can produce is exactly the
+/// closed interval between `min.cmp(konst)` and `max.cmp(konst)`.
+fn prune_decision(
+    zone: Option<&ZoneMap>,
+    konst: &Value,
+    keep: &impl Fn(Ordering) -> bool,
+) -> Decision {
+    let Some(zone) = zone else { return Decision::Scan };
+    // An all-NULL block compares NULL everywhere: nothing survives.
+    let Some((zmin, zmax)) = &zone.min_max else { return Decision::AllFail };
+    let lo = zmin.cmp(konst);
+    let hi = zmax.cmp(konst);
+    let mut any_keep = false;
+    let mut any_drop = false;
+    for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+        if ord >= lo && ord <= hi {
+            if keep(ord) {
+                any_keep = true;
+            } else {
+                any_drop = true;
+            }
+        }
+    }
+    if !any_keep {
+        Decision::AllFail
+    } else if !any_drop && zone.null_count == 0 {
+        Decision::AllPass
+    } else {
+        Decision::Scan
+    }
+}
+
+/// Block-at-a-time mask refinement for a typed comparison loop: prune via
+/// the zone map where possible, scan otherwise. Debug builds re-check every
+/// pruned block row by row, so block pruning provably never changes the
+/// selected row set.
+#[allow(clippy::too_many_arguments)]
+fn blockwise<T>(
+    len: usize,
+    column: &Column,
+    data: &[T],
+    mask: &mut BitMask,
+    blocks: &[usize],
+    scan: &ScanStats,
+    konst: &Value,
+    cmp: impl Fn(&T) -> Ordering,
+    keep: impl Fn(Ordering) -> bool,
+) {
+    let mut scanned = 0u64;
+    let mut pruned = 0u64;
+    for &b in blocks {
+        let range = block_range(b, len);
+        match prune_decision(column.zones.get(b), konst, &keep) {
+            Decision::AllFail => {
+                debug_assert!(
+                    range.clone().all(|i| column.is_null(i) || !keep(cmp(&data[i]))),
+                    "zone pruning dropped a matching row in block {b}"
+                );
+                mask.fill_range(range, false);
+                pruned += 1;
+            }
+            Decision::AllPass => {
+                debug_assert!(
+                    range.clone().all(|i| !column.is_null(i) && keep(cmp(&data[i]))),
+                    "zone pruning kept a non-matching row in block {b}"
+                );
+                pruned += 1;
+            }
+            Decision::Scan => {
+                scanned += 1;
+                for i in range {
+                    if mask.get(i) && (column.is_null(i) || !keep(cmp(&data[i]))) {
+                        mask.clear(i);
+                    }
+                }
+            }
+        }
+    }
+    scan.record(scanned, pruned);
+}
+
+/// Block-at-a-time refinement for a typed range loop (`BETWEEN`), with the
+/// zone decision supplied by the caller (numeric and date ranges compare
+/// differently). Same debug-build soundness checks as [`blockwise`].
+#[allow(clippy::too_many_arguments)]
+fn blockwise_range<T: Copy>(
+    len: usize,
+    column: &Column,
+    data: &[T],
+    mask: &mut BitMask,
+    blocks: &[usize],
+    scan: &ScanStats,
+    in_range: impl Fn(T) -> bool,
+    zone_decision: impl Fn(&ZoneMap) -> Decision,
+) {
+    let mut scanned = 0u64;
+    let mut pruned = 0u64;
+    for &b in blocks {
+        let range = block_range(b, len);
+        let decision = match column.zones.get(b) {
+            Some(z) => zone_decision(z),
+            None => Decision::Scan,
+        };
+        match decision {
+            Decision::AllFail => {
+                debug_assert!(
+                    range.clone().all(|i| column.is_null(i) || !in_range(data[i])),
+                    "zone pruning dropped a matching row in block {b}"
+                );
+                mask.fill_range(range, false);
+                pruned += 1;
+            }
+            Decision::AllPass => {
+                debug_assert!(
+                    range.clone().all(|i| !column.is_null(i) && in_range(data[i])),
+                    "zone pruning kept a non-matching row in block {b}"
+                );
+                pruned += 1;
+            }
+            Decision::Scan => {
+                scanned += 1;
+                for i in range {
+                    if mask.get(i) && (column.is_null(i) || !in_range(data[i])) {
+                        mask.clear(i);
+                    }
+                }
+            }
+        }
+    }
+    scan.record(scanned, pruned);
+}
+
 /// Execution context for one columnar query run.
-struct ColCtx<'a> {
+pub(crate) struct ColCtx<'a> {
     table: &'a Arc<ColumnarTable>,
+    schema: &'a RelSchema,
+    items: &'a [(Expr, Option<String>)],
+    plan: &'a Plan,
     limits: crate::catalog::ExecLimits,
     started: std::time::Instant,
+    scan: Arc<ScanStats>,
 }
 
 impl ColCtx<'_> {
-    fn run(
-        &self,
-        q: &Query,
-        schema: &RelSchema,
-        items: &[(Expr, Option<String>)],
-        plan: &Plan,
-    ) -> Result<ResultSet> {
-        let out_fields: Vec<Field> = items
-            .iter()
-            .map(|(expr, alias)| Field::new(output_name(expr, alias), infer_type(expr, schema)))
-            .collect();
-
-        // WHERE as mask refinement.
-        let mut mask = vec![true; self.table.len];
-        if let Some(pred) = &plan.where_clause {
-            self.refine(pred, &mut mask)?;
+    /// Evaluate the WHERE clause over the whole table into a selection
+    /// mask.
+    pub(crate) fn compute_mask(&self) -> Result<BitMask> {
+        let len = self.table.len;
+        let mut mask = BitMask::new(len, true);
+        if let Some(pred) = &self.plan.where_clause {
+            let blocks: Vec<usize> = (0..block_count(len)).collect();
+            self.refine(pred, &mut mask, &blocks)?;
         }
-        let selected: Vec<usize> =
-            mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| i).collect();
+        Ok(mask)
+    }
+
+    /// Re-evaluate the WHERE clause over just the listed blocks. The
+    /// caller must have reset those blocks' mask bits to all-true; other
+    /// blocks are left untouched (the incremental path reuses their bits).
+    pub(crate) fn refine_blocks(&self, mask: &mut BitMask, blocks: &[usize]) -> Result<()> {
+        if let Some(pred) = &self.plan.where_clause {
+            self.refine(pred, mask, blocks)?;
+        }
+        Ok(())
+    }
+
+    /// Project / aggregate / order / finalize over the rows selected by
+    /// `mask`.
+    pub(crate) fn run_with_mask(&self, q: &Query, mask: &BitMask) -> Result<ResultSet> {
+        let out_fields: Vec<Field> = self
+            .items
+            .iter()
+            .map(|(expr, alias)| {
+                Field::new(output_name(expr, alias), infer_type(expr, self.schema))
+            })
+            .collect();
+        let selected: Vec<usize> = mask.iter_ones().collect();
 
         let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
         if q.is_aggregating() {
-            self.run_grouped(plan, selected, &mut out_rows)?;
+            self.run_grouped(self.plan, selected, &mut out_rows)?;
         } else {
             if q.having.is_some() {
                 return Err(EngineError::Unsupported("HAVING without aggregation".into()));
             }
             for row in selected {
                 self.check_limits(out_rows.len())?;
-                let mut out = Vec::with_capacity(plan.items.len());
-                for e in &plan.items {
+                let mut out = Vec::with_capacity(self.plan.items.len());
+                for e in &self.plan.items {
                     out.push(self.eval(e, Some(row), &[])?);
                 }
-                let keys = self.order_key_values(plan, &out, Some(row), &[])?;
+                let keys = self.order_key_values(self.plan, &out, Some(row), &[])?;
                 out_rows.push((out, keys));
             }
         }
@@ -498,10 +714,11 @@ impl ColCtx<'_> {
     }
 
     /// Clear mask slots whose rows do not satisfy `e` (strictly-true
-    /// semantics, as in the reference WHERE loop). Conjunctions refine
-    /// sequentially, so the right side is only evaluated on rows the left
-    /// side kept — the same evaluation set as the reference's short-circuit.
-    fn refine(&self, e: &CExpr, mask: &mut [bool]) -> Result<()> {
+    /// semantics, as in the reference WHERE loop), visiting only the listed
+    /// blocks. Conjunctions refine sequentially, so the right side is only
+    /// evaluated on rows the left side kept — the same evaluation set as
+    /// the reference's short-circuit.
+    fn refine(&self, e: &CExpr, mask: &mut BitMask, blocks: &[usize]) -> Result<()> {
         match e {
             // Splitting `l AND r` into sequential refinement is only valid
             // when both sides can evaluate to nothing but Bool/NULL (or fail
@@ -511,33 +728,33 @@ impl ColCtx<'_> {
             CExpr::Binary { left, op: BinaryOp::And, right }
                 if self.is_predicate(left) && self.is_predicate(right) =>
             {
-                self.refine(left, mask)?;
-                self.refine(right, mask)
+                self.refine(left, mask, blocks)?;
+                self.refine(right, mask, blocks)
             }
             CExpr::Binary { left, op, right } if op.is_comparison() => {
                 // Column-vs-constant comparisons get typed loops.
                 if let (CExpr::Col(c), CExpr::Const(k)) = (left.as_ref(), right.as_ref()) {
-                    if self.refine_cmp(*c, *op, k, false, mask)? {
+                    if self.refine_cmp(*c, *op, k, false, mask, blocks)? {
                         return Ok(());
                     }
                 } else if let (CExpr::Const(k), CExpr::Col(c)) = (left.as_ref(), right.as_ref()) {
-                    if self.refine_cmp(*c, *op, k, true, mask)? {
+                    if self.refine_cmp(*c, *op, k, true, mask, blocks)? {
                         return Ok(());
                     }
                 }
-                self.refine_generic(e, mask)
+                self.refine_generic(e, mask, blocks)
             }
             CExpr::Between { expr, low, high, negated: false } => {
                 if let (CExpr::Col(c), CExpr::Const(lo), CExpr::Const(hi)) =
                     (expr.as_ref(), low.as_ref(), high.as_ref())
                 {
-                    if self.refine_between(*c, lo, hi, mask)? {
+                    if self.refine_between(*c, lo, hi, mask, blocks)? {
                         return Ok(());
                     }
                 }
-                self.refine_generic(e, mask)
+                self.refine_generic(e, mask, blocks)
             }
-            _ => self.refine_generic(e, mask),
+            _ => self.refine_generic(e, mask, blocks),
         }
     }
 
@@ -566,10 +783,13 @@ impl ColCtx<'_> {
 
     /// Per-row fallback refinement (still cheap: no name resolution, no row
     /// materialization).
-    fn refine_generic(&self, e: &CExpr, mask: &mut [bool]) -> Result<()> {
-        for (i, keep) in mask.iter_mut().enumerate() {
-            if *keep && !self.eval(e, Some(i), &[])?.is_truthy() {
-                *keep = false;
+    fn refine_generic(&self, e: &CExpr, mask: &mut BitMask, blocks: &[usize]) -> Result<()> {
+        let len = self.table.len;
+        for &b in blocks {
+            for i in block_range(b, len) {
+                if mask.get(i) && !self.eval(e, Some(i), &[])?.is_truthy() {
+                    mask.clear(i);
+                }
             }
         }
         Ok(())
@@ -585,12 +805,16 @@ impl ColCtx<'_> {
         op: BinaryOp,
         konst: &Value,
         flipped: bool,
-        mask: &mut [bool],
+        mask: &mut BitMask,
+        blocks: &[usize],
     ) -> Result<bool> {
         let column = self.col(col);
+        let len = self.table.len;
         // NULL constant: every comparison is NULL, nothing survives.
         if konst.is_null() {
-            mask.fill(false);
+            for &b in blocks {
+                mask.fill_range(block_range(b, len), false);
+            }
             return Ok(true);
         }
         let keep = |ord: Ordering| -> bool {
@@ -598,11 +822,7 @@ impl ColCtx<'_> {
         };
         macro_rules! typed_loop {
             ($data:expr, $cmp:expr) => {{
-                for (i, x) in $data.iter().enumerate() {
-                    if mask[i] {
-                        mask[i] = !column.is_null(i) && keep($cmp(x));
-                    }
-                }
+                blockwise(len, column, $data, mask, blocks, &self.scan, konst, $cmp, keep);
                 Ok(true)
             }};
         }
@@ -613,13 +833,26 @@ impl ColCtx<'_> {
             }
             (ColumnData::Float(data), Value::Int(k)) => {
                 let k = *k as f64;
-                typed_loop!(data, |x: &f64| x.total_cmp(&k))
+                typed_loop!(data, move |x: &f64| x.total_cmp(&k))
             }
             (ColumnData::Float(data), Value::Float(k)) => {
                 typed_loop!(data, |x: &f64| x.total_cmp(k))
             }
-            (ColumnData::Str(data), Value::Str(k)) => {
-                typed_loop!(data, |x: &String| x.as_str().cmp(k.as_str()))
+            (ColumnData::Str(d), Value::Str(k)) => {
+                // Compare dictionary codes against the constant's rank: the
+                // dictionary is sorted, so this is exactly the string
+                // comparison.
+                let rank = d.rank(k);
+                typed_loop!(&d.codes, move |x: &u32| match rank {
+                    Ok(r) => x.cmp(&r),
+                    Err(p) => {
+                        if *x < p {
+                            Ordering::Less
+                        } else {
+                            Ordering::Greater
+                        }
+                    }
+                })
             }
             (ColumnData::Date(data), Value::Date(k)) => typed_loop!(data, |x: &i32| x.cmp(&k.0)),
             (ColumnData::Bool(data), Value::Bool(k)) => typed_loop!(data, |x: &bool| x.cmp(k)),
@@ -627,44 +860,105 @@ impl ColCtx<'_> {
         }
     }
 
-    /// Typed loop for numeric `col BETWEEN lo AND hi` with non-null bounds.
-    /// Only strictly numeric constants qualify — Bool/Date bounds against a
-    /// numeric column are a type error on the reference path, so they take
-    /// the generic path that reproduces it.
+    /// Typed loop for `col BETWEEN lo AND hi` with non-null constant
+    /// bounds: numeric bounds over numeric columns (compared as f64 with
+    /// `total_cmp`, like the reference's cross-type comparison) and date
+    /// bounds over date columns. Other combinations take the generic path,
+    /// which also owns reproducing the reference's type errors.
     fn refine_between(
         &self,
         col: usize,
         lo: &Value,
         hi: &Value,
-        mask: &mut [bool],
+        mask: &mut BitMask,
+        blocks: &[usize],
     ) -> Result<bool> {
         let column = self.col(col);
+        let len = self.table.len;
+
+        // Date range over a date column: exact day-number comparison.
+        if let (ColumnData::Date(data), Value::Date(lo), Value::Date(hi)) = (&column.data, lo, hi) {
+            let (lo, hi) = (lo.0, hi.0);
+            blockwise_range(
+                len,
+                column,
+                data,
+                mask,
+                blocks,
+                &self.scan,
+                |x| x >= lo && x <= hi,
+                |z| match &z.min_max {
+                    None => Decision::AllFail,
+                    Some((Value::Date(zmin), Value::Date(zmax))) => {
+                        if zmax.0 < lo || zmin.0 > hi {
+                            Decision::AllFail
+                        } else if z.null_count == 0 && zmin.0 >= lo && zmax.0 <= hi {
+                            Decision::AllPass
+                        } else {
+                            Decision::Scan
+                        }
+                    }
+                    Some(_) => Decision::Scan,
+                },
+            );
+            return Ok(true);
+        }
+
         if !lo.data_type().is_numeric() || !hi.data_type().is_numeric() {
             return Ok(false);
         }
         let (Some(lo), Some(hi)) = (lo.as_f64(), hi.as_f64()) else {
             return Ok(false);
         };
-        match &column.data {
-            ColumnData::Int(data) => {
-                for (i, x) in data.iter().enumerate() {
-                    if mask[i] {
-                        let x = *x as f64;
-                        mask[i] = !column.is_null(i)
-                            && x.total_cmp(&lo) != Ordering::Less
-                            && x.total_cmp(&hi) != Ordering::Greater;
+        let in_range =
+            |x: f64| x.total_cmp(&lo) != Ordering::Less && x.total_cmp(&hi) != Ordering::Greater;
+        // i64 → f64 casts are monotone, so zone bounds compared as f64
+        // bracket every row's casted value and the decisions stay sound.
+        let zone_decision = |z: &ZoneMap| match &z.min_max {
+            None => Decision::AllFail,
+            Some((zmin, zmax)) => match (zmin.as_f64(), zmax.as_f64()) {
+                (Some(zmin), Some(zmax)) => {
+                    if zmax.total_cmp(&lo) == Ordering::Less
+                        || zmin.total_cmp(&hi) == Ordering::Greater
+                    {
+                        Decision::AllFail
+                    } else if z.null_count == 0
+                        && zmin.total_cmp(&lo) != Ordering::Less
+                        && zmax.total_cmp(&hi) != Ordering::Greater
+                    {
+                        Decision::AllPass
+                    } else {
+                        Decision::Scan
                     }
                 }
+                _ => Decision::Scan,
+            },
+        };
+        match &column.data {
+            ColumnData::Int(data) => {
+                blockwise_range(
+                    len,
+                    column,
+                    data,
+                    mask,
+                    blocks,
+                    &self.scan,
+                    |x| in_range(x as f64),
+                    zone_decision,
+                );
                 Ok(true)
             }
             ColumnData::Float(data) => {
-                for (i, x) in data.iter().enumerate() {
-                    if mask[i] {
-                        mask[i] = !column.is_null(i)
-                            && x.total_cmp(&lo) != Ordering::Less
-                            && x.total_cmp(&hi) != Ordering::Greater;
-                    }
-                }
+                blockwise_range(
+                    len,
+                    column,
+                    data,
+                    mask,
+                    blocks,
+                    &self.scan,
+                    in_range,
+                    zone_decision,
+                );
                 Ok(true)
             }
             _ => Ok(false),

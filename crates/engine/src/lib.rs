@@ -36,6 +36,7 @@
 pub mod catalog;
 pub mod columnar;
 pub mod csv;
+pub mod delta;
 pub mod error;
 pub mod eval;
 pub mod exec;
@@ -48,9 +49,10 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{Catalog, ExecLimits};
+pub use delta::{DeltaCache, DeltaOutcome};
 pub use error::{EngineError, Result};
 pub use result::ResultSet;
 pub use schema::{Field, Schema};
-pub use stats::ColumnStats;
+pub use stats::{ColumnStats, ScanStats};
 pub use table::Table;
 pub use value::{DataType, Value};

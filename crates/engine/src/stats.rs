@@ -10,6 +10,7 @@ use crate::schema::Field;
 use crate::value::{DataType, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How many distinct values are retained verbatim before a column's domain
 /// is summarized by its range only.
@@ -78,6 +79,40 @@ impl ColumnStats {
     /// to a nominal type, or any type with a very small domain.
     pub fn is_low_cardinality(&self) -> bool {
         self.distinct_count <= 20
+    }
+}
+
+/// Zone-map effectiveness counters for the columnar executor, accumulated
+/// across every typed predicate loop run against a catalog (shared by all
+/// of its clones, like the exec-path tallies). `blocks_pruned` counts
+/// blocks decided wholesale from their zone map — cleared without reading
+/// data, or accepted without a scan — while `blocks_scanned` counts blocks
+/// that had to be walked row by row.
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    blocks_scanned: AtomicU64,
+    blocks_pruned: AtomicU64,
+}
+
+impl ScanStats {
+    /// Record one predicate loop's block tallies.
+    pub fn record(&self, scanned: u64, pruned: u64) {
+        if scanned > 0 {
+            self.blocks_scanned.fetch_add(scanned, Ordering::Relaxed);
+        }
+        if pruned > 0 {
+            self.blocks_pruned.fetch_add(pruned, Ordering::Relaxed);
+        }
+    }
+
+    /// Blocks walked row by row.
+    pub fn blocks_scanned(&self) -> u64 {
+        self.blocks_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Blocks decided from their zone map alone.
+    pub fn blocks_pruned(&self) -> u64 {
+        self.blocks_pruned.load(Ordering::Relaxed)
     }
 }
 

@@ -760,10 +760,36 @@ impl ServerState {
                 "join_timeouts": fleet.join_timeouts,
                 "entries": fleet.entries,
             },
+            "engine": self.engine_stats_json(),
             "endpoints": Value::Object(endpoints),
             "sessions": sessions,
             "journal": self.journal_stats_json(),
         })
+    }
+
+    /// Per-scenario engine counters. Sessions clone their catalog from the
+    /// shared per-scenario cache, and the scan / exec-path tallies live
+    /// behind `Arc`s those clones share — so the cached catalog's counters
+    /// aggregate every session's executions on that scenario. Delta-path
+    /// counters (`delta_hits`/`delta_seeds`) are per-session state and
+    /// appear in the per-session `stats` response instead.
+    fn engine_stats_json(&self) -> Value {
+        let mut scenarios = serde_json::Map::new();
+        for (name, catalog) in lock(&self.catalogs).iter() {
+            let (scanned, pruned) = catalog.scan_counts();
+            let (columnar, reference) = catalog.exec_path_counts();
+            scenarios.insert(
+                name.clone(),
+                json!({
+                    "blocks_scanned": scanned,
+                    "blocks_pruned": pruned,
+                    "exec_columnar": columnar,
+                    "exec_reference": reference,
+                    "columnar_build_ms": catalog.columnar_build_nanos() as f64 / 1e6,
+                }),
+            );
+        }
+        Value::Object(scenarios)
     }
 
     fn journal_stats_json(&self) -> Value {

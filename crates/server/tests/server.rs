@@ -203,6 +203,16 @@ fn sixteen_client_storm_has_zero_cross_session_leakage() {
     assert_eq!(stats["stats"]["active_sessions"].as_i64(), Some(1 + CLIENTS as i64), "{stats}");
     assert_eq!(stats["stats"]["errors"].as_i64(), Some(0), "{stats}");
     assert!(stats["stats"]["endpoints"]["gesture"]["count"].as_i64().expect("histogram") >= 64);
+
+    // Engine counters for the shared toy catalog: the executions above all
+    // ran somewhere, and the tallies surface through the stats endpoint.
+    let engine = &stats["stats"]["engine"]["toy"];
+    let columnar = engine["exec_columnar"].as_i64().expect("exec_columnar");
+    let reference = engine["exec_reference"].as_i64().expect("exec_reference");
+    assert!(columnar + reference > 0, "{stats}");
+    assert!(engine["blocks_scanned"].as_i64().is_some(), "{stats}");
+    assert!(engine["blocks_pruned"].as_i64().is_some(), "{stats}");
+    assert!(engine["columnar_build_ms"].as_f64().is_some(), "{stats}");
 }
 
 /// Sixteen clients open the same scenario and log concurrently; the

@@ -48,6 +48,10 @@ cargo run -q --release -p pi2-bench --bin regen_load > /dev/null
 # enforces 100% byte-identical resumes, the 2s resume p99 budget, and
 # zero leakage of closed sessions through recovery.
 cargo run -q --release -p pi2-bench --bin regen_recovery > /dev/null
+# The render storm drives the SDSS gesture cycle through the retained
+# scene graph; bench_check enforces the streaming headline (delta frame
+# bytes <= 25% of a full-spec re-render at p50).
+cargo run -q --release -p pi2-bench --bin regen_render > /dev/null
 cargo run -q --release -p pi2-bench --bin bench_check
 
 echo "== cargo fmt --check =="
@@ -69,5 +73,11 @@ cargo clippy -p pi2-core --all-targets -- -D warnings
 # (see crates/server/src/lib.rs).
 echo "== cargo clippy pi2-server (no unwrap in non-test code) =="
 cargo clippy -p pi2-server --all-targets -- -D warnings
+
+# pi2-render likewise denies clippy::unwrap_used in non-test code
+# (see crates/render/src/lib.rs): the scene codec and the renderer
+# backends surface malformed frames as errors, never panics.
+echo "== cargo clippy pi2-render (no unwrap in non-test code) =="
+cargo clippy -p pi2-render --all-targets -- -D warnings
 
 echo "CI OK"

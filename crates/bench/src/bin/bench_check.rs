@@ -1,7 +1,8 @@
 //! Validate the benchmark JSON artifacts (`target/BENCH_latency.json`,
 //! `target/BENCH_interaction.json`, `target/BENCH_server.json`,
 //! `target/BENCH_fleet.json`, `target/BENCH_load.json`,
-//! `target/BENCH_recovery.json`): present, parseable, matching the
+//! `target/BENCH_recovery.json`, `target/BENCH_render.json`): present,
+//! parseable, matching the
 //! expected schema, and — where an exhibit makes a headline claim (fleet
 //! cache-hit p50, load-storm tail, crash-recovery fidelity) — meeting it.
 //! Exits non-zero on the first problem so CI fails when a regen binary
@@ -341,16 +342,63 @@ fn check_recovery(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
+/// `BENCH_render.json`: the `render_delta` frame-economics gates —
+/// per-event-class latency rows plus the headline byte claim, *enforced*:
+/// patch frames at p50 must cost no more than 25% of the full-spec bytes
+/// a re-rendering client would download per gesture.
+fn check_render(path: &Path) -> Result<(), String> {
+    let v = load(path)?;
+    let ctx = path.display().to_string();
+    if v.get("schema_version").and_then(Value::as_i64) != Some(1) {
+        return Err(format!("{ctx}: `schema_version` must be 1"));
+    }
+    expect_string(&v, "scenario", &ctx)?;
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing `rows` array"))?;
+    if rows.is_empty() {
+        return Err(format!("{ctx}: no rows"));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = format!("{ctx} rows[{i}]");
+        expect_string(row, "event_class", &ctx)?;
+        for key in ["count", "p50_us", "p95_us", "p99_us", "mean_us", "max_us"] {
+            expect_number(row, key, &ctx)?;
+        }
+    }
+    let bytes = v.get("bytes").ok_or_else(|| format!("{ctx}: missing `bytes` object"))?;
+    let bctx = format!("{ctx} bytes");
+    for key in
+        ["frames", "empty_deltas", "delta_p50", "delta_p99", "full_p50", "full_p99", "ratio_p50"]
+    {
+        expect_number(bytes, key, &bctx)?;
+    }
+    if bytes["frames"].as_i64().unwrap_or(0) == 0 {
+        return Err(format!("{bctx}: the storm produced no patch frames"));
+    }
+    expect_bool(bytes, "ratio_target_met", &bctx)?;
+    if bytes["ratio_target_met"].as_bool() != Some(true) {
+        return Err(format!(
+            "{bctx}: `ratio_target_met` is false — delta frames cost {} of a full spec \
+             (gate: <= {})",
+            bytes["ratio_p50"], bytes["ratio_target"]
+        ));
+    }
+    Ok(())
+}
+
 type Check = fn(&Path) -> Result<(), String>;
 
 fn main() -> ExitCode {
-    let checks: [(&str, Check); 6] = [
+    let checks: [(&str, Check); 7] = [
         ("target/BENCH_latency.json", check_latency),
         ("target/BENCH_interaction.json", check_interaction),
         ("target/BENCH_server.json", check_server),
         ("target/BENCH_fleet.json", check_fleet),
         ("target/BENCH_load.json", check_load),
         ("target/BENCH_recovery.json", check_recovery),
+        ("target/BENCH_render.json", check_render),
     ];
     let mut failed = false;
     for (path, check) in checks {

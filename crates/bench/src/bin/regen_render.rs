@@ -1,0 +1,4 @@
+//! Regenerate one paper exhibit; see `pi2_bench::figures::render_delta`.
+fn main() {
+    print!("{}", pi2_bench::figures::render_delta::run());
+}

@@ -4,6 +4,7 @@
 
 use pi2_core::{Pi2, SearchStrategy};
 use pi2_difftree::{ChoiceKind, Clause, NodeKind};
+use pi2_render::Renderer as _;
 
 pub fn run() -> String {
     let catalog = pi2_datasets::toy::default_catalog();
@@ -57,7 +58,7 @@ pub fn run() -> String {
     ));
     let session = pi2.session(&g);
     let updates = session.refresh_all().expect("refresh");
-    out.push_str(&pi2_render::render_interface(&g.interface, &updates));
+    out.push_str(&pi2_render::AsciiRenderer.render(&g.interface, &updates));
     out
 }
 

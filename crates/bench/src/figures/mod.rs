@@ -16,6 +16,7 @@ pub mod interaction_storm;
 pub mod latency;
 pub mod load_storm;
 pub mod recovery_storm;
+pub mod render_delta;
 pub mod search_quality;
 pub mod server_storm;
 pub mod table1;
@@ -40,6 +41,7 @@ pub fn all() -> Vec<(&'static str, Exhibit)> {
         ("TR — fleet cache under generation storm", fleet_storm::run),
         ("TR — reactor under 1k-session load storm", load_storm::run),
         ("TR — crash recovery under session storm", recovery_storm::run),
+        ("TR — render_delta frames vs full-spec re-render", render_delta::run),
         ("TR — search quality (MCTS vs greedy)", search_quality::run),
         ("Ablations — cost-model terms", ablations::run),
     ]

@@ -1,0 +1,138 @@
+//! `render_delta` frame economics under the SDSS gesture storm: replay
+//! the closed dyadic pan/zoom cycle through [`dispatch_with_delta`],
+//! serialize every damage delta through the wire codec, and compare its
+//! size against the full Vega-Lite-style spec a non-streaming client
+//! would re-download per gesture. Reports p50/p99 dispatch+encode
+//! latency per event class plus the byte economics, and dumps
+//! `BENCH_render.json` for the `bench_check` gate (delta p50 bytes must
+//! be ≤ 25% of full-spec p50 bytes).
+//!
+//! [`dispatch_with_delta`]: pi2_core::InterfaceSession::dispatch_with_delta
+
+use crate::text_table;
+use pi2_core::scene::{delta_to_json, Renderer};
+use pi2_core::{Event, Pi2, SearchStrategy};
+use pi2_render::SpecRenderer;
+use pi2_telemetry::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The gate `bench_check` enforces: delta p50 bytes / full-spec p50 bytes.
+pub const DELTA_BYTES_RATIO_TARGET: f64 = 0.25;
+
+const CYCLES: usize = 30;
+
+fn percentile_bytes(sorted: &[usize], q: f64) -> usize {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("== render_delta frames vs full-spec re-render (SDSS gesture storm) ==\n\n");
+
+    let catalog = pi2_datasets::sdss::catalog(&pi2_datasets::sdss::Config::default());
+    let pi2 = Pi2::builder(catalog).strategy(SearchStrategy::FullMerge).build();
+    let queries = pi2_datasets::sdss::demo_queries();
+    let g = pi2.generate(&queries).expect("sdss interface generates");
+    let chart = g.interface.charts.first().expect("sdss chart").id;
+    // The interaction-storm closed cycle: dyadic deltas over dyadic
+    // witness windows, so every cycle revisits bit-identical states.
+    let cycle = vec![
+        Event::Pan { chart, dx: 0.25, dy: 0.125 },
+        Event::Pan { chart, dx: 0.25, dy: 0.0 },
+        Event::Zoom { chart, factor: 2.0 },
+        Event::Zoom { chart, factor: 0.5 },
+        Event::Pan { chart, dx: -0.25, dy: -0.125 },
+        Event::Pan { chart, dx: -0.25, dy: 0.0 },
+    ];
+
+    let mut session = pi2.session(&g);
+    // A streaming client is attached: first contact takes the snapshot
+    // that all subsequent deltas are relative to.
+    let (_snapshot, v0) = session.scene_snapshot().expect("initial scene snapshot");
+    assert_eq!(v0, 1, "fresh scene starts at version 1");
+
+    let spec = SpecRenderer;
+    let mut by_class: BTreeMap<&'static str, LatencyHistogram> = BTreeMap::new();
+    let mut all = LatencyHistogram::new();
+    let mut delta_bytes: Vec<usize> = Vec::new();
+    let mut full_bytes: Vec<usize> = Vec::new();
+    let mut empty_deltas = 0usize;
+    for _ in 0..CYCLES {
+        for event in &cycle {
+            let class = event.class();
+            let started = Instant::now();
+            let (_updates, delta) =
+                session.dispatch_with_delta(event.clone()).expect("storm dispatch");
+            let frame = delta
+                .as_ref()
+                .map(|d| serde_json::to_string(&delta_to_json(d)).expect("delta serializes"));
+            let elapsed = started.elapsed();
+            by_class.entry(class).or_default().record(elapsed);
+            all.record(elapsed);
+            match frame {
+                Some(f) => delta_bytes.push(f.len()),
+                None => empty_deltas += 1,
+            }
+            // What a non-streaming client re-downloads for the same state.
+            let full = spec.render_live(&session).expect("full spec renders");
+            full_bytes.push(serde_json::to_string(&full).expect("spec serializes").len());
+        }
+    }
+
+    let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for (class, hist) in by_class.iter().map(|(c, h)| (*c, h)).chain([("all", &all)]) {
+        rows.push(vec![
+            class.to_string(),
+            hist.count().to_string(),
+            format!("{:.1}", us(hist.percentile(0.50))),
+            format!("{:.1}", us(hist.percentile(0.99))),
+            format!("{:.1}", us(hist.mean())),
+        ]);
+        let fields = hist.to_json();
+        let fields = fields.trim_start_matches('{').trim_end_matches('}');
+        json_rows.push(format!("{{\"event_class\":\"{class}\",{fields}}}"));
+    }
+    out.push_str(&text_table(&["class", "events", "p50 µs", "p99 µs", "mean µs"], &rows));
+
+    delta_bytes.sort_unstable();
+    full_bytes.sort_unstable();
+    let delta_p50 = percentile_bytes(&delta_bytes, 0.50);
+    let delta_p99 = percentile_bytes(&delta_bytes, 0.99);
+    let full_p50 = percentile_bytes(&full_bytes, 0.50);
+    let full_p99 = percentile_bytes(&full_bytes, 0.99);
+    let ratio_p50 = delta_p50 as f64 / (full_p50 as f64).max(1.0);
+    let met = ratio_p50 <= DELTA_BYTES_RATIO_TARGET;
+    out.push_str(&format!(
+        "\nPatch frame bytes: p50 {delta_p50}, p99 {delta_p99} ({} frames, {empty_deltas} \
+         no-op dispatches).\nFull-spec bytes:   p50 {full_p50}, p99 {full_p99}.\n\
+         Delta/full p50 ratio: {ratio_p50:.3} (gate: <= {DELTA_BYTES_RATIO_TARGET}: {}).\n\
+         A streaming client pays only the damage each gesture causes; a re-rendering\n\
+         client re-downloads every chart's data and encodings each time.\n",
+        delta_bytes.len(),
+        if met { "met" } else { "MISSED" },
+    ));
+
+    let json = format!(
+        "{{\"schema_version\":1,\"scenario\":\"sdss-panzoom\",\"rows\":[{}],\
+         \"bytes\":{{\"frames\":{},\"empty_deltas\":{},\"delta_p50\":{delta_p50},\
+         \"delta_p99\":{delta_p99},\"full_p50\":{full_p50},\"full_p99\":{full_p99},\
+         \"ratio_p50\":{ratio_p50:.6},\"ratio_target\":{DELTA_BYTES_RATIO_TARGET},\
+         \"ratio_target_met\":{met}}}}}",
+        json_rows.join(","),
+        delta_bytes.len(),
+        empty_deltas,
+    );
+    let path = std::path::Path::new("target").join("BENCH_render.json");
+    match std::fs::create_dir_all("target").and_then(|_| std::fs::write(&path, &json)) {
+        Ok(_) => out.push_str(&format!("wrote {}\n", path.display())),
+        Err(e) => out.push_str(&format!("could not write {}: {e}\n", path.display())),
+    }
+    out
+}

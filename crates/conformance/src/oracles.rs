@@ -324,8 +324,13 @@ pub fn check(
     // 4. Widget states are consistent out of the box.
     check_widget_states(&session).map_err(|m| Failure::new("widget-state", m))?;
 
-    // 5. Event walk.
+    // 5. Event walk. A client-side scene replica rides along: every
+    // damage delta is round-tripped through the wire codec and applied,
+    // and must reconstruct the full-render scene bit-for-bit.
     let mut session = g.session(catalog);
+    let (mut scene_client, _) = session
+        .scene_snapshot()
+        .map_err(|e| Failure::new("scene-parity", format!("initial snapshot: {e}")))?;
     let mut dispatched: Vec<Event> = Vec::new();
     let mut walk_rng = SmallRng::seed_from_u64(cfg.walk_seed);
     let planned: Vec<Event> = match recorded {
@@ -349,9 +354,27 @@ pub fn check(
         }
         dispatched.push(event.clone());
         let fail = |oracle, message| Failure { oracle, message, events: dispatched.clone() };
-        let updates = session
-            .dispatch(event.clone())
+        let (updates, delta) = session
+            .dispatch_with_delta(event.clone())
             .map_err(|e| fail("dispatch", format!("{event:?} failed: {e}")))?;
+        if let Some(delta) = delta {
+            let rt = pi2_core::scene::delta_from_json(&pi2_core::scene::delta_to_json(&delta))
+                .map_err(|e| fail("scene-parity", format!("delta codec round-trip: {e}")))?;
+            scene_client
+                .apply(&rt)
+                .map_err(|e| fail("scene-parity", format!("delta rejected by client: {e}")))?;
+        }
+        let full = pi2_core::scene::SceneGraph::build_from(&session)
+            .map_err(|e| fail("scene-parity", format!("full render: {e}")))?;
+        if scene_client != full {
+            return Err(fail(
+                "scene-parity",
+                format!(
+                    "replayed deltas diverge from the full render at scene version {}",
+                    session.scene_version()
+                ),
+            ));
+        }
         for u in &updates {
             roundtrips(&u.query).map_err(|m| fail("event-query", m))?;
             catalog

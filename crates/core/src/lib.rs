@@ -42,6 +42,7 @@ pub mod fleet;
 pub mod pipeline;
 pub mod prelude;
 pub mod problem;
+pub mod scene;
 pub mod session;
 
 pub use fleet::{FleetConfig, FleetCounters, FleetHandle, FleetOutcome};
@@ -51,6 +52,7 @@ pub use pipeline::{
     SearchStrategy,
 };
 pub use problem::{ForestAction, InterfaceSearch};
+pub use scene::{Renderer, SceneCatchup, SceneDelta, SceneGraph, SceneNodeId, SceneState};
 pub use session::{
     ChartUpdate, Event, ExecMode, InterfaceSession, SessionBuilder, SessionError, SessionStats,
     WidgetState, WidgetValue,

@@ -24,6 +24,10 @@ pub use crate::pipeline::{
     DegradationLevel, GeneratedInterface, GenerationStats, Pi2, Pi2Builder, Pi2Error,
     SearchStrategy,
 };
+pub use crate::scene::{
+    ChartPatch, DataPatch, Renderer, SceneCatchup, SceneDelta, SceneGraph, SceneNodeId, SceneState,
+    WidgetPatch,
+};
 pub use crate::session::{
     ChartUpdate, Event, ExecMode, InterfaceSession, SessionBuilder, SessionError, SessionStats,
     WidgetState, WidgetValue,

@@ -1,0 +1,2056 @@
+//! Retained scene graph with damage-tracked deltas.
+//!
+//! The demo's interactive loop re-rendered a whole Vega-Lite-style spec on
+//! every dispatch; once recomputation became sub-linear, full-spec
+//! re-render dominated the wire. This module makes the *interface* the
+//! incrementally maintained artifact (Precision Interfaces' framing): a
+//! typed [`SceneGraph`] of axes, mark groups with per-channel encodings,
+//! widgets, and layout frames is built once from a generated interface,
+//! and a damage-tracking diff pass turns each batch of
+//! [`ChartUpdate`](crate::session::ChartUpdate)s into a compact
+//! [`SceneDelta`] — marks added/removed/re-encoded, data patches as Arc'd
+//! column slices, and dirty-rect hints. Render backends (ASCII, spec JSON,
+//! the interactive HTML client, future wgpu/WASM targets) are pure
+//! consumers of snapshots and deltas.
+//!
+//! Invariant (checked by the `scene-parity` conformance oracle and the
+//! server's delta property tests): for any event sequence, applying the
+//! streamed deltas to a client-side copy of the snapshot reconstructs a
+//! scene identical — bit for bit, through the JSON codec — to a cold
+//! [`SceneGraph::build_from`] of the live session at every step.
+
+use crate::session::{ChartUpdate, InterfaceSession, SessionError, WidgetState};
+use pi2_engine::{ResultSet, Value};
+use pi2_interface::{
+    Channel, ChartId, Element, Encoding, FieldType, Interface, Layout, Mark, WidgetId,
+};
+use pi2_sql::Literal;
+use serde_json::{json, Value as Json};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How many trailing [`SceneDelta`]s a [`SceneState`] retains for clients
+/// catching up by version; older clients get a full-snapshot resync.
+pub const SCENE_HISTORY_CAP: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Node identity
+// ---------------------------------------------------------------------------
+
+/// Stable identifier of one node in a [`SceneGraph`].
+///
+/// Ids are deterministic functions of the interface structure (chart ids,
+/// widget ids, layout position), so a cold rebuild and a delta-maintained
+/// client copy agree on identity without negotiation.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SceneNodeId {
+    /// Raw tagged id: the high byte is the node kind, the low bytes the
+    /// per-kind index.
+    pub raw: u32,
+}
+
+impl SceneNodeId {
+    const CHART_TAG: u32 = 0x0100_0000;
+    const WIDGET_TAG: u32 = 0x0200_0000;
+    const FRAME_TAG: u32 = 0x0300_0000;
+
+    /// Wrap a raw id (for codec use; prefer the typed constructors).
+    pub fn from_raw(raw: u32) -> Self {
+        SceneNodeId { raw }
+    }
+
+    /// The node id of a chart's mark group.
+    pub fn chart(id: ChartId) -> Self {
+        SceneNodeId { raw: Self::CHART_TAG | (id as u32 & 0x00ff_ffff) }
+    }
+
+    /// The node id of a widget.
+    pub fn widget(id: WidgetId) -> Self {
+        SceneNodeId { raw: Self::WIDGET_TAG | (id as u32 & 0x00ff_ffff) }
+    }
+
+    /// The node id of the `n`-th layout frame in pre-order.
+    pub fn frame(n: usize) -> Self {
+        SceneNodeId { raw: Self::FRAME_TAG | (n as u32 & 0x00ff_ffff) }
+    }
+}
+
+/// A rectangle in abstract screen pixels (same space as
+/// [`pi2_interface::ScreenSpec`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: u32,
+    /// Top edge.
+    pub y: u32,
+    /// Width.
+    pub w: u32,
+    /// Height.
+    pub h: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Scene nodes
+// ---------------------------------------------------------------------------
+
+/// One column of a chart's mark data. The values are behind an [`Arc`] so
+/// retained scenes, delta payloads, and the session result cache share
+/// storage instead of copying rows per frame.
+#[derive(Debug, Clone)]
+pub struct ColumnSlice {
+    /// Result field name.
+    pub field: String,
+    /// Column values, one per mark.
+    pub values: Arc<Vec<Value>>,
+}
+
+impl PartialEq for ColumnSlice {
+    fn eq(&self, other: &Self) -> bool {
+        self.field == other.field
+            && (Arc::ptr_eq(&self.values, &other.values) || self.values == other.values)
+    }
+}
+
+/// A positional axis derived from an encoding plus the current data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisScene {
+    /// The encoded channel (X or Y).
+    pub channel: Channel,
+    /// The bound result field.
+    pub field: String,
+    /// Visualization field type.
+    pub field_type: FieldType,
+    /// Numeric domain minimum (quantitative/temporal axes with data).
+    pub min: Option<f64>,
+    /// Numeric domain maximum.
+    pub max: Option<f64>,
+}
+
+/// A chart's retained scene node: mark group, encodings, axes, columnar
+/// data, and its layout frame.
+#[derive(Debug, Clone)]
+pub struct ChartScene {
+    /// Scene node id.
+    pub node: SceneNodeId,
+    /// The interface chart this node renders.
+    pub chart: ChartId,
+    /// `G1`, `G2`, … display name.
+    pub name: String,
+    /// Display title.
+    pub title: String,
+    /// Mark type.
+    pub mark: Mark,
+    /// Per-channel encodings.
+    pub encodings: Vec<Encoding>,
+    /// Interaction kind names (`brush` / `pan-zoom` / `click`), for the
+    /// client's hit-testing layer.
+    pub interactions: Vec<String>,
+    /// The SQL currently backing the chart.
+    pub query: String,
+    /// Positional axes with current domains.
+    pub axes: Vec<AxisScene>,
+    /// Columnar mark data.
+    pub columns: Vec<ColumnSlice>,
+    /// Mark (row) count.
+    pub rows: usize,
+    /// Layout frame, used as the dirty-rect hint when the chart changes.
+    pub frame: Rect,
+    /// The result set the columns were transposed from. Identity-only
+    /// cache key for the incremental rebuild fast path; excluded from
+    /// equality and from the JSON codec.
+    pub source: Option<Arc<ResultSet>>,
+}
+
+impl PartialEq for ChartScene {
+    fn eq(&self, other: &Self) -> bool {
+        // `source` is deliberately ignored: a delta-maintained client copy
+        // has no result sets, only columns.
+        self.node == other.node
+            && self.chart == other.chart
+            && self.name == other.name
+            && self.title == other.title
+            && self.mark == other.mark
+            && self.encodings == other.encodings
+            && self.interactions == other.interactions
+            && self.query == other.query
+            && self.axes == other.axes
+            && self.columns == other.columns
+            && self.rows == other.rows
+            && self.frame == other.frame
+    }
+}
+
+/// A widget's retained scene node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidgetScene {
+    /// Scene node id.
+    pub node: SceneNodeId,
+    /// The interface widget this node renders.
+    pub widget: WidgetId,
+    /// Display label.
+    pub label: String,
+    /// Widget kind wire name (`radio`, `slider`, …).
+    pub kind: String,
+    /// Option labels, when the kind has a discrete domain.
+    pub options: Vec<String>,
+    /// Live display state.
+    pub state: WidgetState,
+    /// Layout frame.
+    pub frame: Rect,
+}
+
+/// Layout frame flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Horizontal split.
+    Horizontal,
+    /// Vertical split.
+    Vertical,
+    /// Leaf holding a chart.
+    Chart(ChartId),
+    /// Leaf holding a widget.
+    Widget(WidgetId),
+}
+
+/// One computed layout frame: a rectangle plus the scene nodes inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutFrame {
+    /// Scene node id (pre-order position in the layout tree).
+    pub node: SceneNodeId,
+    /// Frame flavor.
+    pub kind: FrameKind,
+    /// Screen rectangle.
+    pub rect: Rect,
+    /// Child frame nodes (splits) or the contained element node (leaves).
+    pub children: Vec<SceneNodeId>,
+}
+
+/// The retained scene: every typed node group plus the screen it was laid
+/// out for. Versioning lives in [`SceneState`]; the graph itself is pure
+/// content so a cold rebuild and a patched client copy compare equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneGraph {
+    /// Screen size the layout was computed for.
+    pub screen: (u32, u32),
+    /// Chart mark groups.
+    pub charts: Vec<ChartScene>,
+    /// Widgets.
+    pub widgets: Vec<WidgetScene>,
+    /// Computed layout frames, pre-order.
+    pub frames: Vec<LayoutFrame>,
+}
+
+// ---------------------------------------------------------------------------
+// Building
+// ---------------------------------------------------------------------------
+
+fn transpose(result: &ResultSet) -> Vec<ColumnSlice> {
+    result
+        .schema
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| ColumnSlice {
+            field: f.name.clone(),
+            values: Arc::new(result.rows.iter().map(|r| r[i].clone()).collect()),
+        })
+        .collect()
+}
+
+fn axes_for(encodings: &[Encoding], columns: &[ColumnSlice]) -> Vec<AxisScene> {
+    encodings
+        .iter()
+        .filter(|e| matches!(e.channel, Channel::X | Channel::Y))
+        .map(|e| {
+            let domain = match e.field_type {
+                FieldType::Quantitative | FieldType::Temporal => columns
+                    .iter()
+                    .find(|c| c.field == e.field)
+                    .map(|c| {
+                        c.values.iter().filter_map(Value::as_f64).filter(|v| v.is_finite()).fold(
+                            (None, None),
+                            |(lo, hi): (Option<f64>, Option<f64>), v| {
+                                (
+                                    Some(lo.map_or(v, |l: f64| l.min(v))),
+                                    Some(hi.map_or(v, |h: f64| h.max(v))),
+                                )
+                            },
+                        )
+                    })
+                    .unwrap_or((None, None)),
+                _ => (None, None),
+            };
+            AxisScene {
+                channel: e.channel,
+                field: e.field.clone(),
+                field_type: e.field_type,
+                min: domain.0,
+                max: domain.1,
+            }
+        })
+        .collect()
+}
+
+/// Recursive even-split layout: horizontal frames share width, vertical
+/// frames share height; integer endpoints are computed as `i·extent/n` so
+/// the pieces tile exactly.
+fn layout_frames(
+    layout: &Layout,
+    rect: Rect,
+    counter: &mut usize,
+    out: &mut Vec<LayoutFrame>,
+) -> SceneNodeId {
+    let node = SceneNodeId::frame(*counter);
+    *counter += 1;
+    let slot = out.len();
+    out.push(LayoutFrame { node, kind: FrameKind::Horizontal, rect, children: Vec::new() });
+    let (kind, children) = match layout {
+        Layout::Leaf(Element::Chart(id)) => (FrameKind::Chart(*id), vec![SceneNodeId::chart(*id)]),
+        Layout::Leaf(Element::Widget(id)) => {
+            (FrameKind::Widget(*id), vec![SceneNodeId::widget(*id)])
+        }
+        Layout::Horizontal(items) => {
+            let n = items.len().max(1) as u64;
+            let kids = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let x0 = rect.x + (i as u64 * rect.w as u64 / n) as u32;
+                    let x1 = rect.x + ((i as u64 + 1) * rect.w as u64 / n) as u32;
+                    let child = Rect { x: x0, y: rect.y, w: x1 - x0, h: rect.h };
+                    layout_frames(item, child, counter, out)
+                })
+                .collect();
+            (FrameKind::Horizontal, kids)
+        }
+        Layout::Vertical(items) => {
+            let n = items.len().max(1) as u64;
+            let kids = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let y0 = rect.y + (i as u64 * rect.h as u64 / n) as u32;
+                    let y1 = rect.y + ((i as u64 + 1) * rect.h as u64 / n) as u32;
+                    let child = Rect { x: rect.x, y: y0, w: rect.w, h: y1 - y0 };
+                    layout_frames(item, child, counter, out)
+                })
+                .collect();
+            (FrameKind::Vertical, kids)
+        }
+    };
+    out[slot].kind = kind;
+    out[slot].children = children;
+    node
+}
+
+fn element_rect(frames: &[LayoutFrame], want: FrameKind) -> Rect {
+    frames.iter().find(|f| f.kind == want).map(|f| f.rect).unwrap_or_default()
+}
+
+fn widget_options(kind: &pi2_interface::WidgetKind) -> Vec<String> {
+    use pi2_interface::WidgetKind as K;
+    match kind {
+        K::Radio { options }
+        | K::ButtonGroup { options }
+        | K::Dropdown { options }
+        | K::Tabs { options }
+        | K::MultiSelect { options } => options.clone(),
+        _ => Vec::new(),
+    }
+}
+
+impl SceneGraph {
+    /// Build a scene from an interface plus current chart data and widget
+    /// states. Charts with no update render as empty mark groups.
+    pub fn build(
+        interface: &Interface,
+        updates: &[ChartUpdate],
+        widget_states: &[(WidgetId, WidgetState)],
+    ) -> SceneGraph {
+        Self::build_with_prev(interface, updates, widget_states, None)
+    }
+
+    /// [`SceneGraph::build`] with an incremental fast path: a chart whose
+    /// update carries the *same* [`Arc`]'d result as `prev`'s node skips
+    /// the columnar transpose and domain scan and reuses the previous
+    /// node wholesale.
+    pub fn build_with_prev(
+        interface: &Interface,
+        updates: &[ChartUpdate],
+        widget_states: &[(WidgetId, WidgetState)],
+        prev: Option<&SceneGraph>,
+    ) -> SceneGraph {
+        let screen = (interface.screen.width, interface.screen.height);
+        let mut frames = Vec::new();
+        let mut counter = 0usize;
+        layout_frames(
+            &interface.layout,
+            Rect { x: 0, y: 0, w: screen.0, h: screen.1 },
+            &mut counter,
+            &mut frames,
+        );
+
+        let charts = interface
+            .charts
+            .iter()
+            .map(|c| {
+                let update = updates.iter().find(|u| u.chart == c.id);
+                let frame = element_rect(&frames, FrameKind::Chart(c.id));
+                let reused = prev.and_then(|p| {
+                    let old = p.charts.iter().find(|s| s.chart == c.id)?;
+                    let (u, src) = (update?, old.source.as_ref()?);
+                    if Arc::ptr_eq(&u.result, src) && old.query == u.query.to_string() {
+                        Some(old.clone())
+                    } else {
+                        None
+                    }
+                });
+                if let Some(old) = reused {
+                    return ChartScene { frame, ..old };
+                }
+                let (columns, rows, query, source) = match update {
+                    Some(u) => (
+                        transpose(&u.result),
+                        u.result.rows.len(),
+                        u.query.to_string(),
+                        Some(Arc::clone(&u.result)),
+                    ),
+                    None => (Vec::new(), 0, String::new(), None),
+                };
+                let axes = axes_for(&c.encodings, &columns);
+                ChartScene {
+                    node: SceneNodeId::chart(c.id),
+                    chart: c.id,
+                    name: c.name.clone(),
+                    title: c.title.clone(),
+                    mark: c.mark,
+                    encodings: c.encodings.clone(),
+                    interactions: c.interactions.iter().map(|i| i.kind_name().into()).collect(),
+                    query,
+                    axes,
+                    columns,
+                    rows,
+                    frame,
+                    source,
+                }
+            })
+            .collect();
+
+        let widgets = interface
+            .widgets
+            .iter()
+            .map(|w| WidgetScene {
+                node: SceneNodeId::widget(w.id),
+                widget: w.id,
+                label: w.label.clone(),
+                kind: w.kind.kind_name().to_string(),
+                options: widget_options(&w.kind),
+                state: widget_states
+                    .iter()
+                    .find(|(id, _)| *id == w.id)
+                    .map(|(_, s)| s.clone())
+                    .unwrap_or(WidgetState::Unknown),
+                frame: element_rect(&frames, FrameKind::Widget(w.id)),
+            })
+            .collect();
+
+        SceneGraph { screen, charts, widgets, frames }
+    }
+
+    /// Cold full build from a live session: execute every chart and read
+    /// every widget state. The parity reference for delta replay.
+    pub fn build_from(session: &InterfaceSession) -> Result<SceneGraph, SessionError> {
+        let updates = session.refresh_all()?;
+        let states = session.widget_states();
+        Ok(Self::build(session.interface(), &updates, &states))
+    }
+
+    /// Apply one delta in place (the client side of the protocol).
+    pub fn apply(&mut self, delta: &SceneDelta) -> Result<(), SessionError> {
+        for patch in &delta.charts {
+            let chart = self
+                .charts
+                .iter_mut()
+                .find(|c| c.node == patch.node)
+                .ok_or_else(|| internal(format!("unknown scene node {:#x}", patch.node.raw)))?;
+            if let Some(q) = &patch.query {
+                chart.query = q.clone();
+            }
+            if let Some(m) = patch.mark {
+                chart.mark = m;
+            }
+            if let Some(e) = &patch.encodings {
+                chart.encodings = e.clone();
+            }
+            if let Some(a) = &patch.axes {
+                chart.axes = a.clone();
+            }
+            if let Some(data) = &patch.data {
+                let (columns, rows) = apply_data(&chart.columns, chart.rows, data)?;
+                chart.columns = columns;
+                chart.rows = rows;
+            }
+            chart.source = None;
+        }
+        for patch in &delta.widgets {
+            let widget = self
+                .widgets
+                .iter_mut()
+                .find(|w| w.node == patch.node)
+                .ok_or_else(|| internal(format!("unknown scene node {:#x}", patch.node.raw)))?;
+            widget.state = patch.state.clone();
+        }
+        Ok(())
+    }
+}
+
+fn internal(msg: String) -> SessionError {
+    SessionError::Internal(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Deltas
+// ---------------------------------------------------------------------------
+
+/// One op of a row-level edit script (see [`DataPatch::edits`]). The ops
+/// walk the old rows front to back; keeps and drops consume old rows,
+/// inserts splice in new ones.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowEdit {
+    /// Keep the next `n` old rows.
+    Keep(usize),
+    /// Remove the next `n` old rows.
+    Drop(usize),
+    /// Insert rows here, carried as column-parallel value runs (fields in
+    /// the chart's column order).
+    Insert(Vec<ColumnSlice>),
+}
+
+/// A splice of a chart's mark data: keep the old rows
+/// `[drop_head, old_rows - drop_tail)`, prepend and append the payload
+/// columns. A full replacement drops every old row and carries the whole
+/// new column set in `prepend` (which also re-establishes the field list
+/// when the query's output schema changed).
+///
+/// When contiguous head/tail damage can't describe the change compactly
+/// (row turnover scattered through the result), [`DataPatch::edits`]
+/// carries a row-level edit script instead; a non-empty script is
+/// authoritative and the splice fields are ignored.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataPatch {
+    /// Old rows removed from the front.
+    pub drop_head: usize,
+    /// Old rows removed from the back.
+    pub drop_tail: usize,
+    /// Columns of rows inserted before the kept block.
+    pub prepend: Vec<ColumnSlice>,
+    /// Columns of rows appended after the kept block.
+    pub append: Vec<ColumnSlice>,
+    /// Row-level edit script; when non-empty it replaces the splice
+    /// fields entirely and must consume exactly the old row count.
+    pub edits: Vec<RowEdit>,
+}
+
+impl DataPatch {
+    /// Empty patch; chain the setters.
+    pub fn new() -> Self {
+        DataPatch::default()
+    }
+
+    /// Set the rows dropped from the front.
+    pub fn drop_head(mut self, n: usize) -> Self {
+        self.drop_head = n;
+        self
+    }
+
+    /// Set the rows dropped from the back.
+    pub fn drop_tail(mut self, n: usize) -> Self {
+        self.drop_tail = n;
+        self
+    }
+
+    /// Set the prepended columns.
+    pub fn prepend(mut self, columns: Vec<ColumnSlice>) -> Self {
+        self.prepend = columns;
+        self
+    }
+
+    /// Set the appended columns.
+    pub fn append(mut self, columns: Vec<ColumnSlice>) -> Self {
+        self.append = columns;
+        self
+    }
+
+    /// Set the row-level edit script (authoritative when non-empty).
+    pub fn edits(mut self, edits: Vec<RowEdit>) -> Self {
+        self.edits = edits;
+        self
+    }
+
+    /// Payload size in rows (prepended + appended, or the edit script's
+    /// inserted rows when one is present).
+    pub fn payload_rows(&self) -> usize {
+        if !self.edits.is_empty() {
+            return self
+                .edits
+                .iter()
+                .map(|e| match e {
+                    RowEdit::Insert(cols) => cols.first().map(|c| c.values.len()).unwrap_or(0),
+                    _ => 0,
+                })
+                .sum();
+        }
+        let pre = self.prepend.first().map(|c| c.values.len()).unwrap_or(0);
+        let app = self.append.first().map(|c| c.values.len()).unwrap_or(0);
+        pre + app
+    }
+}
+
+/// Damage record for one chart node.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartPatch {
+    /// The damaged node.
+    pub node: SceneNodeId,
+    /// The chart it belongs to.
+    pub chart: ChartId,
+    /// New SQL, when the backing query changed.
+    pub query: Option<String>,
+    /// New mark, when the chart was re-encoded.
+    pub mark: Option<Mark>,
+    /// New encodings, when the chart was re-encoded.
+    pub encodings: Option<Vec<Encoding>>,
+    /// New axes, when a domain moved.
+    pub axes: Option<Vec<AxisScene>>,
+    /// Data splice, when marks changed.
+    pub data: Option<DataPatch>,
+    /// Marks added by the splice.
+    pub marks_added: usize,
+    /// Marks removed by the splice.
+    pub marks_removed: usize,
+    /// Dirty-rect hint: the chart's layout frame.
+    pub dirty: Option<Rect>,
+}
+
+impl ChartPatch {
+    /// A patch touching `node`; chain the setters.
+    pub fn new(node: SceneNodeId, chart: ChartId) -> Self {
+        ChartPatch {
+            node,
+            chart,
+            query: None,
+            mark: None,
+            encodings: None,
+            axes: None,
+            data: None,
+            marks_added: 0,
+            marks_removed: 0,
+            dirty: None,
+        }
+    }
+
+    /// Set the new query text.
+    pub fn query(mut self, q: impl Into<String>) -> Self {
+        self.query = Some(q.into());
+        self
+    }
+
+    /// Set the new mark.
+    pub fn mark(mut self, m: Mark) -> Self {
+        self.mark = Some(m);
+        self
+    }
+
+    /// Set the new encodings.
+    pub fn encodings(mut self, e: Vec<Encoding>) -> Self {
+        self.encodings = Some(e);
+        self
+    }
+
+    /// Set the new axes.
+    pub fn axes(mut self, a: Vec<AxisScene>) -> Self {
+        self.axes = Some(a);
+        self
+    }
+
+    /// Set the data splice and its mark counts.
+    pub fn data(mut self, patch: DataPatch, added: usize, removed: usize) -> Self {
+        self.data = Some(patch);
+        self.marks_added = added;
+        self.marks_removed = removed;
+        self
+    }
+
+    /// Set the dirty-rect hint.
+    pub fn dirty(mut self, rect: Rect) -> Self {
+        self.dirty = Some(rect);
+        self
+    }
+}
+
+/// Damage record for one widget node.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq)]
+pub struct WidgetPatch {
+    /// The damaged node.
+    pub node: SceneNodeId,
+    /// The widget it belongs to.
+    pub widget: WidgetId,
+    /// The new display state.
+    pub state: WidgetState,
+}
+
+impl WidgetPatch {
+    /// A patch setting `node`'s state.
+    pub fn new(node: SceneNodeId, widget: WidgetId, state: WidgetState) -> Self {
+        WidgetPatch { node, widget, state }
+    }
+}
+
+/// One damage frame: everything that changed between two consecutive scene
+/// versions.
+#[non_exhaustive]
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SceneDelta {
+    /// The version this delta applies on top of.
+    pub from_version: u64,
+    /// The version the scene is at after applying.
+    pub to_version: u64,
+    /// Damaged charts.
+    pub charts: Vec<ChartPatch>,
+    /// Damaged widgets.
+    pub widgets: Vec<WidgetPatch>,
+}
+
+impl SceneDelta {
+    /// A delta between two versions; chain the setters.
+    pub fn new(from_version: u64, to_version: u64) -> Self {
+        SceneDelta { from_version, to_version, charts: Vec::new(), widgets: Vec::new() }
+    }
+
+    /// Add a chart patch.
+    pub fn chart(mut self, patch: ChartPatch) -> Self {
+        self.charts.push(patch);
+        self
+    }
+
+    /// Add a widget patch.
+    pub fn widget(mut self, patch: WidgetPatch) -> Self {
+        self.widgets.push(patch);
+        self
+    }
+
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.charts.is_empty() && self.widgets.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diff pass
+// ---------------------------------------------------------------------------
+
+fn row_keys(columns: &[ColumnSlice], rows: usize) -> Vec<u64> {
+    use std::hash::{Hash, Hasher};
+    (0..rows)
+        .map(|i| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for c in columns {
+                c.values[i].hash(&mut h);
+            }
+            h.finish()
+        })
+        .collect()
+}
+
+/// Longest common contiguous block `(a_start, b_start, len)` of two key
+/// sequences. Falls back to a prefix/suffix heuristic past a work cap so
+/// pathological result sizes stay O(n).
+fn longest_common_block(a: &[u64], b: &[u64]) -> (usize, usize, usize) {
+    if a.is_empty() || b.is_empty() {
+        return (0, 0, 0);
+    }
+    const WORK_CAP: usize = 4_000_000;
+    if a.len().saturating_mul(b.len()) > WORK_CAP {
+        let p = a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count();
+        let s = a.iter().rev().zip(b.iter().rev()).take_while(|(x, y)| x == y).count();
+        let s = s.min(a.len().min(b.len()).saturating_sub(p));
+        return if p >= s { (0, 0, p) } else { (a.len() - s, b.len() - s, s) };
+    }
+    let mut best = (0usize, 0usize, 0usize);
+    let mut prev = vec![0u32; b.len() + 1];
+    let mut cur = vec![0u32; b.len() + 1];
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            cur[j] = if a[i - 1] == b[j - 1] { prev[j - 1] + 1 } else { 0 };
+            if cur[j] as usize > best.2 {
+                best = (i - cur[j] as usize, j - cur[j] as usize, cur[j] as usize);
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+fn slice_columns(columns: &[ColumnSlice], range: std::ops::Range<usize>) -> Vec<ColumnSlice> {
+    columns
+        .iter()
+        .map(|c| ColumnSlice {
+            field: c.field.clone(),
+            values: Arc::new(c.values[range.clone()].to_vec()),
+        })
+        .collect()
+}
+
+fn block_equal(old: &[ColumnSlice], new: &[ColumnSlice], os: usize, ns: usize, len: usize) -> bool {
+    old.iter().zip(new.iter()).all(|(a, b)| a.values[os..os + len] == b.values[ns..ns + len])
+}
+
+fn full_replace(old_rows: usize, new: &ChartScene) -> DataPatch {
+    DataPatch::new().drop_head(old_rows).prepend(slice_columns(&new.columns, 0..new.rows))
+}
+
+/// Row-level edit script between two same-schema column sets: anchor on
+/// rows whose key is unique in *both* sequences, keep the longest chain of
+/// anchors increasing on both sides, and emit keep/drop/insert runs
+/// between them. This is what keeps a delta small when row turnover is
+/// scattered through the result (a filter on a non-sort column moved) and
+/// no single contiguous block survives. Returns `(edits, inserted,
+/// removed)`, or `None` when no anchor survives value verification.
+fn edit_script(
+    old: &ChartScene,
+    new: &ChartScene,
+    ka: &[u64],
+    kb: &[u64],
+) -> Option<(Vec<RowEdit>, usize, usize)> {
+    use std::collections::HashMap;
+    #[derive(Clone, Copy)]
+    enum Seen {
+        Once(usize),
+        Dup,
+    }
+    let mut seen_old: HashMap<u64, Seen> = HashMap::with_capacity(ka.len());
+    for (i, k) in ka.iter().enumerate() {
+        seen_old.entry(*k).and_modify(|s| *s = Seen::Dup).or_insert(Seen::Once(i));
+    }
+    let mut seen_new: HashMap<u64, Seen> = HashMap::with_capacity(kb.len());
+    for (j, k) in kb.iter().enumerate() {
+        seen_new.entry(*k).and_modify(|s| *s = Seen::Dup).or_insert(Seen::Once(j));
+    }
+    // Candidate anchors in new-row order; a kept chain must also be
+    // increasing in old-row order (longest increasing subsequence).
+    let mut cand: Vec<(usize, usize)> = Vec::new();
+    for (j, k) in kb.iter().enumerate() {
+        if let (Some(Seen::Once(i)), Some(Seen::Once(_))) = (seen_old.get(k), seen_new.get(k)) {
+            cand.push((*i, j));
+        }
+    }
+    if cand.is_empty() {
+        return None;
+    }
+    // Patience LIS over the old indices.
+    let mut tails: Vec<usize> = Vec::new();
+    let mut prev: Vec<Option<usize>> = vec![None; cand.len()];
+    for (ci, &(i, _)) in cand.iter().enumerate() {
+        let pos = tails.partition_point(|&t| cand[t].0 < i);
+        prev[ci] = pos.checked_sub(1).map(|p| tails[p]);
+        if pos == tails.len() {
+            tails.push(ci);
+        } else {
+            tails[pos] = ci;
+        }
+    }
+    let mut chain = Vec::new();
+    let mut cur = tails.last().copied();
+    while let Some(ci) = cur {
+        chain.push(cand[ci]);
+        cur = prev[ci];
+    }
+    chain.reverse();
+    // Anchors are matched by hash; verify by value so a collision can
+    // never corrupt the client's scene.
+    for &(i, j) in &chain {
+        if !old.columns.iter().zip(new.columns.iter()).all(|(a, b)| a.values[i] == b.values[j]) {
+            return None;
+        }
+    }
+    let mut edits: Vec<RowEdit> = Vec::new();
+    let (mut ai, mut bi) = (0usize, 0usize);
+    let mut inserted = 0usize;
+    for &(i, j) in &chain {
+        if i > ai {
+            edits.push(RowEdit::Drop(i - ai));
+        }
+        if j > bi {
+            inserted += j - bi;
+            edits.push(RowEdit::Insert(slice_columns(&new.columns, bi..j)));
+        }
+        match edits.last_mut() {
+            Some(RowEdit::Keep(n)) if i == ai && j == bi => *n += 1,
+            _ => edits.push(RowEdit::Keep(1)),
+        }
+        ai = i + 1;
+        bi = j + 1;
+    }
+    if old.rows > ai {
+        edits.push(RowEdit::Drop(old.rows - ai));
+    }
+    if new.rows > bi {
+        inserted += new.rows - bi;
+        edits.push(RowEdit::Insert(slice_columns(&new.columns, bi..new.rows)));
+    }
+    Some((edits, inserted, old.rows - chain.len()))
+}
+
+/// Diff one chart's data: `None` when unchanged, otherwise the smallest
+/// damage this pass can prove correct — a head/tail splice around a kept
+/// block when the change is contiguous, or a row-level edit script when
+/// the turnover is scattered (both verified by value, not just by hash).
+fn diff_data(old: &ChartScene, new: &ChartScene) -> Option<(DataPatch, usize, usize)> {
+    let same_fields = old.columns.len() == new.columns.len()
+        && old.columns.iter().zip(new.columns.iter()).all(|(a, b)| a.field == b.field);
+    if same_fields && old.rows == new.rows && old.columns == new.columns {
+        return None;
+    }
+    if !same_fields {
+        return Some((full_replace(old.rows, new), new.rows, old.rows));
+    }
+    let ka = row_keys(&old.columns, old.rows);
+    let kb = row_keys(&new.columns, new.rows);
+    let (os, ns, mut len) = longest_common_block(&ka, &kb);
+    if len > 0 && !block_equal(&old.columns, &new.columns, os, ns, len) {
+        len = 0; // hash collision: fall back to a full replacement
+    }
+    // Prefer the edit script when its payload (inserted rows plus a small
+    // per-op charge, so a thousand one-row keeps can't beat a clean
+    // splice) undercuts the splice's prepend+append payload.
+    let splice_payload = new.rows - len;
+    if let Some((edits, inserted, removed)) = edit_script(old, new, &ka, &kb) {
+        if inserted + edits.len() / 2 < splice_payload {
+            return Some((DataPatch::new().edits(edits), inserted, removed));
+        }
+    }
+    if len == 0 {
+        return Some((full_replace(old.rows, new), new.rows, old.rows));
+    }
+    let patch = DataPatch::new()
+        .drop_head(os)
+        .drop_tail(old.rows - os - len)
+        .prepend(slice_columns(&new.columns, 0..ns))
+        .append(slice_columns(&new.columns, ns + len..new.rows));
+    Some((patch, new.rows - len, old.rows - len))
+}
+
+fn apply_data(
+    old: &[ColumnSlice],
+    old_rows: usize,
+    patch: &DataPatch,
+) -> Result<(Vec<ColumnSlice>, usize), SessionError> {
+    if !patch.edits.is_empty() {
+        return apply_edits(old, old_rows, &patch.edits);
+    }
+    let kept_start = patch.drop_head.min(old_rows);
+    let kept_end = old_rows.saturating_sub(patch.drop_tail).max(kept_start);
+    let kept = kept_end - kept_start;
+    if kept == 0 {
+        // Full replacement: the payload defines the field list.
+        let rows = patch.payload_rows();
+        if patch.prepend.len() != patch.append.len() && !patch.append.is_empty() {
+            return Err(internal("data patch prepend/append field mismatch".into()));
+        }
+        let columns = patch
+            .prepend
+            .iter()
+            .enumerate()
+            .map(|(i, pre)| {
+                let mut values = pre.values.as_ref().clone();
+                if let Some(app) = patch.append.get(i) {
+                    values.extend(app.values.iter().cloned());
+                }
+                ColumnSlice { field: pre.field.clone(), values: Arc::new(values) }
+            })
+            .collect();
+        return Ok((columns, rows));
+    }
+    let mut columns = Vec::with_capacity(old.len());
+    for (i, col) in old.iter().enumerate() {
+        let pre = patch.prepend.get(i);
+        let app = patch.append.get(i);
+        for payload in [pre, app].into_iter().flatten() {
+            if payload.field != col.field {
+                return Err(internal(format!(
+                    "data patch field {} does not match column {}",
+                    payload.field, col.field
+                )));
+            }
+        }
+        let mut values: Vec<Value> = pre.map(|p| p.values.as_ref().clone()).unwrap_or_default();
+        values.extend(col.values[kept_start..kept_end].iter().cloned());
+        if let Some(a) = app {
+            values.extend(a.values.iter().cloned());
+        }
+        columns.push(ColumnSlice { field: col.field.clone(), values: Arc::new(values) });
+    }
+    let rows = patch.payload_rows() + kept;
+    Ok((columns, rows))
+}
+
+/// Apply a row-level edit script. The script must consume exactly
+/// `old_rows` (keeps + drops) and every insert must match the chart's
+/// field list.
+fn apply_edits(
+    old: &[ColumnSlice],
+    old_rows: usize,
+    edits: &[RowEdit],
+) -> Result<(Vec<ColumnSlice>, usize), SessionError> {
+    let mut out: Vec<(String, Vec<Value>)> =
+        old.iter().map(|c| (c.field.clone(), Vec::new())).collect();
+    let mut cursor = 0usize;
+    for op in edits {
+        match op {
+            RowEdit::Keep(n) => {
+                let end = cursor
+                    .checked_add(*n)
+                    .filter(|&e| e <= old_rows)
+                    .ok_or_else(|| internal("edit script keeps past the end".into()))?;
+                for (col, (_, values)) in old.iter().zip(out.iter_mut()) {
+                    values.extend(col.values[cursor..end].iter().cloned());
+                }
+                cursor = end;
+            }
+            RowEdit::Drop(n) => {
+                cursor = cursor
+                    .checked_add(*n)
+                    .filter(|&e| e <= old_rows)
+                    .ok_or_else(|| internal("edit script drops past the end".into()))?;
+            }
+            RowEdit::Insert(cols) => {
+                if cols.len() != old.len() {
+                    return Err(internal("edit script insert field-count mismatch".into()));
+                }
+                for (slice, (field, values)) in cols.iter().zip(out.iter_mut()) {
+                    if slice.field != *field {
+                        return Err(internal(format!(
+                            "edit script insert field {} does not match column {field}",
+                            slice.field
+                        )));
+                    }
+                    values.extend(slice.values.iter().cloned());
+                }
+            }
+        }
+    }
+    if cursor != old_rows {
+        return Err(internal("edit script does not consume every old row".into()));
+    }
+    let rows = out.first().map(|(_, v)| v.len()).unwrap_or(0);
+    let columns = out
+        .into_iter()
+        .map(|(field, values)| ColumnSlice { field, values: Arc::new(values) })
+        .collect();
+    Ok((columns, rows))
+}
+
+/// Diff two scenes over the same interface into (unversioned) patches.
+fn diff_graphs(old: &SceneGraph, new: &SceneGraph) -> SceneDelta {
+    let mut delta = SceneDelta::new(0, 0);
+    for n in &new.charts {
+        let Some(o) = old.charts.iter().find(|c| c.node == n.node) else {
+            continue;
+        };
+        if o == n {
+            continue;
+        }
+        let mut patch = ChartPatch::new(n.node, n.chart);
+        if o.query != n.query {
+            patch = patch.query(n.query.clone());
+        }
+        if o.mark != n.mark {
+            patch = patch.mark(n.mark);
+        }
+        if o.encodings != n.encodings {
+            patch = patch.encodings(n.encodings.clone());
+        }
+        if o.axes != n.axes {
+            patch = patch.axes(n.axes.clone());
+        }
+        if let Some((data, added, removed)) = diff_data(o, n) {
+            patch = patch.data(data, added, removed);
+        }
+        delta = delta.chart(patch.dirty(n.frame));
+    }
+    for n in &new.widgets {
+        let Some(o) = old.widgets.iter().find(|w| w.node == n.node) else {
+            continue;
+        };
+        if o.state != n.state {
+            delta = delta.widget(WidgetPatch::new(n.node, n.widget, n.state.clone()));
+        }
+    }
+    delta
+}
+
+// ---------------------------------------------------------------------------
+// Scene state: versions + delta history
+// ---------------------------------------------------------------------------
+
+/// What a version-aware client gets when it asks for everything after its
+/// last applied scene version.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SceneCatchup {
+    /// The client is current; nothing to send.
+    UpToDate,
+    /// A contiguous run of deltas bringing the client current.
+    Deltas(Vec<SceneDelta>),
+    /// The client's version is stale (or unknown): full snapshot at the
+    /// given version.
+    Resync(Box<SceneGraph>, u64),
+}
+
+/// The retained scene plus its monotone version counter and a bounded ring
+/// of recent deltas for catch-up. Owned by
+/// [`InterfaceSession`](crate::session::InterfaceSession).
+#[derive(Debug, Clone)]
+pub struct SceneState {
+    graph: SceneGraph,
+    version: u64,
+    history: VecDeque<SceneDelta>,
+}
+
+impl SceneState {
+    /// Start retaining `graph` at version 1.
+    pub fn new(graph: SceneGraph) -> Self {
+        SceneState { graph, version: 1, history: VecDeque::new() }
+    }
+
+    /// Current scene version (monotone; bumps once per damaging sync).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The retained scene.
+    pub fn graph(&self) -> &SceneGraph {
+        &self.graph
+    }
+
+    /// Replace the retained scene with `fresh`, emitting the damage delta.
+    /// Returns `None` (and keeps the version) when nothing changed.
+    pub fn sync(&mut self, fresh: SceneGraph) -> Option<SceneDelta> {
+        let mut delta = diff_graphs(&self.graph, &fresh);
+        self.graph = fresh;
+        if delta.is_empty() {
+            return None;
+        }
+        delta.from_version = self.version;
+        self.version += 1;
+        delta.to_version = self.version;
+        if self.history.len() == SCENE_HISTORY_CAP {
+            self.history.pop_front();
+        }
+        self.history.push_back(delta.clone());
+        Some(delta)
+    }
+
+    /// Catch a client up from `since` to the current version.
+    pub fn deltas_since(&self, since: u64) -> SceneCatchup {
+        if since == self.version {
+            return SceneCatchup::UpToDate;
+        }
+        if since < self.version {
+            let chain: Vec<SceneDelta> =
+                self.history.iter().filter(|d| d.from_version >= since).cloned().collect();
+            let contiguous = chain.first().is_some_and(|d| d.from_version == since)
+                && chain.last().is_some_and(|d| d.to_version == self.version);
+            if contiguous {
+                return SceneCatchup::Deltas(chain);
+            }
+        }
+        SceneCatchup::Resync(Box::new(self.graph.clone()), self.version)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Renderer: the typed surface over all backends
+// ---------------------------------------------------------------------------
+
+/// A render backend: anything that can turn an interface plus current data
+/// into an output artifact (ASCII text, a spec document, an HTML page, a
+/// GPU scene). Replaces the old free-function surface
+/// (`render_interface`, `render_session`, `interface_spec`, `chart_spec`);
+/// `pi2-render` ships `AsciiRenderer`, `SpecRenderer`, and `HtmlRenderer`.
+pub trait Renderer {
+    /// The backend's output artifact.
+    type Output;
+
+    /// Render an interface with the given chart data.
+    fn render(&self, interface: &Interface, updates: &[ChartUpdate]) -> Self::Output;
+
+    /// Render a live session: current data plus live widget state. The
+    /// default executes every chart and delegates to [`Renderer::render`].
+    fn render_live(&self, session: &InterfaceSession) -> Result<Self::Output, SessionError> {
+        Ok(self.render(session.interface(), &session.refresh_all()?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON codec (the wire format of `render_delta` and the HTML client)
+// ---------------------------------------------------------------------------
+
+fn mark_name(m: Mark) -> &'static str {
+    match m {
+        Mark::Bar => "bar",
+        Mark::Line => "line",
+        Mark::Area => "area",
+        Mark::Scatter => "scatter",
+        Mark::Table => "table",
+        Mark::Heatmap => "heatmap",
+    }
+}
+
+fn parse_mark(s: &str) -> Result<Mark, String> {
+    Ok(match s {
+        "bar" => Mark::Bar,
+        "line" => Mark::Line,
+        "area" => Mark::Area,
+        "scatter" => Mark::Scatter,
+        "table" => Mark::Table,
+        "heatmap" => Mark::Heatmap,
+        other => return Err(format!("unknown mark {other:?}")),
+    })
+}
+
+fn channel_name(c: Channel) -> &'static str {
+    match c {
+        Channel::X => "x",
+        Channel::Y => "y",
+        Channel::Color => "color",
+        Channel::Size => "size",
+        Channel::Detail => "detail",
+    }
+}
+
+fn parse_channel(s: &str) -> Result<Channel, String> {
+    Ok(match s {
+        "x" => Channel::X,
+        "y" => Channel::Y,
+        "color" => Channel::Color,
+        "size" => Channel::Size,
+        "detail" => Channel::Detail,
+        other => return Err(format!("unknown channel {other:?}")),
+    })
+}
+
+fn field_type_name(t: FieldType) -> &'static str {
+    match t {
+        FieldType::Quantitative => "quantitative",
+        FieldType::Nominal => "nominal",
+        FieldType::Ordinal => "ordinal",
+        FieldType::Temporal => "temporal",
+    }
+}
+
+fn parse_field_type(s: &str) -> Result<FieldType, String> {
+    Ok(match s {
+        "quantitative" => FieldType::Quantitative,
+        "nominal" => FieldType::Nominal,
+        "ordinal" => FieldType::Ordinal,
+        "temporal" => FieldType::Temporal,
+        other => return Err(format!("unknown field type {other:?}")),
+    })
+}
+
+fn f64_json(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Number(serde_json::Number::Float(v))
+    } else {
+        json!({ "$float": format!("{v:?}") })
+    }
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => json!(b),
+        Value::Int(i) => json!(i),
+        Value::Float(f) => f64_json(*f),
+        Value::Str(s) => json!(s),
+        Value::Date(d) => json!({ "$date": d.to_string() }),
+    }
+}
+
+fn value_from_json(v: &Json) -> Result<Value, String> {
+    match v {
+        Json::Null => Ok(Value::Null),
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Number(n) => Ok(match n.as_i64() {
+            Some(i) => Value::Int(i),
+            None => Value::Float(n.as_f64()),
+        }),
+        Json::String(s) => Ok(Value::Str(s.clone())),
+        Json::Object(o) => {
+            if let Some(Json::String(d)) = o.get("$date") {
+                return pi2_sql::Date::parse(d)
+                    .map(Value::Date)
+                    .ok_or_else(|| format!("bad date {d:?}"));
+            }
+            if let Some(Json::String(f)) = o.get("$float") {
+                return f.parse::<f64>().map(Value::Float).map_err(|e| e.to_string());
+            }
+            Err("unexpected object value".to_string())
+        }
+        Json::Array(_) => Err("unexpected array value".to_string()),
+    }
+}
+
+fn literal_to_json(l: &Literal) -> Json {
+    match l {
+        Literal::Null => Json::Null,
+        Literal::Bool(b) => json!(b),
+        Literal::Int(i) => json!(i),
+        Literal::Float(f) => f64_json(f.0),
+        Literal::Str(s) => json!(s),
+        Literal::Date(d) => json!({ "$date": d.to_string() }),
+    }
+}
+
+fn literal_from_json(v: &Json) -> Result<Literal, String> {
+    Ok(match value_from_json(v)? {
+        Value::Null => Literal::Null,
+        Value::Bool(b) => Literal::Bool(b),
+        Value::Int(i) => Literal::Int(i),
+        Value::Float(f) => Literal::Float(pi2_sql::F64(f)),
+        Value::Str(s) => Literal::Str(s),
+        Value::Date(d) => Literal::Date(d),
+    })
+}
+
+fn widget_state_to_json(s: &WidgetState) -> Json {
+    match s {
+        WidgetState::Picked(i) => json!({ "picked": i }),
+        WidgetState::Toggled(b) => json!({ "toggled": b }),
+        WidgetState::Value(l) => json!({ "value": literal_to_json(l) }),
+        WidgetState::Range(lo, hi) => {
+            json!({ "range": [literal_to_json(lo), literal_to_json(hi)] })
+        }
+        WidgetState::Flags(f) => json!({ "flags": f }),
+        WidgetState::Unknown => json!({ "unknown": true }),
+    }
+}
+
+fn widget_state_from_json(v: &Json) -> Result<WidgetState, String> {
+    let o = v.as_object().ok_or("widget state must be an object")?;
+    if let Some(p) = o.get("picked") {
+        return p
+            .as_u64()
+            .map(|i| WidgetState::Picked(i as usize))
+            .ok_or_else(|| "bad pick".into());
+    }
+    if let Some(t) = o.get("toggled") {
+        return t.as_bool().map(WidgetState::Toggled).ok_or_else(|| "bad toggle".into());
+    }
+    if let Some(val) = o.get("value") {
+        return literal_from_json(val).map(WidgetState::Value);
+    }
+    if let Some(r) = o.get("range") {
+        let arr = r.as_array().filter(|a| a.len() == 2).ok_or("bad range")?;
+        return Ok(WidgetState::Range(literal_from_json(&arr[0])?, literal_from_json(&arr[1])?));
+    }
+    if let Some(f) = o.get("flags") {
+        let flags = f
+            .as_array()
+            .ok_or("bad flags")?
+            .iter()
+            .map(|b| b.as_bool().ok_or_else(|| "bad flag".to_string()))
+            .collect::<Result<Vec<bool>, String>>()?;
+        return Ok(WidgetState::Flags(flags));
+    }
+    Ok(WidgetState::Unknown)
+}
+
+fn rect_json(r: Rect) -> Json {
+    json!([r.x, r.y, r.w, r.h])
+}
+
+fn rect_from_json(v: &Json) -> Result<Rect, String> {
+    let a = v.as_array().filter(|a| a.len() == 4).ok_or("rect must be [x,y,w,h]")?;
+    let g = |i: usize| a[i].as_u64().map(|n| n as u32).ok_or_else(|| "bad rect".to_string());
+    Ok(Rect { x: g(0)?, y: g(1)?, w: g(2)?, h: g(3)? })
+}
+
+fn columns_json(columns: &[ColumnSlice]) -> Json {
+    Json::Array(
+        columns
+            .iter()
+            .map(|c| {
+                json!({
+                    "field": c.field,
+                    "values": c.values.iter().map(value_to_json).collect::<Vec<_>>(),
+                })
+            })
+            .collect(),
+    )
+}
+
+fn columns_from_json(v: &Json) -> Result<Vec<ColumnSlice>, String> {
+    v.as_array()
+        .ok_or("columns must be an array")?
+        .iter()
+        .map(|c| {
+            let field = c
+                .get("field")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "column needs a field".to_string())?;
+            let values = c
+                .get("values")
+                .and_then(Json::as_array)
+                .ok_or_else(|| "column needs values".to_string())?
+                .iter()
+                .map(value_from_json)
+                .collect::<Result<Vec<Value>, String>>()?;
+            Ok(ColumnSlice { field: field.to_string(), values: Arc::new(values) })
+        })
+        .collect()
+}
+
+fn encoding_json(e: &Encoding) -> Json {
+    json!({
+        "channel": channel_name(e.channel),
+        "field": e.field,
+        "type": field_type_name(e.field_type),
+    })
+}
+
+fn encoding_from_json(v: &Json) -> Result<Encoding, String> {
+    let get = |k: &str| v.get(k).and_then(Json::as_str).ok_or(format!("encoding needs {k}"));
+    Ok(Encoding {
+        channel: parse_channel(get("channel")?)?,
+        field: get("field")?.to_string(),
+        field_type: parse_field_type(get("type")?)?,
+    })
+}
+
+fn axis_json(a: &AxisScene) -> Json {
+    let mut o = serde_json::Map::new();
+    o.insert("channel".into(), json!(channel_name(a.channel)));
+    o.insert("field".into(), json!(a.field));
+    o.insert("type".into(), json!(field_type_name(a.field_type)));
+    if let Some(lo) = a.min {
+        o.insert("min".into(), f64_json(lo));
+    }
+    if let Some(hi) = a.max {
+        o.insert("max".into(), f64_json(hi));
+    }
+    Json::Object(o)
+}
+
+fn axis_from_json(v: &Json) -> Result<AxisScene, String> {
+    let get = |k: &str| v.get(k).and_then(Json::as_str).ok_or(format!("axis needs {k}"));
+    Ok(AxisScene {
+        channel: parse_channel(get("channel")?)?,
+        field: get("field")?.to_string(),
+        field_type: parse_field_type(get("type")?)?,
+        min: v.get("min").and_then(Json::as_f64),
+        max: v.get("max").and_then(Json::as_f64),
+    })
+}
+
+/// Encode a scene snapshot for the wire.
+pub fn scene_to_json(g: &SceneGraph) -> Json {
+    json!({
+        "screen": [g.screen.0, g.screen.1],
+        "charts": g.charts.iter().map(|c| json!({
+            "node": c.node.raw,
+            "chart": c.chart,
+            "name": c.name,
+            "title": c.title,
+            "mark": mark_name(c.mark),
+            "encodings": c.encodings.iter().map(encoding_json).collect::<Vec<_>>(),
+            "interactions": c.interactions,
+            "query": c.query,
+            "axes": c.axes.iter().map(axis_json).collect::<Vec<_>>(),
+            "rows": c.rows,
+            "columns": columns_json(&c.columns),
+            "frame": rect_json(c.frame),
+        })).collect::<Vec<_>>(),
+        "widgets": g.widgets.iter().map(|w| json!({
+            "node": w.node.raw,
+            "widget": w.widget,
+            "label": w.label,
+            "kind": w.kind,
+            "options": w.options,
+            "state": widget_state_to_json(&w.state),
+            "frame": rect_json(w.frame),
+        })).collect::<Vec<_>>(),
+        "frames": g.frames.iter().map(|f| json!({
+            "node": f.node.raw,
+            "kind": match f.kind {
+                FrameKind::Horizontal => json!("horizontal"),
+                FrameKind::Vertical => json!("vertical"),
+                FrameKind::Chart(id) => json!({ "chart": id }),
+                FrameKind::Widget(id) => json!({ "widget": id }),
+            },
+            "rect": rect_json(f.rect),
+            "children": f.children.iter().map(|c| c.raw).collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+fn node_from_json(v: Option<&Json>) -> Result<SceneNodeId, String> {
+    v.and_then(Json::as_u64)
+        .map(|n| SceneNodeId::from_raw(n as u32))
+        .ok_or_else(|| "missing scene node id".to_string())
+}
+
+/// Decode a scene snapshot (the client side of a resync).
+pub fn scene_from_json(v: &Json) -> Result<SceneGraph, String> {
+    let screen = v.get("screen").and_then(Json::as_array).ok_or("scene needs a screen")?;
+    let screen = (
+        screen.first().and_then(Json::as_u64).ok_or("bad screen")? as u32,
+        screen.get(1).and_then(Json::as_u64).ok_or("bad screen")? as u32,
+    );
+    let charts = v
+        .get("charts")
+        .and_then(Json::as_array)
+        .ok_or("scene needs charts")?
+        .iter()
+        .map(|c| {
+            let s = |k: &str| {
+                c.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("chart needs {k}"))
+            };
+            let columns = columns_from_json(c.get("columns").unwrap_or(&Json::Null))?;
+            Ok(ChartScene {
+                node: node_from_json(c.get("node"))?,
+                chart: c.get("chart").and_then(Json::as_u64).ok_or("chart needs an id")? as usize,
+                name: s("name")?,
+                title: s("title")?,
+                mark: parse_mark(&s("mark")?)?,
+                encodings: c
+                    .get("encodings")
+                    .and_then(Json::as_array)
+                    .ok_or("chart needs encodings")?
+                    .iter()
+                    .map(encoding_from_json)
+                    .collect::<Result<Vec<_>, String>>()?,
+                interactions: c
+                    .get("interactions")
+                    .and_then(Json::as_array)
+                    .ok_or("chart needs interactions")?
+                    .iter()
+                    .map(|i| i.as_str().map(str::to_string).ok_or("bad interaction".to_string()))
+                    .collect::<Result<Vec<_>, String>>()?,
+                query: s("query")?,
+                axes: c
+                    .get("axes")
+                    .and_then(Json::as_array)
+                    .ok_or("chart needs axes")?
+                    .iter()
+                    .map(axis_from_json)
+                    .collect::<Result<Vec<_>, String>>()?,
+                rows: c.get("rows").and_then(Json::as_u64).ok_or("chart needs rows")? as usize,
+                columns,
+                frame: rect_from_json(c.get("frame").unwrap_or(&Json::Null))?,
+                source: None,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let widgets = v
+        .get("widgets")
+        .and_then(Json::as_array)
+        .ok_or("scene needs widgets")?
+        .iter()
+        .map(|w| {
+            let s = |k: &str| {
+                w.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("widget needs {k}"))
+            };
+            Ok(WidgetScene {
+                node: node_from_json(w.get("node"))?,
+                widget: w.get("widget").and_then(Json::as_u64).ok_or("widget needs an id")?
+                    as usize,
+                label: s("label")?,
+                kind: s("kind")?,
+                options: w
+                    .get("options")
+                    .and_then(Json::as_array)
+                    .ok_or("widget needs options")?
+                    .iter()
+                    .map(|o| o.as_str().map(str::to_string).ok_or("bad option".to_string()))
+                    .collect::<Result<Vec<_>, String>>()?,
+                state: widget_state_from_json(w.get("state").unwrap_or(&Json::Null))?,
+                frame: rect_from_json(w.get("frame").unwrap_or(&Json::Null))?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let frames = v
+        .get("frames")
+        .and_then(Json::as_array)
+        .ok_or("scene needs frames")?
+        .iter()
+        .map(|f| {
+            let kind = match f.get("kind") {
+                Some(Json::String(s)) if s == "horizontal" => FrameKind::Horizontal,
+                Some(Json::String(s)) if s == "vertical" => FrameKind::Vertical,
+                Some(Json::Object(o)) => {
+                    if let Some(id) = o.get("chart").and_then(Json::as_u64) {
+                        FrameKind::Chart(id as usize)
+                    } else if let Some(id) = o.get("widget").and_then(Json::as_u64) {
+                        FrameKind::Widget(id as usize)
+                    } else {
+                        return Err("bad frame kind".to_string());
+                    }
+                }
+                _ => return Err("bad frame kind".to_string()),
+            };
+            Ok(LayoutFrame {
+                node: node_from_json(f.get("node"))?,
+                kind,
+                rect: rect_from_json(f.get("rect").unwrap_or(&Json::Null))?,
+                children: f
+                    .get("children")
+                    .and_then(Json::as_array)
+                    .ok_or("frame needs children")?
+                    .iter()
+                    .map(|c| node_from_json(Some(c)))
+                    .collect::<Result<Vec<_>, String>>()?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SceneGraph { screen, charts, widgets, frames })
+}
+
+/// Encode one delta frame for the wire.
+pub fn delta_to_json(d: &SceneDelta) -> Json {
+    json!({
+        "from": d.from_version,
+        "to": d.to_version,
+        "charts": d.charts.iter().map(|p| {
+            let mut o = serde_json::Map::new();
+            o.insert("node".into(), json!(p.node.raw));
+            o.insert("chart".into(), json!(p.chart));
+            if let Some(q) = &p.query {
+                o.insert("query".into(), json!(q));
+            }
+            if let Some(m) = p.mark {
+                o.insert("mark".into(), json!(mark_name(m)));
+            }
+            if let Some(e) = &p.encodings {
+                o.insert("encodings".into(), Json::Array(e.iter().map(encoding_json).collect()));
+            }
+            if let Some(a) = &p.axes {
+                o.insert("axes".into(), Json::Array(a.iter().map(axis_json).collect()));
+            }
+            if let Some(data) = &p.data {
+                let mut d = serde_json::Map::new();
+                d.insert("drop_head".into(), json!(data.drop_head));
+                d.insert("drop_tail".into(), json!(data.drop_tail));
+                d.insert("prepend".into(), columns_json(&data.prepend));
+                d.insert("append".into(), columns_json(&data.append));
+                if !data.edits.is_empty() {
+                    // Compact op encoding: a positive integer keeps that
+                    // many old rows, a negative one drops them, and an
+                    // array is an inserted column block. Scattered-churn
+                    // scripts carry hundreds of ops, so per-op bytes
+                    // dominate the frame.
+                    d.insert(
+                        "edits".into(),
+                        Json::Array(
+                            data.edits
+                                .iter()
+                                .map(|op| match op {
+                                    RowEdit::Keep(n) => json!(*n as i64),
+                                    RowEdit::Drop(n) => json!(-(*n as i64)),
+                                    RowEdit::Insert(cols) => columns_json(cols),
+                                })
+                                .collect(),
+                        ),
+                    );
+                }
+                o.insert("data".into(), Json::Object(d));
+            }
+            o.insert("marks_added".into(), json!(p.marks_added));
+            o.insert("marks_removed".into(), json!(p.marks_removed));
+            if let Some(r) = p.dirty {
+                o.insert("dirty".into(), rect_json(r));
+            }
+            Json::Object(o)
+        }).collect::<Vec<_>>(),
+        "widgets": d.widgets.iter().map(|p| json!({
+            "node": p.node.raw,
+            "widget": p.widget,
+            "state": widget_state_to_json(&p.state),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Decode one delta frame (the client side of `render_delta`).
+pub fn delta_from_json(v: &Json) -> Result<SceneDelta, String> {
+    let mut delta = SceneDelta::new(
+        v.get("from").and_then(Json::as_u64).ok_or("delta needs from")?,
+        v.get("to").and_then(Json::as_u64).ok_or("delta needs to")?,
+    );
+    for p in v.get("charts").and_then(Json::as_array).ok_or("delta needs charts")? {
+        let mut patch = ChartPatch::new(
+            node_from_json(p.get("node"))?,
+            p.get("chart").and_then(Json::as_u64).ok_or("patch needs a chart")? as usize,
+        );
+        if let Some(q) = p.get("query").and_then(Json::as_str) {
+            patch = patch.query(q);
+        }
+        if let Some(m) = p.get("mark").and_then(Json::as_str) {
+            patch = patch.mark(parse_mark(m)?);
+        }
+        if let Some(e) = p.get("encodings").and_then(Json::as_array) {
+            patch = patch
+                .encodings(e.iter().map(encoding_from_json).collect::<Result<Vec<_>, String>>()?);
+        }
+        if let Some(a) = p.get("axes").and_then(Json::as_array) {
+            patch = patch.axes(a.iter().map(axis_from_json).collect::<Result<Vec<_>, String>>()?);
+        }
+        if let Some(data) = p.get("data") {
+            let num = |k: &str| {
+                data.get(k)
+                    .and_then(Json::as_u64)
+                    .map(|n| n as usize)
+                    .ok_or(format!("data needs {k}"))
+            };
+            let mut dp = DataPatch::new()
+                .drop_head(num("drop_head")?)
+                .drop_tail(num("drop_tail")?)
+                .prepend(columns_from_json(data.get("prepend").unwrap_or(&Json::Null))?)
+                .append(columns_from_json(data.get("append").unwrap_or(&Json::Null))?);
+            if let Some(edits) = data.get("edits").and_then(Json::as_array) {
+                dp = dp.edits(
+                    edits
+                        .iter()
+                        .map(|op| {
+                            if let Some(n) = op.as_i64() {
+                                match n {
+                                    n if n > 0 => Ok(RowEdit::Keep(n as usize)),
+                                    n if n < 0 => Ok(RowEdit::Drop(n.unsigned_abs() as usize)),
+                                    _ => Err("zero-length edit op".to_string()),
+                                }
+                            } else if op.as_array().is_some() {
+                                Ok(RowEdit::Insert(columns_from_json(op)?))
+                            } else {
+                                Err("bad edit op".to_string())
+                            }
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                );
+            }
+            let added = p.get("marks_added").and_then(Json::as_u64).unwrap_or(0) as usize;
+            let removed = p.get("marks_removed").and_then(Json::as_u64).unwrap_or(0) as usize;
+            patch = patch.data(dp, added, removed);
+        }
+        if let Some(r) = p.get("dirty") {
+            patch = patch.dirty(rect_from_json(r)?);
+        }
+        delta = delta.chart(patch);
+    }
+    for p in v.get("widgets").and_then(Json::as_array).ok_or("delta needs widgets")? {
+        delta = delta.widget(WidgetPatch::new(
+            node_from_json(p.get("node"))?,
+            p.get("widget").and_then(Json::as_u64).ok_or("patch needs a widget")? as usize,
+            widget_state_from_json(p.get("state").unwrap_or(&Json::Null))?,
+        ));
+    }
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_engine::{DataType, Field, Schema};
+
+    fn result(xs: &[i64]) -> Arc<ResultSet> {
+        Arc::new(ResultSet {
+            schema: Schema::new(vec![
+                Field::new("x", DataType::Int),
+                Field::new("y", DataType::Float),
+            ]),
+            rows: xs.iter().map(|x| vec![Value::Int(*x), Value::Float(*x as f64 / 2.0)]).collect(),
+        })
+    }
+
+    fn chart_scene(xs: &[i64], query: &str) -> ChartScene {
+        let r = result(xs);
+        ChartScene {
+            node: SceneNodeId::chart(0),
+            chart: 0,
+            name: "G1".into(),
+            title: "t".into(),
+            mark: Mark::Scatter,
+            encodings: vec![
+                Encoding {
+                    channel: Channel::X,
+                    field: "x".into(),
+                    field_type: FieldType::Quantitative,
+                },
+                Encoding {
+                    channel: Channel::Y,
+                    field: "y".into(),
+                    field_type: FieldType::Quantitative,
+                },
+            ],
+            interactions: vec!["pan-zoom".into()],
+            query: query.into(),
+            axes: Vec::new(),
+            columns: transpose(&r),
+            rows: r.rows.len(),
+            frame: Rect { x: 0, y: 0, w: 100, h: 100 },
+            source: Some(r),
+        }
+    }
+
+    fn graph_of(chart: ChartScene) -> SceneGraph {
+        SceneGraph {
+            screen: (100, 100),
+            charts: vec![chart],
+            widgets: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn pan_like_shift_produces_small_splice() {
+        let old = graph_of(chart_scene(&(0..100).collect::<Vec<_>>(), "q0"));
+        let new = graph_of(chart_scene(&(10..110).collect::<Vec<_>>(), "q1"));
+        let delta = diff_graphs(&old, &new);
+        assert_eq!(delta.charts.len(), 1);
+        let patch = &delta.charts[0];
+        assert_eq!(patch.query.as_deref(), Some("q1"));
+        let data = patch.data.as_ref().unwrap();
+        // 90 rows overlap: payload is the 10 fresh rows only.
+        assert_eq!(data.drop_head, 10);
+        assert_eq!(data.drop_tail, 0);
+        assert_eq!(data.payload_rows(), 10);
+        assert_eq!(patch.marks_added, 10);
+        assert_eq!(patch.marks_removed, 10);
+        assert_eq!(patch.dirty, Some(Rect { x: 0, y: 0, w: 100, h: 100 }));
+
+        let mut client = old.clone();
+        client.apply(&delta).unwrap();
+        assert_eq!(client, new);
+    }
+
+    #[test]
+    fn scattered_churn_produces_edit_script() {
+        // Rows vanish at scattered positions and a couple of fresh rows
+        // appear mid-stream: no single contiguous block captures the
+        // overlap, but the row-level edit script ships only the two
+        // inserted rows.
+        let old_xs: Vec<i64> = (0..100).collect();
+        let mut new_xs: Vec<i64> =
+            old_xs.iter().copied().filter(|x| ![7, 23, 41, 59, 88].contains(x)).collect();
+        new_xs.insert(10, 500);
+        new_xs.insert(60, 501);
+
+        let old = graph_of(chart_scene(&old_xs, "q0"));
+        let new = graph_of(chart_scene(&new_xs, "q1"));
+        let delta = diff_graphs(&old, &new);
+        let data = delta.charts[0].data.as_ref().unwrap();
+        assert!(!data.edits.is_empty(), "scattered churn should pick the edit script");
+        assert_eq!(data.payload_rows(), 2, "only the inserted rows ride the wire");
+
+        // Through the wire codec, then applied client-side.
+        let rt = delta_from_json(&delta_to_json(&delta)).unwrap();
+        assert_eq!(rt, delta);
+        let mut client = old.clone();
+        client.apply(&rt).unwrap();
+        assert_eq!(client, new);
+    }
+
+    #[test]
+    fn truncated_edit_script_is_rejected() {
+        let old = graph_of(chart_scene(&[1, 2, 3, 4], "q"));
+        let mut delta = diff_graphs(&old, &graph_of(chart_scene(&[1, 2, 3, 4], "q2")));
+        // Forge a script that stops short of consuming every old row.
+        delta.charts[0].data =
+            Some(DataPatch::new().edits(vec![RowEdit::Keep(2), RowEdit::Drop(1)]));
+        let mut client = old.clone();
+        let err = client.apply(&delta).unwrap_err().to_string();
+        assert!(err.contains("consume"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn zoom_in_is_payload_free() {
+        let old = graph_of(chart_scene(&(0..100).collect::<Vec<_>>(), "q"));
+        let new = graph_of(chart_scene(&(20..80).collect::<Vec<_>>(), "q"));
+        let delta = diff_graphs(&old, &new);
+        let data = delta.charts[0].data.as_ref().unwrap();
+        assert_eq!(data.payload_rows(), 0);
+        assert_eq!((data.drop_head, data.drop_tail), (20, 20));
+        let mut client = old.clone();
+        client.apply(&delta).unwrap();
+        assert_eq!(client, new);
+    }
+
+    #[test]
+    fn schema_change_full_replaces_and_reestablishes_fields() {
+        let old = graph_of(chart_scene(&[1, 2, 3], "q"));
+        let mut fresh = chart_scene(&[4, 5], "q2");
+        fresh.columns = vec![ColumnSlice {
+            field: "renamed".into(),
+            values: Arc::new(vec![Value::Int(4), Value::Int(5)]),
+        }];
+        fresh.rows = 2;
+        let new = graph_of(fresh);
+        let delta = diff_graphs(&old, &new);
+        let mut client = old.clone();
+        client.apply(&delta).unwrap();
+        assert_eq!(client, new);
+        assert_eq!(client.charts[0].columns[0].field, "renamed");
+    }
+
+    #[test]
+    fn empty_results_round_trip() {
+        let old = graph_of(chart_scene(&[1, 2], "q"));
+        let new = graph_of(chart_scene(&[], "q2"));
+        let delta = diff_graphs(&old, &new);
+        let mut client = old.clone();
+        client.apply(&delta).unwrap();
+        assert_eq!(client, new);
+        // And back from empty.
+        let back = graph_of(chart_scene(&[7], "q3"));
+        let d2 = diff_graphs(&new, &back);
+        client.apply(&d2).unwrap();
+        assert_eq!(client, back);
+    }
+
+    #[test]
+    fn scene_state_versions_and_catchup() {
+        let g0 = graph_of(chart_scene(&[1, 2], "q"));
+        let mut state = SceneState::new(g0.clone());
+        assert_eq!(state.version(), 1);
+        assert!(matches!(state.deltas_since(1), SceneCatchup::UpToDate));
+        assert!(matches!(state.deltas_since(0), SceneCatchup::Resync(_, 1)));
+
+        // No-op sync keeps the version.
+        assert!(state.sync(g0.clone()).is_none());
+        assert_eq!(state.version(), 1);
+
+        let g1 = graph_of(chart_scene(&[2, 3], "q2"));
+        let d1 = state.sync(g1.clone()).unwrap();
+        assert_eq!((d1.from_version, d1.to_version), (1, 2));
+        let g2 = graph_of(chart_scene(&[3, 4], "q3"));
+        state.sync(g2.clone()).unwrap();
+        assert_eq!(state.version(), 3);
+
+        match state.deltas_since(1) {
+            SceneCatchup::Deltas(chain) => {
+                assert_eq!(chain.len(), 2);
+                let mut client = g0;
+                for d in &chain {
+                    client.apply(d).unwrap();
+                }
+                assert_eq!(client, g2);
+            }
+            other => panic!("expected deltas, got {other:?}"),
+        }
+        // A version from the future resyncs.
+        assert!(matches!(state.deltas_since(9), SceneCatchup::Resync(_, 3)));
+    }
+
+    #[test]
+    fn history_eviction_forces_resync() {
+        let mut state = SceneState::new(graph_of(chart_scene(&[0], "q0")));
+        for i in 1..=(SCENE_HISTORY_CAP as i64 + 4) {
+            state.sync(graph_of(chart_scene(&[i], &format!("q{i}"))));
+        }
+        assert!(matches!(state.deltas_since(1), SceneCatchup::Resync(..)));
+    }
+
+    #[test]
+    fn json_round_trips_scene_and_delta() {
+        let interface = toy_interface();
+        let updates = vec![ChartUpdate {
+            chart: 0,
+            query: pi2_sql::parse_query("SELECT a, count(*) FROM t GROUP BY a").unwrap(),
+            result: result(&[1, 2, 3]),
+        }];
+        let states = vec![(0usize, WidgetState::Range(Literal::Int(1), Literal::Int(5)))];
+        let scene = SceneGraph::build(&interface, &updates, &states);
+        let rt = scene_from_json(&scene_to_json(&scene)).unwrap();
+        assert_eq!(rt, scene);
+
+        let old = graph_of(chart_scene(&[1, 2, 3], "q"));
+        let new = graph_of(chart_scene(&[2, 3, 4], "q2"));
+        let delta = diff_graphs(&old, &new);
+        let delta_rt = delta_from_json(&delta_to_json(&delta)).unwrap();
+        assert_eq!(delta_rt, delta);
+        let mut client = old;
+        client.apply(&delta_rt).unwrap();
+        assert_eq!(client, new);
+    }
+
+    #[test]
+    fn layout_frames_tile_exactly() {
+        let interface = toy_interface();
+        let scene = SceneGraph::build(&interface, &[], &[]);
+        let root = &scene.frames[0];
+        assert_eq!(
+            root.rect,
+            Rect { x: 0, y: 0, w: interface.screen.width, h: interface.screen.height }
+        );
+        // Children of any split tile their parent without gaps.
+        for f in &scene.frames {
+            let kids: Vec<&LayoutFrame> = f
+                .children
+                .iter()
+                .filter_map(|c| scene.frames.iter().find(|g| g.node == *c))
+                .collect();
+            if kids.is_empty() {
+                continue;
+            }
+            let area: u64 = kids.iter().map(|k| k.rect.w as u64 * k.rect.h as u64).sum();
+            assert_eq!(area, f.rect.w as u64 * f.rect.h as u64);
+        }
+        // Every chart and widget got a non-empty frame.
+        assert!(scene.charts.iter().all(|c| c.frame.w > 0 && c.frame.h > 0));
+        assert!(scene.widgets.iter().all(|w| w.frame.w > 0 && w.frame.h > 0));
+    }
+
+    fn toy_interface() -> Interface {
+        use pi2_interface::{Chart, Widget, WidgetKind};
+        Interface {
+            charts: vec![Chart {
+                id: 0,
+                name: "G1".into(),
+                title: "counts".into(),
+                mark: Mark::Bar,
+                encodings: vec![
+                    Encoding {
+                        channel: Channel::X,
+                        field: "x".into(),
+                        field_type: FieldType::Nominal,
+                    },
+                    Encoding {
+                        channel: Channel::Y,
+                        field: "y".into(),
+                        field_type: FieldType::Quantitative,
+                    },
+                ],
+                tree: 0,
+                interactions: Vec::new(),
+            }],
+            widgets: vec![Widget {
+                id: 0,
+                label: "a".into(),
+                kind: WidgetKind::Slider { min: 0.0, max: 10.0, step: 1.0, temporal: false },
+                targets: Vec::new(),
+            }],
+            layout: Layout::Vertical(vec![
+                Layout::Leaf(Element::Widget(0)),
+                Layout::Leaf(Element::Chart(0)),
+            ]),
+            screen: pi2_interface::ScreenSpec::default(),
+        }
+    }
+}

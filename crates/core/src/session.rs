@@ -283,6 +283,9 @@ struct SessionState {
     /// only the affected zone-map blocks (see [`pi2_engine::DeltaCache`]).
     delta_cache: DeltaCache,
     stats: SessionStats,
+    /// Retained scene graph + delta history, initialized lazily by the
+    /// first `scene_*` call (see [`crate::scene`]).
+    scene: Option<crate::scene::SceneState>,
 }
 
 impl SessionState {
@@ -535,6 +538,82 @@ impl InterfaceSession {
         st.stats.charts_skipped += skipped as u64;
         st.stats.latency.entry(class).or_default().record(started.elapsed());
         Ok(updates)
+    }
+
+    /// [`InterfaceSession::dispatch`], additionally syncing the retained
+    /// scene graph: returns the chart updates together with the damage
+    /// delta the event caused (if any). This is the streaming path behind
+    /// the server's `render_delta` endpoint.
+    pub fn dispatch_with_delta(
+        &mut self,
+        event: Event,
+    ) -> Result<(Vec<ChartUpdate>, Option<crate::scene::SceneDelta>), SessionError> {
+        let updates = self.dispatch(event)?;
+        let delta = self.scene_sync()?;
+        Ok((updates, delta))
+    }
+
+    /// Bring the retained scene graph up to date with the session's
+    /// current bindings, returning the damage delta when anything changed.
+    /// Initializes the scene (at version 1, with no delta) on first call.
+    pub fn scene_sync(&self) -> Result<Option<crate::scene::SceneDelta>, SessionError> {
+        let fresh = self.scene_build()?;
+        let mut st = self.state.borrow_mut();
+        match st.scene.as_mut() {
+            Some(scene) => Ok(scene.sync(fresh)),
+            None => {
+                st.scene = Some(crate::scene::SceneState::new(fresh));
+                Ok(None)
+            }
+        }
+    }
+
+    /// Current scene version: 0 before the scene is initialized, then the
+    /// monotone counter [`crate::scene::SceneState::version`].
+    pub fn scene_version(&self) -> u64 {
+        self.state.borrow().scene.as_ref().map(|s| s.version()).unwrap_or(0)
+    }
+
+    /// A full snapshot of the retained scene (synced first) and its
+    /// version — what a client starts from before consuming deltas.
+    pub fn scene_snapshot(&self) -> Result<(crate::scene::SceneGraph, u64), SessionError> {
+        self.scene_sync()?;
+        let st = self.state.borrow();
+        let scene = st
+            .scene
+            .as_ref()
+            .ok_or_else(|| SessionError::Internal("scene state missing after sync".into()))?;
+        Ok((scene.graph().clone(), scene.version()))
+    }
+
+    /// Catch a client up from scene version `since` (synced first): either
+    /// a contiguous run of deltas or a full-snapshot resync when `since`
+    /// is stale or unknown.
+    pub fn scene_deltas_since(
+        &self,
+        since: u64,
+    ) -> Result<crate::scene::SceneCatchup, SessionError> {
+        self.scene_sync()?;
+        let st = self.state.borrow();
+        let scene = st
+            .scene
+            .as_ref()
+            .ok_or_else(|| SessionError::Internal("scene state missing after sync".into()))?;
+        Ok(scene.deltas_since(since))
+    }
+
+    /// Build a fresh scene from the current session state, reusing the
+    /// retained scene's nodes for charts whose cached result is unchanged.
+    fn scene_build(&self) -> Result<crate::scene::SceneGraph, SessionError> {
+        let updates = self.refresh_all()?;
+        let states = self.widget_states();
+        let st = self.state.borrow();
+        Ok(crate::scene::SceneGraph::build_with_prev(
+            &self.interface,
+            &updates,
+            &states,
+            st.scene.as_ref().map(|s| s.graph()),
+        ))
     }
 
     fn updates_for(&self, charts: Vec<ChartId>) -> Result<Vec<ChartUpdate>, SessionError> {

@@ -11,7 +11,15 @@ const PLOT_H: usize = 12;
 const MAX_ROWS: usize = 16;
 
 /// Render a whole interface with current chart data.
+///
+/// Deprecated: use [`crate::AsciiRenderer`] through the
+/// [`pi2_core::prelude::Renderer`] trait.
+#[deprecated(since = "0.2.0", note = "use AsciiRenderer via the pi2_core::prelude::Renderer trait")]
 pub fn render_interface(interface: &Interface, updates: &[ChartUpdate]) -> String {
+    render_interface_impl(interface, updates)
+}
+
+pub(crate) fn render_interface_impl(interface: &Interface, updates: &[ChartUpdate]) -> String {
     let mut blocks = render_layout(&interface.layout, interface, updates);
     if blocks.is_empty() {
         blocks = vec!["(empty interface)".to_string()];
@@ -21,7 +29,20 @@ pub fn render_interface(interface: &Interface, updates: &[ChartUpdate]) -> Strin
 
 /// Render a live session: charts with current data, widgets with their
 /// current positions (selected radio option, toggle state, slider value).
+///
+/// Deprecated: use [`crate::AsciiRenderer`]'s
+/// [`render_live`](pi2_core::scene::Renderer::render_live).
+#[deprecated(
+    since = "0.2.0",
+    note = "use AsciiRenderer::render_live via the pi2_core::prelude::Renderer trait"
+)]
 pub fn render_session(
+    session: &pi2_core::InterfaceSession,
+) -> Result<String, pi2_core::SessionError> {
+    render_session_impl(session)
+}
+
+pub(crate) fn render_session_impl(
     session: &pi2_core::InterfaceSession,
 ) -> Result<String, pi2_core::SessionError> {
     let updates = session.refresh_all()?;
@@ -275,11 +296,33 @@ fn truncate_table(result: &ResultSet) -> String {
     let mut capped = result.clone();
     let total = capped.rows.len();
     capped.rows.truncate(MAX_ROWS);
-    let mut s = capped.to_ascii_table();
+    let mut s = String::new();
+    for line in capped.to_ascii_table().lines() {
+        s.push_str(&clip_line(line, PLOT_W));
+        s.push('\n');
+    }
     if total > MAX_ROWS {
         s.push_str(&format!("… {} more rows\n", total - MAX_ROWS));
     }
     s
+}
+
+/// Clip one rendered line to `width` glyphs, appending `…` when anything
+/// was cut. Counting and cutting happen on `char` boundaries — a byte
+/// index would split multi-byte glyphs (`─`, `█`, accented cell text) and
+/// either panic or emit broken UTF-8 mid-cell on narrow terminals.
+fn clip_line(line: &str, width: usize) -> String {
+    let mut iter = line.char_indices();
+    match iter.nth(width.saturating_sub(1)) {
+        // Fewer than `width` glyphs, or exactly `width`: keep as is.
+        None => line.to_string(),
+        Some(_) if iter.next().is_none() => line.to_string(),
+        Some((last, _)) => {
+            let mut s = line[..last].to_string();
+            s.push('…');
+            s
+        }
+    }
 }
 
 fn render_bar(chart: &Chart, result: &ResultSet) -> String {
@@ -488,6 +531,53 @@ mod tests {
     use pi2_core::{Pi2, SearchStrategy};
 
     #[test]
+    fn clip_line_cuts_on_glyph_boundaries() {
+        // Narrower than the limit: untouched.
+        assert_eq!(clip_line("ab", 5), "ab");
+        // Exactly the limit (in glyphs, not bytes): untouched, even when
+        // every glyph is multi-byte.
+        assert_eq!(clip_line("─────", 5), "─────");
+        // One over: clipped to width-1 glyphs plus the ellipsis, so the
+        // result still fits in `width` terminal cells.
+        assert_eq!(clip_line("──────", 5), "────…");
+        assert_eq!(clip_line("abcdef", 5), "abcd…");
+        // Mixed ASCII/multi-byte cell text must not split mid-glyph.
+        let clipped = clip_line("naïve café row ──", 7);
+        assert_eq!(clipped, "naïve …");
+        assert_eq!(clipped.chars().count(), 7);
+        // Degenerate widths stay valid UTF-8 and within budget.
+        assert_eq!(clip_line("abc", 1), "…");
+        assert_eq!(clip_line("", 0), "");
+        assert!(clip_line("██████", 3).chars().count() <= 3);
+    }
+
+    #[test]
+    fn wide_tables_clip_without_splitting_cells_glyphs() {
+        use pi2_engine::{DataType, Field, Schema, Value};
+        // A table whose ASCII rendering is far wider than PLOT_W, with
+        // multi-byte text in the wide column.
+        let schema = Schema {
+            fields: vec![
+                Field { name: "k".into(), data_type: DataType::Int },
+                Field { name: "décor".into(), data_type: DataType::Str },
+            ],
+        };
+        let rows = (0..3).map(|i| vec![Value::Int(i), Value::Str("é".repeat(120))]).collect();
+        let result = ResultSet { schema, rows };
+        let text = truncate_table(&result);
+        for line in text.lines() {
+            assert!(
+                line.chars().count() <= PLOT_W,
+                "line wider than plot: {} glyphs",
+                line.chars().count()
+            );
+            assert!(line.is_char_boundary(line.len()));
+        }
+        // Clipped body lines end in the ellipsis rather than a torn cell.
+        assert!(text.lines().any(|l| l.ends_with('…')), "{text}");
+    }
+
+    #[test]
     fn renders_toy_interface_end_to_end() {
         let pi2 = Pi2::builder(pi2_datasets::toy::default_catalog())
             .strategy(SearchStrategy::FullMerge)
@@ -500,7 +590,7 @@ mod tests {
             .unwrap();
         let session = pi2.session(&g);
         let updates = session.refresh_all().unwrap();
-        let text = render_interface(&g.interface, &updates);
+        let text = render_interface_impl(&g.interface, &updates);
         assert!(text.contains("G1"), "{text}");
         assert!(text.contains('┤') || text.contains('│'), "{text}");
     }
@@ -519,7 +609,7 @@ mod tests {
             .unwrap();
         let session = pi2.session(&g);
         let updates = session.refresh_all().unwrap();
-        let text = render_interface(&g.interface, &updates);
+        let text = render_interface_impl(&g.interface, &updates);
         assert!(text.contains("2021-"), "{text}");
     }
 
@@ -536,7 +626,7 @@ mod tests {
             .unwrap();
         let session = pi2.session(&g);
         let updates = session.refresh_all().unwrap();
-        let text = render_interface(&g.interface, &updates);
+        let text = render_interface_impl(&g.interface, &updates);
         assert!(text.contains("Heatmap"), "{text}");
         assert!(text.contains("darker = larger"), "{text}");
     }
@@ -575,7 +665,7 @@ mod tests {
             ])
             .unwrap();
         let mut session = pi2.session(&g);
-        let before = render_session(&session).unwrap();
+        let before = render_session_impl(&session).unwrap();
         // Flip the toggle; the rendering must change state.
         if let Some(toggle) =
             g.interface.widgets.iter().find(|w| matches!(w.kind, WidgetKind::Toggle))
@@ -586,7 +676,7 @@ mod tests {
                     value: pi2_core::WidgetValue::Bool(false),
                 })
                 .unwrap();
-            let after = render_session(&session).unwrap();
+            let after = render_session_impl(&session).unwrap();
             assert_ne!(before, after);
             assert!(after.contains("[ ]"), "{after}");
         }

@@ -14,6 +14,12 @@
 use pi2_core::prelude::{Event, Literal, WidgetValue};
 use serde_json::{json, Value};
 
+/// Protocol revision spoken by this server. Carried in `open` and
+/// `resume` responses as `"protocol"`; bumped when verbs or response
+/// shapes change incompatibly. Revision 2 added the scene-graph
+/// `render_delta` verb.
+pub const PROTOCOL_VERSION: u64 = 2;
+
 /// Default execution-mode knobs applied when `open` omits them: servers
 /// must not hang on one session's pathological query or search.
 pub mod defaults {
@@ -92,6 +98,91 @@ impl CacheOptions {
     }
 }
 
+/// The option block of `render_delta`:
+/// `{"version": v, "since": u}` (both optional).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct RenderDeltaOptions {
+    /// Interface version (absent = latest).
+    pub version: Option<usize>,
+    /// The scene version the client already holds. Absent (or stale, or
+    /// beyond the server's delta history) yields a full-snapshot resync.
+    pub since: Option<u64>,
+}
+
+impl RenderDeltaOptions {
+    /// Defaults: latest interface version, full-snapshot resync.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the interface version.
+    pub fn version(mut self, version: Option<usize>) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Set the client's current scene version.
+    pub fn since(mut self, since: Option<u64>) -> Self {
+        self.since = since;
+        self
+    }
+}
+
+/// The body of a successful `render_delta` response (everything besides
+/// the envelope's `ok`/`id`): either a batch of patch frames advancing
+/// the client from its `since` version, or a full-snapshot resync.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct RenderDeltaResponse {
+    /// The server's scene version after this response is applied.
+    pub scene_version: u64,
+    /// Patch frames (oldest first), each `pi2_core::scene::delta_to_json`
+    /// shaped. Empty when the client is up to date or when resyncing.
+    pub frames: Vec<Value>,
+    /// Whether `scene` holds a full snapshot instead of frames.
+    pub resync: bool,
+    /// The full scene snapshot (`pi2_core::scene::scene_to_json` shaped),
+    /// present iff `resync`.
+    pub scene: Option<Value>,
+}
+
+impl RenderDeltaResponse {
+    /// An empty (up-to-date) response at `scene_version`.
+    pub fn new(scene_version: u64) -> Self {
+        Self { scene_version, ..Self::default() }
+    }
+
+    /// Attach incremental patch frames.
+    pub fn frames(mut self, frames: Vec<Value>) -> Self {
+        self.frames = frames;
+        self
+    }
+
+    /// Mark as a full-snapshot resync carrying `scene`.
+    pub fn resync(mut self, scene: Value) -> Self {
+        self.resync = true;
+        self.scene = Some(scene);
+        self
+    }
+
+    /// The response body in wire form.
+    pub fn to_json(&self) -> Value {
+        let mut doc = json!({
+            "ok": true,
+            "scene_version": self.scene_version,
+            "frames": self.frames.clone(),
+        });
+        if self.resync {
+            doc["resync"] = json!(true);
+            if let Some(scene) = &self.scene {
+                doc["scene"] = scene.clone();
+            }
+        }
+        doc
+    }
+}
+
 /// Options accepted by `open`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OpenOptions {
@@ -167,6 +258,14 @@ pub enum Request {
         /// Interface version (absent = latest).
         version: Option<usize>,
     },
+    /// Stream scene-graph patch frames since a client-held scene version
+    /// (or a full snapshot when the client is stale or has no scene yet).
+    RenderDelta {
+        /// Target session.
+        session: u64,
+        /// Version / since knobs.
+        options: RenderDeltaOptions,
+    },
     /// Server-wide stats, or one session's stats when `session` is given.
     Stats {
         /// Restrict to one session.
@@ -190,7 +289,8 @@ impl Request {
             | Request::Generate { session }
             | Request::ApplyBinding { session, .. }
             | Request::Gesture { session, .. }
-            | Request::Render { session, .. } => Some(*session),
+            | Request::Render { session, .. }
+            | Request::RenderDelta { session, .. } => Some(*session),
             Request::Stats { session } => *session,
             Request::Open { .. } | Request::Resume { .. } | Request::Shutdown => None,
         }
@@ -395,6 +495,12 @@ pub fn parse_request_value(doc: &Value) -> Result<Request, Value> {
             session: need_u64(doc, "session")?,
             version: opt_usize(doc, "version")?,
         }),
+        "render_delta" => Ok(Request::RenderDelta {
+            session: need_u64(doc, "session")?,
+            options: RenderDeltaOptions::new()
+                .version(opt_usize(doc, "version")?)
+                .since(opt_u64(doc, "since")?),
+        }),
         "stats" => Ok(Request::Stats {
             session: match doc.get("session") {
                 None | Some(Value::Null) => None,
@@ -473,6 +579,16 @@ pub fn request_to_json(request: &Request) -> Value {
             let mut doc = json!({"cmd": "render", "session": session});
             if let Some(v) = version {
                 doc["version"] = json!(v);
+            }
+            doc
+        }
+        Request::RenderDelta { session, options } => {
+            let mut doc = json!({"cmd": "render_delta", "session": session});
+            if let Some(v) = options.version {
+                doc["version"] = json!(v);
+            }
+            if let Some(s) = options.since {
+                doc["since"] = json!(s);
             }
             doc
         }
@@ -754,6 +870,8 @@ mod tests {
             r#"{"cmd": "apply_binding", "session": 4, "version": 2, "widget": 1, "value": {"scalar": 2.5}}"#,
             r#"{"cmd": "gesture", "session": 4, "events": [{"type": "pan", "chart": 0, "dx": 1.0, "dy": 0.0}], "include_data": true}"#,
             r#"{"cmd": "render", "session": 4, "version": 1}"#,
+            r#"{"cmd": "render_delta", "session": 4}"#,
+            r#"{"cmd": "render_delta", "session": 4, "version": 1, "since": 9}"#,
             r#"{"cmd": "stats"}"#,
             r#"{"cmd": "resume", "token": "tok-abc"}"#,
             r#"{"cmd": "shutdown"}"#,
@@ -790,6 +908,27 @@ mod tests {
         assert_eq!(render.session(), Some(5));
         let (resume, _) = parse_request(r#"{"cmd": "resume", "token": "t"}"#).unwrap();
         assert!(!resume.mutating());
+    }
+
+    #[test]
+    fn render_delta_is_read_only_and_builder_shaped() {
+        let (req, _) =
+            parse_request(r#"{"cmd": "render_delta", "session": 3, "since": 2}"#).unwrap();
+        assert!(!req.mutating(), "render_delta must never be journaled");
+        assert_eq!(req.session(), Some(3));
+        let Request::RenderDelta { options, .. } = req else { panic!() };
+        assert_eq!(options, RenderDeltaOptions::new().since(Some(2)));
+
+        let body = RenderDeltaResponse::new(5).frames(vec![json!({"from": 4, "to": 5})]).to_json();
+        assert_eq!(body["scene_version"].as_u64(), Some(5));
+        assert_eq!(body["frames"].as_array().map(Vec::len), Some(1));
+        assert!(body["resync"].is_null());
+        assert!(body["scene"].is_null());
+
+        let body = RenderDeltaResponse::new(5).resync(json!({"charts": []})).to_json();
+        assert_eq!(body["resync"].as_bool(), Some(true));
+        assert!(body["scene"].as_object().is_some());
+        assert_eq!(body["frames"].as_array().map(Vec::len), Some(0));
     }
 
     #[test]

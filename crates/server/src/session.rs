@@ -326,7 +326,16 @@ impl SessionEntry {
             outcome.coalesced += dropped;
             for (version, event) in batch {
                 let session = core.live_session(version)?;
-                match session.dispatch(event) {
+                // Once a client has opened the scene stream (render_delta
+                // initialized the retained scene), every dispatch must
+                // record its damage delta so catch-up stays contiguous;
+                // sessions without a scene consumer skip that work.
+                let dispatched = if session.scene_version() > 0 {
+                    session.dispatch_with_delta(event).map(|(updates, _delta)| updates)
+                } else {
+                    session.dispatch(event)
+                };
+                match dispatched {
                     Ok(updates) => {
                         outcome.applied += 1;
                         self.counters.dispatched.fetch_add(1, Ordering::Relaxed);

@@ -7,13 +7,14 @@
 
 use crate::journal::{self, Journal, JournalConfig};
 use crate::protocol::{
-    self, defaults, error_response, CacheMode, ErrorKind, OpenOptions, Request, Strategy,
+    self, defaults, error_response, CacheMode, ErrorKind, OpenOptions, RenderDeltaOptions,
+    RenderDeltaResponse, Request, Strategy, PROTOCOL_VERSION,
 };
 use crate::registry::Registry;
 use crate::session::{coalesce, DedupeWindow, DurableOp, Enqueue, SessionEntry};
 use pi2_core::prelude::{
-    Catalog, Event, ExecLimits, FleetConfig, FleetHandle, GenerationBudget, Pi2, SearchStrategy,
-    WidgetValue,
+    Catalog, Event, ExecLimits, FleetConfig, FleetHandle, GenerationBudget, Pi2, Renderer as _,
+    SearchStrategy, WidgetValue,
 };
 use pi2_notebook::{Notebook, NotebookError};
 use pi2_telemetry::LatencyHistogram;
@@ -285,6 +286,7 @@ impl ServerState {
             | Request::ApplyBinding { .. }
             | Request::Gesture { .. }) => self.mutate(mutation, req_id),
             Request::Render { session, version } => self.render(session, version),
+            Request::RenderDelta { session, options } => self.render_delta(session, options),
             Request::Stats { session } => self.stats(session),
             Request::Resume { token } => self.resume(&token),
             Request::Shutdown => {
@@ -376,8 +378,10 @@ impl ServerState {
             token.clone(),
             Notebook::with_pi2(pi2),
         ));
-        let response =
-            json!({"ok": true, "session": id, "scenario": scenario, "session_token": token});
+        let response = json!({
+            "ok": true, "session": id, "scenario": scenario, "session_token": token,
+            "protocol": PROTOCOL_VERSION,
+        });
         if let Some(rid) = req_id {
             entry.dedupe_put(rid, response.clone());
         }
@@ -481,6 +485,7 @@ impl ServerState {
                 "latest_version": entry.latest_version.load(Ordering::SeqCst),
                 "session_token": entry.token.clone(),
                 "recovered": entry.recovered,
+                "protocol": PROTOCOL_VERSION,
             }),
             None => error_response(
                 ErrorKind::UnknownToken,
@@ -646,10 +651,52 @@ impl ServerState {
             Ok(s) => s,
             Err(e) => return notebook_error(&e),
         };
-        match pi2_render::render_session(live) {
+        match pi2_render::AsciiRenderer.render_live(live) {
             Ok(text) => json!({"ok": true, "version": version, "text": text}),
             Err(e) => error_response(ErrorKind::Session, e),
         }
+    }
+
+    /// Scene-graph streaming: frames since the client's scene version, or
+    /// a full-snapshot resync when the client has no scene (`since`
+    /// absent), asks from a stale version, or has fallen behind the
+    /// delta-history ring. Read-only — never journaled — so replaying a
+    /// crashed session rebuilds the identical scene from its mutations.
+    fn render_delta(&self, session: u64, options: RenderDeltaOptions) -> Value {
+        use pi2_core::scene::{delta_to_json, scene_to_json, SceneCatchup};
+        let entry = match self.entry(session) {
+            Ok(e) => e,
+            Err(e) => return e,
+        };
+        let version = match Self::resolve_version(&entry, options.version) {
+            Ok(v) => v,
+            Err(e) => return e,
+        };
+        let mut core = entry.lock_core();
+        let live = match core.live_session(version) {
+            Ok(s) => s,
+            Err(e) => return notebook_error(&e),
+        };
+        let body = match options.since {
+            None => match live.scene_snapshot() {
+                Ok((scene, v)) => RenderDeltaResponse::new(v).resync(scene_to_json(&scene)),
+                Err(e) => return error_response(ErrorKind::Session, e),
+            },
+            Some(since) => match live.scene_deltas_since(since) {
+                Ok(SceneCatchup::UpToDate) => RenderDeltaResponse::new(live.scene_version()),
+                Ok(SceneCatchup::Deltas(chain)) => {
+                    let to = chain.last().map(|d| d.to_version).unwrap_or(since);
+                    RenderDeltaResponse::new(to).frames(chain.iter().map(delta_to_json).collect())
+                }
+                Ok(SceneCatchup::Resync(scene, v)) => {
+                    RenderDeltaResponse::new(v).resync(scene_to_json(&scene))
+                }
+                Err(e) => return error_response(ErrorKind::Session, e),
+            },
+        };
+        let mut resp = body.to_json();
+        resp["version"] = json!(version);
+        resp
     }
 
     fn stats(&self, session: Option<u64>) -> Value {
@@ -1096,6 +1143,7 @@ impl ServerState {
                                 "session": rebuilt.entry.id,
                                 "scenario": rebuilt.entry.scenario.clone(),
                                 "session_token": rebuilt.entry.token.clone(),
+                                "protocol": PROTOCOL_VERSION,
                             }),
                         );
                     }
@@ -1467,6 +1515,7 @@ fn endpoint_name(request: &Request) -> &'static str {
         Request::ApplyBinding { .. } => "apply_binding",
         Request::Gesture { .. } => "gesture",
         Request::Render { .. } => "render",
+        Request::RenderDelta { .. } => "render_delta",
         Request::Stats { .. } => "stats",
         Request::Resume { .. } => "resume",
         Request::Shutdown => "shutdown",

@@ -1,0 +1,60 @@
+//! Generators shared by the server's property-test suites
+//! (`proptest_coalesce` and `render_delta`).
+//!
+//! The event space is deliberately small so runs of mergeable neighbors
+//! are common, and the numeric inputs are dyadic rationals / powers of
+//! two so pan sums and zoom products stay `==`-exact under coalescing.
+
+// Each test binary compiles this module independently and uses a subset.
+#![allow(dead_code)]
+
+use pi2_core::prelude::{Event, WidgetValue};
+use proptest::prelude::*;
+
+/// Generated events stay in a small target space so runs of mergeable
+/// neighbors are common; a wide space would almost never merge and the
+/// properties would be tested vacuously.
+pub fn arb_event() -> impl Strategy<Value = Event> {
+    let chart = 0..3usize;
+    let widget = 0..3usize;
+    // Quarters: exactly representable, sums stay exact.
+    let dyadic = (-16i32..=16).prop_map(|q| f64::from(q) / 4.0);
+    // Powers of two in [1/8, 8]: products of a few stay exact.
+    let pow2 = (-3i32..=3).prop_map(|e| f64::powi(2.0, e));
+    prop_oneof![
+        (chart.clone(), dyadic.clone(), dyadic.clone()).prop_map(|(chart, dx, dy)| Event::Pan {
+            chart,
+            dx,
+            dy
+        }),
+        (chart.clone(), pow2).prop_map(|(chart, factor)| Event::Zoom { chart, factor }),
+        (chart.clone(), dyadic.clone(), dyadic).prop_map(|(chart, low, high)| Event::Brush {
+            chart,
+            low,
+            high
+        }),
+        (widget, arb_widget_value()).prop_map(|(widget, value)| Event::SetWidget { widget, value }),
+        chart.prop_map(|chart| Event::Click { chart, value: pi2_sql::Literal::Int(7) }),
+    ]
+}
+
+/// Widget values covering pick / toggle / scalar writes (scalars are
+/// dyadic halves for exactness).
+pub fn arb_widget_value() -> impl Strategy<Value = WidgetValue> {
+    prop_oneof![
+        (0..4usize).prop_map(WidgetValue::Pick),
+        any::<bool>().prop_map(WidgetValue::Bool),
+        (-8i32..=8).prop_map(|q| WidgetValue::Scalar(f64::from(q) / 2.0)),
+    ]
+}
+
+/// A versioned event stream, versions in `1..3`.
+pub fn arb_stream() -> impl Strategy<Value = Vec<(usize, Event)>> {
+    proptest::collection::vec((1..3usize, arb_event()), 0..48)
+}
+
+/// An unversioned event stream chopped into gesture-sized chunks — the
+/// shape a client hands to `gesture` requests.
+pub fn arb_chunks() -> impl Strategy<Value = Vec<Vec<Event>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_event(), 1..6), 0..8)
+}

@@ -10,49 +10,13 @@
 //! approximate), generated pan deltas are dyadic rationals and zoom
 //! factors are powers of two — both closed under the merge ops.
 
-use pi2_core::prelude::{Event, WidgetValue};
+use pi2_core::prelude::Event;
 use pi2_server::{coalesce, ServerState};
 use proptest::prelude::*;
 use serde_json::json;
 
-/// Generated events stay in a small target space so runs of mergeable
-/// neighbors are common; a wide space would almost never merge and the
-/// properties would be tested vacuously.
-fn arb_event() -> impl Strategy<Value = Event> {
-    let chart = 0..3usize;
-    let widget = 0..3usize;
-    // Quarters: exactly representable, sums stay exact.
-    let dyadic = (-16i32..=16).prop_map(|q| f64::from(q) / 4.0);
-    // Powers of two in [1/8, 8]: products of a few stay exact.
-    let pow2 = (-3i32..=3).prop_map(|e| f64::powi(2.0, e));
-    prop_oneof![
-        (chart.clone(), dyadic.clone(), dyadic.clone()).prop_map(|(chart, dx, dy)| Event::Pan {
-            chart,
-            dx,
-            dy
-        }),
-        (chart.clone(), pow2).prop_map(|(chart, factor)| Event::Zoom { chart, factor }),
-        (chart.clone(), dyadic.clone(), dyadic).prop_map(|(chart, low, high)| Event::Brush {
-            chart,
-            low,
-            high
-        }),
-        (widget, arb_widget_value()).prop_map(|(widget, value)| Event::SetWidget { widget, value }),
-        chart.prop_map(|chart| Event::Click { chart, value: pi2_sql::Literal::Int(7) }),
-    ]
-}
-
-fn arb_widget_value() -> impl Strategy<Value = WidgetValue> {
-    prop_oneof![
-        (0..4usize).prop_map(WidgetValue::Pick),
-        any::<bool>().prop_map(WidgetValue::Bool),
-        (-8i32..=8).prop_map(|q| WidgetValue::Scalar(f64::from(q) / 2.0)),
-    ]
-}
-
-fn arb_stream() -> impl Strategy<Value = Vec<(usize, Event)>> {
-    proptest::collection::vec((1..3usize, arb_event()), 0..48)
-}
+mod common;
+use common::{arb_event, arb_stream};
 
 /// The merge key: two *adjacent* events merge iff their keys are equal
 /// (and neither is a click — clicks never merge).

@@ -63,7 +63,7 @@ fn main() {
     // Render V3 and export every version as HTML.
     let session = nb.open_session(v3).expect("session opens");
     let updates = session.refresh_all().expect("refresh");
-    println!("{}", pi2_render::render_interface(session.interface(), &updates));
+    println!("{}", pi2_render::AsciiRenderer.render(session.interface(), &updates));
 
     std::fs::create_dir_all("target/pi2-exports").expect("create export dir");
     for v in nb.versions() {

@@ -173,7 +173,7 @@ fn run_command(
         Some("show") => {
             let v = parse_version(&parts, 1, nb);
             match sessions.get(&v) {
-                Some(session) => match pi2_render::render_session(session) {
+                Some(session) => match pi2_render::AsciiRenderer.render_live(session) {
                     Ok(text) => println!("{text}"),
                     Err(e) => println!("error: {e}"),
                 },

@@ -37,7 +37,7 @@ fn main() {
     // 4. Render the initial state.
     let mut session = generated.session(pi2.catalog());
     let updates = session.refresh_all().expect("executes");
-    println!("\n{}", pi2_render::render_interface(&generated.interface, &updates));
+    println!("\n{}", pi2_render::AsciiRenderer.render(&generated.interface, &updates));
 
     // 5. Interact: operate the first widget (or chart interaction) and
     //    watch the SQL change underneath.

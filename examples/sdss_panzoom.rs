@@ -26,7 +26,7 @@ fn main() {
 
     let mut session = pi2.session(&generated);
     let updates = session.refresh_all().expect("refresh");
-    println!("{}", pi2_render::render_interface(&generated.interface, &updates));
+    println!("{}", pi2_render::AsciiRenderer.render(&generated.interface, &updates));
 
     // Simulate the user's exploration: pan east, zoom out, zoom back in.
     let gestures = [
@@ -45,5 +45,5 @@ fn main() {
 
     // The final view, rendered.
     let updates = session.refresh_all().expect("refresh");
-    println!("\nfinal view:\n{}", pi2_render::render_interface(&generated.interface, &updates));
+    println!("\nfinal view:\n{}", pi2_render::AsciiRenderer.render(&generated.interface, &updates));
 }

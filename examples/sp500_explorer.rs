@@ -29,7 +29,7 @@ fn main() {
 
     let mut session = pi2.session(&generated);
     let updates = session.refresh_all().expect("refresh");
-    println!("{}", pi2_render::render_interface(&generated.interface, &updates));
+    println!("{}", pi2_render::AsciiRenderer.render(&generated.interface, &updates));
 
     // Switch the ticker if a discrete widget came out of the ANY/hole over
     // 'AAPL' / 'MSFT'.
@@ -56,7 +56,7 @@ fn main() {
 
     // Emit the interface spec (truncated for the console).
     let updates = session.refresh_all().expect("refresh");
-    let spec = pi2_render::interface_spec(session.interface(), &updates);
+    let spec = pi2_render::SpecRenderer.render(session.interface(), &updates);
     let text = serde_json::to_string_pretty(&spec).expect("serializes");
     let lines: Vec<&str> = text.lines().collect();
     println!("\ninterface spec (first 40 of {} lines):", lines.len());

@@ -5,6 +5,7 @@
 use pi2_core::{Event, Pi2, SearchStrategy, WidgetValue};
 use pi2_mcts::MctsConfig;
 use pi2_notebook::Notebook;
+use pi2_render::Renderer as _;
 
 fn small_covid() -> pi2_engine::Catalog {
     pi2_datasets::covid::catalog(&pi2_datasets::covid::Config {
@@ -143,9 +144,9 @@ fn render_and_spec_and_html_cover_all_scenarios() {
         };
         let session = pi2.session(&g);
         let updates = session.refresh_all().expect("refresh");
-        let text = pi2_render::render_interface(&g.interface, &updates);
+        let text = pi2_render::AsciiRenderer.render(&g.interface, &updates);
         assert!(text.contains("G1"), "{}: {text}", scenario.name);
-        let spec = pi2_render::interface_spec(&g.interface, &updates);
+        let spec = pi2_render::SpecRenderer.render(&g.interface, &updates);
         assert!(spec["charts"].as_array().is_some_and(|a| !a.is_empty()));
         let log: Vec<String> = g.queries.iter().map(|q| q.to_string()).collect();
         let html = pi2_render::export_html(scenario.name, &g.interface, &updates, &log);
